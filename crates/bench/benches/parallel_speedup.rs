@@ -1,0 +1,45 @@
+//! The live shared-memory variant: sequential program vs the renovated
+//! parallel application (all processes as threads of one task instance —
+//! the paper's `load 6` deployment) on this machine's cores.
+//!
+//! Also benchmarks the §4.1 I/O-worker ablation: with the initial data
+//! sampled by the workers instead of shipped through the master, the
+//! master's serial feeding phase shrinks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use renovation::app::{run_concurrent, RunMode};
+use solver::SequentialApp;
+use std::hint::black_box;
+
+fn bench_sequential_vs_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("live_run");
+    group.sample_size(10);
+    for level in [2u32, 3] {
+        let app = SequentialApp::new(2, level, 1.0e-3);
+        group.bench_with_input(
+            BenchmarkId::new("sequential", level),
+            &app,
+            |b, app| b.iter(|| black_box(app.run().unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", level),
+            &app,
+            |b, app| {
+                b.iter(|| black_box(run_concurrent(app, &RunMode::Parallel, true).unwrap()))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel_io_workers", level),
+            &app,
+            |b, app| {
+                b.iter(|| {
+                    black_box(run_concurrent(app, &RunMode::Parallel, false).unwrap())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential_vs_parallel);
+criterion_main!(benches);

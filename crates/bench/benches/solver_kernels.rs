@@ -1,0 +1,206 @@
+//! Solver kernel micro-benchmarks: the cost structure §3 describes —
+//! "a linear system of equations (Ax = b) is solved for every time step.
+//! Moreover, this A matrix must be built up in the program which takes a
+//! lot of time. Also the adaptive time step in the time integrator … is
+//! something that must be computed again and again."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use solver::assemble::assemble;
+use solver::combine::{combine, prolong_bilinear};
+use solver::grid::Grid2;
+use solver::linsolve::{bicgstab, Ilu0, Preconditioner};
+use solver::problem::Problem;
+use solver::rosenbrock::{integrate, Ros2Options};
+use solver::subsolve::{subsolve, SubsolveRequest};
+use solver::theta::{integrate_theta, ThetaScheme};
+use solver::WorkCounter;
+use std::hint::black_box;
+
+fn bench_assembly(c: &mut Criterion) {
+    let p = Problem::transport_benchmark();
+    let mut group = c.benchmark_group("assembly");
+    for lvl in [2u32, 3, 4] {
+        let g = Grid2::new(2, lvl, lvl);
+        group.bench_with_input(BenchmarkId::from_parameter(g.nx * g.ny), &g, |b, g| {
+            b.iter(|| {
+                let mut w = WorkCounter::new();
+                black_box(assemble(g, &p, &mut w))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matvec(c: &mut Criterion) {
+    let p = Problem::transport_benchmark();
+    let g = Grid2::new(2, 4, 4); // 64x64
+    let mut w = WorkCounter::new();
+    let d = assemble(&g, &p, &mut w);
+    let x = vec![1.0; d.n()];
+    let mut y = vec![0.0; d.n()];
+    c.bench_function("matvec_64x64", |b| {
+        b.iter(|| d.a.matvec_into(black_box(&x), &mut y))
+    });
+}
+
+fn bench_ilu(c: &mut Criterion) {
+    let p = Problem::transport_benchmark();
+    let g = Grid2::new(2, 4, 4);
+    let mut w = WorkCounter::new();
+    let d = assemble(&g, &p, &mut w);
+    let m = d.a.identity_minus_scaled(0.01);
+    c.bench_function("ilu0_factor_64x64", |b| {
+        b.iter(|| {
+            let mut w = WorkCounter::new();
+            black_box(Ilu0::new(&m, &mut w))
+        })
+    });
+    let ilu = Ilu0::new(&m, &mut w);
+    let r = vec![1.0; m.n()];
+    let mut z = vec![0.0; m.n()];
+    c.bench_function("ilu0_apply_64x64", |b| {
+        b.iter(|| {
+            let mut w = WorkCounter::new();
+            ilu.apply(black_box(&r), &mut z, &mut w)
+        })
+    });
+}
+
+fn bench_bicgstab(c: &mut Criterion) {
+    let p = Problem::transport_benchmark();
+    let g = Grid2::new(2, 4, 4);
+    let mut w = WorkCounter::new();
+    let d = assemble(&g, &p, &mut w);
+    let m = d.a.identity_minus_scaled(0.01);
+    let ilu = Ilu0::new(&m, &mut w);
+    let x_true: Vec<f64> = (0..m.n()).map(|i| ((i % 31) as f64) / 31.0).collect();
+    let b_rhs = m.matvec(&x_true);
+    c.bench_function("bicgstab_ilu_64x64", |b| {
+        b.iter(|| {
+            let mut w = WorkCounter::new();
+            let mut x = vec![0.0; m.n()];
+            bicgstab(&m, &ilu, black_box(&b_rhs), &mut x, 1e-8, 200, &mut w).unwrap()
+        })
+    });
+}
+
+fn bench_ros2(c: &mut Criterion) {
+    let p = Problem::manufactured_benchmark();
+    let g = Grid2::new(2, 2, 2);
+    let mut w = WorkCounter::new();
+    let d = assemble(&g, &p, &mut w);
+    let u0 = d.exact_interior(0.0);
+    c.bench_function("ros2_integrate_16x16_short", |b| {
+        b.iter(|| {
+            let mut w = WorkCounter::new();
+            integrate(
+                &d,
+                black_box(u0.clone()),
+                0.0,
+                0.02,
+                &Ros2Options::with_tol(1e-4),
+                &mut w,
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_subsolve(c: &mut Criterion) {
+    let p = Problem::transport_benchmark();
+    let mut group = c.benchmark_group("subsolve");
+    group.sample_size(10);
+    for (l, m) in [(1u32, 1u32), (2, 2), (0, 3)] {
+        let req = SubsolveRequest::for_grid(2, l, m, 1e-3, p);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{l}_{m}")),
+            &req,
+            |b, req| b.iter(|| subsolve(black_box(req)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_prolongation(c: &mut Criterion) {
+    let coarse = Grid2::new(2, 1, 4);
+    let fine = Grid2::new(2, 5, 5);
+    let v = coarse.sample(|x, y| (x * 3.0).sin() * y);
+    c.bench_function("prolong_bilinear_to_128x128", |b| {
+        b.iter(|| black_box(prolong_bilinear(&coarse, &v, &fine)))
+    });
+
+    let level = 4u32;
+    let sols: Vec<_> = Grid2::combination_indices(level)
+        .into_iter()
+        .map(|idx| {
+            let g = Grid2::new(2, idx.l, idx.m);
+            (idx, g.sample(|x, y| x + y))
+        })
+        .collect();
+    c.bench_function("combination_level4", |b| {
+        b.iter(|| {
+            let mut w = WorkCounter::new();
+            black_box(combine(2, level, &sols, &mut w))
+        })
+    });
+}
+
+/// Adaptive ROS2 vs the fixed-step baselines over the same horizon — what
+/// the Rosenbrock solver buys on the transport problem.
+fn bench_integrators(c: &mut Criterion) {
+    let p = Problem::transport_benchmark();
+    let g = Grid2::new(2, 2, 2);
+    let mut w = WorkCounter::new();
+    let d = assemble(&g, &p, &mut w);
+    let u0 = d.exact_interior(p.t0);
+    let mut group = c.benchmark_group("integrators_16x16");
+    group.sample_size(10);
+    group.bench_function("ros2_adaptive_1e-4", |b| {
+        b.iter(|| {
+            let mut w = WorkCounter::new();
+            integrate(
+                &d,
+                black_box(u0.clone()),
+                p.t0,
+                p.t_end,
+                &Ros2Options::with_tol(1e-4),
+                &mut w,
+            )
+            .unwrap()
+        })
+    });
+    for (name, scheme, dt) in [
+        ("implicit_euler_dt2e-3", ThetaScheme::ImplicitEuler, 2e-3),
+        ("crank_nicolson_dt5e-3", ThetaScheme::CrankNicolson, 5e-3),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut w = WorkCounter::new();
+                integrate_theta(
+                    &d,
+                    black_box(u0.clone()),
+                    p.t0,
+                    p.t_end,
+                    dt,
+                    scheme,
+                    &mut w,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_assembly,
+    bench_matvec,
+    bench_ilu,
+    bench_bicgstab,
+    bench_ros2,
+    bench_subsolve,
+    bench_prolongation,
+    bench_integrators
+);
+criterion_main!(benches);

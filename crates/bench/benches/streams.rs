@@ -1,0 +1,93 @@
+//! Stream mechanics: the cost of the KK-vs-BK design choice (§4.2, line
+//! 32) and of state preemption with varying stream counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use manifold::port::Port;
+use manifold::stream::{Stream, StreamType};
+use manifold::{ProcessId, Unit};
+use std::hint::black_box;
+
+fn wire(ty: StreamType) -> (std::sync::Arc<Port>, std::sync::Arc<Port>, std::sync::Arc<Stream>) {
+    let out = Port::new(ProcessId(1), "output");
+    let inp = Port::new(ProcessId(2), "input");
+    let s = Stream::new(ty);
+    out.attach_outgoing(&s);
+    inp.attach_incoming(&s);
+    (out, inp, s)
+}
+
+fn bench_push_pop(c: &mut Criterion) {
+    let s = Stream::new(StreamType::BK);
+    c.bench_function("stream_push_pop", |b| {
+        b.iter(|| {
+            s.push(black_box(Unit::int(1)));
+            s.try_pop().unwrap()
+        })
+    });
+}
+
+/// Setting up and dismantling a connection per type: BK must detach from
+/// the source port; KK is free at preemption (but the stream lives on).
+fn bench_dismantle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connect_and_dismantle");
+    for (name, ty) in [
+        ("BK", StreamType::BK),
+        ("KK", StreamType::KK),
+        ("BB", StreamType::BB),
+        ("KB", StreamType::KB),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ty, |b, &ty| {
+            b.iter(|| {
+                let (_out, _inp, s) = wire(ty);
+                s.dismantle();
+                black_box(s)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A preemption that dismantles `n` streams at once (the create_worker
+/// state carries three; bigger states scale linearly).
+fn bench_state_preemption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("preempt_n_streams");
+    for n in [3usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let streams: Vec<_> = (0..n).map(|_| wire(StreamType::BK).2).collect();
+                for s in &streams {
+                    s.dismantle();
+                }
+                black_box(streams)
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Draining a BK stream after source break (the consumer-keeps semantics).
+fn bench_drain_after_break(c: &mut Criterion) {
+    c.bench_function("bk_drain_after_break_1024", |b| {
+        b.iter(|| {
+            let (out, inp, s) = wire(StreamType::BK);
+            for _ in 0..1024 {
+                out.write(Unit::int(7)).unwrap();
+            }
+            s.dismantle();
+            let mut got = 0;
+            while inp.try_read().is_some() {
+                got += 1;
+            }
+            assert_eq!(got, 1024);
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_push_pop,
+    bench_dismantle,
+    bench_state_preemption,
+    bench_drain_after_break
+);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! The switched-Ethernet network model.
+//!
+//! A transfer of `b` bytes between two distinct machines costs
+//! `latency + b / bandwidth` seconds. Transfers within one machine (master
+//! and worker bundled in the same task instance, or two threads of one
+//! task) cost only a memory-copy: `b / mem_bandwidth`.
+
+use serde::{Deserialize, Serialize};
+
+/// Point-to-point network + memory-copy cost model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// One-way message latency in seconds (switch + stack).
+    pub latency: f64,
+    /// Sustained bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// Intra-machine memory-copy bandwidth in bytes/second.
+    pub mem_bandwidth: f64,
+}
+
+impl NetworkModel {
+    /// The paper's network: 100 Mbps switched Ethernet. Sustained TCP over
+    /// 100 Mbps in 2003 ≈ 11 MB/s; PC memory copies ≈ 400 MB/s.
+    pub fn switched_ethernet_100mbps() -> NetworkModel {
+        NetworkModel {
+            latency: 150e-6,
+            bandwidth: 11.0e6,
+            mem_bandwidth: 400.0e6,
+        }
+    }
+
+    /// Transfer time for `bytes` between two *different* machines.
+    pub fn remote_transfer(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Transfer time for `bytes` within one machine.
+    pub fn local_transfer(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.mem_bandwidth
+    }
+
+    /// Transfer time, picking remote or local by `same_host`.
+    pub fn transfer(&self, bytes: usize, same_host: bool) -> f64 {
+        if same_host {
+            self.local_transfer(bytes)
+        } else {
+            self.remote_transfer(bytes)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_includes_latency() {
+        let n = NetworkModel::switched_ethernet_100mbps();
+        assert!(n.remote_transfer(0) > 0.0);
+        assert_eq!(n.remote_transfer(0), n.latency);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let n = NetworkModel::switched_ethernet_100mbps();
+        let t = n.remote_transfer(11_000_000);
+        assert!((t - (n.latency + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_is_faster_than_remote() {
+        let n = NetworkModel::switched_ethernet_100mbps();
+        for &b in &[0usize, 1024, 1 << 20, 1 << 24] {
+            assert!(n.local_transfer(b) < n.remote_transfer(b));
+        }
+    }
+
+    #[test]
+    fn transfer_dispatches_on_same_host() {
+        let n = NetworkModel::switched_ethernet_100mbps();
+        assert_eq!(n.transfer(4096, true), n.local_transfer(4096));
+        assert_eq!(n.transfer(4096, false), n.remote_transfer(4096));
+    }
+}

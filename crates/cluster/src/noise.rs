@@ -1,0 +1,112 @@
+//! Multi-user perturbation noise.
+//!
+//! "The experiments were done at night. However, even then … there are
+//! always unpredictable effects such as network traffic and file server
+//! delays … some users run their own job(s) at night, run screen savers or
+//! have runaway Netscape jobs." (§7)
+//!
+//! The paper evens these out by running five times and averaging. We model
+//! them as a seeded multiplicative slowdown applied to every compute and
+//! transfer duration, so a "run" is reproducible given its seed and the
+//! five-run averaging of Table 1 can be reproduced verbatim.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeded multiplicative noise: every sampled factor lies in
+/// `[1, 1 + amplitude]` with occasional heavier spikes (the runaway
+/// Netscape job).
+#[derive(Clone, Debug)]
+pub struct Perturbation {
+    rng: StdRng,
+    amplitude: f64,
+    spike_probability: f64,
+    spike_amplitude: f64,
+}
+
+impl Perturbation {
+    /// Typical overnight conditions: a few percent baseline jitter, rare
+    /// 30% spikes.
+    pub fn overnight(seed: u64) -> Perturbation {
+        Perturbation::new(seed, 0.04, 0.02, 0.3)
+    }
+
+    /// Fully quiet machines (no perturbation at all).
+    pub fn none() -> Perturbation {
+        Perturbation::new(0, 0.0, 0.0, 0.0)
+    }
+
+    /// Custom noise model.
+    pub fn new(seed: u64, amplitude: f64, spike_probability: f64, spike_amplitude: f64) -> Self {
+        Perturbation {
+            rng: StdRng::seed_from_u64(seed),
+            amplitude,
+            spike_probability,
+            spike_amplitude,
+        }
+    }
+
+    /// Sample the next slowdown factor (≥ 1).
+    pub fn factor(&mut self) -> f64 {
+        let base = 1.0 + self.rng.gen::<f64>() * self.amplitude;
+        if self.spike_probability > 0.0 && self.rng.gen::<f64>() < self.spike_probability {
+            base * (1.0 + self.rng.gen::<f64>() * self.spike_amplitude)
+        } else {
+            base
+        }
+    }
+
+    /// Apply noise to a duration.
+    pub fn perturb(&mut self, seconds: f64) -> f64 {
+        seconds * self.factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_are_at_least_one() {
+        let mut p = Perturbation::overnight(42);
+        for _ in 0..1000 {
+            let f = p.factor();
+            assert!(f >= 1.0);
+            assert!(f < 1.5, "factor unexpectedly large: {f}");
+        }
+    }
+
+    #[test]
+    fn none_is_exactly_one() {
+        let mut p = Perturbation::none();
+        for _ in 0..10 {
+            assert_eq!(p.factor(), 1.0);
+        }
+        assert_eq!(p.perturb(3.25), 3.25);
+    }
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Perturbation::overnight(7);
+        let mut b = Perturbation::overnight(7);
+        for _ in 0..100 {
+            assert_eq!(a.factor(), b.factor());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Perturbation::overnight(1);
+        let mut b = Perturbation::overnight(2);
+        let same = (0..50).filter(|_| a.factor() == b.factor()).count();
+        assert!(same < 5);
+    }
+
+    #[test]
+    fn average_factor_is_modest() {
+        let mut p = Perturbation::overnight(3);
+        let n = 10_000;
+        let avg: f64 = (0..n).map(|_| p.factor()).sum::<f64>() / n as f64;
+        assert!(avg > 1.0 && avg < 1.1, "avg {avg}");
+    }
+}

@@ -1,0 +1,572 @@
+//! The distributed-run simulator.
+//!
+//! Replays the master/worker protocol of `protocolMW.m` on the simulated
+//! cluster in virtual time, event for event:
+//!
+//! 1. the master performs its initialization on the start-up machine;
+//! 2. for every job it raises `create_worker`, waits for the reference,
+//!    activates the worker (forking a task instance on a fresh machine when
+//!    no perpetual idle instance is available — the same
+//!    [`manifold::link::Bundler`] logic as the live runtime),
+//!    and feeds it its input data through the network — all strictly
+//!    serially, because the master is a single process writing to its own
+//!    output port;
+//! 3. workers compute concurrently, each at its host's speed (perturbed by
+//!    the multi-user noise model), push their results back over the
+//!    network, raise `death_worker`, and die — freeing their machine for
+//!    reuse;
+//! 4. the master collects every result, requests the rendezvous, and after
+//!    the acknowledgement proceeds to the prolongation phase.
+//!
+//! Everything the paper measures falls out: the elapsed wall-clock time
+//! (`ct`), the number of machines in use as a function of time (Figure 1),
+//! its time-weighted average (`m`), and the §6-format chronological
+//! `Welcome`/`Bye` trace with virtual timestamps.
+
+use std::collections::HashMap;
+
+use manifold::config::{ConfigSpec, HostName};
+use manifold::link::{Bundler, LinkSpec, Placement};
+use manifold::trace::TraceRecord;
+use manifold::Name;
+
+use crate::des::EventQueue;
+use crate::hosts::ClusterSpec;
+use crate::network::NetworkModel;
+use crate::noise::Perturbation;
+use crate::timeline::StepTrace;
+use crate::workload::Workload;
+
+/// Epoch base for virtual trace timestamps — the very timestamp family the
+/// paper's §6 output shows.
+pub const TRACE_EPOCH_SECS: u64 = 1_048_087_412;
+
+/// Costs of the coordination layer, in seconds. Defaults are calibrated to
+/// 2003-era workstation clusters (rsh-based task forking, PVM-like message
+/// handling); see EXPERIMENTS.md for the calibration against Table 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CoordCosts {
+    /// One-time application start-up (loading the MANIFOLD runtime,
+    /// MLINK/CONFIG processing, first task-instance handshake). Charged to
+    /// the concurrent run only — the sequential binary has none of it.
+    pub startup: f64,
+    /// Raising + dispatching one event between processes.
+    pub event_latency: f64,
+    /// Coordinator-side creation of a worker process instance.
+    pub worker_create: f64,
+    /// Forking a brand-new task instance on a (remote) machine.
+    pub task_fork: f64,
+    /// Extra cost of the very first fork of a run (cold NFS binary load).
+    pub first_fork_extra: f64,
+    /// Activating a process inside an existing task instance.
+    pub activation: f64,
+    /// Entering `Create_Worker_Pool` (spawning the `now`/`t` variables,
+    /// state setup).
+    pub pool_setup: f64,
+}
+
+impl CoordCosts {
+    /// Calibrated 2003-era defaults (rsh-based task forking, NFS-loaded
+    /// binaries); see EXPERIMENTS.md for the calibration against Table 1.
+    pub fn paper_era() -> CoordCosts {
+        CoordCosts {
+            startup: 2.5,
+            event_latency: 1.0e-3,
+            worker_create: 0.15,
+            task_fork: 0.5,
+            first_fork_extra: 3.5,
+            activation: 0.15,
+            pool_setup: 0.3,
+        }
+    }
+}
+
+/// The full simulator configuration.
+#[derive(Clone, Debug)]
+pub struct DistributedSim {
+    /// The machines.
+    pub cluster: ClusterSpec,
+    /// The interconnect.
+    pub network: NetworkModel,
+    /// Coordination-layer costs.
+    pub costs: CoordCosts,
+}
+
+/// Everything a simulated distributed run produces.
+#[derive(Clone, Debug)]
+pub struct DistributedReport {
+    /// Elapsed virtual wall-clock seconds (the paper's `ct` for one run).
+    pub elapsed: f64,
+    /// Busy machines (≥ 1 loaded task instance) over time — Figure 1.
+    pub busy: StepTrace,
+    /// Time-weighted average of busy machines — the `m` column.
+    pub weighted_avg_machines: f64,
+    /// Peak machines in simultaneous use.
+    pub peak_machines: i64,
+    /// Task instances forked over the run.
+    pub task_forks: usize,
+    /// Chronological `Welcome`/`Bye` trace with virtual timestamps.
+    pub records: Vec<TraceRecord>,
+    /// The start-up machine (where the master ran).
+    pub master_host: HostName,
+}
+
+struct WorkerDeath {
+    placement: Placement,
+}
+
+impl DistributedSim {
+    /// The paper's setup: the given cluster with its 100 Mbps switched
+    /// Ethernet and paper-era coordination costs.
+    pub fn new(cluster: ClusterSpec) -> DistributedSim {
+        DistributedSim {
+            cluster,
+            network: NetworkModel::switched_ethernet_100mbps(),
+            costs: CoordCosts::paper_era(),
+        }
+    }
+
+    fn link_spec() -> LinkSpec {
+        // mainprog.mlink from §6.
+        LinkSpec::default()
+            .task("mainprog")
+            .perpetual(true)
+            .load(1)
+            .weight("Master", 1)
+            .weight("Worker", 1)
+    }
+
+    fn config_spec(&self) -> ConfigSpec {
+        let mut spec = ConfigSpec::with_startup(self.cluster.startup().name.clone());
+        let mut vars = Vec::new();
+        for (i, h) in self.cluster.hosts.iter().enumerate().skip(1) {
+            let var = format!("host{i}");
+            spec = spec.host(var.as_str(), h.name.clone());
+            vars.push(var);
+        }
+        let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+        spec.locus("mainprog", &refs)
+    }
+
+    /// Virtual time of the *sequential* program for this workload on the
+    /// start-up machine (the paper's `st` for one run). Noise is applied
+    /// per job, as each grid's solve is an independent stretch of compute.
+    pub fn sequential_time(&self, wl: &Workload, noise: &mut Perturbation) -> f64 {
+        let host = &self.cluster.startup().name;
+        let mut t = self.cluster.compute_time(host, wl.init_flops);
+        for job in wl.pools.iter().flatten() {
+            t += noise.perturb(self.cluster.compute_time(host, job.flops));
+        }
+        t += noise.perturb(self.cluster.compute_time(host, wl.prolong_flops));
+        t
+    }
+
+    /// Simulate one distributed run.
+    pub fn run(&self, wl: &Workload, noise: &mut Perturbation) -> DistributedReport {
+        let mut bundler = Bundler::new(Self::link_spec(), self.config_spec());
+        let master_name = Name::new("Master");
+        let worker_name = Name::new("Worker");
+        let master_placement = bundler.place(&master_name);
+        let master_host = master_placement.host.clone();
+        let master_speed = self.cluster.flops_per_sec(&master_host);
+
+        let mut records: Vec<TraceRecord> = Vec::new();
+        let mut busy_intervals: HashMap<HostName, Vec<(f64, f64)>> = HashMap::new();
+        let mut deaths: EventQueue<WorkerDeath> = EventQueue::new();
+        let mut task_forks = 0usize;
+        let mut next_proc = 2u64; // process ids: master is 1
+        // Single-processor machines: a worker computes only when its host's
+        // CPU is free (earlier workers bundled onto the same machine run
+        // first — FIFO, which has the same makespan as time slicing).
+        let mut cpu_free: HashMap<HostName, f64> = HashMap::new();
+
+        let record = |records: &mut Vec<TraceRecord>,
+                          host: &HostName,
+                          placement: &Placement,
+                          proc_uid: u64,
+                          manifold: &str,
+                          line: u32,
+                          t: f64,
+                          msg: &str| {
+            let micros = (t * 1e6).round() as u64;
+            records.push(TraceRecord {
+                host: host.clone(),
+                task_uid: TraceRecord::task_uid_for(placement.task),
+                proc_uid,
+                secs: TRACE_EPOCH_SECS + micros / 1_000_000,
+                usecs: (micros % 1_000_000) as u32,
+                task_name: placement.task_name.clone(),
+                manifold_name: Name::new(manifold),
+                source_file: "ResSourceCode.c".into(),
+                line,
+                message: msg.into(),
+            });
+        };
+
+        // Application start-up, then master initialization on the start-up
+        // machine.
+        let mut t = self.costs.startup
+            + noise.perturb(self.cluster.compute_time(&master_host, wl.init_flops));
+        record(
+            &mut records,
+            &master_host,
+            &master_placement,
+            1,
+            "Master(port in)",
+            136,
+            t,
+            "Welcome",
+        );
+
+        for pool in &wl.pools {
+            // create_pool + Create_Worker_Pool entry.
+            t += self.costs.event_latency + self.costs.pool_setup;
+            let mut result_arrivals: Vec<(f64, usize)> = Vec::new();
+            let mut last_death_event = t;
+
+            for job in pool {
+                // Master raises create_worker; the coordinator reacts.
+                t += self.costs.event_latency;
+                // Any worker whose task already expired frees its machine
+                // before this placement (perpetual reuse).
+                for (_, d) in deaths.pop_until(t) {
+                    bundler.release(&d.placement);
+                }
+                // Coordinator creates the worker process...
+                t += self.costs.worker_create;
+                let placement = bundler.place(&worker_name);
+                if placement.forked {
+                    task_forks += 1;
+                }
+                let busy_start = t;
+                // ...and sends its reference to the master.
+                t += self.costs.event_latency;
+                // Master activates the worker (forking its task instance if
+                // the bundler had to start a fresh one; the first fork of a
+                // run pays the cold binary load).
+                t += self.costs.activation;
+                if placement.forked {
+                    t += self.costs.task_fork;
+                    if task_forks == 1 {
+                        t += self.costs.first_fork_extra;
+                    }
+                }
+                // Master feeds the worker: serialize + transfer.
+                let same_host = placement.host == master_host;
+                let feed = wl.feed_flops_per_byte * job.input_bytes as f64 / master_speed
+                    + self.network.transfer(job.input_bytes, same_host);
+                t += noise.perturb(feed);
+
+                // The worker computes concurrently from here on — but its
+                // single-processor host may still be running earlier
+                // workers.
+                let cpu = cpu_free.entry(placement.host.clone()).or_insert(0.0);
+                let worker_start = t.max(*cpu);
+                let compute =
+                    noise.perturb(self.cluster.compute_time(&placement.host, job.flops));
+                let worker_end = worker_start + compute;
+                *cpu = worker_end;
+                let flush = self.network.transfer(job.output_bytes, same_host);
+                let result_arrival = worker_end + flush;
+                // The task instance can expire once the result has left its
+                // buffers; the death_worker event reaches the coordinator a
+                // hair after the worker's last action.
+                let release = worker_end + flush;
+                last_death_event =
+                    last_death_event.max(worker_end + self.costs.event_latency);
+
+                let proc_uid = next_proc;
+                next_proc += 1;
+                record(
+                    &mut records,
+                    &placement.host,
+                    &placement,
+                    proc_uid,
+                    "Worker(event)",
+                    351,
+                    worker_start,
+                    "Welcome",
+                );
+                record(
+                    &mut records,
+                    &placement.host,
+                    &placement,
+                    proc_uid,
+                    "Worker(event)",
+                    370,
+                    worker_end,
+                    "Bye",
+                );
+                busy_intervals
+                    .entry(placement.host.clone())
+                    .or_default()
+                    .push((busy_start, release));
+                result_arrivals.push((result_arrival, job.output_bytes));
+                deaths.schedule(release, WorkerDeath { placement });
+            }
+
+            // Collect phase: the master drains its dataport serially, in
+            // arrival order.
+            result_arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (arrival, bytes) in result_arrivals {
+                let handle = wl.collect_flops_per_byte * bytes as f64 / master_speed;
+                t = t.max(arrival) + noise.perturb(handle);
+            }
+
+            // Rendezvous: the coordinator has to count every death_worker.
+            t += self.costs.event_latency;
+            t = t.max(last_death_event) + self.costs.event_latency;
+            for (_, d) in deaths.pop_until(t) {
+                bundler.release(&d.placement);
+            }
+        }
+
+        // Prolongation on the master, then done.
+        t += noise.perturb(self.cluster.compute_time(&master_host, wl.prolong_flops));
+        let elapsed = t;
+        record(
+            &mut records,
+            &master_host,
+            &master_placement,
+            1,
+            "Master(port in)",
+            337,
+            elapsed,
+            "Bye",
+        );
+
+        // The master's machine is busy for the whole run.
+        busy_intervals
+            .entry(master_host.clone())
+            .or_default()
+            .push((0.0, elapsed));
+
+        // Busy-machine step function: union of intervals per host, then one
+        // +1/−1 pair per maximal busy stretch.
+        let mut busy = StepTrace::new();
+        for intervals in busy_intervals.values_mut() {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut current: Option<(f64, f64)> = None;
+            for &(s, e) in intervals.iter() {
+                match current {
+                    Some((cs, ce)) if s <= ce => current = Some((cs, ce.max(e))),
+                    Some((cs, ce)) => {
+                        busy.interval(cs, ce);
+                        current = Some((s, e));
+                    }
+                    None => current = Some((s, e)),
+                }
+            }
+            if let Some((cs, ce)) = current {
+                busy.interval(cs, ce);
+            }
+        }
+
+        records.sort_by_key(|a| (a.secs, a.usecs));
+        let weighted_avg_machines = busy.weighted_average(0.0, elapsed);
+        let peak_machines = busy.peak();
+        DistributedReport {
+            elapsed,
+            busy,
+            weighted_avg_machines,
+            peak_machines,
+            task_forks,
+            records,
+            master_host,
+        }
+    }
+
+    /// Run `runs` seeded repetitions (the paper ran five) and average the
+    /// elapsed time and machine usage. Returns
+    /// `(avg sequential, avg concurrent, avg machines, reports)`.
+    pub fn run_averaged(
+        &self,
+        wl: &Workload,
+        runs: usize,
+        base_seed: u64,
+    ) -> (f64, f64, f64, Vec<DistributedReport>) {
+        assert!(runs > 0);
+        let mut st_sum = 0.0;
+        let mut ct_sum = 0.0;
+        let mut m_sum = 0.0;
+        let mut reports = Vec::with_capacity(runs);
+        for k in 0..runs {
+            let mut seq_noise = Perturbation::overnight(base_seed + 1000 * k as u64);
+            st_sum += self.sequential_time(wl, &mut seq_noise);
+            let mut run_noise = Perturbation::overnight(base_seed + 1000 * k as u64 + 1);
+            let report = self.run(wl, &mut run_noise);
+            ct_sum += report.elapsed;
+            m_sum += report.weighted_avg_machines;
+            reports.push(report);
+        }
+        let n = runs as f64;
+        (st_sum / n, ct_sum / n, m_sum / n, reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hosts::paper_cluster;
+    use crate::workload::Job;
+
+    fn sim() -> DistributedSim {
+        DistributedSim::new(paper_cluster(1e8))
+    }
+
+    fn simple_workload(jobs: usize, flops: f64) -> Workload {
+        Workload {
+            name: "test".into(),
+            init_flops: 1e6,
+            prolong_flops: 1e6,
+            pools: vec![(0..jobs)
+                .map(|k| Job::new(format!("job{k}"), flops, 80_000, 80_000))
+                .collect()],
+            feed_flops_per_byte: 1.0,
+            collect_flops_per_byte: 1.0,
+        }
+    }
+
+    #[test]
+    fn elapsed_is_positive_and_bounded_below() {
+        let sim = sim();
+        let wl = simple_workload(4, 1e9);
+        let mut noise = Perturbation::none();
+        let report = sim.run(&wl, &mut noise);
+        // Concurrent elapsed can never beat the largest single job.
+        let min = sim.cluster.compute_time(&sim.cluster.startup().name, 1e9)
+            / (1466.0 / 1200.0);
+        assert!(report.elapsed > min * 0.99, "{}", report.elapsed);
+        assert!(report.elapsed.is_finite());
+    }
+
+    #[test]
+    fn big_jobs_yield_speedup_small_jobs_do_not() {
+        let sim = sim();
+        let mut noise = Perturbation::none();
+        // Tiny jobs: overheads dominate, speedup < 1 (paper levels < 10).
+        let small = simple_workload(7, 1e6);
+        let st_small = sim.sequential_time(&small, &mut Perturbation::none());
+        let ct_small = sim.run(&small, &mut noise).elapsed;
+        assert!(st_small / ct_small < 1.0, "su {} ", st_small / ct_small);
+        // Huge jobs: real speedup (paper levels ≥ 10).
+        let big = simple_workload(7, 2e11);
+        let st_big = sim.sequential_time(&big, &mut Perturbation::none());
+        let ct_big = sim.run(&big, &mut Perturbation::none()).elapsed;
+        assert!(
+            st_big / ct_big > 2.0,
+            "expected speedup, got {}",
+            st_big / ct_big
+        );
+    }
+
+    #[test]
+    fn machines_grow_with_job_size() {
+        let sim = sim();
+        let small = sim
+            .run(&simple_workload(9, 1e7), &mut Perturbation::none())
+            .weighted_avg_machines;
+        let big = sim
+            .run(&simple_workload(9, 1e11), &mut Perturbation::none())
+            .weighted_avg_machines;
+        assert!(big > small, "big {big} small {small}");
+        assert!(small >= 1.0, "master machine always busy: {small}");
+    }
+
+    #[test]
+    fn peak_machines_bounded_by_cluster_and_jobs() {
+        let sim = sim();
+        let wl = simple_workload(9, 1e11);
+        let report = sim.run(&wl, &mut Perturbation::none());
+        assert!(report.peak_machines as usize <= sim.cluster.len());
+        assert!(report.peak_machines as usize <= 9 + 1);
+        assert!(report.peak_machines >= 2);
+    }
+
+    #[test]
+    fn perpetual_reuse_limits_forks_for_quick_jobs() {
+        let sim = sim();
+        // Jobs so quick every worker dies before the next is placed.
+        let wl = simple_workload(12, 1e5);
+        let report = sim.run(&wl, &mut Perturbation::none());
+        assert!(
+            report.task_forks < 12,
+            "expected task reuse, got {} forks",
+            report.task_forks
+        );
+    }
+
+    #[test]
+    fn long_jobs_fork_one_task_each() {
+        let sim = sim();
+        let wl = simple_workload(5, 1e11);
+        let report = sim.run(&wl, &mut Perturbation::none());
+        assert_eq!(report.task_forks, 5);
+    }
+
+    #[test]
+    fn trace_records_are_chronological_welcome_bye() {
+        let sim = sim();
+        let wl = simple_workload(3, 1e9);
+        let report = sim.run(&wl, &mut Perturbation::none());
+        // Master welcome + bye, 3 workers x (welcome + bye).
+        assert_eq!(report.records.len(), 2 + 6);
+        let times: Vec<u64> = report
+            .records
+            .iter()
+            .map(|r| r.secs * 1_000_000 + r.usecs as u64)
+            .collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(report.records[0].message, "Welcome");
+        assert_eq!(report.records.last().unwrap().message, "Bye");
+        assert_eq!(
+            report.records[0].manifold_name.as_str(),
+            "Master(port in)"
+        );
+    }
+
+    #[test]
+    fn master_host_is_startup_machine() {
+        let sim = sim();
+        let wl = simple_workload(2, 1e8);
+        let report = sim.run(&wl, &mut Perturbation::none());
+        assert_eq!(report.master_host, sim.cluster.startup().name);
+    }
+
+    #[test]
+    fn deterministic_without_noise() {
+        let sim = sim();
+        let wl = simple_workload(6, 1e9);
+        let a = sim.run(&wl, &mut Perturbation::none());
+        let b = sim.run(&wl, &mut Perturbation::none());
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.task_forks, b.task_forks);
+    }
+
+    #[test]
+    fn averaging_runs_are_stable() {
+        let sim = sim();
+        let wl = simple_workload(4, 1e9);
+        let (st, ct, m, reports) = sim.run_averaged(&wl, 5, 42);
+        assert_eq!(reports.len(), 5);
+        assert!(st > 0.0 && ct > 0.0 && m >= 1.0);
+        // Noise is bounded; the five runs agree within ~40%.
+        let min = reports.iter().map(|r| r.elapsed).fold(f64::MAX, f64::min);
+        let max = reports.iter().map(|r| r.elapsed).fold(0.0, f64::max);
+        assert!(max / min < 1.4, "runs too noisy: {min} .. {max}");
+    }
+
+    #[test]
+    fn multiple_pools_are_serialized() {
+        let sim = sim();
+        let one_pool = simple_workload(6, 1e9);
+        let mut two_pools = simple_workload(6, 1e9);
+        let jobs = two_pools.pools.pop().unwrap();
+        let (a, b) = jobs.split_at(3);
+        two_pools.pools = vec![a.to_vec(), b.to_vec()];
+        let ct1 = sim.run(&one_pool, &mut Perturbation::none()).elapsed;
+        let ct2 = sim.run(&two_pools, &mut Perturbation::none()).elapsed;
+        // The pool barrier (rendezvous between pools) can only slow it down.
+        assert!(ct2 >= ct1, "two pools {ct2} vs one pool {ct1}");
+    }
+}

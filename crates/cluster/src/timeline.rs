@@ -1,0 +1,191 @@
+//! Step-function traces: machines-in-use over time.
+//!
+//! Figure 1 of the paper plots "the number of machines needed during the
+//! dynamic expansion and shrinking of our application run" — a step
+//! function assembled from task fork/expiry moments. [`StepTrace`]
+//! accumulates `+1/−1` edges and answers the questions the paper asks of
+//! it: the value at any time, the peak, and the time-weighted average (the
+//! `m` column of Table 1).
+
+/// A right-continuous integer step function built from timestamped deltas.
+#[derive(Clone, Debug, Default)]
+pub struct StepTrace {
+    /// (time, delta) edges, unsorted until finalized.
+    edges: Vec<(f64, i64)>,
+}
+
+impl StepTrace {
+    /// Empty trace.
+    pub fn new() -> StepTrace {
+        StepTrace::default()
+    }
+
+    /// Record a `+1` edge (a machine became busy).
+    pub fn inc(&mut self, t: f64) {
+        self.edges.push((t, 1));
+    }
+
+    /// Record a `−1` edge (a machine went idle).
+    pub fn dec(&mut self, t: f64) {
+        self.edges.push((t, -1));
+    }
+
+    /// Record an interval `[start, end)` of busy time.
+    pub fn interval(&mut self, start: f64, end: f64) {
+        assert!(end >= start, "interval end {end} before start {start}");
+        self.inc(start);
+        self.dec(end);
+    }
+
+    /// The sorted step points `(time, value-after-time)`, merging
+    /// coincident edges.
+    pub fn steps(&self) -> Vec<(f64, i64)> {
+        let mut edges = self.edges.clone();
+        edges.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut out: Vec<(f64, i64)> = Vec::new();
+        let mut level = 0i64;
+        for (t, d) in edges {
+            level += d;
+            match out.last_mut() {
+                Some((lt, lv)) if *lt == t => *lv = level,
+                _ => out.push((t, level)),
+            }
+        }
+        out
+    }
+
+    /// Value of the step function at time `t` (right-continuous).
+    pub fn value_at(&self, t: f64) -> i64 {
+        let mut level = 0;
+        for (time, v) in self.steps() {
+            if time <= t {
+                level = v;
+            } else {
+                break;
+            }
+        }
+        level
+    }
+
+    /// Peak value over the whole trace.
+    pub fn peak(&self) -> i64 {
+        self.steps().iter().map(|&(_, v)| v).max().unwrap_or(0)
+    }
+
+    /// Time-weighted average over `[t0, t1]` — the paper's "weighted
+    /// average of the number of machines used during a run".
+    pub fn weighted_average(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0, "empty averaging window");
+        let steps = self.steps();
+        let mut area = 0.0;
+        let mut level = 0i64;
+        let mut prev = t0;
+        for (t, v) in steps {
+            if t <= t0 {
+                level = v;
+                continue;
+            }
+            if t >= t1 {
+                break;
+            }
+            area += level as f64 * (t - prev);
+            prev = t;
+            level = v;
+        }
+        area += level as f64 * (t1 - prev);
+        area / (t1 - t0)
+    }
+
+    /// Sample the function at `n+1` uniform points over `[t0, t1]`
+    /// (plotting helper for Figure 1).
+    pub fn sample(&self, t0: f64, t1: f64, n: usize) -> Vec<(f64, i64)> {
+        let steps = self.steps();
+        let mut out = Vec::with_capacity(n + 1);
+        let mut cursor = 0usize;
+        let mut level = 0i64;
+        for k in 0..=n {
+            let t = t0 + (t1 - t0) * k as f64 / n as f64;
+            while cursor < steps.len() && steps[cursor].0 <= t {
+                level = steps[cursor].1;
+                cursor += 1;
+            }
+            out.push((t, level));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_interval() {
+        let mut s = StepTrace::new();
+        s.interval(1.0, 3.0);
+        assert_eq!(s.value_at(0.5), 0);
+        assert_eq!(s.value_at(1.0), 1);
+        assert_eq!(s.value_at(2.9), 1);
+        assert_eq!(s.value_at(3.0), 0);
+        assert_eq!(s.peak(), 1);
+    }
+
+    #[test]
+    fn overlapping_intervals_stack() {
+        let mut s = StepTrace::new();
+        s.interval(0.0, 10.0);
+        s.interval(2.0, 6.0);
+        s.interval(4.0, 5.0);
+        assert_eq!(s.value_at(4.5), 3);
+        assert_eq!(s.peak(), 3);
+        assert_eq!(s.value_at(7.0), 1);
+    }
+
+    #[test]
+    fn weighted_average_simple() {
+        let mut s = StepTrace::new();
+        // 1 machine for the first half, 3 for the second.
+        s.interval(0.0, 10.0);
+        s.interval(5.0, 10.0);
+        s.interval(5.0, 10.0);
+        let avg = s.weighted_average(0.0, 10.0);
+        assert!((avg - 2.0).abs() < 1e-12, "{avg}");
+    }
+
+    #[test]
+    fn weighted_average_sub_window() {
+        let mut s = StepTrace::new();
+        s.interval(0.0, 4.0);
+        // Window entirely inside the interval.
+        assert!((s.weighted_average(1.0, 3.0) - 1.0).abs() < 1e-12);
+        // Window extending past the end.
+        assert!((s.weighted_average(2.0, 6.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coincident_edges_merge() {
+        let mut s = StepTrace::new();
+        s.interval(1.0, 2.0);
+        s.interval(2.0, 3.0); // the -1 and +1 at t=2 cancel
+        let steps = s.steps();
+        assert_eq!(steps, vec![(1.0, 1), (2.0, 1), (3.0, 0)]);
+    }
+
+    #[test]
+    fn sample_tracks_steps() {
+        let mut s = StepTrace::new();
+        s.interval(0.0, 1.0);
+        s.interval(2.0, 3.0);
+        let pts = s.sample(0.0, 4.0, 8);
+        let vals: Vec<i64> = pts.iter().map(|&(_, v)| v).collect();
+        assert_eq!(vals, vec![1, 1, 0, 0, 1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn empty_trace_is_zero() {
+        let s = StepTrace::new();
+        assert_eq!(s.peak(), 0);
+        assert_eq!(s.value_at(5.0), 0);
+        assert_eq!(s.weighted_average(0.0, 1.0), 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Workload descriptions consumed by the distributed simulator.
+//!
+//! A workload is the paper's application seen from the protocol's
+//! viewpoint: some sequential master work (initialization, prolongation),
+//! and pools of independent jobs, each with a compute cost (architecture-
+//! independent flops from the solver's [`solver work counter`]) and
+//! input/output payload sizes (what crosses the network).
+//!
+//! [`solver work counter`]: ../solver/work/struct.WorkCounter.html
+
+use serde::{Deserialize, Serialize};
+
+/// One unit of delegable work (one `subsolve(l, m)` in the paper's
+/// application).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Human-readable label (e.g. `subsolve(3, 12)`).
+    pub label: String,
+    /// Compute cost in flops.
+    pub flops: f64,
+    /// Bytes the master must send to the worker.
+    pub input_bytes: usize,
+    /// Bytes the worker sends back.
+    pub output_bytes: usize,
+}
+
+impl Job {
+    /// Construct a job.
+    pub fn new(label: impl Into<String>, flops: f64, input_bytes: usize, output_bytes: usize) -> Job {
+        Job {
+            label: label.into(),
+            flops,
+            input_bytes,
+            output_bytes,
+        }
+    }
+}
+
+/// A complete application run, protocol-shaped.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Description (e.g. `level 15, tol 1.0e-3`).
+    pub name: String,
+    /// Master-side initialization flops (before the first pool).
+    pub init_flops: f64,
+    /// Master-side prolongation flops (after the last pool).
+    pub prolong_flops: f64,
+    /// Pools of jobs, in protocol order. The paper's application uses a
+    /// single pool containing all `2·level + 1` subsolves.
+    pub pools: Vec<Vec<Job>>,
+    /// Master flops spent per byte when preparing a worker's input
+    /// (serializing the global data-structure segment).
+    pub feed_flops_per_byte: f64,
+    /// Master flops spent per byte when storing a result back into the
+    /// global data structure.
+    pub collect_flops_per_byte: f64,
+}
+
+impl Workload {
+    /// Total job count.
+    pub fn job_count(&self) -> usize {
+        self.pools.iter().map(Vec::len).sum()
+    }
+
+    /// Total flops of the equivalent *sequential* program: init + every
+    /// job + prolongation. (The sequential version moves no data.)
+    pub fn sequential_flops(&self) -> f64 {
+        self.init_flops
+            + self.prolong_flops
+            + self
+                .pools
+                .iter()
+                .flatten()
+                .map(|j| j.flops)
+                .sum::<f64>()
+    }
+
+    /// Largest single job (the lower bound on the concurrent critical
+    /// path).
+    pub fn max_job_flops(&self) -> f64 {
+        self.pools
+            .iter()
+            .flatten()
+            .map(|j| j.flops)
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wl() -> Workload {
+        Workload {
+            name: "test".into(),
+            init_flops: 10.0,
+            prolong_flops: 5.0,
+            pools: vec![
+                vec![Job::new("a", 100.0, 8, 16), Job::new("b", 200.0, 8, 16)],
+                vec![Job::new("c", 50.0, 8, 16)],
+            ],
+            feed_flops_per_byte: 1.0,
+            collect_flops_per_byte: 1.0,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let w = wl();
+        assert_eq!(w.job_count(), 3);
+        assert_eq!(w.sequential_flops(), 365.0);
+        assert_eq!(w.max_job_flops(), 200.0);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = Workload {
+            name: "empty".into(),
+            init_flops: 1.0,
+            prolong_flops: 2.0,
+            pools: vec![],
+            feed_flops_per_byte: 0.0,
+            collect_flops_per_byte: 0.0,
+        };
+        assert_eq!(w.job_count(), 0);
+        assert_eq!(w.sequential_flops(), 3.0);
+        assert_eq!(w.max_job_flops(), 0.0);
+    }
+}

@@ -1,0 +1,490 @@
+//! Coordinators: the manager side of IWIM, as an embedded DSL.
+//!
+//! A coordinator never computes; it creates and activates processes, wires
+//! their ports together with streams, and reacts to events by *preempting*
+//! its current state (dismantling that state's streams according to their
+//! types) and transitioning to another.
+//!
+//! The embedding maps MANIFOLD constructs onto Rust as follows:
+//!
+//! | MANIFOLD                         | here                                   |
+//! |----------------------------------|----------------------------------------|
+//! | `manner F(…) { … }`              | `fn f(coord: &mut Coord, …) -> MfResult<…>` |
+//! | a state with stream connections  | [`Coord::state`] + [`StateScope`] methods |
+//! | `IDLE` / wait in a state         | [`StateScope::idle`]                    |
+//! | `terminated(p)` in a state body  | [`StateScope::until_terminated`]        |
+//! | `priority a > b`                 | pattern order in the wait list          |
+//! | state preemption                 | [`StateScope`] drop (dismantles streams)|
+//! | `post(e)`                        | [`Coord::post`]                         |
+//! | `raise(e)`                       | [`Coord::raise`]                        |
+//! | `ignore e` (block declaration)   | [`Coord::with_ignore`]                  |
+//! | `process p is M(...)` + `activate` | [`Coord::create_atomic`] + [`Coord::activate`] |
+//! | `&p -> q` (send a reference)     | [`StateScope::send`] with a [`Unit::ProcessRef`] |
+//!
+//! Counters such as the paper's `now` and `t` variables can be ordinary Rust
+//! locals inside the coordinator, or — for fidelity — instances of the
+//! predefined [`variable`](crate::builtin::Variable) process.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::env::Environment;
+use crate::error::MfResult;
+use crate::event::{EventOccurrence, EventPattern};
+use crate::ident::{Name, ProcessId};
+use crate::process::{AtomicProcess, ProcessCtx, ProcessRef};
+use crate::stream::{Stream, StreamType};
+use crate::unit::Unit;
+
+/// How a state was exited when it was waiting on both events and a process
+/// termination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StateExit {
+    /// The watched process terminated.
+    Terminated(ProcessId),
+    /// An event occurrence matched one of the wait patterns.
+    Event(EventOccurrence),
+}
+
+impl StateExit {
+    /// The occurrence, if this exit was an event.
+    pub fn event(&self) -> Option<&EventOccurrence> {
+        match self {
+            StateExit::Event(e) => Some(e),
+            StateExit::Terminated(_) => None,
+        }
+    }
+}
+
+/// The coordinator context: a [`ProcessCtx`] plus the monopoly on creating
+/// processes and connecting streams.
+pub struct Coord {
+    ctx: ProcessCtx,
+    env: Environment,
+}
+
+impl Coord {
+    /// Wrap a process context (normally done by
+    /// [`Environment::run_coordinator`]).
+    pub fn new(ctx: ProcessCtx, env: Environment) -> Self {
+        Coord { ctx, env }
+    }
+
+    /// The coordinator's own process context.
+    pub fn ctx(&self) -> &ProcessCtx {
+        &self.ctx
+    }
+
+    /// The environment this coordinator lives in.
+    pub fn env(&self) -> &Environment {
+        &self.env
+    }
+
+    /// A reference to the coordinator process itself.
+    pub fn self_ref(&self) -> ProcessRef {
+        self.ctx.self_ref()
+    }
+
+    /// Create an atomic process instance (not yet activated) and start
+    /// observing its events — mirroring `process p is M(…)`, after which the
+    /// creating coordinator is tuned to `p`'s events.
+    pub fn create_atomic(&self, manifold: impl Into<Name>, body: impl AtomicProcess) -> ProcessRef {
+        let p = self.env.create_process(manifold, body);
+        self.ctx.watch(&p);
+        p
+    }
+
+    /// Activate a created process (`activate p`).
+    pub fn activate(&self, p: &ProcessRef) -> MfResult<()> {
+        self.env.activate(p)
+    }
+
+    /// Begin observing an existing process (e.g. one received as a manner
+    /// parameter, like `master` in `ProtocolMW`).
+    pub fn watch(&self, p: &ProcessRef) {
+        self.ctx.watch(p);
+    }
+
+    /// Raise an event, delivered to whoever observes this coordinator.
+    pub fn raise(&self, event: impl Into<Name>) {
+        self.ctx.raise(event);
+    }
+
+    /// Post an event into the coordinator's own memory (`post(begin)`).
+    pub fn post(&self, event: impl Into<Name>) {
+        self.ctx.post(event);
+    }
+
+    /// Read from one of the coordinator's own ports.
+    pub fn read(&self, port: impl Into<Name>) -> MfResult<Unit> {
+        self.ctx.read(port)
+    }
+
+    /// Read with a deadline.
+    pub fn read_timeout(&self, port: impl Into<Name>, t: Duration) -> MfResult<Unit> {
+        self.ctx.read_timeout(port, t)
+    }
+
+    /// Write to one of the coordinator's own ports.
+    pub fn write(&self, port: impl Into<Name>, unit: Unit) -> MfResult<()> {
+        self.ctx.write(port, unit)
+    }
+
+    /// Wait for an event matching one of `patterns` (no streams involved).
+    /// Pattern order is priority order.
+    pub fn wait_events(&self, patterns: &[EventPattern]) -> MfResult<EventOccurrence> {
+        self.ctx.wait_event(patterns)
+    }
+
+    /// Like [`Coord::wait_events`] with a deadline.
+    pub fn wait_events_timeout(
+        &self,
+        patterns: &[EventPattern],
+        t: Duration,
+    ) -> MfResult<EventOccurrence> {
+        self.ctx.wait_event_timeout(patterns, t)
+    }
+
+    /// Enter a new state: stream connections made through the returned
+    /// [`StateScope`] are dismantled (per their [`StreamType`]) when the
+    /// scope ends — i.e. when the state is preempted.
+    pub fn state(&self) -> StateScope<'_> {
+        StateScope {
+            coord: self,
+            streams: Vec::new(),
+        }
+    }
+
+    /// Run `body` as a block that declared `ignore e` for each listed
+    /// event: on exit, pending occurrences of those events are purged from
+    /// the coordinator's memory (the paper's `ignore death.`).
+    pub fn with_ignore<R>(
+        &self,
+        ignored: &[&str],
+        body: impl FnOnce(&Coord) -> MfResult<R>,
+    ) -> MfResult<R> {
+        let result = body(self);
+        for e in ignored {
+            self.ctx.core().events().purge_named(&Name::new(*e));
+        }
+        result
+    }
+}
+
+impl std::fmt::Debug for Coord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Coord({:?})", self.ctx.id())
+    }
+}
+
+/// One coordinator state: a set of stream connections plus a wait.
+///
+/// Dropping the scope — or consuming it via [`StateScope::idle`] /
+/// [`StateScope::until_terminated`] — *preempts* the state: every stream
+/// created in it is dismantled according to its type (`BK` streams are
+/// broken at their source, `KK` streams survive, …).
+pub struct StateScope<'c> {
+    coord: &'c Coord,
+    streams: Vec<Arc<Stream>>,
+}
+
+impl<'c> StateScope<'c> {
+    fn track(&mut self, s: Arc<Stream>) -> Arc<Stream> {
+        self.streams.push(s.clone());
+        s
+    }
+
+    /// Connect `src.src_port -> dst.dst_port` with a stream of type `ty`.
+    pub fn connect(
+        &mut self,
+        src: &ProcessRef,
+        src_port: impl Into<Name>,
+        dst: &ProcessRef,
+        dst_port: impl Into<Name>,
+        ty: StreamType,
+    ) -> MfResult<Arc<Stream>> {
+        let s = Stream::new(ty);
+        src.port(src_port).attach_outgoing(&s);
+        dst.port(dst_port).attach_incoming(&s);
+        Ok(self.track(s))
+    }
+
+    /// Connect a process's output into one of the *coordinator's own* ports
+    /// (`p.output -> self.port`).
+    pub fn connect_to_self(
+        &mut self,
+        src: &ProcessRef,
+        src_port: impl Into<Name>,
+        own_port: impl Into<Name>,
+        ty: StreamType,
+    ) -> MfResult<Arc<Stream>> {
+        let me = self.coord.self_ref();
+        self.connect(src, src_port, &me, own_port, ty)
+    }
+
+    /// Connect one of the coordinator's own ports into a process
+    /// (`self.port -> p.input`).
+    pub fn connect_from_self(
+        &mut self,
+        own_port: impl Into<Name>,
+        dst: &ProcessRef,
+        dst_port: impl Into<Name>,
+        ty: StreamType,
+    ) -> MfResult<Arc<Stream>> {
+        let me = self.coord.self_ref();
+        self.connect(&me, own_port, dst, dst_port, ty)
+    }
+
+    /// Send a constant unit into a process port — the MANIFOLD idiom
+    /// `&worker -> master` (the unit's producer is the coordinator itself,
+    /// via a one-shot preloaded stream).
+    pub fn send(
+        &mut self,
+        unit: Unit,
+        dst: &ProcessRef,
+        dst_port: impl Into<Name>,
+    ) -> MfResult<Arc<Stream>> {
+        let s = Stream::preloaded(StreamType::BK, [unit]);
+        dst.port(dst_port).attach_incoming(&s);
+        Ok(self.track(s))
+    }
+
+    /// Send a process reference (`&p -> dst.port`).
+    pub fn send_ref(
+        &mut self,
+        p: &ProcessRef,
+        dst: &ProcessRef,
+        dst_port: impl Into<Name>,
+    ) -> MfResult<Arc<Stream>> {
+        self.send(Unit::ProcessRef(p.clone()), dst, dst_port)
+    }
+
+    /// `IDLE`: stay in this state until an event matching one of `patterns`
+    /// arrives (pattern order = priority), then preempt the state
+    /// (dismantling its streams) and return the occurrence.
+    pub fn idle(self, patterns: &[EventPattern]) -> MfResult<EventOccurrence> {
+        let occ = self.coord.ctx.wait_event(patterns);
+        // `self` drops here, dismantling the state's streams.
+        occ
+    }
+
+    /// Like [`StateScope::idle`] with a deadline.
+    pub fn idle_timeout(
+        self,
+        patterns: &[EventPattern],
+        t: Duration,
+    ) -> MfResult<EventOccurrence> {
+        self.coord.ctx.wait_event_timeout(patterns, t)
+    }
+
+    /// `terminated(p)` with event sensitivity: wait until either `p`
+    /// terminates or an event matching `patterns` arrives. Events take
+    /// precedence when both are pending (they *preempt* the state).
+    pub fn until_terminated(
+        self,
+        p: &ProcessRef,
+        patterns: &[EventPattern],
+    ) -> MfResult<StateExit> {
+        let mut pats: Vec<EventPattern> = patterns.to_vec();
+        pats.push(EventPattern::Terminated(p.id()));
+        let (idx, occ) = self.coord.ctx.core().events().wait_select(&pats)?;
+        Ok(if idx == pats.len() - 1 && occ.is_termination_of(p.id()) {
+            StateExit::Terminated(p.id())
+        } else {
+            StateExit::Event(occ)
+        })
+    }
+
+    /// Number of streams created in this state so far (diagnostics).
+    pub fn stream_count(&self) -> usize {
+        self.streams.len()
+    }
+}
+
+impl Drop for StateScope<'_> {
+    fn drop(&mut self) {
+        for s in &self.streams {
+            s.dismantle();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Environment;
+    use crate::error::MfError;
+
+    /// A worker that reads one number, doubles it, writes it back, raises
+    /// `done`, and dies.
+    fn doubler(ctx: ProcessCtx) -> MfResult<()> {
+        let x = ctx.read("input")?.expect_real()?;
+        ctx.write("output", Unit::real(2.0 * x))?;
+        ctx.raise("done");
+        Ok(())
+    }
+
+    #[test]
+    fn state_scope_dismantles_bk_on_drop() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let w = coord.create_atomic("W", |ctx: ProcessCtx| {
+                // Reads two units; the second must come through a *new*
+                // stream after the first state is preempted.
+                let a = ctx.read("input")?.expect_int()?;
+                let b = ctx.read("input")?.expect_int()?;
+                ctx.post(if (a, b) == (1, 2) { "ok" } else { "bad" });
+                ctx.read("never")?; // park until shutdown
+                Ok(())
+            });
+            coord.activate(&w)?;
+            let me = coord.self_ref();
+            {
+                let mut st = coord.state();
+                let s = st.send(Unit::int(1), &w, "input")?;
+                // Stream carrying 1 is preempted (BK): already-queued unit
+                // still readable by w.
+                drop(st);
+                assert!(!s.source_open());
+            }
+            {
+                let mut st = coord.state();
+                st.send(Unit::int(2), &w, "input")?;
+                drop(st);
+            }
+            // Give the worker a moment to process.
+            std::thread::sleep(Duration::from_millis(50));
+            assert_eq!(w.core().events().len(), 1);
+            let _ = me;
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+    }
+
+    #[test]
+    fn coordinator_receives_worker_event() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let w = coord.create_atomic("W", doubler);
+            coord.activate(&w)?;
+            let mut st = coord.state();
+            st.send(Unit::real(4.0), &w, "input")?;
+            st.connect_to_self(&w, "output", "input", StreamType::BK)?;
+            let occ = st.idle(&["done".into()])?;
+            assert_eq!(occ.source, w.id());
+            let v = coord.read("input")?.expect_real()?;
+            assert_eq!(v, 8.0);
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+    }
+
+    #[test]
+    fn until_terminated_returns_termination() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let w = coord.create_atomic("Quick", |_ctx: ProcessCtx| Ok(()));
+            coord.activate(&w)?;
+            let st = coord.state();
+            match st.until_terminated(&w, &[])? {
+                StateExit::Terminated(id) => assert_eq!(id, w.id()),
+                other => panic!("expected termination, got {other:?}"),
+            }
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+    }
+
+    #[test]
+    fn until_terminated_event_takes_precedence() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let w = coord.create_atomic("Raiser", |ctx: ProcessCtx| {
+                ctx.raise("hello");
+                // Stay alive long enough that the event is seen first.
+                let _ = ctx.read_timeout("input", Duration::from_millis(200));
+                Ok(())
+            });
+            coord.activate(&w)?;
+            let st = coord.state();
+            match st.until_terminated(&w, &["hello".into()])? {
+                StateExit::Event(e) => assert_eq!(e.name().unwrap(), "hello"),
+                other => panic!("expected event, got {other:?}"),
+            }
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+    }
+
+    #[test]
+    fn process_reference_travels_through_stream() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let w = coord.create_atomic("Target", |_ctx: ProcessCtx| Ok(()));
+            let reader = coord.create_atomic("Reader", |ctx: ProcessCtx| {
+                let r = ctx.read("input")?.expect_process_ref()?;
+                ctx.post(format!("got-{}", r.manifold_name()));
+                Ok(())
+            });
+            coord.activate(&reader)?;
+            let mut st = coord.state();
+            st.send_ref(&w, &reader, "input")?;
+            drop(st);
+            reader.core().wait_terminated(Duration::from_secs(5)).unwrap();
+            assert!(reader
+                .core()
+                .events()
+                .try_select(&["got-Target".into()])
+                .is_some());
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+    }
+
+    #[test]
+    fn with_ignore_purges_on_exit() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            coord.post("death");
+            coord.post("keep");
+            coord.with_ignore(&["death"], |_c| Ok(()))?;
+            let mem = coord.ctx().core().events();
+            assert!(mem.try_select(&["death".into()]).is_none());
+            assert!(mem.try_select(&["keep".into()]).is_some());
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+    }
+
+    #[test]
+    fn priority_order_in_idle() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            coord.post("rendezvous");
+            coord.post("create_worker");
+            let st = coord.state();
+            let occ = st.idle(&["create_worker".into(), "rendezvous".into()])?;
+            assert_eq!(occ.name().unwrap(), "create_worker");
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+    }
+
+    #[test]
+    fn idle_timeout_expires() {
+        let env = Environment::new();
+        let r = env.run_coordinator("Main", |coord| {
+            let st = coord.state();
+            st.idle_timeout(&["never".into()], Duration::from_millis(30))
+        });
+        assert_eq!(r, Err(MfError::Timeout));
+        env.shutdown();
+    }
+}

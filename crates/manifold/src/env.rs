@@ -1,0 +1,398 @@
+//! The environment: process registry, activation, task-instance
+//! bookkeeping, and teardown.
+//!
+//! An [`Environment`] is the in-process analogue of a running MANIFOLD
+//! application: it assigns process ids, applies the MLINK/CONFIG placement
+//! rules through a [`Bundler`], spawns one thread per activated process, and
+//! tears everything down at shutdown.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::config::ConfigSpec;
+use crate::coord::Coord;
+use crate::error::{MfError, MfResult};
+use crate::ident::{Name, ProcessId};
+use crate::link::{Bundler, LinkSpec};
+use crate::process::{AtomicProcess, LifeState, ProcessCore, ProcessCtx, ProcessRef};
+use crate::trace::{Clock, TraceSink};
+
+pub(crate) struct EnvShared {
+    next_pid: AtomicU64,
+    processes: Mutex<HashMap<ProcessId, Arc<ProcessCore>>>,
+    bundler: Mutex<Bundler>,
+    trace: Arc<TraceSink>,
+    clock: Clock,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running MANIFOLD application instance.
+///
+/// Cheap to clone (all clones share the same state). Create processes with
+/// [`Environment::create_process`], start them with
+/// [`Environment::activate`], and drive the whole application from a root
+/// coordinator via [`Environment::run_coordinator`].
+#[derive(Clone)]
+pub struct Environment {
+    shared: Arc<EnvShared>,
+}
+
+impl Default for Environment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Environment {
+    /// Environment with default (single-task, localhost) link/config specs
+    /// and the system clock.
+    pub fn new() -> Self {
+        Self::with_specs(LinkSpec::default(), ConfigSpec::local())
+    }
+
+    /// Environment with explicit MLINK and CONFIG specifications.
+    pub fn with_specs(link: LinkSpec, config: ConfigSpec) -> Self {
+        Self::with_specs_and_clock(link, config, Clock::System)
+    }
+
+    /// Full control: specs plus the trace clock (virtual clocks are used by
+    /// the cluster simulator).
+    pub fn with_specs_and_clock(link: LinkSpec, config: ConfigSpec, clock: Clock) -> Self {
+        Environment {
+            shared: Arc::new(EnvShared {
+                next_pid: AtomicU64::new(1),
+                processes: Mutex::new(HashMap::new()),
+                bundler: Mutex::new(Bundler::new(link, config)),
+                trace: Arc::new(TraceSink::new()),
+                clock,
+                threads: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The shared trace sink (§6-format chronological output).
+    pub fn trace(&self) -> &Arc<TraceSink> {
+        &self.shared.trace
+    }
+
+    /// Echo trace records to stderr as they are produced.
+    pub fn echo_trace(&self, on: bool) {
+        self.shared.trace.set_echo(on);
+    }
+
+    /// Inspect the bundler (machines in use, task instances, …).
+    pub fn with_bundler<R>(&self, f: impl FnOnce(&Bundler) -> R) -> R {
+        f(&self.shared.bundler.lock())
+    }
+
+    fn next_id(&self) -> ProcessId {
+        ProcessId(self.shared.next_pid.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Create (but do not activate) an atomic process instance of the named
+    /// manifold.
+    pub fn create_process(
+        &self,
+        manifold_name: impl Into<Name>,
+        body: impl AtomicProcess,
+    ) -> ProcessRef {
+        let core = ProcessCore::new(
+            self.next_id(),
+            manifold_name,
+            self.shared.trace.clone(),
+            self.shared.clock.clone(),
+        );
+        *core.body.lock() = Some(Box::new(body));
+        self.shared.processes.lock().insert(core.id(), core.clone());
+        ProcessRef::new(core)
+    }
+
+    /// Look up a live process by id.
+    pub fn process(&self, id: ProcessId) -> Option<ProcessRef> {
+        self.shared
+            .processes
+            .lock()
+            .get(&id)
+            .cloned()
+            .map(ProcessRef::new)
+    }
+
+    /// Activate a created process: place it in a task instance per the
+    /// MLINK/CONFIG rules and start its body on a fresh thread.
+    pub fn activate(&self, p: &ProcessRef) -> MfResult<()> {
+        let core = p.core().clone();
+        if core.life_state() != LifeState::Created {
+            return Err(MfError::AlreadyActive(core.id()));
+        }
+        let body = core
+            .body
+            .lock()
+            .take()
+            .ok_or(MfError::AlreadyActive(core.id()))?;
+        let placement = self
+            .shared
+            .bundler
+            .lock()
+            .place(core.manifold_name());
+        core.set_placement(placement.clone());
+        // Task-instance load bookkeeping when the process goes away.
+        let env = self.clone();
+        let pl = placement.clone();
+        core.on_terminate(move || {
+            env.shared.bundler.lock().release(&pl);
+        });
+        core.set_life(LifeState::Active);
+        let ctx = ProcessCtx::new(core.clone());
+        let handle = std::thread::Builder::new()
+            .name(format!("{}#{}", core.manifold_name(), core.id()))
+            .spawn(move || {
+                let result = body.run(ctx);
+                match result {
+                    Ok(()) | Err(MfError::Killed) => {}
+                    Err(e) => core.record_failure(e),
+                }
+                core.terminate();
+            })
+            .expect("thread spawn");
+        self.shared.threads.lock().push(handle);
+        Ok(())
+    }
+
+    fn make_coordinator_core(&self, name: &Name) -> Arc<ProcessCore> {
+        let core = ProcessCore::new(
+            self.next_id(),
+            name.clone(),
+            self.shared.trace.clone(),
+            self.shared.clock.clone(),
+        );
+        let placement = self.shared.bundler.lock().place(name);
+        core.set_placement(placement.clone());
+        let env = self.clone();
+        core.on_terminate(move || {
+            env.shared.bundler.lock().release(&placement);
+        });
+        core.set_life(LifeState::Active);
+        self.shared.processes.lock().insert(core.id(), core.clone());
+        core
+    }
+
+    /// Run a coordinator on the *current* thread until it returns. This is
+    /// how an application's `Main` manifold is entered.
+    pub fn run_coordinator<R>(
+        &self,
+        name: impl Into<Name>,
+        f: impl FnOnce(&mut Coord) -> MfResult<R>,
+    ) -> MfResult<R> {
+        let name = name.into();
+        let core = self.make_coordinator_core(&name);
+        let mut coord = Coord::new(ProcessCtx::new(core.clone()), self.clone());
+        let result = f(&mut coord);
+        core.terminate();
+        result
+    }
+
+    /// Run a coordinator on a new thread; returns its process reference.
+    pub fn spawn_coordinator(
+        &self,
+        name: impl Into<Name>,
+        f: impl FnOnce(&mut Coord) -> MfResult<()> + Send + 'static,
+    ) -> ProcessRef {
+        let name = name.into();
+        let core = self.make_coordinator_core(&name);
+        let env = self.clone();
+        let core2 = core.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("{}#{}", name, core.id()))
+            .spawn(move || {
+                let mut coord = Coord::new(ProcessCtx::new(core2.clone()), env);
+                let result = f(&mut coord);
+                if let Err(e) = result {
+                    if e != MfError::Killed {
+                        core2.record_failure(e);
+                    }
+                }
+                core2.terminate();
+            })
+            .expect("thread spawn");
+        self.shared.threads.lock().push(handle);
+        ProcessRef::new(core)
+    }
+
+    /// Block until the given process terminates.
+    pub fn join_process(&self, p: &ProcessRef, timeout: Duration) -> MfResult<()> {
+        p.core().wait_terminated(timeout)
+    }
+
+    /// Kill every process (their blocking operations return
+    /// [`MfError::Killed`]) and join all threads.
+    pub fn shutdown(&self) {
+        let procs: Vec<Arc<ProcessCore>> =
+            self.shared.processes.lock().values().cloned().collect();
+        for p in &procs {
+            p.kill();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+        for p in &procs {
+            p.terminate();
+        }
+    }
+
+    /// Join all spawned threads without killing (application ran to
+    /// completion on its own).
+    pub fn join_all(&self) {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.threads.lock());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Errors recorded by failed process bodies (excluding clean kills).
+    pub fn failures(&self) -> Vec<(ProcessId, MfError)> {
+        self.shared
+            .processes
+            .lock()
+            .values()
+            .filter_map(|c| c.failure().map(|e| (c.id(), e)))
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for Environment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Environment")
+            .field("processes", &self.shared.processes.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::Unit;
+
+    #[test]
+    fn atomic_process_runs_and_terminates() {
+        let env = Environment::new();
+        let p = env.create_process("P", |ctx: ProcessCtx| {
+            ctx.post("ran");
+            Ok(())
+        });
+        assert_eq!(p.life_state(), LifeState::Created);
+        env.activate(&p).unwrap();
+        p.core().wait_terminated(Duration::from_secs(5)).unwrap();
+        assert_eq!(p.life_state(), LifeState::Terminated);
+        env.shutdown();
+    }
+
+    #[test]
+    fn double_activation_rejected() {
+        let env = Environment::new();
+        let p = env.create_process("P", |_ctx: ProcessCtx| Ok(()));
+        env.activate(&p).unwrap();
+        assert!(matches!(
+            env.activate(&p),
+            Err(MfError::AlreadyActive(_))
+        ));
+        env.shutdown();
+    }
+
+    #[test]
+    fn failures_are_recorded() {
+        let env = Environment::new();
+        let p = env.create_process("P", |_ctx: ProcessCtx| {
+            Err(MfError::App("boom".into()))
+        });
+        env.activate(&p).unwrap();
+        p.core().wait_terminated(Duration::from_secs(5)).unwrap();
+        let fails = env.failures();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].1, MfError::App("boom".into()));
+        env.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_stuck_process() {
+        let env = Environment::new();
+        let p = env.create_process("Stuck", |ctx: ProcessCtx| {
+            // Blocks forever: no stream will ever feed this port.
+            let _ = ctx.read("input")?;
+            Ok(())
+        });
+        env.activate(&p).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        env.shutdown();
+        assert_eq!(p.life_state(), LifeState::Terminated);
+    }
+
+    #[test]
+    fn run_coordinator_round_trip() {
+        let env = Environment::new();
+        let out = env.run_coordinator("Main", |coord| {
+            let echo = coord.create_atomic("Echo", |ctx: ProcessCtx| {
+                let u = ctx.read("input")?;
+                ctx.write("output", u)?;
+                Ok(())
+            });
+            coord.activate(&echo)?;
+            let mut st = coord.state();
+            st.send(Unit::int(5), &echo, "input")?;
+            st.connect_to_self(&echo, "output", "input", crate::stream::StreamType::BK)?;
+            // Read while the state (and its BK stream) is still up.
+            let u = coord.read("input");
+            drop(st);
+            u
+        });
+        assert_eq!(out.unwrap().as_int(), Some(5));
+        env.shutdown();
+    }
+
+    #[test]
+    fn placement_uses_bundler() {
+        let link = LinkSpec::default().load(1).weight("Worker", 1).task("t");
+        let config = ConfigSpec::with_startup("start")
+            .host("a", "m1")
+            .host("b", "m2")
+            .locus("t", &["a", "b"]);
+        let env = Environment::with_specs(link, config);
+        // Workers park on a read so both are placed simultaneously.
+        let w1 = env.create_process("Worker", |ctx: ProcessCtx| {
+            let _ = ctx.read("input")?;
+            Ok(())
+        });
+        let w2 = env.create_process("Worker", |ctx: ProcessCtx| {
+            let _ = ctx.read("input")?;
+            Ok(())
+        });
+        env.activate(&w1).unwrap();
+        env.activate(&w2).unwrap();
+        let p1 = w1.core().placement().unwrap();
+        let p2 = w2.core().placement().unwrap();
+        assert_ne!(p1.task, p2.task, "load-1 workers need distinct instances");
+        // First worker filled the start-up instance; second forked out.
+        assert_eq!(p1.host.as_str(), "start");
+        assert!(p2.forked);
+        env.shutdown();
+    }
+
+    #[test]
+    fn spawn_coordinator_runs_concurrently() {
+        let env = Environment::new();
+        let flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let f2 = flag.clone();
+        let c = env.spawn_coordinator("Side", move |_coord| {
+            f2.store(true, Ordering::SeqCst);
+            Ok(())
+        });
+        c.core().wait_terminated(Duration::from_secs(5)).unwrap();
+        assert!(flag.load(Ordering::SeqCst));
+        env.shutdown();
+    }
+}

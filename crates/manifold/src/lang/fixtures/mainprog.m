@@ -1,0 +1,18 @@
+// mainprog.m
+
+//pragma include "ResSourceCode.h"
+
+#include "protocolMW.h"
+
+manifold Worker(event) atomic.
+
+manifold Master(port in p) port in input. port in dataport.
+    port out output. port out error.
+    atomic {internal. event create_pool, create_worker,
+        rendezvous, a_rendezvous, finished}.
+
+/***************************************************/
+manifold Main(process argv)
+{
+    begin: ProtocolMW(Master(argv), Worker).
+}

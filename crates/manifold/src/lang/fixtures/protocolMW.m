@@ -1,0 +1,66 @@
+// protocolMW.m
+
+#include "MBL.h"
+
+#include "rdid.h"
+
+#include "protocolMW.h"
+
+#define IDLE terminated (void)
+
+/*******************************************************/
+manner Create_Worker_Pool(
+    process master <input, dataport / output, error>,
+    manifold Worker(event) )
+{
+    save *.
+    ignore death.
+
+    auto process now is variable(0).
+    auto process t is variable(0).
+
+    event death_worker.
+
+    priority create_worker > rendezvous.
+
+    begin: (MES("begin"), preemptall, IDLE).
+
+    create_worker: {
+        hold worker.
+
+        process worker is Worker(death_worker).
+
+        stream KK worker -> master.dataport.
+
+        begin: now = now + 1;
+            (MES("create_worker: begin"),
+             &worker -> master -> worker -> master.dataport, IDLE).
+    }.
+
+    rendezvous: {
+        begin: (preemptall, IDLE).
+
+        death_worker: t = t + 1;
+            if (t < now) then (
+                post (begin)
+            ) else (
+                post (end)
+            ).
+    }.
+
+    end: (MES("rendezvous acknowledged"), raise(a_rendezvous)).
+}
+
+/*******************************************************/
+export manner ProtocolMW(
+    process master <input, dataport / output, error>,
+    manifold Worker(event) )
+{
+    save *.
+
+    begin: terminated(master).
+
+    create_pool: Create_Worker_Pool(master, Worker); post (begin).
+
+    finished: halt.
+}

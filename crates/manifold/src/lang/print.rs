@@ -1,0 +1,327 @@
+//! Pretty-printer: AST → MANIFOLD source.
+//!
+//! `parse(print(program))` is the identity on the AST (tested on the
+//! paper's fixtures), which pins down both directions of the front-end.
+
+use crate::lang::ast::*;
+
+/// Render a whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for inc in &p.includes {
+        out.push_str(&format!("#include \"{inc}\"\n"));
+    }
+    for pr in &p.pragmas {
+        out.push_str(&format!("//pragma {pr}\n"));
+    }
+    for item in &p.items {
+        out.push('\n');
+        out.push_str(&print_item(item));
+    }
+    out
+}
+
+fn print_item(item: &Item) -> String {
+    match item {
+        Item::Manner {
+            export,
+            name,
+            params,
+            body,
+        } => {
+            let exp = if *export { "export " } else { "" };
+            format!(
+                "{exp}manner {name}({})\n{}\n",
+                print_params(params),
+                print_block(body, 0)
+            )
+        }
+        Item::Manifold {
+            name,
+            params,
+            ports,
+            atomic,
+            atomic_events,
+            body,
+        } => {
+            let mut s = format!("manifold {name}");
+            if !params.is_empty() {
+                s.push_str(&format!("({})", print_params(params)));
+            }
+            for p in ports {
+                s.push_str(&format!(
+                    " port {} {}.",
+                    if p.is_input { "in" } else { "out" },
+                    p.name
+                ));
+            }
+            if *atomic {
+                s.push_str(" atomic");
+                if !atomic_events.is_empty() {
+                    s.push_str(&format!(
+                        " {{internal. event {}}}",
+                        atomic_events.join(", ")
+                    ));
+                }
+                s.push_str(".\n");
+            } else if let Some(b) = body {
+                s.push('\n');
+                s.push_str(&print_block(b, 0));
+                s.push('\n');
+            } else {
+                s.push_str(".\n");
+            }
+            s
+        }
+    }
+}
+
+fn print_params(params: &[Param]) -> String {
+    params
+        .iter()
+        .map(|p| match p {
+            Param::Process {
+                name,
+                inputs,
+                outputs,
+            } => {
+                if inputs.is_empty() && outputs.is_empty() {
+                    format!("process {name}")
+                } else {
+                    format!(
+                        "process {name} <{} / {}>",
+                        inputs.join(", "),
+                        outputs.join(", ")
+                    )
+                }
+            }
+            Param::Manifold { name, arg_kinds } => {
+                format!("manifold {name}({})", arg_kinds.join(", "))
+            }
+            Param::Event(name) => {
+                if name == "_" {
+                    "event".to_string()
+                } else {
+                    format!("event {name}")
+                }
+            }
+            Param::Port { is_input, name } => {
+                format!("port {} {name}", if *is_input { "in" } else { "out" })
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn indent(n: usize) -> String {
+    "    ".repeat(n)
+}
+
+fn print_block(b: &Block, depth: usize) -> String {
+    let pad = indent(depth + 1);
+    let mut s = format!("{}{{\n", indent(depth));
+    for d in &b.declarations {
+        s.push_str(&format!("{pad}{}\n", print_decl(d)));
+    }
+    for st in &b.states {
+        s.push_str(&format!(
+            "{pad}{}: {}.\n",
+            st.label,
+            print_action(&st.body, depth + 1)
+        ));
+    }
+    s.push_str(&format!("{}}}", indent(depth)));
+    s
+}
+
+fn print_decl(d: &Declaration) -> String {
+    match d {
+        Declaration::Save(names) => format!("save {}.", names.join(", ")),
+        Declaration::Ignore(names) => format!("ignore {}.", names.join(", ")),
+        Declaration::Event(names) => format!("event {}.", names.join(", ")),
+        Declaration::Priority { higher, lower } => {
+            format!("priority {higher} > {lower}.")
+        }
+        Declaration::Process {
+            auto,
+            name,
+            ctor,
+            args,
+        } => {
+            let a = if *auto { "auto " } else { "" };
+            if args.is_empty() {
+                format!("{a}process {name} is {ctor}.")
+            } else {
+                format!(
+                    "{a}process {name} is {ctor}({}).",
+                    args.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+                )
+            }
+        }
+        Declaration::Hold(name) => format!("hold {name}."),
+        Declaration::Stream { ty, from, to } => format!(
+            "stream {ty} {} -> {}.",
+            print_endpoint(from),
+            print_endpoint(to)
+        ),
+        Declaration::Internal => "internal.".to_string(),
+    }
+}
+
+fn print_endpoint(e: &Endpoint) -> String {
+    let amp = if e.is_ref { "&" } else { "" };
+    match &e.port {
+        Some(p) => format!("{amp}{}.{p}", e.process),
+        None => format!("{amp}{}", e.process),
+    }
+}
+
+fn print_action(a: &Action, depth: usize) -> String {
+    match a {
+        Action::Seq(parts) => parts
+            .iter()
+            .map(|p| print_action(p, depth))
+            .collect::<Vec<_>>()
+            .join("; "),
+        Action::Group(parts) => format!(
+            "({})",
+            parts
+                .iter()
+                .map(|p| print_action(p, depth))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        Action::Block(b) => print_block(b, depth),
+        Action::Chain(eps) => eps
+            .iter()
+            .map(print_endpoint)
+            .collect::<Vec<_>>()
+            .join(" -> "),
+        Action::Call { name, args } => format!(
+            "{name}({})",
+            args.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        ),
+        Action::Post(e) => format!("post ({e})"),
+        Action::Raise(e) => format!("raise({e})"),
+        Action::Halt => "halt".to_string(),
+        Action::Terminated(p) => format!("terminated({p})"),
+        Action::PreemptAll => "preemptall".to_string(),
+        Action::Mes(m) => format!("MES(\"{m}\")"),
+        Action::Assign { name, value } => format!("{name} = {}", print_expr(value)),
+        Action::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            // Branches are single atoms in the grammar: parenthesize
+            // sequences (so they reparse as one branch) and nested ifs
+            // (so a dangling else cannot re-bind).
+            let branch = |a: &Action| match a {
+                Action::Seq(_) | Action::If { .. } => {
+                    format!("({})", print_action(a, depth))
+                }
+                _ => print_action(a, depth),
+            };
+            let mut s = format!(
+                "if ({} {} {}) then {}",
+                print_expr(&cond.lhs),
+                cond.op,
+                print_expr(&cond.rhs),
+                branch(then)
+            );
+            if let Some(o) = otherwise {
+                s.push_str(&format!(" else {}", branch(o)));
+            }
+            s
+        }
+        Action::Mention(name) => name.clone(),
+    }
+}
+
+fn print_expr(e: &Expr) -> String {
+    match e {
+        Expr::Int(v) => v.to_string(),
+        Expr::Var(name) => name.clone(),
+        Expr::Ref(name) => format!("&{name}"),
+        Expr::Binary { op, lhs, rhs } => {
+            // Parenthesize nested binaries so associativity survives the
+            // round trip.
+            let wrap = |e: &Expr| match e {
+                Expr::Binary { .. } => format!("({})", print_expr(e)),
+                _ => print_expr(e),
+            };
+            format!("{} {op} {}", wrap(lhs), wrap(rhs))
+        }
+        Expr::Call { name, args } => format!(
+            "{name}({})",
+            args.iter().map(print_expr).collect::<Vec<_>>().join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::parse::parse_program;
+    use crate::lang::{MAINPROG_SOURCE, PROTOCOL_MW_SOURCE};
+
+    fn normalize(p: &Program) -> Program {
+        // Line numbers differ after re-printing; blank them for comparison.
+        fn scrub_block(b: &mut Block) {
+            for s in &mut b.states {
+                s.line = 0;
+                scrub_action(&mut s.body);
+            }
+        }
+        fn scrub_action(a: &mut Action) {
+            match a {
+                Action::Seq(v) | Action::Group(v) => v.iter_mut().for_each(scrub_action),
+                Action::Block(b) => scrub_block(b),
+                Action::If {
+                    then, otherwise, ..
+                } => {
+                    scrub_action(then);
+                    if let Some(o) = otherwise {
+                        scrub_action(o);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut p = p.clone();
+        for item in &mut p.items {
+            match item {
+                Item::Manner { body, .. } => scrub_block(body),
+                Item::Manifold { body: Some(b), .. } => scrub_block(b),
+                _ => {}
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn round_trip_protocol_mw() {
+        let prog = parse_program(PROTOCOL_MW_SOURCE).unwrap();
+        let printed = print_program(&prog);
+        let again = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n----\n{printed}"));
+        assert_eq!(normalize(&prog), normalize(&again));
+    }
+
+    #[test]
+    fn round_trip_mainprog() {
+        let prog = parse_program(MAINPROG_SOURCE).unwrap();
+        let printed = print_program(&prog);
+        let again = parse_program(&printed).unwrap();
+        assert_eq!(normalize(&prog), normalize(&again));
+    }
+
+    #[test]
+    fn printing_is_stable() {
+        // print ∘ parse ∘ print is a fixed point.
+        let prog = parse_program(PROTOCOL_MW_SOURCE).unwrap();
+        let once = print_program(&prog);
+        let twice = print_program(&parse_program(&once).unwrap());
+        assert_eq!(once, twice);
+    }
+}

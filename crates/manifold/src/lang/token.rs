@@ -1,0 +1,380 @@
+//! Lexer and preprocessor for MANIFOLD source.
+
+use crate::error::{MfError, MfResult};
+use std::collections::HashMap;
+
+/// Token kinds of the MANIFOLD subset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are resolved by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (content without quotes).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `&`
+    Amp,
+    /// `/`
+    Slash,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line (1-based).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What it is.
+    pub kind: TokenKind,
+    /// Line number in the source.
+    pub line: u32,
+}
+
+/// Lexer output: the token stream plus the recorded `#include` files.
+#[derive(Clone, Debug)]
+pub struct LexOutput {
+    /// Tokens, ending with an [`TokenKind::Eof`].
+    pub tokens: Vec<Token>,
+    /// `#include "…"` files, in order.
+    pub includes: Vec<String>,
+    /// `//pragma …` lines, verbatim.
+    pub pragmas: Vec<String>,
+    /// `#define` macro table (name → replacement tokens).
+    pub defines: HashMap<String, Vec<TokenKind>>,
+}
+
+struct Lexer<'s> {
+    src: &'s [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'s> Lexer<'s> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c == Some(b'\n') {
+            self.line += 1;
+        }
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn take_line(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).trim().to_string()
+    }
+
+    fn ident(&mut self) -> String {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        String::from_utf8_lossy(&self.src[start..self.pos]).into_owned()
+    }
+}
+
+/// Tokenize MANIFOLD source, handling comments, `#include`, `//pragma` and
+/// object-like `#define` substitution.
+pub fn lex(source: &str) -> MfResult<LexOutput> {
+    let mut lx = Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+    };
+    let mut out = LexOutput {
+        tokens: Vec::new(),
+        includes: Vec::new(),
+        pragmas: Vec::new(),
+        defines: HashMap::new(),
+    };
+
+    while let Some(c) = lx.peek() {
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                lx.bump();
+            }
+            b'/' if lx.peek2() == Some(b'/') => {
+                let line = lx.take_line();
+                if let Some(rest) = line.strip_prefix("//pragma") {
+                    out.pragmas.push(rest.trim().to_string());
+                }
+            }
+            b'/' if lx.peek2() == Some(b'*') => {
+                lx.bump();
+                lx.bump();
+                loop {
+                    match lx.bump() {
+                        Some(b'*') if lx.peek() == Some(b'/') => {
+                            lx.bump();
+                            break;
+                        }
+                        Some(_) => {}
+                        None => return Err(MfError::Spec("unterminated comment".into())),
+                    }
+                }
+            }
+            b'#' => {
+                let line_no = lx.line;
+                let line = lx.take_line();
+                if let Some(rest) = line.strip_prefix("#include") {
+                    let file = rest.trim().trim_matches(['"', '<', '>']).to_string();
+                    out.includes.push(file);
+                } else if let Some(rest) = line.strip_prefix("#define") {
+                    let rest = rest.trim();
+                    let (name, body) = rest
+                        .split_once(char::is_whitespace)
+                        .ok_or_else(|| MfError::Spec(format!("bad #define at line {line_no}")))?;
+                    let sub = lex(body)?; // macro bodies contain plain tokens
+                    let kinds: Vec<TokenKind> = sub
+                        .tokens
+                        .into_iter()
+                        .map(|t| t.kind)
+                        .filter(|k| *k != TokenKind::Eof)
+                        .collect();
+                    out.defines.insert(name.to_string(), kinds);
+                } else {
+                    return Err(MfError::Spec(format!(
+                        "unknown preprocessor line {line_no}: {line}"
+                    )));
+                }
+            }
+            b'"' => {
+                let line = lx.line;
+                lx.bump();
+                let start = lx.pos;
+                while let Some(c) = lx.peek() {
+                    if c == b'"' {
+                        break;
+                    }
+                    lx.bump();
+                }
+                let s = String::from_utf8_lossy(&lx.src[start..lx.pos]).into_owned();
+                if lx.bump() != Some(b'"') {
+                    return Err(MfError::Spec(format!("unterminated string at line {line}")));
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
+            }
+            b'-' if lx.peek2() == Some(b'>') => {
+                let line = lx.line;
+                lx.bump();
+                lx.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Arrow,
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                let line = lx.line;
+                let start = lx.pos;
+                while lx.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    lx.bump();
+                }
+                let text = String::from_utf8_lossy(&lx.src[start..lx.pos]).into_owned();
+                let v = text
+                    .parse()
+                    .map_err(|_| MfError::Spec(format!("bad number at line {line}")))?;
+                out.tokens.push(Token {
+                    kind: TokenKind::Int(v),
+                    line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let line = lx.line;
+                let name = lx.ident();
+                // Object-like macro substitution.
+                if let Some(body) = out.defines.get(&name) {
+                    for k in body.clone() {
+                        out.tokens.push(Token { kind: k, line });
+                    }
+                } else {
+                    out.tokens.push(Token {
+                        kind: TokenKind::Ident(name),
+                        line,
+                    });
+                }
+            }
+            _ => {
+                let line = lx.line;
+                let kind = match lx.bump().unwrap() {
+                    b'(' => TokenKind::LParen,
+                    b')' => TokenKind::RParen,
+                    b'{' => TokenKind::LBrace,
+                    b'}' => TokenKind::RBrace,
+                    b'<' => TokenKind::Lt,
+                    b'>' => TokenKind::Gt,
+                    b',' => TokenKind::Comma,
+                    b'.' => TokenKind::Dot,
+                    b';' => TokenKind::Semi,
+                    b':' => TokenKind::Colon,
+                    b'&' => TokenKind::Amp,
+                    b'/' => TokenKind::Slash,
+                    b'*' => TokenKind::Star,
+                    b'=' => TokenKind::Eq,
+                    b'+' => TokenKind::Plus,
+                    b'-' => TokenKind::Minus,
+                    other => {
+                        return Err(MfError::Spec(format!(
+                            "unexpected character {:?} at line {}",
+                            other as char, lx.line
+                        )))
+                    }
+                };
+                out.tokens.push(Token { kind, line });
+            }
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Eof,
+        line: lx.line,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().tokens.into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a -> b.c;"),
+            vec![
+                Ident("a".into()),
+                Arrow,
+                Ident("b".into()),
+                Dot,
+                Ident("c".into()),
+                Semi,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(kinds("/* x */ a // y\n b"), kinds("a b"));
+    }
+
+    #[test]
+    fn strings_and_numbers() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("MES(\"begin\") 42"),
+            vec![
+                Ident("MES".into()),
+                LParen,
+                Str("begin".into()),
+                RParen,
+                Int(42),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn include_and_pragma_recorded() {
+        let out = lex("#include \"MBL.h\"\n//pragma include \"Res.h\"\nx").unwrap();
+        assert_eq!(out.includes, vec!["MBL.h"]);
+        assert_eq!(out.pragmas, vec!["include \"Res.h\""]);
+        assert_eq!(out.tokens.len(), 2); // x + eof
+    }
+
+    #[test]
+    fn define_substitution() {
+        use TokenKind::*;
+        let got = kinds("#define IDLE terminated (void)\nbegin: IDLE.");
+        assert_eq!(
+            got,
+            vec![
+                Ident("begin".into()),
+                Colon,
+                Ident("terminated".into()),
+                LParen,
+                Ident("void".into()),
+                RParen,
+                Dot,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let out = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = out.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* oops").is_err());
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn paper_sources_lex() {
+        let a = lex(crate::lang::PROTOCOL_MW_SOURCE).unwrap();
+        assert!(a.tokens.len() > 100);
+        assert_eq!(a.includes, vec!["MBL.h", "rdid.h", "protocolMW.h"]);
+        assert!(a.defines.contains_key("IDLE"));
+        let b = lex(crate::lang::MAINPROG_SOURCE).unwrap();
+        assert_eq!(b.pragmas, vec!["include \"ResSourceCode.h\""]);
+    }
+}

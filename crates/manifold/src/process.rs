@@ -1,0 +1,645 @@
+//! Processes: black boxes with ports, an event memory, and a life cycle.
+//!
+//! A MANIFOLD process is created, then *activated* (it starts running), and
+//! eventually *terminates*. It communicates only by reading/writing its own
+//! ports and by raising events, which the environment broadcasts to the
+//! processes observing it. *Atomic* processes ([`AtomicProcess`]) are the
+//! computation carriers — in the paper these are thin C wrappers around the
+//! legacy `subsolve` and main routines; here they are Rust closures or
+//! structs receiving a [`ProcessCtx`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{MfError, MfResult};
+use crate::event::{EventMemory, EventOccurrence, EventPattern};
+use crate::ident::{Name, ProcessId};
+use crate::link::Placement;
+use crate::port::Port;
+use crate::trace::{Clock, TraceRecord, TraceSink};
+use crate::unit::Unit;
+
+/// Life-cycle states of a process instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LifeState {
+    /// Created but not yet activated (its body has not started).
+    Created,
+    /// Running.
+    Active,
+    /// Finished (normally or by kill).
+    Terminated,
+}
+
+/// The behaviour of an atomic (computational) process.
+///
+/// Implemented for any `FnOnce(ProcessCtx) -> MfResult<()>`, which is the
+/// idiomatic way to write workers:
+///
+/// ```
+/// # use manifold::prelude::*;
+/// let body = |ctx: ProcessCtx| -> MfResult<()> {
+///     let x = ctx.read("input")?;
+///     ctx.write("output", x)?;
+///     Ok(())
+/// };
+/// # let _ = body; // used via Coord::create_atomic
+/// ```
+pub trait AtomicProcess: Send + 'static {
+    /// Run the process body to completion.
+    fn run(self: Box<Self>, ctx: ProcessCtx) -> MfResult<()>;
+}
+
+impl<F> AtomicProcess for F
+where
+    F: FnOnce(ProcessCtx) -> MfResult<()> + Send + 'static,
+{
+    fn run(self: Box<Self>, ctx: ProcessCtx) -> MfResult<()> {
+        (*self)(ctx)
+    }
+}
+
+type TerminateHook = Box<dyn FnOnce() + Send>;
+
+/// Shared state of one process instance.
+pub struct ProcessCore {
+    id: ProcessId,
+    manifold_name: Name,
+    life: Mutex<LifeState>,
+    life_cv: Condvar,
+    events: EventMemory,
+    ports: Mutex<HashMap<Name, Arc<Port>>>,
+    watchers: Mutex<Vec<Weak<ProcessCore>>>,
+    placement: Mutex<Option<Placement>>,
+    pub(crate) body: Mutex<Option<Box<dyn AtomicProcess>>>,
+    on_terminate: Mutex<Vec<TerminateHook>>,
+    failure: Mutex<Option<MfError>>,
+    killed: AtomicBool,
+    trace: Arc<TraceSink>,
+    clock: Clock,
+}
+
+impl ProcessCore {
+    /// Create a core (normally done through the environment).
+    pub fn new(
+        id: ProcessId,
+        manifold_name: impl Into<Name>,
+        trace: Arc<TraceSink>,
+        clock: Clock,
+    ) -> Arc<ProcessCore> {
+        Arc::new(ProcessCore {
+            id,
+            manifold_name: manifold_name.into(),
+            life: Mutex::new(LifeState::Created),
+            life_cv: Condvar::new(),
+            events: EventMemory::new(),
+            ports: Mutex::new(HashMap::new()),
+            watchers: Mutex::new(Vec::new()),
+            placement: Mutex::new(None),
+            body: Mutex::new(None),
+            on_terminate: Mutex::new(Vec::new()),
+            failure: Mutex::new(None),
+            killed: AtomicBool::new(false),
+            trace,
+            clock,
+        })
+    }
+
+    /// The process id.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The manifold (definition) name, e.g. `Worker(event)`.
+    pub fn manifold_name(&self) -> &Name {
+        &self.manifold_name
+    }
+
+    /// Current life state.
+    pub fn life_state(&self) -> LifeState {
+        *self.life.lock()
+    }
+
+    /// The process's event memory.
+    pub fn events(&self) -> &EventMemory {
+        &self.events
+    }
+
+    /// Where this process was placed (set at activation).
+    pub fn placement(&self) -> Option<Placement> {
+        self.placement.lock().clone()
+    }
+
+    pub(crate) fn set_placement(&self, p: Placement) {
+        *self.placement.lock() = Some(p);
+    }
+
+    pub(crate) fn set_life(&self, s: LifeState) {
+        *self.life.lock() = s;
+        self.life_cv.notify_all();
+    }
+
+    /// Register a hook to run when the process terminates (used by the
+    /// environment for task-instance load bookkeeping).
+    pub fn on_terminate(&self, hook: impl FnOnce() + Send + 'static) {
+        let mut hooks = self.on_terminate.lock();
+        if *self.life.lock() == LifeState::Terminated {
+            drop(hooks);
+            hook();
+        } else {
+            hooks.push(Box::new(hook));
+        }
+    }
+
+    /// Get (creating on demand) the named port. Any party may cause port
+    /// creation: coordinators routinely connect to ports (`dataport`) the
+    /// owner has not touched yet.
+    pub fn port(&self, name: impl Into<Name>) -> Arc<Port> {
+        let name = name.into();
+        let mut ports = self.ports.lock();
+        let port = ports
+            .entry(name.clone())
+            .or_insert_with(|| Port::new(self.id, name))
+            .clone();
+        drop(ports);
+        // A port created after the process was killed must be born killed,
+        // or a blocked read on it would never observe the kill.
+        if self.killed.load(Ordering::SeqCst) {
+            port.kill();
+        }
+        port
+    }
+
+    /// Names of the ports that exist so far.
+    pub fn port_names(&self) -> Vec<Name> {
+        self.ports.lock().keys().cloned().collect()
+    }
+
+    /// `watcher` starts observing this process: future raised events and the
+    /// termination notice are delivered to its event memory. If the process
+    /// has already terminated, the termination notice is delivered at once.
+    pub fn add_watcher(&self, watcher: &Arc<ProcessCore>) {
+        let mut ws = self.watchers.lock();
+        let already_terminated = *self.life.lock() == LifeState::Terminated;
+        if !ws
+            .iter()
+            .any(|w| w.upgrade().is_some_and(|w| w.id == watcher.id))
+        {
+            ws.push(Arc::downgrade(watcher));
+        }
+        drop(ws);
+        if already_terminated {
+            watcher.events.deliver(EventOccurrence::terminated(self.id));
+        }
+    }
+
+    /// Raise a named event: deliver an occurrence to every watcher.
+    pub fn raise(&self, event: impl Into<Name>) {
+        let occ = EventOccurrence::named(event, self.id);
+        self.broadcast(occ);
+    }
+
+    fn broadcast(&self, occ: EventOccurrence) {
+        let watchers: Vec<Arc<ProcessCore>> = {
+            let mut ws = self.watchers.lock();
+            ws.retain(|w| w.strong_count() > 0);
+            ws.iter().filter_map(Weak::upgrade).collect()
+        };
+        for w in watchers {
+            w.events.deliver(occ.clone());
+        }
+    }
+
+    /// Post an event occurrence into this process's own memory (`post(e)`).
+    pub fn post(&self, event: impl Into<Name>) {
+        self.events.deliver(EventOccurrence::named(event, self.id));
+    }
+
+    /// Mark terminated: notify life waiters, broadcast the termination
+    /// notice, and run termination hooks.
+    pub fn terminate(&self) {
+        {
+            let mut life = self.life.lock();
+            if *life == LifeState::Terminated {
+                return;
+            }
+            *life = LifeState::Terminated;
+            self.life_cv.notify_all();
+        }
+        self.broadcast(EventOccurrence::terminated(self.id));
+        let hooks: Vec<TerminateHook> = std::mem::take(&mut *self.on_terminate.lock());
+        for h in hooks {
+            h();
+        }
+    }
+
+    /// Forcefully interrupt the process: all blocking operations return
+    /// [`MfError::Killed`], after which its thread unwinds and terminates.
+    pub fn kill(&self) {
+        // Order matters: set the flag first so any port created from now on
+        // is born killed (see `port`), then wake everything already blocked.
+        self.killed.store(true, Ordering::SeqCst);
+        self.events.kill();
+        let ports: Vec<Arc<Port>> = self.ports.lock().values().cloned().collect();
+        for p in ports {
+            p.kill();
+        }
+    }
+
+    /// Has this process been killed?
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    /// Block until the process terminates (test/join helper; coordinators
+    /// use the event-based `terminated(p)` primitive instead).
+    pub fn wait_terminated(&self, timeout: Duration) -> MfResult<()> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut life = self.life.lock();
+        while *life != LifeState::Terminated {
+            if self.life_cv.wait_until(&mut life, deadline).timed_out() {
+                return Err(MfError::Timeout);
+            }
+        }
+        Ok(())
+    }
+
+    /// The error the body returned, if it failed with something other than
+    /// a clean kill.
+    pub fn failure(&self) -> Option<MfError> {
+        self.failure.lock().clone()
+    }
+
+    pub(crate) fn record_failure(&self, e: MfError) {
+        *self.failure.lock() = Some(e);
+    }
+
+    /// Emit a trace record in the paper's §6 format.
+    pub fn trace_message(&self, source_file: &str, line: u32, message: String) {
+        let placement = self.placement.lock().clone();
+        let (host, task_uid, task_name) = match placement {
+            Some(p) => (
+                p.host.clone(),
+                TraceRecord::task_uid_for(p.task),
+                p.task_name.clone(),
+            ),
+            None => (
+                crate::config::HostName::new("unplaced"),
+                0,
+                Name::new("?"),
+            ),
+        };
+        let micros = self.clock.now_micros();
+        self.trace.record(TraceRecord {
+            host,
+            task_uid,
+            proc_uid: TraceRecord::proc_uid_for(self.id),
+            secs: micros / 1_000_000,
+            usecs: (micros % 1_000_000) as u32,
+            task_name,
+            manifold_name: self.manifold_name.clone(),
+            source_file: source_file.to_string(),
+            line,
+            message,
+        });
+    }
+}
+
+impl std::fmt::Debug for ProcessCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcessCore")
+            .field("id", &self.id)
+            .field("manifold", &self.manifold_name)
+            .field("life", &self.life_state())
+            .finish()
+    }
+}
+
+/// A shareable reference to a process — what `&p` denotes in MANIFOLD.
+///
+/// Cloning is cheap; equality is by process identity. Process references
+/// travel through streams as [`Unit::ProcessRef`] units, which is how the
+/// master learns the identity of each worker the coordinator creates.
+#[derive(Clone)]
+pub struct ProcessRef(pub(crate) Arc<ProcessCore>);
+
+impl ProcessRef {
+    /// Wrap a core.
+    pub fn new(core: Arc<ProcessCore>) -> Self {
+        ProcessRef(core)
+    }
+
+    /// The underlying core.
+    pub fn core(&self) -> &Arc<ProcessCore> {
+        &self.0
+    }
+
+    /// The process id.
+    pub fn id(&self) -> ProcessId {
+        self.0.id()
+    }
+
+    /// The manifold name.
+    pub fn manifold_name(&self) -> &Name {
+        self.0.manifold_name()
+    }
+
+    /// Get (or create) a port on the referenced process.
+    pub fn port(&self, name: impl Into<Name>) -> Arc<Port> {
+        self.0.port(name)
+    }
+
+    /// Current life state.
+    pub fn life_state(&self) -> LifeState {
+        self.0.life_state()
+    }
+}
+
+impl PartialEq for ProcessRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.id() == other.id()
+    }
+}
+
+impl Eq for ProcessRef {}
+
+impl std::fmt::Debug for ProcessRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "&{}[{:?}]", self.manifold_name(), self.id())
+    }
+}
+
+/// The execution context handed to an atomic process body: its window onto
+/// its own ports and event memory.
+///
+/// Everything here is *self*-centric: a process can read/write only its own
+/// ports and raise only its own events — it cannot connect streams or touch
+/// other processes (that is the coordinators' monopoly).
+#[derive(Clone)]
+pub struct ProcessCtx {
+    core: Arc<ProcessCore>,
+}
+
+impl ProcessCtx {
+    /// Build a context for a core.
+    pub fn new(core: Arc<ProcessCore>) -> Self {
+        ProcessCtx { core }
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcessId {
+        self.core.id()
+    }
+
+    /// A reference to this process (`&self` in MANIFOLD terms).
+    pub fn self_ref(&self) -> ProcessRef {
+        ProcessRef(self.core.clone())
+    }
+
+    /// The underlying core.
+    pub fn core(&self) -> &Arc<ProcessCore> {
+        &self.core
+    }
+
+    /// Blocking read from one of our own input ports.
+    pub fn read(&self, port: impl Into<Name>) -> MfResult<Unit> {
+        self.core.port(port).read()
+    }
+
+    /// Blocking read with a deadline.
+    pub fn read_timeout(&self, port: impl Into<Name>, t: Duration) -> MfResult<Unit> {
+        self.core.port(port).read_timeout(t)
+    }
+
+    /// Non-blocking read.
+    pub fn try_read(&self, port: impl Into<Name>) -> Option<Unit> {
+        self.core.port(port).try_read()
+    }
+
+    /// Blocking write to one of our own output ports.
+    pub fn write(&self, port: impl Into<Name>, unit: Unit) -> MfResult<()> {
+        self.core.port(port).write(unit)
+    }
+
+    /// Raise a named event (broadcast to our observers).
+    pub fn raise(&self, event: impl Into<Name>) {
+        self.core.raise(event);
+    }
+
+    /// Post an event to our own memory.
+    pub fn post(&self, event: impl Into<Name>) {
+        self.core.post(event);
+    }
+
+    /// Start observing another process so its events reach us.
+    pub fn watch(&self, target: &ProcessRef) {
+        target.core().add_watcher(&self.core);
+    }
+
+    /// Block until an event matching one of `patterns` is in our memory;
+    /// remove and return it.
+    pub fn wait_event(&self, patterns: &[EventPattern]) -> MfResult<EventOccurrence> {
+        self.core.events().wait_select(patterns).map(|(_, occ)| occ)
+    }
+
+    /// Like [`ProcessCtx::wait_event`] with a deadline.
+    pub fn wait_event_timeout(
+        &self,
+        patterns: &[EventPattern],
+        t: Duration,
+    ) -> MfResult<EventOccurrence> {
+        self.core
+            .events()
+            .wait_select_timeout(patterns, t)
+            .map(|(_, occ)| occ)
+    }
+
+    /// Emit a §6-style trace message; prefer the [`mes!`](crate::mes)
+    /// macro, which fills in file and line.
+    pub fn trace(&self, source_file: &str, line: u32, message: String) {
+        self.core.trace_message(source_file, line, message);
+    }
+}
+
+impl std::fmt::Debug for ProcessCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProcessCtx({:?})", self.core.id())
+    }
+}
+
+/// Emit a `MES("…")` trace message with the caller's file and line, in the
+/// chronological format of §6 of the paper.
+///
+/// ```ignore
+/// mes!(ctx, "Welcome");
+/// mes!(ctx, "processed grid ({l}, {m})");
+/// ```
+#[macro_export]
+macro_rules! mes {
+    ($ctx:expr, $($arg:tt)*) => {
+        $ctx.trace(file!(), line!(), format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core(id: u64, name: &str) -> Arc<ProcessCore> {
+        ProcessCore::new(
+            ProcessId(id),
+            name,
+            Arc::new(TraceSink::new()),
+            Clock::System,
+        )
+    }
+
+    #[test]
+    fn life_cycle_transitions() {
+        let c = core(1, "P");
+        assert_eq!(c.life_state(), LifeState::Created);
+        c.set_life(LifeState::Active);
+        assert_eq!(c.life_state(), LifeState::Active);
+        c.terminate();
+        assert_eq!(c.life_state(), LifeState::Terminated);
+    }
+
+    #[test]
+    fn watcher_receives_raised_events() {
+        let raiser = core(1, "Master");
+        let watcher = core(2, "Main");
+        raiser.add_watcher(&watcher);
+        raiser.raise("create_pool");
+        let (_, occ) = watcher
+            .events()
+            .try_select(&["create_pool".into()])
+            .unwrap();
+        assert_eq!(occ.source, ProcessId(1));
+    }
+
+    #[test]
+    fn non_watcher_receives_nothing() {
+        let raiser = core(1, "Master");
+        let bystander = core(2, "Other");
+        raiser.raise("e");
+        assert!(bystander.events().is_empty());
+    }
+
+    #[test]
+    fn termination_notice_delivered_to_watchers() {
+        let p = core(1, "W");
+        let w = core(2, "C");
+        p.add_watcher(&w);
+        p.terminate();
+        let (_, occ) = w
+            .events()
+            .try_select(&[EventPattern::Terminated(ProcessId(1))])
+            .unwrap();
+        assert!(occ.is_termination_of(ProcessId(1)));
+    }
+
+    #[test]
+    fn late_watcher_of_terminated_process_is_notified() {
+        let p = core(1, "W");
+        p.terminate();
+        let w = core(2, "C");
+        p.add_watcher(&w);
+        assert!(w
+            .events()
+            .try_select(&[EventPattern::Terminated(ProcessId(1))])
+            .is_some());
+    }
+
+    #[test]
+    fn terminate_is_idempotent_single_notice() {
+        let p = core(1, "W");
+        let w = core(2, "C");
+        p.add_watcher(&w);
+        p.terminate();
+        p.terminate();
+        assert_eq!(w.events().len(), 1);
+    }
+
+    #[test]
+    fn on_terminate_hooks_run_once() {
+        let p = core(1, "W");
+        let counter = Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let c2 = counter.clone();
+        p.on_terminate(move || {
+            c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        p.terminate();
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // Hook registered after termination runs immediately.
+        let c3 = counter.clone();
+        p.on_terminate(move || {
+            c3.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn ports_created_on_demand_and_shared() {
+        let p = core(1, "W");
+        let a = p.port("dataport");
+        let b = p.port("dataport");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(p.port_names().len(), 1);
+    }
+
+    #[test]
+    fn kill_unblocks_event_wait() {
+        let p = core(1, "W");
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || p2.events().wait_select(&["never".into()]));
+        std::thread::sleep(Duration::from_millis(10));
+        p.kill();
+        assert!(h.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn process_ref_equality_by_id() {
+        let a = ProcessRef::new(core(1, "X"));
+        let b = a.clone();
+        let c = ProcessRef::new(core(2, "X"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trace_message_records() {
+        let sink = Arc::new(TraceSink::new());
+        let p = ProcessCore::new(ProcessId(1), "Worker(event)", sink.clone(), Clock::System);
+        p.set_placement(Placement {
+            task: crate::ident::TaskInstanceId(3),
+            task_name: Name::new("mainprog"),
+            host: crate::config::HostName::new("basfluit"),
+            weight: 1,
+            forked: true,
+        });
+        p.trace_message("ResSourceCode.c", 351, "Welcome".into());
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].message, "Welcome");
+        assert_eq!(recs[0].host.as_str(), "basfluit");
+        assert_eq!(recs[0].manifold_name.as_str(), "Worker(event)");
+    }
+
+    #[test]
+    fn wait_terminated_timeout_and_success() {
+        let p = core(1, "W");
+        assert_eq!(
+            p.wait_terminated(Duration::from_millis(20)),
+            Err(MfError::Timeout)
+        );
+        let p2 = p.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            p2.terminate();
+        });
+        p.wait_terminated(Duration::from_secs(2)).unwrap();
+    }
+}

@@ -1,0 +1,225 @@
+//! Property-based tests of the MANIFOLD language front-end: arbitrary
+//! programs survive print → parse round trips, and the lexer never panics
+//! on arbitrary input.
+
+use manifold::lang::ast::*;
+use manifold::lang::{lex, parse_program, print_program};
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    // Avoid keywords the parser treats specially.
+    "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
+        ![
+            "manner", "manifold", "process", "event", "port", "atomic", "save",
+            "ignore", "priority", "hold", "stream", "auto", "is", "begin",
+            "post", "raise", "halt", "terminated", "preemptall", "if", "then",
+            "else", "internal", "export", "in", "out", "end",
+        ]
+        .contains(&s.as_str())
+    })
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-99i64..99).prop_map(Expr::Int),
+        ident().prop_map(Expr::Var),
+        ident().prop_map(Expr::Ref),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        (inner.clone(), prop_oneof![Just('+'), Just('-')], inner).prop_map(
+            |(lhs, op, rhs)| Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
+        )
+    })
+}
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (any::<bool>(), ident(), prop::option::of(ident())).prop_map(|(is_ref, process, port)| {
+        Endpoint {
+            is_ref,
+            process,
+            port,
+        }
+    })
+}
+
+fn arb_simple_action() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        Just(Action::Halt),
+        Just(Action::PreemptAll),
+        ident().prop_map(Action::Post),
+        ident().prop_map(Action::Raise),
+        ident().prop_map(Action::Terminated),
+        ident().prop_map(Action::Mention),
+        "[ -~&&[^\"\\\\{}]]{0,12}".prop_map(Action::Mes),
+        (ident(), arb_expr()).prop_map(|(name, value)| Action::Assign { name, value }),
+        prop::collection::vec(arb_endpoint(), 2..4).prop_map(Action::Chain),
+        (ident(), prop::collection::vec(arb_expr(), 0..3))
+            .prop_map(|(name, args)| Action::Call { name, args }),
+    ]
+}
+
+fn arb_action() -> impl Strategy<Value = Action> {
+    arb_simple_action().prop_recursive(2, 12, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Action::Group),
+            prop::collection::vec(inner.clone(), 2..4).prop_map(Action::Seq),
+            (
+                (arb_expr(), prop_oneof![Just('<'), Just('>'), Just('=')], arb_expr()),
+                inner.clone(),
+                prop::option::of(inner)
+            )
+                .prop_map(|((lhs, op, rhs), then, otherwise)| Action::If {
+                    cond: Cond { lhs, op, rhs },
+                    then: Box::new(then),
+                    otherwise: otherwise.map(Box::new),
+                }),
+        ]
+    })
+}
+
+fn arb_block() -> impl Strategy<Value = Block> {
+    (
+        prop::collection::vec(
+            prop_oneof![
+                prop::collection::vec(ident(), 1..3).prop_map(Declaration::Ignore),
+                prop::collection::vec(ident(), 1..3).prop_map(Declaration::Event),
+                ident().prop_map(Declaration::Hold),
+                (any::<bool>(), ident(), ident(), prop::collection::vec(arb_expr(), 0..2))
+                    .prop_map(|(auto, name, ctor, args)| Declaration::Process {
+                        auto,
+                        name,
+                        ctor,
+                        args,
+                    }),
+            ],
+            0..3,
+        ),
+        prop::collection::vec((ident(), arb_action()), 0..3),
+        arb_action(),
+    )
+        .prop_map(|(declarations, extra_states, begin_body)| {
+            let mut states = vec![State {
+                label: "begin".into(),
+                body: begin_body,
+                line: 0,
+            }];
+            let mut seen = std::collections::HashSet::new();
+            for (label, body) in extra_states {
+                if label != "begin" && seen.insert(label.clone()) {
+                    states.push(State {
+                        label,
+                        body,
+                        line: 0,
+                    });
+                }
+            }
+            Block {
+                declarations,
+                states,
+            }
+        })
+}
+
+fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(
+        (any::<bool>(), ident(), arb_block()).prop_map(|(export, name, body)| Item::Manner {
+            export,
+            name,
+            params: Vec::new(),
+            body,
+        }),
+        1..3,
+    )
+    .prop_map(|items| Program {
+        items,
+        includes: Vec::new(),
+        pragmas: Vec::new(),
+    })
+}
+
+fn scrub(p: &Program) -> Program {
+    fn scrub_block(b: &mut Block) {
+        for s in &mut b.states {
+            s.line = 0;
+            scrub_action(&mut s.body);
+        }
+    }
+    fn scrub_action(a: &mut Action) {
+        match a {
+            Action::Seq(v) => {
+                v.iter_mut().for_each(scrub_action);
+                // `a; b; c` is associativity-free in the syntax: normalize
+                // nested sequences to a flat one before comparing.
+                let flat: Vec<Action> = std::mem::take(v)
+                    .into_iter()
+                    .flat_map(|p| match p {
+                        Action::Seq(inner) => inner,
+                        other => vec![other],
+                    })
+                    .collect();
+                if flat.len() == 1 {
+                    *a = flat.into_iter().next().unwrap();
+                } else {
+                    *a = Action::Seq(flat);
+                }
+            }
+            Action::Group(v) => {
+                v.iter_mut().for_each(scrub_action);
+                // `(a)` is just `a`: collapse one-element groups, since the
+                // printer may introduce them around sequence branches.
+                if v.len() == 1 {
+                    *a = v.pop().unwrap();
+                    scrub_action(a);
+                }
+            }
+            Action::Block(b) => scrub_block(b),
+            Action::If {
+                then, otherwise, ..
+            } => {
+                scrub_action(then);
+                if let Some(o) = otherwise {
+                    scrub_action(o);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut p = p.clone();
+    for item in &mut p.items {
+        match item {
+            Item::Manner { body, .. } => scrub_block(body),
+            Item::Manifold { body: Some(b), .. } => scrub_block(b),
+            _ => {}
+        }
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// print → parse is the identity on arbitrary programs.
+    #[test]
+    fn print_parse_round_trip(prog in arb_program()) {
+        let printed = print_program(&prog);
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n----\n{printed}"));
+        prop_assert_eq!(scrub(&prog), scrub(&reparsed));
+    }
+
+    /// The lexer never panics and either lexes or errors cleanly.
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in "[ -~\\n]{0,200}") {
+        let _ = lex(&s);
+    }
+
+    /// The parser never panics on arbitrary token soup.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "[a-z{}();.,:<>&/*=+\\- \\n]{0,120}") {
+        let _ = parse_program(&s);
+    }
+}

@@ -1,0 +1,222 @@
+//! Property-based tests of the coordination runtime's data structures.
+
+use manifold::config::ConfigSpec;
+use manifold::event::{EventMemory, EventOccurrence, EventPattern};
+use manifold::ident::{Name, ProcessId};
+use manifold::link::{parse_sexprs, Bundler, LinkSpec, Sexp};
+use manifold::port::Port;
+use manifold::stream::{Stream, StreamType};
+use manifold::unit::Unit;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- events
+
+proptest! {
+    /// Set semantics: delivering any multiset of occurrences leaves exactly
+    /// the distinct (event, source) pairs pending.
+    #[test]
+    fn event_memory_is_a_set(
+        events in prop::collection::vec((0u8..4, 0u64..4), 0..40)
+    ) {
+        let mem = EventMemory::new();
+        let mut distinct = std::collections::HashSet::new();
+        for (e, s) in &events {
+            let name = format!("e{e}");
+            mem.deliver(EventOccurrence::named(name.as_str(), ProcessId(*s)));
+            distinct.insert((*e, *s));
+        }
+        prop_assert_eq!(mem.len(), distinct.len());
+    }
+
+    /// Selection never invents occurrences and always respects priority:
+    /// the returned pattern index is the lowest matching one.
+    #[test]
+    fn selection_respects_priority(
+        events in prop::collection::vec((0u8..6, 0u64..3), 1..30),
+        patterns in prop::collection::vec(0u8..6, 1..6)
+    ) {
+        let mem = EventMemory::new();
+        for (e, s) in &events {
+            mem.deliver(EventOccurrence::named(format!("e{e}").as_str(), ProcessId(*s)));
+        }
+        let pats: Vec<EventPattern> = patterns
+            .iter()
+            .map(|p| EventPattern::named(format!("e{p}")))
+            .collect();
+        if let Some((idx, occ)) = mem.try_select(&pats) {
+            // The matched pattern matches the occurrence...
+            prop_assert!(pats[idx].matches(&occ));
+            // ...and no earlier pattern had any pending match.
+            for earlier in &pats[..idx] {
+                prop_assert!(mem
+                    .snapshot()
+                    .iter()
+                    .all(|o| !earlier.matches(o)));
+            }
+        }
+    }
+
+    /// Draining with `Any` yields exactly the pending count, in FIFO order
+    /// per (event, source) insertion.
+    #[test]
+    fn drain_counts(events in prop::collection::vec((0u8..5, 0u64..5), 0..25)) {
+        let mem = EventMemory::new();
+        let mut expect = 0;
+        let mut seen = std::collections::HashSet::new();
+        for (e, s) in &events {
+            if seen.insert((*e, *s)) {
+                expect += 1;
+            }
+            mem.deliver(EventOccurrence::named(format!("e{e}").as_str(), ProcessId(*s)));
+        }
+        let mut got = 0;
+        while mem.try_select(&[EventPattern::Any]).is_some() {
+            got += 1;
+        }
+        prop_assert_eq!(got, expect);
+        prop_assert!(mem.is_empty());
+    }
+}
+
+// ---------------------------------------------------------------- streams
+
+proptest! {
+    /// FIFO through a stream: any sequence of pushes pops back in order.
+    #[test]
+    fn stream_fifo(values in prop::collection::vec(any::<i64>(), 0..100)) {
+        let s = Stream::new(StreamType::BK);
+        for v in &values {
+            s.push(Unit::int(*v));
+        }
+        for v in &values {
+            prop_assert_eq!(s.try_pop().unwrap().as_int(), Some(*v));
+        }
+        prop_assert!(s.try_pop().is_none());
+    }
+
+    /// A port fed by several streams delivers every unit exactly once,
+    /// regardless of interleaving.
+    #[test]
+    fn port_merge_conserves_units(
+        feeds in prop::collection::vec(prop::collection::vec(any::<i64>(), 0..20), 1..5)
+    ) {
+        let inp = Port::new(ProcessId(9), "input");
+        let mut expect: Vec<i64> = Vec::new();
+        for feed in &feeds {
+            let s = Stream::new(StreamType::BK);
+            inp.attach_incoming(&s);
+            for v in feed {
+                s.push(Unit::int(*v));
+                expect.push(*v);
+            }
+        }
+        let mut got: Vec<i64> = Vec::new();
+        while let Some(u) = inp.try_read() {
+            got.push(u.as_int().unwrap());
+        }
+        got.sort_unstable();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// BK dismantling never loses buffered units; BB always empties the
+    /// sink's view.
+    #[test]
+    fn dismantle_semantics(values in prop::collection::vec(any::<i64>(), 0..30)) {
+        for ty in [StreamType::BK, StreamType::BB] {
+            let out = Port::new(ProcessId(1), "output");
+            let inp = Port::new(ProcessId(2), "input");
+            let s = Stream::new(ty);
+            out.attach_outgoing(&s);
+            inp.attach_incoming(&s);
+            for v in &values {
+                out.write(Unit::int(*v)).unwrap();
+            }
+            s.dismantle();
+            let mut drained = 0;
+            while inp.try_read().is_some() {
+                drained += 1;
+            }
+            match ty {
+                StreamType::BK => prop_assert_eq!(drained, values.len()),
+                StreamType::BB => prop_assert_eq!(drained, 0),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ sexpr
+
+fn arb_sexp() -> impl Strategy<Value = Sexp> {
+    let leaf = "[a-z][a-z0-9_.]{0,8}".prop_map(Sexp::Atom);
+    leaf.prop_recursive(3, 24, 5, |inner| {
+        prop::collection::vec(inner, 0..5).prop_map(Sexp::Group)
+    })
+}
+
+fn render(sx: &Sexp) -> String {
+    match sx {
+        Sexp::Atom(a) => a.clone(),
+        Sexp::Group(items) => {
+            let inner: Vec<String> = items.iter().map(render).collect();
+            format!("{{{}}}", inner.join(" "))
+        }
+    }
+}
+
+proptest! {
+    /// Rendering any expression tree and re-parsing it round-trips.
+    #[test]
+    fn sexpr_round_trip(sx in arb_sexp()) {
+        // Top level must be a group for the parser's conventions; wrap.
+        let text = render(&Sexp::Group(vec![sx.clone()]));
+        let parsed = parse_sexprs(&text).unwrap();
+        prop_assert_eq!(parsed, vec![Sexp::Group(vec![sx])]);
+    }
+
+    /// Comments never change the parse.
+    #[test]
+    fn sexpr_comments_ignored(sx in arb_sexp(), comment in "[ -~]{0,20}") {
+        let comment = comment.replace(['{', '}', '#'], "");
+        let text = render(&Sexp::Group(vec![sx.clone()]));
+        let with = format!("# {comment}\n{text}\n# tail");
+        prop_assert_eq!(parse_sexprs(&with).unwrap(), parse_sexprs(&text).unwrap());
+    }
+}
+
+// ---------------------------------------------------------------- bundler
+
+proptest! {
+    /// Bundler invariants under arbitrary place/release interleavings:
+    /// machine count never exceeds hosts, placements on load-1 instances
+    /// never overlap, releases never underflow.
+    #[test]
+    fn bundler_invariants(ops in prop::collection::vec(any::<bool>(), 1..60)) {
+        let link = LinkSpec::default()
+            .task("t")
+            .perpetual(true)
+            .load(1)
+            .weight("W", 1);
+        let config = (0..4usize).fold(
+            ConfigSpec::with_startup("start"),
+            |c, i| c.host(format!("h{i}"), format!("m{i}")),
+        );
+        let config = config.locus("t", &["h0", "h1", "h2", "h3"]);
+        let mut b = Bundler::new(link, config);
+        let mut live: Vec<manifold::link::Placement> = Vec::new();
+        for &is_place in &ops {
+            if is_place {
+                let p = b.place(&Name::new("W"));
+                // No other live worker shares the instance (load 1).
+                prop_assert!(live.iter().all(|q| q.task != p.task));
+                live.push(p);
+            } else if let Some(p) = live.pop() {
+                b.release(&p);
+            }
+            // Start-up host + 4 locus machines is the ceiling.
+            prop_assert!(b.machines_in_use() <= 5);
+            prop_assert!(b.alive_instances() >= 1);
+        }
+    }
+}

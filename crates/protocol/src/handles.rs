@@ -1,0 +1,159 @@
+//! Behavior interfaces of the master and the worker (§4.3), codified.
+//!
+//! The paper specifies the protocol compliance of the two computational
+//! parties as numbered steps. These handles make each step a method, so a
+//! master or worker wrapper (the "C wrapper" around legacy code) cannot get
+//! the protocol wrong structurally — it can only call the steps in the
+//! wrong order, which the tests in `mw.rs` and the renovation crate guard.
+
+use manifold::prelude::*;
+
+use crate::{A_RENDEZVOUS, CREATE_POOL, CREATE_WORKER, FINISHED, RENDEZVOUS};
+
+/// The master's view of the protocol (behavior interface steps 1–5).
+///
+/// Wraps the master's own [`ProcessCtx`] plus the two capabilities the
+/// environment granted it at creation: observing the coordinator (to
+/// receive `a_rendezvous`) and activating workers whose references it
+/// receives (§4.3 step 3c).
+pub struct MasterHandle {
+    ctx: ProcessCtx,
+    env: Environment,
+}
+
+impl MasterHandle {
+    /// Step 1: make the extern protocol events available to the master.
+    /// `coordinator` is the process running [`crate::protocol_mw`]; the
+    /// master starts observing it so `a_rendezvous` reaches its memory.
+    pub fn new(ctx: ProcessCtx, coordinator: ProcessRef, env: Environment) -> Self {
+        ctx.watch(&coordinator);
+        MasterHandle { ctx, env }
+    }
+
+    /// The master's own process context.
+    pub fn ctx(&self) -> &ProcessCtx {
+        &self.ctx
+    }
+
+    /// Step 3(a): request an empty pool of workers.
+    pub fn create_pool(&self) {
+        self.ctx.raise(CREATE_POOL);
+    }
+
+    /// Steps 3(b)+(c): request a worker, read its reference from our own
+    /// input port, and activate it.
+    pub fn request_worker(&self) -> MfResult<ProcessRef> {
+        self.ctx.raise(CREATE_WORKER);
+        let worker = self.ctx.read("input")?.expect_process_ref()?;
+        self.env.activate(&worker)?;
+        Ok(worker)
+    }
+
+    /// Step 3(d): write the information a worker needs onto our own output
+    /// port (the coordinator has connected it to the worker's input).
+    pub fn send_work(&self, unit: Unit) -> MfResult<()> {
+        self.ctx.write("output", unit)
+    }
+
+    /// Step 3(f): collect one computational result from our own `dataport`.
+    pub fn collect(&self) -> MfResult<Unit> {
+        self.ctx.read("dataport")
+    }
+
+    /// Steps 3(g)+(h): request the rendezvous and wait for the
+    /// acknowledgement.
+    pub fn rendezvous(&self) -> MfResult<()> {
+        self.ctx.raise(RENDEZVOUS);
+        self.ctx.wait_event(&[A_RENDEZVOUS.into()])?;
+        Ok(())
+    }
+
+    /// Step 4 (end): tell the coordinator no more workers are needed.
+    pub fn finished(&self) {
+        self.ctx.raise(FINISHED);
+    }
+}
+
+/// The worker's view of the protocol (behavior interface steps 1–4, plus
+/// the death event received "via the first argument of the worker").
+pub struct WorkerHandle {
+    ctx: ProcessCtx,
+    death_event: Name,
+}
+
+impl WorkerHandle {
+    /// Wrap a worker context with the death event it must raise when done.
+    pub fn new(ctx: ProcessCtx, death_event: Name) -> Self {
+        WorkerHandle { ctx, death_event }
+    }
+
+    /// The worker's own process context.
+    pub fn ctx(&self) -> &ProcessCtx {
+        &self.ctx
+    }
+
+    /// Step 1: read the information needed to do the job from our own
+    /// input port.
+    pub fn receive(&self) -> MfResult<Unit> {
+        self.ctx.read("input")
+    }
+
+    /// Step 3: write the computed results to our own output port.
+    pub fn submit(&self, unit: Unit) -> MfResult<()> {
+        self.ctx.write("output", unit)
+    }
+
+    /// Step 4: signal the coordinator that we are done and going to die.
+    pub fn die(&self) {
+        self.ctx.raise(self.death_event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn master_handle_watches_coordinator() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let coord_ref = coord.self_ref();
+            let env2 = coord.env().clone();
+            let master = coord.create_atomic("Master", move |ctx: ProcessCtx| {
+                let h = MasterHandle::new(ctx, coord_ref, env2);
+                // The coordinator raises a_rendezvous below; rendezvous()
+                // must see it even though we raise `rendezvous` first.
+                h.ctx().raise(RENDEZVOUS);
+                h.ctx().wait_event(&[A_RENDEZVOUS.into()])?;
+                Ok(())
+            });
+            coord.activate(&master)?;
+            // React to the master's rendezvous and acknowledge.
+            coord.wait_events(&[RENDEZVOUS.into()])?;
+            coord.raise(A_RENDEZVOUS);
+            let st = coord.state();
+            st.until_terminated(&master, &[])?;
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+        assert!(env.failures().is_empty());
+    }
+
+    #[test]
+    fn worker_handle_raises_custom_death_event() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let w = coord.create_atomic("W", |ctx: ProcessCtx| {
+                let h = WorkerHandle::new(ctx, Name::new("my_death"));
+                h.die();
+                Ok(())
+            });
+            coord.activate(&w)?;
+            coord.wait_events(&["my_death".into()])?;
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+    }
+}

@@ -1,0 +1,45 @@
+//! # protocol — the generic master/worker coordination protocol
+//!
+//! This crate is the Rust transliteration of the paper's `protocolMW.m`:
+//! a *generic* master/worker protocol in which the master and the worker
+//! are parameters. The protocol only prescribes how instances of the master
+//! and worker definitions communicate; what they compute is irrelevant to
+//! it — the hallmark of exogenous coordination.
+//!
+//! The pieces, with their §4 counterparts:
+//!
+//! * [`protocol_mw`] — the `ProtocolMW` manner (lines 54–64): reacts to the
+//!   master's `create_pool` requests by running a worker pool, and to
+//!   `finished` by returning.
+//! * [`create_worker_pool`] — the `Create_Worker_Pool` manner (lines
+//!   11–51): creates one worker per `create_worker` event, wires the three
+//!   streams of line 36 (`&worker -> master`, `master -> worker`,
+//!   `worker -> master.dataport`, the last one `KK` so it survives
+//!   preemption), and organizes the rendezvous by counting `death_worker`
+//!   events.
+//! * [`MasterHandle`] / [`WorkerHandle`] — the behavior interfaces of §4.3,
+//!   step by step.
+//!
+//! The event vocabulary matches the paper exactly: [`CREATE_POOL`],
+//! [`CREATE_WORKER`], [`RENDEZVOUS`], [`A_RENDEZVOUS`], [`FINISHED`],
+//! [`DEATH_WORKER`].
+
+pub mod handles;
+pub mod mw;
+
+pub use handles::{MasterHandle, WorkerHandle};
+pub use mw::{create_worker_pool, protocol_mw, PoolStats, ProtocolOutcome};
+
+/// Master → coordinator: "I need a workers-pool to delegate work to"
+/// (handled at line 61 of `protocolMW.m`).
+pub const CREATE_POOL: &str = "create_pool";
+/// Master → coordinator: "create one more worker in the pool" (line 27).
+pub const CREATE_WORKER: &str = "create_worker";
+/// Master → coordinator: "organize a rendezvous" (line 39).
+pub const RENDEZVOUS: &str = "rendezvous";
+/// Coordinator → master: "rendezvous acknowledged" (line 50).
+pub const A_RENDEZVOUS: &str = "a_rendezvous";
+/// Master → coordinator: "I do not need workers anymore" (line 63).
+pub const FINISHED: &str = "finished";
+/// Worker → coordinator: "I am done and going to die" (line 42).
+pub const DEATH_WORKER: &str = "death_worker";

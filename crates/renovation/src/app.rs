@@ -1,0 +1,247 @@
+//! `mainprog.m` — wiring Master and Worker into `ProtocolMW`.
+//!
+//! ```text
+//! manifold Main(process argv)
+//! {
+//!     begin: ProtocolMW(Master(argv), Worker).
+//! }
+//! ```
+//!
+//! One source program, two deployments (§6): change only the MLINK `load`
+//! and the CONFIG host list to go from a *parallel* run (every process a
+//! thread in one task instance) to a *distributed* run (each worker in its
+//! own task instance on its own machine). [`RunMode`] captures exactly that
+//! choice.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use manifold::config::{ConfigSpec, HostName};
+use manifold::link::LinkSpec;
+use manifold::prelude::*;
+use manifold::trace::TraceRecord;
+use parking_lot::Mutex;
+use protocol::{protocol_mw, MasterHandle, ProtocolOutcome};
+use solver::sequential::{SequentialApp, SequentialResult};
+
+use crate::master::{master_body, MasterConfig};
+use crate::worker::worker_factory;
+
+/// Deployment flavour — the paper's link/configure stage choice.
+#[derive(Clone, Debug)]
+pub enum RunMode {
+    /// All processes bundled into one task instance (the paper's
+    /// "change the load on line 5 of mainprog.mlink to 6"): a shared-memory
+    /// parallel run.
+    Parallel,
+    /// One worker per task instance, task instances mapped onto the given
+    /// machines (`{host …} {locus …}`): the distributed deployment. The
+    /// processes still execute as local threads here — the *placement
+    /// bookkeeping* and trace output follow the distributed semantics;
+    /// virtual-time performance of a real cluster is the `cluster` crate's
+    /// job.
+    Distributed {
+        /// Machines after the start-up machine.
+        hosts: Vec<HostName>,
+    },
+}
+
+impl RunMode {
+    fn link_spec(&self, level: u32) -> LinkSpec {
+        match self {
+            // Load big enough for master + all workers in one instance.
+            RunMode::Parallel => LinkSpec::default()
+                .task("mainprog")
+                .perpetual(true)
+                .load(2 * level + 2)
+                .weight("Master", 1)
+                .weight("Worker", 1),
+            RunMode::Distributed { .. } => LinkSpec::default()
+                .task("mainprog")
+                .perpetual(true)
+                .load(1)
+                .weight("Master", 1)
+                .weight("Worker", 1),
+        }
+    }
+
+    fn config_spec(&self) -> ConfigSpec {
+        match self {
+            RunMode::Parallel => ConfigSpec::with_startup("bumpa.sen.cwi.nl"),
+            RunMode::Distributed { hosts } => {
+                let mut spec = ConfigSpec::with_startup("bumpa.sen.cwi.nl");
+                let mut vars = Vec::new();
+                for (i, h) in hosts.iter().enumerate() {
+                    let var = format!("host{}", i + 1);
+                    spec = spec.host(var.as_str(), h.clone());
+                    vars.push(var);
+                }
+                let refs: Vec<&str> = vars.iter().map(String::as_str).collect();
+                spec.locus("mainprog", &refs)
+            }
+        }
+    }
+
+    /// The paper's five extra machines (§6).
+    pub fn paper_hosts() -> Vec<HostName> {
+        [
+            "diplice.sen.cwi.nl",
+            "alboka.sen.cwi.nl",
+            "altfluit.sen.cwi.nl",
+            "arghul.sen.cwi.nl",
+            "basfluit.sen.cwi.nl",
+        ]
+        .iter()
+        .map(HostName::new)
+        .collect()
+    }
+}
+
+/// Output of a live concurrent run.
+#[derive(Debug)]
+pub struct ConcurrentResult {
+    /// The application result — bit-identical to the sequential program's.
+    pub result: SequentialResult,
+    /// Protocol bookkeeping (pools, workers created, deaths counted).
+    pub outcome: ProtocolOutcome,
+    /// The chronological §6-format trace of the run.
+    pub records: Vec<TraceRecord>,
+    /// Distinct machines that hosted a task instance during the run.
+    pub machines_used: usize,
+}
+
+/// Run the renovated application concurrently. `data_through_master`
+/// selects the paper's design (true) or the §4.1 I/O-worker alternative
+/// (false); both produce identical numerical results.
+pub fn run_concurrent(
+    app: &SequentialApp,
+    mode: &RunMode,
+    data_through_master: bool,
+) -> MfResult<ConcurrentResult> {
+    let env = Environment::with_specs(mode.link_spec(app.level), mode.config_spec());
+    let cell: Arc<Mutex<Option<SequentialResult>>> = Arc::new(Mutex::new(None));
+    let cfg = MasterConfig {
+        app: *app,
+        data_through_master,
+    };
+
+    let run = env.run_coordinator("Main", |coord| {
+        let coord_ref = coord.self_ref();
+        let env2 = coord.env().clone();
+        let cell2 = cell.clone();
+        let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
+            let h = MasterHandle::new(ctx, coord_ref, env2);
+            let result = master_body(&h, &cfg)?;
+            *cell2.lock() = Some(result);
+            Ok(())
+        });
+        coord.activate(&master)?;
+        let outcome = protocol_mw(coord, &master, worker_factory)?;
+        // "The master is still running and is also done after performing
+        // the final prolongation computations."
+        master.core().wait_terminated(Duration::from_secs(600))?;
+        Ok(outcome)
+    });
+
+    let outcome = run?;
+    let machines_used = env.with_bundler(|b| b.machines_in_use());
+    let records = env.trace().snapshot();
+    env.shutdown();
+    if let Some((pid, err)) = env.failures().into_iter().next() {
+        return Err(MfError::App(format!("process {pid:?} failed: {err}")));
+    }
+    let result = cell
+        .lock()
+        .take()
+        .ok_or_else(|| MfError::App("master produced no result".into()))?;
+    Ok(ConcurrentResult {
+        result,
+        outcome,
+        records,
+        machines_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_identical(a: &SequentialResult, b: &SequentialResult) {
+        assert_eq!(a.combined, b.combined, "combined fields must be bit-identical");
+        assert_eq!(a.l2_error, b.l2_error);
+        assert_eq!(a.per_grid.len(), b.per_grid.len());
+    }
+
+    #[test]
+    fn parallel_run_matches_sequential_bit_for_bit() {
+        let app = SequentialApp::new(2, 2, 1e-3);
+        let seq = app.run().unwrap();
+        let conc = run_concurrent(&app, &RunMode::Parallel, true).unwrap();
+        check_identical(&conc.result, &seq);
+        assert_eq!(conc.outcome.pools().len(), 1);
+        assert_eq!(conc.outcome.pools()[0].workers_created, 5);
+        // Parallel mode: everything in one task instance on one machine.
+        assert_eq!(conc.machines_used, 1);
+    }
+
+    #[test]
+    fn distributed_run_matches_sequential_bit_for_bit() {
+        let app = SequentialApp::new(2, 1, 1e-3);
+        let seq = app.run().unwrap();
+        let conc = run_concurrent(
+            &app,
+            &RunMode::Distributed {
+                hosts: RunMode::paper_hosts(),
+            },
+            true,
+        )
+        .unwrap();
+        check_identical(&conc.result, &seq);
+        // Master on the start-up machine + workers elsewhere.
+        assert!(conc.machines_used >= 2);
+    }
+
+    #[test]
+    fn io_worker_variant_matches_too() {
+        let app = SequentialApp::new(2, 1, 1e-3);
+        let seq = app.run().unwrap();
+        let conc = run_concurrent(&app, &RunMode::Parallel, false).unwrap();
+        check_identical(&conc.result, &seq);
+    }
+
+    #[test]
+    fn level_zero_single_worker() {
+        let app = SequentialApp::new(2, 0, 1e-3);
+        let conc = run_concurrent(&app, &RunMode::Parallel, true).unwrap();
+        assert_eq!(conc.outcome.pools()[0].workers_created, 1);
+        assert_eq!(conc.result.per_grid.len(), 1);
+    }
+
+    #[test]
+    fn trace_shows_welcomes_and_byes() {
+        let app = SequentialApp::new(2, 1, 1e-3);
+        let conc = run_concurrent(
+            &app,
+            &RunMode::Distributed {
+                hosts: RunMode::paper_hosts(),
+            },
+            true,
+        )
+        .unwrap();
+        let welcomes = conc
+            .records
+            .iter()
+            .filter(|r| r.message == "Welcome")
+            .count();
+        let byes = conc.records.iter().filter(|r| r.message == "Bye").count();
+        // Master + 3 workers.
+        assert_eq!(welcomes, 4);
+        assert_eq!(byes, 4);
+        // Workers ran in mainprog task instances on locus machines.
+        assert!(conc
+            .records
+            .iter()
+            .any(|r| r.manifold_name.as_str() == "Worker(event)"
+                && r.host.as_str() != "bumpa.sen.cwi.nl"));
+    }
+}

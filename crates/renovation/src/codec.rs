@@ -1,0 +1,208 @@
+//! Encoding solver payloads as MANIFOLD units.
+//!
+//! Workers are black boxes reading units from their input port; the master
+//! writes units to its output port. These helpers define the wire shape of
+//! a subsolve job and its result. Numeric bulk data travels as
+//! [`Unit::Reals`], which is reference-counted — within one task instance
+//! no copy is ever made, mirroring MANIFOLD's intra-task pass-by-reference.
+
+use manifold::prelude::*;
+use solver::problem::{Problem, ProblemKind};
+use solver::subsolve::{SubsolveRequest, SubsolveResult};
+use solver::WorkCounter;
+
+fn problem_to_unit(p: &Problem) -> Unit {
+    let (tag, x0, y0, s0) = match p.kind {
+        ProblemKind::Gaussian { x0, y0, s0 } => (0i64, x0, y0, s0),
+        ProblemKind::Manufactured => (1i64, 0.0, 0.0, 0.0),
+    };
+    Unit::tuple(vec![
+        Unit::real(p.ax),
+        Unit::real(p.ay),
+        Unit::real(p.eps),
+        Unit::real(p.t0),
+        Unit::real(p.t_end),
+        Unit::int(tag),
+        Unit::real(x0),
+        Unit::real(y0),
+        Unit::real(s0),
+    ])
+}
+
+fn problem_from_unit(u: &Unit) -> MfResult<Problem> {
+    let t = u.as_tuple().ok_or(MfError::UnitType { expected: "Tuple" })?;
+    if t.len() != 9 {
+        return Err(MfError::App(format!("problem tuple arity {}", t.len())));
+    }
+    let kind = match t[5].expect_int()? {
+        0 => ProblemKind::Gaussian {
+            x0: t[6].expect_real()?,
+            y0: t[7].expect_real()?,
+            s0: t[8].expect_real()?,
+        },
+        1 => ProblemKind::Manufactured,
+        k => return Err(MfError::App(format!("unknown problem kind {k}"))),
+    };
+    Ok(Problem {
+        ax: t[0].expect_real()?,
+        ay: t[1].expect_real()?,
+        eps: t[2].expect_real()?,
+        t0: t[3].expect_real()?,
+        t_end: t[4].expect_real()?,
+        kind,
+    })
+}
+
+/// Encode a subsolve request for the master → worker stream.
+pub fn request_to_unit(req: &SubsolveRequest) -> Unit {
+    let initial = match &req.initial_interior {
+        Some(v) => Unit::reals(v.clone()),
+        None => Unit::int(-1), // sentinel: sample the initial condition
+    };
+    Unit::tuple(vec![
+        Unit::int(req.root as i64),
+        Unit::int(req.l as i64),
+        Unit::int(req.m as i64),
+        Unit::real(req.t0),
+        Unit::real(req.t1),
+        Unit::real(req.tol),
+        problem_to_unit(&req.problem),
+        initial,
+    ])
+}
+
+/// Decode a subsolve request on the worker side.
+pub fn request_from_unit(u: &Unit) -> MfResult<SubsolveRequest> {
+    let t = u.as_tuple().ok_or(MfError::UnitType { expected: "Tuple" })?;
+    if t.len() != 8 {
+        return Err(MfError::App(format!("request tuple arity {}", t.len())));
+    }
+    let initial_interior = match &t[7] {
+        Unit::Int(-1) => None,
+        Unit::Reals(v) => Some(v.as_ref().clone()),
+        other => {
+            return Err(MfError::App(format!(
+                "bad initial data field: {other:?}"
+            )))
+        }
+    };
+    Ok(SubsolveRequest {
+        root: t[0].expect_int()? as u32,
+        l: t[1].expect_int()? as u32,
+        m: t[2].expect_int()? as u32,
+        t0: t[3].expect_real()?,
+        t1: t[4].expect_real()?,
+        tol: t[5].expect_real()?,
+        problem: problem_from_unit(&t[6])?,
+        initial_interior,
+    })
+}
+
+/// Encode a subsolve result for the worker → master.dataport stream.
+pub fn result_to_unit(res: &SubsolveResult) -> Unit {
+    Unit::tuple(vec![
+        Unit::int(res.l as i64),
+        Unit::int(res.m as i64),
+        Unit::reals(res.values.clone()),
+        Unit::int(res.steps as i64),
+        Unit::int(res.rejected as i64),
+        Unit::tuple(vec![
+            Unit::int(res.work.flops as i64),
+            Unit::int(res.work.steps as i64),
+            Unit::int(res.work.rejected as i64),
+            Unit::int(res.work.lin_iters as i64),
+            Unit::int(res.work.factorizations as i64),
+            Unit::int(res.work.assemblies as i64),
+        ]),
+    ])
+}
+
+/// Decode a subsolve result on the master side.
+pub fn result_from_unit(u: &Unit) -> MfResult<SubsolveResult> {
+    let t = u.as_tuple().ok_or(MfError::UnitType { expected: "Tuple" })?;
+    if t.len() != 6 {
+        return Err(MfError::App(format!("result tuple arity {}", t.len())));
+    }
+    let w = t[5]
+        .as_tuple()
+        .ok_or(MfError::UnitType { expected: "Tuple" })?;
+    if w.len() != 6 {
+        return Err(MfError::App("bad work tuple".into()));
+    }
+    Ok(SubsolveResult {
+        l: t[0].expect_int()? as u32,
+        m: t[1].expect_int()? as u32,
+        values: t[2].expect_reals()?.as_ref().clone(),
+        steps: t[3].expect_int()? as usize,
+        rejected: t[4].expect_int()? as usize,
+        work: WorkCounter {
+            flops: w[0].expect_int()? as u64,
+            steps: w[1].expect_int()? as u64,
+            rejected: w[2].expect_int()? as u64,
+            lin_iters: w[3].expect_int()? as u64,
+            factorizations: w[4].expect_int()? as u64,
+            assemblies: w[5].expect_int()? as u64,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solver::subsolve::subsolve;
+
+    #[test]
+    fn request_round_trip_without_data() {
+        let p = Problem::transport_benchmark();
+        let req = SubsolveRequest::for_grid(2, 3, 1, 1e-3, p);
+        let back = request_from_unit(&request_to_unit(&req)).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn request_round_trip_with_data() {
+        let p = Problem::manufactured_benchmark();
+        let mut req = SubsolveRequest::for_grid(2, 1, 1, 1e-4, p);
+        req.initial_interior = Some(vec![1.0, 2.5, -3.0]);
+        let back = request_from_unit(&request_to_unit(&req)).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn result_round_trip_is_exact() {
+        let p = Problem::manufactured_benchmark();
+        let req = SubsolveRequest::for_grid(2, 1, 0, 1e-3, p);
+        let res = subsolve(&req).unwrap();
+        let back = result_from_unit(&result_to_unit(&res)).unwrap();
+        assert_eq!(back, res);
+    }
+
+    #[test]
+    fn manufactured_problem_round_trips() {
+        let p = Problem::manufactured_benchmark();
+        let u = problem_to_unit(&p);
+        assert_eq!(problem_from_unit(&u).unwrap(), p);
+    }
+
+    #[test]
+    fn bad_payload_is_rejected() {
+        assert!(request_from_unit(&Unit::int(3)).is_err());
+        assert!(result_from_unit(&Unit::tuple(vec![Unit::int(1)])).is_err());
+        assert!(problem_from_unit(&Unit::tuple(vec![Unit::int(1); 9])).is_err());
+    }
+
+    #[test]
+    fn bulk_data_is_shared_not_copied() {
+        let p = Problem::transport_benchmark();
+        let req = SubsolveRequest::for_grid(2, 2, 2, 1e-3, p);
+        let res = subsolve(&req).unwrap();
+        let unit = result_to_unit(&res);
+        let clone = unit.clone();
+        match (&unit, &clone) {
+            (Unit::Tuple(a), Unit::Tuple(b)) => {
+                assert!(std::sync::Arc::ptr_eq(a, b));
+            }
+            _ => unreachable!(),
+        }
+    }
+}

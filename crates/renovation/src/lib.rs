@@ -1,0 +1,43 @@
+//! # renovation — the renovated concurrent application
+//!
+//! The paper's end product: the sequential sparse-grid program restructured
+//! into a concurrent application *without rewriting its numerical core*.
+//! This crate contains the pieces §5 describes:
+//!
+//! * [`master`] — the Master wrapper: everything the original `main` did
+//!   except the `subsolve` calls, expressed through the master behavior
+//!   interface of §4.3 (create a pool, request workers, feed them, collect
+//!   results, rendezvous, prolongate);
+//! * [`worker`] — the Worker wrapper around `subsolve` (read the job from
+//!   the input port, compute, write the result, raise `death_worker`);
+//! * [`codec`] — the unit encoding of [`SubsolveRequest`] /
+//!   [`SubsolveResult`] payloads travelling through MANIFOLD streams;
+//! * [`app`] — `mainprog.m`: wiring Master + Worker into `ProtocolMW` under
+//!   an [`Environment`], in the paper's two flavours — **parallel** (all
+//!   processes bundled into one task instance: `load 6`) and
+//!   **distributed** (one worker per task instance per machine: `load 1`,
+//!   `perpetual`);
+//! * [`cost`] — the calibrated cost model translating solver work into the
+//!   virtual seconds of the `cluster` simulator;
+//! * [`virtualrun`] — the Table 1 / Figure 1 experiment driver running the
+//!   paper's full parameter sweep on the simulated cluster.
+//!
+//! The headline guarantee, tested end to end: the concurrent versions
+//! produce **bit-identical** results to the sequential program ("These are
+//! written to a file and are exactly the same as in the sequential
+//! version", §6).
+//!
+//! [`SubsolveRequest`]: solver::SubsolveRequest
+//! [`SubsolveResult`]: solver::SubsolveResult
+//! [`Environment`]: manifold::Environment
+
+pub mod app;
+pub mod codec;
+pub mod cost;
+pub mod master;
+pub mod virtualrun;
+pub mod worker;
+
+pub use app::{run_concurrent, ConcurrentResult, RunMode};
+pub use cost::CostModel;
+pub use virtualrun::{run_distributed_experiment, ExperimentPoint};

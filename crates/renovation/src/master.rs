@@ -1,0 +1,102 @@
+//! The Master wrapper: the original `main` minus `subsolve`, behind the
+//! §4.3 master interface.
+//!
+//! The master performs the initialization ("the global data structure" —
+//! here the per-grid initial fields), then delegates every `subsolve(l, m)`
+//! of the nested loop to a worker in one pool, collects the results,
+//! synchronizes through the rendezvous, and performs the prolongation
+//! (combination) work itself — exactly the structure of the pseudo-program
+//! in §3.
+
+use manifold::mes;
+use manifold::prelude::*;
+use protocol::MasterHandle;
+use solver::grid::Grid2;
+use solver::sequential::{prolongation_phase, SequentialApp, SequentialResult};
+use solver::subsolve::SubsolveResult;
+use solver::{l2_norm, WorkCounter};
+
+use crate::codec::{request_to_unit, result_from_unit};
+
+/// Master-side configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MasterConfig {
+    /// The application parameters (root, level, le_tol, problem).
+    pub app: SequentialApp,
+    /// When true (the paper's design), the master samples each grid's
+    /// initial data during initialization and passes it to the worker
+    /// through its own ports. When false (the §4.1 "I/O workers"
+    /// alternative the authors did not try), workers obtain their input
+    /// themselves and the master only sends job parameters.
+    pub data_through_master: bool,
+}
+
+/// Run the master's life: steps 2–5 of the behavior interface. Returns the
+/// full application result (identical to [`SequentialApp::run`]).
+pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialResult> {
+    let app = cfg.app;
+    mes!(h.ctx(), "Welcome");
+
+    // Step 2: initialization work — build the "global data structure".
+    let grids = app.grids();
+    let mut work = WorkCounter::new();
+    let fine_grid = Grid2::finest(app.root, app.level);
+    let problem = app.problem;
+    let _init = fine_grid.sample(|x, y| problem.initial(x, y));
+    work.add_vector_ops(fine_grid.node_count(), 2);
+
+    // Step 3: one pool of workers, one per grid of the nested loop.
+    h.create_pool();
+    for idx in &grids {
+        // (b)+(c): request a worker and activate it.
+        let _worker = h.request_worker()?;
+        // (d): write the job — with the initial data segment when the
+        // master mediates all data.
+        let mut req = app.request_for(*idx);
+        if cfg.data_through_master {
+            let g = Grid2::new(app.root, idx.l, idx.m);
+            let mut interior = Vec::with_capacity(g.interior_count());
+            for j in 1..g.ny {
+                for i in 1..g.nx {
+                    interior.push(problem.initial(g.x(i), g.y(j)));
+                }
+            }
+            work.add_vector_ops(g.interior_count(), 2);
+            req.initial_interior = Some(interior);
+        }
+        h.send_work(request_to_unit(&req))?;
+    }
+
+    // (f): collect all results from our own dataport.
+    let mut per_grid: Vec<SubsolveResult> = Vec::with_capacity(grids.len());
+    for _ in &grids {
+        let res = result_from_unit(&h.collect()?)?;
+        work.merge(&res.work);
+        per_grid.push(res);
+    }
+
+    // (g)+(h): rendezvous.
+    h.rendezvous()?;
+
+    // Step 4: no more pools needed.
+    h.finished();
+
+    // Step 5: final sequential computation — the prolongation.
+    // (`combine` looks grids up by index, so collection order — which is
+    // nondeterministic under the port merge — cannot affect the result.)
+    per_grid.sort_by_key(|r| (r.l + r.m, r.l));
+    let combined = prolongation_phase(app.root, app.level, &per_grid, &mut work);
+    let t_end = problem.t_end;
+    let exact = fine_grid.sample(|x, y| problem.exact(x, y, t_end));
+    let diff: Vec<f64> = combined.iter().zip(&exact).map(|(a, b)| a - b).collect();
+    let l2_error = l2_norm(&diff);
+    mes!(h.ctx(), "Bye");
+
+    Ok(SequentialResult {
+        combined,
+        fine_grid,
+        per_grid,
+        work,
+        l2_error,
+    })
+}

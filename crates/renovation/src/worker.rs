@@ -1,0 +1,92 @@
+//! The Worker wrapper: `subsolve` behind the §4.3 worker interface.
+//!
+//! "The master and worker manifolds are easy to write as C wrappers around
+//! the original C subroutines of the sequential version" (§5). This is that
+//! wrapper: the numerical core ([`solver::subsolve()`]) is reused untouched;
+//! the wrapper only performs the four protocol steps — read, compute,
+//! write, raise `death_worker` — plus the `Welcome`/`Bye` messages the
+//! paper's chronological output shows.
+
+use manifold::mes;
+use manifold::prelude::*;
+use protocol::WorkerHandle;
+
+use crate::codec::{request_from_unit, result_to_unit};
+
+/// Create (but do not activate) one Worker process instance — the factory
+/// passed to [`protocol::protocol_mw`], standing in for the
+/// `manifold Worker(event) atomic.` declaration of `mainprog.m`.
+pub fn worker_factory(coord: &Coord, death_event: &Name) -> ProcessRef {
+    let death = death_event.clone();
+    coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+        let h = WorkerHandle::new(ctx, death);
+        mes!(h.ctx(), "Welcome");
+        // Step 1: read the job from our own input port.
+        let req = request_from_unit(&h.receive()?)?;
+        // Step 2: the computational job (the untouched legacy core).
+        let res = solver::subsolve(&req)
+            .map_err(|e| MfError::App(format!("subsolve({}, {}): {e}", req.l, req.m)))?;
+        // Step 3: write the results to our own output port.
+        h.submit(result_to_unit(&res))?;
+        // Step 4: signal death and return.
+        mes!(h.ctx(), "Bye");
+        h.die();
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{request_to_unit, result_from_unit};
+    use solver::problem::Problem;
+    use solver::subsolve::SubsolveRequest;
+    use std::time::Duration;
+
+    #[test]
+    fn worker_computes_one_job_and_dies() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let death = Name::new("death_worker");
+            let w = worker_factory(coord, &death);
+            coord.activate(&w)?;
+            let req =
+                SubsolveRequest::for_grid(2, 1, 1, 1e-3, Problem::manufactured_benchmark());
+            let mut st = coord.state();
+            st.send(request_to_unit(&req), &w, "input")?;
+            st.connect_to_self(&w, "output", "input", StreamType::KK)?;
+            let occ = st.idle(&["death_worker".into()])?;
+            assert_eq!(occ.source, w.id());
+            let res = result_from_unit(&coord.read("input")?).unwrap();
+            assert_eq!((res.l, res.m), (1, 1));
+            // Identical to calling the core directly.
+            let direct = solver::subsolve(&req).unwrap();
+            assert_eq!(res.values, direct.values);
+            w.core().wait_terminated(Duration::from_secs(10))?;
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+        assert!(env.failures().is_empty());
+    }
+
+    #[test]
+    fn worker_rejects_garbage_input() {
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let death = Name::new("death_worker");
+            let w = worker_factory(coord, &death);
+            coord.activate(&w)?;
+            let mut st = coord.state();
+            st.send(Unit::text("not a job"), &w, "input")?;
+            drop(st);
+            w.core().wait_terminated(Duration::from_secs(10))?;
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+        let fails = env.failures();
+        assert_eq!(fails.len(), 1, "worker should record a failure");
+        env.shutdown();
+    }
+}

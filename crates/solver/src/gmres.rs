@@ -1,0 +1,271 @@
+//! Restarted GMRES — the second Krylov solver of the substrate.
+//!
+//! The Rosenbrock stage systems are nonsymmetric; BiCGSTAB
+//! ([`crate::linsolve`]) is the production solver, but GMRES(m) is the
+//! classic alternative used by CWI-style transport codes, and having both
+//! lets the benches compare them on the same stage matrices (and the tests
+//! cross-validate one against the other).
+//!
+//! Implementation: Arnoldi with modified Gram-Schmidt, Givens-rotation QR
+//! of the Hessenberg matrix, left preconditioning, restart every `m`
+//! iterations.
+
+use crate::linsolve::{Preconditioner, SolveError, SolveStats};
+use crate::sparse::Csr;
+use crate::work::WorkCounter;
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Solve `A x = b` with left-preconditioned restarted GMRES(m). `x` holds
+/// the initial guess on entry and the solution on success.
+#[allow(clippy::too_many_arguments)] // a solver signature, mirrors bicgstab
+pub fn gmres(
+    a: &Csr,
+    precond: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    restart: usize,
+    rel_tol: f64,
+    max_iters: usize,
+    work: &mut WorkCounter,
+) -> Result<SolveStats, SolveError> {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    assert!(restart >= 1);
+
+    // Preconditioned rhs norm for the relative criterion.
+    let mut mb = vec![0.0; n];
+    precond.apply(b, &mut mb, work);
+    let mb_norm = norm2(&mb).max(1e-300);
+
+    let mut total_iters = 0usize;
+    let mut scratch = vec![0.0; n];
+    let mut r = vec![0.0; n];
+
+    loop {
+        // r = M⁻¹ (b - A x)
+        a.matvec_into(x, &mut scratch);
+        work.add_matvec(a.nnz());
+        for i in 0..n {
+            scratch[i] = b[i] - scratch[i];
+        }
+        precond.apply(&scratch, &mut r, work);
+        let beta = norm2(&r);
+        let resid = beta / mb_norm;
+        if resid <= rel_tol {
+            return Ok(SolveStats {
+                iterations: total_iters,
+                residual: resid,
+            });
+        }
+        if total_iters >= max_iters {
+            return Err(SolveError::MaxIterations { residual: resid });
+        }
+
+        // Arnoldi basis (restart+1 vectors) and Hessenberg factors.
+        let m = restart.min(max_iters - total_iters);
+        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
+        v.push(r.iter().map(|ri| ri / beta).collect());
+        let mut h = vec![vec![0.0f64; m]; m + 1];
+        // Givens rotations and the rotated rhs g.
+        let mut cs = vec![0.0f64; m];
+        let mut sn = vec![0.0f64; m];
+        let mut g = vec![0.0f64; m + 1];
+        g[0] = beta;
+
+        let mut k_used = 0usize;
+        for k in 0..m {
+            total_iters += 1;
+            work.add_lin_iter();
+            // w = M⁻¹ A v_k
+            a.matvec_into(&v[k], &mut scratch);
+            work.add_matvec(a.nnz());
+            let mut w = vec![0.0; n];
+            precond.apply(&scratch, &mut w, work);
+            // Modified Gram-Schmidt.
+            for (j, vj) in v.iter().enumerate().take(k + 1) {
+                let hjk = dot(&w, vj);
+                h[j][k] = hjk;
+                for i in 0..n {
+                    w[i] -= hjk * vj[i];
+                }
+            }
+            work.add_vector_ops(n, 2 * (k + 1));
+            let hk1 = norm2(&w);
+            h[k + 1][k] = hk1;
+
+            // Apply previous rotations to column k.
+            for j in 0..k {
+                let t = cs[j] * h[j][k] + sn[j] * h[j + 1][k];
+                h[j + 1][k] = -sn[j] * h[j][k] + cs[j] * h[j + 1][k];
+                h[j][k] = t;
+            }
+            // New rotation to annihilate h[k+1][k].
+            let denom = (h[k][k] * h[k][k] + hk1 * hk1).sqrt().max(1e-300);
+            cs[k] = h[k][k] / denom;
+            sn[k] = hk1 / denom;
+            h[k][k] = cs[k] * h[k][k] + sn[k] * hk1;
+            h[k + 1][k] = 0.0;
+            g[k + 1] = -sn[k] * g[k];
+            g[k] *= cs[k];
+
+            k_used = k + 1;
+            let rel = g[k + 1].abs() / mb_norm;
+            if rel <= rel_tol || hk1 < 1e-300 {
+                break;
+            }
+            v.push(w.iter().map(|wi| wi / hk1).collect());
+        }
+
+        // Back-substitute y from the triangular system H y = g.
+        let mut y = vec![0.0f64; k_used];
+        for i in (0..k_used).rev() {
+            let mut acc = g[i];
+            for (j, yj) in y.iter().enumerate().take(k_used).skip(i + 1) {
+                acc -= h[i][j] * yj;
+            }
+            if h[i][i].abs() < 1e-300 {
+                return Err(SolveError::Breakdown {
+                    iterations: total_iters,
+                });
+            }
+            y[i] = acc / h[i][i];
+        }
+        // x += V y
+        for (j, yj) in y.iter().enumerate() {
+            for i in 0..n {
+                x[i] += yj * v[j][i];
+            }
+        }
+        work.add_vector_ops(n, 2 * k_used);
+        // Loop restarts (or exits via the residual check at the top).
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::assemble;
+    use crate::grid::Grid2;
+    use crate::linsolve::{bicgstab, IdentityPrecond, Ilu0};
+    use crate::problem::Problem;
+
+    fn laplacian_1d(n: usize) -> Csr {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        Csr::from_triplets(n, &t)
+    }
+
+    #[test]
+    fn solves_identity_instantly() {
+        let a = Csr::identity(5);
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let mut x = vec![0.0; 5];
+        let mut w = WorkCounter::new();
+        let stats = gmres(&a, &IdentityPrecond, &b, &mut x, 10, 1e-12, 50, &mut w).unwrap();
+        assert!(stats.iterations <= 2);
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solves_spd_system_exactly_at_full_dimension() {
+        // Unrestarted GMRES is a direct method after n steps.
+        let a = laplacian_1d(20);
+        let x_true: Vec<f64> = (0..20).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let b = a.matvec(&x_true);
+        let mut x = vec![0.0; 20];
+        let mut w = WorkCounter::new();
+        let stats =
+            gmres(&a, &IdentityPrecond, &b, &mut x, 20, 1e-12, 40, &mut w).unwrap();
+        assert!(stats.iterations <= 20);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn restarts_still_converge() {
+        let a = laplacian_1d(40);
+        let b = vec![1.0; 40];
+        let mut x = vec![0.0; 40];
+        let mut w = WorkCounter::new();
+        let stats = gmres(&a, &IdentityPrecond, &b, &mut x, 5, 1e-8, 5000, &mut w).unwrap();
+        let r: Vec<f64> = a
+            .matvec(&x)
+            .iter()
+            .zip(&b)
+            .map(|(ax, bi)| ax - bi)
+            .collect();
+        assert!(crate::l2_norm(&r) < 1e-6, "residual {}", crate::l2_norm(&r));
+        assert!(stats.iterations > 5, "must have restarted");
+    }
+
+    #[test]
+    fn agrees_with_bicgstab_on_rosenbrock_matrix() {
+        let p = Problem::transport_benchmark();
+        let g = Grid2::new(2, 2, 2);
+        let mut w = WorkCounter::new();
+        let d = assemble(&g, &p, &mut w);
+        let m = d.a.identity_minus_scaled(0.01);
+        let ilu = Ilu0::new(&m, &mut w);
+        let b: Vec<f64> = (0..m.n()).map(|i| ((i % 13) as f64) / 13.0).collect();
+
+        let mut x1 = vec![0.0; m.n()];
+        gmres(&m, &ilu, &b, &mut x1, 30, 1e-10, 500, &mut w).unwrap();
+        let mut x2 = vec![0.0; m.n()];
+        bicgstab(&m, &ilu, &b, &mut x2, 1e-12, 500, &mut w).unwrap();
+        for (a, b) in x1.iter().zip(&x2) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn ilu_cuts_gmres_iterations() {
+        let p = Problem::transport_benchmark();
+        let g = Grid2::new(2, 3, 3);
+        let mut w = WorkCounter::new();
+        let d = assemble(&g, &p, &mut w);
+        let m = d.a.identity_minus_scaled(0.02);
+        let b = vec![1.0; m.n()];
+
+        let mut x1 = vec![0.0; m.n()];
+        let plain =
+            gmres(&m, &IdentityPrecond, &b, &mut x1, 50, 1e-8, 5000, &mut w).unwrap();
+        let ilu = Ilu0::new(&m, &mut w);
+        let mut x2 = vec![0.0; m.n()];
+        let pre = gmres(&m, &ilu, &b, &mut x2, 50, 1e-8, 5000, &mut w).unwrap();
+        assert!(
+            pre.iterations < plain.iterations,
+            "ILU {} vs plain {}",
+            pre.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn max_iterations_error() {
+        let a = laplacian_1d(60);
+        let b = vec![1.0; 60];
+        let mut x = vec![0.0; 60];
+        let mut w = WorkCounter::new();
+        let err = gmres(&a, &IdentityPrecond, &b, &mut x, 4, 1e-14, 6, &mut w).unwrap_err();
+        assert!(matches!(err, SolveError::MaxIterations { .. }));
+    }
+}

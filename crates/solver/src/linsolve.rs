@@ -1,0 +1,472 @@
+//! Sparse linear solvers: ILU(0) preconditioning and BiCGSTAB.
+//!
+//! Every Rosenbrock stage solves `(I - γ·dt·A)·k = rhs`. The matrix is
+//! nonsymmetric (advection), so we use BiCGSTAB preconditioned with an
+//! ILU(0) factorization that is recomputed only when `dt` changes — exactly
+//! the kind of "A matrix must be built up … again and again" cost structure
+//! the paper describes.
+
+use crate::sparse::Csr;
+use crate::work::WorkCounter;
+
+/// A left preconditioner `M ≈ A`: given `r`, produce `z ≈ A⁻¹ r`.
+pub trait Preconditioner {
+    /// Apply `z = M⁻¹ r`.
+    fn apply(&self, r: &[f64], z: &mut [f64], work: &mut WorkCounter);
+}
+
+/// The trivial preconditioner (`M = I`).
+pub struct IdentityPrecond;
+
+impl Preconditioner for IdentityPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64], _work: &mut WorkCounter) {
+        z.copy_from_slice(r);
+    }
+}
+
+/// Diagonal (Jacobi) preconditioner.
+pub struct JacobiPrecond {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPrecond {
+    /// Build from the matrix diagonal (zero entries are treated as 1).
+    pub fn new(a: &Csr) -> Self {
+        JacobiPrecond {
+            inv_diag: a
+                .diag()
+                .iter()
+                .map(|&d| if d.abs() < 1e-300 { 1.0 } else { 1.0 / d })
+                .collect(),
+        }
+    }
+}
+
+impl Preconditioner for JacobiPrecond {
+    fn apply(&self, r: &[f64], z: &mut [f64], work: &mut WorkCounter) {
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+        work.add_vector_ops(r.len(), 1);
+    }
+}
+
+/// Incomplete LU factorization with zero fill-in, on the sparsity pattern
+/// of the input matrix.
+pub struct Ilu0 {
+    /// Combined LU factors (unit lower L below the diagonal, U on and above).
+    lu: Csr,
+    /// Position of the diagonal entry within each row's value slice.
+    diag_pos: Vec<usize>,
+}
+
+impl Ilu0 {
+    /// Factor `a`. Rows must contain their diagonal entry (the Rosenbrock
+    /// matrices always do). Small pivots are bumped to keep the
+    /// factorization finite.
+    pub fn new(a: &Csr, work: &mut WorkCounter) -> Self {
+        let n = a.n();
+        let mut lu = a.clone();
+        let mut diag_pos = vec![0usize; n];
+        #[allow(clippy::needless_range_loop)] // row index drives two arrays
+        for r in 0..n {
+            let (cols, _) = lu.row(r);
+            diag_pos[r] = cols
+                .iter()
+                .position(|&c| c == r)
+                .unwrap_or_else(|| panic!("ILU(0): row {r} has no diagonal entry"));
+        }
+        // IKJ-variant ILU(0).
+        for i in 0..n {
+            // We need row i (mutable) and rows k < i (immutable). Copy row
+            // i's indices first to appease the borrow checker cheaply.
+            let (icols, _) = lu.row(i);
+            let icols: Vec<usize> = icols.to_vec();
+            for (ki, &k) in icols.iter().enumerate() {
+                if k >= i {
+                    break;
+                }
+                // pivot = a[i][k] / a[k][k]
+                let akk = {
+                    let (_, kvals) = lu.row(k);
+                    kvals[diag_pos[k]]
+                };
+                let akk = if akk.abs() < 1e-300 {
+                    1e-300_f64.copysign(akk)
+                } else {
+                    akk
+                };
+                let pivot = {
+                    let ivals = lu.row_vals_mut(i);
+                    ivals[ki] /= akk;
+                    ivals[ki]
+                };
+                // Row update: a[i][j] -= pivot * a[k][j] for j > k in both
+                // patterns.
+                let (kcols, kvals) = {
+                    let (c, v) = lu.row(k);
+                    (c.to_vec(), v.to_vec())
+                };
+                let ivals = lu.row_vals_mut(i);
+                let mut ji = ki + 1;
+                for (kc, kv) in kcols.iter().zip(&kvals) {
+                    if *kc <= k {
+                        continue;
+                    }
+                    // advance ji to the first column >= kc
+                    while ji < icols.len() && icols[ji] < *kc {
+                        ji += 1;
+                    }
+                    if ji == icols.len() {
+                        break;
+                    }
+                    if icols[ji] == *kc {
+                        ivals[ji] -= pivot * kv;
+                    }
+                }
+            }
+        }
+        work.add_factorization(lu.nnz());
+        Ilu0 { lu, diag_pos }
+    }
+}
+
+impl Preconditioner for Ilu0 {
+    fn apply(&self, r: &[f64], z: &mut [f64], work: &mut WorkCounter) {
+        let n = self.lu.n();
+        // Forward solve L y = r (unit diagonal), y stored in z.
+        for i in 0..n {
+            let (cols, vals) = self.lu.row(i);
+            let mut acc = r[i];
+            for (c, v) in cols.iter().zip(vals) {
+                if *c >= i {
+                    break;
+                }
+                acc -= v * z[*c];
+            }
+            z[i] = acc;
+        }
+        // Backward solve U z = y.
+        for i in (0..n).rev() {
+            let (cols, vals) = self.lu.row(i);
+            let mut acc = z[i];
+            let dp = self.diag_pos[i];
+            for k in (dp + 1)..cols.len() {
+                acc -= vals[k] * z[cols[k]];
+            }
+            z[i] = acc / vals[dp];
+        }
+        work.add_precond_apply(self.lu.nnz());
+    }
+}
+
+/// Why a solve failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SolveError {
+    /// Scalar breakdown (`rho` or `omega` vanished) before convergence.
+    Breakdown {
+        /// Iterations completed before the breakdown.
+        iterations: usize,
+    },
+    /// Iteration limit reached.
+    MaxIterations {
+        /// Relative residual at the limit.
+        residual: f64,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::Breakdown { iterations } => {
+                write!(f, "BiCGSTAB breakdown after {iterations} iterations")
+            }
+            SolveError::MaxIterations { residual } => {
+                write!(f, "BiCGSTAB hit max iterations (residual {residual:.3e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Statistics of a successful solve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveStats {
+    /// Iterations used.
+    pub iterations: usize,
+    /// Final relative residual.
+    pub residual: f64,
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Preconditioned BiCGSTAB: solve `A x = b` in place (`x` holds the initial
+/// guess on entry, the solution on success).
+pub fn bicgstab(
+    a: &Csr,
+    precond: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    rel_tol: f64,
+    max_iters: usize,
+    work: &mut WorkCounter,
+) -> Result<SolveStats, SolveError> {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let bnorm = norm2(b).max(1e-300);
+
+    let mut r = vec![0.0; n];
+    a.matvec_into(x, &mut r);
+    work.add_matvec(a.nnz());
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let r_hat = r.clone();
+    let mut rho = 1.0_f64;
+    let mut alpha = 1.0_f64;
+    let mut omega = 1.0_f64;
+    let mut v = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut p_hat = vec![0.0; n];
+    let mut s = vec![0.0; n];
+    let mut s_hat = vec![0.0; n];
+    let mut t = vec![0.0; n];
+
+    let mut resid = norm2(&r) / bnorm;
+    if resid <= rel_tol {
+        return Ok(SolveStats {
+            iterations: 0,
+            residual: resid,
+        });
+    }
+
+    for it in 1..=max_iters {
+        work.add_lin_iter();
+        let rho_new = dot(&r_hat, &r);
+        if rho_new.abs() < 1e-300 {
+            return Err(SolveError::Breakdown { iterations: it - 1 });
+        }
+        let beta = (rho_new / rho) * (alpha / omega);
+        for i in 0..n {
+            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        }
+        precond.apply(&p, &mut p_hat, work);
+        a.matvec_into(&p_hat, &mut v);
+        work.add_matvec(a.nnz());
+        let rv = dot(&r_hat, &v);
+        if rv.abs() < 1e-300 {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        alpha = rho_new / rv;
+        for i in 0..n {
+            s[i] = r[i] - alpha * v[i];
+        }
+        if norm2(&s) / bnorm <= rel_tol {
+            for i in 0..n {
+                x[i] += alpha * p_hat[i];
+            }
+            work.add_vector_ops(n, 6);
+            return Ok(SolveStats {
+                iterations: it,
+                residual: norm2(&s) / bnorm,
+            });
+        }
+        precond.apply(&s, &mut s_hat, work);
+        a.matvec_into(&s_hat, &mut t);
+        work.add_matvec(a.nnz());
+        let tt = dot(&t, &t);
+        if tt.abs() < 1e-300 {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        omega = dot(&t, &s) / tt;
+        if omega.abs() < 1e-300 {
+            return Err(SolveError::Breakdown { iterations: it });
+        }
+        for i in 0..n {
+            x[i] += alpha * p_hat[i] + omega * s_hat[i];
+            r[i] = s[i] - omega * t[i];
+        }
+        work.add_vector_ops(n, 10);
+        resid = norm2(&r) / bnorm;
+        if resid <= rel_tol {
+            return Ok(SolveStats {
+                iterations: it,
+                residual: resid,
+            });
+        }
+        rho = rho_new;
+    }
+    Err(SolveError::MaxIterations { residual: resid })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::assemble;
+    use crate::grid::Grid2;
+    use crate::problem::Problem;
+
+    fn laplacian_1d(n: usize) -> Csr {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            if i > 0 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+        }
+        Csr::from_triplets(n, &t)
+    }
+
+    #[test]
+    fn ilu0_of_triangular_matrix_is_exact() {
+        // For a lower or upper triangular matrix, ILU(0) = exact LU, so the
+        // preconditioner solves exactly.
+        let a = Csr::from_triplets(
+            3,
+            &[
+                (0, 0, 2.0),
+                (1, 0, 1.0),
+                (1, 1, 3.0),
+                (2, 1, -1.0),
+                (2, 2, 4.0),
+            ],
+        );
+        let mut w = WorkCounter::new();
+        let ilu = Ilu0::new(&a, &mut w);
+        let b = [2.0, 8.0, 3.0];
+        let mut z = vec![0.0; 3];
+        ilu.apply(&b, &mut z, &mut w);
+        let az = a.matvec(&z);
+        for (ai, bi) in az.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-12, "{az:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn ilu0_is_exact_for_tridiagonal() {
+        // Tridiagonal matrices incur no fill, so ILU(0) == LU.
+        let a = laplacian_1d(10);
+        let mut w = WorkCounter::new();
+        let ilu = Ilu0::new(&a, &mut w);
+        let b: Vec<f64> = (0..10).map(|i| (i as f64).sin() + 1.0).collect();
+        let mut z = vec![0.0; 10];
+        ilu.apply(&b, &mut z, &mut w);
+        let az = a.matvec(&z);
+        for (ai, bi) in az.iter().zip(&b) {
+            assert!((ai - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bicgstab_solves_identity_instantly() {
+        let a = Csr::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let mut x = vec![0.0; 4];
+        let mut w = WorkCounter::new();
+        let stats =
+            bicgstab(&a, &IdentityPrecond, &b, &mut x, 1e-12, 10, &mut w).unwrap();
+        assert!(stats.iterations <= 1);
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!((xi - bi).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bicgstab_solves_spd_system() {
+        let a = laplacian_1d(50);
+        let x_true: Vec<f64> = (0..50).map(|i| (0.3 * i as f64).cos()).collect();
+        let b = a.matvec(&x_true);
+        let mut x = vec![0.0; 50];
+        let mut w = WorkCounter::new();
+        let stats = bicgstab(&a, &IdentityPrecond, &b, &mut x, 1e-10, 500, &mut w).unwrap();
+        assert!(stats.residual <= 1e-10);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn ilu_precondition_cuts_iterations() {
+        // 2D advection-diffusion operator: nonsymmetric, modest size.
+        let p = Problem::transport_benchmark();
+        let g = Grid2::new(2, 2, 2); // 16x16 → 225 unknowns
+        let mut w = WorkCounter::new();
+        let d = assemble(&g, &p, &mut w);
+        let m = d.a.identity_minus_scaled(0.01);
+        let x_true: Vec<f64> = (0..m.n()).map(|i| ((i % 17) as f64) / 17.0).collect();
+        let b = m.matvec(&x_true);
+
+        let mut x1 = vec![0.0; m.n()];
+        let plain = bicgstab(&m, &IdentityPrecond, &b, &mut x1, 1e-10, 2000, &mut w).unwrap();
+
+        let ilu = Ilu0::new(&m, &mut w);
+        let mut x2 = vec![0.0; m.n()];
+        let pre = bicgstab(&m, &ilu, &b, &mut x2, 1e-10, 2000, &mut w).unwrap();
+
+        assert!(
+            pre.iterations < plain.iterations,
+            "ILU ({}) should beat plain ({})",
+            pre.iterations,
+            plain.iterations
+        );
+        for (xi, ti) in x2.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioner_scales_by_diagonal() {
+        let a = Csr::from_triplets(2, &[(0, 0, 2.0), (1, 1, 4.0)]);
+        let j = JacobiPrecond::new(&a);
+        let mut z = vec![0.0; 2];
+        let mut w = WorkCounter::new();
+        j.apply(&[2.0, 4.0], &mut z, &mut w);
+        assert_eq!(z, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn max_iterations_error() {
+        let a = laplacian_1d(100);
+        let b = vec![1.0; 100];
+        let mut x = vec![0.0; 100];
+        let mut w = WorkCounter::new();
+        let err = bicgstab(&a, &IdentityPrecond, &b, &mut x, 1e-14, 2, &mut w).unwrap_err();
+        assert!(matches!(err, SolveError::MaxIterations { .. }));
+    }
+
+    #[test]
+    fn zero_rhs_converges_immediately() {
+        let a = laplacian_1d(10);
+        let b = vec![0.0; 10];
+        let mut x = vec![0.0; 10];
+        let mut w = WorkCounter::new();
+        let stats = bicgstab(&a, &IdentityPrecond, &b, &mut x, 1e-10, 10, &mut w).unwrap();
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn rosenbrock_matrix_is_well_conditioned_for_small_dt() {
+        // I - γ dt A with small dt should need very few iterations.
+        let p = Problem::transport_benchmark();
+        let g = Grid2::new(2, 1, 1);
+        let mut w = WorkCounter::new();
+        let d = assemble(&g, &p, &mut w);
+        let m = d.a.identity_minus_scaled(1e-4);
+        let ilu = Ilu0::new(&m, &mut w);
+        let b = vec![1.0; m.n()];
+        let mut x = vec![0.0; m.n()];
+        let stats = bicgstab(&m, &ilu, &b, &mut x, 1e-10, 100, &mut w).unwrap();
+        assert!(stats.iterations <= 5, "took {}", stats.iterations);
+    }
+}

@@ -1,0 +1,148 @@
+//! Restriction operators: fine grid → coarse grid.
+//!
+//! The inverse direction of [`crate::combine::prolong_bilinear`]. Used for
+//! transferring a known field onto the anisotropic member grids (e.g. when
+//! the master distributes an already-computed fine-grid state to the
+//! workers) and by the convergence studies in [`crate::study`]. Two
+//! standard operators:
+//!
+//! * **injection** — sample the fine field at the coarse nodes (exact for
+//!   nested dyadic grids, where every coarse node coincides with a fine
+//!   node);
+//! * **full weighting** — the adjoint of bilinear prolongation (per
+//!   direction `[1/4, 1/2, 1/4]`), restricted to factor-2-per-direction
+//!   nestings; second-order accurate and smoothing.
+
+use crate::grid::Grid2;
+
+/// Injection: take the fine value at each coarse node. Requires the
+/// coarse grid's nodes to be a subset of the fine grid's (dyadic nesting:
+/// `coarse.l ≤ fine.l` and `coarse.m ≤ fine.m` with the same root).
+pub fn restrict_inject(fine: &Grid2, values: &[f64], coarse: &Grid2) -> Vec<f64> {
+    assert_eq!(values.len(), fine.node_count());
+    assert_eq!(fine.root, coarse.root, "grids must share the root level");
+    assert!(
+        fine.index.l >= coarse.index.l && fine.index.m >= coarse.index.m,
+        "injection requires a nested coarse grid"
+    );
+    let fx = 1usize << (fine.index.l - coarse.index.l);
+    let fy = 1usize << (fine.index.m - coarse.index.m);
+    let mut out = Vec::with_capacity(coarse.node_count());
+    for j in 0..=coarse.ny {
+        for i in 0..=coarse.nx {
+            out.push(values[fine.node_idx(i * fx, j * fy)]);
+        }
+    }
+    out
+}
+
+/// Full weighting for a factor-2 coarsening in both directions. Boundary
+/// nodes are injected (Dirichlet data is exact there anyway).
+pub fn restrict_full_weighting(fine: &Grid2, values: &[f64], coarse: &Grid2) -> Vec<f64> {
+    assert_eq!(values.len(), fine.node_count());
+    assert_eq!(fine.root, coarse.root);
+    assert_eq!(
+        (fine.index.l, fine.index.m),
+        (coarse.index.l + 1, coarse.index.m + 1),
+        "full weighting is defined for one dyadic level in each direction"
+    );
+    let mut out = Vec::with_capacity(coarse.node_count());
+    for j in 0..=coarse.ny {
+        for i in 0..=coarse.nx {
+            let (fi, fj) = (2 * i, 2 * j);
+            if coarse.is_boundary(i, j) {
+                out.push(values[fine.node_idx(fi, fj)]);
+                continue;
+            }
+            let v = |di: isize, dj: isize| {
+                values[fine.node_idx(
+                    (fi as isize + di) as usize,
+                    (fj as isize + dj) as usize,
+                )]
+            };
+            let center = v(0, 0);
+            let edges = v(-1, 0) + v(1, 0) + v(0, -1) + v(0, 1);
+            let corners = v(-1, -1) + v(-1, 1) + v(1, -1) + v(1, 1);
+            out.push(0.25 * center + 0.125 * edges + 0.0625 * corners);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::prolong_bilinear;
+
+    #[test]
+    fn injection_is_exact_at_coincident_nodes() {
+        let fine = Grid2::new(2, 2, 3);
+        let coarse = Grid2::new(2, 0, 1);
+        let f = |x: f64, y: f64| (3.0 * x).sin() + y * y;
+        let fv = fine.sample(f);
+        let cv = restrict_inject(&fine, &fv, &coarse);
+        let want = coarse.sample(f);
+        for (a, b) in cv.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn injection_after_prolongation_is_identity() {
+        let coarse = Grid2::new(2, 1, 0);
+        let fine = Grid2::new(2, 3, 2);
+        let cv = coarse.sample(|x, y| x * 2.0 - y);
+        let fv = prolong_bilinear(&coarse, &cv, &fine);
+        let back = restrict_inject(&fine, &fv, &coarse);
+        for (a, b) in back.iter().zip(&cv) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn full_weighting_preserves_bilinear_fields() {
+        let fine = Grid2::new(2, 2, 2);
+        let coarse = Grid2::new(2, 1, 1);
+        let f = |x: f64, y: f64| 1.0 + 2.0 * x - 0.5 * y + x * y;
+        let fv = fine.sample(f);
+        let cv = restrict_full_weighting(&fine, &fv, &coarse);
+        let want = coarse.sample(f);
+        for (a, b) in cv.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-13, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn full_weighting_smooths_noise() {
+        // Alternating ±1 noise on interior fine nodes must be strongly
+        // damped by full weighting; injection keeps it at full amplitude.
+        let fine = Grid2::new(2, 2, 2);
+        let coarse = Grid2::new(2, 1, 1);
+        let mut fv = vec![0.0; fine.node_count()];
+        for j in 0..=fine.ny {
+            for i in 0..=fine.nx {
+                if !fine.is_boundary(i, j) {
+                    fv[fine.node_idx(i, j)] = if (i + j) % 2 == 0 { 1.0 } else { -1.0 };
+                }
+            }
+        }
+        let fw = restrict_full_weighting(&fine, &fv, &coarse);
+        let inj = restrict_inject(&fine, &fv, &coarse);
+        let max_fw = crate::linf_norm(
+            &coarse.restrict_interior(&fw),
+        );
+        let max_inj = crate::linf_norm(
+            &coarse.restrict_interior(&inj),
+        );
+        assert!(max_fw < 0.3 * max_inj, "fw {max_fw} vs inj {max_inj}");
+    }
+
+    #[test]
+    #[should_panic(expected = "nested")]
+    fn injection_rejects_non_nested_grids() {
+        let fine = Grid2::new(2, 0, 2);
+        let coarse = Grid2::new(2, 1, 0); // finer in x than `fine`
+        let fv = fine.sample(|_, _| 0.0);
+        let _ = restrict_inject(&fine, &fv, &coarse);
+    }
+}

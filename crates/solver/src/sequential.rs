@@ -1,0 +1,219 @@
+//! The whole sequential program — the Rust analogue of `SeqSourceCode.c`.
+//!
+//! ```c
+//! root  = atoi(argv[1]);   /* refinement level of coarsest grid  */
+//! level = atoi(argv[2]);   /* additional refinement              */
+//! le_tol = atof(argv[3]);  /* tolerance of the integrator        */
+//! /* init … */
+//! for (lm = level - 1; lm <= level; lm++)
+//!     for (l = 0; l <= lm; l++)
+//!         subsolve(l, lm - l);
+//! /* prolongation … */
+//! ```
+//!
+//! This module preserves that structure exactly, so the *cut* of the
+//! renovation is visible: everything except the [`subsolve`] calls in the
+//! nested loop is "master" work, and each `subsolve` is the independent
+//! unit a worker can take over.
+
+use crate::combine::combine;
+use crate::grid::{Grid2, GridIndex};
+use crate::l2_norm;
+use crate::problem::Problem;
+use crate::rosenbrock::IntegrateError;
+use crate::subsolve::{subsolve, SubsolveRequest, SubsolveResult};
+use crate::work::WorkCounter;
+
+/// The sequential application: parameters of a run.
+#[derive(Clone, Copy, Debug)]
+pub struct SequentialApp {
+    /// Refinement level of the coarsest grid (`argv[1]`, the paper uses 2).
+    pub root: u32,
+    /// Additional refinement above the root level (`argv[2]`, 0–15).
+    pub level: u32,
+    /// Tolerance of the integrator (`argv[3]`, 1.0e-3 or 1.0e-4).
+    pub le_tol: f64,
+    /// The problem instance.
+    pub problem: Problem,
+}
+
+/// Result of a full sequential run.
+#[derive(Clone, Debug)]
+pub struct SequentialResult {
+    /// Combined solution on the finest grid `(level, level)` (full nodes).
+    pub combined: Vec<f64>,
+    /// The finest grid.
+    pub fine_grid: Grid2,
+    /// Per-grid results, in the nested-loop visit order.
+    pub per_grid: Vec<SubsolveResult>,
+    /// Total work including initialization and prolongation.
+    pub work: WorkCounter,
+    /// Discrete L2 error of the combined solution against the exact one at
+    /// `t_end` (available because the benchmark problems are analytic).
+    pub l2_error: f64,
+}
+
+impl SequentialApp {
+    /// An app over the standard transport benchmark.
+    pub fn new(root: u32, level: u32, le_tol: f64) -> Self {
+        SequentialApp {
+            root,
+            level,
+            le_tol,
+            problem: Problem::transport_benchmark(),
+        }
+    }
+
+    /// Replace the problem instance.
+    pub fn with_problem(mut self, p: Problem) -> Self {
+        self.problem = p;
+        self
+    }
+
+    /// The grid visit order of the nested loop.
+    pub fn grids(&self) -> Vec<GridIndex> {
+        Grid2::combination_indices(self.level)
+    }
+
+    /// The request a worker would receive for grid `(l, m)`.
+    pub fn request_for(&self, idx: GridIndex) -> SubsolveRequest {
+        SubsolveRequest::for_grid(self.root, idx.l, idx.m, self.le_tol, self.problem)
+    }
+
+    /// Run the whole program sequentially.
+    pub fn run(&self) -> Result<SequentialResult, IntegrateError> {
+        let mut work = WorkCounter::new();
+        // "Initialization data structure and some initial computations":
+        // sampling the initial condition on the finest grid stands in for
+        // the original's setup phase.
+        let fine_grid = Grid2::finest(self.root, self.level);
+        let p = self.problem;
+        let _init = fine_grid.sample(|x, y| p.initial(x, y));
+        work.add_vector_ops(fine_grid.node_count(), 2);
+
+        // The heavy computational work: the nested loop over grids.
+        let mut per_grid = Vec::new();
+        for idx in self.grids() {
+            let res = subsolve(&self.request_for(idx))?;
+            work.merge(&res.work);
+            per_grid.push(res);
+        }
+
+        // Prolongation work (the combination) on the finest grid.
+        let solutions: Vec<(GridIndex, Vec<f64>)> = per_grid
+            .iter()
+            .map(|r| (GridIndex::new(r.l, r.m), r.values.clone()))
+            .collect();
+        let combined = combine(self.root, self.level, &solutions, &mut work);
+
+        let t_end = p.t_end;
+        let exact = fine_grid.sample(|x, y| p.exact(x, y, t_end));
+        let diff: Vec<f64> = combined.iter().zip(&exact).map(|(a, b)| a - b).collect();
+        let l2_error = l2_norm(&diff);
+
+        Ok(SequentialResult {
+            combined,
+            fine_grid,
+            per_grid,
+            work,
+            l2_error,
+        })
+    }
+}
+
+/// Combine already-computed per-grid results (the master's prolongation
+/// phase in the renovated application). Shared by the sequential and
+/// concurrent versions so that their outputs are bit-identical.
+pub fn prolongation_phase(
+    root: u32,
+    level: u32,
+    per_grid: &[SubsolveResult],
+    work: &mut WorkCounter,
+) -> Vec<f64> {
+    let solutions: Vec<(GridIndex, Vec<f64>)> = per_grid
+        .iter()
+        .map(|r| (GridIndex::new(r.l, r.m), r.values.clone()))
+        .collect();
+    combine(root, level, &solutions, work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_zero_runs_single_grid() {
+        let app = SequentialApp::new(2, 0, 1e-3);
+        let res = app.run().unwrap();
+        assert_eq!(res.per_grid.len(), 1);
+        assert_eq!(res.combined.len(), Grid2::finest(2, 0).node_count());
+        assert!(res.l2_error.is_finite());
+    }
+
+    #[test]
+    fn grid_count_matches_worker_formula() {
+        for level in 1..=4 {
+            let app = SequentialApp::new(2, level, 1e-3);
+            assert_eq!(app.grids().len() as u32, 2 * level + 1);
+        }
+    }
+
+    #[test]
+    fn combined_error_is_reasonable() {
+        let app = SequentialApp::new(2, 2, 1e-4).with_problem(Problem::manufactured_benchmark());
+        let res = app.run().unwrap();
+        assert!(res.l2_error < 1e-2, "error {}", res.l2_error);
+    }
+
+    #[test]
+    fn error_decreases_with_level() {
+        let p = Problem::manufactured_benchmark();
+        let e1 = SequentialApp::new(2, 1, 1e-5)
+            .with_problem(p)
+            .run()
+            .unwrap()
+            .l2_error;
+        let e3 = SequentialApp::new(2, 3, 1e-5)
+            .with_problem(p)
+            .run()
+            .unwrap()
+            .l2_error;
+        assert!(
+            e3 < e1,
+            "level 3 ({e3:.3e}) should beat level 1 ({e1:.3e})"
+        );
+    }
+
+    #[test]
+    fn work_grows_steeply_with_level() {
+        let app1 = SequentialApp::new(2, 1, 1e-3);
+        let app3 = SequentialApp::new(2, 3, 1e-3);
+        let w1 = app1.run().unwrap().work.flops;
+        let w3 = app3.run().unwrap().work.flops;
+        assert!(w3 > 3 * w1, "w3 {w3} vs w1 {w1}");
+    }
+
+    #[test]
+    fn tighter_tolerance_costs_more() {
+        let a = SequentialApp::new(2, 2, 1e-3).run().unwrap().work.flops;
+        let b = SequentialApp::new(2, 2, 1e-5).run().unwrap().work.flops;
+        assert!(b > a, "tol 1e-5 ({b}) should cost more than 1e-3 ({a})");
+    }
+
+    #[test]
+    fn prolongation_phase_matches_run() {
+        let app = SequentialApp::new(2, 1, 1e-3);
+        let res = app.run().unwrap();
+        let mut w = WorkCounter::new();
+        let again = prolongation_phase(2, 1, &res.per_grid, &mut w);
+        assert_eq!(again, res.combined);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let app = SequentialApp::new(2, 1, 1e-3);
+        let a = app.run().unwrap();
+        let b = app.run().unwrap();
+        assert_eq!(a.combined, b.combined);
+    }
+}

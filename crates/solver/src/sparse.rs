@@ -1,0 +1,276 @@
+//! Compressed-sparse-row matrices.
+//!
+//! The discretized advection-diffusion operator is a pentadiagonal sparse
+//! matrix; the Rosenbrock integrator additionally needs `I - γ·dt·A` every
+//! time the step size changes. This module provides the minimal CSR tool
+//! set for both, with sorted column indices per row (required by the ILU(0)
+//! factorization in [`crate::linsolve`]).
+
+/// A square sparse matrix in CSR format with per-row sorted columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Build from (row, col, value) triplets; duplicate entries are summed.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> Csr {
+        let mut entries: Vec<(usize, usize, f64)> = triplets.to_vec();
+        entries.sort_by_key(|&(r, c, _)| (r, c));
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        let mut current_row = 0usize;
+        for (r, c, v) in entries {
+            assert!(r < n && c < n, "triplet ({r},{c}) out of range for n={n}");
+            while current_row < r {
+                row_ptr.push(col_idx.len());
+                current_row += 1;
+            }
+            if let (Some(&lc), Some(lv)) = (col_idx.last(), vals.last_mut()) {
+                if lc == c && row_ptr.len() - 1 == r && col_idx.len() > *row_ptr.last().unwrap() {
+                    // same row, same col as previous entry → accumulate
+                    *lv += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            vals.push(v);
+        }
+        while current_row < n {
+            row_ptr.push(col_idx.len());
+            current_row += 1;
+        }
+        Csr {
+            n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// The identity matrix of size `n`.
+    pub fn identity(n: usize) -> Csr {
+        Csr {
+            n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n).collect(),
+            vals: vec![1.0; n],
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Row slice accessors: `(columns, values)` of row `r`.
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        (&self.col_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Mutable values of row `r` (columns stay fixed).
+    pub fn row_vals_mut(&mut self, r: usize) -> &mut [f64] {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        &mut self.vals[lo..hi]
+    }
+
+    /// `y = A·x`.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        #[allow(clippy::needless_range_loop)] // hot kernel: keep plain indexing
+        for r in 0..self.n {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// Allocating matvec.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// Entry `(r, c)` if stored.
+    pub fn get(&self, r: usize, c: usize) -> Option<f64> {
+        let (cols, vals) = self.row(r);
+        cols.binary_search(&c).ok().map(|k| vals[k])
+    }
+
+    /// The main diagonal (0.0 where not stored).
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.n).map(|r| self.get(r, r).unwrap_or(0.0)).collect()
+    }
+
+    /// Compute `I - s·A`. Every diagonal entry is materialized even when
+    /// `A` has none stored.
+    pub fn identity_minus_scaled(&self, s: f64) -> Csr {
+        let mut triplets = Vec::with_capacity(self.nnz() + self.n);
+        for r in 0..self.n {
+            let (cols, vals) = self.row(r);
+            let mut has_diag = false;
+            for (c, v) in cols.iter().zip(vals) {
+                if *c == r {
+                    has_diag = true;
+                    triplets.push((r, r, 1.0 - s * v));
+                } else {
+                    triplets.push((r, *c, -s * v));
+                }
+            }
+            if !has_diag {
+                triplets.push((r, r, 1.0));
+            }
+        }
+        Csr::from_triplets(self.n, &triplets)
+    }
+
+    /// Dense representation (tests/diagnostics only).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        let mut d = vec![vec![0.0; self.n]; self.n];
+        #[allow(clippy::needless_range_loop)] // row index drives two arrays
+        for r in 0..self.n {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                d[r][*c] += v;
+            }
+        }
+        d
+    }
+
+    /// Infinity norm of the matrix (max absolute row sum).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.n)
+            .map(|r| self.row(r).1.iter().map(|v| v.abs()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Csr {
+        // [ 2 -1  0]
+        // [-1  2 -1]
+        // [ 0 -1  2]
+        Csr::from_triplets(
+            3,
+            &[
+                (0, 0, 2.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (1, 1, 2.0),
+                (1, 2, -1.0),
+                (2, 1, -1.0),
+                (2, 2, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn from_triplets_and_get() {
+        let a = example();
+        assert_eq!(a.n(), 3);
+        assert_eq!(a.nnz(), 7);
+        assert_eq!(a.get(0, 0), Some(2.0));
+        assert_eq!(a.get(0, 2), None);
+        assert_eq!(a.get(2, 1), Some(-1.0));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = Csr::from_triplets(2, &[(0, 0, 1.0), (0, 0, 2.5), (1, 1, 1.0)]);
+        assert_eq!(a.get(0, 0), Some(3.5));
+        assert_eq!(a.nnz(), 2);
+    }
+
+    #[test]
+    fn empty_rows_are_handled() {
+        let a = Csr::from_triplets(4, &[(0, 0, 1.0), (3, 3, 2.0)]);
+        assert_eq!(a.row(1).0.len(), 0);
+        assert_eq!(a.row(2).0.len(), 0);
+        let y = a.matvec(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = example();
+        let x = [1.0, 2.0, 3.0];
+        let y = a.matvec(&x);
+        let d = a.to_dense();
+        for r in 0..3 {
+            let want: f64 = (0..3).map(|c| d[r][c] * x[c]).sum();
+            assert!((y[r] - want).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn identity_matvec_is_identity() {
+        let i = Csr::identity(5);
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(i.matvec(&x), x.to_vec());
+    }
+
+    #[test]
+    fn identity_minus_scaled() {
+        let a = example();
+        let m = a.identity_minus_scaled(0.5);
+        // m = I - 0.5 A: diag = 1 - 1 = 0, off-diag = 0.5
+        assert_eq!(m.get(0, 0), Some(0.0));
+        assert_eq!(m.get(0, 1), Some(0.5));
+        assert_eq!(m.get(1, 2), Some(0.5));
+    }
+
+    #[test]
+    fn identity_minus_scaled_materializes_diagonal() {
+        let a = Csr::from_triplets(2, &[(0, 1, 1.0)]);
+        let m = a.identity_minus_scaled(2.0);
+        assert_eq!(m.get(0, 0), Some(1.0));
+        assert_eq!(m.get(0, 1), Some(-2.0));
+        assert_eq!(m.get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn diag_extraction() {
+        let a = example();
+        assert_eq!(a.diag(), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn norm_inf() {
+        let a = example();
+        assert_eq!(a.norm_inf(), 4.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_triplet_panics() {
+        let _ = Csr::from_triplets(2, &[(2, 0, 1.0)]);
+    }
+
+    #[test]
+    fn columns_are_sorted_per_row() {
+        let a = Csr::from_triplets(3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 1, 3.0)]);
+        let (cols, _) = a.row(0);
+        assert_eq!(cols, &[0, 1, 2]);
+    }
+}

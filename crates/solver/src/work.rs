@@ -1,0 +1,127 @@
+//! Work accounting.
+//!
+//! The original program is compute-bound: "In this routine, a linear system
+//! of equations (Ax = b) is solved for every time step. Moreover, this A
+//! matrix must be built up in the program which takes a lot of time."
+//! The [`WorkCounter`] tallies an architecture-independent flop estimate of
+//! all of that. The cluster simulator divides these flops by a host's
+//! effective speed to obtain virtual compute times, which is how Table 1's
+//! large levels are reproduced without a 32-machine cluster.
+
+use serde::{Deserialize, Serialize};
+
+/// Tally of the computational work performed by solver components.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkCounter {
+    /// Estimated floating-point operations.
+    pub flops: u64,
+    /// Accepted time steps.
+    pub steps: u64,
+    /// Rejected (error-controlled) time steps.
+    pub rejected: u64,
+    /// Linear-solver iterations.
+    pub lin_iters: u64,
+    /// Preconditioner factorizations.
+    pub factorizations: u64,
+    /// Matrix assemblies.
+    pub assemblies: u64,
+}
+
+impl WorkCounter {
+    /// Fresh, zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge a sparse matrix-vector product with `nnz` stored entries.
+    pub fn add_matvec(&mut self, nnz: usize) {
+        self.flops += 2 * nnz as u64;
+    }
+
+    /// Charge a triangular solve pair (ILU preconditioner application).
+    pub fn add_precond_apply(&mut self, nnz: usize) {
+        self.flops += 2 * nnz as u64;
+    }
+
+    /// Charge an ILU(0) factorization.
+    pub fn add_factorization(&mut self, nnz: usize) {
+        self.factorizations += 1;
+        // Each entry participates in a few multiply-subtract updates.
+        self.flops += 5 * nnz as u64;
+    }
+
+    /// Charge vector operations over `n` entries (`k` BLAS-1 passes).
+    pub fn add_vector_ops(&mut self, n: usize, k: usize) {
+        self.flops += (2 * n * k) as u64;
+    }
+
+    /// Charge a matrix assembly over `n` unknowns.
+    pub fn add_assembly(&mut self, n: usize) {
+        self.assemblies += 1;
+        // Stencil coefficient computation + triplet handling per node.
+        self.flops += 40 * n as u64;
+    }
+
+    /// Charge one linear-solver iteration.
+    pub fn add_lin_iter(&mut self) {
+        self.lin_iters += 1;
+    }
+
+    /// Charge an accepted step.
+    pub fn add_step(&mut self) {
+        self.steps += 1;
+    }
+
+    /// Charge a rejected step.
+    pub fn add_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Fold another counter into this one.
+    pub fn merge(&mut self, other: &WorkCounter) {
+        self.flops += other.flops;
+        self.steps += other.steps;
+        self.rejected += other.rejected;
+        self.lin_iters += other.lin_iters;
+        self.factorizations += other.factorizations;
+        self.assemblies += other.assemblies;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut w = WorkCounter::new();
+        w.add_matvec(100);
+        w.add_matvec(100);
+        assert_eq!(w.flops, 400);
+        w.add_step();
+        w.add_rejected();
+        w.add_lin_iter();
+        assert_eq!((w.steps, w.rejected, w.lin_iters), (1, 1, 1));
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = WorkCounter::new();
+        a.add_factorization(10);
+        let mut b = WorkCounter::new();
+        b.add_assembly(5);
+        b.add_step();
+        a.merge(&b);
+        assert_eq!(a.factorizations, 1);
+        assert_eq!(a.assemblies, 1);
+        assert_eq!(a.steps, 1);
+        assert_eq!(a.flops, 50 + 200);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        let w = WorkCounter::default();
+        assert_eq!(w.flops, 0);
+        assert_eq!(w.steps, 0);
+    }
+}

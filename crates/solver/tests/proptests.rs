@@ -1,0 +1,227 @@
+//! Property-based tests of the numerical substrate.
+
+use proptest::prelude::*;
+use solver::assemble::assemble;
+use solver::combine::{combine, prolong_bilinear};
+use solver::grid::{Grid2, GridIndex};
+use solver::linsolve::{bicgstab, Ilu0, Preconditioner};
+use solver::problem::Problem;
+use solver::sparse::Csr;
+use solver::{l2_norm, linf_norm, WorkCounter};
+
+// -------------------------------------------------------------------- CSR
+
+/// Random small sparse matrix with a guaranteed nonzero diagonal.
+fn arb_csr(n: usize) -> impl Strategy<Value = Csr> {
+    let off = prop::collection::vec((0..n, 0..n, -2.0..2.0f64), 0..3 * n);
+    let diag = prop::collection::vec(1.0..4.0f64, n);
+    (off, diag).prop_map(move |(off, diag)| {
+        let mut t: Vec<(usize, usize, f64)> = off;
+        for (i, d) in diag.into_iter().enumerate() {
+            t.push((i, i, d + 4.0)); // diagonally dominant-ish
+        }
+        Csr::from_triplets(n, &t)
+    })
+}
+
+proptest! {
+    /// CSR matvec agrees with the dense product.
+    #[test]
+    fn csr_matvec_matches_dense(a in arb_csr(8), x in prop::collection::vec(-3.0..3.0f64, 8)) {
+        let y = a.matvec(&x);
+        let d = a.to_dense();
+        for r in 0..8 {
+            let want: f64 = (0..8).map(|c| d[r][c] * x[c]).sum();
+            prop_assert!((y[r] - want).abs() < 1e-10);
+        }
+    }
+
+    /// `I - s·A` evaluated against a vector equals `x - s·A·x`.
+    #[test]
+    fn identity_minus_scaled_consistent(
+        a in arb_csr(6),
+        x in prop::collection::vec(-2.0..2.0f64, 6),
+        s in -1.0..1.0f64
+    ) {
+        let m = a.identity_minus_scaled(s);
+        let lhs = m.matvec(&x);
+        let ax = a.matvec(&x);
+        for i in 0..6 {
+            prop_assert!((lhs[i] - (x[i] - s * ax[i])).abs() < 1e-10);
+        }
+    }
+
+    /// Triplet order never matters.
+    #[test]
+    fn csr_from_triplets_is_order_independent(
+        mut t in prop::collection::vec((0usize..5, 0usize..5, -1.0..1.0f64), 1..20),
+        seed in any::<u64>()
+    ) {
+        let a = Csr::from_triplets(5, &t);
+        // Deterministic shuffle.
+        let mut s = seed;
+        for i in (1..t.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            t.swap(i, j);
+        }
+        let b = Csr::from_triplets(5, &t);
+        for r in 0..5 {
+            for c in 0..5 {
+                let av = a.get(r, c).unwrap_or(0.0);
+                let bv = b.get(r, c).unwrap_or(0.0);
+                prop_assert!((av - bv).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- linsolve
+
+proptest! {
+    /// BiCGSTAB + ILU(0) solves diagonally dominant systems to the
+    /// requested residual.
+    #[test]
+    fn bicgstab_converges_on_dominant_systems(
+        a in arb_csr(10),
+        x_true in prop::collection::vec(-2.0..2.0f64, 10)
+    ) {
+        let b = a.matvec(&x_true);
+        let mut w = WorkCounter::new();
+        let ilu = Ilu0::new(&a, &mut w);
+        let mut x = vec![0.0; 10];
+        let stats = bicgstab(&a, &ilu, &b, &mut x, 1e-9, 500, &mut w);
+        prop_assert!(stats.is_ok(), "solve failed: {stats:?}");
+        let r: Vec<f64> = a
+            .matvec(&x)
+            .iter()
+            .zip(&b)
+            .map(|(ax, bi)| ax - bi)
+            .collect();
+        prop_assert!(l2_norm(&r) <= 1e-6 * (1.0 + l2_norm(&b)));
+    }
+
+    /// The ILU(0) preconditioner of a *triangular* system is an exact
+    /// solver.
+    #[test]
+    fn ilu_exact_on_lower_triangular(
+        diag in prop::collection::vec(0.5..3.0f64, 6),
+        sub in prop::collection::vec(-1.0..1.0f64, 5)
+    ) {
+        let mut t = Vec::new();
+        for (i, d) in diag.iter().enumerate() {
+            t.push((i, i, *d));
+        }
+        for (i, v) in sub.iter().enumerate() {
+            t.push((i + 1, i, *v));
+        }
+        let a = Csr::from_triplets(6, &t);
+        let mut w = WorkCounter::new();
+        let ilu = Ilu0::new(&a, &mut w);
+        let rhs: Vec<f64> = (0..6).map(|i| (i as f64) - 2.5).collect();
+        let mut z = vec![0.0; 6];
+        ilu.apply(&rhs, &mut z, &mut w);
+        let az = a.matvec(&z);
+        for (ai, bi) in az.iter().zip(&rhs) {
+            prop_assert!((ai - bi).abs() < 1e-9);
+        }
+    }
+}
+
+// ------------------------------------------------------------ grids & co.
+
+proptest! {
+    /// Prolongation is exact on bilinear functions between *any* two grids.
+    #[test]
+    fn prolongation_exact_on_bilinear(
+        (la, ma, lb, mb) in (0u32..3, 0u32..3, 0u32..3, 0u32..3),
+        (c0, cx, cy, cxy) in (-2.0..2.0f64, -2.0..2.0f64, -2.0..2.0f64, -2.0..2.0f64)
+    ) {
+        let from = Grid2::new(2, la, ma);
+        let to = Grid2::new(2, lb, mb);
+        let f = |x: f64, y: f64| c0 + cx * x + cy * y + cxy * x * y;
+        let v = from.sample(f);
+        let p = prolong_bilinear(&from, &v, &to);
+        let want = to.sample(f);
+        for (a, b) in p.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-10, "{a} vs {b}");
+        }
+    }
+
+    /// Prolongation never overshoots: output values stay within the input
+    /// range (bilinear interpolation is a convex combination).
+    #[test]
+    fn prolongation_is_monotone_bounded(
+        values in prop::collection::vec(-5.0..5.0f64, 25)
+    ) {
+        let from = Grid2::new(1, 1, 1); // 4x4 cells → 25 nodes
+        let to = Grid2::new(1, 2, 2);
+        let lo = values.iter().copied().fold(f64::MAX, f64::min);
+        let hi = values.iter().copied().fold(f64::MIN, f64::max);
+        let p = prolong_bilinear(&from, &values, &to);
+        for v in &p {
+            prop_assert!(*v >= lo - 1e-12 && *v <= hi + 1e-12);
+        }
+    }
+
+    /// Combination of constant fields is the constant (the weights sum to
+    /// one), at any level.
+    #[test]
+    fn combination_partition_of_unity(level in 0u32..5, k in -3.0..3.0f64) {
+        let root = 2;
+        let sols: Vec<(GridIndex, Vec<f64>)> = Grid2::combination_indices(level)
+            .into_iter()
+            .map(|idx| {
+                let g = Grid2::new(root, idx.l, idx.m);
+                (idx, g.sample(|_, _| k))
+            })
+            .collect();
+        let mut w = WorkCounter::new();
+        let c = combine(root, level, &sols, &mut w);
+        for v in &c {
+            prop_assert!((v - k).abs() < 1e-10);
+        }
+    }
+
+    /// Restrict ∘ expand is the identity on interiors for any boundary.
+    #[test]
+    fn interior_round_trip(
+        interior in prop::collection::vec(-4.0..4.0f64, 9),
+        bval in -2.0..2.0f64
+    ) {
+        let g = Grid2::new(2, 0, 0); // 4x4 cells → 3x3 interior
+        let full = g.expand_interior(&interior, |_, _| bval);
+        prop_assert_eq!(g.restrict_interior(&full), interior);
+    }
+}
+
+// ------------------------------------------------------------ discretize
+
+proptest! {
+    /// The assembled operator annihilates constants (consistency) for any
+    /// velocity/diffusion combination.
+    #[test]
+    fn stencil_consistency(
+        ax in -3.0..3.0f64,
+        ay in -3.0..3.0f64,
+        eps in 1e-4..1.0f64
+    ) {
+        let p = Problem {
+            ax,
+            ay,
+            eps,
+            t0: 0.0,
+            t_end: 1.0,
+            kind: solver::problem::ProblemKind::Manufactured,
+        };
+        let g = Grid2::new(2, 1, 0);
+        let mut w = WorkCounter::new();
+        let d = assemble(&g, &p, &mut w);
+        let ones = vec![1.0; d.n()];
+        let mut au = d.a.matvec(&ones);
+        for &(row, _, _, c) in d.boundary_couplings() {
+            au[row] += c;
+        }
+        prop_assert!(linf_norm(&au) < 1e-8, "residual {}", linf_norm(&au));
+    }
+}

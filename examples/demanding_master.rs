@@ -1,0 +1,84 @@
+//! The "more demanding master" (§4.2): instead of one pool for all grids,
+//! raise `create_pool` once per grid *level* — the coordination schema in
+//! `ProtocolMW` serves any number of pools without modification.
+//!
+//! ```text
+//! cargo run -p renovation --release --example demanding_master
+//! ```
+
+use manifold::prelude::*;
+use protocol::{protocol_mw, MasterHandle};
+use renovation::codec::{request_to_unit, result_from_unit};
+use renovation::worker::worker_factory;
+use solver::grid::Grid2;
+use solver::sequential::prolongation_phase;
+use solver::{SequentialApp, WorkCounter};
+use std::sync::Arc;
+
+fn main() -> MfResult<()> {
+    let app = SequentialApp::new(2, 3, 1.0e-3);
+    let seq = app.run().map_err(|e| MfError::App(e.to_string()))?;
+
+    let env = Environment::new();
+    let combined = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let combined2 = combined.clone();
+
+    let outcome = env.run_coordinator("Main", |coord| {
+        let coord_ref = coord.self_ref();
+        let env2 = coord.env().clone();
+        let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
+            let h = MasterHandle::new(ctx, coord_ref, env2);
+            let mut per_grid = Vec::new();
+            // One pool per diagonal: lm = level-1, then lm = level.
+            for lm in app.level - 1..=app.level {
+                h.create_pool();
+                let diagonal: Vec<_> = (0..=lm).map(|l| (l, lm - l)).collect();
+                for &(l, m) in &diagonal {
+                    let _w = h.request_worker()?;
+                    let req = solver::SubsolveRequest::for_grid(
+                        app.root, l, m, app.le_tol, app.problem,
+                    );
+                    h.send_work(request_to_unit(&req))?;
+                }
+                for _ in &diagonal {
+                    per_grid.push(result_from_unit(&h.collect()?)?);
+                }
+                h.rendezvous()?;
+                println!(
+                    "pool for diagonal lm = {lm}: {} workers done",
+                    diagonal.len()
+                );
+            }
+            h.finished();
+            per_grid.sort_by_key(|r| (r.l + r.m, r.l));
+            let mut work = WorkCounter::new();
+            *combined2.lock() = prolongation_phase(app.root, app.level, &per_grid, &mut work);
+            Ok(())
+        });
+        coord.activate(&master)?;
+        let outcome = protocol_mw(coord, &master, worker_factory)?;
+        master
+            .core()
+            .wait_terminated(std::time::Duration::from_secs(300))?;
+        Ok(outcome)
+    })?;
+    env.shutdown();
+
+    let pools = outcome.pools();
+    println!();
+    println!(
+        "pools served: {} (workers per pool: {:?})",
+        pools.len(),
+        pools.iter().map(|p| p.workers_created).collect::<Vec<_>>()
+    );
+    let fine = Grid2::finest(app.root, app.level);
+    assert_eq!(pools.len(), 2);
+    assert_eq!(combined.lock().len(), fine.node_count());
+    assert_eq!(
+        *combined.lock(),
+        seq.combined,
+        "multi-pool result must equal the sequential result"
+    );
+    println!("multi-pool result is bit-identical to the sequential run.");
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! Quickstart: the MANIFOLD coordination model in one minute.
+//!
+//! A coordinator creates two atomic workers it knows nothing about
+//! computationally, wires their ports together (exogenous coordination),
+//! and reacts to their events. Run with:
+//!
+//! ```text
+//! cargo run -p renovation --example quickstart
+//! ```
+
+use manifold::prelude::*;
+
+fn main() -> MfResult<()> {
+    let env = Environment::new();
+
+    let sum = env.run_coordinator("Main", |coord| {
+        // A worker that squares whatever number it reads. Workers read and
+        // write only their *own* ports; they never name their peers.
+        let squarer = coord.create_atomic("Squarer", |ctx: ProcessCtx| {
+            loop {
+                let x = ctx.read("input")?.expect_real()?;
+                ctx.write("output", Unit::real(x * x))?;
+            }
+        });
+        // A worker that accumulates three numbers, emits the total, raises
+        // `done`, and dies.
+        let accumulator = coord.create_atomic("Accumulator", |ctx: ProcessCtx| {
+            let mut total = 0.0;
+            for _ in 0..3 {
+                total += ctx.read("input")?.expect_real()?;
+            }
+            ctx.write("output", Unit::real(total))?;
+            ctx.raise("done");
+            Ok(())
+        });
+        coord.activate(&squarer)?;
+        coord.activate(&accumulator)?;
+
+        // One coordinator state: squarer -> accumulator -> back to us. The
+        // result stream is KK so it survives the state preemption that the
+        // `done` event triggers.
+        let mut st = coord.state();
+        st.connect(&squarer, "output", &accumulator, "input", StreamType::BK)?;
+        st.connect_to_self(&accumulator, "output", "input", StreamType::KK)?;
+        for x in [3.0, 4.0, 5.0] {
+            st.send(Unit::real(x), &squarer, "input")?;
+        }
+        // IDLE until the accumulator announces completion; the state (and
+        // its BK streams) is dismantled on the way out.
+        let occurrence = st.idle(&["done".into()])?;
+        println!(
+            "event `{}` raised by process {}",
+            occurrence.name().unwrap(),
+            occurrence.source
+        );
+        coord.read("input")?.expect_real()
+    })?;
+
+    println!("3² + 4² + 5² = {sum}");
+    assert_eq!(sum, 50.0);
+    env.shutdown();
+    Ok(())
+}

@@ -1,0 +1,232 @@
+//! Stress and robustness tests of the coordination stack: many workers,
+//! many pools, repeated runs, failure injection.
+
+use manifold::prelude::*;
+use protocol::{protocol_mw, MasterHandle, ProtocolOutcome, WorkerHandle};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn echo_worker(coord: &Coord, death: &Name) -> ProcessRef {
+    let death = death.clone();
+    coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+        let h = WorkerHandle::new(ctx, death);
+        let u = h.receive()?;
+        h.submit(u)?;
+        h.die();
+        Ok(())
+    })
+}
+
+#[test]
+fn thirty_one_workers_like_level_15() {
+    // The paper's biggest pool: w = 2*15 + 1 = 31 workers.
+    let env = Environment::new();
+    let seen = Arc::new(AtomicUsize::new(0));
+    let seen2 = seen.clone();
+    let outcome = env
+        .run_coordinator("Main", |coord| {
+            let coord_ref = coord.self_ref();
+            let env2 = coord.env().clone();
+            let master = coord.create_atomic("Master", move |ctx: ProcessCtx| {
+                let h = MasterHandle::new(ctx, coord_ref, env2);
+                h.create_pool();
+                for k in 0..31 {
+                    let _w = h.request_worker()?;
+                    h.send_work(Unit::int(k))?;
+                }
+                let mut sum = 0i64;
+                for _ in 0..31 {
+                    sum += h.collect()?.expect_int()?;
+                }
+                assert_eq!(sum, (0..31).sum::<i64>());
+                seen2.store(sum as usize, Ordering::SeqCst);
+                h.rendezvous()?;
+                h.finished();
+                Ok(())
+            });
+            coord.activate(&master)?;
+            protocol_mw(coord, &master, echo_worker)
+        })
+        .unwrap();
+    assert_eq!(outcome.pools()[0].workers_created, 31);
+    assert_eq!(outcome.pools()[0].deaths_counted, 31);
+    assert_eq!(seen.load(Ordering::SeqCst), 465);
+    env.shutdown();
+    assert!(env.failures().is_empty());
+}
+
+#[test]
+fn ten_sequential_pools() {
+    let env = Environment::new();
+    let outcome = env
+        .run_coordinator("Main", |coord| {
+            let coord_ref = coord.self_ref();
+            let env2 = coord.env().clone();
+            let master = coord.create_atomic("Master", move |ctx: ProcessCtx| {
+                let h = MasterHandle::new(ctx, coord_ref, env2);
+                for _ in 0..10 {
+                    h.create_pool();
+                    for _ in 0..2 {
+                        let _w = h.request_worker()?;
+                        h.send_work(Unit::int(1))?;
+                    }
+                    for _ in 0..2 {
+                        let _ = h.collect()?;
+                    }
+                    h.rendezvous()?;
+                }
+                h.finished();
+                Ok(())
+            });
+            coord.activate(&master)?;
+            protocol_mw(coord, &master, echo_worker)
+        })
+        .unwrap();
+    assert_eq!(outcome.pools().len(), 10);
+    assert!(outcome
+        .pools()
+        .iter()
+        .all(|p| p.workers_created == 2 && p.deaths_counted == 2));
+    env.shutdown();
+}
+
+#[test]
+fn repeated_environments_do_not_leak_state() {
+    for round in 0..20 {
+        let env = Environment::new();
+        let outcome = env
+            .run_coordinator("Main", |coord| {
+                let coord_ref = coord.self_ref();
+                let env2 = coord.env().clone();
+                let master = coord.create_atomic("Master", move |ctx: ProcessCtx| {
+                    let h = MasterHandle::new(ctx, coord_ref, env2);
+                    h.create_pool();
+                    let _w = h.request_worker()?;
+                    h.send_work(Unit::int(round))?;
+                    let got = h.collect()?.expect_int()?;
+                    assert_eq!(got, round);
+                    h.rendezvous()?;
+                    h.finished();
+                    Ok(())
+                });
+                coord.activate(&master)?;
+                protocol_mw(coord, &master, echo_worker)
+            })
+            .unwrap();
+        assert!(matches!(outcome, ProtocolOutcome::Finished { .. }));
+        env.shutdown();
+        assert!(env.failures().is_empty(), "round {round} failed");
+    }
+}
+
+#[test]
+fn failing_worker_is_recorded_and_torn_down() {
+    // A worker that errors out instead of submitting. Faithful MANIFOLD
+    // behaviour: a crashed worker never raises death_worker, so the pool's
+    // rendezvous can never be acknowledged — the coordinator stalls in the
+    // pool. The *application* stays responsive: the master times out, the
+    // failure is recorded, and shutdown reclaims the stalled coordinator.
+    let env = Environment::new();
+    let master_done = Arc::new(AtomicUsize::new(0));
+    let md = master_done.clone();
+    let env2 = env.clone();
+    let coordinator = env.spawn_coordinator("Main", move |coord| {
+        let coord_ref = coord.self_ref();
+        let env3 = coord.env().clone();
+        let md2 = md.clone();
+        let master = coord.create_atomic("Master", move |ctx: ProcessCtx| {
+            let h = MasterHandle::new(ctx, coord_ref, env3);
+            h.create_pool();
+            let _w = h.request_worker()?;
+            h.send_work(Unit::int(1))?;
+            match h
+                .ctx()
+                .read_timeout("dataport", std::time::Duration::from_millis(300))
+            {
+                Err(MfError::Timeout) => {
+                    // Expected: the worker died without submitting.
+                    md2.store(1, Ordering::SeqCst);
+                    Ok(())
+                }
+                other => panic!("expected timeout, got {other:?}"),
+            }
+        });
+        coord.activate(&master)?;
+        protocol_mw(coord, &master, |coord, death| {
+            let death = death.clone();
+            coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+                let h = WorkerHandle::new(ctx, death);
+                let _ = h.receive()?;
+                Err(MfError::App("simulated crash".into()))
+            })
+        })?;
+        Ok(())
+    });
+    // The master finishes (with its timeout) even though the pool stalls.
+    for _ in 0..200 {
+        if master_done.load(Ordering::SeqCst) == 1 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert_eq!(master_done.load(Ordering::SeqCst), 1, "master never finished");
+    // The coordinator is stalled inside the pool (no rendezvous possible).
+    assert_ne!(
+        coordinator.life_state(),
+        manifold::process::LifeState::Terminated
+    );
+    // Shutdown reclaims everything and the crash is on record.
+    env2.shutdown();
+    let failures = env2.failures();
+    assert_eq!(failures.len(), 1);
+    assert!(matches!(failures[0].1, MfError::App(_)));
+}
+
+#[test]
+fn heavyweight_payloads_flow_through_pool() {
+    // 1 MB of reals per worker, checks no corruption and no copies lost.
+    let env = Environment::new();
+    env.run_coordinator("Main", |coord| {
+        let coord_ref = coord.self_ref();
+        let env2 = coord.env().clone();
+        let master = coord.create_atomic("Master", move |ctx: ProcessCtx| {
+            let h = MasterHandle::new(ctx, coord_ref, env2);
+            h.create_pool();
+            for k in 0..4 {
+                let _w = h.request_worker()?;
+                let data: Vec<f64> = (0..131_072).map(|i| (i + k) as f64).collect();
+                h.send_work(Unit::reals(data))?;
+            }
+            let mut checks = Vec::new();
+            for _ in 0..4 {
+                let sum = h.collect()?.expect_real()?;
+                checks.push(sum);
+            }
+            checks.sort_by(f64::total_cmp);
+            let expect: Vec<f64> = (0..4)
+                .map(|k| {
+                    (0..131_072u64).map(|i| (i + k) as f64).sum::<f64>()
+                })
+                .collect();
+            assert_eq!(checks, expect);
+            h.rendezvous()?;
+            h.finished();
+            Ok(())
+        });
+        coord.activate(&master)?;
+        protocol_mw(coord, &master, |coord, death| {
+            let death = death.clone();
+            coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+                let h = WorkerHandle::new(ctx, death);
+                let data = h.receive()?.expect_reals()?;
+                let sum: f64 = data.iter().sum();
+                h.submit(Unit::real(sum))?;
+                h.die();
+                Ok(())
+            })
+        })
+    })
+    .unwrap();
+    env.shutdown();
+    assert!(env.failures().is_empty());
+}
