@@ -82,21 +82,20 @@ fn bench_pool_overhead(c: &mut Criterion) {
                     env.run_coordinator("Main", |coord| {
                         let coord_ref = coord.self_ref();
                         let env2 = coord.env().clone();
-                        let master =
-                            coord.create_atomic("Master", move |ctx: ProcessCtx| {
-                                let h = MasterHandle::new(ctx, coord_ref, env2);
-                                h.create_pool();
-                                for _ in 0..workers {
-                                    let _w = h.request_worker()?;
-                                    h.send_work(Unit::int(1))?;
-                                }
-                                for _ in 0..workers {
-                                    let _ = h.collect()?;
-                                }
-                                h.rendezvous()?;
-                                h.finished();
-                                Ok(())
-                            });
+                        let master = coord.create_atomic("Master", move |ctx: ProcessCtx| {
+                            let h = MasterHandle::new(ctx, coord_ref, env2);
+                            h.create_pool();
+                            for _ in 0..workers {
+                                let _w = h.request_worker()?;
+                                h.send_work(Unit::int(1))?;
+                            }
+                            for _ in 0..workers {
+                                let _ = h.collect()?;
+                            }
+                            h.rendezvous()?;
+                            h.finished();
+                            Ok(())
+                        });
                         coord.activate(&master)?;
                         protocol_mw(coord, &master, |coord, death| {
                             let death = death.clone();

@@ -16,26 +16,16 @@ fn bench_sequential_vs_parallel(c: &mut Criterion) {
     group.sample_size(10);
     for level in [2u32, 3] {
         let app = SequentialApp::new(2, level, 1.0e-3);
-        group.bench_with_input(
-            BenchmarkId::new("sequential", level),
-            &app,
-            |b, app| b.iter(|| black_box(app.run().unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("parallel", level),
-            &app,
-            |b, app| {
-                b.iter(|| black_box(run_concurrent(app, &RunMode::Parallel, true).unwrap()))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("sequential", level), &app, |b, app| {
+            b.iter(|| black_box(app.run().unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", level), &app, |b, app| {
+            b.iter(|| black_box(run_concurrent(app, &RunMode::Parallel, true).unwrap()))
+        });
         group.bench_with_input(
             BenchmarkId::new("parallel_io_workers", level),
             &app,
-            |b, app| {
-                b.iter(|| {
-                    black_box(run_concurrent(app, &RunMode::Parallel, false).unwrap())
-                })
-            },
+            |b, app| b.iter(|| black_box(run_concurrent(app, &RunMode::Parallel, false).unwrap())),
         );
     }
     group.finish();

@@ -176,16 +176,8 @@ fn bench_integrators(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut w = WorkCounter::new();
-                integrate_theta(
-                    &d,
-                    black_box(u0.clone()),
-                    p.t0,
-                    p.t_end,
-                    dt,
-                    scheme,
-                    &mut w,
-                )
-                .unwrap()
+                integrate_theta(&d, black_box(u0.clone()), p.t0, p.t_end, dt, scheme, &mut w)
+                    .unwrap()
             })
         });
     }

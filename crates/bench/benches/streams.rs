@@ -7,7 +7,13 @@ use manifold::stream::{Stream, StreamType};
 use manifold::{ProcessId, Unit};
 use std::hint::black_box;
 
-fn wire(ty: StreamType) -> (std::sync::Arc<Port>, std::sync::Arc<Port>, std::sync::Arc<Stream>) {
+fn wire(
+    ty: StreamType,
+) -> (
+    std::sync::Arc<Port>,
+    std::sync::Arc<Port>,
+    std::sync::Arc<Stream>,
+) {
     let out = Port::new(ProcessId(1), "output");
     let inp = Port::new(ProcessId(2), "input");
     let s = Stream::new(ty);

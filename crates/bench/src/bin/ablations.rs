@@ -12,18 +12,27 @@
 //!    instant fork.
 //! 5. **Cluster heterogeneity** — the paper's 1200/1400/1466 MHz mix vs a
 //!    homogeneous 1200 MHz cluster.
+//! 6. **Dispatch policy** — the paper's feed-all-then-collect order vs the
+//!    bounded-pool and cost-aware (LPT) scheduler policies.
 //!
 //! ```text
-//! cargo run -p bench --release --bin ablations [-- --level N --tol T]
+//! cargo run -p bench --release --bin ablations \
+//!     [-- --level N --tol T] [--policy paper-faithful|bounded-reuse:N|cost-aware]
 //! ```
 
 use cluster::hosts::{paper_cluster, ClusterSpec, Host};
 use cluster::sim::DistributedSim;
 use cluster::workload::Workload;
+use protocol::DispatchPolicy;
 use renovation::cost::CostModel;
 
-fn measure(sim: &DistributedSim, wl: &Workload, seed: u64) -> (f64, f64, f64) {
-    let (st, ct, _m, _) = sim.run_averaged(wl, 5, seed);
+fn measure_with_policy(
+    sim: &DistributedSim,
+    wl: &Workload,
+    seed: u64,
+    policy: &dyn DispatchPolicy,
+) -> (f64, f64, f64) {
+    let (st, ct, _m, _) = sim.run_averaged_with_policy(wl, 5, seed, policy);
     (st, ct, st / ct)
 }
 
@@ -52,29 +61,53 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0e-3);
+    let policy = args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .map(|spec| protocol::parse_policy(spec).expect("unknown --policy"))
+        .unwrap_or_else(|| std::sync::Arc::new(protocol::PaperFaithful));
+    let policy = policy.as_ref();
 
     let model = CostModel::paper_calibrated();
     let sim = DistributedSim::new(paper_cluster(model.ref_flops_per_sec));
     let wl = model.workload(2, level, tol, true);
+    let measure =
+        |sim: &DistributedSim, wl: &Workload, seed: u64| measure_with_policy(sim, wl, seed, policy);
     let baseline = measure(&sim, &wl, 11);
 
-    println!("ablations at level {level}, tol {tol:.0e} (5 runs averaged)");
+    println!(
+        "ablations at level {level}, tol {tol:.0e} (5 runs averaged, dispatch: {})",
+        policy.name()
+    );
     println!();
     report("baseline (paper design)", baseline, baseline);
 
     // 1. I/O workers.
     let wl_io = model.workload(2, level, tol, false);
-    report("I/O workers (workers fetch own input, §4.1)", baseline, measure(&sim, &wl_io, 11));
+    report(
+        "I/O workers (workers fetch own input, §4.1)",
+        baseline,
+        measure(&sim, &wl_io, 11),
+    );
 
     // 2. Per-diagonal pools.
     let wl_pools = model.workload_per_diagonal(2, level, tol, true);
-    report("two pools, one per diagonal (§4.2 note)", baseline, measure(&sim, &wl_pools, 11));
+    report(
+        "two pools, one per diagonal (§4.2 note)",
+        baseline,
+        measure(&sim, &wl_pools, 11),
+    );
 
     // 3. Network sweeps.
     for (label, bw) in [("10 Mbps Ethernet", 1.1e6), ("1 Gbps Ethernet", 110.0e6)] {
         let mut slow = sim.clone();
         slow.network.bandwidth = bw;
-        report(&format!("network: {label}"), baseline, measure(&slow, &wl, 11));
+        report(
+            &format!("network: {label}"),
+            baseline,
+            measure(&slow, &wl, 11),
+        );
     }
 
     // 4. Instant task forking.
@@ -82,7 +115,11 @@ fn main() {
     instant.costs.task_fork = 0.0;
     instant.costs.first_fork_extra = 0.0;
     instant.costs.startup = 0.0;
-    report("instant task forks (no rsh/NFS cost)", baseline, measure(&instant, &wl, 11));
+    report(
+        "instant task forks (no rsh/NFS cost)",
+        baseline,
+        measure(&instant, &wl, 11),
+    );
 
     // 5. Homogeneous cluster.
     let homogeneous = ClusterSpec::new(
@@ -92,7 +129,23 @@ fn main() {
         model.ref_flops_per_sec,
     );
     let homo_sim = DistributedSim::new(homogeneous);
-    report("homogeneous 32 x 1200 MHz cluster", baseline, measure(&homo_sim, &wl, 11));
+    report(
+        "homogeneous 32 x 1200 MHz cluster",
+        baseline,
+        measure(&homo_sim, &wl, 11),
+    );
+
+    // 6. Dispatch policies against the paper's feed order.
+    report(
+        "dispatch: bounded-reuse pool of 4",
+        baseline,
+        measure_with_policy(&sim, &wl, 11, &protocol::BoundedReuse::new(4)),
+    );
+    report(
+        "dispatch: cost-aware (LPT) order",
+        baseline,
+        measure_with_policy(&sim, &wl, 11, &protocol::CostAware),
+    );
 
     println!();
     println!(

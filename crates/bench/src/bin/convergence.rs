@@ -34,8 +34,7 @@ fn main() {
         ("transport benchmark", Problem::transport_benchmark()),
     ] {
         println!("convergence study — {name}, root 2, le_tol {tol:.0e}");
-        let rows = convergence_study(2, 0..=max_level, tol, problem)
-            .expect("study solve failed");
+        let rows = convergence_study(2, 0..=max_level, tol, problem).expect("study solve failed");
         print!("{}", format_study(&rows));
         let orders = observed_orders(&rows);
         println!(

@@ -29,9 +29,7 @@ fn main() {
          peak {} machines, weighted average {:.1}",
         report.elapsed, report.peak_machines, report.weighted_avg_machines
     );
-    println!(
-        "(paper: a level-15 run of 634 s, sometimes 32 machines, weighted average 11)"
-    );
+    println!("(paper: a level-15 run of 634 s, sometimes 32 machines, weighted average 11)");
     println!();
 
     let samples = report.busy.sample(0.0, report.elapsed, 64);

@@ -66,8 +66,8 @@ fn main() {
         );
     } else {
         for f in files {
-            let source = std::fs::read_to_string(f)
-                .unwrap_or_else(|e| panic!("cannot read {f}: {e}"));
+            let source =
+                std::fs::read_to_string(f).unwrap_or_else(|e| panic!("cannot read {f}: {e}"));
             process(f, &source, print);
         }
     }

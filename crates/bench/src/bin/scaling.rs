@@ -36,8 +36,7 @@ fn main() {
     let model = CostModel::paper_calibrated();
     let wl = model.workload(2, level, tol, true);
     let full = paper_cluster(model.ref_flops_per_sec);
-    let st = DistributedSim::new(full.clone())
-        .sequential_time(&wl, &mut Perturbation::none());
+    let st = DistributedSim::new(full.clone()).sequential_time(&wl, &mut Perturbation::none());
 
     println!(
         "strong scaling at level {level}, tol {tol:.0e} \
@@ -54,7 +53,11 @@ fn main() {
         let report = sim.run(&wl, &mut Perturbation::none());
         let su = st / report.elapsed;
         let w = n as f64;
-        let serial = if n > 1 { (w / su - 1.0) / (w - 1.0) } else { 1.0 };
+        let serial = if n > 1 {
+            (w / su - 1.0) / (w - 1.0)
+        } else {
+            1.0
+        };
         println!(
             "{n:>8} {:>8.2} {:>7.2} {:>7} {:>14.3}",
             report.elapsed, su, report.peak_machines, serial

@@ -5,10 +5,11 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run -p bench --release --bin table1 [-- --io-workers] [--runs N]
+//! cargo run -p bench --release --bin table1 \
+//!     [-- --io-workers] [--runs N] [--policy paper-faithful|bounded-reuse:N|cost-aware]
 //! ```
 
-use renovation::run_distributed_experiment;
+use renovation::run_distributed_experiment_with_policy;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,16 +20,31 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(5usize);
+    let policy = args
+        .iter()
+        .position(|a| a == "--policy")
+        .and_then(|i| args.get(i + 1))
+        .map(|spec| protocol::parse_policy(spec).expect("unknown --policy"))
+        .unwrap_or_else(|| std::sync::Arc::new(protocol::PaperFaithful));
 
     let variant = if io_workers {
         "I/O-worker ablation (§4.1 alternative: workers fetch their own input)"
     } else {
         "paper design (all data through the master)"
     };
-    println!("Table 1 reproduction — {variant}, {runs} runs averaged");
+    println!(
+        "Table 1 reproduction — {variant}, {runs} runs averaged, dispatch: {}",
+        policy.name()
+    );
     println!();
-    let points =
-        run_distributed_experiment(0..=15, &[1.0e-3, 1.0e-4], runs, 20040406, !io_workers);
+    let points = run_distributed_experiment_with_policy(
+        0..=15,
+        &[1.0e-3, 1.0e-4],
+        runs,
+        20040406,
+        !io_workers,
+        policy.as_ref(),
+    );
     print!("{}", bench::format_table1(&points));
     println!();
     println!("paper reference (1.0e-3): su crosses 1.0 at level 10, reaches 7.8 at 15;");

@@ -36,14 +36,17 @@ fn main() {
     for (level, flops) in &shape.level_flops {
         let model_st = model.sequential_seconds(2, *level, REF_TOL);
         let g_meas = prev_flops.map(|p| flops / p);
-        let g_model = if *level > 0 { model_st / prev_model } else { f64::NAN };
+        let g_model = if *level > 0 {
+            model_st / prev_model
+        } else {
+            f64::NAN
+        };
         match g_meas {
             Some(g) => {
                 // Divide out the growth of the grid *count* (2l+1 vs 2l-1)
                 // to isolate the per-grid cost growth the model's
                 // `level_growth` constant describes.
-                let count_ratio =
-                    (2 * level + 1) as f64 / (2 * level - 1).max(1) as f64;
+                let count_ratio = (2 * level + 1) as f64 / (2 * level - 1).max(1) as f64;
                 println!(
                     "{level:>5} {:>16.2} {:>8.2} {:>17.2} {:>14.2}",
                     flops / 1e6,

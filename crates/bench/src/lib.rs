@@ -30,8 +30,7 @@ pub fn format_table1(points: &[ExperimentPoint]) -> String {
     tols.sort_by(|a, b| b.total_cmp(a));
     tols.dedup();
     for tol in tols {
-        let mut rows: Vec<&ExperimentPoint> =
-            points.iter().filter(|p| p.tol == tol).collect();
+        let mut rows: Vec<&ExperimentPoint> = points.iter().filter(|p| p.tol == tol).collect();
         rows.sort_by_key(|p| p.level);
         for p in rows {
             out.push_str(&format!(
@@ -59,12 +58,12 @@ pub fn ascii_plot(title: &str, series: &[(&str, Vec<(f64, f64)>)], log_y: bool) 
     }
     let tx = |v: f64| v;
     let ty = |v: f64| if log_y { v.max(1e-12).log10() } else { v };
-    let (xmin, xmax) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(tx(x)), hi.max(tx(x))));
-    let (ymin, ymax) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(ty(y)), hi.max(ty(y))));
+    let (xmin, xmax) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
+        (lo.min(tx(x)), hi.max(tx(x)))
+    });
+    let (ymin, ymax) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+        (lo.min(ty(y)), hi.max(ty(y)))
+    });
     let xspan = (xmax - xmin).max(1e-12);
     let yspan = (ymax - ymin).max(1e-12);
     let mut canvas = vec![vec![b' '; width]; height];
@@ -79,7 +78,10 @@ pub fn ascii_plot(title: &str, series: &[(&str, Vec<(f64, f64)>)], log_y: bool) 
     for (ri, row) in canvas.iter().enumerate() {
         let yv = ymax - yspan * ri as f64 / (height - 1) as f64;
         let label = if log_y { 10f64.powf(yv) } else { yv };
-        out.push_str(&format!("{label:>10.2} |{}\n", String::from_utf8_lossy(row)));
+        out.push_str(&format!(
+            "{label:>10.2} |{}\n",
+            String::from_utf8_lossy(row)
+        ));
     }
     out.push_str(&format!(
         "{:>10} +{}\n{:>10}  {:<10.1}{:>w$.1}\n",
@@ -91,7 +93,11 @@ pub fn ascii_plot(title: &str, series: &[(&str, Vec<(f64, f64)>)], log_y: bool) 
         w = width - 10
     ));
     for (si, (name, _)) in series.iter().enumerate() {
-        out.push_str(&format!("    {} {}\n", marks[si % marks.len()] as char, name));
+        out.push_str(&format!(
+            "    {} {}\n",
+            marks[si % marks.len()] as char,
+            name
+        ));
     }
     out
 }
@@ -119,11 +125,7 @@ mod tests {
 
     #[test]
     fn ascii_plot_renders_points() {
-        let s = ascii_plot(
-            "test",
-            &[("a", vec![(0.0, 1.0), (1.0, 10.0)])],
-            true,
-        );
+        let s = ascii_plot("test", &[("a", vec![(0.0, 1.0), (1.0, 10.0)])], true);
         assert!(s.contains('*'));
         assert!(s.starts_with("test\n"));
     }

@@ -29,6 +29,7 @@ use manifold::config::{ConfigSpec, HostName};
 use manifold::link::{Bundler, LinkSpec, Placement};
 use manifold::trace::TraceRecord;
 use manifold::Name;
+use protocol::{DispatchPolicy, PaperFaithful};
 
 use crate::des::EventQueue;
 use crate::hosts::ClusterSpec;
@@ -161,8 +162,26 @@ impl DistributedSim {
         t
     }
 
-    /// Simulate one distributed run.
+    /// Simulate one distributed run with the paper's verified dispatch
+    /// behavior (natural job order, unbounded in-flight window).
     pub fn run(&self, wl: &Workload, noise: &mut Perturbation) -> DistributedReport {
+        self.run_with_policy(wl, noise, &PaperFaithful)
+    }
+
+    /// Simulate one distributed run under an explicit [`DispatchPolicy`].
+    ///
+    /// The policy orders each pool's jobs (seeing their flop counts as
+    /// costs) and bounds the master's in-flight window: once `window` jobs
+    /// are outstanding the master collects the earliest-arriving result
+    /// before feeding the next worker — the same backpressure the live
+    /// runtime applies. [`PaperFaithful`] reproduces [`DistributedSim::run`]
+    /// exactly, noise draw for noise draw.
+    pub fn run_with_policy(
+        &self,
+        wl: &Workload,
+        noise: &mut Perturbation,
+        policy: &dyn DispatchPolicy,
+    ) -> DistributedReport {
         let mut bundler = Bundler::new(Self::link_spec(), self.config_spec());
         let master_name = Name::new("Master");
         let worker_name = Name::new("Worker");
@@ -175,19 +194,19 @@ impl DistributedSim {
         let mut deaths: EventQueue<WorkerDeath> = EventQueue::new();
         let mut task_forks = 0usize;
         let mut next_proc = 2u64; // process ids: master is 1
-        // Single-processor machines: a worker computes only when its host's
-        // CPU is free (earlier workers bundled onto the same machine run
-        // first — FIFO, which has the same makespan as time slicing).
+                                  // Single-processor machines: a worker computes only when its host's
+                                  // CPU is free (earlier workers bundled onto the same machine run
+                                  // first — FIFO, which has the same makespan as time slicing).
         let mut cpu_free: HashMap<HostName, f64> = HashMap::new();
 
         let record = |records: &mut Vec<TraceRecord>,
-                          host: &HostName,
-                          placement: &Placement,
-                          proc_uid: u64,
-                          manifold: &str,
-                          line: u32,
-                          t: f64,
-                          msg: &str| {
+                      host: &HostName,
+                      placement: &Placement,
+                      proc_uid: u64,
+                      manifold: &str,
+                      line: u32,
+                      t: f64,
+                      msg: &str| {
             let micros = (t * 1e6).round() as u64;
             records.push(TraceRecord {
                 host: host.clone(),
@@ -224,7 +243,28 @@ impl DistributedSim {
             let mut result_arrivals: Vec<(f64, usize)> = Vec::new();
             let mut last_death_event = t;
 
-            for job in pool {
+            // The policy sees each job's cost and answers with a dispatch
+            // order and an in-flight window.
+            let costs: Vec<f64> = pool.iter().map(|j| j.flops).collect();
+            let order = policy.order(&costs);
+            debug_assert_eq!(order.len(), pool.len());
+            let window = policy.window(pool.len()).max(1);
+
+            for &ji in &order {
+                let job = &pool[ji];
+                // Backpressure: with the window full, the master collects
+                // the earliest pending result before feeding more work.
+                while result_arrivals.len() >= window {
+                    let k = result_arrivals
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                        .map(|(i, _)| i)
+                        .expect("window is full");
+                    let (arrival, bytes) = result_arrivals.remove(k);
+                    let handle = wl.collect_flops_per_byte * bytes as f64 / master_speed;
+                    t = t.max(arrival) + noise.perturb(handle);
+                }
                 // Master raises create_worker; the coordinator reacts.
                 t += self.costs.event_latency;
                 // Any worker whose task already expired frees its machine
@@ -262,8 +302,7 @@ impl DistributedSim {
                 // workers.
                 let cpu = cpu_free.entry(placement.host.clone()).or_insert(0.0);
                 let worker_start = t.max(*cpu);
-                let compute =
-                    noise.perturb(self.cluster.compute_time(&placement.host, job.flops));
+                let compute = noise.perturb(self.cluster.compute_time(&placement.host, job.flops));
                 let worker_end = worker_start + compute;
                 *cpu = worker_end;
                 let flush = self.network.transfer(job.output_bytes, same_host);
@@ -272,8 +311,7 @@ impl DistributedSim {
                 // buffers; the death_worker event reaches the coordinator a
                 // hair after the worker's last action.
                 let release = worker_end + flush;
-                last_death_event =
-                    last_death_event.max(worker_end + self.costs.event_latency);
+                last_death_event = last_death_event.max(worker_end + self.costs.event_latency);
 
                 let proc_uid = next_proc;
                 next_proc += 1;
@@ -305,8 +343,8 @@ impl DistributedSim {
                 deaths.schedule(release, WorkerDeath { placement });
             }
 
-            // Collect phase: the master drains its dataport serially, in
-            // arrival order.
+            // Collect phase: the master drains the remaining in-flight
+            // results serially, in arrival order.
             result_arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
             for (arrival, bytes) in result_arrivals {
                 let handle = wl.collect_flops_per_byte * bytes as f64 / master_speed;
@@ -385,6 +423,17 @@ impl DistributedSim {
         runs: usize,
         base_seed: u64,
     ) -> (f64, f64, f64, Vec<DistributedReport>) {
+        self.run_averaged_with_policy(wl, runs, base_seed, &PaperFaithful)
+    }
+
+    /// [`DistributedSim::run_averaged`] under an explicit dispatch policy.
+    pub fn run_averaged_with_policy(
+        &self,
+        wl: &Workload,
+        runs: usize,
+        base_seed: u64,
+        policy: &dyn DispatchPolicy,
+    ) -> (f64, f64, f64, Vec<DistributedReport>) {
         assert!(runs > 0);
         let mut st_sum = 0.0;
         let mut ct_sum = 0.0;
@@ -394,7 +443,7 @@ impl DistributedSim {
             let mut seq_noise = Perturbation::overnight(base_seed + 1000 * k as u64);
             st_sum += self.sequential_time(wl, &mut seq_noise);
             let mut run_noise = Perturbation::overnight(base_seed + 1000 * k as u64 + 1);
-            let report = self.run(wl, &mut run_noise);
+            let report = self.run_with_policy(wl, &mut run_noise, policy);
             ct_sum += report.elapsed;
             m_sum += report.weighted_avg_machines;
             reports.push(report);
@@ -434,8 +483,7 @@ mod tests {
         let mut noise = Perturbation::none();
         let report = sim.run(&wl, &mut noise);
         // Concurrent elapsed can never beat the largest single job.
-        let min = sim.cluster.compute_time(&sim.cluster.startup().name, 1e9)
-            / (1466.0 / 1200.0);
+        let min = sim.cluster.compute_time(&sim.cluster.startup().name, 1e9) / (1466.0 / 1200.0);
         assert!(report.elapsed > min * 0.99, "{}", report.elapsed);
         assert!(report.elapsed.is_finite());
     }
@@ -519,10 +567,7 @@ mod tests {
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(report.records[0].message, "Welcome");
         assert_eq!(report.records.last().unwrap().message, "Bye");
-        assert_eq!(
-            report.records[0].manifold_name.as_str(),
-            "Master(port in)"
-        );
+        assert_eq!(report.records[0].manifold_name.as_str(), "Master(port in)");
     }
 
     #[test]
@@ -554,6 +599,54 @@ mod tests {
         let min = reports.iter().map(|r| r.elapsed).fold(f64::MAX, f64::min);
         let max = reports.iter().map(|r| r.elapsed).fold(0.0, f64::max);
         assert!(max / min < 1.4, "runs too noisy: {min} .. {max}");
+    }
+
+    #[test]
+    fn paper_faithful_policy_reproduces_run_exactly() {
+        let sim = sim();
+        let wl = simple_workload(6, 1e9);
+        let mut n1 = Perturbation::overnight(7);
+        let mut n2 = Perturbation::overnight(7);
+        let a = sim.run(&wl, &mut n1);
+        let b = sim.run_with_policy(&wl, &mut n2, &PaperFaithful);
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.weighted_avg_machines, b.weighted_avg_machines);
+        assert_eq!(a.task_forks, b.task_forks);
+    }
+
+    #[test]
+    fn bounded_policy_caps_peak_machines() {
+        let sim = sim();
+        let wl = simple_workload(9, 1e11);
+        let unbounded = sim.run(&wl, &mut Perturbation::none());
+        let bounded = sim.run_with_policy(
+            &wl,
+            &mut Perturbation::none(),
+            &protocol::BoundedReuse::new(2),
+        );
+        // At most 2 workers in flight + the master's machine.
+        assert!(
+            bounded.peak_machines <= 3,
+            "window 2 exceeded: {} machines",
+            bounded.peak_machines
+        );
+        assert!(bounded.peak_machines < unbounded.peak_machines);
+        // Throttling dispatch can only lengthen the run.
+        assert!(bounded.elapsed >= unbounded.elapsed);
+    }
+
+    #[test]
+    fn cost_aware_fronts_the_long_job() {
+        let sim = sim();
+        // One huge job hidden at the end of an otherwise light pool: the
+        // paper order feeds it last, LPT feeds it first and wins.
+        let mut wl = simple_workload(8, 1e9);
+        wl.pools[0].push(Job::new("huge", 2e11, 80_000, 80_000));
+        let paper = sim.run(&wl, &mut Perturbation::none()).elapsed;
+        let lpt = sim
+            .run_with_policy(&wl, &mut Perturbation::none(), &protocol::CostAware)
+            .elapsed;
+        assert!(lpt < paper, "LPT {lpt} should beat paper order {paper}");
     }
 
     #[test]

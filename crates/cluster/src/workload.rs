@@ -26,7 +26,12 @@ pub struct Job {
 
 impl Job {
     /// Construct a job.
-    pub fn new(label: impl Into<String>, flops: f64, input_bytes: usize, output_bytes: usize) -> Job {
+    pub fn new(
+        label: impl Into<String>,
+        flops: f64,
+        input_bytes: usize,
+        output_bytes: usize,
+    ) -> Job {
         Job {
             label: label.into(),
             flops,
@@ -67,12 +72,7 @@ impl Workload {
     pub fn sequential_flops(&self) -> f64 {
         self.init_flops
             + self.prolong_flops
-            + self
-                .pools
-                .iter()
-                .flatten()
-                .map(|j| j.flops)
-                .sum::<f64>()
+            + self.pools.iter().flatten().map(|j| j.flops).sum::<f64>()
     }
 
     /// Largest single job (the lower bound on the concurrent critical

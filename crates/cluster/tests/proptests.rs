@@ -66,19 +66,16 @@ proptest! {
 fn arb_workload() -> impl Strategy<Value = Workload> {
     let job = (1e6..1e11f64, 64usize..4_000_000, 64usize..4_000_000)
         .prop_map(|(f, i, o)| Job::new("j", f, i, o));
-    (
-        prop::collection::vec(job, 1..24),
-        1e5..1e8f64,
-        1e5..1e8f64,
-    )
-        .prop_map(|(jobs, init, prolong)| Workload {
+    (prop::collection::vec(job, 1..24), 1e5..1e8f64, 1e5..1e8f64).prop_map(
+        |(jobs, init, prolong)| Workload {
             name: "prop".into(),
             init_flops: init,
             prolong_flops: prolong,
             pools: vec![jobs],
             feed_flops_per_byte: 100.0,
             collect_flops_per_byte: 100.0,
-        })
+        },
+    )
 }
 
 proptest! {

@@ -1,0 +1,612 @@
+//! The `Strategy` trait, combinators, and primitive strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A recipe for generating random values of `Self::Value`.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy simply produces a value from an RNG.
+pub trait Strategy: 'static {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discard generated values failing `pred` (regenerating instead).
+    fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Build recursive structures: `f` maps a strategy for smaller
+    /// instances to a strategy for larger ones, applied up to `depth`
+    /// times. `desired_size` and `expected_branch_size` are accepted for
+    /// API parity; termination here is guaranteed by the bounded depth.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let base = self.boxed();
+        let mut current = base.clone();
+        for _ in 0..depth {
+            // Mix the base back in at every level so generated trees
+            // thin out toward the leaves.
+            let smaller = Union::new(vec![base.clone(), current]).boxed();
+            current = f(smaller).boxed();
+        }
+        Union::new(vec![base, current]).boxed()
+    }
+
+    /// Type-erase this strategy behind an `Arc`.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+}
+
+/// Object-safe generation, used behind [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A cheaply cloneable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U + 'static,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + 'static,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.reason
+        );
+    }
+}
+
+/// Uniform choice between alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Choose uniformly among `arms`.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: 'static> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.usize_in(0, self.arms.len());
+        self.arms[idx].generate(rng)
+    }
+}
+
+// ------------------------------------------------------------ primitives
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.i64_in(self.start as i64, self.end as i64) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, usize);
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        self.start + rng.next_u64() % (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.f64_in(self.start, self.end)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.f64_in(self.start as f64, self.end as f64) as f32
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, wide dynamic range.
+        let mag = rng.f64_in(-300.0, 300.0);
+        let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+        sign * rng.unit_f64() * 10f64.powf(mag / 30.0)
+    }
+}
+
+/// Strategy for [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary + 'static>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary + 'static> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// --------------------------------------------------- string patterns
+
+/// One quantified character class of a pattern.
+struct Segment {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// Parse the character-class subset of regex the tests use.
+fn parse_pattern(pattern: &str) -> Vec<Segment> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut segments = Vec::new();
+    while i < chars.len() {
+        let set = if chars[i] == '[' {
+            let (set, next) = parse_class(&chars, i + 1);
+            i = next;
+            set
+        } else {
+            // Literal (possibly escaped) character.
+            let c = if chars[i] == '\\' {
+                i += 1;
+                unescape(chars[i])
+            } else {
+                chars[i]
+            };
+            i += 1;
+            vec![c]
+        };
+        // Optional {m} / {m,n} quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                None => {
+                    let n: usize = body.parse().unwrap();
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(!set.is_empty(), "empty character class in {pattern:?}");
+        segments.push(Segment {
+            chars: set,
+            min,
+            max,
+        });
+    }
+    segments
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+/// Parse a `[...]` class starting just after the `[`. Returns the
+/// character set and the index just past the closing `]`. Supports
+/// negation (`[^…]`, complemented over printable ASCII + newline) and
+/// class intersection (`&&[…]`, used for subtraction as `&&[^…]`).
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let negated = chars[i] == '^';
+    if negated {
+        i += 1;
+    }
+    let mut set: Vec<char> = Vec::new();
+    let mut intersect: Option<Vec<char>> = None;
+    while chars[i] != ']' {
+        if chars[i] == '&' && chars.get(i + 1) == Some(&'&') {
+            assert_eq!(chars[i + 2], '[', "&& must be followed by a class");
+            let (sub, next) = parse_class(chars, i + 3);
+            intersect = Some(sub);
+            i = next;
+            continue;
+        }
+        let (c, consumed_escape) = if chars[i] == '\\' {
+            (unescape(chars[i + 1]), true)
+        } else {
+            (chars[i], false)
+        };
+        i += if consumed_escape { 2 } else { 1 };
+        // Range `a-z`? Only when the dash and upper bound are unescaped
+        // and the dash is not the class terminator.
+        if !consumed_escape && chars[i] == '-' && chars.get(i + 1).is_some_and(|&n| n != ']') {
+            let hi = if chars[i + 1] == '\\' {
+                i += 1;
+                unescape(chars[i + 1])
+            } else {
+                chars[i + 1]
+            };
+            i += 2;
+            for code in c as u32..=hi as u32 {
+                if let Some(ch) = char::from_u32(code) {
+                    set.push(ch);
+                }
+            }
+        } else {
+            set.push(c);
+        }
+    }
+    i += 1; // consume ']'
+    if negated {
+        let complement: Vec<char> = (0x20u32..=0x7e)
+            .filter_map(char::from_u32)
+            .chain(std::iter::once('\n'))
+            .filter(|c| !set.contains(c))
+            .collect();
+        set = complement;
+    }
+    if let Some(other) = intersect {
+        set.retain(|c| other.contains(c));
+    }
+    (set, i)
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        // Parsing per call keeps the type stateless; patterns are tiny.
+        let segments = parse_pattern(self);
+        let mut out = String::new();
+        for seg in &segments {
+            let count = rng.usize_in(seg.min, seg.max + 1);
+            for _ in 0..count {
+                out.push(seg.chars[rng.usize_in(0, seg.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assertion inside `proptest!` bodies (no shrinking: plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside `proptest!` bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests: each `fn name(pat in strategy, …) { body }`
+/// becomes a `#[test]` running the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        let s = (0usize..5, -2.0..2.0f64);
+        for _ in 0..200 {
+            let (a, b) = s.generate(&mut r);
+            assert!(a < 5);
+            assert!((-2.0..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn map_filter_union() {
+        let mut r = rng();
+        let s = crate::prop_oneof![(0i64..10).prop_map(|x| x * 2), Just(99i64),]
+            .prop_filter("nonzero", |&x| x != 0);
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!(v == 99 || (v % 2 == 0 && v != 0 && v < 20));
+        }
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut r = rng();
+        let ident = "[a-z][a-z0-9_]{0,6}";
+        for _ in 0..200 {
+            let s = ident.generate(&mut r);
+            assert!((1..=7).contains(&s.len()), "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+        let printable = "[ -~&&[^\"\\\\{}]]{0,12}";
+        for _ in 0..200 {
+            let s = printable.generate(&mut r);
+            assert!(s.len() <= 12);
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c));
+                assert!(!"\"\\{}".contains(c), "{s:?}");
+            }
+        }
+        let with_newline = "[ -~\\n]{0,20}";
+        for _ in 0..100 {
+            let s = with_newline.generate(&mut r);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(v) => {
+                    assert!((0..10).contains(v));
+                    1
+                }
+                Tree::Node(v) => 1 + v.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 24, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(depth(&s.generate(&mut r)) <= 7);
+        }
+    }
+
+    #[test]
+    fn vec_and_option() {
+        let mut r = rng();
+        let s = crate::collection::vec(crate::option::of(0u8..4), 2..6);
+        let mut saw_none = false;
+        let mut saw_some = false;
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+            for o in v {
+                match o {
+                    None => saw_none = true,
+                    Some(x) => {
+                        saw_some = true;
+                        assert!(x < 4);
+                    }
+                }
+            }
+        }
+        assert!(saw_none && saw_some);
+    }
+}

@@ -1,0 +1,33 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types to
+//! keep them wire-ready, but no in-tree code path actually serializes
+//! (there is no serializer crate in the dependency set). This shim keeps
+//! the annotations compiling in the offline build environment: the
+//! traits are markers with blanket impls, and the re-exported derives
+//! expand to nothing.
+
+/// Marker for types that could be serialized. Blanket-implemented.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that could be deserialized. Blanket-implemented.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization marker, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// `serde::de` namespace subset.
+pub mod de {
+    pub use super::{Deserialize, DeserializeOwned};
+}
+
+/// `serde::ser` namespace subset.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

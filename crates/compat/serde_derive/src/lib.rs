@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace actually serializes (there is no
+//! `serde_json` or similar in-tree), so the derives only need to make
+//! `#[derive(Serialize, Deserialize)]` compile. The companion `serde`
+//! shim provides blanket impls of the marker traits, so these macros
+//! emit no code at all.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (blanket impl lives in the `serde` shim).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (blanket impl lives in the `serde` shim).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

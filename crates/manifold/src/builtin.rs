@@ -93,11 +93,9 @@ pub fn void(coord: &Coord) -> MfResult<ProcessRef> {
 /// emitted as a §6-format trace message (prefixed with `label`).
 pub fn printer(coord: &Coord, label: &str) -> MfResult<ProcessRef> {
     let label = label.to_string();
-    let p = coord.create_atomic("printer", move |ctx: ProcessCtx| {
-        loop {
-            let u = ctx.read("input")?;
-            crate::mes!(ctx, "{label}: {u:?}");
-        }
+    let p = coord.create_atomic("printer", move |ctx: ProcessCtx| loop {
+        let u = ctx.read("input")?;
+        crate::mes!(ctx, "{label}: {u:?}");
     });
     coord.activate(&p)?;
     Ok(p)
@@ -151,9 +149,7 @@ mod tests {
     #[test]
     fn void_never_terminates_until_shutdown() {
         let env = Environment::new();
-        let v = env
-            .run_coordinator("Main", |coord| void(coord))
-            .unwrap();
+        let v = env.run_coordinator("Main", |coord| void(coord)).unwrap();
         std::thread::sleep(Duration::from_millis(30));
         assert_eq!(v.life_state(), LifeState::Active);
         env.shutdown();

@@ -155,8 +155,7 @@ impl ConfigSpec {
                     let machine = it
                         .next()
                         .ok_or_else(|| MfError::Spec("host: missing machine".into()))?;
-                    spec.hosts
-                        .push((Name::new(var), HostName::new(machine)));
+                    spec.hosts.push((Name::new(var), HostName::new(machine)));
                 }
                 Some("locus") => {
                     let task = it

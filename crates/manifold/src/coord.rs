@@ -269,11 +269,7 @@ impl<'c> StateScope<'c> {
     }
 
     /// Like [`StateScope::idle`] with a deadline.
-    pub fn idle_timeout(
-        self,
-        patterns: &[EventPattern],
-        t: Duration,
-    ) -> MfResult<EventOccurrence> {
+    pub fn idle_timeout(self, patterns: &[EventPattern], t: Duration) -> MfResult<EventOccurrence> {
         self.coord.ctx.wait_event_timeout(patterns, t)
     }
 
@@ -434,7 +430,10 @@ mod tests {
             let mut st = coord.state();
             st.send_ref(&w, &reader, "input")?;
             drop(st);
-            reader.core().wait_terminated(Duration::from_secs(5)).unwrap();
+            reader
+                .core()
+                .wait_terminated(Duration::from_secs(5))
+                .unwrap();
             assert!(reader
                 .core()
                 .events()

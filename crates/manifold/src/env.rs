@@ -134,11 +134,7 @@ impl Environment {
             .lock()
             .take()
             .ok_or(MfError::AlreadyActive(core.id()))?;
-        let placement = self
-            .shared
-            .bundler
-            .lock()
-            .place(core.manifold_name());
+        let placement = self.shared.bundler.lock().place(core.manifold_name());
         core.set_placement(placement.clone());
         // Task-instance load bookkeeping when the process goes away.
         let env = self.clone();
@@ -231,8 +227,7 @@ impl Environment {
     /// Kill every process (their blocking operations return
     /// [`MfError::Killed`]) and join all threads.
     pub fn shutdown(&self) {
-        let procs: Vec<Arc<ProcessCore>> =
-            self.shared.processes.lock().values().cloned().collect();
+        let procs: Vec<Arc<ProcessCore>> = self.shared.processes.lock().values().cloned().collect();
         for p in &procs {
             p.kill();
         }
@@ -297,19 +292,14 @@ mod tests {
         let env = Environment::new();
         let p = env.create_process("P", |_ctx: ProcessCtx| Ok(()));
         env.activate(&p).unwrap();
-        assert!(matches!(
-            env.activate(&p),
-            Err(MfError::AlreadyActive(_))
-        ));
+        assert!(matches!(env.activate(&p), Err(MfError::AlreadyActive(_))));
         env.shutdown();
     }
 
     #[test]
     fn failures_are_recorded() {
         let env = Environment::new();
-        let p = env.create_process("P", |_ctx: ProcessCtx| {
-            Err(MfError::App("boom".into()))
-        });
+        let p = env.create_process("P", |_ctx: ProcessCtx| Err(MfError::App("boom".into())));
         env.activate(&p).unwrap();
         p.core().wait_terminated(Duration::from_secs(5)).unwrap();
         let fails = env.failures();

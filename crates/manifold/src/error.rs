@@ -75,6 +75,8 @@ mod tests {
             MfError::NoSuchPort(Name::new("dataport")).to_string(),
             "no such port: dataport"
         );
-        assert!(MfError::Spec("bad token".into()).to_string().contains("bad token"));
+        assert!(MfError::Spec("bad token".into())
+            .to_string()
+            .contains("bad token"));
     }
 }

@@ -200,9 +200,7 @@ impl EventMemory {
     /// declarative statement, applied on block exit).
     pub fn purge_named(&self, name: &Name) {
         let mut inner = self.inner.lock();
-        inner
-            .occurrences
-            .retain(|o| o.name() != Some(name));
+        inner.occurrences.retain(|o| o.name() != Some(name));
     }
 
     /// Number of pending occurrences.
@@ -335,12 +333,8 @@ mod tests {
     fn termination_pattern() {
         let m = EventMemory::new();
         m.deliver(EventOccurrence::terminated(p(9)));
-        assert!(m
-            .try_select(&[EventPattern::Terminated(p(8))])
-            .is_none());
-        let (_, occ) = m
-            .try_select(&[EventPattern::Terminated(p(9))])
-            .unwrap();
+        assert!(m.try_select(&[EventPattern::Terminated(p(8))]).is_none());
+        let (_, occ) = m.try_select(&[EventPattern::Terminated(p(9))]).unwrap();
         assert!(occ.is_termination_of(p(9)));
     }
 

@@ -40,7 +40,9 @@ pub fn check_program(prog: &Program) -> MfResult<ProgramSummary> {
     };
     for item in &prog.items {
         match item {
-            Item::Manner { name, body, params, .. } => {
+            Item::Manner {
+                name, body, params, ..
+            } => {
                 summary.manners.push(name.clone());
                 collect_param_events(params, &mut summary.events);
                 check_block(body, &[], &mut summary)?;
@@ -128,11 +130,7 @@ fn check_block(
     Ok(())
 }
 
-fn check_action(
-    action: &Action,
-    labels: &[String],
-    summary: &mut ProgramSummary,
-) -> MfResult<()> {
+fn check_action(action: &Action, labels: &[String], summary: &mut ProgramSummary) -> MfResult<()> {
     match action {
         Action::Seq(parts) | Action::Group(parts) => {
             for p in parts {
@@ -244,17 +242,13 @@ mod tests {
 
     #[test]
     fn bad_priority_is_rejected() {
-        let prog =
-            parse_program("manner F() { priority a > b. begin: halt. }").unwrap();
+        let prog = parse_program("manner F() { priority a > b. begin: halt. }").unwrap();
         assert!(check_program(&prog).is_err());
     }
 
     #[test]
     fn bad_stream_type_is_rejected() {
-        let prog = parse_program(
-            "manner F() { stream XX a -> b. begin: halt. }",
-        )
-        .unwrap();
+        let prog = parse_program("manner F() { stream XX a -> b. begin: halt. }").unwrap();
         let err = check_program(&prog).unwrap_err();
         assert!(err.to_string().contains("XX"));
     }

@@ -111,12 +111,7 @@ impl<'p> Interp<'p> {
     }
 
     /// Call an exported manner by name with the given arguments.
-    pub fn call_manner(
-        &self,
-        coord: &Coord,
-        name: &str,
-        args: Vec<Value>,
-    ) -> MfResult<()> {
+    pub fn call_manner(&self, coord: &Coord, name: &str, args: Vec<Value>) -> MfResult<()> {
         let (params, body, _) = self
             .program
             .manner(name)
@@ -312,9 +307,7 @@ impl<'p> Interp<'p> {
                         .iter()
                         .map(|n| EventPattern::Named(n.clone()))
                         .collect();
-                    if let Some((_, occ)) =
-                        coord.ctx().core().events().try_select(&local_pats)
-                    {
+                    if let Some((_, occ)) = coord.ctx().core().events().try_select(&local_pats) {
                         current = occ.name().unwrap().as_str().to_string();
                         continue;
                     }
@@ -322,9 +315,7 @@ impl<'p> Interp<'p> {
                         .iter()
                         .map(|n| EventPattern::Named(n.clone()))
                         .collect();
-                    if let Some((_, occ)) =
-                        coord.ctx().core().events().try_select(&outer_pats)
-                    {
+                    if let Some((_, occ)) = coord.ctx().core().events().try_select(&outer_pats) {
                         break Flow::Preempted(occ);
                     }
                     break Flow::Done;
@@ -401,9 +392,7 @@ impl<'p> Interp<'p> {
             Action::Halt => Ok(Flow::Halted),
             Action::PreemptAll => Ok(Flow::Done),
             Action::Mes(msg) => {
-                coord
-                    .ctx()
-                    .trace(&self.source_name, line, msg.clone());
+                coord.ctx().trace(&self.source_name, line, msg.clone());
                 Ok(Flow::Done)
             }
             Action::Terminated(pname) => {
@@ -501,8 +490,7 @@ impl<'p> Interp<'p> {
                 streams.push(s);
             } else {
                 let src = self.resolve_process(&from.process, frame)?;
-                let src_port =
-                    src.port(from.port.clone().unwrap_or_else(|| "output".into()));
+                let src_port = src.port(from.port.clone().unwrap_or_else(|| "output".into()));
                 let s = Stream::new(ty);
                 src_port.attach_outgoing(&s);
                 sink_port.attach_incoming(&s);
@@ -544,9 +532,7 @@ impl<'p> Interp<'p> {
             Expr::Var(name) => match frame.lookup(name) {
                 Some(Value::Int(v)) => Ok(v),
                 Some(Value::Variable(var)) => Ok(var.get_int()),
-                other => Err(MfError::Spec(format!(
-                    "`{name}` is not numeric: {other:?}"
-                ))),
+                other => Err(MfError::Spec(format!("`{name}` is not numeric: {other:?}"))),
             },
             Expr::Binary { op, lhs, rhs } => {
                 let l = self.eval_int(lhs, frame)?;
@@ -611,7 +597,12 @@ mod tests {
             Interp::new(&prog, "count.m").call_manner(coord, "Count", vec![])
         })
         .unwrap();
-        let msgs: Vec<String> = env.trace().snapshot().into_iter().map(|r| r.message).collect();
+        let msgs: Vec<String> = env
+            .trace()
+            .snapshot()
+            .into_iter()
+            .map(|r| r.message)
+            .collect();
         assert!(msgs.contains(&"counted".to_string()));
         env.shutdown();
     }
@@ -630,8 +621,12 @@ mod tests {
             Interp::new(&prog, "nest.m").call_manner(coord, "Outer", vec![])
         })
         .unwrap();
-        let msgs: Vec<String> =
-            env.trace().snapshot().into_iter().map(|r| r.message).collect();
+        let msgs: Vec<String> = env
+            .trace()
+            .snapshot()
+            .into_iter()
+            .map(|r| r.message)
+            .collect();
         assert_eq!(msgs, vec!["inner".to_string(), "outer done".into()]);
         env.shutdown();
     }

@@ -251,16 +251,15 @@ impl Parser {
         if self.accept_word("manifold") {
             let name = self.ident()?;
             let mut arg_kinds = Vec::new();
-            if self.accept(&TokenKind::LParen)
-                && !self.accept(&TokenKind::RParen) {
-                    loop {
-                        arg_kinds.push(self.ident()?);
-                        if !self.accept(&TokenKind::Comma) {
-                            break;
-                        }
+            if self.accept(&TokenKind::LParen) && !self.accept(&TokenKind::RParen) {
+                loop {
+                    arg_kinds.push(self.ident()?);
+                    if !self.accept(&TokenKind::Comma) {
+                        break;
                     }
-                    self.expect(TokenKind::RParen)?;
                 }
+                self.expect(TokenKind::RParen)?;
+            }
             return Ok(Param::Manifold { name, arg_kinds });
         }
         if self.accept_word("event") {
@@ -683,7 +682,9 @@ mod tests {
         let (_, body, _) = prog.manner("F").unwrap();
         match &body.state("death").unwrap().body {
             Action::Seq(parts) => match &parts[1] {
-                Action::If { cond, otherwise, .. } => {
+                Action::If {
+                    cond, otherwise, ..
+                } => {
                     assert_eq!(cond.op, '<');
                     assert!(otherwise.is_some());
                 }
@@ -821,10 +822,7 @@ mod tests {
         let (_, body, _) = prog.manner("F").unwrap();
         assert_eq!(
             body.state("begin").unwrap().body,
-            Action::Group(vec![
-                Action::PreemptAll,
-                Action::Terminated("void".into())
-            ])
+            Action::Group(vec![Action::PreemptAll, Action::Terminated("void".into())])
         );
     }
 }

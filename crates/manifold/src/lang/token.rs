@@ -106,7 +106,9 @@ impl<'s> Lexer<'s> {
             }
             self.bump();
         }
-        String::from_utf8_lossy(&self.src[start..self.pos]).trim().to_string()
+        String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim()
+            .to_string()
     }
 
     fn ident(&mut self) -> String {
@@ -287,7 +289,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src).unwrap().tokens.into_iter().map(|t| t.kind).collect()
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

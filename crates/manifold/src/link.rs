@@ -100,7 +100,9 @@ impl LinkSpec {
     pub fn task(mut self, name: impl Into<Name>) -> Self {
         let name = name.into();
         // Replace the implicit default "main" task on first explicit decl.
-        if self.tasks.len() == 1 && self.tasks[0].name == "main" && self.tasks[0].includes.is_empty()
+        if self.tasks.len() == 1
+            && self.tasks[0].name == "main"
+            && self.tasks[0].includes.is_empty()
         {
             self.tasks.clear();
         }
@@ -197,9 +199,7 @@ impl LinkSpec {
                         let obj = atom(b.next())?;
                         includes.push(Name::new(obj.trim_end_matches(".o")));
                     }
-                    other => {
-                        return Err(MfError::Spec(format!("unknown task directive: {other}")))
-                    }
+                    other => return Err(MfError::Spec(format!("unknown task directive: {other}"))),
                 }
             }
             if name != "*" {
@@ -456,10 +456,7 @@ impl Bundler {
     /// Release a previously placed process. Returns the task death if the
     /// instance expired (load reached zero and it was not perpetual).
     pub fn release(&mut self, placement: &Placement) -> Option<TaskDeath> {
-        let inst = self
-            .instances
-            .iter_mut()
-            .find(|i| i.id == placement.task)?;
+        let inst = self.instances.iter_mut().find(|i| i.id == placement.task)?;
         inst.load = inst.load.saturating_sub(placement.weight);
         if inst.load == 0 && !inst.perpetual && inst.id != TaskInstanceId(0) {
             inst.alive = false;
@@ -512,9 +509,7 @@ impl Bundler {
 
     /// Is the given instance alive?
     pub fn is_alive(&self, task: TaskInstanceId) -> bool {
-        self.instances
-            .iter()
-            .any(|i| i.id == task && i.alive)
+        self.instances.iter().any(|i| i.id == task && i.alive)
     }
 }
 
@@ -607,7 +602,9 @@ mod tests {
             .weight("Filler", 1)
             .weight("Worker", 1)
             .task("t");
-        let config = ConfigSpec::with_startup("s").host("h", "m1").locus("t", &["h"]);
+        let config = ConfigSpec::with_startup("s")
+            .host("h", "m1")
+            .locus("t", &["h"]);
         let mut b = Bundler::new(link, config);
         // Fill the start-up instance first (it is always perpetual).
         let filler = b.place(&Name::new("Filler"));

@@ -286,11 +286,7 @@ impl ProcessCore {
                 TraceRecord::task_uid_for(p.task),
                 p.task_name.clone(),
             ),
-            None => (
-                crate::config::HostName::new("unplaced"),
-                0,
-                Name::new("?"),
-            ),
+            None => (crate::config::HostName::new("unplaced"), 0, Name::new("?")),
         };
         let micros = self.clock.now_micros();
         self.trace.record(TraceRecord {

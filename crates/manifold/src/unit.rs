@@ -57,6 +57,13 @@ impl Unit {
         Unit::Reals(Arc::new(v))
     }
 
+    /// Build a real-vector unit from an already shared buffer. The unit
+    /// references the same allocation — encoding an application payload
+    /// into a stream unit is O(1), no deep copy.
+    pub fn reals_shared(v: Arc<Vec<f64>>) -> Self {
+        Unit::Reals(v)
+    }
+
     /// Build a tuple unit.
     pub fn tuple(v: Vec<Unit>) -> Self {
         Unit::Tuple(Arc::new(v))
@@ -135,9 +142,9 @@ impl Unit {
 
     /// Like [`Unit::as_process_ref`] but returning a typed error.
     pub fn expect_process_ref(&self) -> MfResult<ProcessRef> {
-        self.as_process_ref()
-            .cloned()
-            .ok_or(MfError::UnitType { expected: "ProcessRef" })
+        self.as_process_ref().cloned().ok_or(MfError::UnitType {
+            expected: "ProcessRef",
+        })
     }
 
     /// Like [`Unit::as_text`] but returning a typed error.

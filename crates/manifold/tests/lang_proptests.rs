@@ -10,10 +10,33 @@ fn ident() -> impl Strategy<Value = String> {
     // Avoid keywords the parser treats specially.
     "[a-z][a-z0-9_]{0,6}".prop_filter("not a keyword", |s| {
         ![
-            "manner", "manifold", "process", "event", "port", "atomic", "save",
-            "ignore", "priority", "hold", "stream", "auto", "is", "begin",
-            "post", "raise", "halt", "terminated", "preemptall", "if", "then",
-            "else", "internal", "export", "in", "out", "end",
+            "manner",
+            "manifold",
+            "process",
+            "event",
+            "port",
+            "atomic",
+            "save",
+            "ignore",
+            "priority",
+            "hold",
+            "stream",
+            "auto",
+            "is",
+            "begin",
+            "post",
+            "raise",
+            "halt",
+            "terminated",
+            "preemptall",
+            "if",
+            "then",
+            "else",
+            "internal",
+            "export",
+            "in",
+            "out",
+            "end",
         ]
         .contains(&s.as_str())
     })
@@ -26,13 +49,13 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
         ident().prop_map(Expr::Ref),
     ];
     leaf.prop_recursive(2, 8, 2, |inner| {
-        (inner.clone(), prop_oneof![Just('+'), Just('-')], inner).prop_map(
-            |(lhs, op, rhs)| Expr::Binary {
+        (inner.clone(), prop_oneof![Just('+'), Just('-')], inner).prop_map(|(lhs, op, rhs)| {
+            Expr::Binary {
                 op,
                 lhs: Box::new(lhs),
                 rhs: Box::new(rhs),
-            },
-        )
+            }
+        })
     })
 }
 
@@ -68,7 +91,11 @@ fn arb_action() -> impl Strategy<Value = Action> {
             prop::collection::vec(inner.clone(), 1..4).prop_map(Action::Group),
             prop::collection::vec(inner.clone(), 2..4).prop_map(Action::Seq),
             (
-                (arb_expr(), prop_oneof![Just('<'), Just('>'), Just('=')], arb_expr()),
+                (
+                    arb_expr(),
+                    prop_oneof![Just('<'), Just('>'), Just('=')],
+                    arb_expr()
+                ),
                 inner.clone(),
                 prop::option::of(inner)
             )
@@ -88,7 +115,12 @@ fn arb_block() -> impl Strategy<Value = Block> {
                 prop::collection::vec(ident(), 1..3).prop_map(Declaration::Ignore),
                 prop::collection::vec(ident(), 1..3).prop_map(Declaration::Event),
                 ident().prop_map(Declaration::Hold),
-                (any::<bool>(), ident(), ident(), prop::collection::vec(arb_expr(), 0..2))
+                (
+                    any::<bool>(),
+                    ident(),
+                    ident(),
+                    prop::collection::vec(arb_expr(), 0..2)
+                )
                     .prop_map(|(auto, name, ctor, args)| Declaration::Process {
                         auto,
                         name,

@@ -118,8 +118,7 @@ fn environment_from_parsed_spec_files() {
     assert_eq!(mh.task_name.as_str(), "mainprog");
     assert!(p1.forked && p2.forked);
     assert_ne!(p1.host, p2.host);
-    assert!(["diplice.sen.cwi.nl", "alboka.sen.cwi.nl"]
-        .contains(&p1.host.as_str()));
+    assert!(["diplice.sen.cwi.nl", "alboka.sen.cwi.nl"].contains(&p1.host.as_str()));
     assert_eq!(env.with_bundler(|b| b.machines_in_use()), 3);
     env.shutdown();
 }

@@ -19,6 +19,11 @@
 //!   events.
 //! * [`MasterHandle`] / [`WorkerHandle`] — the behavior interfaces of §4.3,
 //!   step by step.
+//! * [`scheduler`] — dispatch policies layered over the protocol: the
+//!   paper's fork-per-job discipline ([`PaperFaithful`]), a bounded pool
+//!   with backpressure ([`BoundedReuse`]), and longest-job-first ordering
+//!   ([`CostAware`]). Both the live runtime and the cluster simulator
+//!   consume the same [`DispatchPolicy`] trait.
 //!
 //! The event vocabulary matches the paper exactly: [`CREATE_POOL`],
 //! [`CREATE_WORKER`], [`RENDEZVOUS`], [`A_RENDEZVOUS`], [`FINISHED`],
@@ -26,9 +31,13 @@
 
 pub mod handles;
 pub mod mw;
+pub mod scheduler;
 
 pub use handles::{MasterHandle, WorkerHandle};
 pub use mw::{create_worker_pool, protocol_mw, PoolStats, ProtocolOutcome};
+pub use scheduler::{
+    parse_policy, BoundedReuse, CostAware, DispatchPolicy, PaperFaithful, PolicyRef,
+};
 
 /// Master → coordinator: "I need a workers-pool to delegate work to"
 /// (handled at line 61 of `protocolMW.m`).

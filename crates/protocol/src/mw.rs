@@ -73,9 +73,7 @@ pub fn protocol_mw(
             }
             // finished: halt.                   (line 63)
             StateExit::Event(_) => return Ok(ProtocolOutcome::Finished { pools }),
-            StateExit::Terminated(_) => {
-                return Ok(ProtocolOutcome::MasterTerminated { pools })
-            }
+            StateExit::Terminated(_) => return Ok(ProtocolOutcome::MasterTerminated { pools }),
         }
     }
 }
@@ -249,8 +247,7 @@ mod tests {
         let env = Environment::new();
         let outcome = env
             .run_coordinator("Main", |coord| {
-                let master =
-                    coord.create_atomic("Master(port in)", move |_ctx: ProcessCtx| Ok(()));
+                let master = coord.create_atomic("Master(port in)", move |_ctx: ProcessCtx| Ok(()));
                 coord.activate(&master)?;
                 protocol_mw(coord, &master, squaring_worker)
             })

@@ -21,11 +21,11 @@ use manifold::link::LinkSpec;
 use manifold::prelude::*;
 use manifold::trace::TraceRecord;
 use parking_lot::Mutex;
-use protocol::{protocol_mw, MasterHandle, ProtocolOutcome};
+use protocol::{protocol_mw, MasterHandle, PaperFaithful, PolicyRef, ProtocolOutcome};
 use solver::sequential::{SequentialApp, SequentialResult};
 
 use crate::master::{master_body, MasterConfig};
-use crate::worker::worker_factory;
+use crate::worker::{worker_factory_with_gauge, WorkerGauge};
 
 /// Deployment flavour — the paper's link/configure stage choice.
 #[derive(Clone, Debug)]
@@ -108,27 +108,42 @@ pub struct ConcurrentResult {
     pub records: Vec<TraceRecord>,
     /// Distinct machines that hosted a task instance during the run.
     pub machines_used: usize,
+    /// Highest number of workers simultaneously inside their compute
+    /// section. Bounded by the dispatch policy's in-flight window.
+    pub peak_concurrent_workers: usize,
 }
 
 /// Run the renovated application concurrently. `data_through_master`
 /// selects the paper's design (true) or the §4.1 I/O-worker alternative
-/// (false); both produce identical numerical results.
+/// (false); both produce identical numerical results. Dispatch uses the
+/// paper's verified feed order ([`PaperFaithful`]).
 pub fn run_concurrent(
     app: &SequentialApp,
     mode: &RunMode,
     data_through_master: bool,
 ) -> MfResult<ConcurrentResult> {
+    run_concurrent_with_policy(app, mode, data_through_master, Arc::new(PaperFaithful))
+}
+
+/// [`run_concurrent`] with an explicit dispatch policy. All policies
+/// produce bit-identical numerical results; they differ only in job order,
+/// worker concurrency, and hence wall-clock/trace shape.
+pub fn run_concurrent_with_policy(
+    app: &SequentialApp,
+    mode: &RunMode,
+    data_through_master: bool,
+    policy: PolicyRef,
+) -> MfResult<ConcurrentResult> {
     let env = Environment::with_specs(mode.link_spec(app.level), mode.config_spec());
     let cell: Arc<Mutex<Option<SequentialResult>>> = Arc::new(Mutex::new(None));
-    let cfg = MasterConfig {
-        app: *app,
-        data_through_master,
-    };
+    let cfg = MasterConfig::new(*app, data_through_master).with_policy(policy);
+    let gauge = WorkerGauge::new();
 
     let run = env.run_coordinator("Main", |coord| {
         let coord_ref = coord.self_ref();
         let env2 = coord.env().clone();
         let cell2 = cell.clone();
+        let cfg = cfg.clone();
         let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
             let h = MasterHandle::new(ctx, coord_ref, env2);
             let result = master_body(&h, &cfg)?;
@@ -136,7 +151,7 @@ pub fn run_concurrent(
             Ok(())
         });
         coord.activate(&master)?;
-        let outcome = protocol_mw(coord, &master, worker_factory)?;
+        let outcome = protocol_mw(coord, &master, worker_factory_with_gauge(gauge.clone()))?;
         // "The master is still running and is also done after performing
         // the final prolongation computations."
         master.core().wait_terminated(Duration::from_secs(600))?;
@@ -159,6 +174,7 @@ pub fn run_concurrent(
         outcome,
         records,
         machines_used,
+        peak_concurrent_workers: gauge.peak(),
     })
 }
 
@@ -167,7 +183,10 @@ mod tests {
     use super::*;
 
     fn check_identical(a: &SequentialResult, b: &SequentialResult) {
-        assert_eq!(a.combined, b.combined, "combined fields must be bit-identical");
+        assert_eq!(
+            a.combined, b.combined,
+            "combined fields must be bit-identical"
+        );
         assert_eq!(a.l2_error, b.l2_error);
         assert_eq!(a.per_grid.len(), b.per_grid.len());
     }
@@ -215,6 +234,44 @@ mod tests {
         let conc = run_concurrent(&app, &RunMode::Parallel, true).unwrap();
         assert_eq!(conc.outcome.pools()[0].workers_created, 1);
         assert_eq!(conc.result.per_grid.len(), 1);
+    }
+
+    #[test]
+    fn bounded_reuse_caps_concurrent_workers() {
+        // Level 6 over a coarse root: 13 grids, cheap subsolves. With a
+        // pool of 3 the windowed dispatch must never let more than 3
+        // workers compute at once — and the answer stays bit-identical.
+        let app = SequentialApp::new(1, 6, 1e-3);
+        let seq = app.run().unwrap();
+        let conc = run_concurrent_with_policy(
+            &app,
+            &RunMode::Parallel,
+            true,
+            Arc::new(protocol::BoundedReuse::new(3)),
+        )
+        .unwrap();
+        check_identical(&conc.result, &seq);
+        assert_eq!(conc.outcome.pools()[0].workers_created, 13);
+        assert!(
+            conc.peak_concurrent_workers <= 3,
+            "pool of 3 exceeded: peak {}",
+            conc.peak_concurrent_workers
+        );
+        assert!(conc.peak_concurrent_workers >= 1);
+    }
+
+    #[test]
+    fn cost_aware_policy_matches_sequential_bit_for_bit() {
+        let app = SequentialApp::new(2, 2, 1e-3);
+        let seq = app.run().unwrap();
+        let conc = run_concurrent_with_policy(
+            &app,
+            &RunMode::Parallel,
+            true,
+            Arc::new(protocol::CostAware),
+        )
+        .unwrap();
+        check_identical(&conc.result, &seq);
     }
 
     #[test]

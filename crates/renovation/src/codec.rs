@@ -3,8 +3,10 @@
 //! Workers are black boxes reading units from their input port; the master
 //! writes units to its output port. These helpers define the wire shape of
 //! a subsolve job and its result. Numeric bulk data travels as
-//! [`Unit::Reals`], which is reference-counted — within one task instance
-//! no copy is ever made, mirroring MANIFOLD's intra-task pass-by-reference.
+//! [`Unit::Reals`], which is reference-counted, and the application types
+//! carry `Arc`-shared buffers too — so encode, port transfer, and decode
+//! all hand around one allocation, mirroring MANIFOLD's intra-task
+//! pass-by-reference end to end.
 
 use manifold::prelude::*;
 use solver::problem::{Problem, ProblemKind};
@@ -30,7 +32,9 @@ fn problem_to_unit(p: &Problem) -> Unit {
 }
 
 fn problem_from_unit(u: &Unit) -> MfResult<Problem> {
-    let t = u.as_tuple().ok_or(MfError::UnitType { expected: "Tuple" })?;
+    let t = u
+        .as_tuple()
+        .ok_or(MfError::UnitType { expected: "Tuple" })?;
     if t.len() != 9 {
         return Err(MfError::App(format!("problem tuple arity {}", t.len())));
     }
@@ -56,7 +60,8 @@ fn problem_from_unit(u: &Unit) -> MfResult<Problem> {
 /// Encode a subsolve request for the master → worker stream.
 pub fn request_to_unit(req: &SubsolveRequest) -> Unit {
     let initial = match &req.initial_interior {
-        Some(v) => Unit::reals(v.clone()),
+        // Share the buffer with the request — encoding copies nothing.
+        Some(v) => Unit::reals_shared(v.clone()),
         None => Unit::int(-1), // sentinel: sample the initial condition
     };
     Unit::tuple(vec![
@@ -73,18 +78,16 @@ pub fn request_to_unit(req: &SubsolveRequest) -> Unit {
 
 /// Decode a subsolve request on the worker side.
 pub fn request_from_unit(u: &Unit) -> MfResult<SubsolveRequest> {
-    let t = u.as_tuple().ok_or(MfError::UnitType { expected: "Tuple" })?;
+    let t = u
+        .as_tuple()
+        .ok_or(MfError::UnitType { expected: "Tuple" })?;
     if t.len() != 8 {
         return Err(MfError::App(format!("request tuple arity {}", t.len())));
     }
     let initial_interior = match &t[7] {
         Unit::Int(-1) => None,
-        Unit::Reals(v) => Some(v.as_ref().clone()),
-        other => {
-            return Err(MfError::App(format!(
-                "bad initial data field: {other:?}"
-            )))
-        }
+        Unit::Reals(v) => Some(v.clone()),
+        other => return Err(MfError::App(format!("bad initial data field: {other:?}"))),
     };
     Ok(SubsolveRequest {
         root: t[0].expect_int()? as u32,
@@ -103,7 +106,7 @@ pub fn result_to_unit(res: &SubsolveResult) -> Unit {
     Unit::tuple(vec![
         Unit::int(res.l as i64),
         Unit::int(res.m as i64),
-        Unit::reals(res.values.clone()),
+        Unit::reals_shared(res.values.clone()),
         Unit::int(res.steps as i64),
         Unit::int(res.rejected as i64),
         Unit::tuple(vec![
@@ -119,7 +122,9 @@ pub fn result_to_unit(res: &SubsolveResult) -> Unit {
 
 /// Decode a subsolve result on the master side.
 pub fn result_from_unit(u: &Unit) -> MfResult<SubsolveResult> {
-    let t = u.as_tuple().ok_or(MfError::UnitType { expected: "Tuple" })?;
+    let t = u
+        .as_tuple()
+        .ok_or(MfError::UnitType { expected: "Tuple" })?;
     if t.len() != 6 {
         return Err(MfError::App(format!("result tuple arity {}", t.len())));
     }
@@ -132,7 +137,7 @@ pub fn result_from_unit(u: &Unit) -> MfResult<SubsolveResult> {
     Ok(SubsolveResult {
         l: t[0].expect_int()? as u32,
         m: t[1].expect_int()? as u32,
-        values: t[2].expect_reals()?.as_ref().clone(),
+        values: t[2].expect_reals()?,
         steps: t[3].expect_int()? as usize,
         rejected: t[4].expect_int()? as usize,
         work: WorkCounter {
@@ -163,7 +168,7 @@ mod tests {
     fn request_round_trip_with_data() {
         let p = Problem::manufactured_benchmark();
         let mut req = SubsolveRequest::for_grid(2, 1, 1, 1e-4, p);
-        req.initial_interior = Some(vec![1.0, 2.5, -3.0]);
+        req.initial_interior = Some(std::sync::Arc::new(vec![1.0, 2.5, -3.0]));
         let back = request_from_unit(&request_to_unit(&req)).unwrap();
         assert_eq!(back, req);
     }
@@ -204,5 +209,22 @@ mod tests {
             }
             _ => unreachable!(),
         }
+        // Stronger: the whole encode → decode round trip hands back the
+        // *same* allocation, so a result's node field crosses the port
+        // without a single deep copy.
+        let back = result_from_unit(&unit).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&back.values, &res.values));
+    }
+
+    #[test]
+    fn request_initial_data_is_shared_not_copied() {
+        let p = Problem::manufactured_benchmark();
+        let mut req = SubsolveRequest::for_grid(2, 1, 1, 1e-4, p);
+        req.initial_interior = Some(std::sync::Arc::new(vec![0.5; 9]));
+        let back = request_from_unit(&request_to_unit(&req)).unwrap();
+        assert!(std::sync::Arc::ptr_eq(
+            back.initial_interior.as_ref().unwrap(),
+            req.initial_interior.as_ref().unwrap()
+        ));
     }
 }

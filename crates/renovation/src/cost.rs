@@ -100,10 +100,7 @@ impl CostModel {
         let stretch = (l as f64 - m as f64) / (lm + 1.0);
         let anis = 1.0 + self.anisotropy * stretch * stretch;
         self.grid_constant_seconds
-            + self.unit_grid_seconds
-                * self.level_growth.powf(lm)
-                * anis
-                * self.tol_factor(tol)
+            + self.unit_grid_seconds * self.level_growth.powf(lm) * anis * self.tol_factor(tol)
     }
 
     /// Flops of `subsolve(l, m)` (grid seconds × reference rate).
@@ -160,13 +157,7 @@ impl CostModel {
     /// `data_through_master` selects whether the initial data travels
     /// through the master (the paper's design) or workers fetch their own
     /// input (the §4.1 I/O-worker alternative).
-    pub fn workload(
-        &self,
-        root: u32,
-        level: u32,
-        tol: f64,
-        data_through_master: bool,
-    ) -> Workload {
+    pub fn workload(&self, root: u32, level: u32, tol: f64, data_through_master: bool) -> Workload {
         let jobs: Vec<Job> = Grid2::combination_indices(level)
             .iter()
             .map(|idx| {
@@ -263,10 +254,7 @@ pub fn measure_shape(root: u32, max_level: u32, tol: f64, problem: Problem) -> M
         }
         level_flops.push((level, total));
     }
-    let growth_ratios = level_flops
-        .windows(2)
-        .map(|w| w[1].1 / w[0].1)
-        .collect();
+    let growth_ratios = level_flops.windows(2).map(|w| w[1].1 / w[0].1).collect();
     let spread = {
         let max = deep_grid_flops.iter().copied().fold(0.0, f64::max);
         let min = deep_grid_flops.iter().copied().fold(f64::MAX, f64::min);
@@ -278,7 +266,10 @@ pub fn measure_shape(root: u32, max_level: u32, tol: f64, problem: Problem) -> M
                 .iter()
                 .map(|idx| {
                     let req = SubsolveRequest::for_grid(root, idx.l, idx.m, t, problem);
-                    subsolve(&req).expect("measurement subsolve failed").work.flops as f64
+                    subsolve(&req)
+                        .expect("measurement subsolve failed")
+                        .work
+                        .flops as f64
                 })
                 .sum()
         };

@@ -38,6 +38,9 @@ pub mod master;
 pub mod virtualrun;
 pub mod worker;
 
-pub use app::{run_concurrent, ConcurrentResult, RunMode};
+pub use app::{run_concurrent, run_concurrent_with_policy, ConcurrentResult, RunMode};
 pub use cost::CostModel;
-pub use virtualrun::{run_distributed_experiment, ExperimentPoint};
+pub use virtualrun::{
+    run_distributed_experiment, run_distributed_experiment_with_policy, ExperimentPoint,
+};
+pub use worker::{worker_factory, worker_factory_with_gauge, WorkerGauge};

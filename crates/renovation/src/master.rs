@@ -7,19 +7,34 @@
 //! synchronizes through the rendezvous, and performs the prolongation
 //! (combination) work itself — exactly the structure of the pseudo-program
 //! in §3.
+//!
+//! Dispatch is *pipelined* and policy-driven: a [`DispatchPolicy`] decides
+//! the job order (e.g. longest-processing-time-first from the a-priori
+//! cost model in `solver::work`) and an in-flight window. The master keeps
+//! at most `window` jobs outstanding, collecting a result before issuing
+//! the next job once the window is full — so a bounded worker pool gets
+//! backpressure instead of an unbounded feed-all-then-drain burst. The
+//! default [`PaperFaithful`](protocol::PaperFaithful) policy uses natural
+//! order and an unbounded window, reproducing the paper's protocol
+//! exactly. Because the prolongation sorts per-grid results by index
+//! before combining, *every* policy produces bit-identical output.
+
+use std::fmt;
+use std::sync::Arc;
 
 use manifold::mes;
 use manifold::prelude::*;
-use protocol::MasterHandle;
+use protocol::{MasterHandle, PaperFaithful, PolicyRef};
 use solver::grid::Grid2;
 use solver::sequential::{prolongation_phase, SequentialApp, SequentialResult};
 use solver::subsolve::SubsolveResult;
+use solver::work::estimate_subsolve_flops;
 use solver::{l2_norm, WorkCounter};
 
 use crate::codec::{request_to_unit, result_from_unit};
 
 /// Master-side configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct MasterConfig {
     /// The application parameters (root, level, le_tol, problem).
     pub app: SequentialApp,
@@ -29,6 +44,35 @@ pub struct MasterConfig {
     /// alternative the authors did not try), workers obtain their input
     /// themselves and the master only sends job parameters.
     pub data_through_master: bool,
+    /// Dispatch policy: job order and in-flight window.
+    pub policy: PolicyRef,
+}
+
+impl MasterConfig {
+    /// A configuration with the paper's verified dispatch behavior.
+    pub fn new(app: SequentialApp, data_through_master: bool) -> Self {
+        MasterConfig {
+            app,
+            data_through_master,
+            policy: Arc::new(PaperFaithful),
+        }
+    }
+
+    /// Replace the dispatch policy.
+    pub fn with_policy(mut self, policy: PolicyRef) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+impl fmt::Debug for MasterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MasterConfig")
+            .field("app", &self.app)
+            .field("data_through_master", &self.data_through_master)
+            .field("policy", &self.policy.name())
+            .finish()
+    }
 }
 
 /// Run the master's life: steps 2–5 of the behavior interface. Returns the
@@ -45,31 +89,49 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
     let _init = fine_grid.sample(|x, y| problem.initial(x, y));
     work.add_vector_ops(fine_grid.node_count(), 2);
 
-    // Step 3: one pool of workers, one per grid of the nested loop.
+    // The policy sees the a-priori cost of each job (in natural grid
+    // order) and answers with a dispatch order and an in-flight window.
+    let costs: Vec<f64> = grids
+        .iter()
+        .map(|idx| estimate_subsolve_flops(app.root, idx.l, idx.m, app.le_tol))
+        .collect();
+    let order = cfg.policy.order(&costs);
+    debug_assert_eq!(order.len(), grids.len());
+    let window = cfg.policy.window(grids.len()).max(1);
+
+    // Step 3: one pool of workers. Pipelined dispatch: issue jobs in
+    // policy order, but once `window` jobs are in flight, collect a result
+    // before issuing the next — collection overlaps computation instead of
+    // waiting for the full feed to finish.
     h.create_pool();
-    for idx in &grids {
+    let mut per_grid: Vec<SubsolveResult> = Vec::with_capacity(grids.len());
+    let mut in_flight = 0usize;
+    for &job in &order {
+        while in_flight >= window {
+            // (f): collect one result from our own dataport, freeing a slot.
+            let res = result_from_unit(&h.collect()?)?;
+            work.merge(&res.work);
+            per_grid.push(res);
+            in_flight -= 1;
+        }
+        let idx = grids[job];
         // (b)+(c): request a worker and activate it.
         let _worker = h.request_worker()?;
         // (d): write the job — with the initial data segment when the
         // master mediates all data.
-        let mut req = app.request_for(*idx);
+        let mut req = app.request_for(idx);
         if cfg.data_through_master {
             let g = Grid2::new(app.root, idx.l, idx.m);
-            let mut interior = Vec::with_capacity(g.interior_count());
-            for j in 1..g.ny {
-                for i in 1..g.nx {
-                    interior.push(problem.initial(g.x(i), g.y(j)));
-                }
-            }
+            let interior = g.sample_interior(|x, y| problem.initial(x, y));
             work.add_vector_ops(g.interior_count(), 2);
-            req.initial_interior = Some(interior);
+            // Shared buffer: codec and port transfer add no copies.
+            req.initial_interior = Some(Arc::new(interior));
         }
         h.send_work(request_to_unit(&req))?;
+        in_flight += 1;
     }
-
-    // (f): collect all results from our own dataport.
-    let mut per_grid: Vec<SubsolveResult> = Vec::with_capacity(grids.len());
-    for _ in &grids {
+    // (f): drain the remaining in-flight results.
+    for _ in 0..in_flight {
         let res = result_from_unit(&h.collect()?)?;
         work.merge(&res.work);
         per_grid.push(res);
@@ -82,8 +144,9 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
     h.finished();
 
     // Step 5: final sequential computation — the prolongation.
-    // (`combine` looks grids up by index, so collection order — which is
-    // nondeterministic under the port merge — cannot affect the result.)
+    // (`combine` looks grids up by index, so collection order — which
+    // depends on the policy and the port merge — cannot affect the
+    // result.)
     per_grid.sort_by_key(|r| (r.l + r.m, r.l));
     let combined = prolongation_phase(app.root, app.level, &per_grid, &mut work);
     let t_end = problem.t_end;

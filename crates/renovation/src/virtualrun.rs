@@ -9,6 +9,7 @@
 
 use cluster::hosts::paper_cluster;
 use cluster::sim::{DistributedReport, DistributedSim};
+use protocol::{DispatchPolicy, PaperFaithful};
 
 use crate::cost::CostModel;
 
@@ -49,6 +50,27 @@ pub fn run_distributed_experiment(
     base_seed: u64,
     data_through_master: bool,
 ) -> Vec<ExperimentPoint> {
+    run_distributed_experiment_with_policy(
+        levels,
+        tols,
+        runs,
+        base_seed,
+        data_through_master,
+        &PaperFaithful,
+    )
+}
+
+/// [`run_distributed_experiment`] under an explicit dispatch policy, so the
+/// Table 1 sweep can be regenerated per policy (the `--policy` flag of the
+/// `table1` binary).
+pub fn run_distributed_experiment_with_policy(
+    levels: impl IntoIterator<Item = u32>,
+    tols: &[f64],
+    runs: usize,
+    base_seed: u64,
+    data_through_master: bool,
+    policy: &dyn DispatchPolicy,
+) -> Vec<ExperimentPoint> {
     let model = CostModel::paper_calibrated();
     let sim = paper_sim(&model);
     let mut out = Vec::new();
@@ -59,7 +81,7 @@ pub fn run_distributed_experiment(
             let seed = base_seed
                 .wrapping_add(level as u64)
                 .wrapping_add((tol * 1e7) as u64);
-            let (st, ct, m, reports) = sim.run_averaged(&wl, runs, seed);
+            let (st, ct, m, reports) = sim.run_averaged_with_policy(&wl, runs, seed, policy);
             let peak = reports.iter().map(|r| r.peak_machines).max().unwrap_or(0);
             let forks = reports.first().map_or(0, |r| r.task_forks);
             out.push(ExperimentPoint {
@@ -95,13 +117,7 @@ mod tests {
     /// (full sweep in the bench binaries).
     #[test]
     fn shape_speedup_crossover_and_growth() {
-        let pts = run_distributed_experiment(
-            [0, 4, 8, 10, 12, 15],
-            &[1e-3],
-            3,
-            42,
-            true,
-        );
+        let pts = run_distributed_experiment([0, 4, 8, 10, 12, 15], &[1e-3], 3, 42, true);
         let by_level = |lvl: u32| pts.iter().find(|p| p.level == lvl).unwrap();
         // Criterion 1: no gain at low levels.
         assert!(by_level(0).su < 1.0, "su(0) = {}", by_level(0).su);
@@ -124,7 +140,11 @@ mod tests {
         let pts = run_distributed_experiment([12], &[1e-3, 1e-4], 2, 7, true);
         let loose = &pts[0];
         let tight = &pts[1];
-        assert!(tight.st > 1.8 * loose.st, "st ratio {}", tight.st / loose.st);
+        assert!(
+            tight.st > 1.8 * loose.st,
+            "st ratio {}",
+            tight.st / loose.st
+        );
         assert!(tight.ct > loose.ct);
         // Speedups of the two tolerance families are close (paper: 2.9 vs
         // 4.6 at level 12; same order).
@@ -138,11 +158,7 @@ mod tests {
         // and all 31 workers plus the master are briefly alive together.
         let report = figure1_run(15, 1e-4, 1);
         assert!(report.elapsed > 100.0, "elapsed {}", report.elapsed);
-        assert!(
-            report.peak_machines >= 25,
-            "peak {}",
-            report.peak_machines
-        );
+        assert!(report.peak_machines >= 25, "peak {}", report.peak_machines);
         assert!(report.peak_machines <= 32);
     }
 
@@ -163,9 +179,8 @@ mod tests {
                 min_since_max = v;
             }
             min_since_max = min_since_max.min(v);
-            best_dip = best_dip.max(
-                (running_max - min_since_max).min(v.saturating_sub(min_since_max)),
-            );
+            best_dip =
+                best_dip.max((running_max - min_since_max).min(v.saturating_sub(min_since_max)));
         }
         assert!(
             best_dip >= 2,
@@ -174,6 +189,26 @@ mod tests {
         // And it shrinks back down after the peak.
         let peak = report.peak_machines;
         assert!(vals.last().copied().unwrap_or(0) < peak);
+    }
+
+    #[test]
+    fn bounded_policy_throttles_the_sweep() {
+        let paper = run_distributed_experiment([12], &[1e-3], 2, 9, true);
+        let bounded = run_distributed_experiment_with_policy(
+            [12],
+            &[1e-3],
+            2,
+            9,
+            true,
+            &protocol::BoundedReuse::new(2),
+        );
+        // Two workers in flight + the master: peak machines capped at 3,
+        // and the concurrent time can only grow.
+        assert!(bounded[0].peak <= 3, "peak {}", bounded[0].peak);
+        assert!(bounded[0].peak < paper[0].peak);
+        assert!(bounded[0].ct >= paper[0].ct);
+        // The sequential column does not depend on the policy.
+        assert_eq!(bounded[0].st, paper[0].st);
     }
 
     #[test]

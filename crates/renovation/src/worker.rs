@@ -7,16 +7,51 @@
 //! write, raise `death_worker` — plus the `Welcome`/`Bye` messages the
 //! paper's chronological output shows.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
 use manifold::mes;
 use manifold::prelude::*;
 use protocol::WorkerHandle;
 
 use crate::codec::{request_from_unit, result_to_unit};
 
-/// Create (but do not activate) one Worker process instance — the factory
-/// passed to [`protocol::protocol_mw`], standing in for the
-/// `manifold Worker(event) atomic.` declaration of `mainprog.m`.
-pub fn worker_factory(coord: &Coord, death_event: &Name) -> ProcessRef {
+/// Concurrency gauge over worker compute sections.
+///
+/// A worker registers after it has read its job and deregisters *before*
+/// writing its result, so by the time the master can collect a result the
+/// gauge no longer counts that worker. Under windowed dispatch at most
+/// `window` jobs are outstanding at once, making the observed peak a
+/// deterministic upper-bounded measure of worker concurrency (and hence of
+/// simultaneously computing OS threads in a parallel run).
+#[derive(Debug, Default)]
+pub struct WorkerGauge {
+    alive: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl WorkerGauge {
+    /// A fresh, shareable gauge.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    fn enter(&self) {
+        let now = self.alive.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak.fetch_max(now, Ordering::SeqCst);
+    }
+
+    fn exit(&self) {
+        self.alive.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Highest number of workers ever inside their compute section at once.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::SeqCst)
+    }
+}
+
+fn make_worker(coord: &Coord, death_event: &Name, gauge: Option<Arc<WorkerGauge>>) -> ProcessRef {
     let death = death_event.clone();
     coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
         let h = WorkerHandle::new(ctx, death);
@@ -24,8 +59,14 @@ pub fn worker_factory(coord: &Coord, death_event: &Name) -> ProcessRef {
         // Step 1: read the job from our own input port.
         let req = request_from_unit(&h.receive()?)?;
         // Step 2: the computational job (the untouched legacy core).
-        let res = solver::subsolve(&req)
-            .map_err(|e| MfError::App(format!("subsolve({}, {}): {e}", req.l, req.m)))?;
+        if let Some(g) = &gauge {
+            g.enter();
+        }
+        let res = solver::subsolve(&req);
+        if let Some(g) = &gauge {
+            g.exit();
+        }
+        let res = res.map_err(|e| MfError::App(format!("subsolve({}, {}): {e}", req.l, req.m)))?;
         // Step 3: write the results to our own output port.
         h.submit(result_to_unit(&res))?;
         // Step 4: signal death and return.
@@ -33,6 +74,22 @@ pub fn worker_factory(coord: &Coord, death_event: &Name) -> ProcessRef {
         h.die();
         Ok(())
     })
+}
+
+/// Create (but do not activate) one Worker process instance — the factory
+/// passed to [`protocol::protocol_mw`], standing in for the
+/// `manifold Worker(event) atomic.` declaration of `mainprog.m`.
+pub fn worker_factory(coord: &Coord, death_event: &Name) -> ProcessRef {
+    make_worker(coord, death_event, None)
+}
+
+/// Like [`worker_factory`], but every created worker reports its compute
+/// section to `gauge`, so a run can verify that a bounded dispatch policy
+/// really caps worker concurrency.
+pub fn worker_factory_with_gauge(
+    gauge: Arc<WorkerGauge>,
+) -> impl FnMut(&Coord, &Name) -> ProcessRef {
+    move |coord, death_event| make_worker(coord, death_event, Some(gauge.clone()))
 }
 
 #[cfg(test)]
@@ -50,8 +107,7 @@ mod tests {
             let death = Name::new("death_worker");
             let w = worker_factory(coord, &death);
             coord.activate(&w)?;
-            let req =
-                SubsolveRequest::for_grid(2, 1, 1, 1e-3, Problem::manufactured_benchmark());
+            let req = SubsolveRequest::for_grid(2, 1, 1, 1e-3, Problem::manufactured_benchmark());
             let mut st = coord.state();
             st.send(request_to_unit(&req), &w, "input")?;
             st.connect_to_self(&w, "output", "input", StreamType::KK)?;

@@ -156,8 +156,7 @@ impl Discretization {
         for j in 1..self.grid.ny {
             let y = self.grid.y(j);
             for i in 1..self.grid.nx {
-                out[self.grid.interior_idx(i, j)] =
-                    self.problem.source(self.grid.x(i), y, t);
+                out[self.grid.interior_idx(i, j)] = self.problem.source(self.grid.x(i), y, t);
             }
         }
         // Dirichlet boundary contributions.
@@ -181,13 +180,8 @@ impl Discretization {
     /// Interior vector of the exact solution at time `t` (for initial
     /// conditions and error measurement).
     pub fn exact_interior(&self, t: f64) -> Vec<f64> {
-        let mut v = Vec::with_capacity(self.n());
-        for j in 1..self.grid.ny {
-            for i in 1..self.grid.nx {
-                v.push(self.problem.exact(self.grid.x(i), self.grid.y(j), t));
-            }
-        }
-        v
+        self.grid
+            .sample_interior(|x, y| self.problem.exact(x, y, t))
     }
 }
 
@@ -241,7 +235,11 @@ mod tests {
         for &(row, _, _, c) in &d.boundary {
             au[row] += c;
         }
-        assert!(l2_norm(&au) < 1e-9, "stencil not consistent: {}", l2_norm(&au));
+        assert!(
+            l2_norm(&au) < 1e-9,
+            "stencil not consistent: {}",
+            l2_norm(&au)
+        );
     }
 
     #[test]

@@ -60,19 +60,23 @@ pub fn prolong_bilinear(from: &Grid2, values: &[f64], to: &Grid2) -> Vec<f64> {
 /// vector on the finest grid `(level, level)`.
 ///
 /// Panics when a required grid of the two diagonals is missing.
-pub fn combine(
+///
+/// Generic over the solution storage (`Vec<f64>`, `&[f64]`, …) so shared
+/// buffers can be combined without first deep-copying them into owned
+/// vectors.
+pub fn combine<S: AsRef<[f64]>>(
     root: u32,
     level: u32,
-    solutions: &[(GridIndex, Vec<f64>)],
+    solutions: &[(GridIndex, S)],
     work: &mut WorkCounter,
 ) -> Vec<f64> {
     let fine = Grid2::finest(root, level);
     let mut acc = vec![0.0; fine.node_count()];
-    let lookup = |idx: GridIndex| -> &Vec<f64> {
+    let lookup = |idx: GridIndex| -> &[f64] {
         solutions
             .iter()
             .find(|(g, _)| *g == idx)
-            .map(|(_, v)| v)
+            .map(|(_, v)| v.as_ref())
             .unwrap_or_else(|| panic!("combination: missing grid {idx}"))
     };
     // Positive diagonal l+m = level.

@@ -192,8 +192,7 @@ mod tests {
         let b = a.matvec(&x_true);
         let mut x = vec![0.0; 20];
         let mut w = WorkCounter::new();
-        let stats =
-            gmres(&a, &IdentityPrecond, &b, &mut x, 20, 1e-12, 40, &mut w).unwrap();
+        let stats = gmres(&a, &IdentityPrecond, &b, &mut x, 20, 1e-12, 40, &mut w).unwrap();
         assert!(stats.iterations <= 20);
         for (xi, ti) in x.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-8);
@@ -246,8 +245,7 @@ mod tests {
         let b = vec![1.0; m.n()];
 
         let mut x1 = vec![0.0; m.n()];
-        let plain =
-            gmres(&m, &IdentityPrecond, &b, &mut x1, 50, 1e-8, 5000, &mut w).unwrap();
+        let plain = gmres(&m, &IdentityPrecond, &b, &mut x1, 50, 1e-8, 5000, &mut w).unwrap();
         let ilu = Ilu0::new(&m, &mut w);
         let mut x2 = vec![0.0; m.n()];
         let pre = gmres(&m, &ilu, &b, &mut x2, 50, 1e-8, 5000, &mut w).unwrap();

@@ -140,6 +140,21 @@ impl Grid2 {
     }
 
     /// Extract the interior part of a full node vector.
+    /// Evaluate `f(x, y)` at every *interior* node, in row-major interior
+    /// order (the layout of `initial_interior` / solver unknowns). This is
+    /// the sampling loop shared by the master's initialization and the
+    /// worker-side exact/initial field construction.
+    pub fn sample_interior(&self, f: impl Fn(f64, f64) -> f64) -> Vec<f64> {
+        let mut v = Vec::with_capacity(self.interior_count());
+        for j in 1..self.ny {
+            let y = self.y(j);
+            for i in 1..self.nx {
+                v.push(f(self.x(i), y));
+            }
+        }
+        v
+    }
+
     pub fn restrict_interior(&self, full: &[f64]) -> Vec<f64> {
         assert_eq!(full.len(), self.node_count());
         let mut v = Vec::with_capacity(self.interior_count());
@@ -293,5 +308,18 @@ mod tests {
         assert_eq!(v.len(), 9);
         assert!((v[g.node_idx(2, 2)] - 1.0).abs() < 1e-15);
         assert!((v[g.node_idx(1, 1)] - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sample_interior_matches_restricted_full_sample() {
+        for (root, l, m) in [(0, 0, 0), (1, 1, 0), (2, 1, 2)] {
+            let g = Grid2::new(root, l, m);
+            let f = |x: f64, y: f64| 3.0 * x + y * y;
+            let interior = g.sample_interior(f);
+            assert_eq!(interior.len(), g.interior_count());
+            assert_eq!(interior, g.restrict_interior(&g.sample(f)));
+        }
+        // 1x1-cell grid: no interior nodes at all.
+        assert!(Grid2::new(0, 0, 0).sample_interior(|_, _| 1.0).is_empty());
     }
 }

@@ -38,11 +38,11 @@ pub mod gmres;
 pub mod grid;
 pub mod linsolve;
 pub mod problem;
-pub mod rosenbrock;
 pub mod restrict;
+pub mod rosenbrock;
 pub mod sequential;
-pub mod study;
 pub mod sparse;
+pub mod study;
 pub mod subsolve;
 pub mod theta;
 pub mod work;

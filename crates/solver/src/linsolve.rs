@@ -374,8 +374,7 @@ mod tests {
         let b = [1.0, 2.0, 3.0, 4.0];
         let mut x = vec![0.0; 4];
         let mut w = WorkCounter::new();
-        let stats =
-            bicgstab(&a, &IdentityPrecond, &b, &mut x, 1e-12, 10, &mut w).unwrap();
+        let stats = bicgstab(&a, &IdentityPrecond, &b, &mut x, 1e-12, 10, &mut w).unwrap();
         assert!(stats.iterations <= 1);
         for (xi, bi) in x.iter().zip(&b) {
             assert!((xi - bi).abs() < 1e-10);

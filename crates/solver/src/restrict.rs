@@ -55,10 +55,7 @@ pub fn restrict_full_weighting(fine: &Grid2, values: &[f64], coarse: &Grid2) -> 
                 continue;
             }
             let v = |di: isize, dj: isize| {
-                values[fine.node_idx(
-                    (fi as isize + di) as usize,
-                    (fj as isize + dj) as usize,
-                )]
+                values[fine.node_idx((fi as isize + di) as usize, (fj as isize + dj) as usize)]
             };
             let center = v(0, 0);
             let edges = v(-1, 0) + v(1, 0) + v(0, -1) + v(0, 1);
@@ -128,12 +125,8 @@ mod tests {
         }
         let fw = restrict_full_weighting(&fine, &fv, &coarse);
         let inj = restrict_inject(&fine, &fv, &coarse);
-        let max_fw = crate::linf_norm(
-            &coarse.restrict_interior(&fw),
-        );
-        let max_inj = crate::linf_norm(
-            &coarse.restrict_interior(&inj),
-        );
+        let max_fw = crate::linf_norm(&coarse.restrict_interior(&fw));
+        let max_inj = crate::linf_norm(&coarse.restrict_interior(&inj));
         assert!(max_fw < 0.3 * max_inj, "fw {max_fw} vs inj {max_inj}");
     }
 

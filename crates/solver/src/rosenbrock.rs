@@ -217,9 +217,7 @@ pub fn integrate(
         for i in 0..n {
             u_new[i] = u[i] + dt_step * (1.5 * k1[i] + 0.5 * k2[i]);
         }
-        let err: Vec<f64> = (0..n)
-            .map(|i| 0.5 * dt_step * (k1[i] + k2[i]))
-            .collect();
+        let err: Vec<f64> = (0..n).map(|i| 0.5 * dt_step * (k1[i] + k2[i])).collect();
         let enorm = error_norm(&err, &u, opts.tol);
         work.add_vector_ops(n, 8);
 

@@ -99,12 +99,9 @@ impl SequentialApp {
             per_grid.push(res);
         }
 
-        // Prolongation work (the combination) on the finest grid.
-        let solutions: Vec<(GridIndex, Vec<f64>)> = per_grid
-            .iter()
-            .map(|r| (GridIndex::new(r.l, r.m), r.values.clone()))
-            .collect();
-        let combined = combine(self.root, self.level, &solutions, &mut work);
+        // Prolongation work (the combination) on the finest grid. Borrows
+        // the per-grid buffers in place — no copies.
+        let combined = prolongation_phase(self.root, self.level, &per_grid, &mut work);
 
         let t_end = p.t_end;
         let exact = fine_grid.sample(|x, y| p.exact(x, y, t_end));
@@ -130,9 +127,9 @@ pub fn prolongation_phase(
     per_grid: &[SubsolveResult],
     work: &mut WorkCounter,
 ) -> Vec<f64> {
-    let solutions: Vec<(GridIndex, Vec<f64>)> = per_grid
+    let solutions: Vec<(GridIndex, &[f64])> = per_grid
         .iter()
-        .map(|r| (GridIndex::new(r.l, r.m), r.values.clone()))
+        .map(|r| (GridIndex::new(r.l, r.m), r.values.as_slice()))
         .collect();
     combine(root, level, &solutions, work)
 }
@@ -178,10 +175,7 @@ mod tests {
             .run()
             .unwrap()
             .l2_error;
-        assert!(
-            e3 < e1,
-            "level 3 ({e3:.3e}) should beat level 1 ({e1:.3e})"
-        );
+        assert!(e3 < e1, "level 3 ({e3:.3e}) should beat level 1 ({e1:.3e})");
     }
 
     #[test]

@@ -53,16 +53,18 @@ pub fn convergence_study(
         let fine = Grid2::finest(root, level);
         let exact = fine.sample(|x, y| problem.exact(x, y, problem.t_end));
 
-        // Combination members.
-        let mut sols: Vec<(GridIndex, Vec<f64>)> = Vec::new();
+        // Combination members (shared buffers straight from the results).
+        let mut sols: Vec<(GridIndex, std::sync::Arc<Vec<f64>>)> = Vec::new();
         let mut comb_flops = 0u64;
         for idx in Grid2::combination_indices(level) {
             let res = subsolve(&SubsolveRequest::for_grid(root, idx.l, idx.m, tol, problem))?;
             comb_flops += res.work.flops;
             sols.push((idx, res.values));
         }
+        let views: Vec<(GridIndex, &[f64])> =
+            sols.iter().map(|(i, v)| (*i, v.as_slice())).collect();
         let mut w = WorkCounter::new();
-        let combined = combine(root, level, &sols, &mut w);
+        let combined = combine(root, level, &views, &mut w);
         let comb_err = {
             let d: Vec<f64> = combined.iter().zip(&exact).map(|(a, b)| a - b).collect();
             l2_norm(&d)
@@ -96,9 +98,8 @@ pub fn observed_orders(rows: &[ConvergenceRow]) -> Vec<f64> {
 
 /// Pretty-print a study as an aligned text table.
 pub fn format_study(rows: &[ConvergenceRow]) -> String {
-    let mut out = String::from(
-        "level   comb error     comb Mflop   full error     full Mflop   advantage\n",
-    );
+    let mut out =
+        String::from("level   comb error     comb Mflop   full error     full Mflop   advantage\n");
     for r in rows {
         out.push_str(&format!(
             "{:>5}   {:>10.4e}   {:>10.2}   {:>10.4e}   {:>10.2}   {:>8.2}\n",
@@ -119,13 +120,7 @@ mod tests {
 
     #[test]
     fn errors_decrease_with_level() {
-        let rows = convergence_study(
-            2,
-            0..=2,
-            1e-5,
-            Problem::manufactured_benchmark(),
-        )
-        .unwrap();
+        let rows = convergence_study(2, 0..=2, 1e-5, Problem::manufactured_benchmark()).unwrap();
         assert_eq!(rows.len(), 3);
         assert!(rows[1].combination_error < rows[0].combination_error);
         assert!(rows[2].combination_error < rows[1].combination_error);
@@ -134,8 +129,7 @@ mod tests {
 
     #[test]
     fn combination_is_cheaper_than_full_grid() {
-        let rows =
-            convergence_study(2, 2..=3, 1e-4, Problem::manufactured_benchmark()).unwrap();
+        let rows = convergence_study(2, 2..=3, 1e-4, Problem::manufactured_benchmark()).unwrap();
         for r in &rows {
             assert!(
                 r.combination_flops < r.full_grid_flops,
@@ -146,23 +140,20 @@ mod tests {
             );
         }
         // The cost gap widens with level — the whole point of the method.
-        let gap =
-            |r: &ConvergenceRow| r.full_grid_flops as f64 / r.combination_flops as f64;
+        let gap = |r: &ConvergenceRow| r.full_grid_flops as f64 / r.combination_flops as f64;
         assert!(gap(&rows[1]) > gap(&rows[0]));
     }
 
     #[test]
     fn observed_order_is_positive() {
-        let rows =
-            convergence_study(2, 1..=3, 1e-6, Problem::manufactured_benchmark()).unwrap();
+        let rows = convergence_study(2, 1..=3, 1e-6, Problem::manufactured_benchmark()).unwrap();
         let orders = observed_orders(&rows);
         assert!(orders.iter().all(|o| *o > 0.4), "orders {orders:?}");
     }
 
     #[test]
     fn formatting_contains_all_levels() {
-        let rows = convergence_study(2, 0..=1, 1e-4, Problem::manufactured_benchmark())
-            .unwrap();
+        let rows = convergence_study(2, 0..=1, 1e-4, Problem::manufactured_benchmark()).unwrap();
         let s = format_study(&rows);
         assert!(s.contains("advantage"));
         assert_eq!(s.lines().count(), 1 + rows.len());

@@ -10,6 +10,8 @@
 //! renovated application they are serialized into stream units and travel
 //! from the master to a worker and back.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::assemble::assemble;
@@ -36,8 +38,9 @@ pub struct SubsolveRequest {
     /// The problem instance.
     pub problem: Problem,
     /// Initial interior values; `None` means "sample the problem's initial
-    /// condition", which is what the paper's application does.
-    pub initial_interior: Option<Vec<f64>>,
+    /// condition", which is what the paper's application does. Shared
+    /// (`Arc`) so the master → worker hand-off never deep-copies the field.
+    pub initial_interior: Option<Arc<Vec<f64>>>,
 }
 
 impl SubsolveRequest {
@@ -77,8 +80,9 @@ pub struct SubsolveResult {
     pub l: u32,
     /// Which grid was solved (y index).
     pub m: u32,
-    /// Full node vector (boundary included) at `t1`.
-    pub values: Vec<f64>,
+    /// Full node vector (boundary included) at `t1`. Shared (`Arc`) so the
+    /// worker → master → prolongation path passes one buffer by reference.
+    pub values: Arc<Vec<f64>>,
     /// Work performed.
     pub work: WorkCounter,
     /// Accepted integrator steps.
@@ -103,7 +107,9 @@ pub fn subsolve(req: &SubsolveRequest) -> Result<SubsolveResult, IntegrateError>
     let u0 = match &req.initial_interior {
         Some(v) => {
             assert_eq!(v.len(), grid.interior_count(), "bad initial data size");
-            v.clone()
+            // The integrator owns its state vector; this is the single
+            // copy on the whole master → worker path.
+            v.as_ref().clone()
         }
         None => disc.exact_interior(req.t0),
     };
@@ -117,7 +123,7 @@ pub fn subsolve(req: &SubsolveRequest) -> Result<SubsolveResult, IntegrateError>
     )?;
     let p = req.problem;
     let t1 = req.t1;
-    let values = grid.expand_interior(&u1, |x, y| p.boundary(x, y, t1));
+    let values = Arc::new(grid.expand_interior(&u1, |x, y| p.boundary(x, y, t1)));
     Ok(SubsolveResult {
         l: req.l,
         m: req.m,
@@ -178,7 +184,7 @@ mod tests {
         // Start from zero instead of the analytic initial condition over a
         // tiny horizon: result must stay near zero (≠ analytic evolution).
         req.t1 = req.t0 + 1e-4;
-        req.initial_interior = Some(vec![0.0; g.interior_count()]);
+        req.initial_interior = Some(Arc::new(vec![0.0; g.interior_count()]));
         let res = subsolve(&req).unwrap();
         let interior = g.restrict_interior(&res.values);
         assert!(l2_norm(&interior) < 0.2, "{}", l2_norm(&interior));

@@ -76,9 +76,7 @@ pub fn integrate_theta(
         disc.a.matvec_into(&u, &mut au);
         work.add_matvec(disc.a.nnz());
         for i in 0..n {
-            rhs[i] = u[i]
-                + (1.0 - theta) * h * au[i]
-                + h * (theta * g1[i] + (1.0 - theta) * g0[i]);
+            rhs[i] = u[i] + (1.0 - theta) * h * au[i] + h * (theta * g1[i] + (1.0 - theta) * g0[i]);
         }
         // Warm start from the current state.
         bicgstab(m, ilu, &rhs, &mut u, 1e-10, 500, work)?;
@@ -126,7 +124,10 @@ mod tests {
         let e1 = theta_error(ThetaScheme::ImplicitEuler, 0.05);
         let e2 = theta_error(ThetaScheme::ImplicitEuler, 0.025);
         let order = (e1 / e2).log2();
-        assert!((0.7..1.4).contains(&order), "IE order {order} (e1={e1}, e2={e2})");
+        assert!(
+            (0.7..1.4).contains(&order),
+            "IE order {order} (e1={e1}, e2={e2})"
+        );
     }
 
     #[test]
@@ -134,7 +135,10 @@ mod tests {
         let e1 = theta_error(ThetaScheme::CrankNicolson, 0.05);
         let e2 = theta_error(ThetaScheme::CrankNicolson, 0.025);
         let order = (e1 / e2).log2();
-        assert!((1.6..2.4).contains(&order), "CN order {order} (e1={e1}, e2={e2})");
+        assert!(
+            (1.6..2.4).contains(&order),
+            "CN order {order} (e1={e1}, e2={e2})"
+        );
     }
 
     #[test]
@@ -177,8 +181,7 @@ mod tests {
         let u0 = d.exact_interior(p.t0);
         // dt that does not divide the interval: the last step is clipped.
         let (u1, steps) =
-            integrate_theta(&d, u0, 0.0, 0.5, 0.3, ThetaScheme::CrankNicolson, &mut w)
-                .unwrap();
+            integrate_theta(&d, u0, 0.0, 0.5, 0.3, ThetaScheme::CrankNicolson, &mut w).unwrap();
         assert_eq!(steps, 2);
         let exact = d.exact_interior(0.5);
         let diff: Vec<f64> = u1.iter().zip(&exact).map(|(a, b)| a - b).collect();

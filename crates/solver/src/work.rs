@@ -88,9 +88,48 @@ impl WorkCounter {
     }
 }
 
+/// A-priori flop estimate for `subsolve(l, m)` on a grid rooted at
+/// `root` with integrator tolerance `tol` — *before* running it.
+///
+/// Used by cost-aware dispatch policies to order jobs longest-first. It
+/// only needs to rank jobs correctly, not predict absolute cost: per
+/// accepted step the solver assembles, factorizes and iterates over
+/// O(unknowns) entries, and the step count grows with the sharper of the
+/// two mesh widths (advection CFL-like behavior of the error controller)
+/// and with tighter tolerances.
+pub fn estimate_subsolve_flops(root: u32, l: u32, m: u32, tol: f64) -> f64 {
+    let nx = (1u64 << (root + l)) as f64;
+    let ny = (1u64 << (root + m)) as f64;
+    let unknowns = (nx - 1.0).max(1.0) * (ny - 1.0).max(1.0);
+    // Steps scale like the finer direction's resolution; the tolerance
+    // term mirrors the ~tol^-1/3 behavior of a second-order controller.
+    let steps = nx.max(ny) * (1e-3 / tol.max(1e-12)).powf(1.0 / 3.0);
+    // ~100 flops per unknown per step (assembly + ILU + BiCGSTAB sweeps).
+    100.0 * unknowns * steps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn estimate_ranks_grids_sensibly() {
+        // Bigger grids cost more.
+        assert!(estimate_subsolve_flops(2, 3, 3, 1e-3) > estimate_subsolve_flops(2, 1, 1, 1e-3));
+        // The estimate is symmetric in (l, m) — both diagonals rank alike.
+        assert_eq!(
+            estimate_subsolve_flops(2, 4, 1, 1e-3),
+            estimate_subsolve_flops(2, 1, 4, 1e-3)
+        );
+        // Tighter tolerance costs more.
+        assert!(estimate_subsolve_flops(2, 2, 2, 1e-4) > estimate_subsolve_flops(2, 2, 2, 1e-3));
+        // Same shape, one diagonal finer: the finer grid costs more, so
+        // LPT ordering fronts the l+m = level diagonal.
+        assert!(estimate_subsolve_flops(2, 3, 3, 1e-3) > estimate_subsolve_flops(2, 3, 2, 1e-3));
+        // All estimates are positive and finite, even degenerate ones.
+        let e = estimate_subsolve_flops(0, 0, 0, 1e-3);
+        assert!(e.is_finite() && e > 0.0);
+    }
 
     #[test]
     fn charges_accumulate() {

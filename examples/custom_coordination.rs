@@ -64,11 +64,9 @@ fn main() -> MfResult<()> {
         });
         coord.activate(&source)?;
         // The sink sums everything it sees.
-        let sink = coord.create_atomic("Sink", move |ctx: ProcessCtx| {
-            loop {
-                let v = ctx.read("input")?.expect_real()?;
-                received2.lock().push(v);
-            }
+        let sink = coord.create_atomic("Sink", move |ctx: ProcessCtx| loop {
+            let v = ctx.read("input")?.expect_real()?;
+            received2.lock().push(v);
         });
         coord.activate(&sink)?;
 

@@ -35,9 +35,8 @@ fn main() -> MfResult<()> {
                 let diagonal: Vec<_> = (0..=lm).map(|l| (l, lm - l)).collect();
                 for &(l, m) in &diagonal {
                     let _w = h.request_worker()?;
-                    let req = solver::SubsolveRequest::for_grid(
-                        app.root, l, m, app.le_tol, app.problem,
-                    );
+                    let req =
+                        solver::SubsolveRequest::for_grid(app.root, l, m, app.le_tol, app.problem);
                     h.send_work(request_to_unit(&req))?;
                 }
                 for _ in &diagonal {

@@ -16,11 +16,9 @@ fn main() -> MfResult<()> {
     let sum = env.run_coordinator("Main", |coord| {
         // A worker that squares whatever number it reads. Workers read and
         // write only their *own* ports; they never name their peers.
-        let squarer = coord.create_atomic("Squarer", |ctx: ProcessCtx| {
-            loop {
-                let x = ctx.read("input")?.expect_real()?;
-                ctx.write("output", Unit::real(x * x))?;
-            }
+        let squarer = coord.create_atomic("Squarer", |ctx: ProcessCtx| loop {
+            let x = ctx.read("input")?.expect_real()?;
+            ctx.write("output", Unit::real(x * x))?;
         });
         // A worker that accumulates three numbers, emits the total, raises
         // `done`, and dies.

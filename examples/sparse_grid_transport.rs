@@ -23,8 +23,7 @@ fn main() {
     for level in 0..=max_level {
         let app = SequentialApp::new(2, level, le_tol);
         let seq = app.run().expect("sequential run failed");
-        let conc =
-            run_concurrent(&app, &RunMode::Parallel, true).expect("concurrent run failed");
+        let conc = run_concurrent(&app, &RunMode::Parallel, true).expect("concurrent run failed");
         let identical = conc.result.combined == seq.combined;
         let steps: usize = seq.per_grid.iter().map(|g| g.steps).sum();
         println!(

@@ -41,7 +41,7 @@ fn agreement_holds_across_levels_and_tolerances() {
         );
         assert_eq!(
             conc.outcome.pools()[0].workers_created as u32,
-            2 * level + 1 - u32::from(level == 0) * 0,
+            2 * level + 1,
             "worker count formula w = 2l+1"
         );
     }
@@ -73,9 +73,15 @@ fn distributed_trace_reproduces_section6_structure() {
         .filter(|r| r.message == "Welcome" || r.message == "Bye")
         .collect();
     // Master Welcome first; master Bye last; 5 workers in between.
-    assert_eq!(recs.first().unwrap().manifold_name.as_str(), "Master(port in)");
+    assert_eq!(
+        recs.first().unwrap().manifold_name.as_str(),
+        "Master(port in)"
+    );
     assert_eq!(recs.first().unwrap().message, "Welcome");
-    assert_eq!(recs.last().unwrap().manifold_name.as_str(), "Master(port in)");
+    assert_eq!(
+        recs.last().unwrap().manifold_name.as_str(),
+        "Master(port in)"
+    );
     assert_eq!(recs.last().unwrap().message, "Bye");
     let worker_welcomes = recs
         .iter()
@@ -121,4 +127,40 @@ fn repeated_runs_are_deterministic() {
     let a = run_concurrent(&app, &RunMode::Parallel, true).unwrap();
     let b = run_concurrent(&app, &RunMode::Parallel, true).unwrap();
     assert_eq!(a.result.combined, b.result.combined);
+}
+
+#[test]
+fn every_policy_matches_sequential_in_every_mode() {
+    // The scheduler acceptance matrix: all three dispatch policies, in
+    // both deployment modes, must be bit-identical to the sequential
+    // program — policies change only job order and worker concurrency.
+    use renovation::app::run_concurrent_with_policy;
+    use std::sync::Arc;
+
+    let app = SequentialApp::new(2, 2, 1.0e-3);
+    let seq = app.run().unwrap();
+    let policies: [protocol::PolicyRef; 3] = [
+        Arc::new(protocol::PaperFaithful),
+        Arc::new(protocol::BoundedReuse::new(2)),
+        Arc::new(protocol::CostAware),
+    ];
+    let modes = [
+        RunMode::Parallel,
+        RunMode::Distributed {
+            hosts: RunMode::paper_hosts(),
+        },
+    ];
+    for policy in &policies {
+        for mode in &modes {
+            let conc = run_concurrent_with_policy(&app, mode, true, policy.clone()).unwrap();
+            assert_eq!(
+                conc.result.combined,
+                seq.combined,
+                "policy {} diverged in {mode:?}",
+                policy.name()
+            );
+            assert_eq!(conc.result.l2_error, seq.l2_error);
+            assert_eq!(conc.outcome.pools()[0].workers_created, 5);
+        }
+    }
 }

@@ -92,7 +92,11 @@ fn concurrent_shape_matches_paper() {
             w[1]
         );
     }
-    assert!((8.0..15.0).contains(&get(1e-3, 15).m), "m = {}", get(1e-3, 15).m);
+    assert!(
+        (8.0..15.0).contains(&get(1e-3, 15).m),
+        "m = {}",
+        get(1e-3, 15).m
+    );
     assert!((8.0..15.0).contains(&get(1e-4, 15).m));
 
     // Criterion 4: for high levels speedup stays clearly below the machine

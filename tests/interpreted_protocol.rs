@@ -51,13 +51,15 @@ fn run_interpreted_squares(jobs: Vec<f64>) -> Vec<f64> {
             };
             // Created but NOT activated: per §4.3 step 3(c), the master
             // activates the worker after receiving its reference.
-            Ok(coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
-                let h = WorkerHandle::new(ctx, death);
-                let x = h.receive()?.expect_real()?;
-                h.submit(Unit::real(x * x))?;
-                h.die();
-                Ok(())
-            }))
+            Ok(
+                coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+                    let h = WorkerHandle::new(ctx, death);
+                    let x = h.receive()?.expect_real()?;
+                    h.submit(Unit::real(x * x))?;
+                    h.die();
+                    Ok(())
+                }),
+            )
         });
 
         let interp = Interp::new(&program, "protocolMW.m");
@@ -124,15 +126,16 @@ fn interpreted_paper_source_runs_sparse_grid_app() {
                 Value::Event(e) => e.clone(),
                 _ => unreachable!(),
             };
-            Ok(coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
-                let h = WorkerHandle::new(ctx, death);
-                let req = request_from_unit(&h.receive()?)?;
-                let res = solver::subsolve(&req)
-                    .map_err(|e| MfError::App(e.to_string()))?;
-                h.submit(result_to_unit(&res))?;
-                h.die();
-                Ok(())
-            }))
+            Ok(
+                coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+                    let h = WorkerHandle::new(ctx, death);
+                    let req = request_from_unit(&h.receive()?)?;
+                    let res = solver::subsolve(&req).map_err(|e| MfError::App(e.to_string()))?;
+                    h.submit(result_to_unit(&res))?;
+                    h.die();
+                    Ok(())
+                }),
+            )
         });
 
         Interp::new(&program, "protocolMW.m").call_manner(
@@ -176,13 +179,15 @@ fn interpreted_source_emits_paper_trace_messages() {
                 Value::Event(e) => e.clone(),
                 _ => unreachable!(),
             };
-            Ok(coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
-                let h = WorkerHandle::new(ctx, death);
-                let x = h.receive()?;
-                h.submit(x)?;
-                h.die();
-                Ok(())
-            }))
+            Ok(
+                coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+                    let h = WorkerHandle::new(ctx, death);
+                    let x = h.receive()?;
+                    h.submit(x)?;
+                    h.die();
+                    Ok(())
+                }),
+            )
         });
         Interp::new(&program, "protocolMW.m").call_manner(
             coord,
@@ -201,8 +206,7 @@ fn interpreted_source_emits_paper_trace_messages() {
     // The MES messages of protocolMW.m, attributed to the .m source.
     for want in ["begin", "create_worker: begin", "rendezvous acknowledged"] {
         assert!(
-            msgs.iter()
-                .any(|(f, m)| f == "protocolMW.m" && m == want),
+            msgs.iter().any(|(f, m)| f == "protocolMW.m" && m == want),
             "missing MES {want:?} in {msgs:?}"
         );
     }

@@ -169,7 +169,11 @@ fn failing_worker_is_recorded_and_torn_down() {
         }
         std::thread::sleep(std::time::Duration::from_millis(10));
     }
-    assert_eq!(master_done.load(Ordering::SeqCst), 1, "master never finished");
+    assert_eq!(
+        master_done.load(Ordering::SeqCst),
+        1,
+        "master never finished"
+    );
     // The coordinator is stalled inside the pool (no rendezvous possible).
     assert_ne!(
         coordinator.life_state(),
@@ -204,9 +208,7 @@ fn heavyweight_payloads_flow_through_pool() {
             }
             checks.sort_by(f64::total_cmp);
             let expect: Vec<f64> = (0..4)
-                .map(|k| {
-                    (0..131_072u64).map(|i| (i + k) as f64).sum::<f64>()
-                })
+                .map(|k| (0..131_072u64).map(|i| (i + k) as f64).sum::<f64>())
                 .collect();
             assert_eq!(checks, expect);
             h.rendezvous()?;
