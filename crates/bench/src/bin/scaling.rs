@@ -10,9 +10,19 @@
 //! machines it uses".
 //!
 //! ```text
-//! cargo run -p bench --release --bin scaling [-- --level N --tol T]
+//! cargo run -p bench --release --bin scaling \
+//!     [-- --level N --tol T] [--backend sim|threads|procs]
 //! ```
+//!
+//! `--backend threads` / `--backend procs` run a *live* strong-scaling
+//! sweep instead: the same workload under a bounded-reuse dispatch window
+//! of 1, 2, 4, 8 (with that many worker processes for `procs`), measuring
+//! wall-clock speedup and verifying the solution checksum never changes
+//! with concurrency.
 
+use std::sync::Arc;
+
+use bench::live::{field_checksum, run_live, Backend};
 use cluster::hosts::{paper_cluster, ClusterSpec};
 use cluster::noise::Perturbation;
 use cluster::sim::DistributedSim;
@@ -20,18 +30,58 @@ use renovation::cost::CostModel;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| Backend::parse(v).expect("unknown --backend (sim|threads|procs)"))
+        .unwrap_or(Backend::Sim);
     let level: u32 = args
         .iter()
         .position(|a| a == "--level")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
-        .unwrap_or(13);
+        .unwrap_or(if backend == Backend::Sim { 13 } else { 6 });
     let tol: f64 = args
         .iter()
         .position(|a| a == "--tol")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0e-3);
+
+    if backend != Backend::Sim {
+        let app = solver::sequential::SequentialApp::new(2, level, tol);
+        let seq = app.run().expect("sequential reference");
+        let reference = field_checksum(&seq.combined);
+        println!(
+            "live strong scaling, {backend:?} backend — level {level}, tol {tol:.0e} \
+             ({} jobs), bounded-reuse window sweep",
+            2 * level + 1
+        );
+        println!();
+        println!("| window |  wall s |   su | peak | checksum ok |");
+        println!("|--------|---------|------|------|-------------|");
+        let mut base = None;
+        for window in [1usize, 2, 4, 8] {
+            let policy = Arc::new(protocol::BoundedReuse::new(window));
+            let r = run_live(backend, &app, policy, window);
+            let base_wall = *base.get_or_insert(r.wall_s);
+            println!(
+                "| {window:>6} | {:>7.3} | {:>4.2} | {:>4} | {:>11} |",
+                r.wall_s,
+                base_wall / r.wall_s,
+                r.peak,
+                if r.checksum == reference { "yes" } else { "NO" }
+            );
+            assert_eq!(
+                r.checksum, reference,
+                "concurrency changed the bits of the solution"
+            );
+        }
+        println!();
+        println!("checksums are verified against the sequential run: same bits at every window.");
+        return;
+    }
 
     let model = CostModel::paper_calibrated();
     let wl = model.workload(2, level, tol, true);

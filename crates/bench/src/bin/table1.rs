@@ -6,9 +6,19 @@
 //! Usage:
 //! ```text
 //! cargo run -p bench --release --bin table1 \
-//!     [-- --io-workers] [--runs N] [--policy paper-faithful|bounded-reuse:N|cost-aware]
+//!     [-- --io-workers] [--runs N] [--policy paper-faithful|bounded-reuse:N|cost-aware] \
+//!     [--backend sim|threads|procs] [--max-level N] [--instances N]
 //! ```
+//!
+//! `--backend sim` (the default) regenerates the paper's virtual-time
+//! table. `--backend threads` / `--backend procs` *actually execute* the
+//! renovated application — as threads of this program, or as separate
+//! worker OS processes over the transport — and print per-level live
+//! observables. Apart from the timing-dependent columns (peak, wall s),
+//! the two live backends must print identical rows: same jobs, same L2
+//! error, same solution checksum.
 
+use bench::live::{run_live, Backend};
 use renovation::run_distributed_experiment_with_policy;
 
 fn main() {
@@ -26,6 +36,55 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .map(|spec| protocol::parse_policy(spec).expect("unknown --policy"))
         .unwrap_or_else(|| std::sync::Arc::new(protocol::PaperFaithful));
+    let backend = args
+        .iter()
+        .position(|a| a == "--backend")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| Backend::parse(v).expect("unknown --backend (sim|threads|procs)"))
+        .unwrap_or(Backend::Sim);
+
+    if backend != Backend::Sim {
+        let max_level: u32 = args
+            .iter()
+            .position(|a| a == "--max-level")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(5);
+        let instances: usize = args
+            .iter()
+            .position(|a| a == "--instances")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2);
+        println!(
+            "Table 1, live {backend:?} backend — levels 0–{max_level}, tol 1.0e-3, \
+             dispatch: {}{}",
+            policy.name(),
+            if backend == Backend::Procs {
+                format!(", {instances} worker processes")
+            } else {
+                String::new()
+            }
+        );
+        println!();
+        println!("| level | jobs |        l2 error        |     checksum     | peak |  wall s |");
+        println!("|-------|------|------------------------|------------------|------|---------|");
+        for level in 0..=max_level {
+            let app = solver::sequential::SequentialApp::new(2, level, 1.0e-3);
+            let r = run_live(backend, &app, policy.clone(), instances);
+            println!(
+                "| {level:>5} | {:>4} | {:>22.16e} | {:016x} | {:>4} | {:>7.3} |",
+                r.jobs, r.l2_error, r.checksum, r.peak, r.wall_s
+            );
+        }
+        println!();
+        println!(
+            "jobs, l2 error and checksum are backend-invariant: rerun with the \
+             other --backend and diff. peak and wall s depend on timing (how \
+             many workers happen to overlap), not on the backend's numerics."
+        );
+        return;
+    }
 
     let variant = if io_workers {
         "I/O-worker ablation (§4.1 alternative: workers fetch their own input)"

@@ -20,6 +20,8 @@
 
 use renovation::ExperimentPoint;
 
+pub mod live;
+
 /// Render experiment points as the paper's Table 1 (two blocks: one per
 /// tolerance, levels ascending).
 pub fn format_table1(points: &[ExperimentPoint]) -> String {

@@ -29,6 +29,48 @@ impl NetworkModel {
         }
     }
 
+    /// Calibrate a model from two measured transport round-trips (as
+    /// produced by the `transport_bench` loopback benchmark): a `small`
+    /// payload whose round-trip is latency-dominated and a `large` payload
+    /// whose round-trip is bandwidth-dominated. Each sample is
+    /// `(payload_bytes, round_trip_seconds)`; a round trip moves the
+    /// payload twice, so with one-way time `t(b) = latency + b / bandwidth`
+    /// the two samples solve `rtt = 2 * t(b)` exactly:
+    ///
+    /// ```text
+    /// bandwidth = 2 * (b_large - b_small) / (rtt_large - rtt_small)
+    /// latency   = rtt_small / 2 - b_small / bandwidth
+    /// ```
+    ///
+    /// `mem_bandwidth` keeps its direct measurement (an in-process copy
+    /// benchmark), since loopback sockets never exercise it.
+    pub fn from_loopback_measurement(
+        small: (usize, f64),
+        large: (usize, f64),
+        mem_bandwidth: f64,
+    ) -> Result<NetworkModel, String> {
+        let (b0, r0) = small;
+        let (b1, r1) = large;
+        if b1 <= b0 {
+            return Err(format!("payloads not increasing: {b0} then {b1} bytes"));
+        }
+        if r1 <= r0 {
+            return Err(format!(
+                "round-trips not increasing: {r0}s then {r1}s — samples too noisy to calibrate"
+            ));
+        }
+        if !(mem_bandwidth > 0.0) {
+            return Err(format!("mem_bandwidth must be positive, got {mem_bandwidth}"));
+        }
+        let bandwidth = 2.0 * (b1 - b0) as f64 / (r1 - r0);
+        let latency = (r0 / 2.0 - b0 as f64 / bandwidth).max(0.0);
+        Ok(NetworkModel {
+            latency,
+            bandwidth,
+            mem_bandwidth,
+        })
+    }
+
     /// Transfer time for `bytes` between two *different* machines.
     pub fn remote_transfer(&self, bytes: usize) -> f64 {
         self.latency + bytes as f64 / self.bandwidth
@@ -80,5 +122,40 @@ mod tests {
         let n = NetworkModel::switched_ethernet_100mbps();
         assert_eq!(n.transfer(4096, true), n.local_transfer(4096));
         assert_eq!(n.transfer(4096, false), n.remote_transfer(4096));
+    }
+
+    #[test]
+    fn calibration_round_trips_the_paper_model() {
+        // Synthesize the samples a loopback benchmark would measure on the
+        // paper's network, then recover the model from them.
+        let truth = NetworkModel::switched_ethernet_100mbps();
+        let small = (64usize, 2.0 * truth.remote_transfer(64));
+        let large = (1 << 20, 2.0 * truth.remote_transfer(1 << 20));
+        let got = NetworkModel::from_loopback_measurement(small, large, truth.mem_bandwidth)
+            .unwrap();
+        assert!((got.bandwidth - truth.bandwidth).abs() / truth.bandwidth < 1e-9);
+        assert!((got.latency - truth.latency).abs() < 1e-12);
+        assert_eq!(got.mem_bandwidth, truth.mem_bandwidth);
+    }
+
+    #[test]
+    fn calibration_rejects_degenerate_samples() {
+        assert!(NetworkModel::from_loopback_measurement((64, 1e-4), (64, 2e-4), 1e9).is_err());
+        assert!(
+            NetworkModel::from_loopback_measurement((64, 2e-4), (1 << 20, 1e-4), 1e9).is_err()
+        );
+        assert!(
+            NetworkModel::from_loopback_measurement((64, 1e-4), (1 << 20, 2e-3), 0.0).is_err()
+        );
+    }
+
+    #[test]
+    fn calibration_clamps_negative_latency_from_noise() {
+        // A small sample measured faster than the line rate allows must not
+        // produce a negative latency.
+        let got =
+            NetworkModel::from_loopback_measurement((1 << 16, 1e-6), (1 << 20, 2e-3), 1e9).unwrap();
+        assert!(got.latency >= 0.0);
+        assert!(got.bandwidth > 0.0);
     }
 }

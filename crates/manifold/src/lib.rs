@@ -83,6 +83,7 @@ pub mod lang;
 pub mod link;
 pub mod port;
 pub mod process;
+pub mod remote;
 pub mod stream;
 pub mod trace;
 pub mod unit;

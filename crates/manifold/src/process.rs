@@ -20,6 +20,7 @@ use crate::event::{EventMemory, EventOccurrence, EventPattern};
 use crate::ident::{Name, ProcessId};
 use crate::link::Placement;
 use crate::port::Port;
+use crate::remote::RemoteIdentity;
 use crate::trace::{Clock, TraceRecord, TraceSink};
 use crate::unit::Unit;
 
@@ -74,6 +75,7 @@ pub struct ProcessCore {
     ports: Mutex<HashMap<Name, Arc<Port>>>,
     watchers: Mutex<Vec<Weak<ProcessCore>>>,
     placement: Mutex<Option<Placement>>,
+    remote_identity: Mutex<Option<RemoteIdentity>>,
     pub(crate) body: Mutex<Option<Box<dyn AtomicProcess>>>,
     on_terminate: Mutex<Vec<TerminateHook>>,
     failure: Mutex<Option<MfError>>,
@@ -99,6 +101,7 @@ impl ProcessCore {
             ports: Mutex::new(HashMap::new()),
             watchers: Mutex::new(Vec::new()),
             placement: Mutex::new(None),
+            remote_identity: Mutex::new(None),
             body: Mutex::new(None),
             on_terminate: Mutex::new(Vec::new()),
             failure: Mutex::new(None),
@@ -135,6 +138,19 @@ impl ProcessCore {
 
     pub(crate) fn set_placement(&self, p: Placement) {
         *self.placement.lock() = Some(p);
+    }
+
+    /// Adopt a remote task-instance identity: trace records emitted by this
+    /// process report the given machine and task-instance uid instead of the
+    /// local placement's. Used by proxy processes that stand in for a
+    /// process living in another OS process (possibly on another host).
+    pub fn set_remote_identity(&self, identity: RemoteIdentity) {
+        *self.remote_identity.lock() = Some(identity);
+    }
+
+    /// The adopted remote identity, if any.
+    pub fn remote_identity(&self) -> Option<RemoteIdentity> {
+        self.remote_identity.lock().clone()
     }
 
     pub(crate) fn set_life(&self, s: LifeState) {
@@ -280,7 +296,7 @@ impl ProcessCore {
     /// Emit a trace record in the paper's §6 format.
     pub fn trace_message(&self, source_file: &str, line: u32, message: String) {
         let placement = self.placement.lock().clone();
-        let (host, task_uid, task_name) = match placement {
+        let (mut host, mut task_uid, task_name) = match placement {
             Some(p) => (
                 p.host.clone(),
                 TraceRecord::task_uid_for(p.task),
@@ -288,6 +304,12 @@ impl ProcessCore {
             ),
             None => (crate::config::HostName::new("unplaced"), 0, Name::new("?")),
         };
+        // A proxy for a remote task instance reports the *real* machine the
+        // work runs on, not the local placement's CONFIG label.
+        if let Some(remote) = self.remote_identity.lock().clone() {
+            host = remote.host;
+            task_uid = remote.task_uid;
+        }
         let micros = self.clock.now_micros();
         self.trace.record(TraceRecord {
             host,
@@ -457,6 +479,12 @@ impl ProcessCtx {
     /// macro, which fills in file and line.
     pub fn trace(&self, source_file: &str, line: u32, message: String) {
         self.core.trace_message(source_file, line, message);
+    }
+
+    /// Adopt a remote task-instance identity for trace output (see
+    /// [`ProcessCore::set_remote_identity`]).
+    pub fn set_remote_identity(&self, identity: RemoteIdentity) {
+        self.core.set_remote_identity(identity);
     }
 }
 

@@ -1,0 +1,103 @@
+//! Integration surface for *real* (multi-OS-process) task instances.
+//!
+//! Everything in this crate runs processes as threads of one program; a
+//! task instance is a bookkeeping entity. A real distributed deployment —
+//! the paper's cluster-of-workstations configuration — instead runs some
+//! task instances as separate operating-system processes reachable over a
+//! transport (TCP, Unix sockets). This module is the narrow waist between
+//! the two worlds:
+//!
+//! * [`RemoteConduit`] — a synchronous request/response channel to one
+//!   remote task instance. The `transport` crate implements it over
+//!   framed sockets; tests can implement it in memory.
+//! * [`ConduitSource`] — a factory handing out conduits, one per proxy
+//!   process. The transport crate's worker pool implements it with
+//!   round-robin placement over the CONFIG host map (plus respawn of dead
+//!   instances).
+//! * [`RemoteIdentity`] — the (machine, task-instance uid) pair a proxy
+//!   process adopts so the §6 chronological trace reports the *real* host
+//!   executing the work instead of the local placement label (see
+//!   [`ProcessCtx::set_remote_identity`]).
+//!
+//! Nothing here knows about sockets or wire formats: `manifold` stays a
+//! pure coordination runtime, and the transport can be swapped (or faked)
+//! without touching the protocol or application layers — the backend is
+//! chosen by configuration, never by code.
+//!
+//! [`ProcessCtx::set_remote_identity`]: crate::process::ProcessCtx::set_remote_identity
+
+use std::sync::Arc;
+
+use crate::config::HostName;
+use crate::error::MfResult;
+use crate::unit::Unit;
+
+/// The trace-visible identity of a remote task instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RemoteIdentity {
+    /// The machine the task instance really runs on (its reported
+    /// hostname, not the CONFIG label).
+    pub host: HostName,
+    /// The task-instance uid in the paper's composite encoding.
+    pub task_uid: u64,
+}
+
+/// A synchronous job channel to one remote task instance.
+///
+/// `execute` carries one unit to the remote instance and blocks until the
+/// answer unit comes back (or the instance is declared dead: connection
+/// loss, heartbeat timeout, or an application error on the far side).
+pub trait RemoteConduit: Send + Sync {
+    /// Ship `job` to the remote instance and wait for its answer.
+    fn execute(&self, job: Unit) -> MfResult<Unit>;
+    /// The remote instance's trace identity.
+    fn identity(&self) -> RemoteIdentity;
+    /// Stable index of the remote instance within its pool (used for
+    /// diagnostics and fault-injection addressing).
+    fn instance_id(&self) -> u64;
+}
+
+/// Hands out conduits to proxy processes, one per checkout.
+pub trait ConduitSource: Send + Sync {
+    /// Obtain a conduit to some live remote instance. Implementations may
+    /// block (e.g. to respawn a dead instance with backoff) and must be
+    /// callable from any thread.
+    fn checkout(&self) -> MfResult<Arc<dyn RemoteConduit>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl RemoteConduit for Echo {
+        fn execute(&self, job: Unit) -> MfResult<Unit> {
+            Ok(job)
+        }
+        fn identity(&self) -> RemoteIdentity {
+            RemoteIdentity {
+                host: HostName::new("far.example"),
+                task_uid: 42,
+            }
+        }
+        fn instance_id(&self) -> u64 {
+            0
+        }
+    }
+
+    struct OneEcho;
+    impl ConduitSource for OneEcho {
+        fn checkout(&self) -> MfResult<Arc<dyn RemoteConduit>> {
+            Ok(Arc::new(Echo))
+        }
+    }
+
+    #[test]
+    fn in_memory_conduit_round_trips() {
+        let src = OneEcho;
+        let c = src.checkout().unwrap();
+        assert_eq!(c.execute(Unit::int(7)).unwrap(), Unit::int(7));
+        assert_eq!(c.identity().host.as_str(), "far.example");
+        assert_eq!(c.identity().task_uid, 42);
+    }
+}

@@ -95,11 +95,25 @@ pub fn create_worker_pool(
         let now = Variable::spawn(coord, "now", Unit::int(0))?;
         let t = Variable::spawn(coord, "t", Unit::int(0))?;
 
+        // Every wait inside the pool is also sensitive to the master's
+        // termination: a master that *fails* mid-pool (e.g. its lost-worker
+        // retry budget runs out) must abort the pool instead of leaving the
+        // coordinator idling forever on events no one will raise. In the
+        // normal course the master cannot terminate here — it is blocked on
+        // `a_rendezvous` until the pool ends — so this changes nothing for
+        // a healthy run. Pending events still take precedence.
+        fn master_died() -> MfError {
+            MfError::App("master terminated inside an active worker pool".into())
+        }
+
         // begin: (MES("begin"), preemptall, IDLE).          (line 25)
         mes!(coord.ctx(), "begin");
         let mut pending = {
             let st = coord.state();
-            st.idle(&[CREATE_WORKER.into(), RENDEZVOUS.into()])?
+            match st.until_terminated(master, &[CREATE_WORKER.into(), RENDEZVOUS.into()])? {
+                StateExit::Event(e) => e,
+                StateExit::Terminated(_) => return Err(master_died()),
+            }
         };
 
         loop {
@@ -117,7 +131,12 @@ pub fn create_worker_pool(
                     st.send_ref(&worker, master, "input")?;
                     st.connect(master, "output", &worker, "input", StreamType::BK)?;
                     st.connect(&worker, "output", master, "dataport", StreamType::KK)?;
-                    pending = st.idle(&[CREATE_WORKER.into(), RENDEZVOUS.into()])?;
+                    pending = match st
+                        .until_terminated(master, &[CREATE_WORKER.into(), RENDEZVOUS.into()])?
+                    {
+                        StateExit::Event(e) => e,
+                        StateExit::Terminated(_) => return Err(master_died()),
+                    };
                     // Preemption dismantled the BK streams; the KK result
                     // stream stays intact (it must survive to transport a
                     // remote worker's results to the master).
@@ -127,7 +146,10 @@ pub fn create_worker_pool(
                     loop {
                         // begin: (preemptall, IDLE) — wait for death_worker.
                         let st = coord.state();
-                        let _death = st.idle(&[DEATH_WORKER.into()])?;
+                        let _death = match st.until_terminated(master, &[DEATH_WORKER.into()])? {
+                            StateExit::Event(e) => e,
+                            StateExit::Terminated(_) => return Err(master_died()),
+                        };
                         // death_worker: t = t + 1;
                         let counted = t.add(1);
                         if counted < now.get_int() {

@@ -1,0 +1,270 @@
+//! Proxy workers: running the worker side of the protocol on a *remote*
+//! task instance.
+//!
+//! [`remote_worker_factory`] produces workers that are, to
+//! [`crate::protocol_mw`] and to the master, indistinguishable from local
+//! ones — same ports, same death event, same protocol steps. Internally
+//! each proxy checks a [`RemoteConduit`] out of a [`ConduitSource`],
+//! ships its job across, and submits whatever comes back. The proxy also
+//! adopts the conduit's [`RemoteIdentity`], so §6 trace lines it emits
+//! carry the *real* host executing the work.
+//!
+//! ## Failure semantics
+//!
+//! If the conduit reports the remote instance lost (connection drop,
+//! heartbeat silence, handshake failure), the proxy
+//!
+//! 1. raises [`WORKER_LOST`] (an ordinary MANIFOLD event — observers of
+//!    the pool coordinator see it through the normal event mechanism), and
+//! 2. submits a *lost-job marker* — a tagged tuple wrapping the original
+//!    job — to its output port, which the `KK` stream of
+//!    `Create_Worker_Pool` delivers to the master's `dataport`.
+//!
+//! Then it raises the death event and terminates like any worker, keeping
+//! the pool's rendezvous arithmetic intact. The master recognizes the
+//! marker with [`as_lost_job`] and re-dispatches the wrapped job to a
+//! fresh worker (bounded by its retry budget), so a killed worker process
+//! costs one round-trip, not the run.
+
+use std::sync::Arc;
+
+use manifold::mes;
+use manifold::prelude::*;
+use manifold::remote::ConduitSource;
+
+use crate::WorkerHandle;
+
+/// Event a proxy raises when its remote instance is declared dead.
+pub const WORKER_LOST: &str = "worker_lost";
+
+/// First element of a lost-job marker tuple.
+const LOST_TAG: &str = "__worker_lost";
+
+/// Wrap an undelivered job in a marker the master can recognize on its
+/// `dataport`. `instance` is the dead remote instance (`u64::MAX` when no
+/// conduit could be checked out at all).
+pub fn lost_job_marker(job: Unit, instance: u64, reason: &str) -> Unit {
+    Unit::tuple(vec![
+        Unit::text(LOST_TAG),
+        Unit::int(instance as i64),
+        Unit::text(reason),
+        job,
+    ])
+}
+
+/// If `unit` is a lost-job marker, return `(instance, reason, job)`.
+pub fn as_lost_job(unit: &Unit) -> Option<(u64, &str, &Unit)> {
+    let items = unit.as_tuple()?;
+    match items {
+        [tag, instance, reason, job] if tag.as_text() == Some(LOST_TAG) => {
+            Some((instance.as_int()? as u64, reason.as_text()?, job))
+        }
+        _ => None,
+    }
+}
+
+/// Worker factory whose workers delegate their job to a remote task
+/// instance obtained from `source` — the `--backend procs` counterpart of
+/// a computing worker factory. Plug into [`crate::protocol_mw`] unchanged.
+pub fn remote_worker_factory(
+    source: Arc<dyn ConduitSource>,
+) -> impl FnMut(&Coord, &Name) -> ProcessRef {
+    move |coord, death_event| {
+        let death = death_event.clone();
+        let source = Arc::clone(&source);
+        coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+            let h = WorkerHandle::new(ctx, death.clone());
+            // Step 1: read the job from our own input port (before the
+            // checkout: a conduit is only held while there is work).
+            let job = h.receive()?;
+            match source.checkout() {
+                Ok(conduit) => {
+                    // Trace lines from here on carry the remote identity.
+                    h.ctx().set_remote_identity(conduit.identity());
+                    mes!(h.ctx(), "Welcome");
+                    // Steps 2+3: compute remotely, submit the answer.
+                    match conduit.execute(job.clone()) {
+                        Ok(result) => h.submit(result)?,
+                        Err(err) => {
+                            let instance = conduit.instance_id();
+                            mes!(h.ctx(), "worker lost: instance {instance}: {err}");
+                            h.ctx().raise(WORKER_LOST);
+                            h.submit(lost_job_marker(job, instance, &err.to_string()))?;
+                        }
+                    }
+                    mes!(h.ctx(), "Bye");
+                }
+                Err(err) => {
+                    mes!(h.ctx(), "worker lost: no instance available: {err}");
+                    h.ctx().raise(WORKER_LOST);
+                    h.submit(lost_job_marker(job, u64::MAX, &err.to_string()))?;
+                }
+            }
+            // Step 4: die like any worker, keeping rendezvous counting intact.
+            h.die();
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{protocol_mw, MasterHandle};
+    use manifold::config::HostName;
+    use manifold::remote::{RemoteConduit, RemoteIdentity};
+    use parking_lot::Mutex;
+
+    #[test]
+    fn lost_job_marker_round_trips() {
+        let job = Unit::tuple(vec![Unit::int(3), Unit::real(0.5)]);
+        let marker = lost_job_marker(job.clone(), 7, "connection closed");
+        let (instance, reason, wrapped) = as_lost_job(&marker).unwrap();
+        assert_eq!(instance, 7);
+        assert_eq!(reason, "connection closed");
+        assert_eq!(wrapped, &job);
+        // Ordinary payloads are not markers.
+        assert!(as_lost_job(&job).is_none());
+        assert!(as_lost_job(&Unit::int(1)).is_none());
+        assert!(as_lost_job(&Unit::tuple(vec![Unit::text("__worker_lost")])).is_none());
+    }
+
+    /// Conduit that squares reals, failing on the unlucky 13.
+    struct Squarer {
+        calls: Arc<Mutex<Vec<f64>>>,
+    }
+    impl RemoteConduit for Squarer {
+        fn execute(&self, job: Unit) -> MfResult<Unit> {
+            let x = job.expect_real()?;
+            self.calls.lock().push(x);
+            if x == 13.0 {
+                return Err(MfError::App("instance crashed".into()));
+            }
+            Ok(Unit::real(x * x))
+        }
+        fn identity(&self) -> RemoteIdentity {
+            RemoteIdentity {
+                host: HostName::new("far-node"),
+                task_uid: 9,
+            }
+        }
+        fn instance_id(&self) -> u64 {
+            4
+        }
+    }
+    struct SquarerSource {
+        calls: Arc<Mutex<Vec<f64>>>,
+    }
+    impl ConduitSource for SquarerSource {
+        fn checkout(&self) -> MfResult<Arc<dyn RemoteConduit>> {
+            Ok(Arc::new(Squarer {
+                calls: self.calls.clone(),
+            }))
+        }
+    }
+
+    #[test]
+    fn proxy_workers_run_the_protocol_end_to_end() {
+        let calls = Arc::new(Mutex::new(Vec::new()));
+        let source: Arc<dyn ConduitSource> = Arc::new(SquarerSource {
+            calls: calls.clone(),
+        });
+        let collected = Arc::new(Mutex::new(Vec::new()));
+        let collected2 = collected.clone();
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let coord_ref = coord.self_ref();
+            let env2 = coord.env().clone();
+            let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
+                let h = MasterHandle::new(ctx, coord_ref, env2);
+                h.create_pool();
+                for x in [2.0, 3.0] {
+                    let _w = h.request_worker()?;
+                    h.send_work(Unit::real(x))?;
+                }
+                for _ in 0..2 {
+                    collected2.lock().push(h.collect()?.expect_real()?);
+                }
+                h.rendezvous()?;
+                h.finished();
+                Ok(())
+            });
+            coord.activate(&master)?;
+            protocol_mw(coord, &master, remote_worker_factory(source))
+        })
+        .unwrap();
+        env.shutdown();
+        assert!(env.failures().is_empty());
+
+        let mut got = collected.lock().clone();
+        got.sort_by(f64::total_cmp);
+        assert_eq!(got, vec![4.0, 9.0]);
+        assert_eq!(calls.lock().len(), 2);
+
+        // The proxies' trace lines carry the remote identity.
+        let remote_lines: Vec<_> = env
+            .trace()
+            .snapshot()
+            .into_iter()
+            .filter(|r| r.host.as_str() == "far-node")
+            .collect();
+        assert!(
+            remote_lines.iter().any(|r| r.message == "Welcome"),
+            "expected remote-labelled Welcome lines"
+        );
+        assert!(remote_lines.iter().all(|r| r.task_uid == 9));
+    }
+
+    #[test]
+    fn lost_instance_surfaces_marker_and_event() {
+        let calls = Arc::new(Mutex::new(Vec::new()));
+        let source: Arc<dyn ConduitSource> = Arc::new(SquarerSource {
+            calls: calls.clone(),
+        });
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let coord_ref = coord.self_ref();
+            let env2 = coord.env().clone();
+            let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
+                let h = MasterHandle::new(ctx, coord_ref, env2);
+                h.create_pool();
+                let _w = h.request_worker()?;
+                h.send_work(Unit::real(13.0))?;
+                let unit = h.collect()?;
+                let (instance, reason, job) = as_lost_job(&unit).expect("must be a marker");
+                seen2.lock().push((instance, reason.to_string(), job.clone()));
+                // Re-dispatch the recovered job to a fresh worker.
+                let _w = h.request_worker()?;
+                h.send_work(Unit::real(job.expect_real()? + 1.0))?;
+                let ok = h.collect()?.expect_real()?;
+                assert_eq!(ok, 196.0);
+                h.rendezvous()?;
+                h.finished();
+                Ok(())
+            });
+            coord.activate(&master)?;
+            protocol_mw(coord, &master, remote_worker_factory(source))
+        })
+        .unwrap();
+        env.shutdown();
+        assert!(env.failures().is_empty());
+
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 1);
+        assert_eq!(seen[0].0, 4);
+        assert!(seen[0].1.contains("crashed"));
+        assert_eq!(seen[0].2, Unit::real(13.0));
+
+        // The worker_lost event travelled through the event mechanism and
+        // was observed (it shows up in the trace via the proxy's message).
+        let msgs: Vec<String> = env
+            .trace()
+            .snapshot()
+            .into_iter()
+            .map(|r| r.message)
+            .collect();
+        assert!(msgs.iter().any(|m| m.starts_with("worker lost")));
+    }
+}

@@ -46,6 +46,10 @@ pub struct MasterConfig {
     pub data_through_master: bool,
     /// Dispatch policy: job order and in-flight window.
     pub policy: PolicyRef,
+    /// How many lost-worker re-dispatches the master tolerates before
+    /// giving up on the run. Only the process backend produces lost-job
+    /// markers, so this is inert in a threads run.
+    pub retry_budget: usize,
 }
 
 impl MasterConfig {
@@ -55,12 +59,19 @@ impl MasterConfig {
             app,
             data_through_master,
             policy: Arc::new(PaperFaithful),
+            retry_budget: 3,
         }
     }
 
     /// Replace the dispatch policy.
     pub fn with_policy(mut self, policy: PolicyRef) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Replace the lost-worker retry budget.
+    pub fn with_retry_budget(mut self, budget: usize) -> Self {
+        self.retry_budget = budget;
         self
     }
 }
@@ -71,7 +82,32 @@ impl fmt::Debug for MasterConfig {
             .field("app", &self.app)
             .field("data_through_master", &self.data_through_master)
             .field("policy", &self.policy.name())
+            .field("retry_budget", &self.retry_budget)
             .finish()
+    }
+}
+
+/// Collect one *computational* result from the dataport. A lost-job
+/// marker (a proxy worker's remote instance died mid-job) is not a
+/// result: the master requests a fresh worker, re-sends the recovered
+/// job, and keeps collecting — so a killed worker process costs one
+/// round-trip, bounded by the retry budget.
+fn collect_result(h: &MasterHandle, retries_left: &mut usize) -> MfResult<SubsolveResult> {
+    loop {
+        let unit = h.collect()?;
+        if let Some((instance, reason, job)) = protocol::as_lost_job(&unit) {
+            if *retries_left == 0 {
+                return Err(MfError::App(format!(
+                    "worker lost (instance {instance}: {reason}); retry budget exhausted"
+                )));
+            }
+            *retries_left -= 1;
+            mes!(h.ctx(), "worker lost (instance {instance}); re-dispatching job");
+            let _worker = h.request_worker()?;
+            h.send_work(job.clone())?;
+            continue;
+        }
+        return result_from_unit(&unit);
     }
 }
 
@@ -104,17 +140,22 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
     // before issuing the next — collection overlaps computation instead of
     // waiting for the full feed to finish.
     h.create_pool();
+    let mut retries_left = cfg.retry_budget;
     let mut per_grid: Vec<SubsolveResult> = Vec::with_capacity(grids.len());
     let mut in_flight = 0usize;
     for &job in &order {
         while in_flight >= window {
             // (f): collect one result from our own dataport, freeing a slot.
-            let res = result_from_unit(&h.collect()?)?;
+            let res = collect_result(h, &mut retries_left)?;
             work.merge(&res.work);
             per_grid.push(res);
             in_flight -= 1;
         }
         let idx = grids[job];
+        // The dispatch sequence is the trace-visible signature of the
+        // policy: the cross-backend tests require it to match between the
+        // threads and the process backends line for line.
+        mes!(h.ctx(), "dispatch subsolve({}, {})", idx.l, idx.m);
         // (b)+(c): request a worker and activate it.
         let _worker = h.request_worker()?;
         // (d): write the job — with the initial data segment when the
@@ -132,7 +173,7 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
     }
     // (f): drain the remaining in-flight results.
     for _ in 0..in_flight {
-        let res = result_from_unit(&h.collect()?)?;
+        let res = collect_result(h, &mut retries_left)?;
         work.merge(&res.work);
         per_grid.push(res);
     }

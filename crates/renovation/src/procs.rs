@@ -1,0 +1,409 @@
+//! The *process* backend: `subsolve` workers as separate OS processes.
+//!
+//! [`run_concurrent`](crate::run_concurrent) executes every process
+//! instance as a thread. This module provides the deployment the paper
+//! actually ran on its workstation cluster: each worker task instance is a
+//! separate operating-system process (the committed `subsolve_worker`
+//! binary), connected over TCP or a Unix socket, placed according to the
+//! CONFIG host list. The master, the protocol, and the dispatch policies
+//! are *unchanged* — proxies from [`protocol::remote_worker_factory`]
+//! stand in for local workers, and the backend is chosen purely by
+//! configuration ([`ProcsConfig`] vs [`RunMode`](crate::RunMode)).
+//!
+//! Both halves live here so they cannot drift apart:
+//!
+//! * [`run_concurrent_procs`] — the coordinator side: launches the worker
+//!   pool, runs the master, merges the children's §6 traces into the run's
+//!   chronological record;
+//! * [`run_worker_child`] — the child side, called by the
+//!   `subsolve_worker` binary: serves jobs by running the *real*
+//!   [`worker_factory`](crate::worker_factory) manifold inside its own
+//!   MANIFOLD environment, then ships its trace back at shutdown.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use manifold::config::{ConfigSpec, HostName};
+use manifold::ident::TaskInstanceId;
+use manifold::prelude::*;
+use manifold::remote::{ConduitSource, RemoteConduit};
+use manifold::trace::{format_trace, merge_traces, parse_trace, TraceRecord};
+use parking_lot::Mutex;
+use protocol::{protocol_mw, MasterHandle, PolicyRef, DEATH_WORKER};
+use solver::sequential::{SequentialApp, SequentialResult};
+use transport::{
+    serve, Addr, BindMode, LocalSpawner, PoolConfig, RemoteWorkerPool, ServeConfig, ServeSummary,
+};
+
+use crate::app::ConcurrentResult;
+use crate::master::{master_body, MasterConfig};
+use crate::worker::{worker_factory, WorkerGauge};
+
+/// Configuration of a multi-process run.
+#[derive(Debug, Clone)]
+pub struct ProcsConfig {
+    /// Worker processes to launch.
+    pub instances: usize,
+    /// TCP loopback or Unix-domain sockets.
+    pub bind: BindMode,
+    /// CONFIG host labels for placement, cycled over instances. With the
+    /// [`LocalSpawner`] all children run locally regardless (the paper's
+    /// single-machine multi-process deployment); an ssh spawner would use
+    /// these as targets.
+    pub hosts: Vec<HostName>,
+    /// Path of the `subsolve_worker` binary. `None` resolves via the
+    /// `MF_SUBSOLVE_WORKER` environment variable, then by looking next to
+    /// the current executable.
+    pub worker_exe: Option<PathBuf>,
+    /// Lost-worker re-dispatches the master tolerates (also the per-slot
+    /// respawn budget of the pool).
+    pub retry_budget: usize,
+    /// Fault injection: make instance `.0` exit abruptly upon receiving
+    /// its `.1`-th job (1-based), before replying.
+    pub crash_on_job: Option<(u64, u64)>,
+    /// Max silence during a remote job before the instance is declared
+    /// dead (heartbeats reset the window).
+    pub job_timeout: Duration,
+    /// Child heartbeat cadence.
+    pub heartbeat: Duration,
+}
+
+impl ProcsConfig {
+    /// Localhost defaults for `instances` worker processes.
+    pub fn new(instances: usize) -> Self {
+        ProcsConfig {
+            instances,
+            bind: BindMode::Tcp,
+            hosts: Vec::new(),
+            worker_exe: None,
+            retry_budget: 3,
+            crash_on_job: None,
+            job_timeout: Duration::from_secs(60),
+            heartbeat: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Locate the worker binary: explicit override, `MF_SUBSOLVE_WORKER`, or
+/// a `subsolve_worker` next to the current executable (cargo places test
+/// and bench binaries in the same target directory).
+fn resolve_worker_exe(cfg: &ProcsConfig) -> MfResult<PathBuf> {
+    if let Some(p) = &cfg.worker_exe {
+        return Ok(p.clone());
+    }
+    if let Ok(p) = std::env::var("MF_SUBSOLVE_WORKER") {
+        return Ok(PathBuf::from(p));
+    }
+    if let Ok(exe) = std::env::current_exe() {
+        let mut dirs: Vec<PathBuf> = Vec::new();
+        if let Some(d) = exe.parent() {
+            dirs.push(d.to_path_buf());
+            if let Some(dd) = d.parent() {
+                dirs.push(dd.to_path_buf());
+            }
+        }
+        for d in dirs {
+            let cand = d.join("subsolve_worker");
+            if cand.is_file() {
+                return Ok(cand);
+            }
+        }
+    }
+    Err(MfError::App(
+        "cannot locate the subsolve_worker binary: set ProcsConfig.worker_exe \
+         or the MF_SUBSOLVE_WORKER environment variable"
+            .into(),
+    ))
+}
+
+/// Wraps the pool so every job executed through a conduit is counted by
+/// the same [`WorkerGauge`] the threads backend uses — `peak_concurrent_workers`
+/// means the same thing for both backends.
+struct GaugedSource {
+    pool: Arc<RemoteWorkerPool>,
+    gauge: Arc<WorkerGauge>,
+}
+
+struct GaugedConduit {
+    inner: Arc<dyn RemoteConduit>,
+    gauge: Arc<WorkerGauge>,
+}
+
+impl ConduitSource for GaugedSource {
+    fn checkout(&self) -> MfResult<Arc<dyn RemoteConduit>> {
+        Ok(Arc::new(GaugedConduit {
+            inner: self.pool.checkout()?,
+            gauge: Arc::clone(&self.gauge),
+        }))
+    }
+}
+
+impl RemoteConduit for GaugedConduit {
+    fn execute(&self, job: Unit) -> MfResult<Unit> {
+        self.gauge.enter();
+        let result = self.inner.execute(job);
+        self.gauge.exit();
+        result
+    }
+    fn identity(&self) -> manifold::remote::RemoteIdentity {
+        self.inner.identity()
+    }
+    fn instance_id(&self) -> u64 {
+        self.inner.instance_id()
+    }
+}
+
+/// The trace task-instance uid of worker process `instance` (slot 0 of
+/// the pool is task instance 1; task instance 0 is the master's).
+pub fn child_task_uid(instance: u64) -> u64 {
+    TraceRecord::task_uid_for(TaskInstanceId(instance + 1))
+}
+
+/// Run the renovated application with worker task instances as separate
+/// OS processes. Numerically (and in trace-visible dispatch order)
+/// identical to [`run_concurrent_with_policy`](crate::run_concurrent_with_policy)
+/// for every dispatch policy.
+pub fn run_concurrent_procs(
+    app: &SequentialApp,
+    cfg: &ProcsConfig,
+    data_through_master: bool,
+    policy: PolicyRef,
+) -> MfResult<ConcurrentResult> {
+    let program = resolve_worker_exe(cfg)?;
+    let mut pool_cfg = PoolConfig::new(program);
+    pool_cfg.instances = cfg.instances;
+    pool_cfg.bind = cfg.bind;
+    pool_cfg.hosts = cfg.hosts.clone();
+    pool_cfg.job_timeout = cfg.job_timeout;
+    pool_cfg.respawn_budget = cfg.retry_budget;
+    pool_cfg.base_env = vec![(
+        "MF_WORKER_HEARTBEAT_MS".into(),
+        cfg.heartbeat.as_millis().to_string(),
+    )];
+    if let Some((instance, nth)) = cfg.crash_on_job {
+        let mut per = vec![Vec::new(); cfg.instances];
+        if let Some(slot) = per.get_mut(instance as usize) {
+            slot.push(("MF_WORKER_CRASH_ON_JOB".into(), nth.to_string()));
+        }
+        pool_cfg.per_instance_env = per;
+    }
+    let pool = Arc::new(RemoteWorkerPool::launch(pool_cfg, Arc::new(LocalSpawner))?);
+
+    // The local environment hosts the master and the lightweight proxies;
+    // the compute lives in the children. Load must cover master + one
+    // proxy per job (+ re-dispatches after worker loss).
+    let link = LinkSpec::default()
+        .task("mainprog")
+        .perpetual(true)
+        .load(2 * app.level + 8 + cfg.retry_budget as u32)
+        .weight("Master", 1)
+        .weight("Worker", 1);
+    let env = Environment::with_specs(link, ConfigSpec::with_startup("bumpa.sen.cwi.nl"));
+
+    let cell: Arc<Mutex<Option<SequentialResult>>> = Arc::new(Mutex::new(None));
+    let master_cfg = MasterConfig::new(*app, data_through_master)
+        .with_policy(policy)
+        .with_retry_budget(cfg.retry_budget);
+    let gauge = WorkerGauge::new();
+    let source: Arc<dyn ConduitSource> = Arc::new(GaugedSource {
+        pool: Arc::clone(&pool),
+        gauge: Arc::clone(&gauge),
+    });
+
+    let run = env.run_coordinator("Main", |coord| {
+        let coord_ref = coord.self_ref();
+        let env2 = coord.env().clone();
+        let cell2 = cell.clone();
+        let master_cfg = master_cfg.clone();
+        let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
+            let h = MasterHandle::new(ctx, coord_ref, env2);
+            let result = master_body(&h, &master_cfg)?;
+            *cell2.lock() = Some(result);
+            Ok(())
+        });
+        coord.activate(&master)?;
+        let outcome = protocol_mw(coord, &master, protocol::remote_worker_factory(source))?;
+        master.core().wait_terminated(Duration::from_secs(600))?;
+        Ok(outcome)
+    });
+
+    // Collect child traces whether or not the run succeeded, so a failed
+    // run still reaps its children.
+    let local_records = env.trace().snapshot();
+    env.shutdown();
+    let child_reports = pool.shutdown();
+
+    let outcome = match run {
+        Ok(o) => o,
+        Err(e) => {
+            // Prefer the root cause a failed process recorded (e.g. the
+            // master's "retry budget exhausted") over the coordinator's
+            // view of the aftermath.
+            let detail = env
+                .failures()
+                .into_iter()
+                .next()
+                .map(|(pid, err)| format!("process {pid:?} failed: {err}"))
+                .unwrap_or_else(|| e.to_string());
+            return Err(MfError::App(detail));
+        }
+    };
+    if let Some((pid, err)) = env.failures().into_iter().next() {
+        return Err(MfError::App(format!("process {pid:?} failed: {err}")));
+    }
+    let result = cell
+        .lock()
+        .take()
+        .ok_or_else(|| MfError::App("master produced no result".into()))?;
+
+    // Satellite: interleave the per-process trace files chronologically,
+    // exactly as the paper's single chronological listing shows them.
+    let mut sequences = vec![local_records];
+    for (slot, _identity, trace) in &child_reports {
+        if let Some(text) = trace {
+            let records = parse_trace(text)
+                .map_err(|e| MfError::App(format!("instance {slot} sent a bad trace: {e}")))?;
+            sequences.push(records);
+        }
+    }
+    let records = merge_traces(sequences);
+    let machines_used = records
+        .iter()
+        .map(|r| r.host.as_str().to_string())
+        .collect::<BTreeSet<_>>()
+        .len();
+
+    Ok(ConcurrentResult {
+        result,
+        outcome,
+        records,
+        machines_used,
+        peak_concurrent_workers: gauge.peak(),
+    })
+}
+
+/// The child side: everything `subsolve_worker` does after parsing its
+/// environment. Serves jobs from `addr` by running the real Worker
+/// manifold in a private MANIFOLD environment whose startup machine is
+/// this machine's real hostname, and ships the accumulated trace (task
+/// uids rewritten to this instance's slot) back at shutdown.
+pub fn run_worker_child(
+    addr: Addr,
+    instance: u64,
+    heartbeat: Duration,
+    crash_on_job: Option<u64>,
+) -> std::io::Result<ServeSummary> {
+    let host = transport::real_hostname();
+    let task_uid = child_task_uid(instance);
+    let link = LinkSpec::default()
+        .task("mainprog")
+        .perpetual(true)
+        .load(64)
+        .weight("Worker", 1);
+    let env = Environment::with_specs(link, ConfigSpec::with_startup(host.as_str()));
+
+    let mut cfg = ServeConfig::new(addr, instance, host, task_uid);
+    cfg.heartbeat = heartbeat;
+    let jobs_seen = AtomicU64::new(0);
+    let env_for_jobs = env.clone();
+    let summary = serve(
+        cfg,
+        move |job| {
+            let n = jobs_seen.fetch_add(1, Ordering::SeqCst) + 1;
+            if crash_on_job == Some(n) {
+                // Fault injection: die the way a crashed workstation
+                // does — no reply, no cleanup, connection just drops.
+                std::process::exit(42);
+            }
+            solve_one(&env_for_jobs, job).map_err(|e| e.to_string())
+        },
+        || {
+            let mut records = env.trace().snapshot();
+            for r in &mut records {
+                r.task_uid = task_uid;
+            }
+            Some(format_trace(&records))
+        },
+    )?;
+    env.shutdown();
+    Ok(summary)
+}
+
+/// Run one job through the real Worker manifold: create the worker
+/// process instance, feed it the job, collect its submission, observe its
+/// death — the same four steps the thread backend's pool performs.
+fn solve_one(env: &Environment, job: Unit) -> MfResult<Unit> {
+    env.run_coordinator("ChildMain", |coord| {
+        let death = Name::new(DEATH_WORKER);
+        let worker = worker_factory(coord, &death);
+        coord.activate(&worker)?;
+        let mut st = coord.state();
+        st.send(job.clone(), &worker, "input")?;
+        st.connect_to_self(&worker, "output", "input", StreamType::KK)?;
+        match st.until_terminated(&worker, &[DEATH_WORKER.into()])? {
+            StateExit::Event(_) => {
+                let result = coord.read("input")?;
+                worker.core().wait_terminated(Duration::from_secs(600))?;
+                Ok(result)
+            }
+            StateExit::Terminated(_) => {
+                let detail = env
+                    .failures()
+                    .into_iter()
+                    .find(|(pid, _)| *pid == worker.id())
+                    .map(|(_, e)| e.to_string())
+                    .unwrap_or_else(|| "worker terminated without a result".into());
+                Err(MfError::App(detail))
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use protocol::PaperFaithful;
+
+    #[test]
+    fn child_task_uids_are_distinct_from_the_masters() {
+        let master_uid = TraceRecord::task_uid_for(TaskInstanceId(0));
+        assert_ne!(child_task_uid(0), master_uid);
+        assert_ne!(child_task_uid(0), child_task_uid(1));
+    }
+
+    #[test]
+    fn missing_worker_binary_is_a_clear_error() {
+        let mut cfg = ProcsConfig::new(1);
+        cfg.worker_exe = Some(PathBuf::from("/nonexistent/subsolve_worker"));
+        let app = SequentialApp::new(1, 1, 1e-3);
+        let err = run_concurrent_procs(&app, &cfg, true, Arc::new(PaperFaithful)).unwrap_err();
+        // The pool fails to spawn and reports which instance.
+        assert!(err.to_string().contains("instance 0"), "got: {err}");
+    }
+
+    #[test]
+    fn solve_one_runs_the_real_worker() {
+        use crate::codec::{request_to_unit, result_from_unit};
+        use solver::problem::Problem;
+        use solver::subsolve::SubsolveRequest;
+
+        let env = Environment::new();
+        let req = SubsolveRequest::for_grid(2, 1, 1, 1e-3, Problem::manufactured_benchmark());
+        let out = solve_one(&env, request_to_unit(&req)).unwrap();
+        let res = result_from_unit(&out).unwrap();
+        let direct = solver::subsolve(&req).unwrap();
+        assert_eq!(res.values, direct.values);
+        env.shutdown();
+    }
+
+    #[test]
+    fn solve_one_surfaces_worker_failures() {
+        let env = Environment::new();
+        let err = solve_one(&env, Unit::text("not a job")).unwrap_err();
+        assert!(!err.to_string().is_empty());
+        env.shutdown();
+    }
+}

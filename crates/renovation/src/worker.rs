@@ -36,12 +36,12 @@ impl WorkerGauge {
         Arc::new(Self::default())
     }
 
-    fn enter(&self) {
+    pub(crate) fn enter(&self) {
         let now = self.alive.fetch_add(1, Ordering::SeqCst) + 1;
         self.peak.fetch_max(now, Ordering::SeqCst);
     }
 
-    fn exit(&self) {
+    pub(crate) fn exit(&self) {
         self.alive.fetch_sub(1, Ordering::SeqCst);
     }
 

@@ -1,0 +1,69 @@
+//! Fault injection: a worker process killed mid-job must cost the run one
+//! re-dispatch, not its correctness. Instance 0 is told (via
+//! `MF_WORKER_CRASH_ON_JOB`) to exit abruptly — no reply, no cleanup —
+//! upon receiving its second job; the master must observe the loss
+//! through the normal event mechanism, re-dispatch the recovered job, and
+//! still produce the bit-identical result within the retry budget.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use protocol::PaperFaithful;
+use renovation::{run_concurrent_procs, ProcsConfig};
+use solver::sequential::SequentialApp;
+
+#[test]
+fn killed_worker_is_redispatched_and_run_completes() {
+    let app = SequentialApp::new(2, 2, 1e-3);
+    let seq = app.run().unwrap();
+
+    let mut cfg = ProcsConfig::new(2);
+    cfg.worker_exe = Some(PathBuf::from(env!("CARGO_BIN_EXE_subsolve_worker")));
+    // Every incarnation of instance 0 dies on its second job, so the slot
+    // keeps making progress (one job per incarnation) while exercising
+    // crash → lost-marker → re-dispatch → respawn repeatedly.
+    cfg.crash_on_job = Some((0, 2));
+    cfg.retry_budget = 6;
+
+    let procs = run_concurrent_procs(&app, &cfg, true, Arc::new(PaperFaithful)).unwrap();
+
+    // Correct despite the losses — and not approximately: bit-identical.
+    assert_eq!(procs.result.combined, seq.combined);
+    assert_eq!(procs.result.l2_error, seq.l2_error);
+    assert_eq!(procs.result.per_grid.len(), seq.per_grid.len());
+
+    // The recovery path really fired: the master logged the loss and the
+    // re-dispatch, and extra workers were created for the re-sent jobs.
+    let losses = procs
+        .records
+        .iter()
+        .filter(|r| r.message.contains("worker lost"))
+        .count();
+    assert!(losses >= 1, "no worker-lost trace line; fault never fired");
+    assert!(
+        procs.outcome.pools()[0].workers_created > 5,
+        "re-dispatch should create extra workers (got {})",
+        procs.outcome.pools()[0].workers_created
+    );
+}
+
+#[test]
+fn exhausted_retry_budget_fails_the_run_cleanly() {
+    let app = SequentialApp::new(2, 2, 1e-3);
+
+    let mut cfg = ProcsConfig::new(1);
+    cfg.worker_exe = Some(PathBuf::from(env!("CARGO_BIN_EXE_subsolve_worker")));
+    // The only instance dies on its *first* job, every incarnation: no
+    // progress is possible, so the budget must run out with a clear error
+    // instead of a hang.
+    cfg.crash_on_job = Some((0, 1));
+    cfg.retry_budget = 2;
+    cfg.job_timeout = std::time::Duration::from_secs(20);
+
+    let err = run_concurrent_procs(&app, &cfg, true, Arc::new(PaperFaithful)).unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("retry budget") || msg.contains("respawn budget") || msg.contains("lost"),
+        "unexpected failure shape: {msg}"
+    );
+}

@@ -1,0 +1,178 @@
+//! Length-prefixed framing over byte streams.
+//!
+//! A frame is `len:u32le` followed by `len` payload bytes. The payload is
+//! one wire-encoded unit (see [`crate::wire`]). Frames are capped at
+//! [`MAX_FRAME`] so a corrupt length prefix cannot trigger a giant
+//! allocation.
+//!
+//! Two consumption styles:
+//!
+//! * [`read_frame`] — blocking, over any [`Read`] (sockets);
+//! * [`FrameDecoder`] — incremental: push byte chunks of *any* size (as a
+//!   socket delivers them) and pop complete frames. This is the form the
+//!   split-at-arbitrary-boundaries property tests exercise.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+
+use crate::WireError;
+
+/// Largest accepted frame payload (64 MiB — a level-15 grid is ~1 MB, so
+/// this leaves two orders of magnitude of headroom).
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let len: u32 = payload
+        .len()
+        .try_into()
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidInput, "frame too long"))?;
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "frame too long",
+        ));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one complete frame, blocking. An EOF before the first header byte
+/// returns `Ok(None)` (clean close); an EOF mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 4];
+    match r.read(&mut header)? {
+        0 => return Ok(None),
+        mut n => {
+            while n < 4 {
+                let m = r.read(&mut header[n..])?;
+                if m == 0 {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "eof inside frame header",
+                    ));
+                }
+                n += m;
+            }
+        }
+    }
+    let len = u32::from_le_bytes(header) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Incremental frame reassembler: bytes in (any chunking), frames out.
+#[derive(Default)]
+pub struct FrameDecoder {
+    buf: VecDeque<u8>,
+}
+
+impl FrameDecoder {
+    /// Fresh, empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed a chunk of received bytes.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend(chunk);
+    }
+
+    /// Pop the next complete frame, if one has fully arrived.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let header: Vec<u8> = self.buf.iter().take(4).copied().collect();
+        let len = u32::from_le_bytes(header.try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(WireError::TooLong);
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        self.buf.drain(..4);
+        Ok(Some(self.buf.drain(..len).collect()))
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Frame a payload into a fresh buffer (header + payload), for tests and
+/// for batching multiple frames into one socket write.
+pub fn frame_vec(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 4);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, &[7u8; 1000]).unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), vec![7u8; 1000]);
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_error() {
+        let mut full = Vec::new();
+        write_frame(&mut full, b"abcdef").unwrap();
+        for cut in 1..full.len() {
+            let mut r = std::io::Cursor::new(&full[..cut]);
+            assert!(read_frame(&mut r).is_err(), "cut at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn decoder_handles_byte_at_a_time() {
+        let mut stream = Vec::new();
+        write_frame(&mut stream, b"one").unwrap();
+        write_frame(&mut stream, b"two2").unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut frames = Vec::new();
+        for b in stream {
+            dec.push(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                frames.push(f);
+            }
+        }
+        assert_eq!(frames, vec![b"one".to_vec(), b"two2".to_vec()]);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_header() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&u32::MAX.to_le_bytes());
+        assert_eq!(dec.next_frame(), Err(WireError::TooLong));
+    }
+
+    #[test]
+    fn oversized_write_refused() {
+        let mut sink = Vec::new();
+        let big = vec![0u8; MAX_FRAME + 1];
+        assert!(write_frame(&mut sink, &big).is_err());
+    }
+}

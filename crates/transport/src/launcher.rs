@@ -1,0 +1,665 @@
+//! Coordinator-side pool of remote task instances.
+//!
+//! [`RemoteWorkerPool::launch`] binds a listener (TCP loopback or a Unix
+//! socket), spawns one child process per task instance through a
+//! [`Spawner`] using the CONFIG host list for placement, and completes the
+//! `Hello`/`HelloAck` handshake with each. It then implements
+//! [`ConduitSource`]: proxy processes check out conduits round-robin and
+//! drive jobs through them.
+//!
+//! Failure handling: any I/O error, EOF, or heartbeat silence beyond the
+//! job timeout marks the instance dead (its child is killed, the conduit
+//! errors out). The next checkout of a dead slot respawns it, under a
+//! bounded per-slot budget with exponential backoff, so a crashing child
+//! cannot put the pool into a spawn loop.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use manifold::config::HostName;
+use manifold::remote::{ConduitSource, RemoteConduit, RemoteIdentity};
+use manifold::{MfError, MfResult, Unit};
+use parking_lot::Mutex;
+
+use crate::conn::{Addr, Backoff, Conn};
+use crate::msg::{Message, PROTOCOL_VERSION};
+use crate::spawn::{ChildHandle, SpawnSpec, Spawner};
+
+/// How the pool listens for its children.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BindMode {
+    /// TCP on `127.0.0.1`, ephemeral port. Works for any child that can
+    /// reach loopback; the shape a real cross-host deployment uses.
+    Tcp,
+    /// Unix-domain socket in the temp directory (same-host only, lower
+    /// latency).
+    Unix,
+}
+
+/// Pool parameters.
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Number of task instances (child processes).
+    pub instances: usize,
+    /// Listener flavour.
+    pub bind: BindMode,
+    /// Worker executable for children.
+    pub program: PathBuf,
+    /// Extra command-line arguments for children.
+    pub args: Vec<String>,
+    /// CONFIG host labels, cycled over instances (`hosts[i % len]`).
+    /// Empty means every instance is placed on `localhost`.
+    pub hosts: Vec<HostName>,
+    /// Environment variables added to every child.
+    pub base_env: Vec<(String, String)>,
+    /// Additional per-instance environment (indexed by slot; missing
+    /// entries mean "nothing extra").
+    pub per_instance_env: Vec<Vec<(String, String)>>,
+    /// Time allowed for a child to connect and complete the handshake.
+    pub handshake_timeout: Duration,
+    /// Maximum silence (no `Done`/`Fail`/`Heartbeat`) during a job before
+    /// the instance is declared dead.
+    pub job_timeout: Duration,
+    /// Respawns allowed per slot over the pool's lifetime.
+    pub respawn_budget: usize,
+}
+
+impl PoolConfig {
+    /// Defaults for a localhost deployment of `program`.
+    pub fn new(program: PathBuf) -> Self {
+        Self {
+            instances: 2,
+            bind: BindMode::Tcp,
+            program,
+            args: Vec::new(),
+            hosts: Vec::new(),
+            base_env: Vec::new(),
+            per_instance_env: Vec::new(),
+            handshake_timeout: Duration::from_secs(20),
+            job_timeout: Duration::from_secs(10),
+            respawn_budget: 3,
+        }
+    }
+
+    fn host_for(&self, slot: usize) -> HostName {
+        if self.hosts.is_empty() {
+            HostName::new("localhost")
+        } else {
+            self.hosts[slot % self.hosts.len()].clone()
+        }
+    }
+}
+
+enum Listener {
+    Tcp(std::net::TcpListener),
+    Unix(std::os::unix::net::UnixListener, PathBuf),
+}
+
+static UNIX_SOCKET_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl Listener {
+    fn bind(mode: BindMode) -> std::io::Result<(Listener, Addr)> {
+        match mode {
+            BindMode::Tcp => {
+                let l = std::net::TcpListener::bind("127.0.0.1:0")?;
+                let addr = Addr::Tcp(l.local_addr()?.to_string());
+                Ok((Listener::Tcp(l), addr))
+            }
+            BindMode::Unix => {
+                let path = std::env::temp_dir().join(format!(
+                    "mf-pool-{}-{}.sock",
+                    std::process::id(),
+                    UNIX_SOCKET_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                let _ = std::fs::remove_file(&path);
+                let l = std::os::unix::net::UnixListener::bind(&path)?;
+                let addr = Addr::Unix(path.clone());
+                Ok((Listener::Unix(l, path), addr))
+            }
+        }
+    }
+
+    /// Accept one connection within `timeout` (polling, so a child that
+    /// never connects cannot hang the pool).
+    fn accept_within(&self, timeout: Duration) -> std::io::Result<Conn> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let conn = match self {
+                Listener::Tcp(l) => {
+                    l.set_nonblocking(true)?;
+                    match l.accept() {
+                        Ok((s, _)) => {
+                            s.set_nonblocking(false)?;
+                            s.set_nodelay(true)?;
+                            Some(Conn::Tcp(s))
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Listener::Unix(l, _) => {
+                    l.set_nonblocking(true)?;
+                    match l.accept() {
+                        Ok((s, _)) => {
+                            s.set_nonblocking(false)?;
+                            Some(Conn::Unix(s))
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                        Err(e) => return Err(e),
+                    }
+                }
+            };
+            if let Some(c) = conn {
+                return Ok(c);
+            }
+            if Instant::now() >= deadline {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    "no child connected within handshake timeout",
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path.as_path());
+        }
+    }
+}
+
+struct SlotState {
+    conn: Option<Conn>,
+    identity: RemoteIdentity,
+    child: Option<ChildHandle>,
+    respawns_left: usize,
+    backoff: Backoff,
+}
+
+impl SlotState {
+    fn mark_dead(&mut self) {
+        self.conn = None;
+        if let Some(child) = self.child.as_mut() {
+            child.kill();
+        }
+        self.child = None;
+    }
+}
+
+struct Slot {
+    index: u64,
+    job_timeout: Duration,
+    state: Mutex<SlotState>,
+    seq: AtomicU64,
+}
+
+struct PoolInner {
+    cfg: PoolConfig,
+    addr: Addr,
+    // Spawn+accept+handshake is serialized through this lock so racing
+    // respawns cannot cross-wire two children's connections.
+    listener: Mutex<Listener>,
+    spawner: Arc<dyn Spawner>,
+    slots: Vec<Arc<Slot>>,
+    next: AtomicUsize,
+}
+
+/// A pool of remote task instances implementing [`ConduitSource`].
+pub struct RemoteWorkerPool {
+    inner: Arc<PoolInner>,
+}
+
+fn app_err(msg: impl std::fmt::Display) -> MfError {
+    MfError::App(msg.to_string())
+}
+
+impl RemoteWorkerPool {
+    /// Bind, spawn `cfg.instances` children through `spawner`, and
+    /// complete every handshake. Fails (killing whatever was spawned) if
+    /// any instance cannot be brought up.
+    pub fn launch(cfg: PoolConfig, spawner: Arc<dyn Spawner>) -> MfResult<RemoteWorkerPool> {
+        if cfg.instances == 0 {
+            return Err(app_err("pool needs at least one instance"));
+        }
+        let (listener, addr) = Listener::bind(cfg.bind).map_err(app_err)?;
+        let job_timeout = cfg.job_timeout;
+        let inner = Arc::new(PoolInner {
+            addr,
+            listener: Mutex::new(listener),
+            spawner,
+            slots: (0..cfg.instances as u64)
+                .map(|index| {
+                    Arc::new(Slot {
+                        index,
+                        job_timeout,
+                        state: Mutex::new(SlotState {
+                            conn: None,
+                            identity: RemoteIdentity {
+                                host: cfg.host_for(index as usize),
+                                task_uid: 0,
+                            },
+                            child: None,
+                            respawns_left: cfg.respawn_budget,
+                            backoff: Backoff::new(
+                                Duration::from_millis(50),
+                                Duration::from_secs(2),
+                            ),
+                        }),
+                        seq: AtomicU64::new(1),
+                    })
+                })
+                .collect(),
+            next: AtomicUsize::new(0),
+            cfg,
+        });
+        for slot in &inner.slots {
+            let mut st = slot.state.lock();
+            bring_up(&inner, slot.index, &mut st)?;
+        }
+        Ok(RemoteWorkerPool { inner })
+    }
+
+    /// The address children connect back to (`tcp:…` / `unix:…`).
+    pub fn addr(&self) -> Addr {
+        self.inner.addr.clone()
+    }
+
+    /// Number of slots with a live connection right now.
+    pub fn live_count(&self) -> usize {
+        self.inner
+            .slots
+            .iter()
+            .filter(|s| s.state.lock().conn.is_some())
+            .count()
+    }
+
+    /// Trace identities of all slots (index, identity).
+    pub fn identities(&self) -> Vec<(u64, RemoteIdentity)> {
+        self.inner
+            .slots
+            .iter()
+            .map(|s| (s.index, s.state.lock().identity.clone()))
+            .collect()
+    }
+
+    /// Orderly shutdown: ask every live child to finish, collect the
+    /// trace block each sends back, and reap the processes. Returns
+    /// `(slot, identity, trace)` per instance.
+    pub fn shutdown(&self) -> Vec<(u64, RemoteIdentity, Option<String>)> {
+        let mut out = Vec::new();
+        for slot in &self.inner.slots {
+            let mut st = slot.state.lock();
+            let identity = st.identity.clone();
+            let mut trace = None;
+            if let Some(mut conn) = st.conn.take() {
+                if conn.send_msg(&Message::Shutdown).is_ok() {
+                    let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+                    loop {
+                        match conn.recv_msg() {
+                            Ok(Some(Message::Heartbeat)) => continue,
+                            Ok(Some(Message::Trace { text })) => {
+                                trace = Some(text);
+                                break;
+                            }
+                            Ok(Some(_)) | Ok(None) | Err(_) => break,
+                        }
+                    }
+                }
+            }
+            if let Some(child) = st.child.as_mut() {
+                // A clean child has already exited; kill() just reaps it.
+                child.kill();
+            }
+            st.child = None;
+            out.push((slot.index, identity, trace));
+        }
+        out
+    }
+}
+
+/// Spawn a child for `slot`, accept its connection and handshake.
+/// The caller holds the slot's state lock; the listener lock is taken
+/// here, serializing concurrent bring-ups.
+fn bring_up(inner: &PoolInner, slot_index: u64, st: &mut SlotState) -> MfResult<()> {
+    let cfg = &inner.cfg;
+    let host = cfg.host_for(slot_index as usize);
+    let mut env = cfg.base_env.clone();
+    env.push(("MF_WORKER_ADDR".into(), inner.addr.to_string()));
+    env.push(("MF_WORKER_INSTANCE".into(), slot_index.to_string()));
+    if let Some(extra) = cfg.per_instance_env.get(slot_index as usize) {
+        env.extend(extra.iter().cloned());
+    }
+    let spec = SpawnSpec {
+        program: cfg.program.clone(),
+        args: cfg.args.clone(),
+        env,
+        host,
+    };
+
+    let listener = inner.listener.lock();
+    let child = inner
+        .spawner
+        .spawn(&spec)
+        .map_err(|e| app_err(format!("spawn instance {slot_index}: {e}")))?;
+
+    let deadline = Instant::now() + cfg.handshake_timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(app_err(format!(
+                "instance {slot_index}: handshake timed out"
+            )));
+        }
+        let mut conn = listener
+            .accept_within(remaining)
+            .map_err(|e| app_err(format!("instance {slot_index}: {e}")))?;
+        conn.set_read_timeout(Some(cfg.handshake_timeout))
+            .map_err(app_err)?;
+        match conn.recv_msg() {
+            Ok(Some(Message::Hello {
+                version,
+                instance,
+                host,
+                task_uid,
+            })) => {
+                if version != PROTOCOL_VERSION {
+                    return Err(app_err(format!(
+                        "instance {slot_index}: protocol version {version} != {PROTOCOL_VERSION}"
+                    )));
+                }
+                if instance != slot_index {
+                    // A late straggler from an earlier attempt; drop it
+                    // and keep waiting for the child we just spawned.
+                    continue;
+                }
+                conn.send_msg(&Message::HelloAck { instance })
+                    .map_err(app_err)?;
+                st.conn = Some(conn);
+                st.identity = RemoteIdentity {
+                    host: HostName::new(host),
+                    task_uid,
+                };
+                st.child = Some(child);
+                return Ok(());
+            }
+            other => {
+                return Err(app_err(format!(
+                    "instance {slot_index}: bad handshake: {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+impl ConduitSource for RemoteWorkerPool {
+    fn checkout(&self) -> MfResult<Arc<dyn RemoteConduit>> {
+        let n = self.inner.slots.len();
+        let start = self.inner.next.fetch_add(1, Ordering::Relaxed) % n;
+        let slot = &self.inner.slots[start];
+        {
+            let mut st = slot.state.lock();
+            if st.conn.is_none() && st.respawns_left > 0 {
+                st.respawns_left -= 1;
+                let delay = st.backoff.step();
+                std::thread::sleep(delay);
+                if let Err(e) = bring_up(&self.inner, slot.index, &mut st) {
+                    st.mark_dead();
+                    // Fall through to the live-slot scan below.
+                    let _ = e;
+                }
+            }
+            if st.conn.is_some() {
+                return Ok(Arc::new(SlotConduit {
+                    slot: Arc::clone(slot),
+                }));
+            }
+        }
+        // Chosen slot is dead beyond its budget: hand out any live slot.
+        for i in 1..n {
+            let slot = &self.inner.slots[(start + i) % n];
+            if slot.state.lock().conn.is_some() {
+                return Ok(Arc::new(SlotConduit {
+                    slot: Arc::clone(slot),
+                }));
+            }
+        }
+        Err(app_err(
+            "no live remote instances (respawn budget exhausted)",
+        ))
+    }
+}
+
+struct SlotConduit {
+    slot: Arc<Slot>,
+}
+
+impl RemoteConduit for SlotConduit {
+    fn execute(&self, job: Unit) -> MfResult<Unit> {
+        let seq = self.slot.seq.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.slot.state.lock();
+        let index = self.slot.index;
+        let conn = st
+            .conn
+            .as_mut()
+            .ok_or_else(|| app_err(format!("instance {index} is dead")))?;
+        if conn.set_read_timeout(Some(self.slot.job_timeout)).is_err() {
+            st.mark_dead();
+            return Err(app_err(format!("instance {index} lost (socket error)")));
+        }
+        if let Err(e) = conn.send_msg(&Message::Job { seq, payload: job }) {
+            st.mark_dead();
+            return Err(app_err(format!("instance {index} lost on send: {e}")));
+        }
+        loop {
+            match conn.recv_msg() {
+                // Heartbeats reset the liveness window: each `recv_msg`
+                // gets the full job timeout of silence.
+                Ok(Some(Message::Heartbeat)) => continue,
+                Ok(Some(Message::Done { seq: s, payload })) if s == seq => return Ok(payload),
+                Ok(Some(Message::Fail { seq: s, error })) if s == seq => {
+                    // The far side survived; only the job failed.
+                    return Err(MfError::App(error));
+                }
+                Ok(Some(other)) => {
+                    st.mark_dead();
+                    return Err(app_err(format!(
+                        "instance {index} lost (protocol confusion: {other:?})"
+                    )));
+                }
+                Ok(None) => {
+                    st.mark_dead();
+                    return Err(app_err(format!("instance {index} lost (connection closed)")));
+                }
+                Err(e) => {
+                    st.mark_dead();
+                    return Err(app_err(format!("instance {index} lost: {e}")));
+                }
+            }
+        }
+    }
+
+    fn identity(&self) -> RemoteIdentity {
+        self.slot.state.lock().identity.clone()
+    }
+
+    fn instance_id(&self) -> u64 {
+        self.slot.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{serve, ServeConfig};
+
+    /// Test double: "children" are threads speaking the real protocol
+    /// over real sockets. `die_after` makes each child drop its
+    /// connection upon receiving its nth job, mid-flight.
+    struct ThreadSpawner {
+        die_on_job: Option<u64>,
+        spawned: AtomicUsize,
+    }
+
+    impl ThreadSpawner {
+        fn new(die_on_job: Option<u64>) -> Self {
+            Self {
+                die_on_job,
+                spawned: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    fn env_of(spec: &SpawnSpec, key: &str) -> String {
+        spec.env
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    }
+
+    impl Spawner for ThreadSpawner {
+        fn spawn(&self, spec: &SpawnSpec) -> std::io::Result<ChildHandle> {
+            self.spawned.fetch_add(1, Ordering::Relaxed);
+            let addr = Addr::parse(&env_of(spec, "MF_WORKER_ADDR")).unwrap();
+            let instance: u64 = env_of(spec, "MF_WORKER_INSTANCE").parse().unwrap();
+            let die_on_job = self.die_on_job;
+            std::thread::spawn(move || match die_on_job {
+                None => {
+                    let cfg = ServeConfig::new(
+                        addr,
+                        instance,
+                        format!("thread-host-{instance}"),
+                        1000 + instance,
+                    );
+                    let _ = serve(
+                        cfg,
+                        |u| Ok(Unit::tuple(vec![Unit::int(instance as i64), u])),
+                        || Some(format!("trace-of-{instance}")),
+                    );
+                }
+                Some(nth) => {
+                    // Handshake by hand, then die mid-job n.
+                    let mut conn = Conn::connect(&addr, Duration::from_secs(5)).unwrap();
+                    conn.send_msg(&Message::Hello {
+                        version: PROTOCOL_VERSION,
+                        instance,
+                        host: "dying-host".into(),
+                        task_uid: 1000 + instance,
+                    })
+                    .unwrap();
+                    let _ = conn.recv_msg().unwrap();
+                    let mut jobs = 0u64;
+                    loop {
+                        match conn.recv_msg() {
+                            Ok(Some(Message::Job { seq, payload })) => {
+                                jobs += 1;
+                                if jobs >= nth {
+                                    return; // crash: connection drops mid-job
+                                }
+                                conn.send_msg(&Message::Done { seq, payload }).unwrap();
+                            }
+                            _ => return,
+                        }
+                    }
+                }
+            });
+            Ok(ChildHandle::detached())
+        }
+    }
+
+    fn quick_cfg(instances: usize, bind: BindMode) -> PoolConfig {
+        let mut cfg = PoolConfig::new(PathBuf::from("unused-by-thread-spawner"));
+        cfg.instances = instances;
+        cfg.bind = bind;
+        cfg.handshake_timeout = Duration::from_secs(10);
+        cfg.job_timeout = Duration::from_secs(5);
+        cfg.hosts = vec![HostName::new("cfg-host-a"), HostName::new("cfg-host-b")];
+        cfg
+    }
+
+    #[test]
+    fn pool_round_robins_live_instances_and_collects_traces() {
+        let spawner = Arc::new(ThreadSpawner::new(None));
+        let pool =
+            RemoteWorkerPool::launch(quick_cfg(2, BindMode::Tcp), spawner.clone()).unwrap();
+        assert_eq!(pool.live_count(), 2);
+
+        let a = pool.checkout().unwrap();
+        let b = pool.checkout().unwrap();
+        assert_ne!(a.instance_id(), b.instance_id());
+        // Identity comes from the child's Hello, not the CONFIG label.
+        assert!(a.identity().host.as_str().starts_with("thread-host-"));
+        assert_eq!(a.identity().task_uid, 1000 + a.instance_id());
+
+        let out = a.execute(Unit::real(2.5)).unwrap();
+        assert_eq!(
+            out,
+            Unit::tuple(vec![Unit::int(a.instance_id() as i64), Unit::real(2.5)])
+        );
+
+        let traces = pool.shutdown();
+        assert_eq!(traces.len(), 2);
+        for (slot, _id, trace) in traces {
+            assert_eq!(trace.as_deref(), Some(format!("trace-of-{slot}").as_str()));
+        }
+        assert_eq!(spawner.spawned.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn pool_works_over_unix_sockets() {
+        let spawner = Arc::new(ThreadSpawner::new(None));
+        let pool = RemoteWorkerPool::launch(quick_cfg(1, BindMode::Unix), spawner).unwrap();
+        assert!(matches!(pool.addr(), Addr::Unix(_)));
+        let c = pool.checkout().unwrap();
+        let out = c.execute(Unit::text("via unix")).unwrap();
+        assert_eq!(
+            out,
+            Unit::tuple(vec![Unit::int(0), Unit::text("via unix")])
+        );
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dead_instance_is_respawned_on_next_checkout() {
+        // Every child dies when it receives its first job.
+        let spawner = Arc::new(ThreadSpawner::new(Some(1)));
+        let mut cfg = quick_cfg(1, BindMode::Tcp);
+        cfg.respawn_budget = 2;
+        let pool = RemoteWorkerPool::launch(cfg, spawner.clone()).unwrap();
+
+        let c = pool.checkout().unwrap();
+        let err = c.execute(Unit::int(1)).unwrap_err();
+        assert!(err.to_string().contains("lost"), "got: {err}");
+        assert_eq!(pool.live_count(), 0);
+
+        // Next checkout burns one respawn and hands out a live conduit.
+        let c2 = pool.checkout().unwrap();
+        assert_eq!(pool.live_count(), 1);
+        assert!(c2.execute(Unit::int(2)).is_err()); // dies again
+        let _c3 = pool.checkout().unwrap(); // second (last) respawn
+        assert_eq!(spawner.spawned.load(Ordering::Relaxed), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn respawn_budget_exhaustion_surfaces_as_error() {
+        let spawner = Arc::new(ThreadSpawner::new(Some(1)));
+        let mut cfg = quick_cfg(1, BindMode::Tcp);
+        cfg.respawn_budget = 1;
+        let pool = RemoteWorkerPool::launch(cfg, spawner).unwrap();
+
+        let c = pool.checkout().unwrap();
+        assert!(c.execute(Unit::int(1)).is_err());
+        let c2 = pool.checkout().unwrap(); // uses the only respawn
+        assert!(c2.execute(Unit::int(2)).is_err());
+        match pool.checkout() {
+            Err(err) => assert!(err.to_string().contains("respawn budget"), "got: {err}"),
+            Ok(_) => panic!("checkout should fail once the budget is gone"),
+        }
+    }
+}

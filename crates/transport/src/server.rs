@@ -1,0 +1,309 @@
+//! Child-side serve loop: what a remote task instance runs.
+//!
+//! The child connects back to the coordinator (with bounded backoff — the
+//! listener may not be up yet when the child execs), introduces itself
+//! with `Hello`, then executes jobs one at a time until told to shut down.
+//! A background thread emits [`Message::Heartbeat`] at a fixed cadence for
+//! the life of the session, so the coordinator can tell a slow job from a
+//! dead child.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use manifold::Unit;
+use parking_lot::Mutex;
+
+use crate::conn::{connect_with_backoff, Addr};
+use crate::msg::{Message, PROTOCOL_VERSION};
+
+/// Parameters of one serving session.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Where the coordinator is listening.
+    pub addr: Addr,
+    /// The task-instance slot this child fills.
+    pub instance: u64,
+    /// The machine's real hostname, reported in `Hello`.
+    pub host: String,
+    /// The task-instance uid for §6 trace labelling.
+    pub task_uid: u64,
+    /// Heartbeat cadence.
+    pub heartbeat: Duration,
+    /// Connection attempts before giving up on startup.
+    pub connect_attempts: usize,
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+}
+
+impl ServeConfig {
+    /// Sensible defaults for a localhost deployment.
+    pub fn new(addr: Addr, instance: u64, host: String, task_uid: u64) -> Self {
+        Self {
+            addr,
+            instance,
+            host,
+            task_uid,
+            heartbeat: Duration::from_millis(250),
+            connect_attempts: 20,
+            connect_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What happened over the session, for the child's exit diagnostics.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs answered with `Done`.
+    pub jobs_done: u64,
+    /// Jobs answered with `Fail`.
+    pub jobs_failed: u64,
+    /// Whether the coordinator sent an orderly `Shutdown` (vs. EOF).
+    pub clean_shutdown: bool,
+}
+
+/// Run the serve loop until shutdown or connection loss.
+///
+/// `handler` executes one job payload; an `Err` string becomes a `Fail`
+/// reply (the session continues). `trace_dump` is invoked once at orderly
+/// shutdown; a `Some` result is shipped back as a `Trace` message.
+pub fn serve<H, T>(cfg: ServeConfig, mut handler: H, trace_dump: T) -> std::io::Result<ServeSummary>
+where
+    H: FnMut(Unit) -> Result<Unit, String>,
+    T: FnOnce() -> Option<String>,
+{
+    let mut reader = connect_with_backoff(
+        &cfg.addr,
+        cfg.connect_attempts,
+        Duration::from_millis(20),
+        cfg.connect_timeout,
+    )?;
+    let writer = Arc::new(Mutex::new(reader.try_clone()?));
+    // A full socket buffer must not wedge the heartbeat thread while it
+    // holds the writer lock.
+    writer.lock().set_write_timeout(Some(Duration::from_secs(2)))?;
+
+    writer.lock().send_msg(&Message::Hello {
+        version: PROTOCOL_VERSION,
+        instance: cfg.instance,
+        host: cfg.host.clone(),
+        task_uid: cfg.task_uid,
+    })?;
+    reader.set_read_timeout(Some(cfg.connect_timeout))?;
+    match reader.recv_msg()? {
+        Some(Message::HelloAck { instance }) if instance == cfg.instance => {}
+        other => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("handshake failed: expected HelloAck, got {other:?}"),
+            ))
+        }
+    }
+    // Jobs may be minutes apart; liveness flows the other way (our
+    // heartbeats), so block indefinitely waiting for work.
+    reader.set_read_timeout(None)?;
+
+    let beating = Arc::new(AtomicBool::new(true));
+    let heartbeat = {
+        let writer = Arc::clone(&writer);
+        let beating = Arc::clone(&beating);
+        let period = cfg.heartbeat;
+        std::thread::spawn(move || {
+            while beating.load(Ordering::Relaxed) {
+                std::thread::sleep(period);
+                if !beating.load(Ordering::Relaxed) {
+                    break;
+                }
+                if writer.lock().send_msg(&Message::Heartbeat).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let mut summary = ServeSummary::default();
+    let outcome = loop {
+        match reader.recv_msg() {
+            Ok(Some(Message::Job { seq, payload })) => {
+                let reply = match handler(payload) {
+                    Ok(result) => {
+                        summary.jobs_done += 1;
+                        Message::Done {
+                            seq,
+                            payload: result,
+                        }
+                    }
+                    Err(error) => {
+                        summary.jobs_failed += 1;
+                        Message::Fail { seq, error }
+                    }
+                };
+                if let Err(e) = writer.lock().send_msg(&reply) {
+                    break Err(e);
+                }
+            }
+            Ok(Some(Message::Shutdown)) => {
+                summary.clean_shutdown = true;
+                if let Some(text) = trace_dump() {
+                    let _ = writer.lock().send_msg(&Message::Trace { text });
+                }
+                break Ok(());
+            }
+            Ok(Some(Message::Heartbeat)) => {} // tolerated, not expected
+            Ok(Some(other)) => {
+                break Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected message from coordinator: {other:?}"),
+                ))
+            }
+            Ok(None) => break Ok(()), // coordinator went away
+            Err(e) => break Err(e),
+        }
+    };
+
+    beating.store(false, Ordering::Relaxed);
+    reader.shutdown();
+    let _ = heartbeat.join();
+    outcome.map(|()| summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conn::Conn;
+
+    fn coordinator_side(listener: std::net::TcpListener) -> std::thread::JoinHandle<Vec<Message>> {
+        std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut conn = Conn::Tcp(s);
+            let mut seen = Vec::new();
+            // Handshake.
+            match conn.recv_msg().unwrap().unwrap() {
+                Message::Hello {
+                    version, instance, ..
+                } => {
+                    assert_eq!(version, PROTOCOL_VERSION);
+                    conn.send_msg(&Message::HelloAck { instance }).unwrap();
+                }
+                other => panic!("expected Hello, got {other:?}"),
+            }
+            // One good job, one failing job.
+            conn.send_msg(&Message::Job {
+                seq: 1,
+                payload: Unit::real(21.0),
+            })
+            .unwrap();
+            loop {
+                match conn.recv_msg().unwrap().unwrap() {
+                    Message::Heartbeat => continue,
+                    m => {
+                        seen.push(m);
+                        break;
+                    }
+                }
+            }
+            conn.send_msg(&Message::Job {
+                seq: 2,
+                payload: Unit::text("boom"),
+            })
+            .unwrap();
+            loop {
+                match conn.recv_msg().unwrap().unwrap() {
+                    Message::Heartbeat => continue,
+                    m => {
+                        seen.push(m);
+                        break;
+                    }
+                }
+            }
+            conn.send_msg(&Message::Shutdown).unwrap();
+            loop {
+                match conn.recv_msg().unwrap() {
+                    Some(Message::Heartbeat) => continue,
+                    Some(m) => {
+                        seen.push(m);
+                        break;
+                    }
+                    None => break,
+                }
+            }
+            seen
+        })
+    }
+
+    #[test]
+    fn serve_session_with_heartbeats_failures_and_trace() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = Addr::Tcp(listener.local_addr().unwrap().to_string());
+        let coord = coordinator_side(listener);
+
+        let mut cfg = ServeConfig::new(addr, 4, "childhost".into(), 99);
+        cfg.heartbeat = Duration::from_millis(10); // force heartbeats to appear
+        let summary = serve(
+            cfg,
+            |payload| match payload.as_real() {
+                Some(x) => Ok(Unit::real(2.0 * x)),
+                None => Err("not a real".into()),
+            },
+            || Some("TRACE-BLOCK".into()),
+        )
+        .unwrap();
+
+        assert_eq!(summary.jobs_done, 1);
+        assert_eq!(summary.jobs_failed, 1);
+        assert!(summary.clean_shutdown);
+
+        let seen = coord.join().unwrap();
+        assert_eq!(
+            seen[0],
+            Message::Done {
+                seq: 1,
+                payload: Unit::real(42.0)
+            }
+        );
+        match &seen[1] {
+            Message::Fail { seq: 2, error } => assert!(error.contains("not a real")),
+            other => panic!("expected Fail, got {other:?}"),
+        }
+        assert_eq!(
+            seen[2],
+            Message::Trace {
+                text: "TRACE-BLOCK".into()
+            }
+        );
+    }
+
+    #[test]
+    fn serve_survives_coordinator_eof() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = Addr::Tcp(listener.local_addr().unwrap().to_string());
+        let coord = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut conn = Conn::Tcp(s);
+            match conn.recv_msg().unwrap().unwrap() {
+                Message::Hello { instance, .. } => {
+                    conn.send_msg(&Message::HelloAck { instance }).unwrap()
+                }
+                other => panic!("{other:?}"),
+            }
+            // Drop without Shutdown: abrupt coordinator death.
+        });
+        let summary = serve(
+            ServeConfig::new(addr, 0, "h".into(), 1),
+            |u| Ok(u),
+            || None,
+        )
+        .unwrap();
+        assert!(!summary.clean_shutdown);
+        assert_eq!(summary.jobs_done, 0);
+        coord.join().unwrap();
+    }
+
+    #[test]
+    fn serve_fails_fast_when_nobody_listens() {
+        let mut cfg = ServeConfig::new(Addr::Tcp("127.0.0.1:1".into()), 0, "h".into(), 1);
+        cfg.connect_attempts = 2;
+        let err = serve(cfg, |u| Ok(u), || None);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the wire codec + framing stack: arbitrary `Unit`
+//! trees survive encode → frame → split-at-arbitrary-byte-boundaries →
+//! reassemble → decode, bit for bit.
+
+use manifold::Unit;
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::strategy::{BoxedStrategy, Just};
+use transport::{decode_unit, encode_unit_vec, frame_vec, FrameDecoder, MAX_DEPTH};
+
+/// f64 values including everything the solver can produce plus the
+/// pathological cases a codec must not normalize away.
+fn tricky_f64() -> BoxedStrategy<f64> {
+    prop_oneof![
+        any::<f64>(),
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::MIN_POSITIVE),
+        Just(f64::MAX),
+    ]
+    .boxed()
+}
+
+fn unit_leaf() -> BoxedStrategy<Unit> {
+    prop_oneof![
+        any::<i64>().prop_map(Unit::int),
+        tricky_f64().prop_map(Unit::real),
+        "[ -~]{0,12}".prop_map(Unit::text),
+        collection::vec(any::<u8>(), 0..24).prop_map(Unit::bytes),
+        collection::vec(tricky_f64(), 0..48).prop_map(Unit::reals),
+        Just(Unit::tuple(vec![])),
+    ]
+    .boxed()
+}
+
+fn unit_tree() -> BoxedStrategy<Unit> {
+    unit_leaf().prop_recursive(4, 32, 4, |inner| {
+        collection::vec(inner, 0..5).prop_map(Unit::tuple)
+    })
+}
+
+/// Bit-exact structural equality (`==` treats NaN != NaN and -0.0 == 0.0,
+/// which is exactly what a codec test must NOT use).
+fn bit_equal(a: &Unit, b: &Unit) -> bool {
+    match (a, b) {
+        (Unit::Int(x), Unit::Int(y)) => x == y,
+        (Unit::Real(x), Unit::Real(y)) => x.to_bits() == y.to_bits(),
+        (Unit::Text(x), Unit::Text(y)) => x == y,
+        (Unit::Bytes(x), Unit::Bytes(y)) => x.as_ref() == y.as_ref(),
+        (Unit::Reals(x), Unit::Reals(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|(p, q)| p.to_bits() == q.to_bits())
+        }
+        (Unit::Tuple(x), Unit::Tuple(y)) => {
+            x.len() == y.len() && x.iter().zip(y.iter()).all(|(p, q)| bit_equal(p, q))
+        }
+        _ => false,
+    }
+}
+
+/// Feed `stream` into a decoder in chunks whose sizes cycle through
+/// `sizes` (empty = one big chunk), returning every recovered frame.
+fn reassemble(stream: &[u8], sizes: &[usize]) -> Vec<Vec<u8>> {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    let mut pos = 0;
+    let mut i = 0;
+    while pos < stream.len() {
+        let take = if sizes.is_empty() {
+            stream.len()
+        } else {
+            sizes[i % sizes.len()].max(1)
+        };
+        let end = (pos + take).min(stream.len());
+        dec.push(&stream[pos..end]);
+        pos = end;
+        i += 1;
+        while let Some(f) = dec.next_frame().expect("valid stream must decode") {
+            frames.push(f);
+        }
+    }
+    assert_eq!(dec.pending(), 0, "no bytes may be left over");
+    frames
+}
+
+proptest! {
+    #[test]
+    fn single_unit_survives_any_chunking(
+        unit in unit_tree(),
+        sizes in collection::vec(1usize..17, 0..8),
+    ) {
+        let encoded = encode_unit_vec(&unit).unwrap();
+        let frames = reassemble(&frame_vec(&encoded), &sizes);
+        prop_assert_eq!(frames.len(), 1);
+        let decoded = decode_unit(&frames[0]).unwrap();
+        prop_assert!(bit_equal(&unit, &decoded), "{:?} != {:?}", unit, decoded);
+    }
+
+    #[test]
+    fn unit_sequence_survives_any_chunking(
+        units in collection::vec(unit_tree(), 1..6),
+        sizes in collection::vec(1usize..33, 0..6),
+    ) {
+        let mut stream = Vec::new();
+        for u in &units {
+            stream.extend(frame_vec(&encode_unit_vec(u).unwrap()));
+        }
+        let frames = reassemble(&stream, &sizes);
+        prop_assert_eq!(frames.len(), units.len());
+        for (u, f) in units.iter().zip(&frames) {
+            let decoded = decode_unit(f).unwrap();
+            prop_assert!(bit_equal(u, &decoded), "{:?} != {:?}", u, decoded);
+        }
+    }
+
+    #[test]
+    fn max_depth_nesting_survives_byte_at_a_time(leaf in unit_leaf()) {
+        let mut unit = leaf;
+        for _ in 0..MAX_DEPTH {
+            unit = Unit::tuple(vec![unit]);
+        }
+        let stream = frame_vec(&encode_unit_vec(&unit).unwrap());
+        let frames = reassemble(&stream, &[1]);
+        prop_assert_eq!(frames.len(), 1);
+        prop_assert!(bit_equal(&unit, &decode_unit(&frames[0]).unwrap()));
+    }
+
+    #[test]
+    fn truncated_streams_never_yield_frames_or_panic(
+        unit in unit_tree(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let stream = frame_vec(&encode_unit_vec(&unit).unwrap());
+        let cut = ((stream.len() as f64) * cut_fraction) as usize;
+        let cut = cut.min(stream.len().saturating_sub(1));
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..cut]);
+        // A strict prefix of one frame must never produce a frame.
+        prop_assert_eq!(dec.next_frame().unwrap(), None);
+    }
+}
