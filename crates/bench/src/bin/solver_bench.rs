@@ -1,0 +1,285 @@
+//! Solver hot-path benchmark: the zero-allocation `subsolve` inner loop
+//! against the retained reference implementation.
+//!
+//! For every grid of a combination-technique level this runs the same
+//! subsolve twice — once through [`solver::reference::subsolve_reference`]
+//! (triplet assembly, full stage rebuilds, allocating BiCGSTAB, per-step
+//! error vector) and once through [`solver::subsolve_with`] (direct CSR
+//! assembly, pattern-cached stage matrix, in-place ILU(0) refactorization,
+//! reused Krylov/ROS2 workspaces) — asserts the results are **bitwise
+//! identical** with the same step and (re)factorization counts, and
+//! reports per-grid wall times.
+//!
+//! ```text
+//! cargo run -p bench --release --bin solver_bench [-- --level 6 --root 2
+//!     --tol 1e-4 --reps 3 --json --assert-zero-alloc]
+//! ```
+//!
+//! `--json` prints only the machine-readable block (the committed
+//! `BENCH_solver.json` is this output). `--assert-zero-alloc` exits
+//! nonzero unless a warm-workspace integration performs **zero** heap
+//! allocations — the binary installs a counting global allocator so the
+//! claim is measured, not assumed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::time::Instant;
+
+use solver::assemble::assemble;
+use solver::grid::Grid2;
+use solver::problem::Problem;
+use solver::reference::subsolve_reference;
+use solver::rosenbrock::{integrate_with, Ros2Options, Ros2Workspace};
+use solver::subsolve::{subsolve_with, SubsolveRequest};
+use solver::WorkCounter;
+
+// ---------------------------------------------------------------------------
+// Counting allocator: tallies this thread's heap allocations so the
+// "zero allocations per warm step" property is a measurement.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers to the system allocator; the counter is a thread-local
+// side effect and `try_with` makes it safe during TLS teardown.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = ALLOC_COUNT.with(|c| c.get());
+    let out = f();
+    let after = ALLOC_COUNT.with(|c| c.get());
+    (out, after - before)
+}
+
+// ---------------------------------------------------------------------------
+
+struct GridReport {
+    l: u32,
+    m: u32,
+    unknowns: usize,
+    steps: usize,
+    refactorizations: u64,
+    flops: u64,
+    ref_ms: f64,
+    opt_ms: f64,
+}
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json_only = args.iter().any(|a| a == "--json");
+    let assert_zero_alloc = args.iter().any(|a| a == "--assert-zero-alloc");
+    let level: u32 = flag_value(&args, "--level")
+        .map(|v| v.parse().expect("--level"))
+        .unwrap_or(6);
+    let root: u32 = flag_value(&args, "--root")
+        .map(|v| v.parse().expect("--root"))
+        .unwrap_or(2);
+    let tol: f64 = flag_value(&args, "--tol")
+        .map(|v| v.parse().expect("--tol"))
+        .unwrap_or(1e-4);
+    let reps: usize = flag_value(&args, "--reps")
+        .map(|v| v.parse().expect("--reps"))
+        .unwrap_or(3);
+
+    let problem = Problem::transport_benchmark();
+    let indices = Grid2::combination_indices(level);
+
+    // --- Zero-allocation property: warm one workspace, then measure. -----
+    // The warm-up integration builds the stage cache, ILU pattern and all
+    // scratch buffers; the second, identical integration must not touch
+    // the heap at all.
+    let zero_alloc_grid = Grid2::new(root, level.min(2), level.saturating_sub(level.min(2)));
+    let mut wk = WorkCounter::new();
+    let disc = assemble(&zero_alloc_grid, &problem, &mut wk);
+    let u0 = disc.exact_interior(problem.t0);
+    let opts = Ros2Options::with_tol(tol);
+    let mut ws = Ros2Workspace::new();
+    let (u_warm, _) = integrate_with(
+        &disc,
+        u0.clone(),
+        problem.t0,
+        problem.t_end,
+        &opts,
+        &mut ws,
+        &mut wk,
+    )
+    .expect("warm-up integration");
+    let u1 = u0.clone(); // allocate the state vector *outside* the window
+    let ((u_meas, _), warm_allocs) = allocations_during(|| {
+        integrate_with(
+            &disc,
+            u1,
+            problem.t0,
+            problem.t_end,
+            &opts,
+            &mut ws,
+            &mut wk,
+        )
+        .expect("measured integration")
+    });
+    assert_eq!(u_warm, u_meas, "warm rerun diverged");
+
+    // --- Per-grid reference vs. optimized timing. ------------------------
+    let mut reports = Vec::new();
+    let mut bit_identical = true;
+    let mut counts_match = true;
+    for idx in &indices {
+        let req = SubsolveRequest::for_grid(root, idx.l, idx.m, tol, problem);
+
+        let mut ref_best = f64::INFINITY;
+        let mut ref_res = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = subsolve_reference(&req).expect("reference subsolve");
+            ref_best = ref_best.min(t0.elapsed().as_secs_f64());
+            ref_res = Some(r);
+        }
+        let ref_res = ref_res.unwrap();
+
+        let mut opt_best = f64::INFINITY;
+        let mut opt_res = None;
+        let mut ws = Ros2Workspace::new();
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = subsolve_with(&req, &mut ws).expect("optimized subsolve");
+            opt_best = opt_best.min(t0.elapsed().as_secs_f64());
+            opt_res = Some(r);
+        }
+        let opt_res = opt_res.unwrap();
+
+        bit_identical &= ref_res.values == opt_res.values;
+        counts_match &= ref_res.steps == opt_res.steps
+            && ref_res.rejected == opt_res.rejected
+            && ref_res.work.flops == opt_res.work.flops
+            && ref_res.work.factorizations
+                == opt_res.work.factorizations + opt_res.work.refactorizations;
+
+        let g = req.grid();
+        reports.push(GridReport {
+            l: idx.l,
+            m: idx.m,
+            unknowns: g.interior_count(),
+            steps: opt_res.steps,
+            refactorizations: opt_res.work.factorizations + opt_res.work.refactorizations,
+            flops: opt_res.work.flops,
+            ref_ms: ref_best * 1e3,
+            opt_ms: opt_best * 1e3,
+        });
+    }
+
+    let total_ref: f64 = reports.iter().map(|r| r.ref_ms).sum();
+    let total_opt: f64 = reports.iter().map(|r| r.opt_ms).sum();
+    let overall = total_ref / total_opt.max(1e-12);
+
+    // Measured flop intensity for the dispatch cost model: the mean of
+    // (counted flops) / (unknowns · steps) across the combination grids.
+    let (mut fsum, mut fcnt) = (0.0, 0usize);
+    for r in &reports {
+        if r.unknowns > 0 && r.steps > 0 {
+            fsum += r.flops as f64 / (r.unknowns as f64 * r.steps as f64);
+            fcnt += 1;
+        }
+    }
+    let flops_per_unknown_step = fsum / fcnt.max(1) as f64;
+
+    if !json_only {
+        println!("solver hot-path benchmark: reference vs. zero-allocation subsolve");
+        println!("root {root}, level {level}, tol {tol:.1e}, best of {reps} reps");
+        println!();
+        println!("  grid        n   steps  refac    ref ms    opt ms  speedup");
+        for r in &reports {
+            println!(
+                "  ({},{})  {:>7} {:>7} {:>6} {:>9.2} {:>9.2}  {:>6.2}x",
+                r.l,
+                r.m,
+                r.unknowns,
+                r.steps,
+                r.refactorizations,
+                r.ref_ms,
+                r.opt_ms,
+                r.ref_ms / r.opt_ms.max(1e-12)
+            );
+        }
+        println!();
+        println!("  total: {total_ref:.1} ms -> {total_opt:.1} ms ({overall:.2}x)");
+        println!("  bit-identical: {bit_identical}, counts match: {counts_match}");
+        println!("  warm-workspace integrate allocations: {warm_allocs}");
+        println!("  measured flops/unknown/step: {flops_per_unknown_step:.1}");
+        println!();
+    }
+
+    println!("{{");
+    println!("  \"root\": {root},");
+    println!("  \"level\": {level},");
+    println!("  \"tol\": {tol:e},");
+    println!("  \"reps\": {reps},");
+    println!("  \"grids\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let comma = if i + 1 < reports.len() { "," } else { "" };
+        println!(
+            "    {{\"l\": {}, \"m\": {}, \"unknowns\": {}, \"steps\": {}, \
+             \"refactorizations\": {}, \"flops\": {}, \"ref_ms\": {:.3}, \
+             \"opt_ms\": {:.3}, \"speedup\": {:.3}}}{comma}",
+            r.l,
+            r.m,
+            r.unknowns,
+            r.steps,
+            r.refactorizations,
+            r.flops,
+            r.ref_ms,
+            r.opt_ms,
+            r.ref_ms / r.opt_ms.max(1e-12)
+        );
+    }
+    println!("  ],");
+    println!("  \"total_ref_ms\": {total_ref:.3},");
+    println!("  \"total_opt_ms\": {total_opt:.3},");
+    println!("  \"overall_speedup\": {overall:.3},");
+    println!("  \"bit_identical\": {bit_identical},");
+    println!("  \"counts_match\": {counts_match},");
+    println!("  \"warm_integrate_allocations\": {warm_allocs},");
+    println!("  \"flops_per_unknown_step\": {flops_per_unknown_step:.3}");
+    println!("}}");
+
+    if !bit_identical || !counts_match {
+        eprintln!("FAIL: optimized path diverged from the reference");
+        std::process::exit(1);
+    }
+    if assert_zero_alloc && warm_allocs != 0 {
+        eprintln!("FAIL: warm integrate performed {warm_allocs} heap allocations (expected 0)");
+        std::process::exit(1);
+    }
+}

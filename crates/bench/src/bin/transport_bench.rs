@@ -23,14 +23,29 @@ use transport::{decode_unit, encode_unit_vec, Addr, Conn, Message};
 /// Round-trip `payload` through the echo server `iters` times; returns
 /// (mean seconds per round trip, framed message bytes on the wire).
 fn round_trips(conn: &mut Conn, payload: &Unit, warmup: usize, iters: usize) -> (f64, usize) {
-    let bytes = Message::Job { seq: 0, payload: payload.clone() }.encode().unwrap().len() + 4;
+    let bytes = Message::Job {
+        seq: 0,
+        payload: payload.clone(),
+    }
+    .encode()
+    .unwrap()
+    .len()
+        + 4;
     for seq in 0..warmup as u64 {
-        conn.send_msg(&Message::Job { seq, payload: payload.clone() }).unwrap();
+        conn.send_msg(&Message::Job {
+            seq,
+            payload: payload.clone(),
+        })
+        .unwrap();
         conn.recv_msg().unwrap().expect("echo closed during warmup");
     }
     let t0 = Instant::now();
     for seq in 0..iters as u64 {
-        conn.send_msg(&Message::Job { seq, payload: payload.clone() }).unwrap();
+        conn.send_msg(&Message::Job {
+            seq,
+            payload: payload.clone(),
+        })
+        .unwrap();
         conn.recv_msg().unwrap().expect("echo closed mid-run");
     }
     (t0.elapsed().as_secs_f64() / iters as f64, bytes)
@@ -41,14 +56,19 @@ fn main() {
 
     // Echo server: every Job comes straight back as Done.
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-    let addr = Addr::Tcp(format!("127.0.0.1:{}", listener.local_addr().unwrap().port()));
+    let addr = Addr::Tcp(format!(
+        "127.0.0.1:{}",
+        listener.local_addr().unwrap().port()
+    ));
     let server = std::thread::spawn(move || {
         let (sock, _) = listener.accept().unwrap();
         sock.set_nodelay(true).unwrap();
         let mut conn = Conn::Tcp(sock);
         while let Ok(Some(msg)) = conn.recv_msg() {
             match msg {
-                Message::Job { seq, payload } => conn.send_msg(&Message::Done { seq, payload }).unwrap(),
+                Message::Job { seq, payload } => {
+                    conn.send_msg(&Message::Done { seq, payload }).unwrap()
+                }
                 Message::Shutdown => break,
                 _ => {}
             }
@@ -103,8 +123,14 @@ fn main() {
     if !json_only {
         println!("transport microbenchmark (TCP loopback, length-prefixed frames)");
         println!();
-        println!("small round trip : {:>10.1} us ({bytes_small} B framed)", rtt_small * 1e6);
-        println!("bulk  round trip : {:>10.1} us ({bytes_bulk} B framed)", rtt_bulk * 1e6);
+        println!(
+            "small round trip : {:>10.1} us ({bytes_small} B framed)",
+            rtt_small * 1e6
+        );
+        println!(
+            "bulk  round trip : {:>10.1} us ({bytes_bulk} B framed)",
+            rtt_bulk * 1e6
+        );
         println!(
             "loopback bandwidth (calibrated) : {:>8.1} MB/s",
             model.bandwidth / 1e6
@@ -113,7 +139,10 @@ fn main() {
             "one-way latency    (calibrated) : {:>8.1} us",
             model.latency * 1e6
         );
-        println!("codec throughput   : {:>8.1} MB/s", codec_bytes_per_sec / 1e6);
+        println!(
+            "codec throughput   : {:>8.1} MB/s",
+            codec_bytes_per_sec / 1e6
+        );
         println!("memcpy bandwidth   : {:>8.1} MB/s", mem_bandwidth / 1e6);
         println!();
         println!(
@@ -133,7 +162,10 @@ fn main() {
         "  \"calibrated_bandwidth_mb_s\": {:.3},",
         model.bandwidth / 1e6
     );
-    println!("  \"codec_throughput_mb_s\": {:.3},", codec_bytes_per_sec / 1e6);
+    println!(
+        "  \"codec_throughput_mb_s\": {:.3},",
+        codec_bytes_per_sec / 1e6
+    );
     println!("  \"mem_bandwidth_mb_s\": {:.3}", mem_bandwidth / 1e6);
     println!("}}");
 }

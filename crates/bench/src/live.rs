@@ -78,7 +78,12 @@ pub fn field_checksum(values: &[f64]) -> u64 {
 /// (ignored by [`Backend::Threads`], where concurrency is the dispatch
 /// policy's business). Panics on [`Backend::Sim`] — the simulator has its
 /// own drivers.
-pub fn run_live(backend: Backend, app: &SequentialApp, policy: PolicyRef, instances: usize) -> LiveRun {
+pub fn run_live(
+    backend: Backend,
+    app: &SequentialApp,
+    policy: PolicyRef,
+    instances: usize,
+) -> LiveRun {
     let t0 = Instant::now();
     let conc = match backend {
         Backend::Sim => panic!("run_live is for the live backends; sim has its own drivers"),
@@ -106,7 +111,10 @@ pub fn run_live(backend: Backend, app: &SequentialApp, policy: PolicyRef, instan
 /// [`DispatchPolicy`](protocol::DispatchPolicy).
 pub fn all_policies() -> Vec<(&'static str, PolicyRef)> {
     vec![
-        ("paper-faithful", Arc::new(protocol::PaperFaithful) as PolicyRef),
+        (
+            "paper-faithful",
+            Arc::new(protocol::PaperFaithful) as PolicyRef,
+        ),
         ("bounded-reuse:4", Arc::new(protocol::BoundedReuse::new(4))),
         ("cost-aware", Arc::new(protocol::CostAware)),
     ]
@@ -136,12 +144,7 @@ mod tests {
     #[test]
     fn threads_live_run_reports_consistent_observables() {
         let app = SequentialApp::new(2, 1, 1e-3);
-        let run = run_live(
-            Backend::Threads,
-            &app,
-            Arc::new(protocol::PaperFaithful),
-            1,
-        );
+        let run = run_live(Backend::Threads, &app, Arc::new(protocol::PaperFaithful), 1);
         assert_eq!(run.jobs, 3);
         assert_eq!(run.workers_created, 3);
         let seq = app.run().unwrap();

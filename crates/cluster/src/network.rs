@@ -59,8 +59,10 @@ impl NetworkModel {
                 "round-trips not increasing: {r0}s then {r1}s — samples too noisy to calibrate"
             ));
         }
-        if !(mem_bandwidth > 0.0) {
-            return Err(format!("mem_bandwidth must be positive, got {mem_bandwidth}"));
+        if mem_bandwidth.is_nan() || mem_bandwidth <= 0.0 {
+            return Err(format!(
+                "mem_bandwidth must be positive, got {mem_bandwidth}"
+            ));
         }
         let bandwidth = 2.0 * (b1 - b0) as f64 / (r1 - r0);
         let latency = (r0 / 2.0 - b0 as f64 / bandwidth).max(0.0);
@@ -131,8 +133,8 @@ mod tests {
         let truth = NetworkModel::switched_ethernet_100mbps();
         let small = (64usize, 2.0 * truth.remote_transfer(64));
         let large = (1 << 20, 2.0 * truth.remote_transfer(1 << 20));
-        let got = NetworkModel::from_loopback_measurement(small, large, truth.mem_bandwidth)
-            .unwrap();
+        let got =
+            NetworkModel::from_loopback_measurement(small, large, truth.mem_bandwidth).unwrap();
         assert!((got.bandwidth - truth.bandwidth).abs() / truth.bandwidth < 1e-9);
         assert!((got.latency - truth.latency).abs() < 1e-12);
         assert_eq!(got.mem_bandwidth, truth.mem_bandwidth);
@@ -141,12 +143,8 @@ mod tests {
     #[test]
     fn calibration_rejects_degenerate_samples() {
         assert!(NetworkModel::from_loopback_measurement((64, 1e-4), (64, 2e-4), 1e9).is_err());
-        assert!(
-            NetworkModel::from_loopback_measurement((64, 2e-4), (1 << 20, 1e-4), 1e9).is_err()
-        );
-        assert!(
-            NetworkModel::from_loopback_measurement((64, 1e-4), (1 << 20, 2e-3), 0.0).is_err()
-        );
+        assert!(NetworkModel::from_loopback_measurement((64, 2e-4), (1 << 20, 1e-4), 1e9).is_err());
+        assert!(NetworkModel::from_loopback_measurement((64, 1e-4), (1 << 20, 2e-3), 0.0).is_err());
     }
 
     #[test]

@@ -163,7 +163,10 @@ impl TraceRecord {
 /// malformed pairs are an error carrying the offending line number.
 pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
     let mut out = Vec::new();
-    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
     while let Some((n, first)) = lines.next() {
         let (_, second) = lines
             .next()
@@ -335,7 +338,10 @@ mod tests {
 
     #[test]
     fn parse_round_trips_display() {
-        let records = vec![rec("a.example", 10, 5, "Welcome"), rec("b.example", 10, 9, "Bye")];
+        let records = vec![
+            rec("a.example", 10, 5, "Welcome"),
+            rec("b.example", 10, 9, "Bye"),
+        ];
         let text = format_trace(&records);
         let back = parse_trace(&text).unwrap();
         assert_eq!(back, records);
@@ -344,7 +350,7 @@ mod tests {
     #[test]
     fn parse_preserves_spaces_in_message() {
         let r = rec("h", 1, 2, "worker lost; re-dispatching subsolve(3, 1)");
-        let back = parse_trace(&format_trace(&[r.clone()])).unwrap();
+        let back = parse_trace(&format_trace(std::slice::from_ref(&r))).unwrap();
         assert_eq!(back[0].message, r.message);
     }
 

@@ -234,7 +234,9 @@ mod tests {
                 h.send_work(Unit::real(13.0))?;
                 let unit = h.collect()?;
                 let (instance, reason, job) = as_lost_job(&unit).expect("must be a marker");
-                seen2.lock().push((instance, reason.to_string(), job.clone()));
+                seen2
+                    .lock()
+                    .push((instance, reason.to_string(), job.clone()));
                 // Re-dispatch the recovered job to a fresh worker.
                 let _w = h.request_worker()?;
                 h.send_work(Unit::real(job.expect_real()? + 1.0))?;

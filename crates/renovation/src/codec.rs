@@ -115,6 +115,7 @@ pub fn result_to_unit(res: &SubsolveResult) -> Unit {
             Unit::int(res.work.rejected as i64),
             Unit::int(res.work.lin_iters as i64),
             Unit::int(res.work.factorizations as i64),
+            Unit::int(res.work.refactorizations as i64),
             Unit::int(res.work.assemblies as i64),
         ]),
     ])
@@ -131,7 +132,7 @@ pub fn result_from_unit(u: &Unit) -> MfResult<SubsolveResult> {
     let w = t[5]
         .as_tuple()
         .ok_or(MfError::UnitType { expected: "Tuple" })?;
-    if w.len() != 6 {
+    if w.len() != 7 {
         return Err(MfError::App("bad work tuple".into()));
     }
     Ok(SubsolveResult {
@@ -146,7 +147,8 @@ pub fn result_from_unit(u: &Unit) -> MfResult<SubsolveResult> {
             rejected: w[2].expect_int()? as u64,
             lin_iters: w[3].expect_int()? as u64,
             factorizations: w[4].expect_int()? as u64,
-            assemblies: w[5].expect_int()? as u64,
+            refactorizations: w[5].expect_int()? as u64,
+            assemblies: w[6].expect_int()? as u64,
         },
     })
 }

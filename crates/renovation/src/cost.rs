@@ -14,6 +14,17 @@
 //! time at level 15, tolerance 1.0e-3 (2019.02 s). Everything else —
 //! per-level growth ≈ 2.4×, tolerance factor ≈ 2× — is then a prediction
 //! that EXPERIMENTS.md compares against the remaining 31 table cells.
+//!
+//! The shape is cross-checked against measurement two ways: [`measure_shape`]
+//! runs the real solver across levels and reports growth/anisotropy/
+//! tolerance ratios from its own [`solver::WorkCounter`]s, and the solver
+//! benchmark (`BENCH_solver.json`, from `solver_bench --json`) pins the
+//! per-grid flop intensity at ≈302 flops per unknown per accepted step at
+//! level 6 — the same constant the a-priori dispatch estimate
+//! [`solver::work::estimate_subsolve_flops`] is calibrated to
+//! (`solver::work::MEASURED_FLOPS_PER_UNKNOWN_STEP`). At the reference
+//! rate of 10⁹ flop/s that intensity reproduces the right order for the
+//! paper's low-level `st` entries without retuning the anchor.
 
 use cluster::workload::{Job, Workload};
 use solver::grid::Grid2;

@@ -40,8 +40,8 @@ pub mod virtualrun;
 pub mod worker;
 
 pub use app::{run_concurrent, run_concurrent_with_policy, ConcurrentResult, RunMode};
-pub use procs::{run_concurrent_procs, run_worker_child, ProcsConfig};
 pub use cost::CostModel;
+pub use procs::{run_concurrent_procs, run_worker_child, ProcsConfig};
 pub use virtualrun::{
     run_distributed_experiment, run_distributed_experiment_with_policy, ExperimentPoint,
 };

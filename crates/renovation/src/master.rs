@@ -102,7 +102,10 @@ fn collect_result(h: &MasterHandle, retries_left: &mut usize) -> MfResult<Subsol
                 )));
             }
             *retries_left -= 1;
-            mes!(h.ctx(), "worker lost (instance {instance}); re-dispatching job");
+            mes!(
+                h.ctx(),
+                "worker lost (instance {instance}); re-dispatching job"
+            );
             let _worker = h.request_worker()?;
             h.send_work(job.clone())?;
             continue;

@@ -61,7 +61,7 @@ fn arb_result() -> impl Strategy<Value = SubsolveResult> {
         (0u32..8, 0u32..8),
         prop::collection::vec(-100.0..100.0f64, 0..60),
         (0usize..10_000, 0usize..100),
-        prop::collection::vec(0u64..1_000_000, 6),
+        prop::collection::vec(0u64..1_000_000, 7),
     )
         .prop_map(|((l, m), values, (steps, rejected), w)| SubsolveResult {
             l,
@@ -75,7 +75,8 @@ fn arb_result() -> impl Strategy<Value = SubsolveResult> {
                 rejected: w[2],
                 lin_iters: w[3],
                 factorizations: w[4],
-                assemblies: w[5],
+                refactorizations: w[5],
+                assemblies: w[6],
             },
         })
 }

@@ -95,8 +95,7 @@ fn remote_traces_carry_real_host_and_child_task_uids() {
         procs
             .records
             .iter()
-            .any(|r| r.manifold_name.as_str() == "Worker(event)"
-                && r.host.as_str() == real_host),
+            .any(|r| r.manifold_name.as_str() == "Worker(event)" && r.host.as_str() == real_host),
         "no worker trace line carries the real hostname {real_host:?}"
     );
     // The children's own trace files were merged in, rewritten to their

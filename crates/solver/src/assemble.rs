@@ -84,7 +84,88 @@ fn stencil_1d(a: f64, h: f64, eps: f64, scheme: AdvectionScheme) -> (f64, f64, f
 
 /// Assemble the interior operator and boundary coupling table for `problem`
 /// on `grid`. Work is charged to `work`.
+///
+/// The 5-point stencil's sparsity pattern is known a priori, so the CSR
+/// arrays are written directly in sorted-column order (south, west, center,
+/// east, north — interior indices are row-major with `j` outer) with no
+/// triplet buffer and no sort. The result is identical — entry for entry —
+/// to the triplet path retained in [`assemble_reference`].
 pub fn assemble(grid: &Grid2, problem: &Problem, work: &mut WorkCounter) -> Discretization {
+    let scheme_x = choose_scheme(problem.ax, grid.hx, problem.eps);
+    let scheme_y = choose_scheme(problem.ay, grid.hy, problem.eps);
+    let (wx, cx, ex) = stencil_1d(problem.ax, grid.hx, problem.eps, scheme_x);
+    let (wy, cy, ey) = stencil_1d(problem.ay, grid.hy, problem.eps, scheme_y);
+
+    let n = grid.interior_count();
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::with_capacity(5 * n);
+    let mut vals = Vec::with_capacity(5 * n);
+    let mut boundary = Vec::new();
+    row_ptr.push(0);
+
+    for j in 1..grid.ny {
+        for i in 1..grid.nx {
+            let row = grid.interior_idx(i, j);
+            // Matrix entries in sorted-column order: south (row − (nx−1)),
+            // west (row − 1), center, east (row + 1), north (row + (nx−1)).
+            if j - 1 != 0 {
+                col_idx.push(grid.interior_idx(i, j - 1));
+                vals.push(wy);
+            }
+            if i - 1 != 0 {
+                col_idx.push(grid.interior_idx(i - 1, j));
+                vals.push(wx);
+            }
+            col_idx.push(row);
+            vals.push(cx + cy);
+            if i + 1 != grid.nx {
+                col_idx.push(grid.interior_idx(i + 1, j));
+                vals.push(ex);
+            }
+            if j + 1 != grid.ny {
+                col_idx.push(grid.interior_idx(i, j + 1));
+                vals.push(ey);
+            }
+            row_ptr.push(col_idx.len());
+            // Boundary couplings, in the same table order as the reference
+            // path (west, east, south, north) so `forcing_into` accumulates
+            // Dirichlet terms in the identical sequence.
+            if i - 1 == 0 {
+                boundary.push((row, 0, j, wx));
+            }
+            if i + 1 == grid.nx {
+                boundary.push((row, grid.nx, j, ex));
+            }
+            if j - 1 == 0 {
+                boundary.push((row, i, 0, wy));
+            }
+            if j + 1 == grid.ny {
+                boundary.push((row, i, grid.ny, ey));
+            }
+        }
+    }
+
+    work.add_assembly(n);
+    Discretization {
+        grid: grid.clone(),
+        problem: *problem,
+        a: Csr::from_parts(n, row_ptr, col_idx, vals),
+        scheme_x,
+        scheme_y,
+        boundary,
+    }
+}
+
+/// The pre-optimization assembly path, retained verbatim: build (row, col,
+/// value) triplets in visit order and let [`Csr::from_triplets`] sort and
+/// merge them. Used by `solver::reference` (the bit-identity baseline) and
+/// by `bench`'s `solver_bench` to measure the assembly speedup; tests
+/// assert the two paths produce equal matrices and boundary tables.
+pub fn assemble_reference(
+    grid: &Grid2,
+    problem: &Problem,
+    work: &mut WorkCounter,
+) -> Discretization {
     let scheme_x = choose_scheme(problem.ax, grid.hx, problem.eps);
     let scheme_y = choose_scheme(problem.ay, grid.hy, problem.eps);
     let (wx, cx, ex) = stencil_1d(problem.ax, grid.hx, problem.eps, scheme_x);
@@ -166,12 +247,27 @@ impl Discretization {
     }
 
     /// Evaluate the semi-discrete right-hand side `f(t, u) = A u + g(t)`
-    /// into `out`.
+    /// into `out`. Allocates forcing scratch; the integrator's hot loop
+    /// uses [`Discretization::rhs_into_with`] instead.
     pub fn rhs_into(&self, t: f64, u: &[f64], out: &mut [f64], work: &mut WorkCounter) {
-        self.a.matvec_into(u, out);
         let mut g = vec![0.0; self.n()];
-        self.forcing_into(t, &mut g);
-        for (o, gi) in out.iter_mut().zip(&g) {
+        self.rhs_into_with(t, u, out, &mut g, work);
+    }
+
+    /// [`Discretization::rhs_into`] on a caller-owned forcing scratch `g`
+    /// (fully overwritten; length `n`). Allocation-free and bit-identical
+    /// to the allocating entry point.
+    pub fn rhs_into_with(
+        &self,
+        t: f64,
+        u: &[f64],
+        out: &mut [f64],
+        g: &mut [f64],
+        work: &mut WorkCounter,
+    ) {
+        self.a.matvec_into(u, out);
+        self.forcing_into(t, g);
+        for (o, gi) in out.iter_mut().zip(g.iter()) {
             *o += gi;
         }
         work.add_matvec(self.a.nnz());
@@ -280,6 +376,53 @@ mod tests {
         // Second-order scheme: each refinement should cut the residual ~4x.
         assert!(errs[1] < errs[0] / 2.5);
         assert!(errs[2] < errs[1] / 2.5);
+    }
+
+    #[test]
+    fn direct_assembly_equals_triplet_reference() {
+        // The sorted-order direct CSR build must reproduce the triplet path
+        // entry for entry — matrix (bitwise, via Csr's PartialEq), boundary
+        // table, and scheme choices — on isotropic, anisotropic and
+        // degenerate (nx == 2 or ny == 2) grids.
+        for p in [
+            Problem::manufactured_benchmark(),
+            Problem::transport_benchmark(),
+        ] {
+            for root in [1u32, 2] {
+                for l in 0..3u32 {
+                    for m in 0..3u32 {
+                        let g = Grid2::new(root, l, m);
+                        let mut w1 = WorkCounter::new();
+                        let mut w2 = WorkCounter::new();
+                        let fast = assemble(&g, &p, &mut w1);
+                        let slow = assemble_reference(&g, &p, &mut w2);
+                        assert_eq!(fast.a, slow.a, "matrix mismatch on ({root},{l},{m})");
+                        assert_eq!(
+                            fast.boundary, slow.boundary,
+                            "boundary mismatch on ({root},{l},{m})"
+                        );
+                        assert_eq!(fast.scheme_x, slow.scheme_x);
+                        assert_eq!(fast.scheme_y, slow.scheme_y);
+                        assert_eq!(w1.flops, w2.flops);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_into_with_matches_allocating_path() {
+        let p = Problem::transport_benchmark();
+        let g = Grid2::new(2, 1, 2);
+        let mut w = WorkCounter::new();
+        let d = assemble(&g, &p, &mut w);
+        let u = d.exact_interior(0.2);
+        let mut f1 = vec![0.0; d.n()];
+        let mut f2 = vec![7.0; d.n()]; // junk: must be fully overwritten
+        let mut scratch = vec![-3.0; d.n()]; // junk scratch too
+        d.rhs_into(0.2, &u, &mut f1, &mut w);
+        d.rhs_into_with(0.2, &u, &mut f2, &mut scratch, &mut w);
+        assert_eq!(f1, f2);
     }
 
     #[test]

@@ -1,16 +1,24 @@
 //! Restarted GMRES — the second Krylov solver of the substrate.
 //!
-//! The Rosenbrock stage systems are nonsymmetric; BiCGSTAB
-//! ([`crate::linsolve`]) is the production solver, but GMRES(m) is the
-//! classic alternative used by CWI-style transport codes, and having both
-//! lets the benches compare them on the same stage matrices (and the tests
-//! cross-validate one against the other).
+//! The Rosenbrock stage systems are nonsymmetric; **BiCGSTAB**
+//! ([`crate::linsolve::bicgstab`]) is the production solver that
+//! [`crate::rosenbrock::integrate`] uses for every stage solve. GMRES(m) is
+//! the classic alternative used by CWI-style transport codes and is kept
+//! *off* the `subsolve` hot path: the benches compare both on the same
+//! stage matrices (`bench/benches/solver_kernels.rs`) and the tests
+//! cross-validate one against the other (see
+//! `agrees_with_bicgstab_on_rosenbrock_matrix` below). If you are looking
+//! for the solver behind a `subsolve` profile, it is BiCGSTAB.
 //!
 //! Implementation: Arnoldi with modified Gram-Schmidt, Givens-rotation QR
 //! of the Hessenberg matrix, left preconditioning, restart every `m`
-//! iterations.
+//! iterations. Like BiCGSTAB, GMRES has a workspace-reusing entry point
+//! ([`gmres_with`]) threaded through the shared
+//! [`KrylovWorkspace`](crate::linsolve::KrylovWorkspace): the Arnoldi basis
+//! and Hessenberg factors are grown once and reused across restarts and
+//! calls.
 
-use crate::linsolve::{Preconditioner, SolveError, SolveStats};
+use crate::linsolve::{KrylovWorkspace, Preconditioner, SolveError, SolveStats};
 use crate::sparse::Csr;
 use crate::work::WorkCounter;
 
@@ -23,7 +31,9 @@ fn norm2(a: &[f64]) -> f64 {
 }
 
 /// Solve `A x = b` with left-preconditioned restarted GMRES(m). `x` holds
-/// the initial guess on entry and the solution on success.
+/// the initial guess on entry and the solution on success. Allocates its
+/// own scratch; reuse a [`KrylovWorkspace`] via [`gmres_with`] on repeated
+/// solves.
 #[allow(clippy::too_many_arguments)] // a solver signature, mirrors bicgstab
 pub fn gmres(
     a: &Csr,
@@ -35,29 +45,61 @@ pub fn gmres(
     max_iters: usize,
     work: &mut WorkCounter,
 ) -> Result<SolveStats, SolveError> {
+    let mut ws = KrylovWorkspace::new();
+    gmres_with(a, precond, b, x, restart, rel_tol, max_iters, &mut ws, work)
+}
+
+/// [`gmres`] on caller-owned scratch: the Arnoldi basis, Hessenberg
+/// columns, Givens factors and residual vectors all live in `ws` and are
+/// reused across restarts and calls. Bit-identical to the allocating entry
+/// point.
+#[allow(clippy::too_many_arguments)] // a solver signature, mirrors bicgstab
+pub fn gmres_with(
+    a: &Csr,
+    precond: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    restart: usize,
+    rel_tol: f64,
+    max_iters: usize,
+    ws: &mut KrylovWorkspace,
+    work: &mut WorkCounter,
+) -> Result<SolveStats, SolveError> {
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
     assert!(restart >= 1);
 
+    ws.ensure(n);
+    let KrylovWorkspace {
+        r,
+        t: scratch,
+        p: mb,
+        s: w,
+        basis,
+        h,
+        cs,
+        sn,
+        g,
+        y,
+        ..
+    } = ws;
+
     // Preconditioned rhs norm for the relative criterion.
-    let mut mb = vec![0.0; n];
-    precond.apply(b, &mut mb, work);
-    let mb_norm = norm2(&mb).max(1e-300);
+    precond.apply(b, mb, work);
+    let mb_norm = norm2(mb).max(1e-300);
 
     let mut total_iters = 0usize;
-    let mut scratch = vec![0.0; n];
-    let mut r = vec![0.0; n];
 
     loop {
         // r = M⁻¹ (b - A x)
-        a.matvec_into(x, &mut scratch);
+        a.matvec_into(x, scratch);
         work.add_matvec(a.nnz());
-        for i in 0..n {
-            scratch[i] = b[i] - scratch[i];
+        for (si, bi) in scratch.iter_mut().zip(b) {
+            *si = bi - *si;
         }
-        precond.apply(&scratch, &mut r, work);
-        let beta = norm2(&r);
+        precond.apply(scratch, r, work);
+        let beta = norm2(r);
         let resid = beta / mb_norm;
         if resid <= rel_tol {
             return Ok(SolveStats {
@@ -69,36 +111,47 @@ pub fn gmres(
             return Err(SolveError::MaxIterations { residual: resid });
         }
 
-        // Arnoldi basis (restart+1 vectors) and Hessenberg factors.
+        // Arnoldi basis (restart+1 vectors) and Hessenberg factors, sized
+        // once and reused across restarts.
         let m = restart.min(max_iters - total_iters);
-        let mut v: Vec<Vec<f64>> = Vec::with_capacity(m + 1);
-        v.push(r.iter().map(|ri| ri / beta).collect());
-        let mut h = vec![vec![0.0f64; m]; m + 1];
-        // Givens rotations and the rotated rhs g.
-        let mut cs = vec![0.0f64; m];
-        let mut sn = vec![0.0f64; m];
-        let mut g = vec![0.0f64; m + 1];
+        while basis.len() < m + 1 {
+            basis.push(Vec::new());
+        }
+        while h.len() < m + 1 {
+            h.push(Vec::new());
+        }
+        for row in h.iter_mut().take(m + 1) {
+            row.clear();
+            row.resize(m, 0.0);
+        }
+        cs.clear();
+        cs.resize(m, 0.0);
+        sn.clear();
+        sn.resize(m, 0.0);
+        g.clear();
+        g.resize(m + 1, 0.0);
         g[0] = beta;
+        basis[0].clear();
+        basis[0].extend(r.iter().map(|ri| ri / beta));
 
         let mut k_used = 0usize;
         for k in 0..m {
             total_iters += 1;
             work.add_lin_iter();
             // w = M⁻¹ A v_k
-            a.matvec_into(&v[k], &mut scratch);
+            a.matvec_into(&basis[k], scratch);
             work.add_matvec(a.nnz());
-            let mut w = vec![0.0; n];
-            precond.apply(&scratch, &mut w, work);
+            precond.apply(scratch, w, work);
             // Modified Gram-Schmidt.
-            for (j, vj) in v.iter().enumerate().take(k + 1) {
-                let hjk = dot(&w, vj);
+            for (j, vj) in basis.iter().enumerate().take(k + 1) {
+                let hjk = dot(w, vj);
                 h[j][k] = hjk;
-                for i in 0..n {
-                    w[i] -= hjk * vj[i];
+                for (wi, vji) in w.iter_mut().zip(vj) {
+                    *wi -= hjk * vji;
                 }
             }
             work.add_vector_ops(n, 2 * (k + 1));
-            let hk1 = norm2(&w);
+            let hk1 = norm2(w);
             h[k + 1][k] = hk1;
 
             // Apply previous rotations to column k.
@@ -121,11 +174,13 @@ pub fn gmres(
             if rel <= rel_tol || hk1 < 1e-300 {
                 break;
             }
-            v.push(w.iter().map(|wi| wi / hk1).collect());
+            basis[k + 1].clear();
+            basis[k + 1].extend(w.iter().map(|wi| wi / hk1));
         }
 
         // Back-substitute y from the triangular system H y = g.
-        let mut y = vec![0.0f64; k_used];
+        y.clear();
+        y.resize(k_used, 0.0);
         for i in (0..k_used).rev() {
             let mut acc = g[i];
             for (j, yj) in y.iter().enumerate().take(k_used).skip(i + 1) {
@@ -140,8 +195,8 @@ pub fn gmres(
         }
         // x += V y
         for (j, yj) in y.iter().enumerate() {
-            for i in 0..n {
-                x[i] += yj * v[j][i];
+            for (xi, vji) in x.iter_mut().zip(&basis[j]) {
+                *xi += yj * vji;
             }
         }
         work.add_vector_ops(n, 2 * k_used);

@@ -24,7 +24,10 @@
 //! * [`assemble`] — finite-difference discretization (hybrid
 //!   central/upwind advection, central diffusion, Dirichlet boundaries);
 //! * [`linsolve`] — ILU(0)-preconditioned BiCGSTAB (plus helpers);
-//! * [`rosenbrock`] — the adaptive ROS2 integrator;
+//! * [`rosenbrock`] — the adaptive ROS2 integrator (zero-allocation hot
+//!   path after workspace warm-up);
+//! * [`reference`] — the retained pre-optimization solver path, kept as a
+//!   bit-identity oracle for the optimized hot loop;
 //! * [`mod subsolve`](mod@crate::subsolve) — the per-grid solve, the unit of work delegated to
 //!   workers in the renovated application;
 //! * [`combine`] — bilinear prolongation and the combination formula;
@@ -38,6 +41,7 @@ pub mod gmres;
 pub mod grid;
 pub mod linsolve;
 pub mod problem;
+pub mod reference;
 pub mod restrict;
 pub mod rosenbrock;
 pub mod sequential;
@@ -50,7 +54,7 @@ pub mod work;
 pub use grid::{Grid2, GridIndex};
 pub use problem::Problem;
 pub use sequential::{SequentialApp, SequentialResult};
-pub use subsolve::{subsolve, SubsolveRequest, SubsolveResult};
+pub use subsolve::{subsolve, subsolve_with, SubsolveRequest, SubsolveResult};
 pub use work::WorkCounter;
 
 /// Discrete L2 norm of a vector (RMS): `sqrt(Σ v_i² / n)`.

@@ -1,10 +1,22 @@
-//! Sparse linear solvers: ILU(0) preconditioning and BiCGSTAB.
+//! Sparse linear solvers: ILU(0) preconditioning and **BiCGSTAB**, the
+//! production Krylov solver of the integrator.
 //!
 //! Every Rosenbrock stage solves `(I - γ·dt·A)·k = rhs`. The matrix is
 //! nonsymmetric (advection), so we use BiCGSTAB preconditioned with an
 //! ILU(0) factorization that is recomputed only when `dt` changes — exactly
 //! the kind of "A matrix must be built up … again and again" cost structure
-//! the paper describes.
+//! the paper describes. When `dt` does change, [`Ilu0::refactor`] rewrites
+//! the combined LU values in place on the cached pattern instead of
+//! reallocating, and [`bicgstab_with`] runs on a caller-owned
+//! [`KrylovWorkspace`] so the integrator's inner loop performs no heap
+//! allocation at all.
+//!
+//! The crate also ships restarted GMRES(m) in [`crate::gmres`]. BiCGSTAB is
+//! what [`crate::rosenbrock::integrate`] uses for every stage solve; GMRES
+//! is kept as the classic CWI-style alternative for the benches
+//! (`bench/benches/solver_kernels.rs` compares both on the same stage
+//! matrices) and for test cross-validation — it is never on the `subsolve`
+//! hot path.
 
 use crate::sparse::Csr;
 use crate::work::WorkCounter;
@@ -58,6 +70,129 @@ pub struct Ilu0 {
     lu: Csr,
     /// Position of the diagonal entry within each row's value slice.
     diag_pos: Vec<usize>,
+    /// Rows grouped by forward-solve dependency level (see
+    /// [`level_schedule`]); `fwd_level_ptr` delimits the groups.
+    fwd_order: Vec<u32>,
+    fwd_level_ptr: Vec<u32>,
+    /// Same for the backward solve.
+    bwd_order: Vec<u32>,
+    bwd_level_ptr: Vec<u32>,
+}
+
+/// Level schedule for a sparse triangular solve: `level[i]` is the longest
+/// dependency chain ending at row `i`, so rows sharing a level are mutually
+/// independent and the out-of-order core can overlap their long-latency
+/// multiply/subtract(/divide) chains instead of serializing on the
+/// row-to-row recurrence. The sweep still computes every row with exactly
+/// the same operations in the same order — only the *scheduling* across
+/// independent rows changes, so results are bitwise identical to the
+/// natural-order sweep. The schedule depends only on the sparsity pattern
+/// and is reused verbatim by [`Ilu0::refactor`].
+///
+/// For `forward = true` a row's dependencies are its strict lower part
+/// (columns before the diagonal) and rows are walked ascending; for the
+/// backward sweep they are the strict upper part, walked descending. The
+/// group ordering follows the walk, which keeps memory access roughly
+/// sequential within each level.
+fn level_schedule(
+    forward: bool,
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    diag_pos: &[usize],
+) -> (Vec<u32>, Vec<u32>) {
+    let n = row_ptr.len() - 1;
+    let mut level = vec![0u32; n];
+    let mut nlevels = 0u32;
+    let rows: Box<dyn Iterator<Item = usize>> = if forward {
+        Box::new(0..n)
+    } else {
+        Box::new((0..n).rev())
+    };
+    for i in rows {
+        let dp = row_ptr[i] + diag_pos[i];
+        let deps = if forward {
+            &col_idx[row_ptr[i]..dp]
+        } else {
+            &col_idx[dp + 1..row_ptr[i + 1]]
+        };
+        let mut lv = 0u32;
+        for &c in deps {
+            lv = lv.max(level[c] + 1);
+        }
+        level[i] = lv;
+        nlevels = nlevels.max(lv + 1);
+    }
+    let mut level_ptr = vec![0u32; nlevels as usize + 1];
+    for &lv in &level {
+        level_ptr[lv as usize + 1] += 1;
+    }
+    for l in 1..level_ptr.len() {
+        level_ptr[l] += level_ptr[l - 1];
+    }
+    let mut cursor: Vec<u32> = level_ptr[..level_ptr.len() - 1].to_vec();
+    let mut order = vec![0u32; n];
+    let fill: Box<dyn Iterator<Item = usize>> = if forward {
+        Box::new(0..n)
+    } else {
+        Box::new((0..n).rev())
+    };
+    for i in fill {
+        let lv = level[i] as usize;
+        order[cursor[lv] as usize] = i as u32;
+        cursor[lv] += 1;
+    }
+    (order, level_ptr)
+}
+
+/// IKJ-variant ILU(0) over the combined LU values, in place. Rows `k < i`
+/// live entirely before row `i` in the flat value array, so a single
+/// `split_at_mut` yields the already-factored rows immutably while row `i`
+/// is updated — no per-row copies, no allocation.
+fn factor_in_place(row_ptr: &[usize], col_idx: &[usize], vals: &mut [f64], diag_pos: &[usize]) {
+    let n = row_ptr.len() - 1;
+    for i in 0..n {
+        let (ilo, ihi) = (row_ptr[i], row_ptr[i + 1]);
+        let (done, rest) = vals.split_at_mut(ilo);
+        let ivals = &mut rest[..ihi - ilo];
+        let icols = &col_idx[ilo..ihi];
+        for ki in 0..icols.len() {
+            let k = icols[ki];
+            if k >= i {
+                break;
+            }
+            // pivot = a[i][k] / a[k][k]; small pivots are bumped to keep
+            // the factorization finite.
+            let (klo, khi) = (row_ptr[k], row_ptr[k + 1]);
+            let akk = done[klo + diag_pos[k]];
+            let akk = if akk.abs() < 1e-300 {
+                1e-300_f64.copysign(akk)
+            } else {
+                akk
+            };
+            ivals[ki] /= akk;
+            let pivot = ivals[ki];
+            // Row update: a[i][j] -= pivot * a[k][j] for j > k in both
+            // patterns.
+            let kcols = &col_idx[klo..khi];
+            let kvals = &done[klo..khi];
+            let mut ji = ki + 1;
+            for (kc, kv) in kcols.iter().zip(kvals) {
+                if *kc <= k {
+                    continue;
+                }
+                // advance ji to the first column >= kc
+                while ji < icols.len() && icols[ji] < *kc {
+                    ji += 1;
+                }
+                if ji == icols.len() {
+                    break;
+                }
+                if icols[ji] == *kc {
+                    ivals[ji] -= pivot * kv;
+                }
+            }
+        }
+    }
 }
 
 impl Ilu0 {
@@ -76,85 +211,92 @@ impl Ilu0 {
                 .position(|&c| c == r)
                 .unwrap_or_else(|| panic!("ILU(0): row {r} has no diagonal entry"));
         }
-        // IKJ-variant ILU(0).
-        for i in 0..n {
-            // We need row i (mutable) and rows k < i (immutable). Copy row
-            // i's indices first to appease the borrow checker cheaply.
-            let (icols, _) = lu.row(i);
-            let icols: Vec<usize> = icols.to_vec();
-            for (ki, &k) in icols.iter().enumerate() {
-                if k >= i {
-                    break;
-                }
-                // pivot = a[i][k] / a[k][k]
-                let akk = {
-                    let (_, kvals) = lu.row(k);
-                    kvals[diag_pos[k]]
-                };
-                let akk = if akk.abs() < 1e-300 {
-                    1e-300_f64.copysign(akk)
-                } else {
-                    akk
-                };
-                let pivot = {
-                    let ivals = lu.row_vals_mut(i);
-                    ivals[ki] /= akk;
-                    ivals[ki]
-                };
-                // Row update: a[i][j] -= pivot * a[k][j] for j > k in both
-                // patterns.
-                let (kcols, kvals) = {
-                    let (c, v) = lu.row(k);
-                    (c.to_vec(), v.to_vec())
-                };
-                let ivals = lu.row_vals_mut(i);
-                let mut ji = ki + 1;
-                for (kc, kv) in kcols.iter().zip(&kvals) {
-                    if *kc <= k {
-                        continue;
-                    }
-                    // advance ji to the first column >= kc
-                    while ji < icols.len() && icols[ji] < *kc {
-                        ji += 1;
-                    }
-                    if ji == icols.len() {
-                        break;
-                    }
-                    if icols[ji] == *kc {
-                        ivals[ji] -= pivot * kv;
-                    }
-                }
-            }
+        let (fwd_order, fwd_level_ptr) =
+            level_schedule(true, lu.row_ptr(), lu.col_indices(), &diag_pos);
+        let (bwd_order, bwd_level_ptr) =
+            level_schedule(false, lu.row_ptr(), lu.col_indices(), &diag_pos);
+        {
+            let (row_ptr, col_idx, vals) = lu.raw_parts_mut();
+            factor_in_place(row_ptr, col_idx, vals, &diag_pos);
         }
         work.add_factorization(lu.nnz());
-        Ilu0 { lu, diag_pos }
+        Ilu0 {
+            lu,
+            diag_pos,
+            fwd_order,
+            fwd_level_ptr,
+            bwd_order,
+            bwd_level_ptr,
+        }
+    }
+
+    /// Refactor in place from a matrix with the *same sparsity pattern* as
+    /// the one this factorization was built from: copy the values onto the
+    /// cached combined-LU pattern and re-run the elimination. No
+    /// allocation; `diag_pos` is reused verbatim.
+    pub fn refactor(&mut self, a: &Csr, work: &mut WorkCounter) {
+        debug_assert!(
+            self.lu.same_pattern(a),
+            "Ilu0::refactor: pattern mismatch — use Ilu0::new"
+        );
+        self.lu.vals_mut().copy_from_slice(a.vals());
+        let (row_ptr, col_idx, vals) = self.lu.raw_parts_mut();
+        factor_in_place(row_ptr, col_idx, vals, &self.diag_pos);
+        work.add_refactorization(self.lu.nnz());
     }
 }
 
 impl Preconditioner for Ilu0 {
     fn apply(&self, r: &[f64], z: &mut [f64], work: &mut WorkCounter) {
         let n = self.lu.n();
-        // Forward solve L y = r (unit diagonal), y stored in z.
-        for i in 0..n {
-            let (cols, vals) = self.lu.row(i);
-            let mut acc = r[i];
-            for (c, v) in cols.iter().zip(vals) {
-                if *c >= i {
-                    break;
+        assert_eq!(r.len(), n);
+        assert_eq!(z.len(), n);
+        let row_ptr = self.lu.row_ptr();
+        let cols = self.lu.col_indices();
+        let vals = self.lu.vals();
+        let diag_pos = &self.diag_pos;
+        debug_assert_eq!(diag_pos.len(), n);
+        // SAFETY: the Csr invariants bound `row_ptr` by `cols.len()` /
+        // `vals.len()` and every stored column by `n`; `diag_pos[i]` is the
+        // verified in-row position of the diagonal (checked in `new`, pattern
+        // unchanged by `refactor`), so `lo + diag_pos[i] < row_ptr[i + 1]`.
+        // Entries before the diagonal are exactly the columns `< i`
+        // (sorted rows), giving the branch-free strict-L / strict-U splits.
+        // The level schedule (built in `new`) is a permutation of `0..n`, so
+        // every `order` entry indexes in bounds, and it groups mutually
+        // independent rows: each row still runs exactly the operations of
+        // the natural-order sweep, in the same order, reading only rows from
+        // earlier levels — results are bitwise identical, but the CPU can
+        // overlap the multiply/subtract(/divide) latency chains of the rows
+        // inside a level instead of serializing on the row recurrence.
+        unsafe {
+            // Forward solve L y = r (unit diagonal), y stored in z.
+            for w in self.fwd_level_ptr.windows(2) {
+                for idx in w[0]..w[1] {
+                    let i = *self.fwd_order.get_unchecked(idx as usize) as usize;
+                    let lo = *row_ptr.get_unchecked(i);
+                    let dp = lo + *diag_pos.get_unchecked(i);
+                    let mut acc = *r.get_unchecked(i);
+                    for k in lo..dp {
+                        acc -= *vals.get_unchecked(k) * *z.get_unchecked(*cols.get_unchecked(k));
+                    }
+                    *z.get_unchecked_mut(i) = acc;
                 }
-                acc -= v * z[*c];
             }
-            z[i] = acc;
-        }
-        // Backward solve U z = y.
-        for i in (0..n).rev() {
-            let (cols, vals) = self.lu.row(i);
-            let mut acc = z[i];
-            let dp = self.diag_pos[i];
-            for k in (dp + 1)..cols.len() {
-                acc -= vals[k] * z[cols[k]];
+            // Backward solve U z = y.
+            for w in self.bwd_level_ptr.windows(2) {
+                for idx in w[0]..w[1] {
+                    let i = *self.bwd_order.get_unchecked(idx as usize) as usize;
+                    let lo = *row_ptr.get_unchecked(i);
+                    let hi = *row_ptr.get_unchecked(i + 1);
+                    let dp = lo + *diag_pos.get_unchecked(i);
+                    let mut acc = *z.get_unchecked(i);
+                    for k in dp + 1..hi {
+                        acc -= *vals.get_unchecked(k) * *z.get_unchecked(*cols.get_unchecked(k));
+                    }
+                    *z.get_unchecked_mut(i) = acc / *vals.get_unchecked(dp);
+                }
             }
-            z[i] = acc / vals[dp];
         }
         work.add_precond_apply(self.lu.nnz());
     }
@@ -207,8 +349,56 @@ fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
+/// Reusable scratch vectors for the Krylov solvers ([`bicgstab_with`] and
+/// [`crate::gmres::gmres_with`]). Allocate one per integration (or per
+/// subsolve) and thread it through every stage solve: after the first call
+/// at a given size, subsequent solves perform zero heap allocations.
+#[derive(Debug, Default)]
+pub struct KrylovWorkspace {
+    pub(crate) r: Vec<f64>,
+    pub(crate) r_hat: Vec<f64>,
+    pub(crate) v: Vec<f64>,
+    pub(crate) p: Vec<f64>,
+    pub(crate) p_hat: Vec<f64>,
+    pub(crate) s: Vec<f64>,
+    pub(crate) s_hat: Vec<f64>,
+    pub(crate) t: Vec<f64>,
+    /// GMRES Arnoldi basis vectors (grown on demand, reused across calls).
+    pub(crate) basis: Vec<Vec<f64>>,
+    /// GMRES Hessenberg columns, Givens factors, rotated rhs, solution.
+    pub(crate) h: Vec<Vec<f64>>,
+    pub(crate) cs: Vec<f64>,
+    pub(crate) sn: Vec<f64>,
+    pub(crate) g: Vec<f64>,
+    pub(crate) y: Vec<f64>,
+}
+
+impl KrylovWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size the BiCGSTAB vectors for problems of dimension `n`.
+    pub(crate) fn ensure(&mut self, n: usize) {
+        for buf in [
+            &mut self.r,
+            &mut self.r_hat,
+            &mut self.v,
+            &mut self.p,
+            &mut self.p_hat,
+            &mut self.s,
+            &mut self.s_hat,
+            &mut self.t,
+        ] {
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
 /// Preconditioned BiCGSTAB: solve `A x = b` in place (`x` holds the initial
-/// guess on entry, the solution on success).
+/// guess on entry, the solution on success). Allocates its own scratch;
+/// hot paths should use [`bicgstab_with`] and a reused [`KrylovWorkspace`].
 pub fn bicgstab(
     a: &Csr,
     precond: &dyn Preconditioner,
@@ -218,29 +408,55 @@ pub fn bicgstab(
     max_iters: usize,
     work: &mut WorkCounter,
 ) -> Result<SolveStats, SolveError> {
+    let mut ws = KrylovWorkspace::new();
+    bicgstab_with(a, precond, b, x, rel_tol, max_iters, &mut ws, work)
+}
+
+/// [`bicgstab`] on caller-owned scratch: zero heap allocations once the
+/// workspace has been sized (first call at dimension `n`). Bit-identical to
+/// the allocating entry point — same operations in the same order.
+#[allow(clippy::too_many_arguments)] // a solver signature, mirrors gmres
+pub fn bicgstab_with(
+    a: &Csr,
+    precond: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    rel_tol: f64,
+    max_iters: usize,
+    ws: &mut KrylovWorkspace,
+    work: &mut WorkCounter,
+) -> Result<SolveStats, SolveError> {
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
     let bnorm = norm2(b).max(1e-300);
 
-    let mut r = vec![0.0; n];
-    a.matvec_into(x, &mut r);
+    ws.ensure(n);
+    let KrylovWorkspace {
+        r,
+        r_hat,
+        v,
+        p,
+        p_hat,
+        s,
+        s_hat,
+        t,
+        ..
+    } = ws;
+
+    a.matvec_into(x, r);
     work.add_matvec(a.nnz());
-    for i in 0..n {
-        r[i] = b[i] - r[i];
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
     }
-    let r_hat = r.clone();
+    r_hat.copy_from_slice(r);
     let mut rho = 1.0_f64;
     let mut alpha = 1.0_f64;
     let mut omega = 1.0_f64;
-    let mut v = vec![0.0; n];
-    let mut p = vec![0.0; n];
-    let mut p_hat = vec![0.0; n];
-    let mut s = vec![0.0; n];
-    let mut s_hat = vec![0.0; n];
-    let mut t = vec![0.0; n];
+    v.fill(0.0);
+    p.fill(0.0);
 
-    let mut resid = norm2(&r) / bnorm;
+    let mut resid = norm2(r) / bnorm;
     if resid <= rel_tol {
         return Ok(SolveStats {
             iterations: 0,
@@ -250,52 +466,54 @@ pub fn bicgstab(
 
     for it in 1..=max_iters {
         work.add_lin_iter();
-        let rho_new = dot(&r_hat, &r);
+        let rho_new = dot(r_hat, r);
         if rho_new.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it - 1 });
         }
         let beta = (rho_new / rho) * (alpha / omega);
-        for i in 0..n {
-            p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        for ((pi, ri), vi) in p.iter_mut().zip(r.iter()).zip(v.iter()) {
+            *pi = ri + beta * (*pi - omega * vi);
         }
-        precond.apply(&p, &mut p_hat, work);
-        a.matvec_into(&p_hat, &mut v);
+        precond.apply(p, p_hat, work);
+        a.matvec_into(p_hat, v);
         work.add_matvec(a.nnz());
-        let rv = dot(&r_hat, &v);
+        let rv = dot(r_hat, v);
         if rv.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
         alpha = rho_new / rv;
-        for i in 0..n {
-            s[i] = r[i] - alpha * v[i];
+        for ((si, ri), vi) in s.iter_mut().zip(r.iter()).zip(v.iter()) {
+            *si = ri - alpha * vi;
         }
-        if norm2(&s) / bnorm <= rel_tol {
-            for i in 0..n {
-                x[i] += alpha * p_hat[i];
+        if norm2(s) / bnorm <= rel_tol {
+            for (xi, phi) in x.iter_mut().zip(p_hat.iter()) {
+                *xi += alpha * phi;
             }
             work.add_vector_ops(n, 6);
             return Ok(SolveStats {
                 iterations: it,
-                residual: norm2(&s) / bnorm,
+                residual: norm2(s) / bnorm,
             });
         }
-        precond.apply(&s, &mut s_hat, work);
-        a.matvec_into(&s_hat, &mut t);
+        precond.apply(s, s_hat, work);
+        a.matvec_into(s_hat, t);
         work.add_matvec(a.nnz());
-        let tt = dot(&t, &t);
+        let tt = dot(t, t);
         if tt.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
-        omega = dot(&t, &s) / tt;
+        omega = dot(t, s) / tt;
         if omega.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
-        for i in 0..n {
-            x[i] += alpha * p_hat[i] + omega * s_hat[i];
-            r[i] = s[i] - omega * t[i];
+        for ((xi, phi), shi) in x.iter_mut().zip(p_hat.iter()).zip(s_hat.iter()) {
+            *xi += alpha * phi + omega * shi;
+        }
+        for ((ri, si), ti) in r.iter_mut().zip(s.iter()).zip(t.iter()) {
+            *ri = si - omega * ti;
         }
         work.add_vector_ops(n, 10);
-        resid = norm2(&r) / bnorm;
+        resid = norm2(r) / bnorm;
         if resid <= rel_tol {
             return Ok(SolveStats {
                 iterations: it,
@@ -422,6 +640,54 @@ mod tests {
         for (xi, ti) in x2.iter().zip(&x_true) {
             assert!((xi - ti).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factorization() {
+        // Refactoring in place from a same-pattern matrix must produce the
+        // same factors (bitwise) as a fresh Ilu0::new.
+        let p = Problem::transport_benchmark();
+        let g = Grid2::new(2, 1, 2);
+        let mut w = WorkCounter::new();
+        let d = assemble(&g, &p, &mut w);
+        let m1 = d.a.identity_minus_scaled(0.01);
+        let m2 = d.a.identity_minus_scaled(0.037);
+
+        let mut reused = Ilu0::new(&m1, &mut w);
+        reused.refactor(&m2, &mut w);
+        let fresh = Ilu0::new(&m2, &mut w);
+
+        let r: Vec<f64> = (0..m2.n()).map(|i| ((i % 7) as f64) - 3.0).collect();
+        let mut z1 = vec![0.0; m2.n()];
+        let mut z2 = vec![0.0; m2.n()];
+        reused.apply(&r, &mut z1, &mut w);
+        fresh.apply(&r, &mut z2, &mut w);
+        assert_eq!(z1, z2, "refactor must be bit-identical to new");
+        assert_eq!(w.refactorizations, 1);
+    }
+
+    #[test]
+    fn workspace_bicgstab_matches_allocating_entry_point() {
+        let p = Problem::transport_benchmark();
+        let g = Grid2::new(2, 2, 1);
+        let mut w = WorkCounter::new();
+        let d = assemble(&g, &p, &mut w);
+        let m = d.a.identity_minus_scaled(0.02);
+        let ilu = Ilu0::new(&m, &mut w);
+        let b: Vec<f64> = (0..m.n()).map(|i| ((i % 11) as f64) / 11.0).collect();
+
+        let mut x1 = vec![0.0; m.n()];
+        let s1 = bicgstab(&m, &ilu, &b, &mut x1, 1e-10, 500, &mut w).unwrap();
+        let mut ws = KrylovWorkspace::new();
+        let mut x2 = vec![0.0; m.n()];
+        // Two calls on the same workspace: the second must not be polluted
+        // by the first.
+        bicgstab_with(&m, &ilu, &b, &mut x2, 1e-10, 500, &mut ws, &mut w).unwrap();
+        let mut x3 = vec![0.0; m.n()];
+        let s3 = bicgstab_with(&m, &ilu, &b, &mut x3, 1e-10, 500, &mut ws, &mut w).unwrap();
+        assert_eq!(x1, x2);
+        assert_eq!(x1, x3);
+        assert_eq!(s1.iterations, s3.iterations);
     }
 
     #[test]

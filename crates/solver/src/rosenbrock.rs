@@ -18,10 +18,21 @@
 //! line). The stage matrix depends only on `dt`, so the ILU factorization
 //! is reused across steps and only recomputed when the controller actually
 //! changes the step — with a ±10% dead band to avoid refactoring on noise.
+//!
+//! **Zero-allocation hot path.** The step loop performs no heap allocation
+//! once the workspace is warm: the stage matrix `I − γ·dt·A` lives in a
+//! pattern-reusing [`CachedStage`] whose values are rewritten in place when
+//! `dt` changes, the ILU(0) factors are refreshed via
+//! [`Ilu0::refactor`] on the cached combined-LU pattern, the Krylov scratch
+//! is a reused [`KrylovWorkspace`], and the ROS2 stage vectors live in a
+//! per-subsolve [`Ros2Workspace`]. The optimized path is bit-identical to
+//! the retained reference implementation in [`crate::reference`] — same
+//! floating-point results, same adaptive step sequence, same
+//! (re)factorization counts.
 
 use crate::assemble::Discretization;
-use crate::linsolve::{bicgstab, Ilu0, SolveError};
-use crate::sparse::Csr;
+use crate::linsolve::{bicgstab_with, Ilu0, KrylovWorkspace, SolveError};
+use crate::sparse::CachedStage;
 use crate::work::WorkCounter;
 
 /// γ for L-stable ROS2.
@@ -101,7 +112,7 @@ pub struct Ros2Stats {
 }
 
 /// Weighted RMS norm of the error estimate against `tol·(1 + |u|)`.
-fn error_norm(err: &[f64], u: &[f64], tol: f64) -> f64 {
+pub(crate) fn error_norm(err: &[f64], u: &[f64], tol: f64) -> f64 {
     let n = err.len().max(1);
     let sum: f64 = err
         .iter()
@@ -115,29 +126,83 @@ fn error_norm(err: &[f64], u: &[f64], tol: f64) -> f64 {
     (sum / n as f64).sqrt()
 }
 
-struct StageMatrix {
+/// The cached stage system: `I − γ·dt·A` with pattern-reusing values and
+/// in-place-refreshable ILU(0) factors.
+struct StageState {
     dt: f64,
-    m: Csr,
+    cache: CachedStage,
     ilu: Ilu0,
 }
 
-impl StageMatrix {
-    fn build(a: &Csr, dt: f64, work: &mut WorkCounter) -> Self {
-        let m = a.identity_minus_scaled(GAMMA * dt);
-        let ilu = Ilu0::new(&m, work);
-        StageMatrix { dt, m, ilu }
+/// Reusable per-subsolve scratch for [`integrate_with`]: the six ROS2 stage
+/// vectors, the error-estimate and forcing buffers, the Krylov workspace,
+/// and the cached stage matrix + ILU(0) factors. After the workspace is
+/// warm (first stage build at a given sparsity pattern), the integrate loop
+/// performs zero heap allocations.
+#[derive(Default)]
+pub struct Ros2Workspace {
+    f1: Vec<f64>,
+    f2: Vec<f64>,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    u_stage: Vec<f64>,
+    u_new: Vec<f64>,
+    err: Vec<f64>,
+    g: Vec<f64>,
+    krylov: KrylovWorkspace,
+    stage: Option<StageState>,
+}
+
+impl Ros2Workspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        for buf in [
+            &mut self.f1,
+            &mut self.f2,
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.u_stage,
+            &mut self.u_new,
+            &mut self.err,
+            &mut self.g,
+        ] {
+            buf.resize(n, 0.0);
+        }
     }
 }
 
 /// Integrate `du/dt = A u + g(t)` from `t0` to `t1` starting from the
 /// interior vector `u0`, with adaptive ROS2. Returns the solution at `t1`
-/// and run statistics; all work is charged to `work`.
+/// and run statistics; all work is charged to `work`. Allocates its own
+/// scratch; repeated integrations should reuse a [`Ros2Workspace`] via
+/// [`integrate_with`].
 pub fn integrate(
+    disc: &Discretization,
+    u: Vec<f64>,
+    t0: f64,
+    t1: f64,
+    opts: &Ros2Options,
+    work: &mut WorkCounter,
+) -> Result<(Vec<f64>, Ros2Stats), IntegrateError> {
+    let mut ws = Ros2Workspace::new();
+    integrate_with(disc, u, t0, t1, opts, &mut ws, work)
+}
+
+/// [`integrate`] on a caller-owned [`Ros2Workspace`]. Bit-identical to the
+/// allocating entry point (and to the retained [`crate::reference`]
+/// implementation): the same floating-point operations run in the same
+/// order, only the buffers and the stage matrix pattern are reused.
+pub fn integrate_with(
     disc: &Discretization,
     mut u: Vec<f64>,
     t0: f64,
     t1: f64,
     opts: &Ros2Options,
+    ws: &mut Ros2Workspace,
     work: &mut WorkCounter,
 ) -> Result<(Vec<f64>, Ros2Stats), IntegrateError> {
     assert_eq!(u.len(), disc.n());
@@ -155,14 +220,23 @@ pub fn integrate(
     };
 
     let n = disc.n();
-    let mut f1 = vec![0.0; n];
-    let mut f2 = vec![0.0; n];
-    let mut k1 = vec![0.0; n];
-    let mut k2 = vec![0.0; n];
-    let mut u_stage = vec![0.0; n];
-    let mut u_new = vec![0.0; n];
+    ws.ensure(n);
 
-    let mut stage = StageMatrix::build(&disc.a, dt, work);
+    // Initial stage system: reuse the cached pattern when the workspace was
+    // warmed on a matrix with the same sparsity structure (in-place value
+    // rewrite + refactorization), build it once otherwise.
+    match ws.stage.as_mut() {
+        Some(st) if st.cache.matches(&disc.a) => {
+            st.cache.rewrite(&disc.a, GAMMA * dt);
+            st.ilu.refactor(st.cache.matrix(), work);
+            st.dt = dt;
+        }
+        _ => {
+            let cache = CachedStage::new(&disc.a, GAMMA * dt);
+            let ilu = Ilu0::new(cache.matrix(), work);
+            ws.stage = Some(StageState { dt, cache, ilu });
+        }
+    }
     stats.refactorizations += 1;
 
     while t < t1 - 1e-14 * span {
@@ -174,56 +248,66 @@ pub fn integrate(
         // be split evenly — simplest correct policy: clip and refactor when
         // needed.
         let dt_step = dt.min(t1 - t);
-        if (dt_step - stage.dt).abs() > 1e-14 * dt_step.max(stage.dt) {
-            stage = StageMatrix::build(&disc.a, dt_step, work);
-            stats.refactorizations += 1;
+        {
+            let st = ws.stage.as_mut().expect("stage built above");
+            if (dt_step - st.dt).abs() > 1e-14 * dt_step.max(st.dt) {
+                st.cache.rewrite(&disc.a, GAMMA * dt_step);
+                st.ilu.refactor(st.cache.matrix(), work);
+                st.dt = dt_step;
+                stats.refactorizations += 1;
+            }
         }
+        let st = ws.stage.as_ref().expect("stage built above");
 
         // Stage 1.
-        disc.rhs_into(t, &u, &mut f1, work);
-        k1.fill(0.0);
-        bicgstab(
-            &stage.m,
-            &stage.ilu,
-            &f1,
-            &mut k1,
+        disc.rhs_into_with(t, &u, &mut ws.f1, &mut ws.g, work);
+        ws.k1.fill(0.0);
+        bicgstab_with(
+            st.cache.matrix(),
+            &st.ilu,
+            &ws.f1,
+            &mut ws.k1,
             opts.lin_tol,
             opts.lin_max_iters,
+            &mut ws.krylov,
             work,
         )
         .map_err(IntegrateError::Linear)?;
 
         // Stage 2.
-        for i in 0..n {
-            u_stage[i] = u[i] + dt_step * k1[i];
+        for ((usi, ui), k1i) in ws.u_stage.iter_mut().zip(&u).zip(&ws.k1) {
+            *usi = ui + dt_step * k1i;
         }
-        disc.rhs_into(t + dt_step, &u_stage, &mut f2, work);
-        for i in 0..n {
-            f2[i] -= 2.0 * k1[i];
+        disc.rhs_into_with(t + dt_step, &ws.u_stage, &mut ws.f2, &mut ws.g, work);
+        for (f2i, k1i) in ws.f2.iter_mut().zip(&ws.k1) {
+            *f2i -= 2.0 * k1i;
         }
-        k2.fill(0.0);
-        bicgstab(
-            &stage.m,
-            &stage.ilu,
-            &f2,
-            &mut k2,
+        ws.k2.fill(0.0);
+        bicgstab_with(
+            st.cache.matrix(),
+            &st.ilu,
+            &ws.f2,
+            &mut ws.k2,
             opts.lin_tol,
             opts.lin_max_iters,
+            &mut ws.krylov,
             work,
         )
         .map_err(IntegrateError::Linear)?;
 
         // Candidate solution and error estimate.
-        for i in 0..n {
-            u_new[i] = u[i] + dt_step * (1.5 * k1[i] + 0.5 * k2[i]);
+        for (((uni, ui), k1i), k2i) in ws.u_new.iter_mut().zip(&u).zip(&ws.k1).zip(&ws.k2) {
+            *uni = ui + dt_step * (1.5 * k1i + 0.5 * k2i);
         }
-        let err: Vec<f64> = (0..n).map(|i| 0.5 * dt_step * (k1[i] + k2[i])).collect();
-        let enorm = error_norm(&err, &u, opts.tol);
+        for ((ei, k1i), k2i) in ws.err.iter_mut().zip(&ws.k1).zip(&ws.k2) {
+            *ei = 0.5 * dt_step * (k1i + k2i);
+        }
+        let enorm = error_norm(&ws.err, &u, opts.tol);
         work.add_vector_ops(n, 8);
 
         if enorm <= 1.0 {
             // Accept.
-            std::mem::swap(&mut u, &mut u_new);
+            std::mem::swap(&mut u, &mut ws.u_new);
             t += dt_step;
             stats.steps += 1;
             work.add_step();
@@ -340,7 +424,46 @@ mod tests {
         assert!(work.flops > 0);
         assert_eq!(work.steps as usize, stats.steps);
         assert!(work.lin_iters > 0);
-        assert!(work.factorizations as usize >= stats.refactorizations);
+        // The first stage build is a full factorization; every dead-band
+        // triggered rebuild afterwards is an in-place refactorization.
+        assert_eq!(work.factorizations, 1);
+        assert_eq!(
+            (work.factorizations + work.refactorizations) as usize,
+            stats.refactorizations
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // A second integration on a warmed workspace (same matrix pattern)
+        // must reproduce the fresh-workspace run exactly, including the
+        // step sequence, and must take the refactor-in-place path.
+        let p = Problem::manufactured_benchmark();
+        let g = Grid2::new(2, 2, 1);
+        let mut work = WorkCounter::new();
+        let disc = assemble(&g, &p, &mut work);
+        let u0 = disc.exact_interior(p.t0);
+        let opts = Ros2Options::with_tol(1e-4);
+
+        let (u_fresh, s_fresh) =
+            integrate(&disc, u0.clone(), p.t0, p.t_end, &opts, &mut work).unwrap();
+
+        let mut ws = Ros2Workspace::new();
+        let mut w1 = WorkCounter::new();
+        let (u_cold, s_cold) =
+            integrate_with(&disc, u0.clone(), p.t0, p.t_end, &opts, &mut ws, &mut w1).unwrap();
+        let mut w2 = WorkCounter::new();
+        let (u_warm, s_warm) =
+            integrate_with(&disc, u0, p.t0, p.t_end, &opts, &mut ws, &mut w2).unwrap();
+
+        assert_eq!(u_fresh, u_cold);
+        assert_eq!(u_fresh, u_warm);
+        assert_eq!(s_fresh, s_cold);
+        assert_eq!(s_fresh, s_warm);
+        // Cold: one full factorization; warm: none at all.
+        assert_eq!(w1.factorizations, 1);
+        assert_eq!(w2.factorizations, 0);
+        assert_eq!(w2.refactorizations as usize, s_warm.refactorizations);
     }
 
     #[test]

@@ -7,6 +7,15 @@
 //! factorization in [`crate::linsolve`]).
 
 /// A square sparse matrix in CSR format with per-row sorted columns.
+///
+/// # Invariants
+///
+/// Every constructor establishes (and no public method can break):
+/// `row_ptr.len() == n + 1`, `row_ptr[0] == 0`, `row_ptr` monotone with
+/// `row_ptr[n] == col_idx.len() == vals.len()`, and every stored column
+/// index `< n`. The hot kernels ([`Csr::matvec_into`], the ILU(0)
+/// triangular solves in [`crate::linsolve`]) rely on these invariants to
+/// skip per-element bounds checks.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Csr {
     n: usize,
@@ -53,6 +62,31 @@ impl Csr {
         }
     }
 
+    /// Build from pre-assembled CSR parts. `row_ptr` must be monotone with
+    /// `row_ptr[0] == 0` and `row_ptr[n] == col_idx.len()`, and every row's
+    /// columns must be strictly increasing. This is the fast path for
+    /// stencil assemblies whose pattern is known a priori (no triplet sort).
+    pub fn from_parts(n: usize, row_ptr: Vec<usize>, col_idx: Vec<usize>, vals: Vec<f64>) -> Csr {
+        assert_eq!(row_ptr.len(), n + 1);
+        assert_eq!(row_ptr[0], 0);
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len());
+        assert_eq!(col_idx.len(), vals.len());
+        // Hard invariants the unchecked kernels rely on (one O(nnz) pass at
+        // construction buys bounds-check-free matvec and triangular solves).
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(col_idx.iter().all(|&c| c < n));
+        debug_assert!((0..n).all(|r| {
+            let row = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            row.windows(2).all(|w| w[0] < w[1])
+        }));
+        Csr {
+            n,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
     /// The identity matrix of size `n`.
     pub fn identity(n: usize) -> Csr {
         Csr {
@@ -87,18 +121,56 @@ impl Csr {
         &mut self.vals[lo..hi]
     }
 
+    /// The row-pointer array (`n + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// All stored column indices, row-major.
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// All stored values, row-major.
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// All stored values, mutable (the pattern stays fixed).
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Split borrow for in-place factorizations: `(row_ptr, col_idx, vals)`
+    /// with only the values mutable.
+    pub fn raw_parts_mut(&mut self) -> (&[usize], &[usize], &mut [f64]) {
+        (&self.row_ptr, &self.col_idx, &mut self.vals)
+    }
+
+    /// Do `self` and `other` store exactly the same sparsity pattern?
+    pub fn same_pattern(&self, other: &Csr) -> bool {
+        self.n == other.n && self.row_ptr == other.row_ptr && self.col_idx == other.col_idx
+    }
+
     /// `y = A·x`.
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        #[allow(clippy::needless_range_loop)] // hot kernel: keep plain indexing
-        for r in 0..self.n {
-            let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c];
+        // SAFETY: the struct invariants guarantee `row_ptr` is monotone with
+        // `row_ptr[n] == col_idx.len() == vals.len()` and every stored column
+        // `< n == x.len()`; `i < n` bounds the row_ptr and y accesses. The
+        // accumulation order is unchanged from the checked loop.
+        unsafe {
+            for i in 0..self.n {
+                let lo = *self.row_ptr.get_unchecked(i);
+                let hi = *self.row_ptr.get_unchecked(i + 1);
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += *self.vals.get_unchecked(k)
+                        * *x.get_unchecked(*self.col_idx.get_unchecked(k));
+                }
+                *y.get_unchecked_mut(i) = acc;
             }
-            y[r] = acc;
         }
     }
 
@@ -160,6 +232,105 @@ impl Csr {
         (0..self.n)
             .map(|r| self.row(r).1.iter().map(|v| v.abs()).sum::<f64>())
             .fold(0.0, f64::max)
+    }
+}
+
+/// Where a stage-matrix entry takes its value from.
+#[derive(Clone, Copy, Debug)]
+enum StageSrc {
+    /// Diagonal entry backed by the `A` value at this flat index: `1 − s·a`.
+    DiagFrom(usize),
+    /// Diagonal entry with no stored `A` counterpart: constant `1`.
+    DiagOne,
+    /// Off-diagonal entry backed by the `A` value at this flat index: `−s·a`.
+    Off(usize),
+}
+
+/// A cached stage matrix `I − s·A` whose sparsity pattern (and the mapping
+/// back to `A`'s entries) is computed exactly once. A change of `s` — the
+/// Rosenbrock integrator's `γ·dt` — only rewrites the value array in place,
+/// so the per-step-size-change cost is a single pass over the nonzeros
+/// instead of a triplet sort and a fresh allocation.
+///
+/// [`CachedStage::rewrite`] produces bit-identical values to
+/// [`Csr::identity_minus_scaled`]: the same expressions are evaluated for
+/// the same entries in the same order.
+#[derive(Clone, Debug)]
+pub struct CachedStage {
+    m: Csr,
+    src: Vec<StageSrc>,
+}
+
+impl CachedStage {
+    /// Build the pattern and initial values of `I − s·A`.
+    pub fn new(a: &Csr, s: f64) -> CachedStage {
+        let m = a.identity_minus_scaled(s);
+        let mut src = Vec::with_capacity(m.nnz());
+        for r in 0..m.n {
+            let (mcols, _) = m.row(r);
+            let (acols, _) = a.row(r);
+            let base = a.row_ptr[r];
+            for &c in mcols {
+                if c == r {
+                    match acols.binary_search(&r) {
+                        Ok(k) => src.push(StageSrc::DiagFrom(base + k)),
+                        Err(_) => src.push(StageSrc::DiagOne),
+                    }
+                } else {
+                    let k = acols
+                        .binary_search(&c)
+                        .expect("stage pattern out of sync with A");
+                    src.push(StageSrc::Off(base + k));
+                }
+            }
+        }
+        CachedStage { m, src }
+    }
+
+    /// The current stage matrix.
+    pub fn matrix(&self) -> &Csr {
+        &self.m
+    }
+
+    /// Does `a` still have the pattern this cache was built from? (The
+    /// stage pattern is `A`'s pattern with the diagonal materialized.)
+    pub fn matches(&self, a: &Csr) -> bool {
+        if a.n != self.m.n {
+            return false;
+        }
+        for r in 0..a.n {
+            let (acols, _) = a.row(r);
+            let (mcols, _) = self.m.row(r);
+            let has_diag = acols.binary_search(&r).is_ok();
+            if mcols.len() != acols.len() + usize::from(!has_diag) {
+                return false;
+            }
+            let mut ai = 0;
+            for &c in mcols {
+                if ai < acols.len() && acols[ai] == c {
+                    ai += 1;
+                } else if c != r {
+                    return false;
+                }
+            }
+            if ai != acols.len() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Rewrite the values for a new scale `s`, allocation-free.
+    pub fn rewrite(&mut self, a: &Csr, s: f64) {
+        debug_assert!(self.matches(a), "CachedStage pattern out of sync");
+        let avals = &a.vals;
+        for (v, src) in self.m.vals.iter_mut().zip(&self.src) {
+            *v = match *src {
+                StageSrc::DiagFrom(k) => 1.0 - s * avals[k],
+                StageSrc::DiagOne => 1.0,
+                StageSrc::Off(k) => -s * avals[k],
+            };
+        }
     }
 }
 
@@ -272,5 +443,64 @@ mod tests {
         let a = Csr::from_triplets(3, &[(0, 2, 1.0), (0, 0, 2.0), (0, 1, 3.0)]);
         let (cols, _) = a.row(0);
         assert_eq!(cols, &[0, 1, 2]);
+    }
+
+    #[test]
+    fn from_parts_equals_from_triplets() {
+        let t = example();
+        let d = Csr::from_parts(
+            3,
+            vec![0, 2, 5, 7],
+            vec![0, 1, 0, 1, 2, 1, 2],
+            vec![2.0, -1.0, -1.0, 2.0, -1.0, -1.0, 2.0],
+        );
+        assert_eq!(t, d);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parts_rejects_bad_row_ptr() {
+        let _ = Csr::from_parts(2, vec![0, 1], vec![0], vec![1.0]);
+    }
+
+    #[test]
+    fn cached_stage_matches_identity_minus_scaled() {
+        let a = example();
+        let mut cache = CachedStage::new(&a, 0.5);
+        for s in [0.5, 0.017, -1.25, 0.0, 1e-9] {
+            cache.rewrite(&a, s);
+            let fresh = a.identity_minus_scaled(s);
+            assert_eq!(cache.matrix(), &fresh, "s = {s}");
+        }
+    }
+
+    #[test]
+    fn cached_stage_materializes_missing_diagonal() {
+        let a = Csr::from_triplets(2, &[(0, 1, 1.0)]);
+        let mut cache = CachedStage::new(&a, 2.0);
+        cache.rewrite(&a, 3.0);
+        assert_eq!(cache.matrix(), &a.identity_minus_scaled(3.0));
+        assert_eq!(cache.matrix().get(1, 1), Some(1.0));
+    }
+
+    #[test]
+    fn cached_stage_pattern_match() {
+        let a = example();
+        let cache = CachedStage::new(&a, 0.1);
+        assert!(cache.matches(&a));
+        let other = Csr::from_triplets(3, &[(0, 0, 1.0), (2, 2, 1.0), (1, 1, 1.0)]);
+        assert!(!cache.matches(&other));
+        assert!(!cache.matches(&Csr::identity(4)));
+    }
+
+    #[test]
+    fn same_pattern_detects_structure() {
+        let a = example();
+        let mut b = example();
+        assert!(a.same_pattern(&b));
+        b.vals_mut()[0] = 9.0;
+        assert!(a.same_pattern(&b), "values do not affect the pattern");
+        let c = Csr::identity(3);
+        assert!(!a.same_pattern(&c));
     }
 }

@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 use crate::assemble::assemble;
 use crate::grid::Grid2;
 use crate::problem::Problem;
-use crate::rosenbrock::{integrate, IntegrateError, Ros2Options};
+use crate::rosenbrock::{integrate_with, IntegrateError, Ros2Options, Ros2Workspace};
 use crate::work::WorkCounter;
 
 /// Everything a worker needs to run one subsolve.
@@ -99,8 +99,23 @@ impl SubsolveResult {
 }
 
 /// Run one subsolve to completion. This is the computational heart the
-/// paper's workers wrap.
+/// paper's workers wrap. Allocates a fresh [`Ros2Workspace`]; workers that
+/// process many requests should keep one workspace per thread and call
+/// [`subsolve_with`] so the integrator's hot loop stays allocation-free
+/// across jobs with matching sparsity patterns.
 pub fn subsolve(req: &SubsolveRequest) -> Result<SubsolveResult, IntegrateError> {
+    let mut ws = Ros2Workspace::new();
+    subsolve_with(req, &mut ws)
+}
+
+/// [`subsolve`] on a caller-owned integrator workspace. Bit-identical to
+/// [`subsolve`]; repeated calls reuse the stage-matrix pattern, ILU(0)
+/// factors and Krylov scratch whenever consecutive requests share a grid
+/// shape.
+pub fn subsolve_with(
+    req: &SubsolveRequest,
+    ws: &mut Ros2Workspace,
+) -> Result<SubsolveResult, IntegrateError> {
     let grid = req.grid();
     let mut work = WorkCounter::new();
     let disc = assemble(&grid, &req.problem, &mut work);
@@ -113,12 +128,13 @@ pub fn subsolve(req: &SubsolveRequest) -> Result<SubsolveResult, IntegrateError>
         }
         None => disc.exact_interior(req.t0),
     };
-    let (u1, stats) = integrate(
+    let (u1, stats) = integrate_with(
         &disc,
         u0,
         req.t0,
         req.t1,
         &Ros2Options::with_tol(req.tol),
+        ws,
         &mut work,
     )?;
     let p = req.problem;
@@ -198,6 +214,23 @@ mod tests {
         let b = subsolve(&req).unwrap();
         assert_eq!(a.values, b.values);
         assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn shared_workspace_matches_fresh_workspace() {
+        // A worker reusing one Ros2Workspace across jobs — including jobs
+        // with different grid shapes, which force a cache rebuild — must
+        // produce bitwise the same results as fresh-workspace runs.
+        let p = Problem::transport_benchmark();
+        let mut ws = Ros2Workspace::new();
+        for (l, m) in [(2, 1), (2, 1), (1, 2), (2, 1)] {
+            let req = SubsolveRequest::for_grid(2, l, m, 1e-3, p);
+            let fresh = subsolve(&req).unwrap();
+            let shared = subsolve_with(&req, &mut ws).unwrap();
+            assert_eq!(fresh.values, shared.values);
+            assert_eq!(fresh.steps, shared.steps);
+            assert_eq!(fresh.work.flops, shared.work.flops);
+        }
     }
 
     #[test]

@@ -74,6 +74,61 @@ proptest! {
             }
         }
     }
+
+    /// `from_triplets` against the naive oracle: accumulate every triplet
+    /// (duplicates included, shuffled order) into a dense matrix, then
+    /// compare entry by entry. Also pins the structural contract the
+    /// solver kernels rely on: one stored entry per distinct `(r, c)` pair
+    /// and strictly increasing columns within each row.
+    #[test]
+    fn csr_from_triplets_matches_dense_accumulation(
+        t in prop::collection::vec((0usize..6, 0usize..6, -2.0..2.0f64), 1..40),
+        seed in any::<u64>()
+    ) {
+        const N: usize = 6;
+        // Shuffle deterministically so duplicates arrive in varied order.
+        let mut shuffled = t.clone();
+        let mut s = seed;
+        for i in (1..shuffled.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (s >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+
+        // Oracle: accumulation order per (r, c) must follow the *sorted*
+        // input order (stable sort by (r, c)), which is what a dense
+        // accumulator over the stably sorted triplets produces.
+        let mut sorted = shuffled.clone();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+        let mut dense = [[0.0f64; N]; N];
+        for &(r, c, v) in &sorted {
+            dense[r][c] += v;
+        }
+
+        let a = Csr::from_triplets(N, &shuffled);
+
+        // Every stored entry agrees with the dense oracle, bit for bit in
+        // the common case (same summation order) and to roundoff always.
+        for (r, row) in dense.iter().enumerate() {
+            for (c, want) in row.iter().enumerate() {
+                let av = a.get(r, c).unwrap_or(0.0);
+                prop_assert!((av - want).abs() < 1e-12, "({r},{c}): {av} vs {want}");
+            }
+        }
+
+        // nnz equals the number of *distinct* coordinates — duplicates
+        // merge, nothing is dropped (even if values cancel to 0.0).
+        let mut coords: Vec<(usize, usize)> = t.iter().map(|&(r, c, _)| (r, c)).collect();
+        coords.sort_unstable();
+        coords.dedup();
+        prop_assert_eq!(a.nnz(), coords.len());
+
+        // Rows hold strictly increasing column indices.
+        for r in 0..N {
+            let (cols, _) = a.row(r);
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r}: {cols:?}");
+        }
+    }
 }
 
 // --------------------------------------------------------------- linsolve

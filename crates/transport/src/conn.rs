@@ -192,7 +192,7 @@ pub fn connect_with_backoff(
     connect_timeout: Duration,
 ) -> std::io::Result<Conn> {
     let mut backoff = Backoff::new(initial_delay, Duration::from_secs(2));
-    let mut last = std::io::Error::new(std::io::ErrorKind::Other, "no attempts made");
+    let mut last = std::io::Error::other("no attempts made");
     for attempt in 0..attempts.max(1) {
         match Conn::connect(addr, connect_timeout) {
             Ok(c) => return Ok(c),

@@ -473,7 +473,9 @@ impl RemoteConduit for SlotConduit {
                 }
                 Ok(None) => {
                     st.mark_dead();
-                    return Err(app_err(format!("instance {index} lost (connection closed)")));
+                    return Err(app_err(format!(
+                        "instance {index} lost (connection closed)"
+                    )));
                 }
                 Err(e) => {
                     st.mark_dead();
@@ -585,8 +587,7 @@ mod tests {
     #[test]
     fn pool_round_robins_live_instances_and_collects_traces() {
         let spawner = Arc::new(ThreadSpawner::new(None));
-        let pool =
-            RemoteWorkerPool::launch(quick_cfg(2, BindMode::Tcp), spawner.clone()).unwrap();
+        let pool = RemoteWorkerPool::launch(quick_cfg(2, BindMode::Tcp), spawner.clone()).unwrap();
         assert_eq!(pool.live_count(), 2);
 
         let a = pool.checkout().unwrap();
@@ -617,10 +618,7 @@ mod tests {
         assert!(matches!(pool.addr(), Addr::Unix(_)));
         let c = pool.checkout().unwrap();
         let out = c.execute(Unit::text("via unix")).unwrap();
-        assert_eq!(
-            out,
-            Unit::tuple(vec![Unit::int(0), Unit::text("via unix")])
-        );
+        assert_eq!(out, Unit::tuple(vec![Unit::int(0), Unit::text("via unix")]));
         pool.shutdown();
     }
 

@@ -106,10 +106,9 @@ impl Message {
                 Unit::text(host),
                 Unit::int(*task_uid as i64),
             ]),
-            Message::HelloAck { instance } => Unit::tuple(vec![
-                Unit::int(T_HELLO_ACK),
-                Unit::int(*instance as i64),
-            ]),
+            Message::HelloAck { instance } => {
+                Unit::tuple(vec![Unit::int(T_HELLO_ACK), Unit::int(*instance as i64)])
+            }
             Message::Job { seq, payload } => Unit::tuple(vec![
                 Unit::int(T_JOB),
                 Unit::int(*seq as i64),
@@ -127,9 +126,7 @@ impl Message {
             ]),
             Message::Heartbeat => Unit::tuple(vec![Unit::int(T_HEARTBEAT)]),
             Message::Shutdown => Unit::tuple(vec![Unit::int(T_SHUTDOWN)]),
-            Message::Trace { text } => {
-                Unit::tuple(vec![Unit::int(T_TRACE), Unit::text(text)])
-            }
+            Message::Trace { text } => Unit::tuple(vec![Unit::int(T_TRACE), Unit::text(text)]),
         }
     }
 
@@ -163,7 +160,10 @@ impl Message {
             if items.len() == n {
                 Ok(())
             } else {
-                Err(format!("tag {tag}: expected arity {n}, got {}", items.len()))
+                Err(format!(
+                    "tag {tag}: expected arity {n}, got {}",
+                    items.len()
+                ))
             }
         };
         match tag {

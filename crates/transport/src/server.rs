@@ -81,7 +81,9 @@ where
     let writer = Arc::new(Mutex::new(reader.try_clone()?));
     // A full socket buffer must not wedge the heartbeat thread while it
     // holds the writer lock.
-    writer.lock().set_write_timeout(Some(Duration::from_secs(2)))?;
+    writer
+        .lock()
+        .set_write_timeout(Some(Duration::from_secs(2)))?;
 
     writer.lock().send_msg(&Message::Hello {
         version: PROTOCOL_VERSION,
@@ -288,12 +290,7 @@ mod tests {
             }
             // Drop without Shutdown: abrupt coordinator death.
         });
-        let summary = serve(
-            ServeConfig::new(addr, 0, "h".into(), 1),
-            |u| Ok(u),
-            || None,
-        )
-        .unwrap();
+        let summary = serve(ServeConfig::new(addr, 0, "h".into(), 1), Ok, || None).unwrap();
         assert!(!summary.clean_shutdown);
         assert_eq!(summary.jobs_done, 0);
         coord.join().unwrap();
@@ -303,7 +300,7 @@ mod tests {
     fn serve_fails_fast_when_nobody_listens() {
         let mut cfg = ServeConfig::new(Addr::Tcp("127.0.0.1:1".into()), 0, "h".into(), 1);
         cfg.connect_attempts = 2;
-        let err = serve(cfg, |u| Ok(u), || None);
+        let err = serve(cfg, Ok, || None);
         assert!(err.is_err());
     }
 }

@@ -128,7 +128,12 @@ impl SshSpawner {
             Some(u) => format!("{u}@{}", spec.host.as_str()),
             None => spec.host.as_str().to_string(),
         };
-        let mut argv = vec!["ssh".to_string(), "-o".into(), "BatchMode=yes".into(), target];
+        let mut argv = vec![
+            "ssh".to_string(),
+            "-o".into(),
+            "BatchMode=yes".into(),
+            target,
+        ];
         argv.push("env".into());
         for (k, v) in &spec.env {
             argv.push(format!("{k}={v}"));

@@ -162,7 +162,9 @@ fn decode_at(cur: &mut Cursor<'_>, depth: usize) -> Result<Unit, WireError> {
             let bytes = cur.take(count.checked_mul(8).ok_or(WireError::Truncated)?)?;
             let mut v = Vec::with_capacity(count);
             for chunk in bytes.chunks_exact(8) {
-                v.push(f64::from_bits(u64::from_le_bytes(chunk.try_into().unwrap())));
+                v.push(f64::from_bits(u64::from_le_bytes(
+                    chunk.try_into().unwrap(),
+                )));
             }
             Ok(Unit::Reals(Arc::new(v)))
         }
@@ -263,7 +265,7 @@ mod tests {
         assert!(decode_unit(&[]).is_err());
         assert!(decode_unit(&[9]).is_err()); // bad tag
         assert!(decode_unit(&[1, 0, 0]).is_err()); // truncated int
-        // Tuple claiming 4 billion elements: refused before allocation.
+                                                   // Tuple claiming 4 billion elements: refused before allocation.
         assert!(decode_unit(&[5, 255, 255, 255, 255]).is_err());
         // Trailing garbage after a valid unit.
         let mut buf = encode_unit_vec(&Unit::int(1)).unwrap();

@@ -191,13 +191,15 @@ fn failing_worker_is_recorded_and_torn_down() {
     env2.shutdown();
     let failures = env2.failures();
     assert!(
-        failures.iter().any(|(_, e)| e.to_string().contains("simulated crash")),
+        failures
+            .iter()
+            .any(|(_, e)| e.to_string().contains("simulated crash")),
         "worker crash not recorded: {failures:?}"
     );
     assert!(
-        failures
-            .iter()
-            .any(|(_, e)| e.to_string().contains("master terminated inside an active worker pool")),
+        failures.iter().any(|(_, e)| e
+            .to_string()
+            .contains("master terminated inside an active worker pool")),
         "pool abort not recorded: {failures:?}"
     );
 }
