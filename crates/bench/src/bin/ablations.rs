@@ -92,7 +92,9 @@ fn main() {
     );
 
     // 2. Per-diagonal pools.
-    let wl_pools = model.workload_per_diagonal(2, level, tol, true);
+    let wl_pools = model
+        .workload_per_diagonal(2, level, tol, true)
+        .expect("cost-model workloads carry well-formed subsolve labels");
     report(
         "two pools, one per diagonal (§4.2 note)",
         baseline,

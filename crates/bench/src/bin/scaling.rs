@@ -11,18 +11,22 @@
 //!
 //! ```text
 //! cargo run -p bench --release --bin scaling \
-//!     [-- --level N --tol T] [--backend sim|threads|procs]
+//!     [-- --level N --tol T] [--backend sim|threads|procs] \
+//!     [--faults <seed|plan>] [--checkpoint-dir DIR] [--resume]
 //! ```
 //!
 //! `--backend threads` / `--backend procs` run a *live* strong-scaling
 //! sweep instead: the same workload under a bounded-reuse dispatch window
 //! of 1, 2, 4, 8 (with that many worker processes for `procs`), measuring
 //! wall-clock speedup and verifying the solution checksum never changes
-//! with concurrency.
+//! with concurrency. `--faults` injects a `chaos::FaultPlan` (a bare
+//! number is a seed for a generated schedule) into every window of the
+//! sweep — the checksum column then also witnesses that losses and
+//! re-dispatches change nothing but the wall clock.
 
 use std::sync::Arc;
 
-use bench::live::{field_checksum, run_live, Backend};
+use bench::live::{field_checksum, run_live_with, Backend, LiveOpts};
 use cluster::hosts::{paper_cluster, ClusterSpec};
 use cluster::noise::Perturbation;
 use cluster::sim::DistributedSim;
@@ -50,27 +54,57 @@ fn main() {
         .unwrap_or(1.0e-3);
 
     if backend != Backend::Sim {
+        let fault_spec = args
+            .iter()
+            .position(|a| a == "--faults")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        let checkpoint_dir = args
+            .iter()
+            .position(|a| a == "--checkpoint-dir")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
+        let resume = args.iter().any(|a| a == "--resume");
         let app = solver::sequential::SequentialApp::new(2, level, tol);
         let seq = app.run().expect("sequential reference");
         let reference = field_checksum(&seq.combined);
         println!(
             "live strong scaling, {backend:?} backend — level {level}, tol {tol:.0e} \
-             ({} jobs), bounded-reuse window sweep",
-            2 * level + 1
+             ({} jobs), bounded-reuse window sweep{}",
+            2 * level + 1,
+            if fault_spec.is_some() {
+                ", with injected faults"
+            } else {
+                ""
+            }
         );
         println!();
-        println!("| window |  wall s |   su | peak | checksum ok |");
-        println!("|--------|---------|------|------|-------------|");
+        println!("| window |  wall s |   su | peak | lost | checksum ok |");
+        println!("|--------|---------|------|------|------|-------------|");
         let mut base = None;
         for window in [1usize, 2, 4, 8] {
             let policy = Arc::new(protocol::BoundedReuse::new(window));
-            let r = run_live(backend, &app, policy, window);
+            let faults = fault_spec.as_deref().map(|spec| match spec.parse::<u64>() {
+                Ok(seed) => {
+                    chaos::FaultPlan::from_seed(seed, window as u64, (2 * level + 1) as u64)
+                }
+                Err(_) => chaos::FaultPlan::parse(spec).expect("malformed --faults plan"),
+            });
+            let opts = LiveOpts {
+                faults,
+                checkpoint_dir: checkpoint_dir.clone(),
+                resume,
+                retry_budget: fault_spec.as_ref().map(|_| 16),
+            };
+            let r = run_live_with(backend, &app, policy, window, &opts)
+                .expect("live run failed (fault schedule exceeded the retry budget?)");
             let base_wall = *base.get_or_insert(r.wall_s);
             println!(
-                "| {window:>6} | {:>7.3} | {:>4.2} | {:>4} | {:>11} |",
+                "| {window:>6} | {:>7.3} | {:>4.2} | {:>4} | {:>4} | {:>11} |",
                 r.wall_s,
                 base_wall / r.wall_s,
                 r.peak,
+                r.losses,
                 if r.checksum == reference { "yes" } else { "NO" }
             );
             assert_eq!(

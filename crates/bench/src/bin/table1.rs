@@ -7,7 +7,8 @@
 //! ```text
 //! cargo run -p bench --release --bin table1 \
 //!     [-- --io-workers] [--runs N] [--policy paper-faithful|bounded-reuse:N|cost-aware] \
-//!     [--backend sim|threads|procs] [--max-level N] [--instances N]
+//!     [--backend sim|threads|procs] [--max-level N] [--instances N] \
+//!     [--faults <seed|plan>] [--checkpoint-dir DIR] [--resume]
 //! ```
 //!
 //! `--backend sim` (the default) regenerates the paper's virtual-time
@@ -18,7 +19,7 @@
 //! the two live backends must print identical rows: same jobs, same L2
 //! error, same solution checksum.
 
-use bench::live::{run_live, Backend};
+use bench::live::{run_live_with, Backend, LiveOpts};
 use renovation::run_distributed_experiment_with_policy;
 
 fn main() {
@@ -56,6 +57,20 @@ fn main() {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse().ok())
             .unwrap_or(2);
+        // `--faults` is either a bare u64 — a seed for a generated
+        // schedule, scaled to each level's job count — or a full textual
+        // chaos::FaultPlan applied verbatim.
+        let fault_spec = args
+            .iter()
+            .position(|a| a == "--faults")
+            .and_then(|i| args.get(i + 1))
+            .cloned();
+        let checkpoint_dir = args
+            .iter()
+            .position(|a| a == "--checkpoint-dir")
+            .and_then(|i| args.get(i + 1))
+            .map(std::path::PathBuf::from);
+        let resume = args.iter().any(|a| a == "--resume");
         println!(
             "Table 1, live {backend:?} backend — levels 0–{max_level}, tol 1.0e-3, \
              dispatch: {}{}",
@@ -67,21 +82,40 @@ fn main() {
             }
         );
         println!();
-        println!("| level | jobs |        l2 error        |     checksum     | peak |  wall s |");
-        println!("|-------|------|------------------------|------------------|------|---------|");
+        println!(
+            "| level | jobs |        l2 error        |     checksum     | peak | lost |  wall s |"
+        );
+        println!(
+            "|-------|------|------------------------|------------------|------|------|---------|"
+        );
         for level in 0..=max_level {
             let app = solver::sequential::SequentialApp::new(2, level, 1.0e-3);
-            let r = run_live(backend, &app, policy.clone(), instances);
+            let faults = fault_spec.as_deref().map(|spec| match spec.parse::<u64>() {
+                Ok(seed) => {
+                    chaos::FaultPlan::from_seed(seed, instances as u64, (2 * level + 1) as u64)
+                }
+                Err(_) => chaos::FaultPlan::parse(spec).expect("malformed --faults plan"),
+            });
+            let opts = LiveOpts {
+                faults,
+                checkpoint_dir: checkpoint_dir.clone(),
+                resume,
+                retry_budget: fault_spec.as_ref().map(|_| 16),
+            };
+            let r = run_live_with(backend, &app, policy.clone(), instances, &opts)
+                .expect("live run failed (fault schedule exceeded the retry budget?)");
             println!(
-                "| {level:>5} | {:>4} | {:>22.16e} | {:016x} | {:>4} | {:>7.3} |",
-                r.jobs, r.l2_error, r.checksum, r.peak, r.wall_s
+                "| {level:>5} | {:>4} | {:>22.16e} | {:016x} | {:>4} | {:>4} | {:>7.3} |",
+                r.jobs, r.l2_error, r.checksum, r.peak, r.losses, r.wall_s
             );
         }
         println!();
         println!(
             "jobs, l2 error and checksum are backend-invariant: rerun with the \
-             other --backend and diff. peak and wall s depend on timing (how \
-             many workers happen to overlap), not on the backend's numerics."
+             other --backend and diff — with the same --faults schedule if \
+             one was given, since injected losses must not change a single \
+             bit. peak, lost and wall s depend on timing, not on the \
+             backend's numerics."
         );
         return;
     }

@@ -30,7 +30,7 @@ fn round_trips(conn: &mut Conn, payload: &Unit, warmup: usize, iters: usize) -> 
     .encode()
     .unwrap()
     .len()
-        + 4;
+        + transport::HEADER_LEN;
     for seq in 0..warmup as u64 {
         conn.send_msg(&Message::Job {
             seq,

@@ -8,11 +8,14 @@
 //! claim: the application is identical, only the deployment changes, and
 //! the numbers must not.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
 
+use chaos::FaultPlan;
+use manifold::prelude::MfResult;
 use protocol::PolicyRef;
-use renovation::{run_concurrent_procs, run_concurrent_with_policy, ProcsConfig, RunMode};
+use renovation::{run_concurrent_opts, run_concurrent_procs, ProcsConfig, RunMode, RunOpts};
 use solver::sequential::SequentialApp;
 
 /// Which engine executes a run.
@@ -58,6 +61,25 @@ pub struct LiveRun {
     pub peak: usize,
     /// Workers created by the protocol (incl. re-dispatches after loss).
     pub workers_created: usize,
+    /// `worker lost` events the master observed (0 without injected
+    /// faults or real losses).
+    pub losses: usize,
+}
+
+/// Robustness options of a live run: fault injection and
+/// checkpoint/restart, uniform across the threads and procs backends.
+#[derive(Clone, Debug, Default)]
+pub struct LiveOpts {
+    /// Fault schedule to inject (see [`chaos::FaultPlan`]).
+    pub faults: Option<FaultPlan>,
+    /// Checkpoint every collected result into this directory.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the checkpoint in `checkpoint_dir` (no-op when none
+    /// exists yet).
+    pub resume: bool,
+    /// Lost-worker re-dispatches tolerated before the run fails
+    /// (backend default when `None`).
+    pub retry_budget: Option<usize>,
 }
 
 /// FNV-1a over the bit patterns of a float field.
@@ -84,19 +106,50 @@ pub fn run_live(
     policy: PolicyRef,
     instances: usize,
 ) -> LiveRun {
+    run_live_with(backend, app, policy, instances, &LiveOpts::default())
+        .expect("live run without injected faults")
+}
+
+/// [`run_live`] with fault injection and checkpoint/restart options. A run
+/// whose faults exceed its budgets returns the master's diagnosed error
+/// instead of a result.
+pub fn run_live_with(
+    backend: Backend,
+    app: &SequentialApp,
+    policy: PolicyRef,
+    instances: usize,
+    opts: &LiveOpts,
+) -> MfResult<LiveRun> {
     let t0 = Instant::now();
     let conc = match backend {
         Backend::Sim => panic!("run_live is for the live backends; sim has its own drivers"),
         Backend::Threads => {
-            run_concurrent_with_policy(app, &RunMode::Parallel, true, policy).expect("threads run")
+            let run_opts = RunOpts {
+                faults: opts.faults.clone(),
+                checkpoint_dir: opts.checkpoint_dir.clone(),
+                resume: opts.resume,
+                retry_budget: opts.retry_budget,
+            };
+            run_concurrent_opts(app, &RunMode::Parallel, true, policy, &run_opts)?
         }
         Backend::Procs => {
-            let cfg = ProcsConfig::new(instances.max(1));
-            run_concurrent_procs(app, &cfg, true, policy).expect("procs run")
+            let mut cfg = ProcsConfig::new(instances.max(1));
+            cfg.faults = opts.faults.clone();
+            cfg.checkpoint_dir = opts.checkpoint_dir.clone();
+            cfg.resume = opts.resume;
+            if let Some(budget) = opts.retry_budget {
+                cfg.retry_budget = budget;
+            }
+            run_concurrent_procs(app, &cfg, true, policy)?
         }
     };
     let wall_s = t0.elapsed().as_secs_f64();
-    LiveRun {
+    let losses = conc
+        .records
+        .iter()
+        .filter(|r| r.message.contains("worker lost"))
+        .count();
+    Ok(LiveRun {
         level: app.level,
         jobs: conc.result.per_grid.len(),
         l2_error: conc.result.l2_error,
@@ -104,7 +157,8 @@ pub fn run_live(
         wall_s,
         peak: conc.peak_concurrent_workers,
         workers_created: conc.outcome.pools()[0].workers_created,
-    }
+        losses,
+    })
 }
 
 /// The standard live policies, as (label, policy) pairs: every shipped

@@ -23,13 +23,16 @@
 //! its time-weighted average (`m`), and the §6-format chronological
 //! `Welcome`/`Bye` trace with virtual timestamps.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
+use chaos::{FaultKind, FaultPlan};
 use manifold::config::{ConfigSpec, HostName};
 use manifold::link::{Bundler, LinkSpec, Placement};
 use manifold::trace::TraceRecord;
 use manifold::Name;
 use protocol::{DispatchPolicy, PaperFaithful};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::des::EventQueue;
 use crate::hosts::ClusterSpec;
@@ -41,6 +44,12 @@ use crate::workload::Workload;
 /// Epoch base for virtual trace timestamps — the very timestamp family the
 /// paper's §6 output shows.
 pub const TRACE_EPOCH_SECS: u64 = 1_048_087_412;
+
+/// Virtual seconds between a worker dying silently and the master declaring
+/// the job lost (the heartbeat-silence window of the live transport). A
+/// corrupt reply is detected the instant it arrives — the CRC rejects it —
+/// so only crashes and connection drops pay this.
+pub const LOSS_DETECTION_SECS: f64 = 2.0;
 
 /// Costs of the coordination layer, in seconds. Defaults are calibrated to
 /// 2003-era workstation clusters (rsh-based task forking, PVM-like message
@@ -110,6 +119,9 @@ pub struct DistributedReport {
     pub records: Vec<TraceRecord>,
     /// The start-up machine (where the master ran).
     pub master_host: HostName,
+    /// Jobs the master had to re-dispatch after an injected loss (always 0
+    /// without a fault plan).
+    pub redispatches: usize,
 }
 
 struct WorkerDeath {
@@ -182,6 +194,60 @@ impl DistributedSim {
         noise: &mut Perturbation,
         policy: &dyn DispatchPolicy,
     ) -> DistributedReport {
+        self.run_with_faults(wl, noise, policy, &FaultPlan::default(), 0)
+            .expect("an empty fault plan cannot exhaust a retry budget")
+    }
+
+    /// Simulate one distributed run with a [`chaos::FaultPlan`] composed on
+    /// top of the multi-user noise model.
+    ///
+    /// The simulator has no fixed pool slots, so a worker fault's `on_job`
+    /// ordinal indexes the run's *dispatch sequence* (1-based, re-dispatches
+    /// included). Crash, connection drop, and corrupt reply are all a lost
+    /// job to the master: the worker burns part (crash), almost none
+    /// (drop), or all (corrupt) of its compute, the loss is detected after
+    /// [`LOSS_DETECTION_SECS`] — immediately, for a CRC-rejected reply —
+    /// and the job is re-dispatched, counted in
+    /// [`DistributedReport::redispatches`]. A stall sleeps the worker before
+    /// its compute; a heartbeat delay is absorbed by the live transport's
+    /// margin and costs nothing in virtual time; a master kill is a live
+    /// supervisor concern and is inert here. With an empty plan this is
+    /// [`DistributedSim::run_with_policy`] exactly, noise draw for noise
+    /// draw.
+    ///
+    /// When the injected losses outnumber `retry_budget`, the run ends in a
+    /// diagnosed `Err` — never a hang.
+    pub fn run_with_faults(
+        &self,
+        wl: &Workload,
+        noise: &mut Perturbation,
+        policy: &dyn DispatchPolicy,
+        plan: &FaultPlan,
+        retry_budget: usize,
+    ) -> Result<DistributedReport, String> {
+        // Index the plan by dispatch ordinal. Earlier faults win a collision,
+        // matching `FaultPlan::worker_faults`.
+        let mut lost: BTreeMap<u64, FaultKind> = BTreeMap::new();
+        let mut stall_ms: BTreeMap<u64, u64> = BTreeMap::new();
+        for fault in &plan.faults {
+            match *fault {
+                FaultKind::WorkerCrash { on_job, .. }
+                | FaultKind::ConnDrop { on_job, .. }
+                | FaultKind::FrameCorrupt { on_job, .. } => {
+                    lost.entry(on_job).or_insert(*fault);
+                }
+                FaultKind::ConnStall { on_job, millis, .. } => {
+                    stall_ms.entry(on_job).or_insert(millis);
+                }
+                FaultKind::HeartbeatDelay { .. } | FaultKind::MasterKill { .. } => {}
+            }
+        }
+        // Drawn from only when a loss actually fires, so an empty plan
+        // leaves the `noise` sequence untouched.
+        let mut chaos_rng = StdRng::seed_from_u64(plan.seed ^ 0x00c5_a05c_0de0_f003);
+        let mut dispatch_no = 0u64;
+        let mut redispatches = 0usize;
+
         let mut bundler = Bundler::new(Self::link_spec(), self.config_spec());
         let master_name = Name::new("Master");
         let worker_name = Name::new("Worker");
@@ -250,7 +316,11 @@ impl DistributedSim {
             debug_assert_eq!(order.len(), pool.len());
             let window = policy.window(pool.len()).max(1);
 
-            for &ji in &order {
+            // A worklist rather than a plain loop: a job whose worker is
+            // lost goes back on the queue, not before the master has
+            // detected the loss.
+            let mut queue: VecDeque<(usize, f64)> = order.iter().map(|&ji| (ji, 0.0)).collect();
+            while let Some((ji, not_before)) = queue.pop_front() {
                 let job = &pool[ji];
                 // Backpressure: with the window full, the master collects
                 // the earliest pending result before feeding more work.
@@ -265,6 +335,10 @@ impl DistributedSim {
                     let handle = wl.collect_flops_per_byte * bytes as f64 / master_speed;
                     t = t.max(arrival) + noise.perturb(handle);
                 }
+                // A re-dispatched job waits for the loss to be detected.
+                t = t.max(not_before);
+                dispatch_no += 1;
+                let this_dispatch = dispatch_no;
                 // Master raises create_worker; the coordinator reacts.
                 t += self.costs.event_latency;
                 // Any worker whose task already expired frees its machine
@@ -302,7 +376,69 @@ impl DistributedSim {
                 // workers.
                 let cpu = cpu_free.entry(placement.host.clone()).or_insert(0.0);
                 let worker_start = t.max(*cpu);
-                let compute = noise.perturb(self.cluster.compute_time(&placement.host, job.flops));
+                let mut compute =
+                    noise.perturb(self.cluster.compute_time(&placement.host, job.flops));
+                if let Some(ms) = stall_ms.get(&this_dispatch) {
+                    // ConnStall: the worker sleeps before computing, but its
+                    // heartbeats keep flowing — nothing is declared dead.
+                    compute += *ms as f64 / 1000.0;
+                }
+                if let Some(kind) = lost.get(&this_dispatch).copied() {
+                    // How much of the job ran before the loss.
+                    let fraction = match kind {
+                        FaultKind::FrameCorrupt { .. } => 1.0,
+                        FaultKind::ConnDrop { .. } => 0.05 * chaos_rng.gen::<f64>(),
+                        _ => 0.25 + 0.5 * chaos_rng.gen::<f64>(),
+                    };
+                    let worker_end = worker_start + fraction * compute;
+                    *cpu = worker_end;
+                    // A corrupt reply still crosses the network and is
+                    // rejected on arrival; a silent death is declared only
+                    // after the loss-detection window.
+                    let detect_at = match kind {
+                        FaultKind::FrameCorrupt { .. } => {
+                            worker_end + self.network.transfer(job.output_bytes, same_host)
+                        }
+                        _ => worker_end + LOSS_DETECTION_SECS,
+                    };
+                    let proc_uid = next_proc;
+                    next_proc += 1;
+                    record(
+                        &mut records,
+                        &placement.host,
+                        &placement,
+                        proc_uid,
+                        "Worker(event)",
+                        351,
+                        worker_start,
+                        "Welcome",
+                    );
+                    record(
+                        &mut records,
+                        &placement.host,
+                        &placement,
+                        proc_uid,
+                        "Worker(event)",
+                        370,
+                        worker_end,
+                        &format!("worker lost ({kind}, dispatch {this_dispatch})"),
+                    );
+                    busy_intervals
+                        .entry(placement.host.clone())
+                        .or_default()
+                        .push((busy_start, worker_end));
+                    last_death_event = last_death_event.max(worker_end + self.costs.event_latency);
+                    deaths.schedule(worker_end, WorkerDeath { placement });
+                    if redispatches >= retry_budget {
+                        return Err(format!(
+                            "worker lost ({kind}, dispatch {this_dispatch}); \
+                             retry budget ({retry_budget}) exhausted"
+                        ));
+                    }
+                    redispatches += 1;
+                    queue.push_back((ji, detect_at));
+                    continue;
+                }
                 let worker_end = worker_start + compute;
                 *cpu = worker_end;
                 let flush = self.network.transfer(job.output_bytes, same_host);
@@ -403,7 +539,7 @@ impl DistributedSim {
         records.sort_by_key(|a| (a.secs, a.usecs));
         let weighted_avg_machines = busy.weighted_average(0.0, elapsed);
         let peak_machines = busy.peak();
-        DistributedReport {
+        Ok(DistributedReport {
             elapsed,
             busy,
             weighted_avg_machines,
@@ -411,7 +547,8 @@ impl DistributedSim {
             task_forks,
             records,
             master_host,
-        }
+            redispatches,
+        })
     }
 
     /// Run `runs` seeded repetitions (the paper ran five) and average the
@@ -647,6 +784,124 @@ mod tests {
             .run_with_policy(&wl, &mut Perturbation::none(), &protocol::CostAware)
             .elapsed;
         assert!(lpt < paper, "LPT {lpt} should beat paper order {paper}");
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_run_exactly() {
+        let sim = sim();
+        let wl = simple_workload(6, 1e9);
+        let mut n1 = Perturbation::overnight(11);
+        let mut n2 = Perturbation::overnight(11);
+        let a = sim.run(&wl, &mut n1);
+        let b = sim
+            .run_with_faults(&wl, &mut n2, &PaperFaithful, &FaultPlan::default(), 0)
+            .unwrap();
+        assert_eq!(a.elapsed, b.elapsed);
+        assert_eq!(a.weighted_avg_machines, b.weighted_avg_machines);
+        assert_eq!(a.task_forks, b.task_forks);
+        assert_eq!(b.redispatches, 0);
+    }
+
+    #[test]
+    fn injected_loss_costs_a_redispatch_not_the_run() {
+        let sim = sim();
+        let wl = simple_workload(6, 1e9);
+        let clean = sim.run(&wl, &mut Perturbation::none());
+        let plan = FaultPlan::new(5)
+            .push(FaultKind::WorkerCrash {
+                instance: 0,
+                on_job: 2,
+            })
+            .push(FaultKind::FrameCorrupt {
+                instance: 1,
+                on_job: 4,
+            });
+        let faulted = sim
+            .run_with_faults(&wl, &mut Perturbation::none(), &PaperFaithful, &plan, 4)
+            .unwrap();
+        assert_eq!(faulted.redispatches, 2);
+        // Every job still completed (6 worker Byes + master Welcome/Bye +
+        // 2 loss lines).
+        let losses = faulted
+            .records
+            .iter()
+            .filter(|r| r.message.contains("worker lost"))
+            .count();
+        assert_eq!(losses, 2);
+        let byes = faulted
+            .records
+            .iter()
+            .filter(|r| r.message == "Bye")
+            .count();
+        assert_eq!(byes, 6 + 1);
+        // Burned compute plus detection latency can only lengthen the run.
+        assert!(faulted.elapsed > clean.elapsed);
+    }
+
+    #[test]
+    fn faulted_run_is_deterministic_per_seed() {
+        let sim = sim();
+        let wl = simple_workload(6, 1e9);
+        let plan = FaultPlan::from_seed(42, 4, 6);
+        let budget = 8;
+        let a = sim.run_with_faults(
+            &wl,
+            &mut Perturbation::overnight(3),
+            &PaperFaithful,
+            &plan,
+            budget,
+        );
+        let b = sim.run_with_faults(
+            &wl,
+            &mut Perturbation::overnight(3),
+            &PaperFaithful,
+            &plan,
+            budget,
+        );
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a.elapsed, b.elapsed);
+                assert_eq!(a.redispatches, b.redispatches);
+            }
+            (Err(a), Err(b)) => assert_eq!(a, b),
+            (a, b) => panic!("nondeterministic outcome: {a:?} vs {b:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_is_a_clean_error() {
+        let sim = sim();
+        let wl = simple_workload(4, 1e9);
+        let plan = FaultPlan::new(1)
+            .push(FaultKind::WorkerCrash {
+                instance: 0,
+                on_job: 2,
+            })
+            .push(FaultKind::ConnDrop {
+                instance: 1,
+                on_job: 3,
+            });
+        let err = sim
+            .run_with_faults(&wl, &mut Perturbation::none(), &PaperFaithful, &plan, 1)
+            .unwrap_err();
+        assert!(err.contains("retry budget"), "{err}");
+    }
+
+    #[test]
+    fn stall_fault_lengthens_the_run_without_a_loss() {
+        let sim = sim();
+        let wl = simple_workload(4, 1e9);
+        let clean = sim.run(&wl, &mut Perturbation::none());
+        let plan = FaultPlan::new(9).push(FaultKind::ConnStall {
+            instance: 0,
+            on_job: 4,
+            millis: 30_000,
+        });
+        let stalled = sim
+            .run_with_faults(&wl, &mut Perturbation::none(), &PaperFaithful, &plan, 0)
+            .unwrap();
+        assert_eq!(stalled.redispatches, 0);
+        assert!(stalled.elapsed > clean.elapsed + 25.0);
     }
 
     #[test]

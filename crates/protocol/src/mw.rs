@@ -143,20 +143,20 @@ pub fn create_worker_pool(
                 }
                 // rendezvous: (lines 39–48)
                 Some(RENDEZVOUS) => {
-                    loop {
+                    // The guard runs *before* the first wait: a pool that
+                    // created no workers (e.g. a resumed run whose
+                    // checkpoint already held every result) must
+                    // acknowledge at once instead of idling on a
+                    // death_worker no one will raise.
+                    while t.get_int() < now.get_int() {
                         // begin: (preemptall, IDLE) — wait for death_worker.
                         let st = coord.state();
                         let _death = match st.until_terminated(master, &[DEATH_WORKER.into()])? {
                             StateExit::Event(e) => e,
                             StateExit::Terminated(_) => return Err(master_died()),
                         };
-                        // death_worker: t = t + 1;
-                        let counted = t.add(1);
-                        if counted < now.get_int() {
-                            // post(begin): keep counting.
-                            continue;
-                        }
-                        break;
+                        // death_worker: t = t + 1; post(begin).
+                        t.add(1);
                     }
                     // end: (MES(...), raise(a_rendezvous)).    (line 50)
                     mes!(coord.ctx(), "rendezvous acknowledged");
@@ -261,6 +261,33 @@ mod tests {
             .unwrap();
         assert_eq!(outcome, ProtocolOutcome::Finished { pools: vec![] });
         env.shutdown();
+    }
+
+    #[test]
+    fn empty_pool_rendezvous_acknowledges_immediately() {
+        // A pool with zero workers (a fully-resumed run dispatches
+        // nothing) must not wait for death_worker events.
+        let env = Environment::new();
+        let outcome = env
+            .run_coordinator("Main", |coord| {
+                let coord_ref = coord.self_ref();
+                let env2 = coord.env().clone();
+                let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
+                    let h = MasterHandle::new(ctx, coord_ref, env2);
+                    h.create_pool();
+                    h.rendezvous()?;
+                    h.finished();
+                    Ok(())
+                });
+                coord.activate(&master)?;
+                protocol_mw(coord, &master, squaring_worker)
+            })
+            .unwrap();
+        assert_eq!(outcome.pools().len(), 1);
+        assert_eq!(outcome.pools()[0].workers_created, 0);
+        assert_eq!(outcome.pools()[0].deaths_counted, 0);
+        env.shutdown();
+        assert!(env.failures().is_empty());
     }
 
     #[test]

@@ -13,9 +13,11 @@
 //! own task instance on its own machine). [`RunMode`] captures exactly that
 //! choice.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
+use chaos::{FaultKind, FaultPlan};
 use manifold::config::{ConfigSpec, HostName};
 use manifold::link::LinkSpec;
 use manifold::prelude::*;
@@ -24,8 +26,9 @@ use parking_lot::Mutex;
 use protocol::{protocol_mw, MasterHandle, PaperFaithful, PolicyRef, ProtocolOutcome};
 use solver::sequential::{SequentialApp, SequentialResult};
 
+use crate::checkpoint::CheckpointStore;
 use crate::master::{master_body, MasterConfig};
-use crate::worker::{worker_factory_with_gauge, WorkerGauge};
+use crate::worker::{worker_factory_chaos, worker_factory_with_gauge, WorkerGauge};
 
 /// Deployment flavour — the paper's link/configure stage choice.
 #[derive(Clone, Debug)]
@@ -134,9 +137,74 @@ pub fn run_concurrent_with_policy(
     data_through_master: bool,
     policy: PolicyRef,
 ) -> MfResult<ConcurrentResult> {
+    run_concurrent_opts(app, mode, data_through_master, policy, &RunOpts::default())
+}
+
+/// Robustness options for a threads-backend run — the knobs the
+/// `--checkpoint-dir` / `--resume` / `--faults` flags feed.
+#[derive(Clone, Debug, Default)]
+pub struct RunOpts {
+    /// Fault schedule to inject. Thread workers are anonymous (no fixed
+    /// pool slots), so worker faults apply by *pool-wide* job ordinal
+    /// regardless of the instance a token names; wire-level faults
+    /// (drop/corrupt/hbdelay) have no transport here and are inert.
+    pub faults: Option<FaultPlan>,
+    /// Persist a checkpoint after every collected result.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the checkpoint in `checkpoint_dir` (no-op when none
+    /// exists yet).
+    pub resume: bool,
+    /// Override the master's lost-worker retry budget.
+    pub retry_budget: Option<usize>,
+}
+
+type WorkerFactory = Box<dyn FnMut(&Coord, &Name) -> ProcessRef>;
+
+/// [`run_concurrent_with_policy`] plus chaos and checkpoint/resume
+/// options.
+pub fn run_concurrent_opts(
+    app: &SequentialApp,
+    mode: &RunMode,
+    data_through_master: bool,
+    policy: PolicyRef,
+    opts: &RunOpts,
+) -> MfResult<ConcurrentResult> {
     let env = Environment::with_specs(mode.link_spec(app.level), mode.config_spec());
     let cell: Arc<Mutex<Option<SequentialResult>>> = Arc::new(Mutex::new(None));
-    let cfg = MasterConfig::new(*app, data_through_master).with_policy(policy);
+    let mut cfg = MasterConfig::new(*app, data_through_master).with_policy(policy);
+    if let Some(budget) = opts.retry_budget {
+        cfg = cfg.with_retry_budget(budget);
+    }
+    if let Some(dir) = &opts.checkpoint_dir {
+        let store = Arc::new(CheckpointStore::new(dir)?);
+        if opts.resume {
+            if let Some(ck) = store.load()? {
+                cfg = cfg.with_resume(ck);
+            }
+        }
+        cfg = cfg.with_checkpoints(store);
+    }
+    // Flatten the plan's worker faults onto the pool-wide job counter; the
+    // master kill keys on collected-result count either way.
+    let mut worker_faults = None;
+    if let Some(plan) = &opts.faults {
+        if let Some(k) = plan.master_kill() {
+            cfg = cfg.with_master_kill_at(k);
+        }
+        let mut w = chaos::WorkerFaults::default();
+        for f in &plan.faults {
+            match *f {
+                FaultKind::WorkerCrash { on_job, .. } => {
+                    w.crash_on_job.get_or_insert(on_job);
+                }
+                FaultKind::ConnStall { on_job, millis, .. } => {
+                    w.stall_on_job.get_or_insert((on_job, millis));
+                }
+                _ => {}
+            }
+        }
+        worker_faults = Some(w);
+    }
     let gauge = WorkerGauge::new();
 
     let run = env.run_coordinator("Main", |coord| {
@@ -151,14 +219,32 @@ pub fn run_concurrent_with_policy(
             Ok(())
         });
         coord.activate(&master)?;
-        let outcome = protocol_mw(coord, &master, worker_factory_with_gauge(gauge.clone()))?;
+        let factory: WorkerFactory = match worker_faults {
+            Some(faults) if !faults.is_empty() => {
+                Box::new(worker_factory_chaos(gauge.clone(), faults))
+            }
+            _ => Box::new(worker_factory_with_gauge(gauge.clone())),
+        };
+        let outcome = protocol_mw(coord, &master, factory)?;
         // "The master is still running and is also done after performing
         // the final prolongation computations."
         master.core().wait_terminated(Duration::from_secs(600))?;
         Ok(outcome)
     });
 
-    let outcome = run?;
+    // On failure, prefer the per-process failure detail (e.g. an injected
+    // "chaos: master killed" abort) over the protocol's generic
+    // master-terminated error — the supervisor keys its relaunch on it.
+    let outcome = match run {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            env.shutdown();
+            if let Some((pid, err)) = env.failures().into_iter().next() {
+                return Err(MfError::App(format!("process {pid:?} failed: {err}")));
+            }
+            return Err(e);
+        }
+    };
     let machines_used = env.with_bundler(|b| b.machines_in_use());
     let records = env.trace().snapshot();
     env.shutdown();

@@ -7,8 +7,10 @@
 //!   (required);
 //! * `MF_WORKER_INSTANCE` — this child's pool slot (required);
 //! * `MF_WORKER_HEARTBEAT_MS` — heartbeat cadence, default 100;
-//! * `MF_WORKER_CRASH_ON_JOB` — fault injection: exit abruptly on
-//!   receiving the n-th job (1-based), before replying.
+//! * `MF_CHAOS_PLAN` — fault injection: a [`chaos::FaultPlan`] in its
+//!   textual form; this child applies only the faults naming its own
+//!   instance (crash, connection drop, frame corruption, stall,
+//!   heartbeat delay).
 //!
 //! Exit status: 0 after an orderly `Shutdown`, 1 on a configuration or
 //! transport error, 42 on injected crash.
@@ -42,9 +44,18 @@ fn main() {
         }
     };
     let heartbeat = Duration::from_millis(env_u64("MF_WORKER_HEARTBEAT_MS").unwrap_or(100));
-    let crash_on_job = env_u64("MF_WORKER_CRASH_ON_JOB");
+    let faults = match std::env::var("MF_CHAOS_PLAN") {
+        Ok(text) => match chaos::FaultPlan::parse(&text) {
+            Ok(plan) => plan.worker_faults(instance),
+            Err(e) => {
+                eprintln!("subsolve_worker: MF_CHAOS_PLAN: {e}");
+                exit(1);
+            }
+        },
+        Err(_) => chaos::WorkerFaults::default(),
+    };
 
-    match run_worker_child(addr, instance, heartbeat, crash_on_job) {
+    match run_worker_child(addr, instance, heartbeat, faults) {
         Ok(summary) => {
             if !summary.clean_shutdown {
                 eprintln!(

@@ -1,0 +1,366 @@
+//! Run-level checkpoints: versioned, atomically-written snapshots of the
+//! master's progress, from which a killed run resumes bit-identically.
+//!
+//! A checkpoint records everything the master's deterministic replay
+//! cannot recompute for free: the run's identity (parameters + problem +
+//! policy — resuming under different ones is refused), the dispatch order
+//! the policy chose, and every completed [`SubsolveResult`]. On resume the
+//! master re-performs its (cheap, deterministic) initialization, replays
+//! the recorded results into its accounting — including the per-grid
+//! sampling work, so the final [`WorkCounter`](solver::WorkCounter) is
+//! indistinguishable from an uninterrupted run's — and dispatches only the
+//! grids that are still missing.
+//!
+//! On-disk format:
+//!
+//! ```text
+//! "MFCK"  version:u32le  frame(encode_unit(state))
+//! ```
+//!
+//! where `frame` is the transport's CRC-32-guarded framing — a torn or
+//! bit-rotted checkpoint is *detected*, not silently resumed from.
+//! Writes go to a temp file in the same directory followed by an atomic
+//! rename, so a crash mid-write leaves the previous checkpoint intact.
+
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+use manifold::prelude::*;
+use solver::sequential::SequentialApp;
+use solver::subsolve::SubsolveResult;
+
+use crate::codec::{problem_from_unit, problem_to_unit, result_from_unit, result_to_unit};
+
+/// Magic bytes opening every checkpoint file.
+pub const MAGIC: &[u8; 4] = b"MFCK";
+
+/// Version of the checkpoint layout; mismatches are refused, not guessed.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+const FILE_NAME: &str = "run.ckpt";
+
+/// The identity of a run — a checkpoint only resumes a run with the very
+/// same identity, because everything else about the replay is derived
+/// deterministically from these.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunKey {
+    /// Coarsest-grid refinement (`argv[1]`).
+    pub root: u32,
+    /// Refinement above the root (`argv[2]`).
+    pub level: u32,
+    /// Integrator tolerance, compared by bit pattern.
+    pub le_tol: f64,
+    /// Whether the master mediates all data (the paper's design).
+    pub data_through_master: bool,
+    /// Dispatch policy name — the order is persisted too, but a policy
+    /// swap would silently change windowing, so it is part of identity.
+    pub policy: String,
+    /// The problem instance.
+    pub problem: solver::problem::Problem,
+}
+
+impl RunKey {
+    /// The key of a run of `app` under the named policy.
+    pub fn of(app: &SequentialApp, data_through_master: bool, policy: &str) -> RunKey {
+        RunKey {
+            root: app.root,
+            level: app.level,
+            le_tol: app.le_tol,
+            data_through_master,
+            policy: policy.to_string(),
+            problem: app.problem,
+        }
+    }
+
+    fn matches(&self, other: &RunKey) -> Result<(), String> {
+        if self.root != other.root
+            || self.level != other.level
+            || self.le_tol.to_bits() != other.le_tol.to_bits()
+            || self.data_through_master != other.data_through_master
+            || self.problem != other.problem
+        {
+            return Err(format!(
+                "checkpoint is for root {}, level {}, tol {:e}, data_through_master {} — \
+                 refusing to resume a run with different parameters",
+                other.root, other.level, other.le_tol, other.data_through_master
+            ));
+        }
+        if self.policy != other.policy {
+            return Err(format!(
+                "checkpoint was written under dispatch policy {:?}, this run uses {:?}",
+                other.policy, self.policy
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A snapshot of the master's progress.
+#[derive(Clone, Debug)]
+pub struct Checkpoint {
+    /// Identity of the run this snapshot belongs to.
+    pub key: RunKey,
+    /// The policy's dispatch order (indices into the natural grid order),
+    /// persisted so a resumed run can verify it re-derives the same
+    /// schedule position.
+    pub order: Vec<usize>,
+    /// Completed per-grid results, in collection order.
+    pub completed: Vec<SubsolveResult>,
+}
+
+impl Checkpoint {
+    /// Validate that this checkpoint belongs to the run identified by
+    /// `key` with dispatch order `order`.
+    pub fn validate(&self, key: &RunKey, order: &[usize]) -> MfResult<()> {
+        key.matches(&self.key).map_err(MfError::App)?;
+        if self.order != order {
+            return Err(MfError::App(
+                "checkpoint dispatch order differs from the policy's re-derived order — \
+                 refusing to resume"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn to_unit(&self) -> Unit {
+        Unit::tuple(vec![
+            Unit::int(self.key.root as i64),
+            Unit::int(self.key.level as i64),
+            Unit::real(self.key.le_tol),
+            Unit::int(self.key.data_through_master as i64),
+            Unit::text(&self.key.policy),
+            problem_to_unit(&self.key.problem),
+            Unit::tuple(self.order.iter().map(|&i| Unit::int(i as i64)).collect()),
+            Unit::tuple(self.completed.iter().map(result_to_unit).collect()),
+        ])
+    }
+
+    fn from_unit(u: &Unit) -> MfResult<Checkpoint> {
+        let t = u
+            .as_tuple()
+            .ok_or(MfError::UnitType { expected: "Tuple" })?;
+        if t.len() != 8 {
+            return Err(MfError::App(format!("checkpoint tuple arity {}", t.len())));
+        }
+        let order = t[6]
+            .as_tuple()
+            .ok_or(MfError::UnitType { expected: "Tuple" })?
+            .iter()
+            .map(|u| Ok(u.expect_int()? as usize))
+            .collect::<MfResult<Vec<usize>>>()?;
+        let completed = t[7]
+            .as_tuple()
+            .ok_or(MfError::UnitType { expected: "Tuple" })?
+            .iter()
+            .map(result_from_unit)
+            .collect::<MfResult<Vec<SubsolveResult>>>()?;
+        Ok(Checkpoint {
+            key: RunKey {
+                root: t[0].expect_int()? as u32,
+                level: t[1].expect_int()? as u32,
+                le_tol: t[2].expect_real()?,
+                data_through_master: t[3].expect_int()? != 0,
+                policy: t[4]
+                    .as_text()
+                    .ok_or(MfError::UnitType { expected: "Text" })?
+                    .to_string(),
+                problem: problem_from_unit(&t[5])?,
+            },
+            order,
+            completed,
+        })
+    }
+}
+
+/// A directory holding at most one current checkpoint per run.
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a checkpoint directory.
+    pub fn new(dir: impl Into<PathBuf>) -> MfResult<CheckpointStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)
+            .map_err(|e| MfError::App(format!("checkpoint dir {}: {e}", dir.display())))?;
+        Ok(CheckpointStore { dir })
+    }
+
+    /// Path of the current checkpoint file.
+    pub fn path(&self) -> PathBuf {
+        self.dir.join(FILE_NAME)
+    }
+
+    /// Atomically persist `ck`: write to a temp file in the same
+    /// directory, fsync, then rename over the previous checkpoint.
+    pub fn save(&self, ck: &Checkpoint) -> MfResult<()> {
+        let payload = transport::encode_unit_vec(&ck.to_unit())
+            .map_err(|e| MfError::App(format!("checkpoint encode: {e}")))?;
+        let mut bytes = Vec::with_capacity(payload.len() + 16);
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&transport::frame_vec(&payload));
+
+        let tmp = self
+            .dir
+            .join(format!("{FILE_NAME}.tmp.{}", std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&bytes)?;
+            f.sync_all()?;
+            fs::rename(&tmp, self.path())
+        };
+        write().map_err(|e| {
+            let _ = fs::remove_file(&tmp);
+            MfError::App(format!("checkpoint save {}: {e}", self.path().display()))
+        })
+    }
+
+    /// Load the current checkpoint; `Ok(None)` when none has been written
+    /// yet. Truncation, bit rot (CRC), or a version mismatch is an error.
+    pub fn load(&self) -> MfResult<Option<Checkpoint>> {
+        let path = self.path();
+        let bytes = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(MfError::App(format!(
+                    "checkpoint read {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let fail = |what: &str| MfError::App(format!("checkpoint {}: {what}", path.display()));
+        if bytes.len() < 8 || &bytes[..4] != MAGIC {
+            return Err(fail("not a checkpoint file (bad magic)"));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+        if version != CHECKPOINT_VERSION {
+            return Err(fail(&format!(
+                "layout version {version}, this build reads {CHECKPOINT_VERSION}"
+            )));
+        }
+        let mut r = std::io::Cursor::new(&bytes[8..]);
+        let payload = transport::read_frame(&mut r)
+            .map_err(|e| fail(&format!("corrupt frame: {e}")))?
+            .ok_or_else(|| fail("truncated (no frame)"))?;
+        if (r.position() as usize) < bytes.len() - 8 {
+            return Err(fail("trailing bytes after checkpoint frame"));
+        }
+        let unit = transport::decode_unit(&payload).map_err(|e| fail(&e.to_string()))?;
+        Checkpoint::from_unit(&unit).map(Some)
+    }
+
+    /// Remove the current checkpoint, if any (end of a successful run).
+    pub fn clear(&self) -> MfResult<()> {
+        match fs::remove_file(self.path()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(MfError::App(format!(
+                "checkpoint clear {}: {e}",
+                self.path().display()
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use solver::problem::Problem;
+    use solver::subsolve::SubsolveRequest;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mfck-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        let app = SequentialApp::new(2, 1, 1e-3);
+        let req = SubsolveRequest::for_grid(2, 1, 0, 1e-3, Problem::manufactured_benchmark());
+        let res = solver::subsolve(&req).unwrap();
+        Checkpoint {
+            key: RunKey::of(&app, true, "paper-faithful"),
+            order: vec![2, 0, 1],
+            completed: vec![res],
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_bit_exactly() {
+        let dir = tmp_dir("roundtrip");
+        let store = CheckpointStore::new(&dir).unwrap();
+        assert!(store.load().unwrap().is_none());
+        let ck = sample_checkpoint();
+        store.save(&ck).unwrap();
+        let back = store.load().unwrap().unwrap();
+        assert_eq!(back.key, ck.key);
+        assert_eq!(back.order, ck.order);
+        assert_eq!(back.completed.len(), 1);
+        assert_eq!(back.completed[0].values, ck.completed[0].values);
+        assert_eq!(back.completed[0].work, ck.completed[0].work);
+        store.clear().unwrap();
+        assert!(store.load().unwrap().is_none());
+        store.clear().unwrap(); // idempotent
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoints_are_detected() {
+        let dir = tmp_dir("corrupt");
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.save(&sample_checkpoint()).unwrap();
+        let mut bytes = fs::read(store.path()).unwrap();
+
+        // Flip one payload bit: the frame CRC must catch it.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x04;
+        fs::write(store.path(), &bytes).unwrap();
+        let err = store.load().unwrap_err().to_string();
+        assert!(err.contains("checksum") || err.contains("corrupt"), "{err}");
+
+        // Truncation mid-frame.
+        bytes[last] ^= 0x04;
+        fs::write(store.path(), &bytes[..bytes.len() - 3]).unwrap();
+        assert!(store.load().is_err());
+
+        // Wrong magic.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        fs::write(store.path(), &bad).unwrap();
+        assert!(store.load().unwrap_err().to_string().contains("magic"));
+
+        // Future layout version.
+        let mut newer = bytes.clone();
+        newer[4] = 99;
+        fs::write(store.path(), &newer).unwrap();
+        assert!(store.load().unwrap_err().to_string().contains("version"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validation_refuses_foreign_runs() {
+        let ck = sample_checkpoint();
+        let app = SequentialApp::new(2, 1, 1e-3);
+        let key = RunKey::of(&app, true, "paper-faithful");
+        ck.validate(&key, &[2, 0, 1]).unwrap();
+
+        let other_app = SequentialApp::new(2, 2, 1e-3);
+        let err = ck
+            .validate(&RunKey::of(&other_app, true, "paper-faithful"), &[2, 0, 1])
+            .unwrap_err();
+        assert!(err.to_string().contains("different parameters"));
+
+        let err = ck
+            .validate(&RunKey::of(&app, true, "cost-aware"), &[2, 0, 1])
+            .unwrap_err();
+        assert!(err.to_string().contains("policy"));
+
+        let err = ck.validate(&key, &[0, 1, 2]).unwrap_err();
+        assert!(err.to_string().contains("order"));
+    }
+}

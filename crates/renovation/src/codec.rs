@@ -13,7 +13,7 @@ use solver::problem::{Problem, ProblemKind};
 use solver::subsolve::{SubsolveRequest, SubsolveResult};
 use solver::WorkCounter;
 
-fn problem_to_unit(p: &Problem) -> Unit {
+pub(crate) fn problem_to_unit(p: &Problem) -> Unit {
     let (tag, x0, y0, s0) = match p.kind {
         ProblemKind::Gaussian { x0, y0, s0 } => (0i64, x0, y0, s0),
         ProblemKind::Manufactured => (1i64, 0.0, 0.0, 0.0),
@@ -31,7 +31,7 @@ fn problem_to_unit(p: &Problem) -> Unit {
     ])
 }
 
-fn problem_from_unit(u: &Unit) -> MfResult<Problem> {
+pub(crate) fn problem_from_unit(u: &Unit) -> MfResult<Problem> {
     let t = u
         .as_tuple()
         .ok_or(MfError::UnitType { expected: "Tuple" })?;

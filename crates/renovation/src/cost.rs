@@ -196,41 +196,56 @@ impl CostModel {
     /// diagonal (`lm = level-1`, then `lm = level`) instead of one big
     /// pool. The rendezvous between the pools is a barrier the single-pool
     /// design does not have.
+    ///
+    /// Errs on a job whose label does not parse as `subsolve(l, m)` — the
+    /// label is the join key between the cost model and the pools, and a
+    /// workload from another source may not carry it.
     pub fn workload_per_diagonal(
         &self,
         root: u32,
         level: u32,
         tol: f64,
         data_through_master: bool,
-    ) -> Workload {
+    ) -> Result<Workload, String> {
         let mut base = self.workload(root, level, tol, data_through_master);
-        let jobs = base.pools.pop().unwrap();
+        let jobs = base.pools.pop().expect("workload always builds one pool");
         let mut pools: Vec<Vec<Job>> = Vec::new();
         let lo = level.saturating_sub(1);
         for lm in lo..=level {
-            let diagonal: Vec<Job> = jobs
-                .iter()
-                .filter(|j| {
-                    // Parse the (l, m) back out of the label.
-                    let inner = j
-                        .label
-                        .trim_start_matches("subsolve(")
-                        .trim_end_matches(')');
-                    let mut it = inner.split(", ");
-                    let l: u32 = it.next().unwrap().parse().unwrap();
-                    let m: u32 = it.next().unwrap().parse().unwrap();
-                    l + m == lm
-                })
-                .cloned()
-                .collect();
+            let mut diagonal: Vec<Job> = Vec::new();
+            for j in &jobs {
+                let (l, m) = parse_subsolve_label(&j.label)?;
+                if l + m == lm {
+                    diagonal.push(j.clone());
+                }
+            }
             if !diagonal.is_empty() {
                 pools.push(diagonal);
             }
         }
         base.pools = pools;
         base.name = format!("{} (per-diagonal pools)", base.name);
-        base
+        Ok(base)
     }
+}
+
+/// Parse a `subsolve(l, m)` job label back into its `(l, m)` indices.
+///
+/// A malformed label is a diagnosed error, not a panic deep inside an
+/// iterator chain: the message names the label and the part that failed.
+pub fn parse_subsolve_label(label: &str) -> Result<(u32, u32), String> {
+    let inner = label
+        .strip_prefix("subsolve(")
+        .and_then(|rest| rest.strip_suffix(')'))
+        .ok_or_else(|| format!("malformed job label {label:?}: expected `subsolve(l, m)`"))?;
+    let (l, m) = inner.split_once(", ").ok_or_else(|| {
+        format!("malformed job label {label:?}: expected two `, `-separated indices")
+    })?;
+    let index = |name: &str, s: &str| {
+        s.parse::<u32>()
+            .map_err(|e| format!("malformed job label {label:?}: {name} index {s:?}: {e}"))
+    };
+    Ok((index("l", l)?, index("m", m)?))
 }
 
 /// Empirical growth measurements from the *real* solver, used to validate
@@ -366,7 +381,7 @@ mod tests {
     fn per_diagonal_workload_splits_pools() {
         let m = CostModel::paper_calibrated();
         let single = m.workload(2, 4, REF_TOL, true);
-        let split = m.workload_per_diagonal(2, 4, REF_TOL, true);
+        let split = m.workload_per_diagonal(2, 4, REF_TOL, true).unwrap();
         assert_eq!(split.pools.len(), 2);
         assert_eq!(split.pools[0].len(), 4); // lm = 3 diagonal
         assert_eq!(split.pools[1].len(), 5); // lm = 4 diagonal
@@ -381,9 +396,30 @@ mod tests {
     #[test]
     fn per_diagonal_level_zero_single_pool() {
         let m = CostModel::paper_calibrated();
-        let wl = m.workload_per_diagonal(2, 0, REF_TOL, true);
+        let wl = m.workload_per_diagonal(2, 0, REF_TOL, true).unwrap();
         assert_eq!(wl.pools.len(), 1);
         assert_eq!(wl.job_count(), 1);
+    }
+
+    #[test]
+    fn subsolve_labels_round_trip_and_malformed_ones_are_diagnosed() {
+        assert_eq!(parse_subsolve_label("subsolve(7, 0)"), Ok((7, 0)));
+        assert_eq!(parse_subsolve_label("subsolve(0, 12)"), Ok((0, 12)));
+        for bad in [
+            "",
+            "subsolve",
+            "subsolve()",
+            "subsolve(3)",
+            "subsolve(3; 4)",
+            "subsolve(3, x)",
+            "subsolve(-1, 4)",
+            "prolong(3, 4)",
+            "subsolve(3, 4",
+        ] {
+            let err = parse_subsolve_label(bad).unwrap_err();
+            assert!(err.contains("malformed job label"), "{bad:?} → {err}");
+            assert!(err.contains(bad), "message should quote the label: {err}");
+        }
     }
 
     #[test]

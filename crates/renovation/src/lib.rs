@@ -32,16 +32,23 @@
 //! [`Environment`]: manifold::Environment
 
 pub mod app;
+pub mod checkpoint;
 pub mod codec;
 pub mod cost;
 pub mod master;
 pub mod procs;
+pub mod supervisor;
 pub mod virtualrun;
 pub mod worker;
 
-pub use app::{run_concurrent, run_concurrent_with_policy, ConcurrentResult, RunMode};
-pub use cost::CostModel;
+pub use app::{
+    run_concurrent, run_concurrent_opts, run_concurrent_with_policy, ConcurrentResult, RunMode,
+    RunOpts,
+};
+pub use checkpoint::{Checkpoint, CheckpointStore, RunKey};
+pub use cost::{parse_subsolve_label, CostModel};
 pub use procs::{run_concurrent_procs, run_worker_child, ProcsConfig};
+pub use supervisor::{supervise, SupervisedRun};
 pub use virtualrun::{
     run_distributed_experiment, run_distributed_experiment_with_policy, ExperimentPoint,
 };

@@ -31,6 +31,7 @@ use solver::subsolve::SubsolveResult;
 use solver::work::estimate_subsolve_flops;
 use solver::{l2_norm, WorkCounter};
 
+use crate::checkpoint::{Checkpoint, CheckpointStore, RunKey};
 use crate::codec::{request_to_unit, result_from_unit};
 
 /// Master-side configuration.
@@ -50,6 +51,17 @@ pub struct MasterConfig {
     /// giving up on the run. Only the process backend produces lost-job
     /// markers, so this is inert in a threads run.
     pub retry_budget: usize,
+    /// When set, every collected result is checkpointed here, and the run
+    /// can later resume bit-identically from the last snapshot.
+    pub checkpoint: Option<Arc<CheckpointStore>>,
+    /// A previously-saved snapshot to resume from: its results are
+    /// restored (with full work accounting) and only the missing grids
+    /// are dispatched.
+    pub resume_from: Option<Checkpoint>,
+    /// Chaos hook: abort the master (after checkpointing) once this many
+    /// total results have been collected — the supervisor's relaunch path
+    /// is exercised by exactly this failure.
+    pub master_kill_at: Option<u64>,
 }
 
 impl MasterConfig {
@@ -60,6 +72,9 @@ impl MasterConfig {
             data_through_master,
             policy: Arc::new(PaperFaithful),
             retry_budget: 3,
+            checkpoint: None,
+            resume_from: None,
+            master_kill_at: None,
         }
     }
 
@@ -74,6 +89,29 @@ impl MasterConfig {
         self.retry_budget = budget;
         self
     }
+
+    /// Checkpoint every collected result into `store`.
+    pub fn with_checkpoints(mut self, store: Arc<CheckpointStore>) -> Self {
+        self.checkpoint = Some(store);
+        self
+    }
+
+    /// Resume from a previously-saved snapshot.
+    pub fn with_resume(mut self, ck: Checkpoint) -> Self {
+        self.resume_from = Some(ck);
+        self
+    }
+
+    /// Inject a master death after `k` collected results.
+    pub fn with_master_kill_at(mut self, k: u64) -> Self {
+        self.master_kill_at = Some(k);
+        self
+    }
+
+    /// The identity of the run this configuration describes.
+    pub fn run_key(&self) -> RunKey {
+        RunKey::of(&self.app, self.data_through_master, self.policy.name())
+    }
 }
 
 impl fmt::Debug for MasterConfig {
@@ -83,6 +121,12 @@ impl fmt::Debug for MasterConfig {
             .field("data_through_master", &self.data_through_master)
             .field("policy", &self.policy.name())
             .field("retry_budget", &self.retry_budget)
+            .field("checkpointing", &self.checkpoint.is_some())
+            .field(
+                "resumed_results",
+                &self.resume_from.as_ref().map(|c| c.completed.len()),
+            )
+            .field("master_kill_at", &self.master_kill_at)
             .finish()
     }
 }
@@ -138,23 +182,80 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
     debug_assert_eq!(order.len(), grids.len());
     let window = cfg.policy.window(grids.len()).max(1);
 
+    // Restore a snapshot before dispatching anything: the checkpoint must
+    // belong to this exact run (parameters, problem, policy, and the
+    // re-derived dispatch order), its results enter `per_grid` with the
+    // same work accounting an uninterrupted run would have performed, and
+    // the restored grids are simply never dispatched. WorkCounter adds
+    // commute and the prolongation sorts by grid index, so the final
+    // result is bit-identical either way.
+    let key = cfg.run_key();
+    let mut done = std::collections::BTreeSet::new();
+    let mut per_grid: Vec<SubsolveResult> = Vec::with_capacity(grids.len());
+    if let Some(ck) = &cfg.resume_from {
+        ck.validate(&key, &order)?;
+        for res in &ck.completed {
+            if cfg.data_through_master {
+                let g = Grid2::new(app.root, res.l, res.m);
+                work.add_vector_ops(g.interior_count(), 2);
+            }
+            work.merge(&res.work);
+            done.insert((res.l, res.m));
+            per_grid.push(res.clone());
+        }
+        mes!(
+            h.ctx(),
+            "resume: {} of {} results restored from checkpoint",
+            done.len(),
+            grids.len()
+        );
+    }
+
+    // Checkpoint after a freshly-collected result; then fire the injected
+    // master death once the run has `kill_at` results in total. The
+    // snapshot is written *before* the abort, and a resumed run restores
+    // those `kill_at` results without re-collecting them — so the same
+    // fault plan never kills the relaunched master a second time.
+    let account = |work: &mut WorkCounter,
+                   per_grid: &mut Vec<SubsolveResult>,
+                   res: SubsolveResult|
+     -> MfResult<()> {
+        work.merge(&res.work);
+        per_grid.push(res);
+        if let Some(store) = &cfg.checkpoint {
+            store.save(&Checkpoint {
+                key: key.clone(),
+                order: order.clone(),
+                completed: per_grid.clone(),
+            })?;
+        }
+        if cfg.master_kill_at == Some(per_grid.len() as u64) {
+            return Err(MfError::App(format!(
+                "chaos: master killed after {} results",
+                per_grid.len()
+            )));
+        }
+        Ok(())
+    };
+
     // Step 3: one pool of workers. Pipelined dispatch: issue jobs in
     // policy order, but once `window` jobs are in flight, collect a result
     // before issuing the next — collection overlaps computation instead of
     // waiting for the full feed to finish.
     h.create_pool();
     let mut retries_left = cfg.retry_budget;
-    let mut per_grid: Vec<SubsolveResult> = Vec::with_capacity(grids.len());
     let mut in_flight = 0usize;
     for &job in &order {
+        let idx = grids[job];
+        if done.contains(&(idx.l, idx.m)) {
+            continue;
+        }
         while in_flight >= window {
             // (f): collect one result from our own dataport, freeing a slot.
             let res = collect_result(h, &mut retries_left)?;
-            work.merge(&res.work);
-            per_grid.push(res);
+            account(&mut work, &mut per_grid, res)?;
             in_flight -= 1;
         }
-        let idx = grids[job];
         // The dispatch sequence is the trace-visible signature of the
         // policy: the cross-backend tests require it to match between the
         // threads and the process backends line for line.
@@ -177,8 +278,12 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
     // (f): drain the remaining in-flight results.
     for _ in 0..in_flight {
         let res = collect_result(h, &mut retries_left)?;
-        work.merge(&res.work);
-        per_grid.push(res);
+        account(&mut work, &mut per_grid, res)?;
+    }
+    // A finished run needs no snapshot; leaving one behind would make an
+    // unrelated later run in the same directory refuse to start.
+    if let Some(store) = &cfg.checkpoint {
+        store.clear()?;
     }
 
     // (g)+(h): rendezvous.

@@ -61,9 +61,15 @@ pub struct ProcsConfig {
     /// Lost-worker re-dispatches the master tolerates (also the per-slot
     /// respawn budget of the pool).
     pub retry_budget: usize,
-    /// Fault injection: make instance `.0` exit abruptly upon receiving
-    /// its `.1`-th job (1-based), before replying.
-    pub crash_on_job: Option<(u64, u64)>,
+    /// Fault schedule to inject: worker faults travel to the children via
+    /// the `MF_CHAOS_PLAN` environment variable (each child filters the
+    /// plan down to its own instance), a master kill applies in-process.
+    pub faults: Option<chaos::FaultPlan>,
+    /// Persist a checkpoint after every collected result.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the checkpoint in `checkpoint_dir` (no-op when none
+    /// exists yet).
+    pub resume: bool,
     /// Max silence during a remote job before the instance is declared
     /// dead (heartbeats reset the window).
     pub job_timeout: Duration,
@@ -80,10 +86,24 @@ impl ProcsConfig {
             hosts: Vec::new(),
             worker_exe: None,
             retry_budget: 3,
-            crash_on_job: None,
+            faults: None,
+            checkpoint_dir: None,
+            resume: false,
             job_timeout: Duration::from_secs(60),
             heartbeat: Duration::from_millis(100),
         }
+    }
+
+    /// Schedule one abrupt exit: `instance` dies upon receiving its
+    /// `nth` (1-based) job. Shorthand for a one-fault [`chaos::FaultPlan`].
+    pub fn with_crash_on_job(mut self, instance: u64, nth: u64) -> Self {
+        self.faults = Some(
+            chaos::FaultPlan::new(0).push(chaos::FaultKind::WorkerCrash {
+                instance,
+                on_job: nth,
+            }),
+        );
+        self
     }
 }
 
@@ -183,12 +203,13 @@ pub fn run_concurrent_procs(
         "MF_WORKER_HEARTBEAT_MS".into(),
         cfg.heartbeat.as_millis().to_string(),
     )];
-    if let Some((instance, nth)) = cfg.crash_on_job {
-        let mut per = vec![Vec::new(); cfg.instances];
-        if let Some(slot) = per.get_mut(instance as usize) {
-            slot.push(("MF_WORKER_CRASH_ON_JOB".into(), nth.to_string()));
-        }
-        pool_cfg.per_instance_env = per;
+    if let Some(plan) = &cfg.faults {
+        // The whole plan ships to every child; each filters it down to
+        // its own instance. A respawned child re-reads the same plan, so
+        // per-incarnation job counts restart naturally.
+        pool_cfg
+            .base_env
+            .push(("MF_CHAOS_PLAN".into(), plan.to_string()));
     }
     let pool = Arc::new(RemoteWorkerPool::launch(pool_cfg, Arc::new(LocalSpawner))?);
 
@@ -204,9 +225,21 @@ pub fn run_concurrent_procs(
     let env = Environment::with_specs(link, ConfigSpec::with_startup("bumpa.sen.cwi.nl"));
 
     let cell: Arc<Mutex<Option<SequentialResult>>> = Arc::new(Mutex::new(None));
-    let master_cfg = MasterConfig::new(*app, data_through_master)
+    let mut master_cfg = MasterConfig::new(*app, data_through_master)
         .with_policy(policy)
         .with_retry_budget(cfg.retry_budget);
+    if let Some(dir) = &cfg.checkpoint_dir {
+        let store = Arc::new(crate::checkpoint::CheckpointStore::new(dir)?);
+        if cfg.resume {
+            if let Some(ck) = store.load()? {
+                master_cfg = master_cfg.with_resume(ck);
+            }
+        }
+        master_cfg = master_cfg.with_checkpoints(store);
+    }
+    if let Some(k) = cfg.faults.as_ref().and_then(|p| p.master_kill()) {
+        master_cfg = master_cfg.with_master_kill_at(k);
+    }
     let gauge = WorkerGauge::new();
     let source: Arc<dyn ConduitSource> = Arc::new(GaugedSource {
         pool: Arc::clone(&pool),
@@ -294,7 +327,7 @@ pub fn run_worker_child(
     addr: Addr,
     instance: u64,
     heartbeat: Duration,
-    crash_on_job: Option<u64>,
+    faults: chaos::WorkerFaults,
 ) -> std::io::Result<ServeSummary> {
     let host = transport::real_hostname();
     let task_uid = child_task_uid(instance);
@@ -307,6 +340,18 @@ pub fn run_worker_child(
 
     let mut cfg = ServeConfig::new(addr, instance, host, task_uid);
     cfg.heartbeat = heartbeat;
+    // Wire-level faults run inside the serve loop (it owns the socket);
+    // the crash stays here in the job handler, because an abrupt
+    // process exit is an *application*-level death, not a transport one.
+    cfg.faults = transport::ServeFaults {
+        corrupt_reply_on_job: faults.corrupt_on_job,
+        drop_conn_on_job: faults.drop_on_job,
+        stall_on_job: faults
+            .stall_on_job
+            .map(|(job, ms)| (job, Duration::from_millis(ms))),
+        heartbeat_delay: faults.heartbeat_delay_ms.map(Duration::from_millis),
+    };
+    let crash_on_job = faults.crash_on_job;
     let jobs_seen = AtomicU64::new(0);
     let env_for_jobs = env.clone();
     let summary = serve(

@@ -1,0 +1,186 @@
+//! The supervisor coordinator: master-death detection + relaunch.
+//!
+//! The paper's protocol makes *worker* death an ordinary, observable event
+//! (`death_worker`), but a dying **master** takes the whole run with it.
+//! This module closes that gap in MANIFOLD style: a `Supervisor`
+//! coordinator runs the application as an atomic process, observes its
+//! termination, and — when the run died rather than finished — raises
+//! [`MASTER_DOWN`] and launches a fresh incarnation that resumes from the
+//! last checkpoint (see [`crate::checkpoint`]). Because the master
+//! checkpoints every collected result before it can die, and a resumed
+//! run restores those results instead of re-collecting them, each distinct
+//! failure costs at most one relaunch.
+//!
+//! The relaunch budget bounds the other half of the chaos-harness
+//! invariant: a run whose faults exceed its budgets must end in a
+//! *diagnosed* error in bounded time, not a retry loop.
+
+use std::sync::Arc;
+
+use manifold::mes;
+use manifold::prelude::*;
+use manifold::trace::TraceRecord;
+use parking_lot::Mutex;
+
+use crate::app::ConcurrentResult;
+
+/// Event the supervisor raises each time it observes a dead master.
+pub const MASTER_DOWN: &str = "master_down";
+
+/// Outcome of a supervised run.
+#[derive(Debug)]
+pub struct SupervisedRun {
+    /// The surviving incarnation's result.
+    pub result: ConcurrentResult,
+    /// How many times the supervisor relaunched a dead run.
+    pub relaunches: usize,
+    /// The supervisor's own trace (the application's is in
+    /// `result.records`).
+    pub supervisor_records: Vec<TraceRecord>,
+}
+
+/// Run `launch` under a supervisor with the given relaunch budget.
+///
+/// `launch(resume)` runs one incarnation of the application: `false` on
+/// the first attempt, `true` on every relaunch — the callee wires that
+/// flag to its checkpoint store (e.g. [`crate::app::RunOpts::resume`] or
+/// [`crate::ProcsConfig`]'s resume field). The first incarnation may also
+/// resume, if its caller already holds a checkpoint from an earlier
+/// process; the supervisor only *escalates* the flag, never clears it.
+pub fn supervise<F>(relaunch_budget: usize, mut launch: F) -> MfResult<SupervisedRun>
+where
+    F: FnMut(bool) -> MfResult<ConcurrentResult> + Send + 'static,
+{
+    let env = Environment::new();
+    let cell: Arc<Mutex<Option<(ConcurrentResult, usize)>>> = Arc::new(Mutex::new(None));
+    let cell2 = cell.clone();
+    let run = env.run_coordinator("Supervisor", |coord| {
+        let sup = coord.create_atomic("Supervise(run)", move |ctx: ProcessCtx| {
+            mes!(ctx, "Welcome");
+            let mut relaunches = 0usize;
+            let mut resume = false;
+            loop {
+                match launch(resume) {
+                    Ok(result) => {
+                        mes!(
+                            ctx,
+                            "supervisor: run complete after {relaunches} relaunch(es)"
+                        );
+                        *cell2.lock() = Some((result, relaunches));
+                        mes!(ctx, "Bye");
+                        return Ok(());
+                    }
+                    Err(err) if relaunches < relaunch_budget => {
+                        relaunches += 1;
+                        mes!(
+                            ctx,
+                            "supervisor: master down ({err}); relaunching from checkpoint \
+                             ({relaunches}/{relaunch_budget})"
+                        );
+                        ctx.raise(MASTER_DOWN);
+                        resume = true;
+                    }
+                    Err(err) => {
+                        return Err(MfError::App(format!(
+                            "supervisor: relaunch budget ({relaunch_budget}) exhausted: {err}"
+                        )));
+                    }
+                }
+            }
+        });
+        coord.activate(&sup)?;
+        sup.core()
+            .wait_terminated(std::time::Duration::from_secs(600))
+    });
+    let supervisor_records = env.trace().snapshot();
+    env.shutdown();
+    match run {
+        Ok(()) => {}
+        Err(e) => {
+            // Prefer the atomic process's own failure detail.
+            if let Some((_, err)) = env.failures().into_iter().next() {
+                return Err(MfError::App(err.to_string()));
+            }
+            return Err(e);
+        }
+    }
+    if let Some((_, err)) = env.failures().into_iter().next() {
+        return Err(MfError::App(err.to_string()));
+    }
+    let (result, relaunches) = cell
+        .lock()
+        .take()
+        .ok_or_else(|| MfError::App("supervisor produced no result".into()))?;
+    Ok(SupervisedRun {
+        result,
+        relaunches,
+        supervisor_records,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{run_concurrent_opts, RunMode, RunOpts};
+    use chaos::{FaultKind, FaultPlan};
+    use protocol::PaperFaithful;
+    use solver::sequential::SequentialApp;
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("mf-sup-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn supervisor_relaunches_a_killed_master_bit_identically() {
+        let app = SequentialApp::new(2, 2, 1e-3);
+        let seq = app.run().unwrap();
+        // The work-counter oracle is an *uninterrupted concurrent* run: the
+        // master counts its per-grid data-staging ops, which the sequential
+        // program does not perform.
+        let uninterrupted = crate::app::run_concurrent(&app, &RunMode::Parallel, true).unwrap();
+        let dir = tmp_dir("relaunch");
+        let plan = FaultPlan::new(7).push(FaultKind::MasterKill { at_result: 2 });
+        let opts = RunOpts {
+            faults: Some(plan),
+            checkpoint_dir: Some(dir.clone()),
+            resume: false,
+            retry_budget: None,
+        };
+        let sup = supervise(2, move |resume| {
+            let mut opts = opts.clone();
+            opts.resume = resume;
+            run_concurrent_opts(
+                &app,
+                &RunMode::Parallel,
+                true,
+                Arc::new(PaperFaithful),
+                &opts,
+            )
+        })
+        .unwrap();
+        assert_eq!(sup.relaunches, 1, "one kill, one relaunch");
+        assert_eq!(sup.result.result.combined, seq.combined);
+        assert_eq!(sup.result.result.l2_error, seq.l2_error);
+        assert_eq!(sup.result.result.work, uninterrupted.result.work);
+        assert!(sup
+            .supervisor_records
+            .iter()
+            .any(|r| r.message.contains("master down")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exhausted_relaunch_budget_is_a_diagnosed_error() {
+        let app = SequentialApp::new(2, 1, 1e-3);
+        let err = supervise(1, move |_resume| -> MfResult<ConcurrentResult> {
+            let _ = app;
+            Err(MfError::App("synthetic: master exploded".into()))
+        })
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("relaunch budget"), "{err}");
+        assert!(err.contains("master exploded"), "{err}");
+    }
+}

@@ -7,12 +7,12 @@
 //! write, raise `death_worker` — plus the `Welcome`/`Bye` messages the
 //! paper's chronological output shows.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use manifold::mes;
 use manifold::prelude::*;
-use protocol::WorkerHandle;
+use protocol::{lost_job_marker, WorkerHandle, WORKER_LOST};
 
 use crate::codec::{request_from_unit, result_to_unit};
 
@@ -51,13 +51,53 @@ impl WorkerGauge {
     }
 }
 
-fn make_worker(coord: &Coord, death_event: &Name, gauge: Option<Arc<WorkerGauge>>) -> ProcessRef {
+/// Fault-plan state shared by every worker of a threads run. Jobs are
+/// counted pool-wide (each worker process computes exactly one job, so the
+/// pool-wide count is the analogue of a remote instance's per-incarnation
+/// count), and the faults a thread worker *can* express are injected at
+/// the counted job:
+///
+/// * a crash becomes a lost-job marker + [`WORKER_LOST`] — exactly the
+///   failure surface a died remote instance presents to the master;
+/// * a stall becomes a sleep inside the compute section;
+/// * wire-level faults (frame corruption, connection drop, heartbeat
+///   delay) have no transport to act on here and are inert by design —
+///   the procs backend exercises those.
+#[derive(Debug)]
+struct ThreadChaos {
+    jobs_seen: AtomicU64,
+    faults: chaos::WorkerFaults,
+}
+
+fn make_worker(
+    coord: &Coord,
+    death_event: &Name,
+    gauge: Option<Arc<WorkerGauge>>,
+    chaos: Option<Arc<ThreadChaos>>,
+) -> ProcessRef {
     let death = death_event.clone();
     coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
         let h = WorkerHandle::new(ctx, death);
         mes!(h.ctx(), "Welcome");
         // Step 1: read the job from our own input port.
-        let req = request_from_unit(&h.receive()?)?;
+        let job = h.receive()?;
+        if let Some(ch) = &chaos {
+            let n = ch.jobs_seen.fetch_add(1, Ordering::SeqCst) + 1;
+            if ch.faults.crash_on_job == Some(n) {
+                mes!(h.ctx(), "worker lost: chaos crash on job {n}");
+                h.ctx().raise(WORKER_LOST);
+                h.submit(lost_job_marker(job, n, "chaos: injected worker crash"))?;
+                mes!(h.ctx(), "Bye");
+                h.die();
+                return Ok(());
+            }
+            if let Some((at, ms)) = ch.faults.stall_on_job {
+                if at == n {
+                    std::thread::sleep(std::time::Duration::from_millis(ms));
+                }
+            }
+        }
+        let req = request_from_unit(&job)?;
         // Step 2: the computational job (the untouched legacy core).
         if let Some(g) = &gauge {
             g.enter();
@@ -80,7 +120,7 @@ fn make_worker(coord: &Coord, death_event: &Name, gauge: Option<Arc<WorkerGauge>
 /// passed to [`protocol::protocol_mw`], standing in for the
 /// `manifold Worker(event) atomic.` declaration of `mainprog.m`.
 pub fn worker_factory(coord: &Coord, death_event: &Name) -> ProcessRef {
-    make_worker(coord, death_event, None)
+    make_worker(coord, death_event, None, None)
 }
 
 /// Like [`worker_factory`], but every created worker reports its compute
@@ -89,7 +129,24 @@ pub fn worker_factory(coord: &Coord, death_event: &Name) -> ProcessRef {
 pub fn worker_factory_with_gauge(
     gauge: Arc<WorkerGauge>,
 ) -> impl FnMut(&Coord, &Name) -> ProcessRef {
-    move |coord, death_event| make_worker(coord, death_event, Some(gauge.clone()))
+    move |coord, death_event| make_worker(coord, death_event, Some(gauge.clone()), None)
+}
+
+/// [`worker_factory_with_gauge`] plus an injected fault schedule: the
+/// threads backend's half of the chaos engine (see [`ThreadChaos`] for
+/// which faults apply). All workers of a run share one job counter, so a
+/// `FaultPlan`'s `crash:i@n` fires exactly once pool-wide.
+pub fn worker_factory_chaos(
+    gauge: Arc<WorkerGauge>,
+    faults: chaos::WorkerFaults,
+) -> impl FnMut(&Coord, &Name) -> ProcessRef {
+    let chaos = Arc::new(ThreadChaos {
+        jobs_seen: AtomicU64::new(0),
+        faults,
+    });
+    move |coord, death_event| {
+        make_worker(coord, death_event, Some(gauge.clone()), Some(chaos.clone()))
+    }
 }
 
 #[cfg(test)]

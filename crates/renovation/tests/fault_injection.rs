@@ -1,9 +1,10 @@
 //! Fault injection: a worker process killed mid-job must cost the run one
-//! re-dispatch, not its correctness. Instance 0 is told (via
-//! `MF_WORKER_CRASH_ON_JOB`) to exit abruptly — no reply, no cleanup —
-//! upon receiving its second job; the master must observe the loss
-//! through the normal event mechanism, re-dispatch the recovered job, and
-//! still produce the bit-identical result within the retry budget.
+//! re-dispatch, not its correctness. Instance 0 is scheduled (via a
+//! `chaos::FaultPlan`, carried to the child in `MF_CHAOS_PLAN`) to exit
+//! abruptly — no reply, no cleanup — upon receiving its second job; the
+//! master must observe the loss through the normal event mechanism,
+//! re-dispatch the recovered job, and still produce the bit-identical
+//! result within the retry budget.
 
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -22,7 +23,7 @@ fn killed_worker_is_redispatched_and_run_completes() {
     // Every incarnation of instance 0 dies on its second job, so the slot
     // keeps making progress (one job per incarnation) while exercising
     // crash → lost-marker → re-dispatch → respawn repeatedly.
-    cfg.crash_on_job = Some((0, 2));
+    cfg = cfg.with_crash_on_job(0, 2);
     cfg.retry_budget = 6;
 
     let procs = run_concurrent_procs(&app, &cfg, true, Arc::new(PaperFaithful)).unwrap();
@@ -56,7 +57,7 @@ fn exhausted_retry_budget_fails_the_run_cleanly() {
     // The only instance dies on its *first* job, every incarnation: no
     // progress is possible, so the budget must run out with a clear error
     // instead of a hang.
-    cfg.crash_on_job = Some((0, 1));
+    cfg = cfg.with_crash_on_job(0, 1);
     cfg.retry_budget = 2;
     cfg.job_timeout = std::time::Duration::from_secs(20);
 

@@ -11,7 +11,8 @@
 //!
 //! * [`wire`] — exact binary encoding of [`manifold::Unit`] values
 //!   (little-endian, IEEE-754 bit patterns for reals);
-//! * [`frame`] — length-prefixed framing with an incremental decoder;
+//! * [`frame`] — length-prefixed, CRC-32-guarded framing with an
+//!   incremental decoder;
 //! * [`msg`] — the session protocol (`Hello`/`HelloAck` handshake, `Job`/
 //!   `Done`/`Fail` request-response, `Heartbeat`, `Shutdown`, `Trace`);
 //! * [`conn`] — one connection (TCP or Unix socket) with timeouts and
@@ -42,10 +43,10 @@ pub mod wire;
 use std::fmt;
 
 pub use conn::{connect_with_backoff, Addr, Backoff, Conn};
-pub use frame::{frame_vec, read_frame, write_frame, FrameDecoder, MAX_FRAME};
+pub use frame::{crc32, frame_vec, read_frame, write_frame, FrameDecoder, HEADER_LEN, MAX_FRAME};
 pub use launcher::{BindMode, PoolConfig, RemoteWorkerPool};
 pub use msg::{Message, PROTOCOL_VERSION};
-pub use server::{serve, ServeConfig, ServeSummary};
+pub use server::{serve, ServeConfig, ServeFaults, ServeSummary};
 pub use spawn::{ChildHandle, LocalSpawner, SpawnSpec, Spawner, SshSpawner};
 pub use wire::{decode_unit, encode_unit, encode_unit_vec, MAX_DEPTH};
 
@@ -71,6 +72,8 @@ pub enum WireError {
     BadUtf8,
     /// Unknown type tag.
     BadTag(u8),
+    /// A frame's payload did not match the CRC-32 in its header.
+    BadCrc,
 }
 
 impl fmt::Display for WireError {
@@ -83,6 +86,7 @@ impl fmt::Display for WireError {
             WireError::Trailing(n) => write!(f, "{n} trailing bytes after value"),
             WireError::BadUtf8 => write!(f, "text field is not valid utf-8"),
             WireError::BadTag(t) => write!(f, "unknown wire tag {t}"),
+            WireError::BadCrc => write!(f, "frame payload fails its crc-32 checksum"),
         }
     }
 }

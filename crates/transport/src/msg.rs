@@ -25,8 +25,9 @@ use manifold::Unit;
 use crate::WireError;
 
 /// Version of this session protocol; peers with different versions refuse
-/// the handshake.
-pub const PROTOCOL_VERSION: i64 = 1;
+/// the handshake. Version 2 added the CRC-32 field to the frame header,
+/// which is incompatible with version-1 framing on the wire.
+pub const PROTOCOL_VERSION: i64 = 2;
 
 const T_HELLO: i64 = 0;
 const T_HELLO_ACK: i64 = 1;

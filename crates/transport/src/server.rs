@@ -15,7 +15,35 @@ use manifold::Unit;
 use parking_lot::Mutex;
 
 use crate::conn::{connect_with_backoff, Addr};
+use crate::frame::frame_vec;
 use crate::msg::{Message, PROTOCOL_VERSION};
+
+/// Transport-level fault injection for a serving session — the *mechanism*
+/// half of a chaos schedule. Callers (the chaos layer above this crate)
+/// decide *which* jobs get which fault; this struct only says how each is
+/// realized on the wire. Job ordinals are 1-based and count the jobs this
+/// session received.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeFaults {
+    /// Compute the n-th job normally, then ship the reply in a frame with
+    /// one payload bit flipped — the coordinator's CRC check must reject
+    /// the connection.
+    pub corrupt_reply_on_job: Option<u64>,
+    /// Sleep `(job, delay)` before computing that job; heartbeats continue,
+    /// so the coordinator must not declare this instance dead.
+    pub stall_on_job: Option<(u64, Duration)>,
+    /// Close the connection upon *receiving* the n-th job, no reply.
+    pub drop_conn_on_job: Option<u64>,
+    /// Stretch the heartbeat cadence by this much.
+    pub heartbeat_delay: Option<Duration>,
+}
+
+impl ServeFaults {
+    /// True when no fault is configured.
+    pub fn is_empty(&self) -> bool {
+        *self == ServeFaults::default()
+    }
+}
 
 /// Parameters of one serving session.
 #[derive(Debug, Clone)]
@@ -34,6 +62,8 @@ pub struct ServeConfig {
     pub connect_attempts: usize,
     /// Per-attempt connect timeout.
     pub connect_timeout: Duration,
+    /// Injected transport faults (none by default).
+    pub faults: ServeFaults,
 }
 
 impl ServeConfig {
@@ -47,6 +77,7 @@ impl ServeConfig {
             heartbeat: Duration::from_millis(250),
             connect_attempts: 20,
             connect_timeout: Duration::from_secs(5),
+            faults: ServeFaults::default(),
         }
     }
 }
@@ -109,7 +140,7 @@ where
     let heartbeat = {
         let writer = Arc::clone(&writer);
         let beating = Arc::clone(&beating);
-        let period = cfg.heartbeat;
+        let period = cfg.heartbeat + cfg.faults.heartbeat_delay.unwrap_or(Duration::ZERO);
         std::thread::spawn(move || {
             while beating.load(Ordering::Relaxed) {
                 std::thread::sleep(period);
@@ -124,9 +155,26 @@ where
     };
 
     let mut summary = ServeSummary::default();
+    let mut jobs_seen = 0u64;
     let outcome = loop {
         match reader.recv_msg() {
             Ok(Some(Message::Job { seq, payload })) => {
+                jobs_seen += 1;
+                if cfg.faults.drop_conn_on_job == Some(jobs_seen) {
+                    // Fault injection: the session dies mid-protocol, the
+                    // way a cable pull looks from the coordinator's side.
+                    break Err(std::io::Error::new(
+                        std::io::ErrorKind::ConnectionAborted,
+                        "fault injection: connection dropped on job",
+                    ));
+                }
+                if let Some((job, delay)) = cfg.faults.stall_on_job {
+                    if job == jobs_seen {
+                        // Heartbeats keep flowing from the background
+                        // thread; only the reply is late.
+                        std::thread::sleep(delay);
+                    }
+                }
                 let reply = match handler(payload) {
                     Ok(result) => {
                         summary.jobs_done += 1;
@@ -140,6 +188,25 @@ where
                         Message::Fail { seq, error }
                     }
                 };
+                if cfg.faults.corrupt_reply_on_job == Some(jobs_seen) {
+                    // Fault injection: a well-formed frame whose last
+                    // payload bit was flipped in transit. The CRC header
+                    // still describes the *original* payload, so the
+                    // coordinator must detect the corruption and poison
+                    // the connection.
+                    if let Err(e) = (|| {
+                        let encoded = reply.encode().map_err(std::io::Error::from)?;
+                        let mut bytes = frame_vec(&encoded);
+                        let last = bytes.len() - 1;
+                        bytes[last] ^= 0x01;
+                        let mut w = writer.lock();
+                        std::io::Write::write_all(&mut *w, &bytes)?;
+                        std::io::Write::flush(&mut *w)
+                    })() {
+                        break Err(e);
+                    }
+                    continue;
+                }
                 if let Err(e) = writer.lock().send_msg(&reply) {
                     break Err(e);
                 }
@@ -293,6 +360,77 @@ mod tests {
         let summary = serve(ServeConfig::new(addr, 0, "h".into(), 1), Ok, || None).unwrap();
         assert!(!summary.clean_shutdown);
         assert_eq!(summary.jobs_done, 0);
+        coord.join().unwrap();
+    }
+
+    #[test]
+    fn corrupt_reply_fault_poisons_the_connection() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = Addr::Tcp(listener.local_addr().unwrap().to_string());
+        let coord = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut conn = Conn::Tcp(s);
+            match conn.recv_msg().unwrap().unwrap() {
+                Message::Hello { instance, .. } => {
+                    conn.send_msg(&Message::HelloAck { instance }).unwrap()
+                }
+                other => panic!("{other:?}"),
+            }
+            conn.send_msg(&Message::Job {
+                seq: 1,
+                payload: Unit::real(1.0),
+            })
+            .unwrap();
+            loop {
+                match conn.recv_msg() {
+                    Ok(Some(Message::Heartbeat)) => continue,
+                    Ok(other) => panic!("corrupt frame decoded as {other:?}"),
+                    Err(e) => {
+                        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+                        assert!(e.to_string().contains("checksum"), "got: {e}");
+                        break;
+                    }
+                }
+            }
+        });
+        let mut cfg = ServeConfig::new(addr, 0, "h".into(), 1);
+        cfg.faults.corrupt_reply_on_job = Some(1);
+        let summary = serve(cfg, Ok, || None).unwrap();
+        // The child computed the job; only the wire bytes were damaged.
+        assert_eq!(summary.jobs_done, 1);
+        coord.join().unwrap();
+    }
+
+    #[test]
+    fn drop_conn_fault_ends_the_session_without_a_reply() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = Addr::Tcp(listener.local_addr().unwrap().to_string());
+        let coord = std::thread::spawn(move || {
+            let (s, _) = listener.accept().unwrap();
+            let mut conn = Conn::Tcp(s);
+            match conn.recv_msg().unwrap().unwrap() {
+                Message::Hello { instance, .. } => {
+                    conn.send_msg(&Message::HelloAck { instance }).unwrap()
+                }
+                other => panic!("{other:?}"),
+            }
+            conn.send_msg(&Message::Job {
+                seq: 1,
+                payload: Unit::real(1.0),
+            })
+            .unwrap();
+            loop {
+                match conn.recv_msg() {
+                    Ok(Some(Message::Heartbeat)) => continue,
+                    Ok(Some(other)) => panic!("unexpected reply {other:?}"),
+                    Ok(None) | Err(_) => break, // EOF or reset: session died
+                }
+            }
+        });
+        let mut cfg = ServeConfig::new(addr, 0, "h".into(), 1);
+        cfg.faults.drop_conn_on_job = Some(1);
+        let err = serve(cfg, Ok, || None).unwrap_err();
+        assert!(err.to_string().contains("fault injection"), "got: {err}");
         coord.join().unwrap();
     }
 

@@ -6,7 +6,9 @@ use manifold::Unit;
 use proptest::collection;
 use proptest::prelude::*;
 use proptest::strategy::{BoxedStrategy, Just};
-use transport::{decode_unit, encode_unit_vec, frame_vec, FrameDecoder, MAX_DEPTH};
+use transport::{
+    decode_unit, encode_unit_vec, frame_vec, FrameDecoder, WireError, HEADER_LEN, MAX_DEPTH,
+};
 
 /// f64 values including everything the solver can produce plus the
 /// pathological cases a codec must not normalize away.
@@ -142,5 +144,52 @@ proptest! {
         dec.push(&stream[..cut]);
         // A strict prefix of one frame must never produce a frame.
         prop_assert_eq!(dec.next_frame().unwrap(), None);
+    }
+
+    /// Flipping *any single bit* of the CRC or payload region must surface
+    /// as a checksum rejection — never as a silently different unit and
+    /// never as a panic. (Bits of the length field may instead starve the
+    /// decoder or trip the size cap; those are covered below.)
+    #[test]
+    fn any_payload_bit_flip_is_detected(
+        unit in unit_tree(),
+        flip_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let stream = frame_vec(&encode_unit_vec(&unit).unwrap());
+        let region = stream.len() - 4; // skip the 4 length bytes
+        let byte = 4 + ((region as f64 * flip_fraction) as usize).min(region - 1);
+        let mut corrupt = stream;
+        corrupt[byte] ^= 1 << bit;
+        let mut dec = FrameDecoder::new();
+        dec.push(&corrupt);
+        prop_assert_eq!(dec.next_frame(), Err(WireError::BadCrc));
+    }
+
+    /// A flipped length-field bit must never yield a frame either: it
+    /// either starves the decoder (longer length), trips the cap, or —
+    /// when the truncated payload happens to be consumed — fails the CRC.
+    #[test]
+    fn length_bit_flips_never_yield_the_frame(
+        unit in unit_tree(),
+        byte in 0usize..4,
+        bit in 0u8..8,
+    ) {
+        let payload = encode_unit_vec(&unit).unwrap();
+        let stream = frame_vec(&payload);
+        let mut corrupt = stream;
+        corrupt[byte] ^= 1 << bit;
+        let mut dec = FrameDecoder::new();
+        dec.push(&corrupt);
+        match dec.next_frame() {
+            Ok(None) | Err(_) => {}
+            Ok(Some(frame)) => {
+                // A shorter declared length re-frames a payload prefix; the
+                // CRC must have caught that, so reaching here is a failure.
+                prop_assert!(false, "corrupt length accepted a frame of {} bytes", frame.len());
+            }
+        }
+        // HEADER_LEN stays the wire constant the flips were aimed at.
+        prop_assert_eq!(HEADER_LEN, 8);
     }
 }
