@@ -20,6 +20,7 @@
 //!     [-- --level N --tol T] [--policy paper-faithful|bounded-reuse:N|cost-aware]
 //! ```
 
+use bench::cli::Cli;
 use cluster::hosts::{paper_cluster, ClusterSpec, Host};
 use cluster::sim::DistributedSim;
 use cluster::workload::Workload;
@@ -48,25 +49,13 @@ fn report(name: &str, baseline: (f64, f64, f64), variant: (f64, f64, f64)) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let level: u32 = args
-        .iter()
-        .position(|a| a == "--level")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(14);
-    let tol: f64 = args
-        .iter()
-        .position(|a| a == "--tol")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0e-3);
-    let policy = args
-        .iter()
-        .position(|a| a == "--policy")
-        .and_then(|i| args.get(i + 1))
-        .map(|spec| protocol::parse_policy(spec).expect("unknown --policy"))
-        .unwrap_or_else(|| std::sync::Arc::new(protocol::PaperFaithful));
+    let cli = Cli::parse(
+        "ablations",
+        "[--level N] [--tol T] [--policy paper-faithful|bounded-reuse:N|cost-aware]",
+    );
+    let level = cli.parsed("--level", 14u32);
+    let tol = cli.parsed("--tol", 1.0e-3f64);
+    let policy = cli.policy();
     let policy = policy.as_ref();
 
     let model = CostModel::paper_calibrated();

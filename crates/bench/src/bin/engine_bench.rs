@@ -1,0 +1,272 @@
+//! Throughput of the persistent-fleet [`renovation::Engine`]: one fleet,
+//! many jobs, and the question the one-shot entry points could never
+//! answer — what does a solve cost once the pool/process/connection setup
+//! is amortized away?
+//!
+//! ```text
+//! cargo run -p bench --release --bin engine_bench \
+//!     [-- --backend threads|procs|sim|all] [--jobs N] [--level N] \
+//!     [--instances N] [--policy paper-faithful|bounded-reuse:N|cost-aware] \
+//!     [--json PATH]
+//! ```
+//!
+//! For each backend the bench constructs one `Engine`, submits `--jobs`
+//! identical solves, and reports jobs/sec plus per-job latency (p50, p95,
+//! and the cold job 1 vs warm job 2+ split). Job 1's latency deliberately
+//! *includes* engine construction — fleet bring-up is exactly the cost the
+//! perpetual pool exists to amortize. Every job is checked bit-for-bit
+//! against the sequential oracle; a drift or a warm job that fails to beat
+//! the cold one exits nonzero, so CI can run this as a smoke test.
+//!
+//! Threads and procs report wall-clock milliseconds; sim reports the
+//! virtual-time milliseconds of the DES, where warm jobs skip the
+//! application startup and the first-fork surcharge.
+
+use std::time::Instant;
+
+use bench::cli::Cli;
+use bench::live::field_checksum;
+use renovation::{AppConfig, Engine, EngineOpts, ProcsConfig, RunMode};
+use solver::sequential::SequentialApp;
+
+const USAGE: &str = "[--backend threads|procs|sim|all] [--jobs N] [--level N] \
+     [--instances N] [--reps N] \
+     [--policy paper-faithful|bounded-reuse:N|cost-aware] [--json PATH]";
+
+/// One backend's aggregate numbers.
+struct BackendStats {
+    backend: &'static str,
+    virtual_time: bool,
+    jobs: usize,
+    job1_ms: f64,
+    jobs2plus_mean_ms: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    jobs_per_sec: f64,
+    warm_speedup: f64,
+    bit_identical: bool,
+    checksum: u64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn summarize(
+    backend: &'static str,
+    virtual_time: bool,
+    latencies_ms: &[f64],
+    bit_identical: bool,
+    checksum: u64,
+) -> BackendStats {
+    let job1_ms = latencies_ms[0];
+    let warm = &latencies_ms[1..];
+    let jobs2plus_mean_ms = warm.iter().sum::<f64>() / warm.len() as f64;
+    let mut sorted = latencies_ms.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let total_s = latencies_ms.iter().sum::<f64>() / 1e3;
+    BackendStats {
+        backend,
+        virtual_time,
+        jobs: latencies_ms.len(),
+        job1_ms,
+        jobs2plus_mean_ms,
+        p50_ms: percentile(&sorted, 0.50),
+        p95_ms: percentile(&sorted, 0.95),
+        jobs_per_sec: latencies_ms.len() as f64 / total_s,
+        warm_speedup: job1_ms / jobs2plus_mean_ms,
+        bit_identical,
+        checksum,
+    }
+}
+
+/// Drive `jobs` identical solves through one engine, `reps` lifecycles
+/// over; the closure builds each engine so its construction lands inside
+/// job 1's timer. Each job position reports its *minimum* across
+/// lifecycles: scheduler noise only ever adds latency, so the floor
+/// isolates the systematic cold-vs-warm delta (engine construction +
+/// first-job instance forks) that a mean would drown at
+/// millisecond job sizes.
+fn bench_backend(
+    backend: &'static str,
+    app: SequentialApp,
+    jobs: usize,
+    reps: usize,
+    build: &dyn Fn() -> Result<Engine, manifold::prelude::MfError>,
+) -> BackendStats {
+    let oracle = app.run().expect("sequential oracle");
+    let checksum = field_checksum(&oracle.combined);
+    let virtual_time = backend == "sim";
+    // The DES is deterministic: one lifecycle is the whole population.
+    let reps = if virtual_time { 1 } else { reps };
+    let mut latencies_ms = vec![f64::INFINITY; jobs];
+    let mut bit_identical = true;
+
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let mut engine = build().expect("engine construction");
+        for job in 1..=jobs {
+            let t_job = Instant::now();
+            let report = engine
+                .submit(AppConfig::new(app))
+                .wait()
+                .expect("engine job");
+            let wall_ms = if job == 1 {
+                // Cold job: fleet bring-up + first solve.
+                t0.elapsed().as_secs_f64() * 1e3
+            } else {
+                t_job.elapsed().as_secs_f64() * 1e3
+            };
+            let sample = if virtual_time {
+                report.latency_s * 1e3
+            } else {
+                wall_ms
+            };
+            latencies_ms[job - 1] = latencies_ms[job - 1].min(sample);
+            if report.result.combined != oracle.combined
+                || report.result.l2_error != oracle.l2_error
+            {
+                eprintln!("engine_bench: {backend} job {job} drifted from the sequential oracle");
+                bit_identical = false;
+            }
+        }
+        engine.shutdown();
+    }
+    summarize(
+        backend,
+        virtual_time,
+        &latencies_ms,
+        bit_identical,
+        checksum,
+    )
+}
+
+fn render_json(level: u32, reps: usize, policy: &str, stats: &[BackendStats]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"engine_bench\",\n");
+    out.push_str(&format!("  \"level\": {level},\n"));
+    out.push_str(&format!("  \"reps\": {reps},\n"));
+    out.push_str(&format!("  \"policy\": \"{policy}\",\n"));
+    out.push_str("  \"backends\": {\n");
+    for (i, s) in stats.iter().enumerate() {
+        out.push_str(&format!(
+            "    \"{}\": {{\n      \"jobs\": {},\n      \"virtual_time\": {},\n      \
+             \"jobs_per_sec\": {:.3},\n      \"job1_ms\": {:.3},\n      \
+             \"jobs2plus_mean_ms\": {:.3},\n      \"p50_ms\": {:.3},\n      \
+             \"p95_ms\": {:.3},\n      \"warm_speedup\": {:.2},\n      \
+             \"bit_identical\": {},\n      \"checksum\": \"{:016x}\"\n    }}{}\n",
+            s.backend,
+            s.jobs,
+            s.virtual_time,
+            s.jobs_per_sec,
+            s.job1_ms,
+            s.jobs2plus_mean_ms,
+            s.p50_ms,
+            s.p95_ms,
+            s.warm_speedup,
+            s.bit_identical,
+            s.checksum,
+            if i + 1 < stats.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn main() {
+    let cli = Cli::parse("engine_bench", USAGE);
+    let jobs = cli.parsed("--jobs", 8usize).max(2);
+    let level = cli.parsed("--level", 4u32);
+    let instances = cli.parsed("--instances", 2usize);
+    let reps = cli.parsed("--reps", 5usize).max(1);
+    let policy = cli.policy();
+    let backends: Vec<&'static str> = match cli.value("--backend").unwrap_or("all") {
+        "threads" => vec!["threads"],
+        "procs" => vec!["procs"],
+        "sim" => vec!["sim"],
+        "all" => vec!["threads", "procs", "sim"],
+        other => cli.usage_exit(&format!(
+            "--backend: unknown backend {other:?} (expected threads, procs, sim, or all)"
+        )),
+    };
+
+    let app = SequentialApp::new(2, level, 1e-3);
+    let opts = || EngineOpts {
+        capacity_level: level,
+        ..EngineOpts::default()
+    };
+
+    println!(
+        "engine_bench — {jobs} jobs at level {level}, dispatch: {}, \
+         per-position floor over {reps} fleet lifecycles (job 1 includes fleet bring-up)",
+        policy.name()
+    );
+    println!();
+    println!("| backend |  jobs/s | job1 ms | warm mean ms |  p50 ms |  p95 ms | warm speedup | identical |");
+    println!("|---------|---------|---------|--------------|---------|---------|--------------|-----------|");
+
+    let mut stats = Vec::new();
+    for backend in backends {
+        let s = match backend {
+            // The distributed deployment: workers live in their own task
+            // instances, so job 1 pays the forks and warm jobs reuse the
+            // parked `{perpetual}` instances (Parallel bundles everything
+            // into the startup instance — nothing to amortize).
+            "threads" => bench_backend("threads", app, jobs, reps, &|| {
+                let mode = RunMode::Distributed {
+                    hosts: RunMode::paper_hosts(),
+                };
+                Engine::threads(mode, policy.clone(), opts())
+            }),
+            "procs" => bench_backend("procs", app, jobs, reps, &|| {
+                Engine::procs(ProcsConfig::new(instances), policy.clone(), opts())
+            }),
+            "sim" => bench_backend("sim", app, jobs, reps, &|| {
+                Engine::sim(None, policy.clone(), opts())
+            }),
+            _ => unreachable!(),
+        };
+        println!(
+            "| {:>7} | {:>7.2} | {:>7.2} | {:>12.2} | {:>7.2} | {:>7.2} | {:>11.2}x | {:>9} |",
+            s.backend,
+            s.jobs_per_sec,
+            s.job1_ms,
+            s.jobs2plus_mean_ms,
+            s.p50_ms,
+            s.p95_ms,
+            s.warm_speedup,
+            if s.bit_identical { "yes" } else { "NO" }
+        );
+        stats.push(s);
+    }
+    println!();
+
+    let mut failed = false;
+    for s in &stats {
+        if !s.bit_identical {
+            eprintln!("engine_bench: {} results are not bit-identical", s.backend);
+            failed = true;
+        }
+        if s.jobs2plus_mean_ms >= s.job1_ms {
+            eprintln!(
+                "engine_bench: {} warm mean {:.2} ms not below cold job 1 {:.2} ms — \
+                 fleet setup was not amortized",
+                s.backend, s.jobs2plus_mean_ms, s.job1_ms
+            );
+            failed = true;
+        }
+    }
+
+    let json = render_json(level, reps, policy.name(), &stats);
+    match cli.value("--json") {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write --json file");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

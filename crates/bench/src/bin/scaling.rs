@@ -26,45 +26,29 @@
 
 use std::sync::Arc;
 
+use bench::cli::Cli;
 use bench::live::{field_checksum, run_live_with, Backend, LiveOpts};
 use cluster::hosts::{paper_cluster, ClusterSpec};
 use cluster::noise::Perturbation;
 use cluster::sim::DistributedSim;
 use renovation::cost::CostModel;
 
+const USAGE: &str = "[--level N] [--tol T] [--backend sim|threads|procs] \
+     [--faults <seed|plan>] [--checkpoint-dir DIR] [--resume]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let backend = args
-        .iter()
-        .position(|a| a == "--backend")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| Backend::parse(v).expect("unknown --backend (sim|threads|procs)"))
-        .unwrap_or(Backend::Sim);
-    let level: u32 = args
-        .iter()
-        .position(|a| a == "--level")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if backend == Backend::Sim { 13 } else { 6 });
-    let tol: f64 = args
-        .iter()
-        .position(|a| a == "--tol")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(1.0e-3);
+    let cli = Cli::parse("scaling", USAGE);
+    let backend = cli.backend(Backend::Sim);
+    let level = cli.parsed(
+        "--level",
+        if backend == Backend::Sim { 13u32 } else { 6u32 },
+    );
+    let tol = cli.parsed("--tol", 1.0e-3f64);
 
     if backend != Backend::Sim {
-        let fault_spec = args
-            .iter()
-            .position(|a| a == "--faults")
-            .and_then(|i| args.get(i + 1))
-            .cloned();
-        let checkpoint_dir = args
-            .iter()
-            .position(|a| a == "--checkpoint-dir")
-            .and_then(|i| args.get(i + 1))
-            .map(std::path::PathBuf::from);
-        let resume = args.iter().any(|a| a == "--resume");
+        let fault_spec = cli.fault_spec();
+        let checkpoint_dir = cli.checkpoint_dir();
+        let resume = cli.flag("--resume");
         let app = solver::sequential::SequentialApp::new(2, level, tol);
         let seq = app.run().expect("sequential reference");
         let reference = field_checksum(&seq.combined);
@@ -84,12 +68,9 @@ fn main() {
         let mut base = None;
         for window in [1usize, 2, 4, 8] {
             let policy = Arc::new(protocol::BoundedReuse::new(window));
-            let faults = fault_spec.as_deref().map(|spec| match spec.parse::<u64>() {
-                Ok(seed) => {
-                    chaos::FaultPlan::from_seed(seed, window as u64, (2 * level + 1) as u64)
-                }
-                Err(_) => chaos::FaultPlan::parse(spec).expect("malformed --faults plan"),
-            });
+            let faults = fault_spec
+                .as_deref()
+                .map(|spec| cli.fault_plan(spec, window as u64, (2 * level + 1) as u64));
             let opts = LiveOpts {
                 faults,
                 checkpoint_dir: checkpoint_dir.clone(),

@@ -19,58 +19,31 @@
 //! the two live backends must print identical rows: same jobs, same L2
 //! error, same solution checksum.
 
+use bench::cli::Cli;
 use bench::live::{run_live_with, Backend, LiveOpts};
 use renovation::run_distributed_experiment_with_policy;
 
+const USAGE: &str = "[--io-workers] [--runs N] \
+     [--policy paper-faithful|bounded-reuse:N|cost-aware] \
+     [--backend sim|threads|procs] [--max-level N] [--instances N] \
+     [--faults <seed|plan>] [--checkpoint-dir DIR] [--resume]";
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let io_workers = args.iter().any(|a| a == "--io-workers");
-    let runs = args
-        .iter()
-        .position(|a| a == "--runs")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(5usize);
-    let policy = args
-        .iter()
-        .position(|a| a == "--policy")
-        .and_then(|i| args.get(i + 1))
-        .map(|spec| protocol::parse_policy(spec).expect("unknown --policy"))
-        .unwrap_or_else(|| std::sync::Arc::new(protocol::PaperFaithful));
-    let backend = args
-        .iter()
-        .position(|a| a == "--backend")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| Backend::parse(v).expect("unknown --backend (sim|threads|procs)"))
-        .unwrap_or(Backend::Sim);
+    let cli = Cli::parse("table1", USAGE);
+    let io_workers = cli.flag("--io-workers");
+    let runs = cli.parsed("--runs", 5usize);
+    let policy = cli.policy();
+    let backend = cli.backend(Backend::Sim);
 
     if backend != Backend::Sim {
-        let max_level: u32 = args
-            .iter()
-            .position(|a| a == "--max-level")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(5);
-        let instances: usize = args
-            .iter()
-            .position(|a| a == "--instances")
-            .and_then(|i| args.get(i + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(2);
+        let max_level = cli.parsed("--max-level", 5u32);
+        let instances = cli.parsed("--instances", 2usize);
         // `--faults` is either a bare u64 — a seed for a generated
         // schedule, scaled to each level's job count — or a full textual
         // chaos::FaultPlan applied verbatim.
-        let fault_spec = args
-            .iter()
-            .position(|a| a == "--faults")
-            .and_then(|i| args.get(i + 1))
-            .cloned();
-        let checkpoint_dir = args
-            .iter()
-            .position(|a| a == "--checkpoint-dir")
-            .and_then(|i| args.get(i + 1))
-            .map(std::path::PathBuf::from);
-        let resume = args.iter().any(|a| a == "--resume");
+        let fault_spec = cli.fault_spec();
+        let checkpoint_dir = cli.checkpoint_dir();
+        let resume = cli.flag("--resume");
         println!(
             "Table 1, live {backend:?} backend — levels 0–{max_level}, tol 1.0e-3, \
              dispatch: {}{}",
@@ -90,12 +63,9 @@ fn main() {
         );
         for level in 0..=max_level {
             let app = solver::sequential::SequentialApp::new(2, level, 1.0e-3);
-            let faults = fault_spec.as_deref().map(|spec| match spec.parse::<u64>() {
-                Ok(seed) => {
-                    chaos::FaultPlan::from_seed(seed, instances as u64, (2 * level + 1) as u64)
-                }
-                Err(_) => chaos::FaultPlan::parse(spec).expect("malformed --faults plan"),
-            });
+            let faults = fault_spec
+                .as_deref()
+                .map(|spec| cli.fault_plan(spec, instances as u64, (2 * level + 1) as u64));
             let opts = LiveOpts {
                 faults,
                 checkpoint_dir: checkpoint_dir.clone(),

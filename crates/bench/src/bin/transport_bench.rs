@@ -25,6 +25,7 @@ use transport::{decode_unit, encode_unit_vec, Addr, Conn, Message};
 fn round_trips(conn: &mut Conn, payload: &Unit, warmup: usize, iters: usize) -> (f64, usize) {
     let bytes = Message::Job {
         seq: 0,
+        job: 0,
         payload: payload.clone(),
     }
     .encode()
@@ -34,6 +35,7 @@ fn round_trips(conn: &mut Conn, payload: &Unit, warmup: usize, iters: usize) -> 
     for seq in 0..warmup as u64 {
         conn.send_msg(&Message::Job {
             seq,
+            job: 0,
             payload: payload.clone(),
         })
         .unwrap();
@@ -43,6 +45,7 @@ fn round_trips(conn: &mut Conn, payload: &Unit, warmup: usize, iters: usize) -> 
     for seq in 0..iters as u64 {
         conn.send_msg(&Message::Job {
             seq,
+            job: 0,
             payload: payload.clone(),
         })
         .unwrap();
@@ -66,8 +69,8 @@ fn main() {
         let mut conn = Conn::Tcp(sock);
         while let Ok(Some(msg)) = conn.recv_msg() {
             match msg {
-                Message::Job { seq, payload } => {
-                    conn.send_msg(&Message::Done { seq, payload }).unwrap()
+                Message::Job { seq, job, payload } => {
+                    conn.send_msg(&Message::Done { seq, job, payload }).unwrap()
                 }
                 Message::Shutdown => break,
                 _ => {}

@@ -38,6 +38,6 @@ pub mod workload;
 pub use hosts::{paper_cluster, ClusterSpec, Host};
 pub use network::NetworkModel;
 pub use noise::Perturbation;
-pub use sim::{CoordCosts, DistributedReport, DistributedSim};
+pub use sim::{CoordCosts, DistributedReport, DistributedSim, SimFleet};
 pub use timeline::StepTrace;
 pub use workload::{Job, Workload};

@@ -225,330 +225,7 @@ impl DistributedSim {
         plan: &FaultPlan,
         retry_budget: usize,
     ) -> Result<DistributedReport, String> {
-        // Index the plan by dispatch ordinal. Earlier faults win a collision,
-        // matching `FaultPlan::worker_faults`.
-        let mut lost: BTreeMap<u64, FaultKind> = BTreeMap::new();
-        let mut stall_ms: BTreeMap<u64, u64> = BTreeMap::new();
-        for fault in &plan.faults {
-            match *fault {
-                FaultKind::WorkerCrash { on_job, .. }
-                | FaultKind::ConnDrop { on_job, .. }
-                | FaultKind::FrameCorrupt { on_job, .. } => {
-                    lost.entry(on_job).or_insert(*fault);
-                }
-                FaultKind::ConnStall { on_job, millis, .. } => {
-                    stall_ms.entry(on_job).or_insert(millis);
-                }
-                FaultKind::HeartbeatDelay { .. } | FaultKind::MasterKill { .. } => {}
-            }
-        }
-        // Drawn from only when a loss actually fires, so an empty plan
-        // leaves the `noise` sequence untouched.
-        let mut chaos_rng = StdRng::seed_from_u64(plan.seed ^ 0x00c5_a05c_0de0_f003);
-        let mut dispatch_no = 0u64;
-        let mut redispatches = 0usize;
-
-        let mut bundler = Bundler::new(Self::link_spec(), self.config_spec());
-        let master_name = Name::new("Master");
-        let worker_name = Name::new("Worker");
-        let master_placement = bundler.place(&master_name);
-        let master_host = master_placement.host.clone();
-        let master_speed = self.cluster.flops_per_sec(&master_host);
-
-        let mut records: Vec<TraceRecord> = Vec::new();
-        let mut busy_intervals: HashMap<HostName, Vec<(f64, f64)>> = HashMap::new();
-        let mut deaths: EventQueue<WorkerDeath> = EventQueue::new();
-        let mut task_forks = 0usize;
-        let mut next_proc = 2u64; // process ids: master is 1
-                                  // Single-processor machines: a worker computes only when its host's
-                                  // CPU is free (earlier workers bundled onto the same machine run
-                                  // first — FIFO, which has the same makespan as time slicing).
-        let mut cpu_free: HashMap<HostName, f64> = HashMap::new();
-
-        let record = |records: &mut Vec<TraceRecord>,
-                      host: &HostName,
-                      placement: &Placement,
-                      proc_uid: u64,
-                      manifold: &str,
-                      line: u32,
-                      t: f64,
-                      msg: &str| {
-            let micros = (t * 1e6).round() as u64;
-            records.push(TraceRecord {
-                host: host.clone(),
-                task_uid: TraceRecord::task_uid_for(placement.task),
-                proc_uid,
-                secs: TRACE_EPOCH_SECS + micros / 1_000_000,
-                usecs: (micros % 1_000_000) as u32,
-                task_name: placement.task_name.clone(),
-                manifold_name: Name::new(manifold),
-                source_file: "ResSourceCode.c".into(),
-                line,
-                message: msg.into(),
-            });
-        };
-
-        // Application start-up, then master initialization on the start-up
-        // machine.
-        let mut t = self.costs.startup
-            + noise.perturb(self.cluster.compute_time(&master_host, wl.init_flops));
-        record(
-            &mut records,
-            &master_host,
-            &master_placement,
-            1,
-            "Master(port in)",
-            136,
-            t,
-            "Welcome",
-        );
-
-        for pool in &wl.pools {
-            // create_pool + Create_Worker_Pool entry.
-            t += self.costs.event_latency + self.costs.pool_setup;
-            let mut result_arrivals: Vec<(f64, usize)> = Vec::new();
-            let mut last_death_event = t;
-
-            // The policy sees each job's cost and answers with a dispatch
-            // order and an in-flight window.
-            let costs: Vec<f64> = pool.iter().map(|j| j.flops).collect();
-            let order = policy.order(&costs);
-            debug_assert_eq!(order.len(), pool.len());
-            let window = policy.window(pool.len()).max(1);
-
-            // A worklist rather than a plain loop: a job whose worker is
-            // lost goes back on the queue, not before the master has
-            // detected the loss.
-            let mut queue: VecDeque<(usize, f64)> = order.iter().map(|&ji| (ji, 0.0)).collect();
-            while let Some((ji, not_before)) = queue.pop_front() {
-                let job = &pool[ji];
-                // Backpressure: with the window full, the master collects
-                // the earliest pending result before feeding more work.
-                while result_arrivals.len() >= window {
-                    let k = result_arrivals
-                        .iter()
-                        .enumerate()
-                        .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
-                        .map(|(i, _)| i)
-                        .expect("window is full");
-                    let (arrival, bytes) = result_arrivals.remove(k);
-                    let handle = wl.collect_flops_per_byte * bytes as f64 / master_speed;
-                    t = t.max(arrival) + noise.perturb(handle);
-                }
-                // A re-dispatched job waits for the loss to be detected.
-                t = t.max(not_before);
-                dispatch_no += 1;
-                let this_dispatch = dispatch_no;
-                // Master raises create_worker; the coordinator reacts.
-                t += self.costs.event_latency;
-                // Any worker whose task already expired frees its machine
-                // before this placement (perpetual reuse).
-                for (_, d) in deaths.pop_until(t) {
-                    bundler.release(&d.placement);
-                }
-                // Coordinator creates the worker process...
-                t += self.costs.worker_create;
-                let placement = bundler.place(&worker_name);
-                if placement.forked {
-                    task_forks += 1;
-                }
-                let busy_start = t;
-                // ...and sends its reference to the master.
-                t += self.costs.event_latency;
-                // Master activates the worker (forking its task instance if
-                // the bundler had to start a fresh one; the first fork of a
-                // run pays the cold binary load).
-                t += self.costs.activation;
-                if placement.forked {
-                    t += self.costs.task_fork;
-                    if task_forks == 1 {
-                        t += self.costs.first_fork_extra;
-                    }
-                }
-                // Master feeds the worker: serialize + transfer.
-                let same_host = placement.host == master_host;
-                let feed = wl.feed_flops_per_byte * job.input_bytes as f64 / master_speed
-                    + self.network.transfer(job.input_bytes, same_host);
-                t += noise.perturb(feed);
-
-                // The worker computes concurrently from here on — but its
-                // single-processor host may still be running earlier
-                // workers.
-                let cpu = cpu_free.entry(placement.host.clone()).or_insert(0.0);
-                let worker_start = t.max(*cpu);
-                let mut compute =
-                    noise.perturb(self.cluster.compute_time(&placement.host, job.flops));
-                if let Some(ms) = stall_ms.get(&this_dispatch) {
-                    // ConnStall: the worker sleeps before computing, but its
-                    // heartbeats keep flowing — nothing is declared dead.
-                    compute += *ms as f64 / 1000.0;
-                }
-                if let Some(kind) = lost.get(&this_dispatch).copied() {
-                    // How much of the job ran before the loss.
-                    let fraction = match kind {
-                        FaultKind::FrameCorrupt { .. } => 1.0,
-                        FaultKind::ConnDrop { .. } => 0.05 * chaos_rng.gen::<f64>(),
-                        _ => 0.25 + 0.5 * chaos_rng.gen::<f64>(),
-                    };
-                    let worker_end = worker_start + fraction * compute;
-                    *cpu = worker_end;
-                    // A corrupt reply still crosses the network and is
-                    // rejected on arrival; a silent death is declared only
-                    // after the loss-detection window.
-                    let detect_at = match kind {
-                        FaultKind::FrameCorrupt { .. } => {
-                            worker_end + self.network.transfer(job.output_bytes, same_host)
-                        }
-                        _ => worker_end + LOSS_DETECTION_SECS,
-                    };
-                    let proc_uid = next_proc;
-                    next_proc += 1;
-                    record(
-                        &mut records,
-                        &placement.host,
-                        &placement,
-                        proc_uid,
-                        "Worker(event)",
-                        351,
-                        worker_start,
-                        "Welcome",
-                    );
-                    record(
-                        &mut records,
-                        &placement.host,
-                        &placement,
-                        proc_uid,
-                        "Worker(event)",
-                        370,
-                        worker_end,
-                        &format!("worker lost ({kind}, dispatch {this_dispatch})"),
-                    );
-                    busy_intervals
-                        .entry(placement.host.clone())
-                        .or_default()
-                        .push((busy_start, worker_end));
-                    last_death_event = last_death_event.max(worker_end + self.costs.event_latency);
-                    deaths.schedule(worker_end, WorkerDeath { placement });
-                    if redispatches >= retry_budget {
-                        return Err(format!(
-                            "worker lost ({kind}, dispatch {this_dispatch}); \
-                             retry budget ({retry_budget}) exhausted"
-                        ));
-                    }
-                    redispatches += 1;
-                    queue.push_back((ji, detect_at));
-                    continue;
-                }
-                let worker_end = worker_start + compute;
-                *cpu = worker_end;
-                let flush = self.network.transfer(job.output_bytes, same_host);
-                let result_arrival = worker_end + flush;
-                // The task instance can expire once the result has left its
-                // buffers; the death_worker event reaches the coordinator a
-                // hair after the worker's last action.
-                let release = worker_end + flush;
-                last_death_event = last_death_event.max(worker_end + self.costs.event_latency);
-
-                let proc_uid = next_proc;
-                next_proc += 1;
-                record(
-                    &mut records,
-                    &placement.host,
-                    &placement,
-                    proc_uid,
-                    "Worker(event)",
-                    351,
-                    worker_start,
-                    "Welcome",
-                );
-                record(
-                    &mut records,
-                    &placement.host,
-                    &placement,
-                    proc_uid,
-                    "Worker(event)",
-                    370,
-                    worker_end,
-                    "Bye",
-                );
-                busy_intervals
-                    .entry(placement.host.clone())
-                    .or_default()
-                    .push((busy_start, release));
-                result_arrivals.push((result_arrival, job.output_bytes));
-                deaths.schedule(release, WorkerDeath { placement });
-            }
-
-            // Collect phase: the master drains the remaining in-flight
-            // results serially, in arrival order.
-            result_arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
-            for (arrival, bytes) in result_arrivals {
-                let handle = wl.collect_flops_per_byte * bytes as f64 / master_speed;
-                t = t.max(arrival) + noise.perturb(handle);
-            }
-
-            // Rendezvous: the coordinator has to count every death_worker.
-            t += self.costs.event_latency;
-            t = t.max(last_death_event) + self.costs.event_latency;
-            for (_, d) in deaths.pop_until(t) {
-                bundler.release(&d.placement);
-            }
-        }
-
-        // Prolongation on the master, then done.
-        t += noise.perturb(self.cluster.compute_time(&master_host, wl.prolong_flops));
-        let elapsed = t;
-        record(
-            &mut records,
-            &master_host,
-            &master_placement,
-            1,
-            "Master(port in)",
-            337,
-            elapsed,
-            "Bye",
-        );
-
-        // The master's machine is busy for the whole run.
-        busy_intervals
-            .entry(master_host.clone())
-            .or_default()
-            .push((0.0, elapsed));
-
-        // Busy-machine step function: union of intervals per host, then one
-        // +1/−1 pair per maximal busy stretch.
-        let mut busy = StepTrace::new();
-        for intervals in busy_intervals.values_mut() {
-            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let mut current: Option<(f64, f64)> = None;
-            for &(s, e) in intervals.iter() {
-                match current {
-                    Some((cs, ce)) if s <= ce => current = Some((cs, ce.max(e))),
-                    Some((cs, ce)) => {
-                        busy.interval(cs, ce);
-                        current = Some((s, e));
-                    }
-                    None => current = Some((s, e)),
-                }
-            }
-            if let Some((cs, ce)) = current {
-                busy.interval(cs, ce);
-            }
-        }
-
-        records.sort_by_key(|a| (a.secs, a.usecs));
-        let weighted_avg_machines = busy.weighted_average(0.0, elapsed);
-        let peak_machines = busy.peak();
-        Ok(DistributedReport {
-            elapsed,
-            busy,
-            weighted_avg_machines,
-            peak_machines,
-            task_forks,
-            records,
-            master_host,
-            redispatches,
-        })
+        SimFleet::new(self.clone(), plan, retry_budget).submit(wl, noise, policy)
     }
 
     /// Run `runs` seeded repetitions (the paper ran five) and average the
@@ -587,6 +264,443 @@ impl DistributedSim {
         }
         let n = runs as f64;
         (st_sum / n, ct_sum / n, m_sum / n, reports)
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // one call site per trace field set
+fn push_record(
+    records: &mut Vec<TraceRecord>,
+    host: &HostName,
+    placement: &Placement,
+    proc_uid: u64,
+    manifold: &str,
+    line: u32,
+    t: f64,
+    msg: &str,
+) {
+    let micros = (t * 1e6).round() as u64;
+    records.push(TraceRecord {
+        host: host.clone(),
+        task_uid: TraceRecord::task_uid_for(placement.task),
+        proc_uid,
+        secs: TRACE_EPOCH_SECS + micros / 1_000_000,
+        usecs: (micros % 1_000_000) as u32,
+        task_name: placement.task_name.clone(),
+        manifold_name: Name::new(manifold),
+        source_file: "ResSourceCode.c".into(),
+        line,
+        message: msg.into(),
+    });
+}
+
+/// The multi-job discrete-event simulation: one persistent simulated
+/// worker fleet serving a *stream* of workloads over a single virtual
+/// timeline.
+///
+/// [`DistributedSim::run_with_faults`] is a one-job fleet: the first job
+/// submitted to a fresh fleet reproduces it bit for bit, noise draw for
+/// noise draw. Jobs after the first run warm — they skip the application
+/// [`CoordCosts::startup`], and their workers re-activate the perpetual
+/// task instances the previous job left parked in the bundler, paying
+/// neither `task_fork` nor `first_fork_extra`. The per-job virtual latency
+/// of a warm fleet is therefore strictly below the cold first job's.
+///
+/// Each job gets a fresh job-scoped master (its own `Welcome`/`Bye` pair
+/// and process uid); the bundler, the machine CPU timelines, and the
+/// pending-death queue belong to the fleet. A fault plan's `on_job`
+/// ordinals index the fleet-lifetime dispatch sequence, so an injected
+/// fault can fire in any job — fault plans extend across job boundaries —
+/// and the retry budget is likewise fleet-lifetime. After a submit returns
+/// `Err` the fleet's virtual state is mid-job and further submissions are
+/// not meaningful.
+pub struct SimFleet {
+    sim: DistributedSim,
+    bundler: Bundler,
+    master_name: Name,
+    worker_name: Name,
+    /// The fleet's virtual clock: end of the last completed job.
+    t: f64,
+    deaths: EventQueue<WorkerDeath>,
+    task_forks: usize,
+    next_proc: u64,
+    // Single-processor machines: a worker computes only when its host's
+    // CPU is free (earlier workers bundled onto the same machine run
+    // first — FIFO, which has the same makespan as time slicing).
+    cpu_free: HashMap<HostName, f64>,
+    // The fault plan indexed by fleet-lifetime dispatch ordinal. Earlier
+    // faults win a collision, matching `FaultPlan::worker_faults`.
+    lost: BTreeMap<u64, FaultKind>,
+    stall_ms: BTreeMap<u64, u64>,
+    // Drawn from only when a loss actually fires, so an empty plan leaves
+    // the per-job `noise` sequences untouched.
+    chaos_rng: StdRng,
+    dispatch_no: u64,
+    redispatches: usize,
+    retry_budget: usize,
+    jobs_served: usize,
+}
+
+impl SimFleet {
+    /// A cold fleet: nothing forked, virtual clock at zero, the given
+    /// fault plan armed against the fleet-lifetime dispatch sequence.
+    pub fn new(sim: DistributedSim, plan: &FaultPlan, retry_budget: usize) -> SimFleet {
+        let mut lost: BTreeMap<u64, FaultKind> = BTreeMap::new();
+        let mut stall_ms: BTreeMap<u64, u64> = BTreeMap::new();
+        for fault in &plan.faults {
+            match *fault {
+                FaultKind::WorkerCrash { on_job, .. }
+                | FaultKind::ConnDrop { on_job, .. }
+                | FaultKind::FrameCorrupt { on_job, .. } => {
+                    lost.entry(on_job).or_insert(*fault);
+                }
+                FaultKind::ConnStall { on_job, millis, .. } => {
+                    stall_ms.entry(on_job).or_insert(millis);
+                }
+                FaultKind::HeartbeatDelay { .. } | FaultKind::MasterKill { .. } => {}
+            }
+        }
+        let chaos_rng = StdRng::seed_from_u64(plan.seed ^ 0x00c5_a05c_0de0_f003);
+        let bundler = Bundler::new(DistributedSim::link_spec(), sim.config_spec());
+        SimFleet {
+            sim,
+            bundler,
+            master_name: Name::new("Master"),
+            worker_name: Name::new("Worker"),
+            t: 0.0,
+            deaths: EventQueue::new(),
+            task_forks: 0,
+            next_proc: 1,
+            cpu_free: HashMap::new(),
+            lost,
+            stall_ms,
+            chaos_rng,
+            dispatch_no: 0,
+            redispatches: 0,
+            retry_budget,
+            jobs_served: 0,
+        }
+    }
+
+    /// Jobs this fleet has served to completion.
+    pub fn jobs_served(&self) -> usize {
+        self.jobs_served
+    }
+
+    /// Task instances forked over the fleet's whole life.
+    pub fn task_forks(&self) -> usize {
+        self.task_forks
+    }
+
+    /// Idle perpetual worker instances currently parked in the bundler,
+    /// ready to be re-activated fork-free by the next job.
+    pub fn parked_workers(&self) -> usize {
+        self.bundler.parked_instances()
+    }
+
+    /// Serve one job: a fresh job-scoped master runs `wl` on the fleet.
+    ///
+    /// The report's `elapsed` is the *per-job* virtual latency (submit to
+    /// completion); its records, busy trace, and machine averages cover
+    /// only this job. `task_forks` is the fleet-lifetime count (so the
+    /// first job of a fresh fleet reports exactly what
+    /// [`DistributedSim::run_with_faults`] reports); `redispatches` counts
+    /// only this job's losses.
+    pub fn submit(
+        &mut self,
+        wl: &Workload,
+        noise: &mut Perturbation,
+        policy: &dyn DispatchPolicy,
+    ) -> Result<DistributedReport, String> {
+        let job_start = self.t;
+        let redispatches_before = self.redispatches;
+        let master_placement = self.bundler.place(&self.master_name);
+        let master_host = master_placement.host.clone();
+        let master_speed = self.sim.cluster.flops_per_sec(&master_host);
+        let master_uid = self.next_proc;
+        self.next_proc += 1;
+
+        let mut records: Vec<TraceRecord> = Vec::new();
+        let mut busy_intervals: HashMap<HostName, Vec<(f64, f64)>> = HashMap::new();
+
+        // Application start-up (first job only — the fleet stays up
+        // between jobs), then this master's initialization on the
+        // start-up machine.
+        if self.jobs_served == 0 {
+            self.t += self.sim.costs.startup;
+        }
+        self.t += noise.perturb(self.sim.cluster.compute_time(&master_host, wl.init_flops));
+        let mut t = self.t;
+        push_record(
+            &mut records,
+            &master_host,
+            &master_placement,
+            master_uid,
+            "Master(port in)",
+            136,
+            t,
+            "Welcome",
+        );
+
+        for pool in &wl.pools {
+            // create_pool + Create_Worker_Pool entry.
+            t += self.sim.costs.event_latency + self.sim.costs.pool_setup;
+            let mut result_arrivals: Vec<(f64, usize)> = Vec::new();
+            let mut last_death_event = t;
+
+            // The policy sees each job's cost and answers with a dispatch
+            // order and an in-flight window.
+            let costs: Vec<f64> = pool.iter().map(|j| j.flops).collect();
+            let order = policy.order(&costs);
+            debug_assert_eq!(order.len(), pool.len());
+            let window = policy.window(pool.len()).max(1);
+
+            // A worklist rather than a plain loop: a job whose worker is
+            // lost goes back on the queue, not before the master has
+            // detected the loss.
+            let mut queue: VecDeque<(usize, f64)> = order.iter().map(|&ji| (ji, 0.0)).collect();
+            while let Some((ji, not_before)) = queue.pop_front() {
+                let job = &pool[ji];
+                // Backpressure: with the window full, the master collects
+                // the earliest pending result before feeding more work.
+                while result_arrivals.len() >= window {
+                    let k = result_arrivals
+                        .iter()
+                        .enumerate()
+                        .min_by(|a, b| a.1 .0.total_cmp(&b.1 .0))
+                        .map(|(i, _)| i)
+                        .expect("window is full");
+                    let (arrival, bytes) = result_arrivals.remove(k);
+                    let handle = wl.collect_flops_per_byte * bytes as f64 / master_speed;
+                    t = t.max(arrival) + noise.perturb(handle);
+                }
+                // A re-dispatched job waits for the loss to be detected.
+                t = t.max(not_before);
+                self.dispatch_no += 1;
+                let this_dispatch = self.dispatch_no;
+                // Master raises create_worker; the coordinator reacts.
+                t += self.sim.costs.event_latency;
+                // Any worker whose task already expired frees its machine
+                // before this placement (perpetual reuse — including the
+                // previous job's workers, which is what makes a warm fleet
+                // fork-free).
+                for (_, d) in self.deaths.pop_until(t) {
+                    self.bundler.release(&d.placement);
+                }
+                // Coordinator creates the worker process...
+                t += self.sim.costs.worker_create;
+                let placement = self.bundler.place(&self.worker_name);
+                if placement.forked {
+                    self.task_forks += 1;
+                }
+                let busy_start = t;
+                // ...and sends its reference to the master.
+                t += self.sim.costs.event_latency;
+                // Master activates the worker (forking its task instance if
+                // the bundler had to start a fresh one; the first fork of
+                // the fleet's life pays the cold binary load).
+                t += self.sim.costs.activation;
+                if placement.forked {
+                    t += self.sim.costs.task_fork;
+                    if self.task_forks == 1 {
+                        t += self.sim.costs.first_fork_extra;
+                    }
+                }
+                // Master feeds the worker: serialize + transfer.
+                let same_host = placement.host == master_host;
+                let feed = wl.feed_flops_per_byte * job.input_bytes as f64 / master_speed
+                    + self.sim.network.transfer(job.input_bytes, same_host);
+                t += noise.perturb(feed);
+
+                // The worker computes concurrently from here on — but its
+                // single-processor host may still be running earlier
+                // workers.
+                let cpu = self.cpu_free.entry(placement.host.clone()).or_insert(0.0);
+                let worker_start = t.max(*cpu);
+                let mut compute =
+                    noise.perturb(self.sim.cluster.compute_time(&placement.host, job.flops));
+                if let Some(ms) = self.stall_ms.get(&this_dispatch) {
+                    // ConnStall: the worker sleeps before computing, but its
+                    // heartbeats keep flowing — nothing is declared dead.
+                    compute += *ms as f64 / 1000.0;
+                }
+                if let Some(kind) = self.lost.get(&this_dispatch).copied() {
+                    // How much of the job ran before the loss.
+                    let fraction = match kind {
+                        FaultKind::FrameCorrupt { .. } => 1.0,
+                        FaultKind::ConnDrop { .. } => 0.05 * self.chaos_rng.gen::<f64>(),
+                        _ => 0.25 + 0.5 * self.chaos_rng.gen::<f64>(),
+                    };
+                    let worker_end = worker_start + fraction * compute;
+                    *cpu = worker_end;
+                    // A corrupt reply still crosses the network and is
+                    // rejected on arrival; a silent death is declared only
+                    // after the loss-detection window.
+                    let detect_at = match kind {
+                        FaultKind::FrameCorrupt { .. } => {
+                            worker_end + self.sim.network.transfer(job.output_bytes, same_host)
+                        }
+                        _ => worker_end + LOSS_DETECTION_SECS,
+                    };
+                    let proc_uid = self.next_proc;
+                    self.next_proc += 1;
+                    push_record(
+                        &mut records,
+                        &placement.host,
+                        &placement,
+                        proc_uid,
+                        "Worker(event)",
+                        351,
+                        worker_start,
+                        "Welcome",
+                    );
+                    push_record(
+                        &mut records,
+                        &placement.host,
+                        &placement,
+                        proc_uid,
+                        "Worker(event)",
+                        370,
+                        worker_end,
+                        &format!("worker lost ({kind}, dispatch {this_dispatch})"),
+                    );
+                    busy_intervals
+                        .entry(placement.host.clone())
+                        .or_default()
+                        .push((busy_start, worker_end));
+                    last_death_event =
+                        last_death_event.max(worker_end + self.sim.costs.event_latency);
+                    self.deaths.schedule(worker_end, WorkerDeath { placement });
+                    if self.redispatches >= self.retry_budget {
+                        let retry_budget = self.retry_budget;
+                        return Err(format!(
+                            "worker lost ({kind}, dispatch {this_dispatch}); \
+                             retry budget ({retry_budget}) exhausted"
+                        ));
+                    }
+                    self.redispatches += 1;
+                    queue.push_back((ji, detect_at));
+                    continue;
+                }
+                let worker_end = worker_start + compute;
+                *cpu = worker_end;
+                let flush = self.sim.network.transfer(job.output_bytes, same_host);
+                let result_arrival = worker_end + flush;
+                // The task instance can expire once the result has left its
+                // buffers; the death_worker event reaches the coordinator a
+                // hair after the worker's last action.
+                let release = worker_end + flush;
+                last_death_event = last_death_event.max(worker_end + self.sim.costs.event_latency);
+
+                let proc_uid = self.next_proc;
+                self.next_proc += 1;
+                push_record(
+                    &mut records,
+                    &placement.host,
+                    &placement,
+                    proc_uid,
+                    "Worker(event)",
+                    351,
+                    worker_start,
+                    "Welcome",
+                );
+                push_record(
+                    &mut records,
+                    &placement.host,
+                    &placement,
+                    proc_uid,
+                    "Worker(event)",
+                    370,
+                    worker_end,
+                    "Bye",
+                );
+                busy_intervals
+                    .entry(placement.host.clone())
+                    .or_default()
+                    .push((busy_start, release));
+                result_arrivals.push((result_arrival, job.output_bytes));
+                self.deaths.schedule(release, WorkerDeath { placement });
+            }
+
+            // Collect phase: the master drains the remaining in-flight
+            // results serially, in arrival order.
+            result_arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for (arrival, bytes) in result_arrivals {
+                let handle = wl.collect_flops_per_byte * bytes as f64 / master_speed;
+                t = t.max(arrival) + noise.perturb(handle);
+            }
+
+            // Rendezvous: the coordinator has to count every death_worker.
+            t += self.sim.costs.event_latency;
+            t = t.max(last_death_event) + self.sim.costs.event_latency;
+            for (_, d) in self.deaths.pop_until(t) {
+                self.bundler.release(&d.placement);
+            }
+        }
+
+        // Prolongation on the master, then this job is done.
+        t += noise.perturb(
+            self.sim
+                .cluster
+                .compute_time(&master_host, wl.prolong_flops),
+        );
+        let job_end = t;
+        push_record(
+            &mut records,
+            &master_host,
+            &master_placement,
+            master_uid,
+            "Master(port in)",
+            337,
+            job_end,
+            "Bye",
+        );
+
+        // The master's machine is busy for this whole job.
+        busy_intervals
+            .entry(master_host.clone())
+            .or_default()
+            .push((job_start, job_end));
+
+        // Busy-machine step function: union of intervals per host, then one
+        // +1/−1 pair per maximal busy stretch.
+        let mut busy = StepTrace::new();
+        for intervals in busy_intervals.values_mut() {
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let mut current: Option<(f64, f64)> = None;
+            for &(s, e) in intervals.iter() {
+                match current {
+                    Some((cs, ce)) if s <= ce => current = Some((cs, ce.max(e))),
+                    Some((cs, ce)) => {
+                        busy.interval(cs, ce);
+                        current = Some((s, e));
+                    }
+                    None => current = Some((s, e)),
+                }
+            }
+            if let Some((cs, ce)) = current {
+                busy.interval(cs, ce);
+            }
+        }
+
+        records.sort_by_key(|a| (a.secs, a.usecs));
+        let weighted_avg_machines = busy.weighted_average(job_start, job_end);
+        let peak_machines = busy.peak();
+
+        // The job-scoped master dies; its (perpetual, startup) instance
+        // parks for the next job's master.
+        self.bundler.release(&master_placement);
+        self.t = job_end;
+        self.jobs_served += 1;
+        Ok(DistributedReport {
+            elapsed: job_end - job_start,
+            busy,
+            weighted_avg_machines,
+            peak_machines,
+            task_forks: self.task_forks,
+            records,
+            master_host,
+            redispatches: self.redispatches - redispatches_before,
+        })
     }
 }
 
@@ -916,5 +1030,85 @@ mod tests {
         let ct2 = sim.run(&two_pools, &mut Perturbation::none()).elapsed;
         // The pool barrier (rendezvous between pools) can only slow it down.
         assert!(ct2 >= ct1, "two pools {ct2} vs one pool {ct1}");
+    }
+
+    #[test]
+    fn fleet_job1_matches_solo_run_exactly() {
+        let sim = sim();
+        let wl = simple_workload(6, 1e9);
+        let solo = sim.run_with_policy(&wl, &mut Perturbation::overnight(7), &PaperFaithful);
+        let mut fleet = SimFleet::new(sim, &FaultPlan::default(), 0);
+        let first = fleet
+            .submit(&wl, &mut Perturbation::overnight(7), &PaperFaithful)
+            .unwrap();
+        // The first job of a fresh fleet *is* the one-shot run: same virtual
+        // times, same machine trace, same records, bit for bit.
+        assert_eq!(first.elapsed, solo.elapsed);
+        assert_eq!(first.weighted_avg_machines, solo.weighted_avg_machines);
+        assert_eq!(first.peak_machines, solo.peak_machines);
+        assert_eq!(first.task_forks, solo.task_forks);
+        assert_eq!(first.records, solo.records);
+        assert_eq!(fleet.jobs_served(), 1);
+    }
+
+    #[test]
+    fn warm_fleet_jobs_are_strictly_faster_and_fork_free() {
+        let wl = simple_workload(6, 1e9);
+        let mut fleet = SimFleet::new(sim(), &FaultPlan::default(), 0);
+        let cold = fleet
+            .submit(&wl, &mut Perturbation::none(), &PaperFaithful)
+            .unwrap();
+        // The first job parked its perpetual worker instances in the bundler.
+        assert!(fleet.parked_workers() > 0, "{}", fleet.parked_workers());
+        let forks_after_cold = fleet.task_forks();
+        let warm = fleet
+            .submit(&wl, &mut Perturbation::none(), &PaperFaithful)
+            .unwrap();
+        // Warm jobs skip application startup and re-activate parked
+        // instances instead of forking fresh ones.
+        assert!(
+            warm.elapsed < cold.elapsed,
+            "warm {} vs cold {}",
+            warm.elapsed,
+            cold.elapsed
+        );
+        assert_eq!(fleet.task_forks(), forks_after_cold, "no new forks");
+        // And every warm job after that costs the same again (up to float
+        // rounding: later jobs run at a larger absolute virtual time).
+        let warm2 = fleet
+            .submit(&wl, &mut Perturbation::none(), &PaperFaithful)
+            .unwrap();
+        assert!(
+            (warm2.elapsed - warm.elapsed).abs() < 1e-9 * warm.elapsed,
+            "{} vs {}",
+            warm2.elapsed,
+            warm.elapsed
+        );
+        assert_eq!(fleet.jobs_served(), 3);
+    }
+
+    #[test]
+    fn fault_plan_spans_job_boundaries() {
+        let wl = simple_workload(4, 1e9);
+        // Dispatches 1..=4 belong to job 1; on_job 6 lands inside job 2.
+        let plan = FaultPlan::new(3).push(FaultKind::WorkerCrash {
+            instance: 0,
+            on_job: 6,
+        });
+        let mut fleet = SimFleet::new(sim(), &plan, 2);
+        let first = fleet
+            .submit(&wl, &mut Perturbation::none(), &PaperFaithful)
+            .unwrap();
+        assert_eq!(first.redispatches, 0, "fault must not fire in job 1");
+        let second = fleet
+            .submit(&wl, &mut Perturbation::none(), &PaperFaithful)
+            .unwrap();
+        assert_eq!(second.redispatches, 1, "fault fires in job 2");
+        let losses = second
+            .records
+            .iter()
+            .filter(|r| r.message.contains("worker lost"))
+            .count();
+        assert_eq!(losses, 1);
     }
 }

@@ -19,6 +19,7 @@ use crate::coord::Coord;
 use crate::error::{MfError, MfResult};
 use crate::ident::{Name, ProcessId};
 use crate::link::{Bundler, LinkSpec};
+use crate::pool::ThreadPool;
 use crate::process::{AtomicProcess, LifeState, ProcessCore, ProcessCtx, ProcessRef};
 use crate::trace::{Clock, TraceSink};
 
@@ -29,6 +30,15 @@ pub(crate) struct EnvShared {
     trace: Arc<TraceSink>,
     clock: Clock,
     threads: Mutex<Vec<JoinHandle<()>>>,
+    pool: ThreadPool,
+}
+
+impl Drop for EnvShared {
+    fn drop(&mut self) {
+        // An environment dropped without `shutdown` must still wake its
+        // parked threads so they exit instead of leaking until process end.
+        self.pool.drain();
+    }
 }
 
 /// A running MANIFOLD application instance.
@@ -71,6 +81,7 @@ impl Environment {
                 trace: Arc::new(TraceSink::new()),
                 clock,
                 threads: Mutex::new(Vec::new()),
+                pool: ThreadPool::default(),
             }),
         }
     }
@@ -123,7 +134,8 @@ impl Environment {
     }
 
     /// Activate a created process: place it in a task instance per the
-    /// MLINK/CONFIG rules and start its body on a fresh thread.
+    /// MLINK/CONFIG rules and start its body on a thread — a parked one
+    /// from an earlier job when the fleet is warm, a fresh one otherwise.
     pub fn activate(&self, p: &ProcessRef) -> MfResult<()> {
         let core = p.core().clone();
         if core.life_state() != LifeState::Created {
@@ -144,18 +156,17 @@ impl Environment {
         });
         core.set_life(LifeState::Active);
         let ctx = ProcessCtx::new(core.clone());
-        let handle = std::thread::Builder::new()
-            .name(format!("{}#{}", core.manifold_name(), core.id()))
-            .spawn(move || {
-                let result = body.run(ctx);
-                match result {
-                    Ok(()) | Err(MfError::Killed) => {}
-                    Err(e) => core.record_failure(e),
-                }
-                core.terminate();
-            })
-            .expect("thread spawn");
-        self.shared.threads.lock().push(handle);
+        let job = move || {
+            let result = body.run(ctx);
+            match result {
+                Ok(()) | Err(MfError::Killed) => {}
+                Err(e) => core.record_failure(e),
+            }
+            core.terminate();
+        };
+        if let Some(handle) = self.shared.pool.run(Box::new(job)) {
+            self.shared.threads.lock().push(handle);
+        }
         Ok(())
     }
 
@@ -202,20 +213,19 @@ impl Environment {
         let core = self.make_coordinator_core(&name);
         let env = self.clone();
         let core2 = core.clone();
-        let handle = std::thread::Builder::new()
-            .name(format!("{}#{}", name, core.id()))
-            .spawn(move || {
-                let mut coord = Coord::new(ProcessCtx::new(core2.clone()), env);
-                let result = f(&mut coord);
-                if let Err(e) = result {
-                    if e != MfError::Killed {
-                        core2.record_failure(e);
-                    }
+        let job = move || {
+            let mut coord = Coord::new(ProcessCtx::new(core2.clone()), env);
+            let result = f(&mut coord);
+            if let Err(e) = result {
+                if e != MfError::Killed {
+                    core2.record_failure(e);
                 }
-                core2.terminate();
-            })
-            .expect("thread spawn");
-        self.shared.threads.lock().push(handle);
+            }
+            core2.terminate();
+        };
+        if let Some(handle) = self.shared.pool.run(Box::new(job)) {
+            self.shared.threads.lock().push(handle);
+        }
         ProcessRef::new(core)
     }
 
@@ -225,12 +235,13 @@ impl Environment {
     }
 
     /// Kill every process (their blocking operations return
-    /// [`MfError::Killed`]) and join all threads.
+    /// [`MfError::Killed`]) and join all threads, parked ones included.
     pub fn shutdown(&self) {
         let procs: Vec<Arc<ProcessCore>> = self.shared.processes.lock().values().cloned().collect();
         for p in &procs {
             p.kill();
         }
+        self.shared.pool.drain();
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.threads.lock());
         for h in handles {
             let _ = h.join();
@@ -240,13 +251,58 @@ impl Environment {
         }
     }
 
+    /// Per-job maintenance for a *perpetual* environment: drop terminated
+    /// processes from the registry and join threads that have already
+    /// finished, returning the failures the reaped processes recorded.
+    ///
+    /// An environment that serves many jobs over one fleet would otherwise
+    /// grow its registry and thread list without bound; `terminated` fires
+    /// per-process (per-job masters and workers come and go) while the
+    /// environment — and every parked perpetual task instance in its
+    /// bundler — stays alive. Live processes are untouched, so this is
+    /// safe to call between jobs while the fleet idles.
+    pub fn reap(&self) -> Vec<(ProcessId, MfError)> {
+        let mut failures = Vec::new();
+        self.shared.processes.lock().retain(|id, core| {
+            if core.life_state() == LifeState::Terminated {
+                if let Some(e) = core.failure() {
+                    failures.push((*id, e));
+                }
+                false
+            } else {
+                true
+            }
+        });
+        let mut threads = self.shared.threads.lock();
+        let mut live = Vec::with_capacity(threads.len());
+        for h in threads.drain(..) {
+            if h.is_finished() {
+                let _ = h.join();
+            } else {
+                live.push(h);
+            }
+        }
+        *threads = live;
+        failures
+    }
+
     /// Join all spawned threads without killing (application ran to
-    /// completion on its own).
+    /// completion on its own). Parked threads are woken to exit first —
+    /// they would otherwise block the join forever.
     pub fn join_all(&self) {
+        self.shared.pool.drain();
         let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.shared.threads.lock());
         for h in handles {
             let _ = h.join();
         }
+    }
+
+    /// Threads parked in the reuse pool (their last process body returned;
+    /// the next [`Environment::activate`] will hand one of them the new
+    /// body instead of spawning). Fleet introspection for engines and
+    /// benchmarks.
+    pub fn parked_threads(&self) -> usize {
+        self.shared.pool.parked()
     }
 
     /// Errors recorded by failed process bodies (excluding clean kills).
@@ -370,6 +426,33 @@ mod tests {
         assert_eq!(p1.host.as_str(), "start");
         assert!(p2.forked);
         env.shutdown();
+    }
+
+    #[test]
+    fn threads_park_and_are_reused_across_jobs() {
+        let env = Environment::new();
+        let wait_parked = |n: usize| {
+            let t0 = std::time::Instant::now();
+            while env.parked_threads() < n {
+                assert!(t0.elapsed() < Duration::from_secs(5), "thread never parked");
+                std::thread::yield_now();
+            }
+        };
+        for _ in 0..3 {
+            let p = env.create_process("P", |_ctx: ProcessCtx| Ok(()));
+            env.activate(&p).unwrap();
+            p.core().wait_terminated(Duration::from_secs(5)).unwrap();
+            // Parking happens just after terminate; wait for it so the
+            // next activation must reuse rather than spawn.
+            wait_parked(1);
+        }
+        assert_eq!(
+            env.parked_threads(),
+            1,
+            "three jobs should share one thread"
+        );
+        env.shutdown();
+        assert_eq!(env.parked_threads(), 0, "shutdown drains the pool");
     }
 
     #[test]

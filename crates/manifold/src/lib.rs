@@ -81,6 +81,7 @@ pub mod event;
 pub mod ident;
 pub mod lang;
 pub mod link;
+pub(crate) mod pool;
 pub mod port;
 pub mod process;
 pub mod remote;

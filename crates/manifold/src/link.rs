@@ -502,6 +502,19 @@ impl Bundler {
         hosts.len()
     }
 
+    /// Number of alive instances currently *parked*: perpetual instances
+    /// whose load dropped back to zero and that are waiting to welcome new
+    /// processes. The start-up instance is excluded — it is the
+    /// application's anchor, not an idle fleet member. This is the
+    /// observable half of `{perpetual}`: between jobs of a multi-job
+    /// engine every worker instance shows up here instead of dying.
+    pub fn parked_instances(&self) -> usize {
+        self.instances
+            .iter()
+            .filter(|i| i.alive && i.load == 0 && i.perpetual && i.id != TaskInstanceId(0))
+            .count()
+    }
+
     /// Current load of a task instance, if it exists.
     pub fn load_of(&self, task: TaskInstanceId) -> Option<u32> {
         self.instances.iter().find(|i| i.id == task).map(|i| i.load)
@@ -684,6 +697,23 @@ mod tests {
     fn sexpr_parser_rejects_unbalanced() {
         assert!(parse_sexprs("{a").is_err());
         assert!(parse_sexprs("a}").is_err());
+    }
+
+    #[test]
+    fn parked_instances_counts_idle_perpetual_fleet() {
+        let mut b = paper_bundler();
+        b.place(&Name::new("Master"));
+        let w1 = b.place(&Name::new("Worker"));
+        let w2 = b.place(&Name::new("Worker"));
+        assert_eq!(b.parked_instances(), 0);
+        b.release(&w1);
+        b.release(&w2);
+        // Both worker instances park instead of dying…
+        assert_eq!(b.parked_instances(), 2);
+        // …and a new job's worker un-parks one.
+        let w3 = b.place(&Name::new("Worker"));
+        assert!(!w3.forked);
+        assert_eq!(b.parked_instances(), 1);
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! Parked worker threads: the runtime half of perpetual task instances.
+//!
+//! The bundler keeps `{perpetual}` task instances alive between jobs; this
+//! pool keeps their OS threads alive too. A thread whose process body has
+//! returned parks on a private channel instead of exiting, and the next
+//! [`activate`](crate::env::Environment::activate) hands it the new body
+//! rather than paying `thread::spawn` again — on a warm fleet a job can
+//! create zero threads.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::Mutex;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+enum Msg {
+    Run(Job),
+    Exit,
+}
+
+#[derive(Default)]
+pub(crate) struct ThreadPool {
+    shared: Arc<Shared>,
+}
+
+#[derive(Default)]
+struct Shared {
+    idle: Mutex<Vec<Sender<Msg>>>,
+    draining: AtomicBool,
+    spawned: AtomicU64,
+}
+
+impl ThreadPool {
+    /// Run `job` on a parked thread when one is available, else on a fresh
+    /// thread that parks itself when the job returns. Returns the new
+    /// thread's handle, or `None` when a parked thread was reused (its
+    /// handle is already tracked by the caller).
+    pub(crate) fn run(&self, job: Job) -> Option<JoinHandle<()>> {
+        let mut job = job;
+        loop {
+            let parked = self.shared.idle.lock().pop();
+            match parked {
+                Some(tx) => match tx.send(Msg::Run(job)) {
+                    Ok(()) => return None,
+                    // The thread is gone; take the job back and try the
+                    // next parked one.
+                    Err(e) => {
+                        job = match e.0 {
+                            Msg::Run(j) => j,
+                            Msg::Exit => unreachable!("pool only sends Run here"),
+                        }
+                    }
+                },
+                None => return Some(self.spawn(job)),
+            }
+        }
+    }
+
+    fn spawn(&self, first: Job) -> JoinHandle<()> {
+        let shared = self.shared.clone();
+        let n = self.shared.spawned.fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .name(format!("mf-pool-{n}"))
+            .spawn(move || {
+                let mut job = first;
+                loop {
+                    job();
+                    let (tx, rx) = channel();
+                    {
+                        // The flag is checked under the idle lock and set
+                        // under the same lock in `drain`, so a thread can
+                        // never park after the drain swept the list.
+                        let mut idle = shared.idle.lock();
+                        if shared.draining.load(Ordering::Acquire) {
+                            return;
+                        }
+                        idle.push(tx);
+                    }
+                    match rx.recv() {
+                        Ok(Msg::Run(next)) => job = next,
+                        Ok(Msg::Exit) | Err(_) => return,
+                    }
+                }
+            })
+            .expect("thread spawn")
+    }
+
+    /// Tell every parked thread to exit and stop future parking; busy
+    /// threads exit when their current job returns. Must run before the
+    /// environment joins its thread handles — a parked thread would block
+    /// that join forever.
+    pub(crate) fn drain(&self) {
+        let parked = {
+            let mut idle = self.shared.idle.lock();
+            self.shared.draining.store(true, Ordering::Release);
+            std::mem::take(&mut *idle)
+        };
+        for tx in parked {
+            let _ = tx.send(Msg::Exit);
+        }
+    }
+
+    /// Number of threads currently parked and reusable.
+    pub(crate) fn parked(&self) -> usize {
+        self.shared.idle.lock().len()
+    }
+}

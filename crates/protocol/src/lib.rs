@@ -35,7 +35,7 @@ pub mod remote;
 pub mod scheduler;
 
 pub use handles::{MasterHandle, WorkerHandle};
-pub use mw::{create_worker_pool, protocol_mw, PoolStats, ProtocolOutcome};
+pub use mw::{create_worker_pool, protocol_mw, PerpetualPool, PoolStats, ProtocolOutcome};
 pub use remote::{as_lost_job, lost_job_marker, remote_worker_factory, WORKER_LOST};
 pub use scheduler::{
     parse_policy, BoundedReuse, CostAware, DispatchPolicy, PaperFaithful, PolicyRef,

@@ -45,6 +45,81 @@ pub struct PoolStats {
     pub deaths_counted: usize,
 }
 
+/// The fleet-lifetime side of `Create_Worker_Pool`: pool statistics that
+/// outlive any single master.
+///
+/// The paper's manner binds the pool loop to one master for the whole
+/// application; a perpetual fleet instead runs the same loop once *per
+/// job*, each time with a fresh job-scoped master rendezvousing against
+/// the shared pool machinery. `PerpetualPool` is that shared half: it
+/// accumulates statistics across every master served, while each
+/// [`PerpetualPool::serve`] call returns a per-job [`ProtocolOutcome`]
+/// carrying only that job's pools (so single-job callers still see
+/// `pools().len() == 1` per `create_pool`).
+#[derive(Debug, Default)]
+pub struct PerpetualPool {
+    pools: Vec<PoolStats>,
+    jobs_served: usize,
+}
+
+impl PerpetualPool {
+    /// A pool that has served no masters yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many masters this pool has served to completion.
+    pub fn jobs_served(&self) -> usize {
+        self.jobs_served
+    }
+
+    /// Statistics of every pool run across the fleet's whole life, in
+    /// creation order (spanning all jobs).
+    pub fn fleet_pools(&self) -> &[PoolStats] {
+        &self.pools
+    }
+
+    /// Total workers created across the fleet's whole life.
+    pub fn fleet_workers_created(&self) -> usize {
+        self.pools.iter().map(|p| p.workers_created).sum()
+    }
+
+    /// Serve one master to completion: the `ProtocolMW` begin loop
+    /// (lines 54–64), scoped to this job. The returned outcome carries
+    /// only the pools created by *this* master; they are also appended to
+    /// the fleet-lifetime statistics.
+    pub fn serve(
+        &mut self,
+        coord: &Coord,
+        master: &ProcessRef,
+        worker_factory: &mut dyn FnMut(&Coord, &Name) -> ProcessRef,
+    ) -> MfResult<ProtocolOutcome> {
+        // Entering the manner's block makes the coordinator sensitive to
+        // the master's events (the `terminated(master)` in the begin
+        // state body).
+        coord.watch(master);
+        let mut pools = Vec::new();
+        let outcome = loop {
+            // begin: terminated(master).           (line 59)
+            let st = coord.state();
+            match st.until_terminated(master, &[CREATE_POOL.into(), FINISHED.into()])? {
+                // create_pool: Create_Worker_Pool(master, Worker); post(begin).
+                StateExit::Event(e) if e.name().is_some_and(|n| n == CREATE_POOL) => {
+                    let stats = create_worker_pool(coord, master, &mut &mut *worker_factory)?;
+                    pools.push(stats);
+                    // `post(begin)` — the loop continues back to the begin wait.
+                }
+                // finished: halt.                   (line 63)
+                StateExit::Event(_) => break ProtocolOutcome::Finished { pools },
+                StateExit::Terminated(_) => break ProtocolOutcome::MasterTerminated { pools },
+            }
+        };
+        self.pools.extend_from_slice(outcome.pools());
+        self.jobs_served += 1;
+        Ok(outcome)
+    }
+}
+
 /// `export manner ProtocolMW(process master, manifold Worker(event))` —
 /// lines 54–64.
 ///
@@ -52,30 +127,16 @@ pub struct PoolStats {
 /// must *create* (not activate) a fresh worker instance; the death event it
 /// receives is the one the worker must raise when done (line 30:
 /// `process worker is Worker(death_worker)`).
+///
+/// One-shot form: serves a single master over a throwaway
+/// [`PerpetualPool`]. Multi-job callers hold a `PerpetualPool` themselves
+/// and call [`PerpetualPool::serve`] once per master.
 pub fn protocol_mw(
     coord: &Coord,
     master: &ProcessRef,
     mut worker_factory: impl FnMut(&Coord, &Name) -> ProcessRef,
 ) -> MfResult<ProtocolOutcome> {
-    // Entering the manner's block makes the coordinator sensitive to the
-    // master's events (the `terminated(master)` in the begin state body).
-    coord.watch(master);
-    let mut pools = Vec::new();
-    loop {
-        // begin: terminated(master).           (line 59)
-        let st = coord.state();
-        match st.until_terminated(master, &[CREATE_POOL.into(), FINISHED.into()])? {
-            // create_pool: Create_Worker_Pool(master, Worker); post(begin).
-            StateExit::Event(e) if e.name().is_some_and(|n| n == CREATE_POOL) => {
-                let stats = create_worker_pool(coord, master, &mut worker_factory)?;
-                pools.push(stats);
-                // `post(begin)` — the loop continues back to the begin wait.
-            }
-            // finished: halt.                   (line 63)
-            StateExit::Event(_) => return Ok(ProtocolOutcome::Finished { pools }),
-            StateExit::Terminated(_) => return Ok(ProtocolOutcome::MasterTerminated { pools }),
-        }
-    }
+    PerpetualPool::new().serve(coord, master, &mut worker_factory)
 }
 
 /// `manner Create_Worker_Pool(process master, manifold Worker(event))` —

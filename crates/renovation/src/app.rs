@@ -15,20 +15,16 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Duration;
 
-use chaos::{FaultKind, FaultPlan};
+use chaos::FaultPlan;
 use manifold::config::{ConfigSpec, HostName};
 use manifold::link::LinkSpec;
 use manifold::prelude::*;
 use manifold::trace::TraceRecord;
-use parking_lot::Mutex;
-use protocol::{protocol_mw, MasterHandle, PaperFaithful, PolicyRef, ProtocolOutcome};
+use protocol::{PaperFaithful, PolicyRef, ProtocolOutcome};
 use solver::sequential::{SequentialApp, SequentialResult};
 
-use crate::checkpoint::CheckpointStore;
-use crate::master::{master_body, MasterConfig};
-use crate::worker::{worker_factory_chaos, worker_factory_with_gauge, WorkerGauge};
+use crate::engine::{AppConfig, Engine, EngineOpts};
 
 /// Deployment flavour — the paper's link/configure stage choice.
 #[derive(Clone, Debug)]
@@ -50,7 +46,7 @@ pub enum RunMode {
 }
 
 impl RunMode {
-    fn link_spec(&self, level: u32) -> LinkSpec {
+    pub(crate) fn link_spec(&self, level: u32) -> LinkSpec {
         match self {
             // Load big enough for master + all workers in one instance.
             RunMode::Parallel => LinkSpec::default()
@@ -68,7 +64,7 @@ impl RunMode {
         }
     }
 
-    fn config_spec(&self) -> ConfigSpec {
+    pub(crate) fn config_spec(&self) -> ConfigSpec {
         match self {
             RunMode::Parallel => ConfigSpec::with_startup("bumpa.sen.cwi.nl"),
             RunMode::Distributed { hosts } => {
@@ -158,10 +154,12 @@ pub struct RunOpts {
     pub retry_budget: Option<usize>,
 }
 
-type WorkerFactory = Box<dyn FnMut(&Coord, &Name) -> ProcessRef>;
-
 /// [`run_concurrent_with_policy`] plus chaos and checkpoint/resume
 /// options.
+///
+/// Since the [`Engine`](crate::engine::Engine) refactor this is a thin
+/// wrapper: bring a threads fleet up, serve exactly one job, tear it
+/// down. Multi-job callers hold an `Engine` and keep the fleet.
 pub fn run_concurrent_opts(
     app: &SequentialApp,
     mode: &RunMode,
@@ -169,99 +167,18 @@ pub fn run_concurrent_opts(
     policy: PolicyRef,
     opts: &RunOpts,
 ) -> MfResult<ConcurrentResult> {
-    let env = Environment::with_specs(mode.link_spec(app.level), mode.config_spec());
-    let cell: Arc<Mutex<Option<SequentialResult>>> = Arc::new(Mutex::new(None));
-    let mut cfg = MasterConfig::new(*app, data_through_master).with_policy(policy);
-    if let Some(budget) = opts.retry_budget {
-        cfg = cfg.with_retry_budget(budget);
-    }
-    if let Some(dir) = &opts.checkpoint_dir {
-        let store = Arc::new(CheckpointStore::new(dir)?);
-        if opts.resume {
-            if let Some(ck) = store.load()? {
-                cfg = cfg.with_resume(ck);
-            }
-        }
-        cfg = cfg.with_checkpoints(store);
-    }
-    // Flatten the plan's worker faults onto the pool-wide job counter; the
-    // master kill keys on collected-result count either way.
-    let mut worker_faults = None;
-    if let Some(plan) = &opts.faults {
-        if let Some(k) = plan.master_kill() {
-            cfg = cfg.with_master_kill_at(k);
-        }
-        let mut w = chaos::WorkerFaults::default();
-        for f in &plan.faults {
-            match *f {
-                FaultKind::WorkerCrash { on_job, .. } => {
-                    w.crash_on_job.get_or_insert(on_job);
-                }
-                FaultKind::ConnStall { on_job, millis, .. } => {
-                    w.stall_on_job.get_or_insert((on_job, millis));
-                }
-                _ => {}
-            }
-        }
-        worker_faults = Some(w);
-    }
-    let gauge = WorkerGauge::new();
-
-    let run = env.run_coordinator("Main", |coord| {
-        let coord_ref = coord.self_ref();
-        let env2 = coord.env().clone();
-        let cell2 = cell.clone();
-        let cfg = cfg.clone();
-        let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
-            let h = MasterHandle::new(ctx, coord_ref, env2);
-            let result = master_body(&h, &cfg)?;
-            *cell2.lock() = Some(result);
-            Ok(())
-        });
-        coord.activate(&master)?;
-        let factory: WorkerFactory = match worker_faults {
-            Some(faults) if !faults.is_empty() => {
-                Box::new(worker_factory_chaos(gauge.clone(), faults))
-            }
-            _ => Box::new(worker_factory_with_gauge(gauge.clone())),
-        };
-        let outcome = protocol_mw(coord, &master, factory)?;
-        // "The master is still running and is also done after performing
-        // the final prolongation computations."
-        master.core().wait_terminated(Duration::from_secs(600))?;
-        Ok(outcome)
-    });
-
-    // On failure, prefer the per-process failure detail (e.g. an injected
-    // "chaos: master killed" abort) over the protocol's generic
-    // master-terminated error — the supervisor keys its relaunch on it.
-    let outcome = match run {
-        Ok(outcome) => outcome,
-        Err(e) => {
-            env.shutdown();
-            if let Some((pid, err)) = env.failures().into_iter().next() {
-                return Err(MfError::App(format!("process {pid:?} failed: {err}")));
-            }
-            return Err(e);
-        }
+    let engine_opts = EngineOpts {
+        capacity_level: app.level,
+        faults: opts.faults.clone(),
+        checkpoint_dir: opts.checkpoint_dir.clone(),
+        resume: opts.resume,
+        retry_budget: opts.retry_budget,
     };
-    let machines_used = env.with_bundler(|b| b.machines_in_use());
-    let records = env.trace().snapshot();
-    env.shutdown();
-    if let Some((pid, err)) = env.failures().into_iter().next() {
-        return Err(MfError::App(format!("process {pid:?} failed: {err}")));
-    }
-    let result = cell
-        .lock()
-        .take()
-        .ok_or_else(|| MfError::App("master produced no result".into()))?;
-    Ok(ConcurrentResult {
-        result,
-        outcome,
-        records,
-        machines_used,
-        peak_concurrent_workers: gauge.peak(),
-    })
+    let mut engine = Engine::threads(mode.clone(), policy, engine_opts)?;
+    let handle = engine.submit(AppConfig::new(*app).with_data_through_master(data_through_master));
+    let report = handle.wait();
+    engine.shutdown();
+    Ok(report?.into_concurrent())
 }
 
 #[cfg(test)]

@@ -80,10 +80,21 @@ impl RunKey {
             || self.data_through_master != other.data_through_master
             || self.problem != other.problem
         {
+            // Name both identities so the operator can tell at a glance
+            // which side to fix; a mismatch is always an error, never a
+            // silent fresh start.
             return Err(format!(
-                "checkpoint is for root {}, level {}, tol {:e}, data_through_master {} — \
+                "checkpoint is for root {}, level {}, tol {:e}, data_through_master {}; \
+                 this run is root {}, level {}, tol {:e}, data_through_master {} — \
                  refusing to resume a run with different parameters",
-                other.root, other.level, other.le_tol, other.data_through_master
+                other.root,
+                other.level,
+                other.le_tol,
+                other.data_through_master,
+                self.root,
+                self.level,
+                self.le_tol,
+                self.data_through_master
             ));
         }
         if self.policy != other.policy {
@@ -243,7 +254,27 @@ impl CheckpointStore {
                 "layout version {version}, this build reads {CHECKPOINT_VERSION}"
             )));
         }
-        let mut r = std::io::Cursor::new(&bytes[8..]);
+        // Diagnose truncation explicitly, naming the byte offsets, before
+        // handing what remains to the frame reader: "the file is 3 bytes
+        // short" beats a generic EOF from somewhere inside the decoder.
+        let body = &bytes[8..];
+        if body.len() < 8 {
+            return Err(fail(&format!(
+                "truncated snapshot: the frame header needs 8 bytes at offset 8, \
+                 but the file ends at offset {}",
+                bytes.len()
+            )));
+        }
+        let frame_len = u32::from_le_bytes(body[..4].try_into().unwrap()) as usize;
+        let expected = 16 + frame_len;
+        if bytes.len() < expected {
+            return Err(fail(&format!(
+                "truncated snapshot: the payload of {frame_len} bytes at offset 16 \
+                 ends at offset {expected}, but the file ends at offset {}",
+                bytes.len()
+            )));
+        }
+        let mut r = std::io::Cursor::new(body);
         let payload = transport::read_frame(&mut r)
             .map_err(|e| fail(&format!("corrupt frame: {e}")))?
             .ok_or_else(|| fail("truncated (no frame)"))?;
@@ -339,6 +370,69 @@ mod tests {
         newer[4] = 99;
         fs::write(store.path(), &newer).unwrap();
         assert!(store.load().unwrap_err().to_string().contains("version"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_snapshot_errors_name_the_offsets() {
+        let dir = tmp_dir("truncated");
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.save(&sample_checkpoint()).unwrap();
+        let bytes = fs::read(store.path()).unwrap();
+
+        // Cut inside the frame header: the error names where the header
+        // was expected and where the file actually ends.
+        fs::write(store.path(), &bytes[..12]).unwrap();
+        let err = store.load().unwrap_err().to_string();
+        assert!(err.contains("truncated snapshot"), "{err}");
+        assert!(err.contains("offset 8"), "{err}");
+        assert!(err.contains("ends at offset 12"), "{err}");
+
+        // Cut inside the payload: the error names the payload's declared
+        // extent and the file's actual end.
+        fs::write(store.path(), &bytes[..bytes.len() - 5]).unwrap();
+        let err = store.load().unwrap_err().to_string();
+        assert!(err.contains("truncated snapshot"), "{err}");
+        assert!(err.contains("offset 16"), "{err}");
+        assert!(
+            err.contains(&format!("ends at offset {}", bytes.len() - 5)),
+            "{err}"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mismatched_key_resume_is_an_error_not_a_fresh_start() {
+        use crate::{run_concurrent_opts, RunMode, RunOpts};
+        use std::sync::Arc;
+
+        let dir = tmp_dir("foreign-resume");
+        // A finished level-1 run leaves its checkpoint behind (it would
+        // normally be cleared, so plant one explicitly).
+        let store = CheckpointStore::new(&dir).unwrap();
+        store.save(&sample_checkpoint()).unwrap();
+
+        // Resuming a *different* problem from it must fail loudly, naming
+        // both parameter sets — silently starting fresh would hide that
+        // the operator pointed at the wrong directory.
+        let other = SequentialApp::new(2, 2, 1e-3);
+        let opts = RunOpts {
+            checkpoint_dir: Some(dir.clone()),
+            resume: true,
+            ..RunOpts::default()
+        };
+        let err = run_concurrent_opts(
+            &other,
+            &RunMode::Parallel,
+            true,
+            Arc::new(protocol::PaperFaithful),
+            &opts,
+        )
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("different parameters"), "{err}");
+        assert!(err.contains("level 1"), "checkpoint's own level: {err}");
+        assert!(err.contains("level 2"), "this run's level: {err}");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -17,6 +17,10 @@
 //!   processes bundled into one task instance: `load 6`) and
 //!   **distributed** (one worker per task instance per machine: `load 1`,
 //!   `perpetual`);
+//! * [`engine`] — the multi-job [`Engine`](engine::Engine): one persistent
+//!   worker fleet (threads, OS processes, or the simulated cluster)
+//!   serving a stream of jobs, each bit-identical to a solo run; the
+//!   one-shot entry points are thin wrappers over a single-job engine;
 //! * [`cost`] — the calibrated cost model translating solver work into the
 //!   virtual seconds of the `cluster` simulator;
 //! * [`virtualrun`] — the Table 1 / Figure 1 experiment driver running the
@@ -35,6 +39,7 @@ pub mod app;
 pub mod checkpoint;
 pub mod codec;
 pub mod cost;
+pub mod engine;
 pub mod master;
 pub mod procs;
 pub mod supervisor;
@@ -47,6 +52,9 @@ pub use app::{
 };
 pub use checkpoint::{Checkpoint, CheckpointStore, RunKey};
 pub use cost::{parse_subsolve_label, CostModel};
+pub use engine::{
+    AppConfig, Engine, EngineBackend, EngineOpts, EngineSummary, JobHandle, JobReport,
+};
 pub use procs::{run_concurrent_procs, run_worker_child, ProcsConfig};
 pub use supervisor::{supervise, SupervisedRun};
 pub use virtualrun::{

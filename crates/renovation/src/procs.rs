@@ -31,15 +31,12 @@ use manifold::ident::TaskInstanceId;
 use manifold::prelude::*;
 use manifold::remote::{ConduitSource, RemoteConduit};
 use manifold::trace::{format_trace, merge_traces, parse_trace, TraceRecord};
-use parking_lot::Mutex;
-use protocol::{protocol_mw, MasterHandle, PolicyRef, DEATH_WORKER};
-use solver::sequential::{SequentialApp, SequentialResult};
-use transport::{
-    serve, Addr, BindMode, LocalSpawner, PoolConfig, RemoteWorkerPool, ServeConfig, ServeSummary,
-};
+use protocol::{PolicyRef, DEATH_WORKER};
+use solver::sequential::SequentialApp;
+use transport::{serve, Addr, BindMode, RemoteWorkerPool, ServeConfig, ServeSummary};
 
 use crate::app::ConcurrentResult;
-use crate::master::{master_body, MasterConfig};
+use crate::engine::{AppConfig, Engine, EngineOpts};
 use crate::worker::{worker_factory, WorkerGauge};
 
 /// Configuration of a multi-process run.
@@ -110,7 +107,7 @@ impl ProcsConfig {
 /// Locate the worker binary: explicit override, `MF_SUBSOLVE_WORKER`, or
 /// a `subsolve_worker` next to the current executable (cargo places test
 /// and bench binaries in the same target directory).
-fn resolve_worker_exe(cfg: &ProcsConfig) -> MfResult<PathBuf> {
+pub(crate) fn resolve_worker_exe(cfg: &ProcsConfig) -> MfResult<PathBuf> {
     if let Some(p) = &cfg.worker_exe {
         return Ok(p.clone());
     }
@@ -142,9 +139,9 @@ fn resolve_worker_exe(cfg: &ProcsConfig) -> MfResult<PathBuf> {
 /// Wraps the pool so every job executed through a conduit is counted by
 /// the same [`WorkerGauge`] the threads backend uses — `peak_concurrent_workers`
 /// means the same thing for both backends.
-struct GaugedSource {
-    pool: Arc<RemoteWorkerPool>,
-    gauge: Arc<WorkerGauge>,
+pub(crate) struct GaugedSource {
+    pub(crate) pool: Arc<RemoteWorkerPool>,
+    pub(crate) gauge: Arc<WorkerGauge>,
 }
 
 struct GaugedConduit {
@@ -192,110 +189,33 @@ pub fn run_concurrent_procs(
     data_through_master: bool,
     policy: PolicyRef,
 ) -> MfResult<ConcurrentResult> {
-    let program = resolve_worker_exe(cfg)?;
-    let mut pool_cfg = PoolConfig::new(program);
-    pool_cfg.instances = cfg.instances;
-    pool_cfg.bind = cfg.bind;
-    pool_cfg.hosts = cfg.hosts.clone();
-    pool_cfg.job_timeout = cfg.job_timeout;
-    pool_cfg.respawn_budget = cfg.retry_budget;
-    pool_cfg.base_env = vec![(
-        "MF_WORKER_HEARTBEAT_MS".into(),
-        cfg.heartbeat.as_millis().to_string(),
-    )];
-    if let Some(plan) = &cfg.faults {
-        // The whole plan ships to every child; each filters it down to
-        // its own instance. A respawned child re-reads the same plan, so
-        // per-incarnation job counts restart naturally.
-        pool_cfg
-            .base_env
-            .push(("MF_CHAOS_PLAN".into(), plan.to_string()));
-    }
-    let pool = Arc::new(RemoteWorkerPool::launch(pool_cfg, Arc::new(LocalSpawner))?);
-
-    // The local environment hosts the master and the lightweight proxies;
-    // the compute lives in the children. Load must cover master + one
-    // proxy per job (+ re-dispatches after worker loss).
-    let link = LinkSpec::default()
-        .task("mainprog")
-        .perpetual(true)
-        .load(2 * app.level + 8 + cfg.retry_budget as u32)
-        .weight("Master", 1)
-        .weight("Worker", 1);
-    let env = Environment::with_specs(link, ConfigSpec::with_startup("bumpa.sen.cwi.nl"));
-
-    let cell: Arc<Mutex<Option<SequentialResult>>> = Arc::new(Mutex::new(None));
-    let mut master_cfg = MasterConfig::new(*app, data_through_master)
-        .with_policy(policy)
-        .with_retry_budget(cfg.retry_budget);
-    if let Some(dir) = &cfg.checkpoint_dir {
-        let store = Arc::new(crate::checkpoint::CheckpointStore::new(dir)?);
-        if cfg.resume {
-            if let Some(ck) = store.load()? {
-                master_cfg = master_cfg.with_resume(ck);
-            }
-        }
-        master_cfg = master_cfg.with_checkpoints(store);
-    }
-    if let Some(k) = cfg.faults.as_ref().and_then(|p| p.master_kill()) {
-        master_cfg = master_cfg.with_master_kill_at(k);
-    }
-    let gauge = WorkerGauge::new();
-    let source: Arc<dyn ConduitSource> = Arc::new(GaugedSource {
-        pool: Arc::clone(&pool),
-        gauge: Arc::clone(&gauge),
-    });
-
-    let run = env.run_coordinator("Main", |coord| {
-        let coord_ref = coord.self_ref();
-        let env2 = coord.env().clone();
-        let cell2 = cell.clone();
-        let master_cfg = master_cfg.clone();
-        let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
-            let h = MasterHandle::new(ctx, coord_ref, env2);
-            let result = master_body(&h, &master_cfg)?;
-            *cell2.lock() = Some(result);
-            Ok(())
-        });
-        coord.activate(&master)?;
-        let outcome = protocol_mw(coord, &master, protocol::remote_worker_factory(source))?;
-        master.core().wait_terminated(Duration::from_secs(600))?;
-        Ok(outcome)
-    });
-
-    // Collect child traces whether or not the run succeeded, so a failed
-    // run still reaps its children.
-    let local_records = env.trace().snapshot();
-    env.shutdown();
-    let child_reports = pool.shutdown();
-
-    let outcome = match run {
-        Ok(o) => o,
-        Err(e) => {
-            // Prefer the root cause a failed process recorded (e.g. the
-            // master's "retry budget exhausted") over the coordinator's
-            // view of the aftermath.
-            let detail = env
-                .failures()
-                .into_iter()
-                .next()
-                .map(|(pid, err)| format!("process {pid:?} failed: {err}"))
-                .unwrap_or_else(|| e.to_string());
-            return Err(MfError::App(detail));
-        }
+    // Since the Engine refactor this is a thin wrapper: launch the fleet,
+    // serve exactly one job, shut down. Multi-job callers hold an
+    // `Engine` and keep the worker processes alive between jobs.
+    let engine_opts = EngineOpts {
+        capacity_level: app.level,
+        faults: cfg.faults.clone(),
+        checkpoint_dir: cfg.checkpoint_dir.clone(),
+        resume: cfg.resume,
+        retry_budget: Some(cfg.retry_budget),
     };
-    if let Some((pid, err)) = env.failures().into_iter().next() {
-        return Err(MfError::App(format!("process {pid:?} failed: {err}")));
-    }
-    let result = cell
-        .lock()
-        .take()
-        .ok_or_else(|| MfError::App("master produced no result".into()))?;
+    let mut engine = Engine::procs(cfg.clone(), policy, engine_opts)?;
+    let handle = engine.submit(AppConfig::new(*app).with_data_through_master(data_through_master));
+    let report = handle.wait();
+    // Shut down either way, so a failed run still reaps its children.
+    let summary = engine.shutdown();
+    let report = match report {
+        Ok(r) => r,
+        // The one-shot contract: every failure surfaces as an application
+        // error (the engine already formats process-failure root causes).
+        Err(e @ MfError::App(_)) => return Err(e),
+        Err(e) => return Err(MfError::App(e.to_string())),
+    };
 
     // Satellite: interleave the per-process trace files chronologically,
     // exactly as the paper's single chronological listing shows them.
-    let mut sequences = vec![local_records];
-    for (slot, _identity, trace) in &child_reports {
+    let mut sequences = vec![report.records];
+    for (slot, _identity, trace) in &summary.child_reports {
         if let Some(text) = trace {
             let records = parse_trace(text)
                 .map_err(|e| MfError::App(format!("instance {slot} sent a bad trace: {e}")))?;
@@ -310,11 +230,11 @@ pub fn run_concurrent_procs(
         .len();
 
     Ok(ConcurrentResult {
-        result,
-        outcome,
+        result: report.result,
+        outcome: report.outcome,
         records,
         machines_used,
-        peak_concurrent_workers: gauge.peak(),
+        peak_concurrent_workers: report.peak_concurrent_workers,
     })
 }
 

@@ -49,6 +49,14 @@ impl WorkerGauge {
     pub fn peak(&self) -> usize {
         self.peak.load(Ordering::SeqCst)
     }
+
+    /// Restart the peak from the current occupancy. An engine serving many
+    /// jobs over one fleet calls this between jobs so each job reports its
+    /// own peak rather than the fleet-lifetime maximum.
+    pub fn reset_peak(&self) {
+        self.peak
+            .store(self.alive.load(Ordering::SeqCst), Ordering::SeqCst);
+    }
 }
 
 /// Fault-plan state shared by every worker of a threads run. Jobs are

@@ -237,6 +237,7 @@ mod tests {
         let mut c = Conn::connect(&addr, Duration::from_secs(5)).unwrap();
         let msg = Message::Job {
             seq: 1,
+            job: 0,
             payload: Unit::tuple(vec![Unit::real(0.5), Unit::text("x")]),
         };
         c.send_msg(&msg).unwrap();

@@ -207,6 +207,9 @@ struct PoolInner {
     spawner: Arc<dyn Spawner>,
     slots: Vec<Arc<Slot>>,
     next: AtomicUsize,
+    // Engine-job id stamped on every Job frame; replies must echo it.
+    // One-shot pools leave it at 0 for their whole life.
+    current_job: Arc<AtomicU64>,
 }
 
 /// A pool of remote task instances implementing [`ConduitSource`].
@@ -255,6 +258,7 @@ impl RemoteWorkerPool {
                 })
                 .collect(),
             next: AtomicUsize::new(0),
+            current_job: Arc::new(AtomicU64::new(0)),
             cfg,
         });
         for slot in &inner.slots {
@@ -267,6 +271,19 @@ impl RemoteWorkerPool {
     /// The address children connect back to (`tcp:…` / `unix:…`).
     pub fn addr(&self) -> Addr {
         self.inner.addr.clone()
+    }
+
+    /// Tag every subsequent `Job` frame with this engine-job id. The pool
+    /// (children, connections, respawn budgets) survives across jobs; the
+    /// tag is what keeps a stale reply from a previous job from being
+    /// mistaken for this one's.
+    pub fn set_current_job(&self, job: u64) {
+        self.inner.current_job.store(job, Ordering::Relaxed);
+    }
+
+    /// The engine-job id currently stamped on outgoing work.
+    pub fn current_job(&self) -> u64 {
+        self.inner.current_job.load(Ordering::Relaxed)
     }
 
     /// Number of slots with a live connection right now.
@@ -416,6 +433,7 @@ impl ConduitSource for RemoteWorkerPool {
             if st.conn.is_some() {
                 return Ok(Arc::new(SlotConduit {
                     slot: Arc::clone(slot),
+                    job: Arc::clone(&self.inner.current_job),
                 }));
             }
         }
@@ -425,6 +443,7 @@ impl ConduitSource for RemoteWorkerPool {
             if slot.state.lock().conn.is_some() {
                 return Ok(Arc::new(SlotConduit {
                     slot: Arc::clone(slot),
+                    job: Arc::clone(&self.inner.current_job),
                 }));
             }
         }
@@ -436,11 +455,13 @@ impl ConduitSource for RemoteWorkerPool {
 
 struct SlotConduit {
     slot: Arc<Slot>,
+    job: Arc<AtomicU64>,
 }
 
 impl RemoteConduit for SlotConduit {
     fn execute(&self, job: Unit) -> MfResult<Unit> {
         let seq = self.slot.seq.fetch_add(1, Ordering::Relaxed);
+        let engine_job = self.job.load(Ordering::Relaxed);
         let mut st = self.slot.state.lock();
         let index = self.slot.index;
         let conn = st
@@ -451,7 +472,11 @@ impl RemoteConduit for SlotConduit {
             st.mark_dead();
             return Err(app_err(format!("instance {index} lost (socket error)")));
         }
-        if let Err(e) = conn.send_msg(&Message::Job { seq, payload: job }) {
+        if let Err(e) = conn.send_msg(&Message::Job {
+            seq,
+            job: engine_job,
+            payload: job,
+        }) {
             st.mark_dead();
             return Err(app_err(format!("instance {index} lost on send: {e}")));
         }
@@ -460,8 +485,20 @@ impl RemoteConduit for SlotConduit {
                 // Heartbeats reset the liveness window: each `recv_msg`
                 // gets the full job timeout of silence.
                 Ok(Some(Message::Heartbeat)) => continue,
-                Ok(Some(Message::Done { seq: s, payload })) if s == seq => return Ok(payload),
-                Ok(Some(Message::Fail { seq: s, error })) if s == seq => {
+                // A reply counts only when it echoes both the sequence
+                // number and the engine-job tag; anything else on a
+                // long-lived connection is a stale frame from an earlier
+                // job and poisons the slot below.
+                Ok(Some(Message::Done {
+                    seq: s,
+                    job: j,
+                    payload,
+                })) if s == seq && j == engine_job => return Ok(payload),
+                Ok(Some(Message::Fail {
+                    seq: s,
+                    job: j,
+                    error,
+                })) if s == seq && j == engine_job => {
                     // The far side survived; only the job failed.
                     return Err(MfError::App(error));
                 }
@@ -558,12 +595,12 @@ mod tests {
                     let mut jobs = 0u64;
                     loop {
                         match conn.recv_msg() {
-                            Ok(Some(Message::Job { seq, payload })) => {
+                            Ok(Some(Message::Job { seq, job, payload })) => {
                                 jobs += 1;
                                 if jobs >= nth {
                                     return; // crash: connection drops mid-job
                                 }
-                                conn.send_msg(&Message::Done { seq, payload }).unwrap();
+                                conn.send_msg(&Message::Done { seq, job, payload }).unwrap();
                             }
                             _ => return,
                         }
@@ -642,6 +679,64 @@ mod tests {
         let _c3 = pool.checkout().unwrap(); // second (last) respawn
         assert_eq!(spawner.spawned.load(Ordering::Relaxed), 3);
         pool.shutdown();
+    }
+
+    /// "Children" that echo a *stale* engine-job tag on every reply, the
+    /// way a delayed frame from a previous job would look.
+    struct StaleTagSpawner;
+
+    impl Spawner for StaleTagSpawner {
+        fn spawn(&self, spec: &SpawnSpec) -> std::io::Result<ChildHandle> {
+            let addr = Addr::parse(&env_of(spec, "MF_WORKER_ADDR")).unwrap();
+            let instance: u64 = env_of(spec, "MF_WORKER_INSTANCE").parse().unwrap();
+            std::thread::spawn(move || {
+                let mut conn = Conn::connect(&addr, Duration::from_secs(5)).unwrap();
+                conn.send_msg(&Message::Hello {
+                    version: PROTOCOL_VERSION,
+                    instance,
+                    host: "stale-host".into(),
+                    task_uid: 1,
+                })
+                .unwrap();
+                let _ = conn.recv_msg().unwrap();
+                while let Ok(Some(Message::Job { seq, job, payload })) = conn.recv_msg() {
+                    conn.send_msg(&Message::Done {
+                        seq,
+                        job: job.wrapping_add(1),
+                        payload,
+                    })
+                    .unwrap();
+                }
+            });
+            Ok(ChildHandle::detached())
+        }
+    }
+
+    #[test]
+    fn job_tag_is_stamped_and_stale_replies_poison_the_slot() {
+        let spawner = Arc::new(ThreadSpawner::new(None));
+        let pool = RemoteWorkerPool::launch(quick_cfg(1, BindMode::Tcp), spawner).unwrap();
+        assert_eq!(pool.current_job(), 0);
+        pool.set_current_job(5);
+        assert_eq!(pool.current_job(), 5);
+        // The serve loop echoes whatever tag the Job carried, so a healthy
+        // child still round-trips under a nonzero tag.
+        let c = pool.checkout().unwrap();
+        let out = c.execute(Unit::real(3.0)).unwrap();
+        assert_eq!(out, Unit::tuple(vec![Unit::int(0), Unit::real(3.0)]));
+        pool.shutdown();
+
+        // A child that echoes the wrong tag is indistinguishable from a
+        // stale frame of an earlier job: the conduit must not hand its
+        // payload to the current job.
+        let mut cfg = quick_cfg(1, BindMode::Tcp);
+        cfg.respawn_budget = 0;
+        let pool = RemoteWorkerPool::launch(cfg, Arc::new(StaleTagSpawner)).unwrap();
+        pool.set_current_job(9);
+        let c = pool.checkout().unwrap();
+        let err = c.execute(Unit::int(1)).unwrap_err();
+        assert!(err.to_string().contains("protocol confusion"), "got: {err}");
+        assert_eq!(pool.live_count(), 0, "stale reply must poison the slot");
     }
 
     #[test]

@@ -26,8 +26,11 @@ use crate::WireError;
 
 /// Version of this session protocol; peers with different versions refuse
 /// the handshake. Version 2 added the CRC-32 field to the frame header,
-/// which is incompatible with version-1 framing on the wire.
-pub const PROTOCOL_VERSION: i64 = 2;
+/// which is incompatible with version-1 framing on the wire. Version 3
+/// added the job id to `Job`/`Done`/`Fail`, so one long-lived session can
+/// carry work for many engine jobs and replies are attributable to the job
+/// that issued them.
+pub const PROTOCOL_VERSION: i64 = 3;
 
 const T_HELLO: i64 = 0;
 const T_HELLO_ACK: i64 = 1;
@@ -61,6 +64,10 @@ pub enum Message {
     Job {
         /// Request sequence number; the matching `Done`/`Fail` echoes it.
         seq: u64,
+        /// Engine job this unit of work belongs to. A session survives
+        /// across jobs, so every unit on the wire is tagged; the matching
+        /// `Done`/`Fail` echoes it. One-shot runs use job 0.
+        job: u64,
         /// Application payload (e.g. an encoded `subsolve` request).
         payload: Unit,
     },
@@ -68,6 +75,8 @@ pub enum Message {
     Done {
         /// Echo of the request's sequence number.
         seq: u64,
+        /// Echo of the request's engine-job id.
+        job: u64,
         /// Application result payload.
         payload: Unit,
     },
@@ -75,6 +84,8 @@ pub enum Message {
     Fail {
         /// Echo of the request's sequence number.
         seq: u64,
+        /// Echo of the request's engine-job id.
+        job: u64,
         /// Human-readable failure description.
         error: String,
     },
@@ -110,19 +121,22 @@ impl Message {
             Message::HelloAck { instance } => {
                 Unit::tuple(vec![Unit::int(T_HELLO_ACK), Unit::int(*instance as i64)])
             }
-            Message::Job { seq, payload } => Unit::tuple(vec![
+            Message::Job { seq, job, payload } => Unit::tuple(vec![
                 Unit::int(T_JOB),
                 Unit::int(*seq as i64),
+                Unit::int(*job as i64),
                 payload.clone(),
             ]),
-            Message::Done { seq, payload } => Unit::tuple(vec![
+            Message::Done { seq, job, payload } => Unit::tuple(vec![
                 Unit::int(T_DONE),
                 Unit::int(*seq as i64),
+                Unit::int(*job as i64),
                 payload.clone(),
             ]),
-            Message::Fail { seq, error } => Unit::tuple(vec![
+            Message::Fail { seq, job, error } => Unit::tuple(vec![
                 Unit::int(T_FAIL),
                 Unit::int(*seq as i64),
+                Unit::int(*job as i64),
                 Unit::text(error),
             ]),
             Message::Heartbeat => Unit::tuple(vec![Unit::int(T_HEARTBEAT)]),
@@ -184,24 +198,27 @@ impl Message {
                 })
             }
             T_JOB => {
-                arity(3)?;
+                arity(4)?;
                 Ok(Message::Job {
                     seq: int(1)? as u64,
-                    payload: payload(2)?,
+                    job: int(2)? as u64,
+                    payload: payload(3)?,
                 })
             }
             T_DONE => {
-                arity(3)?;
+                arity(4)?;
                 Ok(Message::Done {
                     seq: int(1)? as u64,
-                    payload: payload(2)?,
+                    job: int(2)? as u64,
+                    payload: payload(3)?,
                 })
             }
             T_FAIL => {
-                arity(3)?;
+                arity(4)?;
                 Ok(Message::Fail {
                     seq: int(1)? as u64,
-                    error: text(2)?,
+                    job: int(2)? as u64,
+                    error: text(3)?,
                 })
             }
             T_HEARTBEAT => {
@@ -248,14 +265,17 @@ mod tests {
             Message::HelloAck { instance: 3 },
             Message::Job {
                 seq: 17,
+                job: 4,
                 payload: Unit::tuple(vec![Unit::int(5), Unit::reals(vec![1.0, -0.5])]),
             },
             Message::Done {
                 seq: 17,
+                job: 4,
                 payload: Unit::reals(vec![0.25; 33]),
             },
             Message::Fail {
                 seq: 18,
+                job: 4,
                 error: "subsolve diverged".into(),
             },
             Message::Heartbeat,

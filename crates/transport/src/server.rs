@@ -158,7 +158,7 @@ where
     let mut jobs_seen = 0u64;
     let outcome = loop {
         match reader.recv_msg() {
-            Ok(Some(Message::Job { seq, payload })) => {
+            Ok(Some(Message::Job { seq, job, payload })) => {
                 jobs_seen += 1;
                 if cfg.faults.drop_conn_on_job == Some(jobs_seen) {
                     // Fault injection: the session dies mid-protocol, the
@@ -175,17 +175,21 @@ where
                         std::thread::sleep(delay);
                     }
                 }
+                // The engine-job id is echoed verbatim: the child does not
+                // interpret it, it only lets the coordinator attribute this
+                // reply to the job that issued the request.
                 let reply = match handler(payload) {
                     Ok(result) => {
                         summary.jobs_done += 1;
                         Message::Done {
                             seq,
+                            job,
                             payload: result,
                         }
                     }
                     Err(error) => {
                         summary.jobs_failed += 1;
-                        Message::Fail { seq, error }
+                        Message::Fail { seq, job, error }
                     }
                 };
                 if cfg.faults.corrupt_reply_on_job == Some(jobs_seen) {
@@ -259,6 +263,7 @@ mod tests {
             // One good job, one failing job.
             conn.send_msg(&Message::Job {
                 seq: 1,
+                job: 7,
                 payload: Unit::real(21.0),
             })
             .unwrap();
@@ -273,6 +278,7 @@ mod tests {
             }
             conn.send_msg(&Message::Job {
                 seq: 2,
+                job: 7,
                 payload: Unit::text("boom"),
             })
             .unwrap();
@@ -327,11 +333,16 @@ mod tests {
             seen[0],
             Message::Done {
                 seq: 1,
+                job: 7,
                 payload: Unit::real(42.0)
             }
         );
         match &seen[1] {
-            Message::Fail { seq: 2, error } => assert!(error.contains("not a real")),
+            Message::Fail {
+                seq: 2,
+                job: 7,
+                error,
+            } => assert!(error.contains("not a real")),
             other => panic!("expected Fail, got {other:?}"),
         }
         assert_eq!(
@@ -378,6 +389,7 @@ mod tests {
             }
             conn.send_msg(&Message::Job {
                 seq: 1,
+                job: 0,
                 payload: Unit::real(1.0),
             })
             .unwrap();
@@ -416,6 +428,7 @@ mod tests {
             }
             conn.send_msg(&Message::Job {
                 seq: 1,
+                job: 0,
                 payload: Unit::real(1.0),
             })
             .unwrap();

@@ -1,0 +1,67 @@
+//! `{perpetual}` doing real work: one persistent fleet, a stream of jobs.
+//!
+//! The paper's MLINK `{perpetual}` attribute means "an instance whose load
+//! drops back to zero stays alive". The [`renovation::Engine`] is that
+//! semantics put to use: construct the fleet once, then submit solve after
+//! solve — each job gets its own master, the workers park between jobs
+//! instead of dying, and job 2 onwards skips the bring-up cost entirely.
+//! Run with:
+//!
+//! ```text
+//! cargo run -p renovation --release --example engine_server
+//! ```
+
+use std::sync::Arc;
+
+use manifold::prelude::MfResult;
+use protocol::PaperFaithful;
+use renovation::{AppConfig, Engine, EngineOpts, RunMode};
+use solver::sequential::SequentialApp;
+
+fn main() -> MfResult<()> {
+    // The distributed deployment parks each worker in its own perpetual
+    // task instance; the parallel deployment would bundle everything into
+    // the startup instance and there would be nothing to watch survive.
+    let mode = RunMode::Distributed {
+        hosts: RunMode::paper_hosts(),
+    };
+    let opts = EngineOpts {
+        capacity_level: 4,
+        ..EngineOpts::default()
+    };
+    let mut engine = Engine::threads(mode, Arc::new(PaperFaithful), opts)?;
+
+    // A stream of jobs of varying size, as a long-lived solver service
+    // would see them. Each submit rendezvouses a fresh job-scoped master
+    // with the same worker pool.
+    println!("job | root | level | jobs |  latency ms | parked after");
+    println!("----|------|-------|------|-------------|-------------");
+    for (root, level) in [(2, 2), (1, 4), (2, 3), (1, 2), (2, 4), (2, 1)] {
+        let app = SequentialApp::new(root, level, 1e-3);
+        let oracle = app.run().expect("sequential oracle");
+        let handle = engine.submit(AppConfig::new(app));
+        let id = handle.id();
+        let report = handle.wait()?;
+        assert_eq!(
+            report.result.combined, oracle.combined,
+            "a warm fleet must reproduce the solo run bit for bit"
+        );
+        println!(
+            "{id:>3} | {root:>4} | {level:>5} | {:>4} | {:>11.2} | {:>12}",
+            report.result.per_grid.len(),
+            report.latency_s * 1e3,
+            engine.parked_workers(),
+        );
+    }
+
+    let jobs = engine.jobs_served();
+    let workers = engine.fleet_workers_created();
+    let summary = engine.shutdown();
+    println!();
+    println!(
+        "{jobs} jobs served by one fleet ({workers} workers created across all \
+         jobs); shutdown confirmed {} jobs",
+        summary.jobs_served
+    );
+    Ok(())
+}
