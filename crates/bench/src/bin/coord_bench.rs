@@ -1,0 +1,401 @@
+//! `coord_bench` — coordination overhead of the three protocol executors.
+//!
+//! The paper's ProtocolMW exists in this repository three times: the
+//! hand-transliterated native `protocol::protocol_mw` (the oracle), the
+//! tree-walking interpreter over the parsed `.m` source, and the compiled
+//! state-machine VM stepping `lang::compile` IR. This benchmark measures
+//! all three over (a) the squaring protocol, (b) the sparse-grid
+//! application protocol, and (c) a pure dispatch loop — a `Count()` manner
+//! whose only work is assign / compare / post / state transition — where
+//! executor cost is not hidden behind worker thread lifecycles.
+//!
+//! ```text
+//! cargo run -p bench --release --bin coord_bench [-- --jobs 32 --reps 5
+//!     --iters 20000 --json [--out BENCH_coord.json]
+//!     --assert-overhead 2.0 --assert-zero-alloc]
+//! ```
+//!
+//! `--assert-overhead X` exits non-zero if compiled/native wall-clock on
+//! the squaring protocol exceeds X. `--assert-zero-alloc` exits non-zero
+//! if the VM's steady-state dispatch loop allocates: two `Count()` runs
+//! differing only in iteration count must show *zero* extra allocations
+//! (the binary installs a counting global allocator, as `solver_bench`
+//! does for the solver's inner loop).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bench::cli::Cli;
+use manifold::builtin::Variable;
+use manifold::event::EventPattern;
+use manifold::lang::{CoordExec, Mc};
+use manifold::prelude::*;
+use parking_lot::Mutex;
+use protocol::{protocol_mw, run_protocol_mc, MasterHandle, WorkerHandle};
+use renovation::codec::{request_from_unit, request_to_unit, result_from_unit, result_to_unit};
+use solver::SequentialApp;
+
+// ---------------------------------------------------------------------------
+// Counting allocator (same pattern as solver_bench): tallies this thread's
+// allocations so "zero allocations per dispatch step" is a measurement.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static ALLOC_COUNT: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: defers to the system allocator; the counter is a thread-local
+// side effect and `try_with` makes it safe during TLS teardown.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOC_COUNT.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn allocations_during<R>(f: impl FnOnce() -> R) -> (R, u64) {
+    let before = ALLOC_COUNT.with(|c| c.get());
+    let out = f();
+    let after = ALLOC_COUNT.with(|c| c.get());
+    (out, after - before)
+}
+
+// ---------------------------------------------------------------------------
+// Protocol runs: one master body + one worker body, three coordinators.
+// ---------------------------------------------------------------------------
+
+/// Which engine coordinates the run.
+#[derive(Clone, Copy, PartialEq)]
+enum Engine {
+    Native,
+    Exec(CoordExec),
+}
+
+impl Engine {
+    const ALL: [Engine; 3] = [
+        Engine::Native,
+        Engine::Exec(CoordExec::Interp),
+        Engine::Exec(CoordExec::Compiled),
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Native => "native",
+            Engine::Exec(CoordExec::Interp) => "interp",
+            Engine::Exec(CoordExec::Compiled) => "compiled",
+        }
+    }
+}
+
+/// Run one protocol job set under `engine` and return wall seconds.
+fn run_protocol<M, W>(engine: Engine, mc: &Mc, master_body: M, worker_body: W) -> f64
+where
+    M: FnOnce(MasterHandle) -> MfResult<()> + Send + 'static,
+    W: Fn(WorkerHandle) -> MfResult<()> + Send + Sync + 'static,
+{
+    let env = Environment::new();
+    let t0 = Instant::now();
+    match engine {
+        Engine::Exec(kind) => {
+            run_protocol_mc(&env, mc, kind, master_body, worker_body).expect("protocol run");
+        }
+        Engine::Native => {
+            let worker = Arc::new(worker_body);
+            env.run_coordinator("ProtocolMW", |coord| {
+                let coord_ref = coord.self_ref();
+                let env2 = coord.env().clone();
+                let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
+                    master_body(MasterHandle::new(ctx, coord_ref, env2))
+                });
+                coord.watch(&master);
+                coord.activate(&master)?;
+                protocol_mw(coord, &master, |coord, death| {
+                    let w = worker.clone();
+                    let death = death.clone();
+                    coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+                        w(WorkerHandle::new(ctx, death))
+                    })
+                })
+                .map(|_| ())
+            })
+            .expect("protocol run");
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    env.shutdown();
+    assert!(
+        env.failures().is_empty(),
+        "{}: worker failed",
+        engine.name()
+    );
+    secs
+}
+
+/// Median wall seconds over `reps` squaring-protocol runs of `jobs` jobs.
+fn squaring_secs(engine: Engine, mc: &Mc, jobs: usize, reps: usize) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        let xs: Vec<f64> = (0..jobs).map(|i| i as f64).collect();
+        let n = xs.len();
+        let secs = run_protocol(
+            engine,
+            mc,
+            move |h: MasterHandle| {
+                h.create_pool();
+                for x in &xs {
+                    let _w = h.request_worker()?;
+                    h.send_work(Unit::real(*x))?;
+                }
+                for _ in 0..n {
+                    out2.lock().push(h.collect()?.expect_real()?);
+                }
+                h.rendezvous()?;
+                h.finished();
+                Ok(())
+            },
+            |h: WorkerHandle| {
+                let x = h.receive()?.expect_real()?;
+                h.submit(Unit::real(x * x))?;
+                h.die();
+                Ok(())
+            },
+        );
+        assert_eq!(out.lock().len(), jobs, "{}: lost results", engine.name());
+        times.push(secs);
+    }
+    median(&mut times)
+}
+
+/// Median wall seconds over `reps` sparse-grid-protocol runs.
+fn sparse_grid_secs(engine: Engine, mc: &Mc, reps: usize) -> f64 {
+    let mut times = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let app = SequentialApp::new(2, 1, 1.0e-3);
+        let grids = app.grids();
+        let n = grids.len();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        let secs = run_protocol(
+            engine,
+            mc,
+            move |h: MasterHandle| {
+                h.create_pool();
+                for idx in &grids {
+                    let _w = h.request_worker()?;
+                    h.send_work(request_to_unit(&app.request_for(*idx)))?;
+                }
+                for _ in &grids {
+                    out2.lock().push(result_from_unit(&h.collect()?)?);
+                }
+                h.rendezvous()?;
+                h.finished();
+                Ok(())
+            },
+            |h: WorkerHandle| {
+                let req = request_from_unit(&h.receive()?)?;
+                let res = solver::subsolve(&req).map_err(|e| MfError::App(e.to_string()))?;
+                h.submit(result_to_unit(&res))?;
+                h.die();
+                Ok(())
+            },
+        );
+        assert_eq!(out.lock().len(), n, "{}: lost results", engine.name());
+        times.push(secs);
+    }
+    median(&mut times)
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch loop: assign / compare / post / transition, no workers at all.
+// ---------------------------------------------------------------------------
+
+fn count_source(limit: u64) -> String {
+    format!(
+        "manner Count() {{\n\
+         \x20   auto process n is variable(0).\n\
+         \x20   begin: n = n + 1; if (n < {limit}) then (post (begin)) else (post (done)).\n\
+         \x20   done: halt.\n\
+         }}\n"
+    )
+}
+
+/// Wall seconds and coordinator-thread allocations for one `Count()` run.
+fn count_run(kind: CoordExec, limit: u64) -> (f64, u64) {
+    let mc = Mc::from_source(&count_source(limit)).expect("count source");
+    let env = Environment::new();
+    let t0 = Instant::now();
+    let (_, allocs) = allocations_during(|| {
+        env.run_manner(&mc, kind, "count.m", "Count", |_| Ok(Vec::new()))
+            .expect("count run")
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    env.shutdown();
+    (secs, allocs)
+}
+
+/// The same loop hand-written against the runtime (variable + events),
+/// the "native master" baseline for pure dispatch.
+fn count_native(limit: u64) -> f64 {
+    let env = Environment::new();
+    let t0 = Instant::now();
+    env.run_coordinator("Count", |coord| {
+        let n = Variable::spawn(coord, "n", Unit::int(0))?;
+        let pats = [EventPattern::named("begin"), EventPattern::named("done")];
+        coord.post("begin");
+        while let Some((0, _)) = coord.ctx().core().events().try_select(&pats) {
+            let v = n.add(1);
+            if (v as u64) < limit {
+                coord.post("begin");
+            } else {
+                coord.post("done");
+            }
+        }
+        Ok(())
+    })
+    .expect("native count");
+    let secs = t0.elapsed().as_secs_f64();
+    env.shutdown();
+    secs
+}
+
+/// Per-step cost in nanoseconds via two run sizes (subtracts the fixed
+/// startup/teardown work shared by both runs).
+fn per_step_ns(run: impl Fn(u64) -> f64, k1: u64, k2: u64) -> f64 {
+    let t1 = run(k1);
+    let t2 = run(k2);
+    ((t2 - t1) * 1e9 / (k2 - k1) as f64).max(0.0)
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+// ---------------------------------------------------------------------------
+
+fn main() {
+    let cli = Cli::parse(
+        "coord_bench",
+        "[--jobs N] [--reps N] [--iters N] [--json] [--out FILE] \
+         [--assert-overhead X] [--assert-zero-alloc]",
+    );
+    let jobs: usize = cli.parsed("--jobs", 32);
+    let reps: usize = cli.parsed("--reps", 5);
+    let iters: u64 = cli.parsed("--iters", 20_000);
+    let json = cli.flag("--json");
+    let out_path: Option<String> = cli.parsed_opt("--out");
+    let budget: Option<f64> = cli.parsed_opt("--assert-overhead");
+    let assert_zero_alloc = cli.flag("--assert-zero-alloc");
+
+    let mc = Mc::from_source(manifold::lang::PROTOCOL_MW_SOURCE).expect("protocolMW.m");
+
+    // (a) + (b): the two protocols under all three engines.
+    let mut squaring = [0.0f64; 3];
+    let mut sparse = [0.0f64; 3];
+    for (i, engine) in Engine::ALL.into_iter().enumerate() {
+        squaring[i] = squaring_secs(engine, &mc, jobs, reps);
+        sparse[i] = sparse_grid_secs(engine, &mc, reps);
+        if !json {
+            eprintln!(
+                "{:>8}: squaring {:7.2} ms   sparse-grid {:7.2} ms",
+                engine.name(),
+                squaring[i] * 1e3,
+                sparse[i] * 1e3
+            );
+        }
+    }
+
+    // (c): pure dispatch, plus the steady-state allocation check. Warm up
+    // once so lazily-grown buffers (thread pool, event memory) settle.
+    let _ = count_run(CoordExec::Compiled, 64);
+    let _ = count_native(64);
+    let (k1, k2) = (iters, iters * 11);
+    let native_ns = per_step_ns(count_native, k1, k2);
+    let interp_ns = per_step_ns(|k| count_run(CoordExec::Interp, k).0, k1, k2);
+    let vm_ns = per_step_ns(|k| count_run(CoordExec::Compiled, k).0, k1, k2);
+    let (_, a1) = count_run(CoordExec::Compiled, k1);
+    let (_, a2) = count_run(CoordExec::Compiled, k2);
+    let steady_allocs = a2.saturating_sub(a1);
+    if !json {
+        eprintln!(
+            "dispatch: native {native_ns:6.1} ns/step   interp {interp_ns:6.1}   \
+             compiled {vm_ns:6.1}   steady-state allocs/{} extra steps: {steady_allocs}",
+            k2 - k1
+        );
+    }
+
+    let squaring_overhead = squaring[2] / squaring[0];
+    let report = format!(
+        "{{\n  \"bench\": \"coord_bench\",\n  \"jobs\": {jobs},\n  \"reps\": {reps},\n\
+         \x20 \"squaring\": {{\n    \"native_ms\": {:.3},\n    \"interp_ms\": {:.3},\n\
+         \x20   \"compiled_ms\": {:.3},\n    \"interp_over_native\": {:.3},\n\
+         \x20   \"compiled_over_native\": {:.3}\n  }},\n\
+         \x20 \"sparse_grid\": {{\n    \"native_ms\": {:.3},\n    \"interp_ms\": {:.3},\n\
+         \x20   \"compiled_ms\": {:.3},\n    \"interp_over_native\": {:.3},\n\
+         \x20   \"compiled_over_native\": {:.3}\n  }},\n\
+         \x20 \"dispatch\": {{\n    \"iters\": {iters},\n    \"native_ns_per_step\": {:.1},\n\
+         \x20   \"interp_ns_per_step\": {:.1},\n    \"compiled_ns_per_step\": {:.1},\n\
+         \x20   \"interp_over_compiled\": {:.3},\n\
+         \x20   \"compiled_steady_state_allocs\": {steady_allocs}\n  }}\n}}\n",
+        squaring[0] * 1e3,
+        squaring[1] * 1e3,
+        squaring[2] * 1e3,
+        squaring[1] / squaring[0],
+        squaring_overhead,
+        sparse[0] * 1e3,
+        sparse[1] * 1e3,
+        sparse[2] * 1e3,
+        sparse[1] / sparse[0],
+        sparse[2] / sparse[0],
+        native_ns,
+        interp_ns,
+        vm_ns,
+        if vm_ns > 0.0 { interp_ns / vm_ns } else { 0.0 },
+    );
+    if json {
+        println!("{report}");
+    }
+    if let Some(path) = out_path {
+        std::fs::write(&path, &report).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+
+    let mut failed = false;
+    if let Some(x) = budget {
+        if squaring_overhead > x {
+            eprintln!(
+                "FAIL: compiled/native overhead {squaring_overhead:.3} exceeds budget {x:.3}"
+            );
+            failed = true;
+        }
+    }
+    if assert_zero_alloc && steady_allocs != 0 {
+        eprintln!("FAIL: compiled dispatch loop allocated {steady_allocs} times in steady state");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

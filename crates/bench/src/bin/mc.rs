@@ -1,17 +1,17 @@
 //! `mc` — the MANIFOLD compiler front-end as a CLI (the paper's `Mc`).
 //!
 //! Parses a `.m` source file, runs the structural checks, and prints a
-//! summary plus (optionally) the pretty-printed normal form. With no file
-//! argument it processes the built-in fixtures: the paper's `protocolMW.m`
-//! and `mainprog.m`.
+//! summary plus (optionally) the pretty-printed normal form and/or the
+//! compiled state-machine IR. With no file argument it processes the
+//! built-in fixtures: the paper's `protocolMW.m` and `mainprog.m`.
 //!
 //! ```text
-//! cargo run -p bench --release --bin mc [-- <file.m>] [--print]
+//! cargo run -p bench --release --bin mc [-- <file.m>] [--print] [--ir]
 //! ```
 
-use manifold::lang::{check_program, parse_program, print_program};
+use manifold::lang::{check_program, compile, parse_program, print_program};
 
-fn process(name: &str, source: &str, print: bool) {
+fn process(name: &str, source: &str, print: bool, ir: bool) {
     println!("== {name}");
     let program = match parse_program(source) {
         Ok(p) => p,
@@ -46,29 +46,44 @@ fn process(name: &str, source: &str, print: bool) {
         println!("---- normal form ----");
         println!("{}", print_program(&program));
     }
+    if ir {
+        match compile(&program) {
+            Ok(compiled) => {
+                println!("---- compiled IR ----");
+                println!("{}", compiled.disassemble());
+            }
+            Err(e) => {
+                eprintln!("   compile error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     println!();
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let print = args.iter().any(|a| a == "--print");
+    let ir = args.iter().any(|a| a == "--ir");
     let files: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
     if files.is_empty() {
         process(
             "protocolMW.m (paper §4.2)",
             manifold::lang::PROTOCOL_MW_SOURCE,
             print,
+            ir,
         );
         process(
             "mainprog.m (paper §5)",
             manifold::lang::MAINPROG_SOURCE,
             print,
+            ir,
         );
     } else {
         for f in files {
             let source =
                 std::fs::read_to_string(f).unwrap_or_else(|e| panic!("cannot read {f}: {e}"));
-            process(f, &source, print);
+            process(f, &source, print, ir);
         }
     }
 }

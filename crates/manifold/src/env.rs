@@ -203,6 +203,31 @@ impl Environment {
         result
     }
 
+    /// Run a manner from a compiled [`Mc`] artifact as the root
+    /// coordinator, under the selected executor. `make_args` builds the
+    /// manner's arguments against the live coordinator (creating the
+    /// master process, wrapping atomic factories, …); `source_name`
+    /// labels MES trace records.
+    ///
+    /// This is the one seam every entry point (tests, benches, the
+    /// `protocol` crate) threads its `--coord interp|compiled` selector
+    /// through, so both executors share the surrounding plumbing verbatim.
+    pub fn run_manner(
+        &self,
+        mc: &crate::lang::Mc,
+        kind: crate::lang::CoordExec,
+        source_name: &str,
+        manner: &str,
+        make_args: impl FnOnce(&mut Coord) -> MfResult<Vec<crate::lang::Value>>,
+    ) -> MfResult<()> {
+        use crate::lang::CoordExecutor;
+        self.run_coordinator(Name::new(manner), |coord| {
+            let args = make_args(coord)?;
+            mc.executor(kind, source_name)
+                .call_manner(coord, manner, args)
+        })
+    }
+
     /// Run a coordinator on a new thread; returns its process reference.
     pub fn spawn_coordinator(
         &self,

@@ -41,6 +41,9 @@ pub enum MfError {
     Timeout,
     /// Catch-all application-level error carried out of an atomic process.
     App(String),
+    /// A typed diagnostic from the MANIFOLD language layer (interpreter,
+    /// compiler, or VM), carrying the source line it was detected at.
+    Lang(crate::lang::LangError),
 }
 
 impl fmt::Display for MfError {
@@ -58,6 +61,7 @@ impl fmt::Display for MfError {
             MfError::Spec(m) => write!(f, "spec parse error: {m}"),
             MfError::Timeout => write!(f, "wait timed out"),
             MfError::App(m) => write!(f, "application error: {m}"),
+            MfError::Lang(e) => write!(f, "coordinator spec error: {e}"),
         }
     }
 }

@@ -127,6 +127,8 @@ pub enum Declaration {
         ctor: String,
         /// Constructor arguments.
         args: Vec<Expr>,
+        /// Source line of the declaration (diagnostic attribution).
+        line: u32,
     },
     /// `hold name.`
     Hold(String),
@@ -278,6 +280,23 @@ impl Program {
                 export,
             } if n == name => Some((params, body, *export)),
             _ => None,
+        })
+    }
+
+    /// Find a callable coordinator body by name: a manner, or — as in
+    /// `mainprog.m`'s `Main` — a manifold declared with a coordinator
+    /// block. Manners shadow manifolds of the same name.
+    pub fn coordinator(&self, name: &str) -> Option<(&Vec<Param>, &Block, bool)> {
+        self.manner(name).or_else(|| {
+            self.items.iter().find_map(|i| match i {
+                Item::Manifold {
+                    name: n,
+                    params,
+                    body: Some(b),
+                    ..
+                } if n == name => Some((params, b, false)),
+                _ => None,
+            })
         })
     }
 

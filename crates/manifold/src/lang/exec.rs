@@ -1,0 +1,279 @@
+//! The executor seam: everything shared between the tree-walking
+//! interpreter and the compiled state-machine VM.
+//!
+//! The two executors differ only in *how* they step a manner — the
+//! [`Interp`] walks the AST, the [`Vm`] steps pre-compiled IR — while the
+//! value model ([`Value`]), the host interface ([`AtomicFactory`] plus the
+//! typed `expect_*_arg` helpers), the trace attribution, and the structural
+//! checks are shared verbatim. [`CoordExecutor`] is the common trait;
+//! [`CoordExec`] is the user-facing selector (`--coord interp|compiled`,
+//! compiled by default); [`Mc`] bundles a parsed program with its compiled
+//! form so either executor can be constructed from one artifact.
+
+use std::rc::Rc;
+use std::str::FromStr;
+
+use crate::builtin::Variable;
+use crate::coord::Coord;
+use crate::error::MfResult;
+use crate::ident::Name;
+use crate::lang::ast::Program;
+use crate::lang::compile::{compile, CompiledProgram};
+use crate::lang::error::{LangError, LangErrorKind};
+use crate::lang::interp::Interp;
+use crate::lang::parse::parse_program;
+use crate::lang::vm::Vm;
+use crate::process::ProcessRef;
+
+/// Host-supplied constructor for an atomic manifold: receives the
+/// coordinator and the (resolved) constructor arguments, returns a created
+/// (not yet activated) process.
+pub type AtomicFactory = Rc<dyn Fn(&Coord, &[Value]) -> MfResult<ProcessRef>>;
+
+/// A runtime value bound to a MANIFOLD name.
+#[derive(Clone)]
+pub enum Value {
+    /// A process instance.
+    Process(ProcessRef),
+    /// A `variable` instance.
+    Variable(Variable),
+    /// An event name.
+    Event(Name),
+    /// A manifold definition (atomic factory).
+    Manifold(AtomicFactory),
+    /// An integer.
+    Int(i64),
+}
+
+impl Value {
+    /// The kind of this value, for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Process(_) => "process",
+            Value::Variable(_) => "variable",
+            Value::Event(_) => "event",
+            Value::Manifold(_) => "manifold",
+            Value::Int(_) => "int",
+        }
+    }
+}
+
+impl std::fmt::Debug for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Process(p) => write!(f, "Process({p:?})"),
+            Value::Variable(_) => write!(f, "Variable"),
+            Value::Event(e) => write!(f, "Event({e})"),
+            Value::Manifold(_) => write!(f, "Manifold"),
+            Value::Int(v) => write!(f, "Int({v})"),
+        }
+    }
+}
+
+fn bad_arg(args: &[Value], index: usize, expected: &'static str) -> LangError {
+    LangError::new(LangErrorKind::BadArgument {
+        index,
+        expected,
+        found: args.get(index).map(Value::kind).unwrap_or("nothing"),
+    })
+}
+
+/// Typed access to an [`AtomicFactory`] argument: the event at `index`, or
+/// a [`LangError`] the runtime re-attributes to the `process … is …`
+/// declaration that invoked the factory (instead of the historical
+/// `panic!("worker factory expected an event")`).
+pub fn expect_event_arg(args: &[Value], index: usize) -> Result<Name, LangError> {
+    match args.get(index) {
+        Some(Value::Event(e)) => Ok(e.clone()),
+        _ => Err(bad_arg(args, index, "event")),
+    }
+}
+
+/// Typed access to an [`AtomicFactory`] argument: the process at `index`.
+pub fn expect_process_arg(args: &[Value], index: usize) -> Result<ProcessRef, LangError> {
+    match args.get(index) {
+        Some(Value::Process(p)) => Ok(p.clone()),
+        Some(Value::Variable(v)) => Ok(v.process().clone()),
+        _ => Err(bad_arg(args, index, "process")),
+    }
+}
+
+/// Typed access to an [`AtomicFactory`] argument: the integer at `index`.
+pub fn expect_int_arg(args: &[Value], index: usize) -> Result<i64, LangError> {
+    match args.get(index) {
+        Some(Value::Int(v)) => Ok(*v),
+        Some(Value::Variable(v)) => Ok(v.get_int()),
+        _ => Err(bad_arg(args, index, "int")),
+    }
+}
+
+/// What both executors expose to the host: run a manner against a live
+/// coordinator. `check`, trace attribution, and the [`AtomicFactory`]
+/// plumbing sit above/below this seam and are shared verbatim.
+pub trait CoordExecutor {
+    /// Call a manner by name with the given arguments.
+    fn call_manner(&self, coord: &Coord, name: &str, args: Vec<Value>) -> MfResult<()>;
+
+    /// Short name of the executor ("interp" / "compiled"), for reports.
+    fn kind(&self) -> CoordExec;
+}
+
+/// Executor selector: which engine runs coordinator specs.
+///
+/// The compiled VM is the default — it is bit-identical to the interpreter
+/// (enforced by differential tests) and keeps coordination overhead within
+/// a small factor of the hand-written native protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoordExec {
+    /// Tree-walk the AST (the original `lang::interp` path).
+    Interp,
+    /// Step compiled state-machine IR (`lang::compile` + `lang::vm`).
+    #[default]
+    Compiled,
+}
+
+impl CoordExec {
+    /// Both executors, in comparison order (interp first, then compiled).
+    pub const ALL: [CoordExec; 2] = [CoordExec::Interp, CoordExec::Compiled];
+
+    /// The selector's command-line spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CoordExec::Interp => "interp",
+            CoordExec::Compiled => "compiled",
+        }
+    }
+}
+
+impl std::fmt::Display for CoordExec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for CoordExec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" | "interpreter" | "tree" => Ok(CoordExec::Interp),
+            "compiled" | "vm" => Ok(CoordExec::Compiled),
+            other => Err(format!(
+                "unknown coordinator executor {other:?} (expected interp or compiled)"
+            )),
+        }
+    }
+}
+
+/// The whole `Mc` compiler as one artifact: a parsed [`Program`] plus its
+/// compiled [`CompiledProgram`], from which either executor can be built.
+pub struct Mc {
+    program: Program,
+    compiled: CompiledProgram,
+}
+
+impl Mc {
+    /// Parse and compile MANIFOLD source.
+    pub fn from_source(source: &str) -> MfResult<Mc> {
+        Self::from_program(parse_program(source)?)
+    }
+
+    /// Compile an already-parsed program.
+    pub fn from_program(program: Program) -> MfResult<Mc> {
+        let compiled = compile(&program)?;
+        Ok(Mc { program, compiled })
+    }
+
+    /// The parsed AST.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The compiled state-machine IR.
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// Build the selected executor. `source_name` labels MES trace records
+    /// (identically for both executors).
+    pub fn executor(&self, kind: CoordExec, source_name: &str) -> Executor<'_> {
+        match kind {
+            CoordExec::Interp => Executor::Interp(Interp::new(&self.program, source_name)),
+            CoordExec::Compiled => Executor::Vm(Vm::new(&self.compiled, source_name)),
+        }
+    }
+}
+
+/// Either executor, behind one concrete type (avoids boxing in the common
+/// "pick at startup" case).
+pub enum Executor<'p> {
+    /// The tree-walker.
+    Interp(Interp<'p>),
+    /// The IR-stepping VM.
+    Vm(Vm<'p>),
+}
+
+impl CoordExecutor for Executor<'_> {
+    fn call_manner(&self, coord: &Coord, name: &str, args: Vec<Value>) -> MfResult<()> {
+        match self {
+            Executor::Interp(i) => i.call_manner(coord, name, args),
+            Executor::Vm(v) => v.call_manner(coord, name, args),
+        }
+    }
+
+    fn kind(&self) -> CoordExec {
+        match self {
+            Executor::Interp(_) => CoordExec::Interp,
+            Executor::Vm(_) => CoordExec::Compiled,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selector_parses_and_defaults_to_compiled() {
+        assert_eq!(CoordExec::default(), CoordExec::Compiled);
+        assert_eq!("interp".parse::<CoordExec>().unwrap(), CoordExec::Interp);
+        assert_eq!("vm".parse::<CoordExec>().unwrap(), CoordExec::Compiled);
+        assert_eq!(
+            "compiled".parse::<CoordExec>().unwrap(),
+            CoordExec::Compiled
+        );
+        assert!("native".parse::<CoordExec>().is_err());
+    }
+
+    #[test]
+    fn expect_helpers_diagnose_kind_and_index() {
+        let args = vec![Value::Int(3)];
+        let e = expect_event_arg(&args, 0).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            LangErrorKind::BadArgument {
+                index: 0,
+                expected: "event",
+                found: "int"
+            }
+        ));
+        let e = expect_process_arg(&args, 1).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            LangErrorKind::BadArgument {
+                found: "nothing",
+                ..
+            }
+        ));
+        assert_eq!(expect_int_arg(&args, 0).unwrap(), 3);
+    }
+
+    #[test]
+    fn mc_builds_both_executors_for_the_paper_source() {
+        let mc = Mc::from_source(crate::lang::PROTOCOL_MW_SOURCE).unwrap();
+        for kind in CoordExec::ALL {
+            let exec = mc.executor(kind, "protocolMW.m");
+            assert_eq!(exec.kind(), kind);
+        }
+    }
+}

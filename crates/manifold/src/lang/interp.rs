@@ -1,6 +1,13 @@
-//! An interpreter for the coordinator subset of MANIFOLD: runs parsed
-//! manners (e.g. the paper's `protocolMW.m`, verbatim) against the live
-//! runtime.
+//! The tree-walking interpreter for the coordinator subset of MANIFOLD:
+//! runs parsed manners (e.g. the paper's `protocolMW.m`, verbatim) against
+//! the live runtime.
+//!
+//! This is the *reference* executor: it walks the AST directly, which keeps
+//! it auditably close to the language report but re-derives structure
+//! (label sorts, pattern lists, name hashing) on every step. The compiled
+//! [`crate::lang::vm::Vm`] is the production path; the differential
+//! property tests in `tests/lang_proptests.rs` hold the two bit-identical.
+//! Select between them with [`crate::lang::CoordExec`].
 //!
 //! ## Semantics implemented
 //!
@@ -24,9 +31,10 @@
 //! Atomic manifolds (the "C wrappers") are supplied by the host as
 //! [`AtomicFactory`] closures; already-running processes (the paper's
 //! `master` parameter) are passed as bindings. `variable` is built in.
+//! Malformed specs diagnose with typed [`LangError`]s carrying source
+//! lines, never panics.
 
 use std::collections::HashMap;
-use std::rc::Rc;
 
 use crate::builtin::Variable;
 use crate::coord::Coord;
@@ -34,41 +42,14 @@ use crate::error::{MfError, MfResult};
 use crate::event::{EventOccurrence, EventPattern};
 use crate::ident::Name;
 use crate::lang::ast::*;
+use crate::lang::compile::{endpoints_match, parse_stream_type};
+use crate::lang::error::{attribute_line, LangError, LangErrorKind};
+#[cfg(test)]
+use crate::lang::exec::AtomicFactory;
+use crate::lang::exec::{CoordExec, CoordExecutor, Value};
 use crate::process::ProcessRef;
 use crate::stream::{Stream, StreamType};
 use crate::unit::Unit;
-
-/// Host-supplied constructor for an atomic manifold: receives the
-/// coordinator and the (resolved) constructor arguments, returns a created
-/// (not yet activated) process.
-pub type AtomicFactory = Rc<dyn Fn(&Coord, &[Value]) -> MfResult<ProcessRef>>;
-
-/// A runtime value bound to a MANIFOLD name.
-#[derive(Clone)]
-pub enum Value {
-    /// A process instance.
-    Process(ProcessRef),
-    /// A `variable` instance.
-    Variable(Variable),
-    /// An event name.
-    Event(Name),
-    /// A manifold definition (atomic factory).
-    Manifold(AtomicFactory),
-    /// An integer.
-    Int(i64),
-}
-
-impl std::fmt::Debug for Value {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Value::Process(p) => write!(f, "Process({p:?})"),
-            Value::Variable(_) => write!(f, "Variable"),
-            Value::Event(e) => write!(f, "Event({e})"),
-            Value::Manifold(_) => write!(f, "Manifold"),
-            Value::Int(v) => write!(f, "Int({v})"),
-        }
-    }
-}
 
 /// The interpreter for one program.
 pub struct Interp<'p> {
@@ -114,30 +95,34 @@ impl<'p> Interp<'p> {
     pub fn call_manner(&self, coord: &Coord, name: &str, args: Vec<Value>) -> MfResult<()> {
         let (params, body, _) = self
             .program
-            .manner(name)
-            .ok_or_else(|| MfError::Spec(format!("no manner `{name}`")))?;
+            .coordinator(name)
+            .ok_or_else(|| LangError::new(LangErrorKind::UnknownManner(name.to_string())))?;
         let root = Frame {
             bindings: HashMap::new(),
             parent: None,
         };
-        self.run_manner(coord, params, body, args, &root)?;
+        self.run_manner(coord, name, params, body, args, &root, 0)?;
         Ok(())
     }
 
     fn bind_params(
         &self,
+        manner: &str,
         params: &[Param],
         args: Vec<Value>,
-        parent: &Frame<'_>,
+        line: u32,
     ) -> MfResult<HashMap<String, Value>> {
         if params.len() != args.len() {
-            return Err(MfError::Spec(format!(
-                "arity mismatch: {} params, {} args",
-                params.len(),
-                args.len()
-            )));
+            return Err(LangError::at(
+                LangErrorKind::ArityMismatch {
+                    manner: manner.to_string(),
+                    params: params.len(),
+                    args: args.len(),
+                },
+                line,
+            )
+            .into());
         }
-        let _ = parent;
         let mut bindings = HashMap::new();
         for (p, a) in params.iter().zip(args) {
             let name = match p {
@@ -151,15 +136,18 @@ impl<'p> Interp<'p> {
         Ok(bindings)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_manner(
         &self,
         coord: &Coord,
+        name: &str,
         params: &[Param],
         body: &Block,
         args: Vec<Value>,
         parent: &Frame<'_>,
+        line: u32,
     ) -> MfResult<()> {
-        let bindings = self.bind_params(params, args, parent)?;
+        let bindings = self.bind_params(name, params, args, line)?;
         // Mentioning a process parameter in a manner tunes the coordinator
         // to its events (as the `terminated(master)` sensitivity of §4.2);
         // watch process arguments up front so no early raise is lost.
@@ -209,7 +197,11 @@ impl<'p> Interp<'p> {
                     priorities.push((higher.clone(), lower.clone()));
                 }
                 Declaration::Process {
-                    name, ctor, args, ..
+                    name,
+                    ctor,
+                    args,
+                    line,
+                    ..
                 } => {
                     let frame = Frame {
                         bindings: bindings.clone(),
@@ -217,7 +209,7 @@ impl<'p> Interp<'p> {
                     };
                     let value = if ctor == "variable" {
                         let init = match args.first() {
-                            Some(e) => self.eval_int(e, &frame)?,
+                            Some(e) => self.eval_int(e, &frame, *line)?,
                             None => 0,
                         };
                         Value::Variable(Variable::spawn(coord, name, Unit::int(init))?)
@@ -225,23 +217,30 @@ impl<'p> Interp<'p> {
                         let factory = match frame.lookup(ctor) {
                             Some(Value::Manifold(f)) => f,
                             _ => {
-                                return Err(MfError::Spec(format!(
-                                    "`{ctor}` is not a manifold in scope"
-                                )))
+                                return Err(LangError::at(
+                                    LangErrorKind::NotAManifold(ctor.clone()),
+                                    *line,
+                                )
+                                .into())
                             }
                         };
                         let argv: Vec<Value> = args
                             .iter()
-                            .map(|a| self.eval_value(a, &frame))
+                            .map(|a| self.eval_value(a, &frame, *line))
                             .collect::<MfResult<_>>()?;
-                        Value::Process(factory(coord, &argv)?)
+                        let p = factory(coord, &argv).map_err(|e| attribute_line(e, *line))?;
+                        Value::Process(p)
                     };
                     bindings.insert(name.clone(), value);
                 }
-                Declaration::Stream { ty, from, to } => {
-                    let sty = parse_stream_type(ty)?;
-                    stream_decls.push((sty, from.clone(), to.clone()));
-                }
+                Declaration::Stream { ty, from, to } => match parse_stream_type(ty) {
+                    Some(sty) => stream_decls.push((sty, from.clone(), to.clone())),
+                    None => {
+                        return Err(
+                            LangError::new(LangErrorKind::UnknownStreamType(ty.clone())).into()
+                        )
+                    }
+                },
             }
         }
 
@@ -272,7 +271,7 @@ impl<'p> Interp<'p> {
         let exit = loop {
             let state = block
                 .state(&current)
-                .ok_or_else(|| MfError::Spec(format!("no state `{current}`")))?;
+                .ok_or_else(|| LangError::new(LangErrorKind::NoSuchState(current.clone())))?;
             let mut streams: Vec<Arc2> = Vec::new();
             let flow = self.exec(
                 coord,
@@ -367,19 +366,19 @@ impl<'p> Interp<'p> {
                 self.run_block(coord, b, frame, &outer)
             }
             Action::Chain(endpoints) => {
-                self.build_chain(coord, endpoints, frame, stream_decls, streams)?;
+                self.build_chain(coord, endpoints, frame, stream_decls, streams, line)?;
                 Ok(Flow::Done)
             }
             Action::Call { name, args } => {
                 let argv: Vec<Value> = args
                     .iter()
-                    .map(|a| self.eval_value(a, frame))
+                    .map(|a| self.eval_value(a, frame, line))
                     .collect::<MfResult<_>>()?;
-                if let Some((params, body, _)) = self.program.manner(name) {
-                    self.run_manner(coord, params, body, argv, frame)?;
+                if let Some((params, body, _)) = self.program.coordinator(name) {
+                    self.run_manner(coord, name, params, body, argv, frame, line)?;
                     return Ok(Flow::Done);
                 }
-                Err(MfError::Spec(format!("call to unknown manner `{name}`")))
+                Err(LangError::at(LangErrorKind::UnknownManner(name.clone()), line).into())
             }
             Action::Post(e) => {
                 coord.post(e.as_str());
@@ -408,7 +407,11 @@ impl<'p> Interp<'p> {
                 }
                 let p = match frame.lookup(pname) {
                     Some(Value::Process(p)) => p,
-                    _ => return Err(MfError::Spec(format!("`{pname}` is not a process"))),
+                    _ => {
+                        return Err(
+                            LangError::at(LangErrorKind::NotAProcess(pname.clone()), line).into(),
+                        )
+                    }
                 };
                 coord.watch(&p);
                 pats.push(EventPattern::Terminated(p.id()));
@@ -420,13 +423,13 @@ impl<'p> Interp<'p> {
                 }
             }
             Action::Assign { name, value } => {
-                let v = self.eval_int(value, frame)?;
+                let v = self.eval_int(value, frame, line)?;
                 match frame.lookup(name) {
                     Some(Value::Variable(var)) => {
                         var.set(Unit::int(v));
                         Ok(Flow::Done)
                     }
-                    _ => Err(MfError::Spec(format!("`{name}` is not a variable"))),
+                    _ => Err(LangError::at(LangErrorKind::NotAVariable(name.clone()), line).into()),
                 }
             }
             Action::If {
@@ -434,8 +437,8 @@ impl<'p> Interp<'p> {
                 then,
                 otherwise,
             } => {
-                let lhs = self.eval_int(&cond.lhs, frame)?;
-                let rhs = self.eval_int(&cond.rhs, frame)?;
+                let lhs = self.eval_int(&cond.lhs, frame, line)?;
+                let rhs = self.eval_int(&cond.rhs, frame, line)?;
                 let hit = match cond.op {
                     '<' => lhs < rhs,
                     '>' => lhs > rhs,
@@ -465,6 +468,7 @@ impl<'p> Interp<'p> {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn build_chain(
         &self,
         _coord: &Coord,
@@ -472,6 +476,7 @@ impl<'p> Interp<'p> {
         frame: &Frame<'_>,
         stream_decls: &[(StreamType, Endpoint, Endpoint)],
         streams: &mut Vec<Arc2>,
+        line: u32,
     ) -> MfResult<()> {
         for pair in endpoints.windows(2) {
             let (from, to) = (&pair[0], &pair[1]);
@@ -480,16 +485,16 @@ impl<'p> Interp<'p> {
                 .find(|(_, f, t)| endpoints_match(f, from) && endpoints_match(t, to))
                 .map(|(ty, _, _)| *ty)
                 .unwrap_or(StreamType::BK);
-            let sink = self.resolve_process(&to.process, frame)?;
+            let sink = self.resolve_process(&to.process, frame, line)?;
             let sink_port = sink.port(to.port.clone().unwrap_or_else(|| "input".into()));
             if from.is_ref {
                 // `&p -> q`: a one-shot reference unit from the coordinator.
-                let p = self.resolve_process(&from.process, frame)?;
+                let p = self.resolve_process(&from.process, frame, line)?;
                 let s = Stream::preloaded(ty, [Unit::ProcessRef(p)]);
                 sink_port.attach_incoming(&s);
                 streams.push(s);
             } else {
-                let src = self.resolve_process(&from.process, frame)?;
+                let src = self.resolve_process(&from.process, frame, line)?;
                 let src_port = src.port(from.port.clone().unwrap_or_else(|| "output".into()));
                 let s = Stream::new(ty);
                 src_port.attach_outgoing(&s);
@@ -500,71 +505,65 @@ impl<'p> Interp<'p> {
         Ok(())
     }
 
-    fn resolve_process(&self, name: &str, frame: &Frame<'_>) -> MfResult<ProcessRef> {
+    fn resolve_process(&self, name: &str, frame: &Frame<'_>, line: u32) -> MfResult<ProcessRef> {
         match frame.lookup(name) {
             Some(Value::Process(p)) => Ok(p),
             Some(Value::Variable(v)) => Ok(v.process().clone()),
-            _ => Err(MfError::Spec(format!("`{name}` is not a process in scope"))),
+            _ => Err(LangError::at(LangErrorKind::NotAProcess(name.to_string()), line).into()),
         }
     }
 
-    fn eval_value(&self, e: &Expr, frame: &Frame<'_>) -> MfResult<Value> {
+    fn eval_value(&self, e: &Expr, frame: &Frame<'_>, line: u32) -> MfResult<Value> {
         match e {
             Expr::Int(v) => Ok(Value::Int(*v)),
-            Expr::Var(name) => frame
+            Expr::Var(name) | Expr::Ref(name) => frame
                 .lookup(name)
-                .ok_or_else(|| MfError::Spec(format!("unbound name `{name}`"))),
-            Expr::Ref(name) => frame
-                .lookup(name)
-                .ok_or_else(|| MfError::Spec(format!("unbound name `{name}`"))),
-            Expr::Binary { .. } => Ok(Value::Int(self.eval_int(e, frame)?)),
-            Expr::Call { .. } => Err(MfError::Spec(
-                "nested constructor calls are not supported as manner arguments here; \
-                 pre-instantiate and pass the process"
-                    .into(),
-            )),
+                .ok_or_else(|| LangError::at(LangErrorKind::Unbound(name.clone()), line).into()),
+            Expr::Binary { .. } => Ok(Value::Int(self.eval_int(e, frame, line)?)),
+            Expr::Call { .. } => Err(LangError::at(LangErrorKind::NestedCall, line).into()),
         }
     }
 
-    fn eval_int(&self, e: &Expr, frame: &Frame<'_>) -> MfResult<i64> {
+    fn eval_int(&self, e: &Expr, frame: &Frame<'_>, line: u32) -> MfResult<i64> {
         match e {
             Expr::Int(v) => Ok(*v),
             Expr::Var(name) => match frame.lookup(name) {
                 Some(Value::Int(v)) => Ok(v),
                 Some(Value::Variable(var)) => Ok(var.get_int()),
-                other => Err(MfError::Spec(format!("`{name}` is not numeric: {other:?}"))),
+                other => Err(LangError::at(
+                    LangErrorKind::NotNumeric {
+                        name: name.clone(),
+                        found: format!("{other:?}"),
+                    },
+                    line,
+                )
+                .into()),
             },
             Expr::Binary { op, lhs, rhs } => {
-                let l = self.eval_int(lhs, frame)?;
-                let r = self.eval_int(rhs, frame)?;
+                let l = self.eval_int(lhs, frame, line)?;
+                let r = self.eval_int(rhs, frame, line)?;
                 Ok(match op {
                     '+' => l + r,
                     '-' => l - r,
                     _ => unreachable!(),
                 })
             }
-            _ => Err(MfError::Spec("non-numeric expression".into())),
+            _ => Err(LangError::at(LangErrorKind::NonNumericExpr, line).into()),
         }
     }
 }
 
+impl CoordExecutor for Interp<'_> {
+    fn call_manner(&self, coord: &Coord, name: &str, args: Vec<Value>) -> MfResult<()> {
+        Interp::call_manner(self, coord, name, args)
+    }
+
+    fn kind(&self) -> CoordExec {
+        CoordExec::Interp
+    }
+}
+
 type Arc2 = std::sync::Arc<Stream>;
-
-fn endpoints_match(decl: &Endpoint, used: &Endpoint) -> bool {
-    decl.process == used.process
-        && (decl.port.is_none() || decl.port == used.port)
-        && decl.is_ref == used.is_ref
-}
-
-fn parse_stream_type(s: &str) -> MfResult<StreamType> {
-    Ok(match s {
-        "BK" => StreamType::BK,
-        "KK" => StreamType::KK,
-        "BB" => StreamType::BB,
-        "KB" => StreamType::KB,
-        other => return Err(MfError::Spec(format!("unknown stream type {other}"))),
-    })
-}
 
 #[cfg(test)]
 mod tests {
@@ -572,6 +571,7 @@ mod tests {
     use crate::env::Environment;
     use crate::lang::parse::parse_program;
     use crate::process::ProcessCtx;
+    use std::rc::Rc;
 
     #[test]
     fn interprets_trivial_manner() {
@@ -648,14 +648,27 @@ mod tests {
     }
 
     #[test]
-    fn unknown_manner_and_arity_errors() {
+    fn unknown_manner_and_arity_errors_are_typed() {
         let prog = parse_program("manner F(process p) { begin: halt. }").unwrap();
         let env = Environment::new();
         let r = env.run_coordinator("Main", |coord| {
             let i = Interp::new(&prog, "f.m");
-            assert!(i.call_manner(coord, "Nope", vec![]).is_err());
-            // Arity mismatch.
-            assert!(i.call_manner(coord, "F", vec![]).is_err());
+            assert_eq!(
+                i.call_manner(coord, "Nope", vec![]),
+                Err(LangError::new(LangErrorKind::UnknownManner("Nope".into())).into())
+            );
+            // Arity mismatch, diagnosed with the manner's name.
+            match i.call_manner(coord, "F", vec![]) {
+                Err(MfError::Lang(e)) => assert_eq!(
+                    e.kind,
+                    LangErrorKind::ArityMismatch {
+                        manner: "F".into(),
+                        params: 1,
+                        args: 0
+                    }
+                ),
+                other => panic!("expected arity error, got {other:?}"),
+            }
             Ok(())
         });
         assert!(r.is_ok());
@@ -685,10 +698,7 @@ mod tests {
             });
             coord.activate(&source)?;
             let sink_factory: AtomicFactory = Rc::new(move |coord, args| {
-                let death = match &args[0] {
-                    Value::Event(e) => e.clone(),
-                    other => panic!("expected event, got {other:?}"),
-                };
+                let death = crate::lang::exec::expect_event_arg(args, 0)?;
                 let got3 = got2.clone();
                 let p = coord.create_atomic("Sink", move |ctx: ProcessCtx| {
                     let v = ctx.read("input")?.expect_int()?;
@@ -708,5 +718,31 @@ mod tests {
         .unwrap();
         env.shutdown();
         assert_eq!(*got.lock(), Some(99));
+    }
+
+    #[test]
+    fn factory_errors_attribute_the_declaration_line() {
+        let src = "manner Go(manifold W(event)) {\n\
+            process p is W(7).\n\
+            begin: halt.\n\
+        }";
+        let prog = parse_program(src).unwrap();
+        let env = Environment::new();
+        let r = env.run_coordinator("Main", |coord| {
+            let factory: AtomicFactory = Rc::new(|_coord, args| {
+                // Wrong kind: the factory wanted an event, got an int.
+                let e = crate::lang::exec::expect_event_arg(args, 0)?;
+                unreachable!("{e}");
+            });
+            Interp::new(&prog, "go.m").call_manner(coord, "Go", vec![Value::Manifold(factory)])
+        });
+        match r {
+            Err(MfError::Lang(e)) => {
+                assert_eq!(e.line, 2, "error should carry the declaration line");
+                assert!(matches!(e.kind, LangErrorKind::BadArgument { .. }));
+            }
+            other => panic!("expected a typed factory error, got {other:?}"),
+        }
+        env.shutdown();
     }
 }

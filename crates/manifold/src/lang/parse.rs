@@ -360,6 +360,7 @@ impl Parser {
             return Ok(BlockItem::Decl(Declaration::Stream { ty, from, to }));
         }
         if self.at_ident("auto") || self.at_ident("process") {
+            let line = self.line();
             let auto = self.accept_word("auto");
             if !self.accept_word("process") {
                 return Err(self.err("expected `process` after `auto`"));
@@ -380,6 +381,7 @@ impl Parser {
                 name,
                 ctor,
                 args,
+                line,
             }));
         }
         // Otherwise: `label: body.`

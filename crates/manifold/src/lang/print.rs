@@ -147,6 +147,7 @@ fn print_decl(d: &Declaration) -> String {
             name,
             ctor,
             args,
+            ..
         } => {
             let a = if *auto { "auto " } else { "" };
             if args.is_empty() {
@@ -268,6 +269,11 @@ mod tests {
     fn normalize(p: &Program) -> Program {
         // Line numbers differ after re-printing; blank them for comparison.
         fn scrub_block(b: &mut Block) {
+            for d in &mut b.declarations {
+                if let Declaration::Process { line, .. } = d {
+                    *line = 0;
+                }
+            }
             for s in &mut b.states {
                 s.line = 0;
                 scrub_action(&mut s.body);

@@ -1,0 +1,57 @@
+//! Golden tests for the Mc compile pipeline: both paper fixtures compile,
+//! and the disassembled IR of `protocolMW.m` matches the committed
+//! snapshot (`src/lang/fixtures/protocolMW.ir.txt`).
+//!
+//! The snapshot pins the compiled form — state numbering, dispatch tables,
+//! pre-resolved stream chains, interned symbols — so accidental changes to
+//! the IR layout show up as a readable diff. To regenerate after an
+//! intentional change:
+//!
+//! ```text
+//! MC_BLESS=1 cargo test -p manifold --test lang_golden
+//! ```
+
+use manifold::lang::{compile, parse_program, MAINPROG_SOURCE, PROTOCOL_MW_SOURCE};
+
+fn snapshot_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("src/lang/fixtures/protocolMW.ir.txt")
+}
+
+#[test]
+fn compile_accepts_both_paper_fixtures() {
+    for (name, source) in [
+        ("protocolMW.m", PROTOCOL_MW_SOURCE),
+        ("mainprog.m", MAINPROG_SOURCE),
+    ] {
+        let program = parse_program(source).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+        let compiled = compile(&program).unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+        assert!(
+            compiled.symbol_count() > 0 && !compiled.blocks.is_empty(),
+            "{name}: compiled to an empty program"
+        );
+    }
+}
+
+#[test]
+fn protocol_mw_ir_matches_committed_snapshot() {
+    let program = parse_program(PROTOCOL_MW_SOURCE).expect("parse");
+    let compiled = compile(&program).expect("compile");
+    let actual = compiled.disassemble();
+    let path = snapshot_path();
+    if std::env::var_os("MC_BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("write snapshot");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); run with MC_BLESS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "compiled IR drifted from {}; regenerate with MC_BLESS=1 if intentional",
+        path.display()
+    );
+}

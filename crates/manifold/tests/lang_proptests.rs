@@ -1,9 +1,13 @@
-//! Property-based tests of the MANIFOLD language front-end: arbitrary
-//! programs survive print → parse round trips, and the lexer never panics
-//! on arbitrary input.
+//! Property-based tests of the MANIFOLD language front-end and the two
+//! coordinator executors: arbitrary programs survive print → parse round
+//! trips, the lexer never panics on arbitrary input, and — the differential
+//! property — generated well-formed manner programs produce identical
+//! results, trace records, and leftover events under the tree-walking
+//! interpreter and the compiled state-machine VM.
 
+use manifold::env::Environment;
 use manifold::lang::ast::*;
-use manifold::lang::{lex, parse_program, print_program};
+use manifold::lang::{lex, parse_program, print_program, CoordExec, CoordExecutor, Mc};
 use proptest::prelude::*;
 
 fn ident() -> impl Strategy<Value = String> {
@@ -126,6 +130,7 @@ fn arb_block() -> impl Strategy<Value = Block> {
                         name,
                         ctor,
                         args,
+                        line: 0,
                     }),
             ],
             0..3,
@@ -175,6 +180,11 @@ fn arb_program() -> impl Strategy<Value = Program> {
 
 fn scrub(p: &Program) -> Program {
     fn scrub_block(b: &mut Block) {
+        for d in &mut b.declarations {
+            if let Declaration::Process { line, .. } = d {
+                *line = 0;
+            }
+        }
         for s in &mut b.states {
             s.line = 0;
             scrub_action(&mut s.body);
@@ -231,6 +241,168 @@ fn scrub(p: &Program) -> Program {
     p
 }
 
+// ------------------------------------------------------------------------
+// Differential executor testing: generated *terminating* coordinator
+// programs, rendered to source text (so both executors see the same line
+// numbers), run under the interpreter and the compiled VM.
+//
+// Termination by construction: states are ordered `begin, s1, s2, done`,
+// every `post` targets a strictly later state, and event memory keeps one
+// occurrence per (name, source). Dispatch priority is appearance order, so
+// the current state index strictly increases and the manner must return.
+
+/// One generated state-body action.
+#[derive(Clone, Debug)]
+enum PAct {
+    /// `v{var} = v{var} {op} {k}`.
+    Assign { var: usize, op: char, k: i64 },
+    /// `MES("…")` — lands in the trace with the state's source line.
+    Mes(String),
+    /// `post (label)` to a strictly later state.
+    Post(usize),
+    /// `if (v{var} < bound) then post(later) else post(later)`.
+    If {
+        var: usize,
+        bound: i64,
+        then_t: usize,
+        else_t: usize,
+    },
+    /// `Sub()` — exercises dynamic scoping (Sub mutates the caller's v0).
+    CallSub,
+}
+
+/// Actions legal in state `state` of `n` total states: posts may only
+/// target later states (none in the last state).
+fn arb_pact(state: usize, n: usize) -> BoxedStrategy<PAct> {
+    let base = prop_oneof![
+        (0usize..2, prop_oneof![Just('+'), Just('-')], 0i64..4)
+            .prop_map(|(var, op, k)| PAct::Assign { var, op, k }),
+        "[a-z]{1,8}".prop_map(PAct::Mes),
+        Just(PAct::CallSub),
+    ];
+    if state + 1 < n {
+        let later = (state + 1)..n;
+        prop_oneof![
+            base,
+            later.clone().prop_map(PAct::Post),
+            (0usize..2, -2i64..5, later.clone(), later).prop_map(|(var, bound, then_t, else_t)| {
+                PAct::If {
+                    var,
+                    bound,
+                    then_t,
+                    else_t,
+                }
+            }),
+        ]
+        .boxed()
+    } else {
+        base.boxed()
+    }
+}
+
+const STATE_LABELS: [&str; 4] = ["begin", "s1", "s2", "done"];
+
+fn render_act(a: &PAct) -> String {
+    match a {
+        PAct::Assign { var, op, k } => format!("v{var} = v{var} {op} {k}"),
+        PAct::Mes(s) => format!("MES(\"{s}\")"),
+        PAct::Post(t) => format!("post ({})", STATE_LABELS[*t]),
+        PAct::If {
+            var,
+            bound,
+            then_t,
+            else_t,
+        } => format!(
+            "if (v{var} < {bound}) then (post ({})) else (post ({}))",
+            STATE_LABELS[*then_t], STATE_LABELS[*else_t]
+        ),
+        PAct::CallSub => "Sub()".to_string(),
+    }
+}
+
+fn render_program(init0: i64, init1: i64, bodies: &[Vec<PAct>]) -> String {
+    let mut src = String::new();
+    src.push_str("manner Sub() {\n    begin: v0 = v0 + 1.\n}\n");
+    src.push_str("manner Main() {\n");
+    src.push_str(&format!("    auto process v0 is variable({init0}).\n"));
+    src.push_str(&format!("    auto process v1 is variable({init1}).\n"));
+    for (i, body) in bodies.iter().enumerate() {
+        let rendered: Vec<String> = body.iter().map(render_act).collect();
+        let stmt = if rendered.is_empty() {
+            "preemptall".to_string()
+        } else {
+            rendered.join("; ")
+        };
+        src.push_str(&format!("    {}: {}.\n", STATE_LABELS[i], stmt));
+    }
+    src.push_str("}\n");
+    src
+}
+
+/// Everything observable from one execution: the result (errors as their
+/// Debug rendering — kind *and* line must agree), every trace record, and
+/// the names of events left pending in the coordinator's event memory.
+type Observation = (Result<(), String>, Vec<(String, u32, String)>, Vec<String>);
+
+fn run_once(src: &str, kind: CoordExec) -> Observation {
+    let mc = Mc::from_source(src).expect("generated program must compile");
+    let env = Environment::new();
+    let out = env.run_coordinator("Main", |coord| {
+        let exec = mc.executor(kind, "prop.m");
+        let result = exec.call_manner(coord, "Main", Vec::new());
+        let leftovers: Vec<String> = coord
+            .ctx()
+            .core()
+            .events()
+            .snapshot()
+            .iter()
+            .filter_map(|o| o.name().map(|n| n.as_str().to_string()))
+            .collect();
+        Ok((result, leftovers))
+    });
+    let (result, leftovers) = out.expect("coordinator harness must not fail");
+    let trace: Vec<(String, u32, String)> = env
+        .trace()
+        .snapshot()
+        .iter()
+        .map(|t| (t.source_file.clone(), t.line, t.message.clone()))
+        .collect();
+    env.shutdown();
+    (result.map_err(|e| format!("{e:?}")), trace, leftovers)
+}
+
+/// Malformed-at-runtime programs must fail identically — same error kind,
+/// same source line — under both executors.
+#[test]
+fn executors_agree_on_errors() {
+    let cases = [
+        // Unknown manner call.
+        "manner Main() { begin: Nope(). }",
+        // Arity mismatch (callee name and call line in the error).
+        "manner Sub() { begin: halt. }\nmanner Main() { begin: Sub(1, 2). }",
+        // `terminated` of a non-process.
+        "manner Main() { event x. begin: terminated(x). }",
+        // Assignment to a non-variable.
+        "manner Main() { event x. begin: x = 1. }",
+        // No `begin` state.
+        "manner Main() { s: halt. }",
+        // Unknown stream type fails when the declaration executes.
+        "manner Main() { stream XX a -> b.inport. begin: halt. }",
+        // Unbound constructor in a process declaration.
+        "manner Main() { process p is NotBound(1). begin: halt. }",
+        // Nested call used as a call argument.
+        "manner Sub(event e) { begin: halt. }\nmanner Main() { event x. begin: Sub(Nested(x)). }",
+        // Non-numeric operand in arithmetic.
+        "manner Main() { auto process v is variable(0). event x. begin: v = x + 1. }",
+    ];
+    for src in cases {
+        let interp = run_once(src, CoordExec::Interp);
+        let vm = run_once(src, CoordExec::Compiled);
+        assert!(interp.0.is_err(), "expected a runtime error for {src:?}");
+        assert_eq!(interp, vm, "executors disagree on source:\n{src}");
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -253,5 +425,29 @@ proptest! {
     #[test]
     fn parser_total_on_arbitrary_input(s in "[a-z{}();.,:<>&/*=+\\- \\n]{0,120}") {
         let _ = parse_program(&s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The differential property: generated terminating coordinator
+    /// programs behave identically under `Interp` and the compiled VM —
+    /// same result, same trace (file, line, message), same leftover events.
+    #[test]
+    fn executors_agree_on_generated_programs(
+        (init0, init1, b0, b1, b2, b3) in (
+            -5i64..6,
+            -5i64..6,
+            prop::collection::vec(arb_pact(0, 4), 0..4),
+            prop::collection::vec(arb_pact(1, 4), 0..4),
+            prop::collection::vec(arb_pact(2, 4), 0..4),
+            prop::collection::vec(arb_pact(3, 4), 0..4),
+        )
+    ) {
+        let src = render_program(init0, init1, &[b0, b1, b2, b3]);
+        let interp = run_once(&src, CoordExec::Interp);
+        let vm = run_once(&src, CoordExec::Compiled);
+        prop_assert_eq!(interp, vm, "executors disagree on source:\n{}", src);
     }
 }

@@ -1,0 +1,129 @@
+//! Running the paper's *source* protocol (`protocolMW.m`) over real master
+//! and worker processes — through either coordinator executor.
+//!
+//! The hand-transliterated [`crate::protocol_mw`] is the native oracle;
+//! this module is the other half of the fidelity story: the same §4.3
+//! behavior interfaces ([`MasterHandle`], [`WorkerHandle`]) coordinated by
+//! the `.m` source itself, executed by the tree-walking interpreter or the
+//! compiled state-machine VM ([`CoordExec`]). Integration tests run all
+//! three and demand identical results.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use manifold::lang::{expect_event_arg, AtomicFactory, CoordExec, Mc, Value};
+use manifold::prelude::*;
+
+use crate::{MasterHandle, WorkerHandle};
+
+/// Run `ProtocolMW` from the paper's source under the selected executor.
+///
+/// `master_body` runs once as the master process (its handle pre-wired to
+/// the coordinator); `worker_body` runs for every worker the protocol
+/// creates. Workers are created by the interpreted/compiled `process
+/// worker is Worker(death_worker).` declaration and — per §4.3 step 3(c) —
+/// activated by the master, not here.
+pub fn run_protocol_source<M, W>(
+    env: &Environment,
+    kind: CoordExec,
+    master_body: M,
+    worker_body: W,
+) -> MfResult<()>
+where
+    M: FnOnce(MasterHandle) -> MfResult<()> + Send + 'static,
+    W: Fn(WorkerHandle) -> MfResult<()> + Send + Sync + 'static,
+{
+    let mc = Mc::from_source(manifold::lang::PROTOCOL_MW_SOURCE)?;
+    run_protocol_mc(env, &mc, kind, master_body, worker_body)
+}
+
+/// As [`run_protocol_source`], but over an already-built [`Mc`] artifact
+/// (callers that run many jobs compile once and reuse it).
+pub fn run_protocol_mc<M, W>(
+    env: &Environment,
+    mc: &Mc,
+    kind: CoordExec,
+    master_body: M,
+    worker_body: W,
+) -> MfResult<()>
+where
+    M: FnOnce(MasterHandle) -> MfResult<()> + Send + 'static,
+    W: Fn(WorkerHandle) -> MfResult<()> + Send + Sync + 'static,
+{
+    env.run_manner(mc, kind, "protocolMW.m", "ProtocolMW", |coord| {
+        let coord_ref = coord.self_ref();
+        let env2 = coord.env().clone();
+        let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
+            master_body(MasterHandle::new(ctx, coord_ref, env2))
+        });
+        // Tune in before the master can raise anything.
+        coord.watch(&master);
+        coord.activate(&master)?;
+
+        let worker = Arc::new(worker_body);
+        let factory: AtomicFactory = Rc::new(move |coord, args| {
+            let death = expect_event_arg(args, 0)?;
+            let w = worker.clone();
+            Ok(
+                coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
+                    w(WorkerHandle::new(ctx, death.clone()))
+                }),
+            )
+        });
+
+        Ok(vec![Value::Process(master), Value::Manifold(factory)])
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    fn squares(kind: CoordExec, jobs: Vec<f64>) -> Vec<f64> {
+        let env = Environment::new();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = out.clone();
+        let n = jobs.len();
+        run_protocol_source(
+            &env,
+            kind,
+            move |h: MasterHandle| {
+                h.create_pool();
+                for x in &jobs {
+                    let _w = h.request_worker()?;
+                    h.send_work(Unit::real(*x))?;
+                }
+                for _ in 0..n {
+                    out2.lock().push(h.collect()?.expect_real()?);
+                }
+                h.rendezvous()?;
+                h.finished();
+                Ok(())
+            },
+            |h: WorkerHandle| {
+                let x = h.receive()?.expect_real()?;
+                h.submit(Unit::real(x * x))?;
+                h.die();
+                Ok(())
+            },
+        )
+        .unwrap();
+        env.shutdown();
+        assert!(env.failures().is_empty());
+        let mut v = out.lock().clone();
+        v.sort_by(f64::total_cmp);
+        v
+    }
+
+    #[test]
+    fn source_protocol_squares_under_both_executors() {
+        for kind in CoordExec::ALL {
+            assert_eq!(
+                squares(kind, vec![2.0, 3.0]),
+                vec![4.0, 9.0],
+                "executor {kind}"
+            );
+        }
+    }
+}

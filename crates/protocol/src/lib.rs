@@ -30,11 +30,13 @@
 //! [`DEATH_WORKER`].
 
 pub mod handles;
+pub mod interpreted;
 pub mod mw;
 pub mod remote;
 pub mod scheduler;
 
 pub use handles::{MasterHandle, WorkerHandle};
+pub use interpreted::{run_protocol_mc, run_protocol_source};
 pub use mw::{create_worker_pool, protocol_mw, PerpetualPool, PoolStats, ProtocolOutcome};
 pub use remote::{as_lost_job, lost_job_marker, remote_worker_factory, WORKER_LOST};
 pub use scheduler::{

@@ -1,16 +1,19 @@
 //! Write your own coordination *in MANIFOLD source* and run it: the `Mc`
-//! front-end (`manifold::lang`) parses, checks, and interprets a manner you
-//! author — here a fan-out/fan-in reduction that is *not* from the paper —
-//! against Rust atomic processes.
+//! front-end (`manifold::lang`) parses, checks, compiles, and executes a
+//! manner you author — here a fan-out/fan-in reduction that is *not* from
+//! the paper — against Rust atomic processes.
 //!
 //! ```text
-//! cargo run -p renovation --release --example custom_coordination
+//! cargo run -p renovation --release --example custom_coordination [-- --coord interp|compiled]
 //! ```
+//!
+//! `--coord` selects the executor (the compiled state-machine VM by
+//! default; `interp` tree-walks the AST instead). Both are bit-identical.
 
 use std::rc::Rc;
 use std::sync::Arc;
 
-use manifold::lang::{check_program, parse_program, print_program, Interp, Value};
+use manifold::lang::{check_program, expect_event_arg, print_program, CoordExec, Mc, Value};
 use manifold::prelude::*;
 use parking_lot::Mutex;
 
@@ -43,18 +46,25 @@ manner Reduce(process source, process sink, manifold Stage(event)) {
 "#;
 
 fn main() -> MfResult<()> {
-    let program = parse_program(REDUCTION_M).expect("parse");
-    let summary = check_program(&program).expect("check");
+    let kind: CoordExec = std::env::args()
+        .skip_while(|a| a != "--coord")
+        .nth(1)
+        .map(|v| v.parse().expect("--coord interp|compiled"))
+        .unwrap_or_default();
+
+    let mc = Mc::from_source(REDUCTION_M).expect("parse + compile");
+    let summary = check_program(mc.program()).expect("check");
     println!("parsed manner(s): {:?}", summary.manners);
     println!("events: {:?}", summary.events.iter().collect::<Vec<_>>());
     println!();
-    println!("normal form:\n{}", print_program(&program));
+    println!("normal form:\n{}", print_program(mc.program()));
+    println!("executor: {kind}");
 
     let env = Environment::new();
     let received = Arc::new(Mutex::new(Vec::<f64>::new()));
     let received2 = received.clone();
 
-    env.run_coordinator("Main", |coord| {
+    env.run_manner(&mc, kind, "reduction.m", "Reduce", |coord| {
         // The source emits one number; the port fan-out copies it to each
         // stage. It parks afterwards so its streams stay connected.
         let source = coord.create_atomic("Source", |ctx: ProcessCtx| {
@@ -72,10 +82,7 @@ fn main() -> MfResult<()> {
 
         // Stage manifold: squares one number, raises its completion event.
         let stage: manifold::lang::AtomicFactory = Rc::new(|coord, args| {
-            let done = match &args[0] {
-                Value::Event(e) => e.clone(),
-                other => panic!("expected event, got {other:?}"),
-            };
+            let done = expect_event_arg(args, 0)?;
             let p = coord.create_atomic("Stage", move |ctx: ProcessCtx| {
                 let x = ctx.read("input")?.expect_real()?;
                 ctx.write("output", Unit::real(x * x))?;
@@ -86,15 +93,11 @@ fn main() -> MfResult<()> {
             Ok(p)
         });
 
-        Interp::new(&program, "reduction.m").call_manner(
-            coord,
-            "Reduce",
-            vec![
-                Value::Process(source),
-                Value::Process(sink),
-                Value::Manifold(stage),
-            ],
-        )
+        Ok(vec![
+            Value::Process(source),
+            Value::Process(sink),
+            Value::Manifold(stage),
+        ])
     })?;
 
     // Wait for the two squares to land.
@@ -110,6 +113,6 @@ fn main() -> MfResult<()> {
     got.sort_by(f64::total_cmp);
     println!("sink received: {got:?}");
     assert_eq!(got, vec![9.0, 9.0], "both stages squared the broadcast 3.0");
-    println!("custom interpreted coordination ran to completion.");
+    println!("custom coordination ran to completion.");
     Ok(())
 }

@@ -1,33 +1,31 @@
 //! The deepest fidelity test in the repository: take the paper's
 //! `protocolMW.m` **source code** (§4.2), parse it with the `Mc` front-end,
-//! and *execute* it with the interpreter against real master and worker
-//! processes — then check it behaves exactly like the hand-transliterated
+//! and *execute* it — under the tree-walking interpreter AND the compiled
+//! state-machine VM — against real master and worker processes. Both
+//! executors must behave exactly like the hand-transliterated
 //! `protocol::protocol_mw`, down to the sparse-grid application's results.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
-use manifold::lang::{parse_program, Interp, Value};
+use manifold::lang::CoordExec;
 use manifold::prelude::*;
 use parking_lot::Mutex;
-use protocol::{MasterHandle, WorkerHandle};
+use protocol::{run_protocol_source, MasterHandle, WorkerHandle};
 use renovation::codec::{request_from_unit, request_to_unit, result_from_unit, result_to_unit};
 use solver::SequentialApp;
 
 /// Run the paper's ProtocolMW (from source) over a squaring master/worker
 /// pair and return the collected results.
-fn run_interpreted_squares(jobs: Vec<f64>) -> Vec<f64> {
-    let program = parse_program(manifold::lang::PROTOCOL_MW_SOURCE).unwrap();
+fn run_interpreted_squares(kind: CoordExec, jobs: Vec<f64>) -> Vec<f64> {
     let env = Environment::new();
     let out = Arc::new(Mutex::new(Vec::new()));
     let out2 = out.clone();
     let n = jobs.len();
 
-    env.run_coordinator("Main", |coord| {
-        let coord_ref = coord.self_ref();
-        let env2 = coord.env().clone();
-        let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
-            let h = MasterHandle::new(ctx, coord_ref, env2);
+    run_protocol_source(
+        &env,
+        kind,
+        move |h: MasterHandle| {
             h.create_pool();
             for x in &jobs {
                 let _w = h.request_worker()?;
@@ -39,36 +37,14 @@ fn run_interpreted_squares(jobs: Vec<f64>) -> Vec<f64> {
             h.rendezvous()?;
             h.finished();
             Ok(())
-        });
-        // Tune in before the master can raise anything.
-        coord.watch(&master);
-        coord.activate(&master)?;
-
-        let worker_factory: manifold::lang::AtomicFactory = Rc::new(|coord, args| {
-            let death = match &args[0] {
-                Value::Event(e) => e.clone(),
-                other => panic!("worker factory expected an event, got {other:?}"),
-            };
-            // Created but NOT activated: per §4.3 step 3(c), the master
-            // activates the worker after receiving its reference.
-            Ok(
-                coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
-                    let h = WorkerHandle::new(ctx, death);
-                    let x = h.receive()?.expect_real()?;
-                    h.submit(Unit::real(x * x))?;
-                    h.die();
-                    Ok(())
-                }),
-            )
-        });
-
-        let interp = Interp::new(&program, "protocolMW.m");
-        interp.call_manner(
-            coord,
-            "ProtocolMW",
-            vec![Value::Process(master), Value::Manifold(worker_factory)],
-        )
-    })
+        },
+        |h: WorkerHandle| {
+            let x = h.receive()?.expect_real()?;
+            h.submit(Unit::real(x * x))?;
+            h.die();
+            Ok(())
+        },
+    )
     .unwrap();
     env.shutdown();
     assert!(env.failures().is_empty());
@@ -79,135 +55,114 @@ fn run_interpreted_squares(jobs: Vec<f64>) -> Vec<f64> {
 
 #[test]
 fn interpreted_paper_source_squares_numbers() {
-    let got = run_interpreted_squares(vec![2.0, 3.0, 4.0, 5.0]);
-    assert_eq!(got, vec![4.0, 9.0, 16.0, 25.0]);
+    for kind in CoordExec::ALL {
+        let got = run_interpreted_squares(kind, vec![2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(got, vec![4.0, 9.0, 16.0, 25.0], "executor {kind}");
+    }
 }
 
 #[test]
 fn interpreted_paper_source_single_worker() {
-    assert_eq!(run_interpreted_squares(vec![7.0]), vec![49.0]);
+    for kind in CoordExec::ALL {
+        assert_eq!(
+            run_interpreted_squares(kind, vec![7.0]),
+            vec![49.0],
+            "executor {kind}"
+        );
+    }
 }
 
 #[test]
 fn interpreted_paper_source_runs_sparse_grid_app() {
-    // The full renovated application coordinated by the *interpreted*
-    // paper source: results must be bit-identical to the sequential run.
+    // The full renovated application coordinated by the paper source:
+    // results must be bit-identical to the sequential run — under *both*
+    // coordinator executors.
     let app = SequentialApp::new(2, 1, 1.0e-3);
     let seq = app.run().unwrap();
 
-    let program = parse_program(manifold::lang::PROTOCOL_MW_SOURCE).unwrap();
-    let env = Environment::new();
-    let out = Arc::new(Mutex::new(Vec::new()));
-    let out2 = out.clone();
+    for kind in CoordExec::ALL {
+        let app = SequentialApp::new(2, 1, 1.0e-3);
+        let env = Environment::new();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let out2 = out.clone();
 
-    env.run_coordinator("Main", |coord| {
-        let coord_ref = coord.self_ref();
-        let env2 = coord.env().clone();
-        let grids = app.grids();
-        let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
-            let h = MasterHandle::new(ctx, coord_ref, env2);
-            h.create_pool();
-            for idx in &grids {
-                let _w = h.request_worker()?;
-                h.send_work(request_to_unit(&app.request_for(*idx)))?;
-            }
-            for _ in &grids {
-                out2.lock().push(result_from_unit(&h.collect()?)?);
-            }
-            h.rendezvous()?;
-            h.finished();
-            Ok(())
-        });
-        coord.watch(&master);
-        coord.activate(&master)?;
-
-        let worker_factory: manifold::lang::AtomicFactory = Rc::new(|coord, args| {
-            let death = match &args[0] {
-                Value::Event(e) => e.clone(),
-                _ => unreachable!(),
-            };
-            Ok(
-                coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
-                    let h = WorkerHandle::new(ctx, death);
-                    let req = request_from_unit(&h.receive()?)?;
-                    let res = solver::subsolve(&req).map_err(|e| MfError::App(e.to_string()))?;
-                    h.submit(result_to_unit(&res))?;
-                    h.die();
-                    Ok(())
-                }),
-            )
-        });
-
-        Interp::new(&program, "protocolMW.m").call_manner(
-            coord,
-            "ProtocolMW",
-            vec![Value::Process(master), Value::Manifold(worker_factory)],
+        run_protocol_source(
+            &env,
+            kind,
+            move |h: MasterHandle| {
+                let grids = app.grids();
+                h.create_pool();
+                for idx in &grids {
+                    let _w = h.request_worker()?;
+                    h.send_work(request_to_unit(&app.request_for(*idx)))?;
+                }
+                for _ in &grids {
+                    out2.lock().push(result_from_unit(&h.collect()?)?);
+                }
+                h.rendezvous()?;
+                h.finished();
+                Ok(())
+            },
+            |h: WorkerHandle| {
+                let req = request_from_unit(&h.receive()?)?;
+                let res = solver::subsolve(&req).map_err(|e| MfError::App(e.to_string()))?;
+                h.submit(result_to_unit(&res))?;
+                h.die();
+                Ok(())
+            },
         )
-    })
-    .unwrap();
-    env.shutdown();
-    assert!(env.failures().is_empty());
+        .unwrap();
+        env.shutdown();
+        assert!(env.failures().is_empty());
 
-    let mut per_grid = out.lock().clone();
-    per_grid.sort_by_key(|r| (r.l + r.m, r.l));
-    let mut work = solver::WorkCounter::new();
-    let combined = solver::sequential::prolongation_phase(2, 1, &per_grid, &mut work);
-    assert_eq!(combined, seq.combined, "interpreted run diverged");
+        let mut per_grid = out.lock().clone();
+        per_grid.sort_by_key(|r| (r.l + r.m, r.l));
+        let mut work = solver::WorkCounter::new();
+        let combined = solver::sequential::prolongation_phase(2, 1, &per_grid, &mut work);
+        assert_eq!(
+            combined, seq.combined,
+            "{kind} run diverged from sequential"
+        );
+    }
 }
 
 #[test]
 fn interpreted_source_emits_paper_trace_messages() {
-    let program = parse_program(manifold::lang::PROTOCOL_MW_SOURCE).unwrap();
-    let env = Environment::new();
-    env.run_coordinator("Main", |coord| {
-        let coord_ref = coord.self_ref();
-        let env2 = coord.env().clone();
-        let master = coord.create_atomic("Master(port in)", move |ctx: ProcessCtx| {
-            let h = MasterHandle::new(ctx, coord_ref, env2);
-            h.create_pool();
-            let _w = h.request_worker()?;
-            h.send_work(Unit::real(1.0))?;
-            let _ = h.collect()?;
-            h.rendezvous()?;
-            h.finished();
-            Ok(())
-        });
-        coord.watch(&master);
-        coord.activate(&master)?;
-        let factory: manifold::lang::AtomicFactory = Rc::new(|coord, args| {
-            let death = match &args[0] {
-                Value::Event(e) => e.clone(),
-                _ => unreachable!(),
-            };
-            Ok(
-                coord.create_atomic("Worker(event)", move |ctx: ProcessCtx| {
-                    let h = WorkerHandle::new(ctx, death);
-                    let x = h.receive()?;
-                    h.submit(x)?;
-                    h.die();
-                    Ok(())
-                }),
-            )
-        });
-        Interp::new(&program, "protocolMW.m").call_manner(
-            coord,
-            "ProtocolMW",
-            vec![Value::Process(master), Value::Manifold(factory)],
+    for kind in CoordExec::ALL {
+        let env = Environment::new();
+        run_protocol_source(
+            &env,
+            kind,
+            |h: MasterHandle| {
+                h.create_pool();
+                let _w = h.request_worker()?;
+                h.send_work(Unit::real(1.0))?;
+                let _ = h.collect()?;
+                h.rendezvous()?;
+                h.finished();
+                Ok(())
+            },
+            |h: WorkerHandle| {
+                let x = h.receive()?;
+                h.submit(x)?;
+                h.die();
+                Ok(())
+            },
         )
-    })
-    .unwrap();
-    let msgs: Vec<(String, String)> = env
-        .trace()
-        .snapshot()
-        .into_iter()
-        .map(|r| (r.source_file, r.message))
-        .collect();
-    env.shutdown();
-    // The MES messages of protocolMW.m, attributed to the .m source.
-    for want in ["begin", "create_worker: begin", "rendezvous acknowledged"] {
-        assert!(
-            msgs.iter().any(|(f, m)| f == "protocolMW.m" && m == want),
-            "missing MES {want:?} in {msgs:?}"
-        );
+        .unwrap();
+        let msgs: Vec<(String, String)> = env
+            .trace()
+            .snapshot()
+            .into_iter()
+            .map(|r| (r.source_file, r.message))
+            .collect();
+        env.shutdown();
+        // The MES messages of protocolMW.m, attributed to the .m source.
+        for want in ["begin", "create_worker: begin", "rendezvous acknowledged"] {
+            assert!(
+                msgs.iter().any(|(f, m)| f == "protocolMW.m" && m == want),
+                "executor {kind}: missing MES {want:?} in {msgs:?}"
+            );
+        }
     }
 }
