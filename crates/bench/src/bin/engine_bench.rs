@@ -110,6 +110,7 @@ fn bench_backend(
             let t_job = Instant::now();
             let report = engine
                 .submit(AppConfig::new(app))
+                .expect("engine admission")
                 .wait()
                 .expect("engine job");
             let wall_ms = if job == 1 {

@@ -1,0 +1,434 @@
+//! Closed-loop load generator for the `serve` layer: N tenants × M
+//! pipelined jobs over one `mf-served` daemon (embedded or external).
+//!
+//! ```text
+//! cargo run -p bench --release --bin serve_bench -- \
+//!     [--tenants N] [--inflight N] [--jobs N] [--root N] [--level N]
+//!     [--backend sim|threads] [--heavy-weight W] [--connect ADDR]
+//!     [--drain] [--assert-zero-rejections] [--assert-min-peak N]
+//!     [--json PATH]
+//! ```
+//!
+//! Each tenant owns one connection and keeps `--inflight` submits open:
+//! every `Done` immediately funds the next `Submit`, so the offered load
+//! tracks the daemon's service rate instead of overrunning it — except at
+//! start-up, where all tenants burst their full windows at once and the
+//! admission layer's queues (and its `peak_in_system` high-water mark)
+//! absorb tenants × inflight concurrent jobs.
+//!
+//! Every reply is checked against the sequential oracle of the same
+//! (root, level, tol): the served `combined` field must be
+//! **bit-identical** (FNV-1a over the f64 bit patterns, plus the exact
+//! `l2_error`). Any drift fails the run. `Reject` replies are counted,
+//! backed off by the daemon's retry-after hint, and resubmitted — the
+//! rejection *rate* is part of the report, not an error.
+//!
+//! Without `--connect` the bench embeds a daemon on a loopback socket and
+//! reports its admission-layer statistics (peak in-system concurrency,
+//! per-tenant fair-share rows) alongside the client-side latency
+//! histograms; `--json` writes the whole thing as `BENCH_serve.json`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bench::cli::Cli;
+use protocol::PaperFaithful;
+use renovation::{Engine, EngineOpts, RunMode};
+use serve::daemon::{Daemon, DaemonConfig, EngineBuilder};
+use serve::proto::field_checksum;
+use serve::{AdmissionConfig, ServeMsg, TenantClient};
+use solver::sequential::SequentialApp;
+use transport::Addr;
+
+const USAGE: &str = "[--tenants N] [--inflight N] [--jobs N] [--root N] [--level N] \
+     [--backend sim|threads] [--heavy-weight W] [--connect ADDR] [--drain] \
+     [--assert-zero-rejections] [--assert-min-peak N] [--json PATH]";
+
+/// One tenant thread's view of its own run.
+struct TenantOutcome {
+    name: String,
+    weight: u32,
+    served: u64,
+    rejected: u64,
+    failed: u64,
+    drifted: u64,
+    latencies_ms: Vec<f64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Drive one tenant's closed loop: keep `inflight` submits open until
+/// `jobs` of them have resolved (served or finally failed).
+#[allow(clippy::too_many_arguments)]
+fn run_tenant(
+    addr: &Addr,
+    name: String,
+    weight: u32,
+    jobs: u64,
+    inflight: usize,
+    root: u32,
+    level: u32,
+    tol: f64,
+    oracle_checksum: u64,
+    oracle_l2: f64,
+) -> std::io::Result<TenantOutcome> {
+    let mut c = TenantClient::connect(addr, &name, weight)?;
+    c.set_read_timeout(Some(Duration::from_secs(60)))?;
+    let mut out = TenantOutcome {
+        name,
+        weight,
+        served: 0,
+        rejected: 0,
+        failed: 0,
+        drifted: 0,
+        latencies_ms: Vec::with_capacity(jobs as usize),
+    };
+    let mut open: HashMap<u64, Instant> = HashMap::new();
+    let mut next_seq = 0u64;
+    let mut submitted = 0u64;
+    while out.served + out.failed < jobs {
+        while open.len() < inflight && submitted < jobs {
+            next_seq += 1;
+            submitted += 1;
+            c.submit(next_seq, root, level, tol)?;
+            open.insert(next_seq, Instant::now());
+        }
+        match c.recv()? {
+            ServeMsg::Done {
+                seq,
+                l2_error,
+                combined,
+                ..
+            } => {
+                if let Some(t0) = open.remove(&seq) {
+                    out.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+                out.served += 1;
+                if field_checksum(&combined) != oracle_checksum || l2_error != oracle_l2 {
+                    out.drifted += 1;
+                }
+            }
+            ServeMsg::Reject {
+                seq,
+                retry_after_ms,
+                ..
+            } => {
+                out.rejected += 1;
+                open.remove(&seq);
+                // Honour the backpressure hint, then re-fund the slot.
+                submitted -= 1;
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(100)));
+            }
+            ServeMsg::Fail { seq, .. } => {
+                open.remove(&seq);
+                out.failed += 1;
+            }
+            // The daemon is going down mid-run; stop cleanly.
+            ServeMsg::Drained { .. } => break,
+            _ => {}
+        }
+    }
+    c.bye()?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    backend: &str,
+    tenants: usize,
+    inflight: usize,
+    jobs: u64,
+    root: u32,
+    level: u32,
+    tol: f64,
+    wall_s: f64,
+    served: u64,
+    rejected: u64,
+    peak_in_system: Option<usize>,
+    bit_identical: bool,
+    overall: &[f64],
+    rows: &[TenantOutcome],
+) -> String {
+    let offered = served + rejected;
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve_bench\",\n");
+    out.push_str(&format!("  \"backend\": \"{backend}\",\n"));
+    out.push_str(&format!("  \"tenants\": {tenants},\n"));
+    out.push_str(&format!("  \"inflight_per_tenant\": {inflight},\n"));
+    out.push_str(&format!("  \"jobs_per_tenant\": {jobs},\n"));
+    out.push_str(&format!(
+        "  \"problem\": {{ \"root\": {root}, \"level\": {level}, \"tol\": {tol:e} }},\n"
+    ));
+    out.push_str(&format!("  \"wall_s\": {wall_s:.3},\n"));
+    out.push_str(&format!(
+        "  \"throughput_jobs_per_s\": {:.1},\n",
+        served as f64 / wall_s
+    ));
+    out.push_str(&format!("  \"served\": {served},\n"));
+    out.push_str(&format!("  \"rejected\": {rejected},\n"));
+    out.push_str(&format!(
+        "  \"rejection_rate\": {:.4},\n",
+        if offered == 0 {
+            0.0
+        } else {
+            rejected as f64 / offered as f64
+        }
+    ));
+    match peak_in_system {
+        Some(p) => out.push_str(&format!("  \"peak_in_system\": {p},\n")),
+        None => out.push_str("  \"peak_in_system\": null,\n"),
+    }
+    out.push_str(&format!("  \"bit_identical\": {bit_identical},\n"));
+    out.push_str(&format!(
+        "  \"latency_ms\": {{ \"p50\": {:.2}, \"p99\": {:.2} }},\n",
+        percentile(overall, 0.50),
+        percentile(overall, 0.99)
+    ));
+    out.push_str("  \"per_tenant\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let mut sorted = r.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        out.push_str(&format!(
+            "    {{ \"tenant\": \"{}\", \"weight\": {}, \"served\": {}, \"rejected\": {}, \
+             \"failed\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2} }}{}\n",
+            r.name,
+            r.weight,
+            r.served,
+            r.rejected,
+            r.failed,
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let cli = Cli::parse("serve_bench", USAGE);
+    let tenants = cli.tenants(16);
+    let inflight = cli.inflight(80);
+    let jobs = cli.parsed("--jobs", 128u64).max(1);
+    let root = cli.parsed("--root", 1u32);
+    let level = cli.parsed("--level", 2u32);
+    let tol = cli.parsed("--tol", 1e-3f64);
+    let heavy_weight = cli.parsed("--heavy-weight", 4u32);
+    let backend = cli.value("--backend").unwrap_or("sim").to_string();
+    let want_drain = cli.flag("--drain");
+
+    let oracle = SequentialApp::new(root, level, tol)
+        .run()
+        .expect("sequential oracle");
+    let oracle_checksum = field_checksum(&oracle.combined);
+    let oracle_l2 = oracle.l2_error;
+
+    // Embedded daemon unless --connect points at an external one.
+    let (daemon, addr, backend_label) = match cli.value("--connect") {
+        Some(spec) => {
+            let addr =
+                Addr::parse(spec).unwrap_or_else(|e| cli.usage_exit(&format!("--connect: {e}")));
+            (None, addr, "external".to_string())
+        }
+        None => {
+            let opts = EngineOpts {
+                capacity_level: level,
+                ..EngineOpts::default()
+            };
+            let build: EngineBuilder = match backend.as_str() {
+                "sim" => Box::new(move || Engine::sim(None, Arc::new(PaperFaithful), opts)),
+                "threads" => Box::new(move || {
+                    Engine::threads(RunMode::Parallel, Arc::new(PaperFaithful), opts)
+                }),
+                other => cli.usage_exit(&format!(
+                    "--backend: unknown backend {other:?} (expected sim or threads)"
+                )),
+            };
+            let cfg = DaemonConfig {
+                addr: Addr::Tcp("127.0.0.1:0".into()),
+                admission: AdmissionConfig {
+                    // Room for every tenant's full window plus retries, so
+                    // the steady-state closed loop is rejection-free.
+                    queue_cap: inflight * 2,
+                    max_weight: 16,
+                    capacity_level: level,
+                    ..AdmissionConfig::default()
+                },
+                ..DaemonConfig::default()
+            };
+            let daemon = Daemon::start(cfg, build).expect("embedded daemon");
+            let addr = daemon.local_addr().clone();
+            (Some(daemon), addr, backend)
+        }
+    };
+
+    println!(
+        "serve_bench — {tenants} tenants × {inflight} inflight × {jobs} jobs \
+         (root {root}, level {level}) against {addr} [{backend_label}]"
+    );
+
+    let t0 = Instant::now();
+    let mut joins = Vec::new();
+    for t in 0..tenants {
+        let addr = addr.clone();
+        // Tenant 0 asks for extra fair-share weight: the BENCH table shows
+        // weighted interleave, and the fairness tests pin the semantics.
+        let weight = if t == 0 { heavy_weight } else { 1 };
+        let name = format!("tenant-{t:02}");
+        joins.push(std::thread::spawn(move || {
+            run_tenant(
+                &addr,
+                name,
+                weight,
+                jobs,
+                inflight,
+                root,
+                level,
+                tol,
+                oracle_checksum,
+                oracle_l2,
+            )
+        }));
+    }
+    let mut rows: Vec<TenantOutcome> = Vec::new();
+    let mut io_errors = 0usize;
+    for j in joins {
+        match j.join().expect("tenant thread") {
+            Ok(o) => rows.push(o),
+            Err(e) => {
+                eprintln!("serve_bench: tenant failed: {e}");
+                io_errors += 1;
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // External daemons are drained on request (the CI smoke relies on it);
+    // the embedded one always drains so its report can be harvested.
+    if want_drain && daemon.is_none() {
+        match TenantClient::connect(&addr, "drain-ctl", 0) {
+            Ok(mut ctl) => {
+                let _ = ctl.send(&ServeMsg::Drain);
+                let _ = ctl.set_read_timeout(Some(Duration::from_secs(30)));
+                while let Ok(msg) = ctl.recv() {
+                    if matches!(msg, ServeMsg::Drained { .. }) {
+                        break;
+                    }
+                }
+            }
+            Err(e) => eprintln!("serve_bench: drain control connection failed: {e}"),
+        }
+    }
+    let peak_in_system = daemon.map(|d| {
+        let trig = d.drain_trigger();
+        trig.drain();
+        let report = d.wait();
+        if !report.clean {
+            eprintln!("serve_bench: embedded daemon did not drain cleanly");
+        }
+        report.peak_in_system
+    });
+
+    let served: u64 = rows.iter().map(|r| r.served).sum();
+    let rejected: u64 = rows.iter().map(|r| r.rejected).sum();
+    let drifted: u64 = rows.iter().map(|r| r.drifted).sum();
+    let failed: u64 = rows.iter().map(|r| r.failed).sum();
+    let mut overall: Vec<f64> = rows.iter().flat_map(|r| r.latencies_ms.clone()).collect();
+    overall.sort_by(f64::total_cmp);
+
+    println!();
+    println!("| tenant    | weight | served | rejected | failed | p50 ms | p99 ms |");
+    println!("|-----------|--------|--------|----------|--------|--------|--------|");
+    for r in &rows {
+        let mut sorted = r.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        println!(
+            "| {:<9} | {:>6} | {:>6} | {:>8} | {:>6} | {:>6.1} | {:>6.1} |",
+            r.name,
+            r.weight,
+            r.served,
+            r.rejected,
+            r.failed,
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99)
+        );
+    }
+    println!();
+    println!(
+        "{served} served ({:.1} jobs/s), {rejected} rejected, {failed} failed, \
+         p50 {:.1} ms, p99 {:.1} ms{}",
+        served as f64 / wall_s,
+        percentile(&overall, 0.50),
+        percentile(&overall, 0.99),
+        match peak_in_system {
+            Some(p) => format!(", peak {p} jobs in system"),
+            None => String::new(),
+        }
+    );
+
+    let json = render_json(
+        &backend_label,
+        tenants,
+        inflight,
+        jobs,
+        root,
+        level,
+        tol,
+        wall_s,
+        served,
+        rejected,
+        peak_in_system,
+        drifted == 0,
+        &overall,
+        &rows,
+    );
+    match cli.value("--json") {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write --json file");
+            println!("wrote {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    let mut bad = false;
+    if drifted > 0 {
+        eprintln!("serve_bench: {drifted} replies drifted from the sequential oracle");
+        bad = true;
+    }
+    if io_errors > 0 {
+        eprintln!("serve_bench: {io_errors} tenant connections failed");
+        bad = true;
+    }
+    if cli.flag("--assert-zero-rejections") && rejected > 0 {
+        eprintln!("serve_bench: --assert-zero-rejections violated ({rejected} rejections)");
+        bad = true;
+    }
+    if let Some(min_peak) = cli.parsed_opt::<usize>("--assert-min-peak") {
+        let peak = peak_in_system.unwrap_or(0);
+        if peak < min_peak {
+            eprintln!(
+                "serve_bench: --assert-min-peak {min_peak} violated (peak {peak} — the \
+                 daemon never held that many jobs at once)"
+            );
+            bad = true;
+        }
+    }
+    if served + failed != tenants as u64 * jobs && io_errors == 0 {
+        eprintln!(
+            "serve_bench: accounting hole — {} resolved of {} expected",
+            served + failed,
+            tenants as u64 * jobs
+        );
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

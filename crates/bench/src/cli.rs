@@ -109,6 +109,18 @@ impl Cli {
         self.value("--checkpoint-dir").map(PathBuf::from)
     }
 
+    /// `--tenants N` — how many tenant identities a multi-tenant bench
+    /// simulates (clamped to at least 1).
+    pub fn tenants(&self, default: usize) -> usize {
+        self.parsed("--tenants", default).max(1)
+    }
+
+    /// `--inflight N` — pipelined jobs each tenant keeps open (clamped to
+    /// at least 1).
+    pub fn inflight(&self, default: usize) -> usize {
+        self.parsed("--inflight", default).max(1)
+    }
+
     /// The raw `--faults` specification, if present (a bare seed or a full
     /// textual plan — resolve per run with [`Cli::fault_plan`]).
     pub fn fault_spec(&self) -> Option<String> {
@@ -150,6 +162,15 @@ mod tests {
         assert_eq!(c.parsed("--runs", 5usize), 5);
         assert_eq!(c.parsed_opt::<f64>("--tol"), Some(1e-4));
         assert_eq!(c.value("--missing"), None);
+    }
+
+    #[test]
+    fn tenants_and_inflight_clamp_to_one() {
+        let c = cli(&["--tenants", "16", "--inflight", "0"]);
+        assert_eq!(c.tenants(3), 16);
+        assert_eq!(c.inflight(8), 1);
+        assert_eq!(cli(&[]).tenants(3), 3);
+        assert_eq!(cli(&[]).inflight(8), 8);
     }
 
     #[test]

@@ -82,17 +82,9 @@ pub struct LiveOpts {
     pub retry_budget: Option<usize>,
 }
 
-/// FNV-1a over the bit patterns of a float field.
-pub fn field_checksum(values: &[f64]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for v in values {
-        for b in v.to_bits().to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    h
-}
+/// FNV-1a over the bit patterns of a float field (one shared definition —
+/// the serving layer's, so client- and bench-side witnesses agree).
+pub use serve::proto::field_checksum;
 
 /// Execute one live run of `app` on the chosen backend.
 ///

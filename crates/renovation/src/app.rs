@@ -24,7 +24,7 @@ use manifold::trace::TraceRecord;
 use protocol::{PaperFaithful, PolicyRef, ProtocolOutcome};
 use solver::sequential::{SequentialApp, SequentialResult};
 
-use crate::engine::{AppConfig, Engine, EngineOpts};
+use crate::engine::{AppConfig, Engine, EngineOpts, JobHandle};
 
 /// Deployment flavour — the paper's link/configure stage choice.
 #[derive(Clone, Debug)]
@@ -176,7 +176,7 @@ pub fn run_concurrent_opts(
     };
     let mut engine = Engine::threads(mode.clone(), policy, engine_opts)?;
     let handle = engine.submit(AppConfig::new(*app).with_data_through_master(data_through_master));
-    let report = handle.wait();
+    let report = handle.map_err(MfError::from).and_then(JobHandle::wait);
     engine.shutdown();
     Ok(report?.into_concurrent())
 }

@@ -177,6 +177,57 @@ impl JobReport {
     }
 }
 
+/// Why [`Engine::submit`] refused a job *before* running it.
+///
+/// These are admission-shaped errors: a serving layer in front of the
+/// engine (see `crates/serve`) converts them into backpressure replies
+/// instead of failing a whole connection, and nothing in this path
+/// panics. A job that was *accepted* and then failed reports through
+/// [`JobHandle::wait`] as usual.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The job's `app.level` exceeds the fleet's provisioned
+    /// [`EngineOpts::capacity_level`]. Running it would exhaust the
+    /// MANIFOLD instance load mid-job; refusing it up front keeps the
+    /// fleet serviceable and gives the caller a typed retry-with-smaller
+    /// signal.
+    OverCapacity {
+        /// The requested refinement level.
+        level: u32,
+        /// What the fleet was provisioned for.
+        capacity: u32,
+    },
+    /// An earlier job's failure took the fleet itself down (environment
+    /// killed, worker pool gone). Every subsequent submit is refused with
+    /// the original diagnosis; the engine must be rebuilt.
+    FleetDown {
+        /// Root-cause diagnosis recorded when the fleet died.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::OverCapacity { level, capacity } => write!(
+                f,
+                "job level {level} exceeds the fleet's provisioned capacity level {capacity}"
+            ),
+            SubmitError::FleetDown { reason } => {
+                write!(f, "fleet is down: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+impl From<SubmitError> for MfError {
+    fn from(e: SubmitError) -> MfError {
+        MfError::App(e.to_string())
+    }
+}
+
 /// Handle to one submitted job.
 ///
 /// Submission currently runs the job to completion before returning, so
@@ -246,6 +297,9 @@ pub struct Engine {
     resume_pending: bool,
     protocol_pool: PerpetualPool,
     next_job: u64,
+    /// `Some(diagnosis)` once a failure killed the fleet itself; every
+    /// later submit is refused with [`SubmitError::FleetDown`].
+    down: Option<String>,
 }
 
 impl Engine {
@@ -349,6 +403,7 @@ impl Engine {
             resume_pending,
             protocol_pool: PerpetualPool::new(),
             next_job: 1,
+            down: None,
         })
     }
 
@@ -403,11 +458,33 @@ impl Engine {
     /// Serve one job on the fleet. Runs to completion; the handle carries
     /// the report. A failed job leaves the fleet serviceable (its workers
     /// are reaped) unless the failure killed the fleet itself.
-    pub fn submit(&mut self, cfg: AppConfig) -> JobHandle {
+    ///
+    /// Admission-shaped refusals — the job never started — come back as a
+    /// typed [`SubmitError`] instead of a panic or an opaque `MfError`:
+    /// a saturated fleet (job level above the provisioned capacity) and a
+    /// dead fleet are both conditions a serving layer converts into
+    /// backpressure replies.
+    pub fn submit(&mut self, cfg: AppConfig) -> Result<JobHandle, SubmitError> {
+        if let Some(reason) = &self.down {
+            return Err(SubmitError::FleetDown {
+                reason: reason.clone(),
+            });
+        }
+        if cfg.app.level > self.opts.capacity_level {
+            return Err(SubmitError::OverCapacity {
+                level: cfg.app.level,
+                capacity: self.opts.capacity_level,
+            });
+        }
         let id = self.next_job;
         self.next_job += 1;
         let report = self.run_job(id, cfg);
-        JobHandle { id, report }
+        if let Err(MfError::Killed) = &report {
+            // The environment died under the job: the fleet is gone, not
+            // just this job.
+            self.down = Some("environment killed mid-job".into());
+        }
+        Ok(JobHandle { id, report })
     }
 
     /// Tear the fleet down and account for its life.

@@ -53,7 +53,7 @@ pub use app::{
 pub use checkpoint::{Checkpoint, CheckpointStore, RunKey};
 pub use cost::{parse_subsolve_label, CostModel};
 pub use engine::{
-    AppConfig, Engine, EngineBackend, EngineOpts, EngineSummary, JobHandle, JobReport,
+    AppConfig, Engine, EngineBackend, EngineOpts, EngineSummary, JobHandle, JobReport, SubmitError,
 };
 pub use procs::{run_concurrent_procs, run_worker_child, ProcsConfig};
 pub use supervisor::{supervise, SupervisedRun};

@@ -36,7 +36,7 @@ use solver::sequential::SequentialApp;
 use transport::{serve, Addr, BindMode, RemoteWorkerPool, ServeConfig, ServeSummary};
 
 use crate::app::ConcurrentResult;
-use crate::engine::{AppConfig, Engine, EngineOpts};
+use crate::engine::{AppConfig, Engine, EngineOpts, JobHandle};
 use crate::worker::{worker_factory, WorkerGauge};
 
 /// Configuration of a multi-process run.
@@ -201,7 +201,7 @@ pub fn run_concurrent_procs(
     };
     let mut engine = Engine::procs(cfg.clone(), policy, engine_opts)?;
     let handle = engine.submit(AppConfig::new(*app).with_data_through_master(data_through_master));
-    let report = handle.wait();
+    let report = handle.map_err(MfError::from).and_then(JobHandle::wait);
     // Shut down either way, so a failed run still reaps its children.
     let summary = engine.shutdown();
     let report = match report {

@@ -13,7 +13,7 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use protocol::{BoundedReuse, CostAware, PaperFaithful, PolicyRef};
-use renovation::{AppConfig, Engine, EngineOpts, ProcsConfig, RunMode};
+use renovation::{AppConfig, Engine, EngineOpts, ProcsConfig, RunMode, SubmitError};
 use solver::sequential::SequentialApp;
 
 fn worker_exe() -> PathBuf {
@@ -43,7 +43,7 @@ fn submit_mix_and_check(engine: &mut Engine) {
         if let Some(p) = policy {
             cfg = cfg.with_policy(p);
         }
-        let handle = engine.submit(cfg);
+        let handle = engine.submit(cfg).expect("engine admission");
         assert_eq!(handle.id(), (i + 1) as u64);
         let report = handle.wait().unwrap();
         assert_eq!(
@@ -89,7 +89,7 @@ fn distributed_fleet_parks_perpetual_instances_between_jobs() {
     for _ in 0..2 {
         let app = SequentialApp::new(2, 1, 1e-3);
         let oracle = app.run().unwrap();
-        let report = engine.submit(AppConfig::new(app)).wait().unwrap();
+        let report = engine.submit(AppConfig::new(app)).unwrap().wait().unwrap();
         assert_eq!(report.result.combined, oracle.combined);
         assert!(
             engine.parked_workers() >= 1,
@@ -129,7 +129,7 @@ fn sim_fleet_serves_eight_jobs_and_warm_jobs_are_faster() {
         if let Some(p) = policy {
             cfg = cfg.with_policy(p);
         }
-        let report = engine.submit(cfg).wait().unwrap();
+        let report = engine.submit(cfg).unwrap().wait().unwrap();
         assert_eq!(report.result.combined, oracle.combined);
         assert_eq!(report.result.l2_error, oracle.l2_error);
         latencies.push(report.latency_s);
@@ -149,6 +149,33 @@ fn sim_fleet_serves_eight_jobs_and_warm_jobs_are_faster() {
 }
 
 #[test]
+fn submit_over_capacity_is_a_typed_rejection_not_a_panic() {
+    // The fleet was provisioned for level 2; a level-5 job must bounce
+    // with a typed error, and the fleet keeps serving jobs it can hold.
+    let opts = EngineOpts {
+        capacity_level: 2,
+        ..EngineOpts::default()
+    };
+    let mut engine = Engine::threads(RunMode::Parallel, Arc::new(PaperFaithful), opts).unwrap();
+    match engine.submit(AppConfig::new(SequentialApp::new(2, 5, 1e-3))) {
+        Err(err) => assert_eq!(
+            err,
+            SubmitError::OverCapacity {
+                level: 5,
+                capacity: 2
+            }
+        ),
+        Ok(_) => panic!("over-capacity submit was admitted"),
+    }
+    let app = SequentialApp::new(2, 2, 1e-3);
+    let oracle = app.run().unwrap();
+    let report = engine.submit(AppConfig::new(app)).unwrap().wait().unwrap();
+    assert_eq!(report.result.combined, oracle.combined);
+    assert_eq!(engine.jobs_served(), 1);
+    engine.shutdown();
+}
+
+#[test]
 fn identical_jobs_on_one_engine_are_bit_identical_to_each_other() {
     // Same configuration served three times over one warm threads fleet:
     // job N's answer (and dispatch bookkeeping) must not depend on N.
@@ -160,7 +187,7 @@ fn identical_jobs_on_one_engine_are_bit_identical_to_each_other() {
     let app = SequentialApp::new(2, 3, 1e-3);
     let mut results = Vec::new();
     for _ in 0..3 {
-        let report = engine.submit(AppConfig::new(app)).wait().unwrap();
+        let report = engine.submit(AppConfig::new(app)).unwrap().wait().unwrap();
         results.push((
             report.result.combined,
             report.result.l2_error,

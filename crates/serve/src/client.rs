@@ -1,0 +1,96 @@
+//! A blocking tenant-side client for `mf-served`.
+//!
+//! The daemon end is nonblocking and multiplexed; the tenant end does not
+//! have to be. A [`TenantClient`] wraps one [`Conn`] (TCP or Unix), does
+//! the `Hello`/`Welcome` handshake at connect time, and then exposes
+//! plain send/recv over [`ServeMsg`] frames. Pipelining is the caller's
+//! choice: `submit` any number of seqs, then `recv` replies as they
+//! arrive — the load generator keeps `--inflight` of them open per
+//! connection, the smoke tests keep one.
+
+use std::io;
+use std::time::Duration;
+
+use transport::frame::{read_frame, write_frame};
+use transport::{Addr, Conn};
+
+use crate::proto::{ServeMsg, SERVE_PROTOCOL_VERSION};
+
+/// One connected, welcomed tenant session.
+pub struct TenantClient {
+    conn: Conn,
+    session: u64,
+}
+
+impl TenantClient {
+    /// Connect and complete the `Hello{tenant,weight}` → `Welcome`
+    /// handshake. `weight` 0 requests the daemon default.
+    pub fn connect(addr: &Addr, tenant: &str, weight: u32) -> io::Result<TenantClient> {
+        let conn = Conn::connect(addr, Duration::from_secs(5))?;
+        let mut client = TenantClient { conn, session: 0 };
+        client.send(&ServeMsg::Hello {
+            version: SERVE_PROTOCOL_VERSION,
+            tenant: tenant.to_string(),
+            weight,
+        })?;
+        match client.recv()? {
+            ServeMsg::Welcome { session } => {
+                client.session = session;
+                Ok(client)
+            }
+            ServeMsg::Fail { error, .. } => Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                format!("daemon refused handshake: {error}"),
+            )),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected Welcome, got {other:?}"),
+            )),
+        }
+    }
+
+    /// The daemon-assigned session id.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// Read timeout for subsequent [`recv`](TenantClient::recv) calls
+    /// (`None` blocks forever).
+    pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
+        self.conn.set_read_timeout(t)
+    }
+
+    /// Send one message as one frame.
+    pub fn send(&mut self, msg: &ServeMsg) -> io::Result<()> {
+        let payload = msg.encode().map_err(io::Error::from)?;
+        write_frame(&mut self.conn, &payload)
+    }
+
+    /// Queue job `seq`; replies carry the seq back, in service order.
+    pub fn submit(&mut self, seq: u64, root: u32, level: u32, tol: f64) -> io::Result<()> {
+        self.send(&ServeMsg::Submit {
+            seq,
+            root,
+            level,
+            tol,
+        })
+    }
+
+    /// Block for the next daemon message. An orderly daemon-side close
+    /// surfaces as `UnexpectedEof`.
+    pub fn recv(&mut self) -> io::Result<ServeMsg> {
+        match read_frame(&mut self.conn)? {
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the session",
+            )),
+            Some(payload) => ServeMsg::decode(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+        }
+    }
+
+    /// Announce departure (queued jobs are dropped daemon-side).
+    pub fn bye(mut self) -> io::Result<()> {
+        self.send(&ServeMsg::Bye)
+    }
+}

@@ -1,0 +1,417 @@
+//! The serving daemon: reactor + admission + one engine, glued.
+//!
+//! Three kinds of thread cooperate around two shared structures:
+//!
+//! ```text
+//!  tenant sockets ──> reactor threads ──offer──> Admission ──next──┐
+//!        ^                 │  ^                                    │
+//!        │                 │  └── Session outbox <──send── dispatcher thread
+//!        └── poll/flush ───┘                                  │
+//!                                                      Engine::submit
+//! ```
+//!
+//! The reactor threads ([`crate::reactor`]) never block on the engine:
+//! they decode a `Submit`, call [`Admission::offer`], and either return to
+//! `poll(2)` or queue a `Reject` — admission is a mutex push, so a slow
+//! solve never stalls the event loop. The single dispatcher thread owns
+//! the [`Engine`] (engines are deliberately not `Send`-shared; the daemon
+//! builds it *on* the dispatcher thread via a `Send` builder closure) and
+//! pulls jobs in weighted-fair order, multiplexing every tenant over the
+//! one persistent worker fleet.
+//!
+//! **Drain** is the only shutdown: trigger it with a tenant `Drain`
+//! message, [`DrainTrigger::drain`] (the daemon binary wires SIGTERM to
+//! it), or a test calling the trigger directly. From that point offers
+//! are rejected with [`RejectReason::Draining`], the dispatcher finishes
+//! the accepted backlog, every session hears `Drained{served}`, and the
+//! reactor flushes each outbox before closing — an accepted job is either
+//! served or charged, never silently dropped.
+//!
+//! Chaos reinterprets the cluster fault vocabulary per *tenant*: a
+//! [`FaultPlan`]'s `instance` selects the tenant's registration ordinal,
+//! and `on_job` counts that tenant's dispatched jobs, so
+//! `--faults crash:0@3` means "tenant 0's third job fails in the engine"
+//! — exercising the retry-then-quarantine budget path end to end.
+//!
+//! [`RejectReason::Draining`]: crate::proto::RejectReason::Draining
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chaos::FaultPlan;
+use manifold::prelude::MfResult;
+use renovation::{AppConfig, Engine, EngineSummary};
+use solver::sequential::SequentialApp;
+use transport::Addr;
+
+use crate::admission::{Admission, AdmissionConfig, AdmissionStats, Next, Offer, QueuedJob};
+use crate::proto::{ServeMsg, SERVE_PROTOCOL_VERSION};
+use crate::reactor::{Action, Reactor, Service};
+use crate::registry::{Registry, Session};
+
+/// Builds the dispatcher's engine *on* the dispatcher thread (the engine
+/// itself is not `Send`; the closure is).
+pub type EngineBuilder = Box<dyn FnOnce() -> MfResult<Engine> + Send + 'static>;
+
+/// Everything a daemon needs to start.
+pub struct DaemonConfig {
+    /// Listen address (`tcp:host:port` or `unix:path`).
+    pub addr: Addr,
+    /// Reactor event threads; 0 means one per core.
+    pub reactor_threads: usize,
+    /// Admission tuning (queue caps, weights, budgets).
+    pub admission: AdmissionConfig,
+    /// Per-tenant fault schedule (`instance` = tenant ordinal).
+    pub tenant_faults: Option<FaultPlan>,
+    /// How long the final outbox flush may take before the reactor
+    /// abandons unflushed (dead) peers.
+    pub drain_grace: Duration,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: Addr::Tcp("127.0.0.1:0".into()),
+            reactor_threads: 0,
+            admission: AdmissionConfig::default(),
+            tenant_faults: None,
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Final accounting, returned by [`Daemon::wait`].
+#[derive(Debug)]
+pub struct DaemonReport {
+    /// Jobs served with a `Done` reply over the daemon's life.
+    pub served: u64,
+    /// Offers rejected (backpressure, drain, quarantine, capacity).
+    pub rejected: u64,
+    /// Accepted jobs whose session vanished before their reply.
+    pub orphaned: u64,
+    /// High-water mark of queued + in-flight jobs.
+    pub peak_in_system: usize,
+    /// Full admission-layer snapshot (per-tenant rows included).
+    pub stats: AdmissionStats,
+    /// The engine's own shutdown summary (`None` when the engine failed
+    /// to construct or the dispatcher panicked).
+    pub engine: Option<EngineSummary>,
+    /// Why the engine was unavailable, when it was.
+    pub engine_error: Option<String>,
+    /// True when every event thread exited within the grace with every
+    /// outbox flushed and every session deregistered.
+    pub clean: bool,
+}
+
+/// A handle that can start (and observe) the drain from any thread —
+/// the daemon binary hands one to its SIGTERM watcher.
+#[derive(Clone)]
+pub struct DrainTrigger {
+    admission: Arc<Admission>,
+}
+
+impl DrainTrigger {
+    /// Stop admitting, finish the backlog, shut down.
+    pub fn drain(&self) {
+        self.admission.drain();
+    }
+
+    /// Has a drain been triggered (by anyone)?
+    pub fn draining(&self) -> bool {
+        self.admission.draining()
+    }
+}
+
+/// What the dispatcher thread hands back when the drain completes.
+struct DispatchOutcome {
+    engine: Option<EngineSummary>,
+    engine_error: Option<String>,
+}
+
+/// The running daemon.
+pub struct Daemon {
+    admission: Arc<Admission>,
+    reactor: Option<Reactor>,
+    dispatcher: Option<std::thread::JoinHandle<DispatchOutcome>>,
+    drain_grace: Duration,
+}
+
+impl Daemon {
+    /// Bind, spin up the reactor and the dispatcher, and start serving.
+    /// `build_engine` runs on the dispatcher thread before the first job
+    /// (fleet bring-up is part of the daemon's start, not job 1's
+    /// latency).
+    pub fn start(cfg: DaemonConfig, build_engine: EngineBuilder) -> std::io::Result<Daemon> {
+        let admission = Arc::new(Admission::new(cfg.admission));
+        let registry = Arc::new(Registry::new());
+        let service = Arc::new(ServeService {
+            admission: Arc::clone(&admission),
+        });
+        let reactor = Reactor::start(
+            &cfg.addr,
+            cfg.reactor_threads,
+            service,
+            Arc::clone(&registry),
+        )?;
+        let dispatcher = {
+            let admission = Arc::clone(&admission);
+            let registry = Arc::clone(&registry);
+            let faults = cfg.tenant_faults.clone();
+            std::thread::Builder::new()
+                .name("serve-dispatch".into())
+                .spawn(move || dispatch_loop(build_engine, admission, registry, faults))?
+        };
+        Ok(Daemon {
+            admission,
+            reactor: Some(reactor),
+            dispatcher: Some(dispatcher),
+            drain_grace: cfg.drain_grace,
+        })
+    }
+
+    /// The bound listen address (kernel-assigned port resolved).
+    pub fn local_addr(&self) -> &Addr {
+        self.reactor.as_ref().expect("reactor running").local_addr()
+    }
+
+    /// A clonable handle that can trigger the drain from another thread.
+    pub fn drain_trigger(&self) -> DrainTrigger {
+        DrainTrigger {
+            admission: Arc::clone(&self.admission),
+        }
+    }
+
+    /// Live admission counters (monitoring).
+    pub fn stats(&self) -> AdmissionStats {
+        self.admission.stats()
+    }
+
+    /// Block until the drain completes (someone must trigger it), then
+    /// tear everything down and report. An accepted job is either in
+    /// `served`, in a tenant's `failed` row, or in `orphaned` — drains
+    /// lose nothing.
+    pub fn wait(mut self) -> DaemonReport {
+        let outcome = match self.dispatcher.take().expect("dispatcher running").join() {
+            Ok(o) => o,
+            Err(_) => DispatchOutcome {
+                engine: None,
+                engine_error: Some("dispatcher panicked".into()),
+            },
+        };
+        let reactor = self.reactor.take().expect("reactor running");
+        reactor.stop_accepting();
+        let clean = reactor.stop(self.drain_grace) && outcome.engine_error.is_none();
+        let stats = self.admission.stats();
+        DaemonReport {
+            served: stats.served,
+            rejected: stats.rejected,
+            orphaned: stats.orphaned,
+            peak_in_system: stats.peak_in_system,
+            stats,
+            engine: outcome.engine,
+            engine_error: outcome.engine_error,
+            clean,
+        }
+    }
+}
+
+/// The reactor-facing half: decode-level protocol handling, nothing that
+/// blocks.
+struct ServeService {
+    admission: Arc<Admission>,
+}
+
+impl Service for ServeService {
+    fn on_message(&self, session: &Arc<Session>, msg: ServeMsg) -> Action {
+        match msg {
+            ServeMsg::Hello {
+                version,
+                tenant,
+                weight,
+            } => {
+                if version != SERVE_PROTOCOL_VERSION {
+                    session.send(&ServeMsg::Fail {
+                        seq: 0,
+                        error: format!(
+                            "protocol version {version} unsupported (daemon speaks \
+                             {SERVE_PROTOCOL_VERSION})"
+                        ),
+                    });
+                    return Action::Close;
+                }
+                self.admission.register(&tenant, weight);
+                session.set_tenant(Arc::from(tenant.as_str()));
+                session.send(&ServeMsg::Welcome {
+                    session: session.id,
+                });
+                Action::Continue
+            }
+            ServeMsg::Submit {
+                seq,
+                root,
+                level,
+                tol,
+            } => {
+                let Some(tenant) = session.tenant() else {
+                    session.send(&ServeMsg::Fail {
+                        seq,
+                        error: "submit before hello".into(),
+                    });
+                    return Action::Close;
+                };
+                let offer = self.admission.offer(QueuedJob {
+                    tenant,
+                    session: session.id,
+                    seq,
+                    root,
+                    level,
+                    tol,
+                    attempts: 0,
+                    enqueued: Instant::now(),
+                });
+                if let Offer::Rejected {
+                    reason,
+                    retry_after,
+                } = offer
+                {
+                    session.send(&ServeMsg::Reject {
+                        seq,
+                        retry_after_ms: retry_after.as_millis() as u64,
+                        reason,
+                    });
+                }
+                Action::Continue
+            }
+            ServeMsg::Drain => {
+                // Any tenant (or the operator over a socket) may start the
+                // drain; the Drained broadcast answers everyone at the end.
+                self.admission.drain();
+                Action::Continue
+            }
+            ServeMsg::Bye => {
+                self.admission.forget_session(session.id);
+                Action::Close
+            }
+            // Daemon-to-tenant messages arriving *at* the daemon are a
+            // protocol violation.
+            ServeMsg::Welcome { .. }
+            | ServeMsg::Done { .. }
+            | ServeMsg::Fail { .. }
+            | ServeMsg::Reject { .. }
+            | ServeMsg::Drained { .. } => Action::Close,
+        }
+    }
+
+    fn on_disconnect(&self, session: &Arc<Session>) {
+        // Queued jobs from a dead session would be solved for nobody (the
+        // reactor already pulled the session out of the registry).
+        self.admission.forget_session(session.id);
+    }
+}
+
+/// The dispatcher: owns the engine, serves the fair-share queue until the
+/// drain empties it.
+fn dispatch_loop(
+    build_engine: EngineBuilder,
+    admission: Arc<Admission>,
+    registry: Arc<Registry>,
+    faults: Option<FaultPlan>,
+) -> DispatchOutcome {
+    let mut engine_error: Option<String> = None;
+    let mut engine = match build_engine() {
+        Ok(e) => Some(e),
+        Err(e) => {
+            engine_error = Some(format!("engine construction failed: {e}"));
+            None
+        }
+    };
+    // Per-tenant dispatched-job ordinals, the `on_job` coordinate of the
+    // per-tenant fault vocabulary.
+    let mut tenant_jobs: HashMap<Arc<str>, u64> = HashMap::new();
+
+    loop {
+        let job = match admission.next(Duration::from_millis(200)) {
+            Next::Idle => continue,
+            Next::Drained => break,
+            Next::Job(job) => job,
+        };
+        let n = {
+            let c = tenant_jobs.entry(Arc::clone(&job.tenant)).or_insert(0);
+            *c += 1;
+            *c
+        };
+
+        let mut injected: Option<String> = None;
+        if let Some(plan) = &faults {
+            if let Some(ord) = admission.ordinal(&job.tenant) {
+                let wf = plan.worker_faults(ord);
+                if let Some((on_job, millis)) = wf.stall_on_job {
+                    if on_job == n {
+                        std::thread::sleep(Duration::from_millis(millis));
+                    }
+                }
+                if wf.crash_on_job == Some(n)
+                    || wf.drop_on_job == Some(n)
+                    || wf.corrupt_on_job == Some(n)
+                {
+                    injected = Some(format!(
+                        "chaos: injected tenant fault on dispatched job {n}"
+                    ));
+                }
+            }
+        }
+
+        let served = if let Some(err) = injected {
+            Err(err)
+        } else {
+            match engine.as_mut() {
+                None => Err(engine_error
+                    .clone()
+                    .unwrap_or_else(|| "engine unavailable".into())),
+                Some(e) => e
+                    .submit(AppConfig::new(SequentialApp::new(
+                        job.root, job.level, job.tol,
+                    )))
+                    .map_err(|e| e.to_string())
+                    .and_then(|h| h.wait().map_err(|e| e.to_string())),
+            }
+        };
+
+        match served {
+            Ok(report) => {
+                let delivered = registry.get(job.session).is_some_and(|s| {
+                    s.send(&ServeMsg::Done {
+                        seq: job.seq,
+                        grids: report.result.per_grid.len() as u64,
+                        l2_error: report.result.l2_error,
+                        combined: report.result.combined,
+                    })
+                });
+                admission.complete(&job, delivered);
+            }
+            Err(error) => {
+                let (seq, sess) = (job.seq, job.session);
+                // Retry first (re-queued at the tenant's head); only a
+                // spent retry budget surfaces the failure to the tenant.
+                if admission.charge_failure(job).is_none() {
+                    if let Some(s) = registry.get(sess) {
+                        s.send(&ServeMsg::Fail { seq, error });
+                    }
+                }
+            }
+        }
+    }
+
+    // The backlog is empty and nothing is in flight: tell every session
+    // the drain completed *now*, from the thread that knows — waiting for
+    // the main thread to join us would deadlock any client blocking on
+    // this very message.
+    registry.broadcast(&ServeMsg::Drained {
+        served: admission.served_total(),
+    });
+    DispatchOutcome {
+        engine: engine.take().map(Engine::shutdown),
+        engine_error,
+    }
+}

@@ -1,0 +1,47 @@
+//! # serve — event-driven multi-tenant admission and serving
+//!
+//! The paper's renovation ends with one concurrent application; this
+//! crate is what a renovated codebase grows next: a *serving layer* that
+//! multiplexes many tenants' job streams over the one persistent
+//! [`Engine`](renovation::Engine) fleet, with the properties a shared
+//! service needs and a batch run does not:
+//!
+//! * [`poll`] / [`reactor`] — a readiness front end: nonblocking sockets,
+//!   one event thread per core in a hand-rolled `poll(2)` loop, frames in
+//!   and out through the same CRC codec the worker transport uses. No
+//!   thread-per-connection, so thousands of tenant sessions cost what
+//!   their sockets cost;
+//! * [`admission`] — bounded per-tenant queues, weighted fair-share
+//!   dispatch (start-time fair queuing), explicit backpressure
+//!   (`Reject` + retry-after instead of unbounded buffering), and
+//!   per-tenant retry/fault budgets with quarantine;
+//! * [`registry`] — the session table that routes a finished job's reply
+//!   back to the socket that asked for it;
+//! * [`daemon`] — the glue: reactor threads offer, one dispatcher thread
+//!   owns the engine and serves the fair-share queue, drain finishes
+//!   every accepted job before the last outbox flush;
+//! * [`proto`] / [`client`] — the tenant session protocol (`Hello` …
+//!   `Drained`) and a blocking client for tests, smoke drivers, and the
+//!   `serve_bench` load generator.
+//!
+//! The serving guarantee extends the paper's: every `Done` reply carries
+//! the full combined field, **bit-identical** to a solo sequential run of
+//! the same problem — multi-tenancy changes who waits, never what they
+//! get.
+
+pub mod admission;
+pub mod client;
+pub mod daemon;
+pub mod poll;
+pub mod proto;
+pub mod reactor;
+pub mod registry;
+
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionStats, Next, Offer, QueuedJob, TenantStats,
+};
+pub use client::TenantClient;
+pub use daemon::{Daemon, DaemonConfig, DaemonReport, DrainTrigger, EngineBuilder};
+pub use proto::{field_checksum, RejectReason, ServeMsg, SERVE_PROTOCOL_VERSION};
+pub use reactor::{Action, Reactor, Service};
+pub use registry::{Registry, Session, SessionId};

@@ -1,0 +1,261 @@
+//! The tenant/session registry: who is connected, and how a reply finds
+//! its way back to the socket that asked for it.
+//!
+//! One connection is one session. The reactor creates a [`Session`] at
+//! accept time (before the tenant has even said `Hello`), the daemon's
+//! dispatcher looks sessions up by id to queue replies, and the reactor
+//! thread that owns the underlying socket flushes the session's
+//! [`Outbox`] when `poll(2)` says the socket can take bytes. The registry
+//! is the only map shared across all of them, so thousands of in-flight
+//! jobs route over however many connections actually exist.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::poll::Waker;
+use crate::proto::ServeMsg;
+
+/// Session identifier — assigned at accept, echoed in `Welcome`.
+pub type SessionId = u64;
+
+struct OutQ {
+    bufs: VecDeque<Vec<u8>>,
+    /// Bytes of `bufs[0]` already written (partial-write resume point).
+    head_off: usize,
+    closed: bool,
+}
+
+/// Per-session outbound byte queue, filled by any thread, drained by the
+/// one reactor thread owning the socket.
+pub struct Outbox {
+    q: Mutex<OutQ>,
+}
+
+impl Outbox {
+    fn new() -> Outbox {
+        Outbox {
+            q: Mutex::new(OutQ {
+                bufs: VecDeque::new(),
+                head_off: 0,
+                closed: false,
+            }),
+        }
+    }
+
+    /// Queue one already-framed message. Returns false when the session
+    /// is closed (the bytes are dropped).
+    pub fn push(&self, frame: Vec<u8>) -> bool {
+        let mut q = self.q.lock();
+        if q.closed {
+            return false;
+        }
+        q.bufs.push_back(frame);
+        true
+    }
+
+    /// Anything left to write?
+    pub fn is_empty(&self) -> bool {
+        self.q.lock().bufs.is_empty()
+    }
+
+    /// No more pushes accepted.
+    pub fn close(&self) {
+        self.q.lock().closed = true;
+    }
+
+    /// Write as much as the (nonblocking) sink accepts. `Ok(true)` means
+    /// the queue is fully flushed; `Ok(false)` means the sink would block
+    /// with bytes still pending.
+    pub fn write_to(&self, w: &mut impl Write) -> std::io::Result<bool> {
+        let mut q = self.q.lock();
+        while let Some(front) = q.bufs.front() {
+            let off = q.head_off;
+            match w.write(&front[off..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => {
+                    if off + n == front.len() {
+                        q.bufs.pop_front();
+                        q.head_off = 0;
+                    } else {
+                        q.head_off = off + n;
+                        return Ok(false);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// One connected tenant session.
+pub struct Session {
+    /// Registry key, echoed to the tenant in `Welcome`.
+    pub id: SessionId,
+    /// Outbound frames awaiting the socket.
+    pub outbox: Outbox,
+    /// Fair-share identity; `None` until the tenant says `Hello`.
+    tenant: Mutex<Option<Arc<str>>>,
+    /// Waker of the reactor thread owning this session's socket.
+    waker: Arc<Waker>,
+    connected: AtomicBool,
+}
+
+impl Session {
+    /// A fresh session owned by the reactor thread behind `waker`.
+    pub fn new(id: SessionId, waker: Arc<Waker>) -> Arc<Session> {
+        Arc::new(Session {
+            id,
+            outbox: Outbox::new(),
+            tenant: Mutex::new(None),
+            waker,
+            connected: AtomicBool::new(true),
+        })
+    }
+
+    /// The tenant this session authenticated as (after `Hello`).
+    pub fn tenant(&self) -> Option<Arc<str>> {
+        self.tenant.lock().clone()
+    }
+
+    /// Record the `Hello` identity.
+    pub fn set_tenant(&self, tenant: Arc<str>) {
+        *self.tenant.lock() = Some(tenant);
+    }
+
+    /// Is the socket still attached?
+    pub fn is_connected(&self) -> bool {
+        self.connected.load(Ordering::Acquire)
+    }
+
+    /// Queue `msg` for delivery and wake the owning reactor thread.
+    /// Returns false when the session is gone (reply dropped — nobody is
+    /// listening).
+    pub fn send(&self, msg: &ServeMsg) -> bool {
+        if !self.is_connected() {
+            return false;
+        }
+        let Ok(frame) = msg.to_frame() else {
+            return false;
+        };
+        if !self.outbox.push(frame) {
+            return false;
+        }
+        self.waker.wake();
+        true
+    }
+
+    /// Mark the socket gone and refuse further sends.
+    pub fn mark_disconnected(&self) {
+        self.connected.store(false, Ordering::Release);
+        self.outbox.close();
+    }
+}
+
+/// All live sessions, keyed by id.
+#[derive(Default)]
+pub struct Registry {
+    m: Mutex<HashMap<SessionId, Arc<Session>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Insert a freshly accepted session.
+    pub fn insert(&self, session: Arc<Session>) {
+        self.m.lock().insert(session.id, session);
+    }
+
+    /// Look a session up (dispatcher reply path).
+    pub fn get(&self, id: SessionId) -> Option<Arc<Session>> {
+        self.m.lock().get(&id).cloned()
+    }
+
+    /// Remove a dead session.
+    pub fn remove(&self, id: SessionId) -> Option<Arc<Session>> {
+        self.m.lock().remove(&id)
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.m.lock().len()
+    }
+
+    /// No sessions connected?
+    pub fn is_empty(&self) -> bool {
+        self.m.lock().is_empty()
+    }
+
+    /// Queue `msg` on every live session (drain announcements).
+    pub fn broadcast(&self, msg: &ServeMsg) {
+        let sessions: Vec<Arc<Session>> = self.m.lock().values().cloned().collect();
+        for s in sessions {
+            s.send(msg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_flushes_across_partial_writes() {
+        let ob = Outbox::new();
+        ob.push(vec![1, 2, 3, 4, 5]);
+        ob.push(vec![6, 7]);
+
+        // A sink that takes at most 3 bytes per call.
+        struct Trickle(Vec<u8>);
+        impl Write for Trickle {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                let n = buf.len().min(3);
+                self.0.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = Trickle(Vec::new());
+        while !ob.write_to(&mut sink).unwrap() {}
+        assert_eq!(sink.0, vec![1, 2, 3, 4, 5, 6, 7]);
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn closed_outbox_drops_pushes() {
+        let ob = Outbox::new();
+        ob.close();
+        assert!(!ob.push(vec![1]));
+        assert!(ob.is_empty());
+    }
+
+    #[test]
+    fn registry_send_after_disconnect_reports_failure() {
+        let reg = Registry::new();
+        let waker = Arc::new(Waker::new().unwrap());
+        let s = Session::new(3, waker);
+        reg.insert(Arc::clone(&s));
+        assert!(s.send(&ServeMsg::Welcome { session: 3 }));
+        s.mark_disconnected();
+        assert!(!s.send(&ServeMsg::Bye));
+        assert!(reg.remove(3).is_some());
+        assert!(reg.is_empty());
+    }
+}

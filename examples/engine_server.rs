@@ -39,7 +39,7 @@ fn main() -> MfResult<()> {
     for (root, level) in [(2, 2), (1, 4), (2, 3), (1, 2), (2, 4), (2, 1)] {
         let app = SequentialApp::new(root, level, 1e-3);
         let oracle = app.run().expect("sequential oracle");
-        let handle = engine.submit(AppConfig::new(app));
+        let handle = engine.submit(AppConfig::new(app))?;
         let id = handle.id();
         let report = handle.wait()?;
         assert_eq!(
