@@ -75,6 +75,38 @@ impl Cli {
         }
     }
 
+    /// `--level-range L..=M` (inclusive) or, failing that, `--level N` as
+    /// a single-level range. A decreasing range is a usage error.
+    pub fn level_range(&self, default: u32) -> std::ops::RangeInclusive<u32> {
+        if let Some(spec) = self.value("--level-range") {
+            let bounds = spec
+                .split_once("..=")
+                .and_then(|(a, b)| Some((a.trim().parse().ok()?, b.trim().parse().ok()?)));
+            match bounds {
+                Some((lo, hi)) if lo <= hi => lo..=hi,
+                _ => self.usage_exit(&format!(
+                    "--level-range: expected L..=M with L <= M, got {spec:?}"
+                )),
+            }
+        } else {
+            let l = self.parsed("--level", default);
+            l..=l
+        }
+    }
+
+    /// `--tier exact|fast|both` — which solver tiers a bench exercises.
+    pub fn tiers(&self) -> Vec<solver::Tier> {
+        match self.value("--tier") {
+            None | Some("both") => vec![solver::Tier::Exact, solver::Tier::Fast],
+            Some(v) => match solver::Tier::parse(v) {
+                Some(t) => vec![t],
+                None => {
+                    self.usage_exit(&format!("--tier: expected exact, fast, or both, got {v:?}"))
+                }
+            },
+        }
+    }
+
     /// `--policy paper-faithful|bounded-reuse:N|cost-aware`, defaulting to
     /// the paper's dispatch order.
     pub fn policy(&self) -> PolicyRef {
@@ -171,6 +203,23 @@ mod tests {
         assert_eq!(c.inflight(8), 1);
         assert_eq!(cli(&[]).tenants(3), 3);
         assert_eq!(cli(&[]).inflight(8), 8);
+    }
+
+    #[test]
+    fn level_range_parses_and_falls_back_to_single_level() {
+        assert_eq!(cli(&["--level-range", "6..=8"]).level_range(3), 6..=8);
+        assert_eq!(cli(&["--level", "5"]).level_range(3), 5..=5);
+        assert_eq!(cli(&[]).level_range(3), 3..=3);
+    }
+
+    #[test]
+    fn tiers_parse() {
+        assert_eq!(
+            cli(&[]).tiers(),
+            vec![solver::Tier::Exact, solver::Tier::Fast]
+        );
+        assert_eq!(cli(&["--tier", "exact"]).tiers(), vec![solver::Tier::Exact]);
+        assert_eq!(cli(&["--tier", "fast"]).tiers(), vec![solver::Tier::Fast]);
     }
 
     #[test]

@@ -117,11 +117,14 @@ pub fn result_to_unit(res: &SubsolveResult) -> Unit {
             Unit::int(res.work.factorizations as i64),
             Unit::int(res.work.refactorizations as i64),
             Unit::int(res.work.assemblies as i64),
+            Unit::int(res.work.batched_rhs as i64),
         ]),
     ])
 }
 
-/// Decode a subsolve result on the master side.
+/// Decode a subsolve result on the master side. Accepts both the current
+/// 8-field work tuple and the pre-batching 7-field shape (a result written
+/// by an older worker simply reports `batched_rhs = 0`).
 pub fn result_from_unit(u: &Unit) -> MfResult<SubsolveResult> {
     let t = u
         .as_tuple()
@@ -132,7 +135,7 @@ pub fn result_from_unit(u: &Unit) -> MfResult<SubsolveResult> {
     let w = t[5]
         .as_tuple()
         .ok_or(MfError::UnitType { expected: "Tuple" })?;
-    if w.len() != 7 {
+    if w.len() != 7 && w.len() != 8 {
         return Err(MfError::App("bad work tuple".into()));
     }
     Ok(SubsolveResult {
@@ -149,8 +152,70 @@ pub fn result_from_unit(u: &Unit) -> MfResult<SubsolveResult> {
             factorizations: w[4].expect_int()? as u64,
             refactorizations: w[5].expect_int()? as u64,
             assemblies: w[6].expect_int()? as u64,
+            batched_rhs: if w.len() == 8 {
+                w[7].expect_int()? as u64
+            } else {
+                0
+            },
         },
     })
+}
+
+/// Tag distinguishing a bundled (multi-request) job or result unit from a
+/// single one. A single request tuple has arity 8 and a single result
+/// arity 6, so a 2-tuple opening with this sentinel is unambiguous.
+const BATCH_TAG: i64 = -2;
+
+/// Encode a job bundle for the master → worker stream: the worker runs the
+/// whole bundle through `solver::subsolve_batch`, batching same-shape
+/// members through the multi-RHS kernels.
+pub fn batch_request_to_unit(reqs: &[SubsolveRequest]) -> Unit {
+    Unit::tuple(vec![
+        Unit::int(BATCH_TAG),
+        Unit::tuple(reqs.iter().map(request_to_unit).collect()),
+    ])
+}
+
+fn as_batch(u: &Unit) -> Option<&[Unit]> {
+    match u.as_tuple() {
+        Some([tag, body]) if tag.as_int() == Some(BATCH_TAG) => body.as_tuple(),
+        _ => None,
+    }
+}
+
+/// Decode a worker job that may be a single request or a bundle. Returns
+/// the requests plus whether the job arrived bundled (the reply must use
+/// the same shape).
+pub fn requests_from_unit(u: &Unit) -> MfResult<(Vec<SubsolveRequest>, bool)> {
+    match as_batch(u) {
+        Some(items) => {
+            let reqs = items
+                .iter()
+                .map(request_from_unit)
+                .collect::<MfResult<Vec<_>>>()?;
+            if reqs.is_empty() {
+                return Err(MfError::App("empty job bundle".into()));
+            }
+            Ok((reqs, true))
+        }
+        None => Ok((vec![request_from_unit(u)?], false)),
+    }
+}
+
+/// Encode a bundle of results (the reply to a bundled job).
+pub fn batch_results_to_unit(rs: &[SubsolveResult]) -> Unit {
+    Unit::tuple(vec![
+        Unit::int(BATCH_TAG),
+        Unit::tuple(rs.iter().map(result_to_unit).collect()),
+    ])
+}
+
+/// Decode a collected unit that may hold one result or a bundle.
+pub fn results_from_unit(u: &Unit) -> MfResult<Vec<SubsolveResult>> {
+    match as_batch(u) {
+        Some(items) => items.iter().map(result_from_unit).collect(),
+        None => Ok(vec![result_from_unit(u)?]),
+    }
 }
 
 #[cfg(test)]
@@ -216,6 +281,54 @@ mod tests {
         // without a single deep copy.
         let back = result_from_unit(&unit).unwrap();
         assert!(std::sync::Arc::ptr_eq(&back.values, &res.values));
+    }
+
+    #[test]
+    fn batch_request_round_trips_and_single_decode_passes_through() {
+        let p = Problem::transport_benchmark();
+        let reqs: Vec<SubsolveRequest> = [1e-3, 1e-4, 2e-3]
+            .iter()
+            .map(|&tol| SubsolveRequest::for_grid(2, 1, 1, tol, p))
+            .collect();
+        let (back, batched) = requests_from_unit(&batch_request_to_unit(&reqs)).unwrap();
+        assert!(batched);
+        assert_eq!(back, reqs);
+        let (one, batched) = requests_from_unit(&request_to_unit(&reqs[0])).unwrap();
+        assert!(!batched);
+        assert_eq!(one, vec![reqs[0].clone()]);
+        // Empty bundles are wire errors, not silent no-ops.
+        assert!(requests_from_unit(&batch_request_to_unit(&[])).is_err());
+    }
+
+    #[test]
+    fn batch_results_round_trip_exactly() {
+        let p = Problem::manufactured_benchmark();
+        let a = subsolve(&SubsolveRequest::for_grid(2, 1, 0, 1e-3, p)).unwrap();
+        let b = subsolve(&SubsolveRequest::for_grid(2, 0, 1, 1e-3, p)).unwrap();
+        let rs = vec![a.clone(), b];
+        let back = results_from_unit(&batch_results_to_unit(&rs)).unwrap();
+        assert_eq!(back, rs);
+        // A single result unit decodes as a one-element batch.
+        assert_eq!(results_from_unit(&result_to_unit(&a)).unwrap(), vec![a]);
+    }
+
+    #[test]
+    fn legacy_seven_field_work_tuple_still_decodes() {
+        // Results written before the batched_rhs field existed must decode
+        // with batched_rhs = 0 and everything else intact.
+        let p = Problem::manufactured_benchmark();
+        let res = subsolve(&SubsolveRequest::for_grid(2, 1, 0, 1e-3, p)).unwrap();
+        let mut u = result_to_unit(&res);
+        if let Unit::Tuple(t) = &mut u {
+            let t = std::sync::Arc::make_mut(t);
+            if let Unit::Tuple(w) = &mut t[5] {
+                std::sync::Arc::make_mut(w).pop();
+            }
+        }
+        let legacy = result_from_unit(&u).unwrap();
+        assert_eq!(legacy.work.batched_rhs, 0);
+        assert_eq!(legacy.work.flops, res.work.flops);
+        assert_eq!(legacy.values, res.values);
     }
 
     #[test]

@@ -32,7 +32,8 @@ use solver::work::estimate_subsolve_flops;
 use solver::{l2_norm, WorkCounter};
 
 use crate::checkpoint::{Checkpoint, CheckpointStore, RunKey};
-use crate::codec::{request_to_unit, result_from_unit};
+use crate::codec::{batch_request_to_unit, request_to_unit, results_from_unit};
+use solver::subsolve::SubsolveRequest;
 
 /// Master-side configuration.
 #[derive(Clone)]
@@ -62,6 +63,12 @@ pub struct MasterConfig {
     /// total results have been collected — the supervisor's relaunch path
     /// is exercised by exactly this failure.
     pub master_kill_at: Option<u64>,
+    /// Jobs per worker dispatch. The default (1) is the paper's protocol:
+    /// one subsolve per worker. Widths above 1 bundle consecutive jobs (in
+    /// policy order) into one dispatch; the worker runs the bundle through
+    /// `solver::subsolve_batch`, whose multi-RHS kernels batch same-shape
+    /// members and whose results are bit-identical per job either way.
+    pub batch_width: usize,
 }
 
 impl MasterConfig {
@@ -75,6 +82,7 @@ impl MasterConfig {
             checkpoint: None,
             resume_from: None,
             master_kill_at: None,
+            batch_width: 1,
         }
     }
 
@@ -108,6 +116,13 @@ impl MasterConfig {
         self
     }
 
+    /// Bundle up to `width` jobs per worker dispatch (1 = the paper's
+    /// one-job-per-worker protocol).
+    pub fn with_batch_width(mut self, width: usize) -> Self {
+        self.batch_width = width.max(1);
+        self
+    }
+
     /// The identity of the run this configuration describes.
     pub fn run_key(&self) -> RunKey {
         RunKey::of(&self.app, self.data_through_master, self.policy.name())
@@ -127,16 +142,18 @@ impl fmt::Debug for MasterConfig {
                 &self.resume_from.as_ref().map(|c| c.completed.len()),
             )
             .field("master_kill_at", &self.master_kill_at)
+            .field("batch_width", &self.batch_width)
             .finish()
     }
 }
 
-/// Collect one *computational* result from the dataport. A lost-job
+/// Collect one worker's *computational* results from the dataport — one
+/// result for a single-job dispatch, several for a bundle. A lost-job
 /// marker (a proxy worker's remote instance died mid-job) is not a
 /// result: the master requests a fresh worker, re-sends the recovered
-/// job, and keeps collecting — so a killed worker process costs one
-/// round-trip, bounded by the retry budget.
-fn collect_result(h: &MasterHandle, retries_left: &mut usize) -> MfResult<SubsolveResult> {
+/// job (single or bundle alike), and keeps collecting — so a killed
+/// worker process costs one round-trip, bounded by the retry budget.
+fn collect_results(h: &MasterHandle, retries_left: &mut usize) -> MfResult<Vec<SubsolveResult>> {
     loop {
         let unit = h.collect()?;
         if let Some((instance, reason, job)) = protocol::as_lost_job(&unit) {
@@ -154,8 +171,32 @@ fn collect_result(h: &MasterHandle, retries_left: &mut usize) -> MfResult<Subsol
             h.send_work(job.clone())?;
             continue;
         }
-        return result_from_unit(&unit);
+        return results_from_unit(&unit);
     }
+}
+
+/// Dispatch the accumulated bundle (if any) to a fresh worker: a bare
+/// request unit for one job — byte-for-byte the paper's wire shape — or a
+/// tagged bundle for several.
+fn flush_bundle(
+    h: &MasterHandle,
+    pending: &mut Vec<SubsolveRequest>,
+    in_flight: &mut usize,
+) -> MfResult<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let unit = if pending.len() == 1 {
+        request_to_unit(&pending[0])
+    } else {
+        batch_request_to_unit(pending)
+    };
+    // (b)+(c): request a worker and activate it; (d): write the job.
+    let _worker = h.request_worker()?;
+    h.send_work(unit)?;
+    *in_flight += 1;
+    pending.clear();
+    Ok(())
 }
 
 /// Run the master's life: steps 2–5 of the behavior interface. Returns the
@@ -245,25 +286,27 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
     h.create_pool();
     let mut retries_left = cfg.retry_budget;
     let mut in_flight = 0usize;
+    let width = cfg.batch_width.max(1);
+    let mut pending: Vec<SubsolveRequest> = Vec::new();
     for &job in &order {
         let idx = grids[job];
         if done.contains(&(idx.l, idx.m)) {
             continue;
         }
-        while in_flight >= window {
-            // (f): collect one result from our own dataport, freeing a slot.
-            let res = collect_result(h, &mut retries_left)?;
-            account(&mut work, &mut per_grid, res)?;
+        while pending.is_empty() && in_flight >= window {
+            // (f): collect one worker's results from our own dataport,
+            // freeing a slot.
+            for res in collect_results(h, &mut retries_left)? {
+                account(&mut work, &mut per_grid, res)?;
+            }
             in_flight -= 1;
         }
         // The dispatch sequence is the trace-visible signature of the
         // policy: the cross-backend tests require it to match between the
         // threads and the process backends line for line.
         mes!(h.ctx(), "dispatch subsolve({}, {})", idx.l, idx.m);
-        // (b)+(c): request a worker and activate it.
-        let _worker = h.request_worker()?;
-        // (d): write the job — with the initial data segment when the
-        // master mediates all data.
+        // Build the job — with the initial data segment when the master
+        // mediates all data.
         let mut req = app.request_for(idx);
         if cfg.data_through_master {
             let g = Grid2::new(app.root, idx.l, idx.m);
@@ -272,13 +315,17 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
             // Shared buffer: codec and port transfer add no copies.
             req.initial_interior = Some(Arc::new(interior));
         }
-        h.send_work(request_to_unit(&req))?;
-        in_flight += 1;
+        pending.push(req);
+        if pending.len() >= width {
+            flush_bundle(h, &mut pending, &mut in_flight)?;
+        }
     }
+    flush_bundle(h, &mut pending, &mut in_flight)?;
     // (f): drain the remaining in-flight results.
     for _ in 0..in_flight {
-        let res = collect_result(h, &mut retries_left)?;
-        account(&mut work, &mut per_grid, res)?;
+        for res in collect_results(h, &mut retries_left)? {
+            account(&mut work, &mut per_grid, res)?;
+        }
     }
     // A finished run needs no snapshot; leaving one behind would make an
     // unrelated later run in the same directory refuse to start.

@@ -14,7 +14,7 @@ use manifold::mes;
 use manifold::prelude::*;
 use protocol::{lost_job_marker, WorkerHandle, WORKER_LOST};
 
-use crate::codec::{request_from_unit, result_to_unit};
+use crate::codec::{batch_results_to_unit, requests_from_unit, result_to_unit};
 
 /// Concurrency gauge over worker compute sections.
 ///
@@ -105,18 +105,42 @@ fn make_worker(
                 }
             }
         }
-        let req = request_from_unit(&job)?;
-        // Step 2: the computational job (the untouched legacy core).
+        let (reqs, batched) = requests_from_unit(&job)?;
+        // Step 2: the computational job (the untouched legacy core). A
+        // bundled job runs through the batched multi-RHS path, which is
+        // bit-identical per request to the sequential core.
         if let Some(g) = &gauge {
             g.enter();
         }
-        let res = solver::subsolve(&req);
+        let computed: Result<Unit, String> = if batched {
+            let mut bws = solver::BatchWorkspace::new();
+            let results = solver::subsolve_batch(&reqs, &mut bws);
+            let mut ok = Vec::with_capacity(results.len());
+            let mut failure = None;
+            for (req, r) in reqs.iter().zip(results) {
+                match r {
+                    Ok(res) => ok.push(res),
+                    Err(e) => {
+                        failure = Some(format!("subsolve({}, {}): {e}", req.l, req.m));
+                        break;
+                    }
+                }
+            }
+            match failure {
+                Some(f) => Err(f),
+                None => Ok(batch_results_to_unit(&ok)),
+            }
+        } else {
+            let req = &reqs[0];
+            solver::subsolve(req)
+                .map(|res| result_to_unit(&res))
+                .map_err(|e| format!("subsolve({}, {}): {e}", req.l, req.m))
+        };
         if let Some(g) = &gauge {
             g.exit();
         }
-        let res = res.map_err(|e| MfError::App(format!("subsolve({}, {}): {e}", req.l, req.m)))?;
         // Step 3: write the results to our own output port.
-        h.submit(result_to_unit(&res))?;
+        h.submit(computed.map_err(MfError::App)?)?;
         // Step 4: signal death and return.
         mes!(h.ctx(), "Bye");
         h.die();
@@ -160,7 +184,7 @@ pub fn worker_factory_chaos(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::codec::{request_to_unit, result_from_unit};
+    use crate::codec::{batch_request_to_unit, request_to_unit, result_from_unit};
     use solver::problem::Problem;
     use solver::subsolve::SubsolveRequest;
     use std::time::Duration;
@@ -183,6 +207,48 @@ mod tests {
             // Identical to calling the core directly.
             let direct = solver::subsolve(&req).unwrap();
             assert_eq!(res.values, direct.values);
+            w.core().wait_terminated(Duration::from_secs(10))?;
+            Ok(())
+        })
+        .unwrap();
+        env.shutdown();
+        assert!(env.failures().is_empty());
+    }
+
+    #[test]
+    fn worker_computes_a_same_shape_bundle_bit_identically() {
+        // Three jobs on the *same* grid with different tolerances: the
+        // bundle rides the multi-RHS batched integrator inside the worker
+        // and must come back bit-identical, per request, to the
+        // sequential core.
+        let env = Environment::new();
+        env.run_coordinator("Main", |coord| {
+            let death = Name::new("death_worker");
+            let w = worker_factory(coord, &death);
+            coord.activate(&w)?;
+            let reqs: Vec<SubsolveRequest> = [1e-3, 2e-4, 5e-3]
+                .iter()
+                .map(|&tol| {
+                    SubsolveRequest::for_grid(2, 2, 1, tol, Problem::manufactured_benchmark())
+                })
+                .collect();
+            let mut st = coord.state();
+            st.send(batch_request_to_unit(&reqs), &w, "input")?;
+            st.connect_to_self(&w, "output", "input", StreamType::KK)?;
+            let occ = st.idle(&["death_worker".into()])?;
+            assert_eq!(occ.source, w.id());
+            let results = crate::codec::results_from_unit(&coord.read("input")?).unwrap();
+            assert_eq!(results.len(), reqs.len());
+            for (req, res) in reqs.iter().zip(&results) {
+                let direct = solver::subsolve(req).unwrap();
+                assert_eq!((res.l, res.m), (req.l, req.m));
+                assert_eq!(res.values, direct.values);
+                assert_eq!(res.steps, direct.steps);
+                assert_eq!(res.work.flops, direct.work.flops);
+            }
+            // The bundle really took the batched path: cohort widths were
+            // recorded for the multi-RHS sweeps.
+            assert!(results.iter().any(|r| r.work.batched_rhs > 0));
             w.core().wait_terminated(Duration::from_secs(10))?;
             Ok(())
         })

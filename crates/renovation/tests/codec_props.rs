@@ -61,7 +61,7 @@ fn arb_result() -> impl Strategy<Value = SubsolveResult> {
         (0u32..8, 0u32..8),
         prop::collection::vec(-100.0..100.0f64, 0..60),
         (0usize..10_000, 0usize..100),
-        prop::collection::vec(0u64..1_000_000, 7),
+        prop::collection::vec(0u64..1_000_000, 8),
     )
         .prop_map(|((l, m), values, (steps, rejected), w)| SubsolveResult {
             l,
@@ -77,6 +77,7 @@ fn arb_result() -> impl Strategy<Value = SubsolveResult> {
                 factorizations: w[4],
                 refactorizations: w[5],
                 assemblies: w[6],
+                batched_rhs: w[7],
             },
         })
 }

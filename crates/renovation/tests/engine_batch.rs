@@ -1,0 +1,129 @@
+//! Batched dispatch through the persistent Engine: bundles of subsolve
+//! requests ride one worker each, and every answer stays bit-identical to
+//! the sequential oracle.
+//!
+//! `batch_width` is a pure dispatch-shape knob — it changes how many jobs
+//! travel per worker message, never what any job computes. These tests
+//! interleave widths (1, 2, 3, 5, wider than the whole job list) across
+//! problem sizes and policies on both live backends and the simulator, so
+//! a width-dependent result, a dropped bundle member, or a reordered
+//! result stream cannot cancel out.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use protocol::{BoundedReuse, CostAware, PaperFaithful, PolicyRef};
+use renovation::{AppConfig, Engine, EngineOpts, ProcsConfig, RunMode};
+use solver::sequential::SequentialApp;
+
+fn worker_exe() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_subsolve_worker"))
+}
+
+/// (root, level, batch_width, per-job policy) — widths interleave with
+/// problem shapes and dispatch policies; width 99 exceeds every job's
+/// grid count, forcing the "everything in one bundle" edge.
+fn batched_mix() -> Vec<(u32, u32, usize, Option<PolicyRef>)> {
+    vec![
+        (2, 2, 3, None),
+        (1, 4, 2, Some(Arc::new(BoundedReuse::new(2)))),
+        (2, 1, 5, Some(Arc::new(CostAware))),
+        (2, 3, 1, None),
+        (1, 2, 99, Some(Arc::new(CostAware))),
+        (2, 0, 2, None),
+        (1, 3, 3, Some(Arc::new(BoundedReuse::new(3)))),
+        (2, 2, 4, Some(Arc::new(PaperFaithful))),
+    ]
+}
+
+fn submit_batched_mix_and_check(engine: &mut Engine) {
+    for (i, (root, level, width, policy)) in batched_mix().into_iter().enumerate() {
+        let app = SequentialApp::new(root, level, 1e-3);
+        let oracle = app.run().unwrap();
+        let mut cfg = AppConfig::new(app).with_batch_width(width);
+        if let Some(p) = policy {
+            cfg = cfg.with_policy(p);
+        }
+        let report = engine
+            .submit(cfg)
+            .expect("engine admission")
+            .wait()
+            .unwrap();
+        assert_eq!(
+            report.result.combined,
+            oracle.combined,
+            "job {} (root {root}, level {level}, width {width}) drifted from the oracle",
+            i + 1
+        );
+        assert_eq!(report.result.l2_error, oracle.l2_error);
+        assert_eq!(report.result.per_grid.len(), oracle.per_grid.len());
+    }
+}
+
+#[test]
+fn threads_fleet_serves_batched_jobs_bit_identically() {
+    let opts = EngineOpts {
+        capacity_level: 4,
+        ..EngineOpts::default()
+    };
+    let mut engine = Engine::threads(RunMode::Parallel, Arc::new(PaperFaithful), opts).unwrap();
+    submit_batched_mix_and_check(&mut engine);
+    assert_eq!(engine.jobs_served(), 8);
+    engine.shutdown();
+}
+
+#[test]
+fn procs_fleet_serves_batched_jobs_bit_identically() {
+    let mut cfg = ProcsConfig::new(2);
+    cfg.worker_exe = Some(worker_exe());
+    let opts = EngineOpts {
+        capacity_level: 4,
+        ..EngineOpts::default()
+    };
+    let mut engine = Engine::procs(cfg, Arc::new(PaperFaithful), opts).unwrap();
+    submit_batched_mix_and_check(&mut engine);
+    assert_eq!(engine.jobs_served(), 8);
+    let summary = engine.shutdown();
+    assert_eq!(summary.jobs_served, 8);
+}
+
+#[test]
+fn sim_fleet_accepts_batched_jobs() {
+    // The simulator replays the sequential core for the answer, so width
+    // cannot change results there — but submitting batched configs must
+    // be admitted and reported exactly like unbatched ones.
+    let mut engine = Engine::sim(None, Arc::new(PaperFaithful), EngineOpts::default()).unwrap();
+    submit_batched_mix_and_check(&mut engine);
+    assert_eq!(engine.jobs_served(), 8);
+    engine.shutdown();
+}
+
+#[test]
+fn widths_on_one_warm_fleet_agree_with_each_other() {
+    // The same problem at widths 1..=4 over one warm threads fleet: all
+    // four answers bit-equal, and worker bookkeeping still balances.
+    let opts = EngineOpts {
+        capacity_level: 3,
+        ..EngineOpts::default()
+    };
+    let mut engine = Engine::threads(RunMode::Parallel, Arc::new(PaperFaithful), opts).unwrap();
+    let app = SequentialApp::new(2, 3, 1e-3);
+    let mut results = Vec::new();
+    for width in 1..=4usize {
+        let report = engine
+            .submit(AppConfig::new(app).with_batch_width(width))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let pools = report.outcome.pools();
+        assert_eq!(
+            pools[0].workers_created, pools[0].deaths_counted,
+            "width {width}: unbalanced worker lifecycle"
+        );
+        results.push((report.result.combined, report.result.l2_error));
+    }
+    for w in 1..results.len() {
+        assert_eq!(results[0], results[w], "width {} diverged", w + 1);
+    }
+    engine.shutdown();
+}

@@ -1,0 +1,1375 @@
+//! Multi-RHS batched subsolves: one worker, one sparsity pattern, `k`
+//! grids integrated in lockstep.
+//!
+//! The combination technique hands a worker many grids of the *same shape*
+//! (same `(root, l, m)`, hence the same matrix pattern) whenever jobs are
+//! bundled — differing only in time window, tolerance, or initial data.
+//! The sequential path re-runs the whole ROS2 machinery per grid; the
+//! batched path here factors each stage matrix once per distinct step size
+//! and sweeps all members through the triangular solves, matvecs and
+//! BLAS-1 updates in an SoA layout ([`MultiVec`], member-major rows), where
+//! the member axis vectorizes perfectly — including through the
+//! level-scheduled ILU(0) sweeps, whose *row* dependencies do not couple
+//! members at all.
+//!
+//! **Bitwise contract.** For every member, the batched integrator performs
+//! exactly the floating-point operations of the sequential
+//! [`integrate_with`] path, in the same order:
+//!
+//! * elementwise kernels touch each member's element with the same
+//!   expression tree the scalar kernels use (lanes never interact);
+//! * per-member reductions accumulate in node order on [`Tier::Exact`]
+//!   (matching `dot_exact`) and in the fixed stride-8 / stride-4 patterns
+//!   of `dot_fast` / the fast error norm on [`Tier::Fast`];
+//! * the adaptive controller, dead band, and (re)factorization decisions
+//!   are mirrored per member, keyed on exact step/time bits.
+//!
+//! So `subsolve_batch` is bit-identical to running `subsolve_with` per
+//! request on its tier — the batching is purely a wall-clock optimization.
+//!
+//! **Cohorts.** Members advance on their own adaptive clocks, so after the
+//! first rejected step they can disagree on `t` and `dt`. Each pass groups
+//! the unfinished members into cohorts with equal `(t, dt)` bits (the
+//! forcing is evaluated once per cohort and the stage matrix depends only
+//! on `dt`), steps every cohort once, and repeats. Identical requests stay
+//! in one cohort for the whole run; divergent ones gracefully degrade
+//! toward sequential stepping without ever changing their results.
+//!
+//! **Work accounting.** Every member is charged *exactly* what a fresh
+//! sequential run would charge (flops, steps, iterations, assembly; the
+//! factorization/refactorization split may differ but both charge the same
+//! flops). The stage-matrix pool's own factor/refactor work — the batching
+//! overhead amortized across members — is deliberately uncharged so the
+//! cost model stays comparable to the sequential calibration; the new
+//! [`WorkCounter::batched_rhs`] dimension records the cohort widths a
+//! member's solves ran at.
+
+use std::sync::Arc;
+
+use crate::assemble::{assemble, Discretization};
+use crate::linsolve::{Ilu0, SolveError, SolveStats};
+use crate::rosenbrock::{IntegrateError, Ros2Options, Ros2Stats, Ros2Workspace, GAMMA};
+use crate::simd::Tier;
+use crate::sparse::{CachedStage, Csr, MultiVec};
+use crate::subsolve::{subsolve_tiered, SubsolveRequest, SubsolveResult};
+use crate::work::WorkCounter;
+
+// ---------------------------------------------------------------------------
+// Per-member reductions over the SoA layout.
+//
+// `a` and `b` are member-major (`data[i*k + j]` = node i, member j). The
+// exact tier accumulates each member in node order — the same sequence of
+// adds `dot_exact` performs on a single vector. The fast tier reproduces
+// `dot_fast`'s fixed pattern per member: eight partial sums (positions
+// congruent mod 8), lanewise combine `c_l = s_l + s_{l+4}`, final
+// `(c0+c1)+(c2+c3)`, sequential tail.
+// ---------------------------------------------------------------------------
+
+fn dot_multi(
+    tier: Tier,
+    k: usize,
+    a: &[f64],
+    b: &[f64],
+    out: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len() % k.max(1), 0);
+    out.clear();
+    out.resize(k, 0.0);
+    match tier {
+        Tier::Exact => {
+            for (ra, rb) in a.chunks_exact(k).zip(b.chunks_exact(k)) {
+                for ((o, &x), &y) in out.iter_mut().zip(ra).zip(rb) {
+                    *o += x * y;
+                }
+            }
+        }
+        Tier::Fast => {
+            let n = a.len() / k;
+            scratch.clear();
+            scratch.resize(8 * k, 0.0);
+            let mut i = 0;
+            while i + 8 <= n {
+                for l in 0..8 {
+                    let base = (i + l) * k;
+                    let row = &mut scratch[l * k..(l + 1) * k];
+                    for (j, s) in row.iter_mut().enumerate() {
+                        *s += a[base + j] * b[base + j];
+                    }
+                }
+                i += 8;
+            }
+            for (j, o) in out.iter_mut().enumerate() {
+                let c0 = scratch[j] + scratch[4 * k + j];
+                let c1 = scratch[k + j] + scratch[5 * k + j];
+                let c2 = scratch[2 * k + j] + scratch[6 * k + j];
+                let c3 = scratch[3 * k + j] + scratch[7 * k + j];
+                *o = (c0 + c1) + (c2 + c3);
+            }
+            while i < n {
+                let base = i * k;
+                for (j, o) in out.iter_mut().enumerate() {
+                    *o += a[base + j] * b[base + j];
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Per-member weighted RMS error norm (the batched `error_norm`). The
+/// per-element term `(e / (tol·(1+|u|)))²` is the scalar expression tree;
+/// the exact tier sums in node order, the fast tier in the fixed stride-4
+/// pattern of the sequential fast error norm (`(s0+s1)+(s2+s3)` combine,
+/// sequential tail).
+fn error_norm_multi(
+    tier: Tier,
+    k: usize,
+    err: &[f64],
+    u: &[f64],
+    tol: &[f64],
+    out: &mut Vec<f64>,
+    scratch: &mut Vec<f64>,
+) {
+    debug_assert_eq!(err.len(), u.len());
+    debug_assert_eq!(tol.len(), k);
+    let n = err.len() / k.max(1);
+    out.clear();
+    out.resize(k, 0.0);
+    match tier {
+        Tier::Exact => {
+            for (re, ru) in err.chunks_exact(k).zip(u.chunks_exact(k)) {
+                for (((o, &e), &ui), &tj) in out.iter_mut().zip(re).zip(ru).zip(tol) {
+                    let w = tj * (1.0 + ui.abs());
+                    let r = e / w;
+                    *o += r * r;
+                }
+            }
+        }
+        Tier::Fast => {
+            scratch.clear();
+            scratch.resize(4 * k, 0.0);
+            let mut i = 0;
+            while i + 4 <= n {
+                for l in 0..4 {
+                    let base = (i + l) * k;
+                    let row = &mut scratch[l * k..(l + 1) * k];
+                    for (j, s) in row.iter_mut().enumerate() {
+                        let w = tol[j] * (1.0 + u[base + j].abs());
+                        let r = err[base + j] / w;
+                        *s += r * r;
+                    }
+                }
+                i += 4;
+            }
+            for (j, o) in out.iter_mut().enumerate() {
+                *o = (scratch[j] + scratch[k + j]) + (scratch[2 * k + j] + scratch[3 * k + j]);
+            }
+            while i < n {
+                let base = i * k;
+                for (j, o) in out.iter_mut().enumerate() {
+                    let w = tol[j] * (1.0 + u[base + j].abs());
+                    let r = err[base + j] / w;
+                    *o += r * r;
+                }
+                i += 1;
+            }
+        }
+    }
+    for o in out.iter_mut() {
+        *o = (*o / n.max(1) as f64).sqrt();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise SoA kernels. Flat over `k*n` where every member shares the
+// scalar coefficient, member-major where each member has its own. Per
+// element these are the exact expression trees of the sequential loops and
+// the `simd` update kernels, so results are bit-identical per member on
+// every tier. The member axis is contiguous, so the compiler's
+// autovectorizer gets stride-1 loads for free.
+// ---------------------------------------------------------------------------
+
+/// `r[i] = b[i] - r[i]` — the initial BiCGSTAB residual from `r = A·x`.
+fn residual_from_b(b: &[f64], r: &mut [f64]) {
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri = bi - *ri;
+    }
+}
+
+/// `u_stage = u + dt·k1` (ROS2 stage-2 state).
+fn stage_u_multi(dt_step: f64, u: &[f64], k1: &[f64], out: &mut [f64]) {
+    for ((o, ui), k1i) in out.iter_mut().zip(u).zip(k1) {
+        *o = ui + dt_step * k1i;
+    }
+}
+
+/// `f2 -= 2·k1` (ROS2 stage-2 right-hand side).
+fn stage_f2_multi(f2: &mut [f64], k1: &[f64]) {
+    for (f2i, k1i) in f2.iter_mut().zip(k1) {
+        *f2i -= 2.0 * k1i;
+    }
+}
+
+/// `u_new = u + dt·(1.5·k1 + 0.5·k2)` (ROS2 candidate).
+fn unew_multi(dt_step: f64, u: &[f64], k1: &[f64], k2: &[f64], out: &mut [f64]) {
+    for (((o, ui), k1i), k2i) in out.iter_mut().zip(u).zip(k1).zip(k2) {
+        *o = ui + dt_step * (1.5 * k1i + 0.5 * k2i);
+    }
+}
+
+/// `err = 0.5·dt·(k1 + k2)` (embedded error estimate).
+fn errvec_multi(dt_step: f64, k1: &[f64], k2: &[f64], out: &mut [f64]) {
+    for ((o, k1i), k2i) in out.iter_mut().zip(k1).zip(k2) {
+        *o = 0.5 * dt_step * (k1i + k2i);
+    }
+}
+
+/// Per-member `p = r + beta_j·(p − omega_j·v)` (`simd::p_update`).
+fn p_update_multi(k: usize, p: &mut [f64], r: &[f64], beta: &[f64], omega: &[f64], v: &[f64]) {
+    for ((rp, rr), rv) in p
+        .chunks_exact_mut(k)
+        .zip(r.chunks_exact(k))
+        .zip(v.chunks_exact(k))
+    {
+        for ((((pi, &ri), &vi), &bj), &oj) in rp.iter_mut().zip(rr).zip(rv).zip(beta).zip(omega) {
+            *pi = ri + bj * (*pi - oj * vi);
+        }
+    }
+}
+
+/// Per-member `s = r − alpha_j·v` (`simd::s_update`).
+fn s_update_multi(k: usize, s: &mut [f64], r: &[f64], alpha: &[f64], v: &[f64]) {
+    for ((rs, rr), rv) in s
+        .chunks_exact_mut(k)
+        .zip(r.chunks_exact(k))
+        .zip(v.chunks_exact(k))
+    {
+        for (((si, &ri), &vi), &aj) in rs.iter_mut().zip(rr).zip(rv).zip(alpha) {
+            *si = ri - aj * vi;
+        }
+    }
+}
+
+/// Per-member `x += alpha_j·p + omega_j·s` (`simd::x_update`).
+fn x_update_multi(k: usize, x: &mut [f64], alpha: &[f64], p: &[f64], omega: &[f64], s: &[f64]) {
+    for ((rx, rp), rs) in x
+        .chunks_exact_mut(k)
+        .zip(p.chunks_exact(k))
+        .zip(s.chunks_exact(k))
+    {
+        for ((((xi, &pi), &si), &aj), &oj) in rx.iter_mut().zip(rp).zip(rs).zip(alpha).zip(omega) {
+            *xi += aj * pi + oj * si;
+        }
+    }
+}
+
+/// Single-column `y_j += a·x_j` (`simd::axpy` on one member).
+fn axpy_col(k: usize, j: usize, y: &mut [f64], a: f64, x: &[f64]) {
+    for (ry, rx) in y.chunks_exact_mut(k).zip(x.chunks_exact(k)) {
+        ry[j] += a * rx[j];
+    }
+}
+
+/// Copy member column `j` from `src` to `dst`.
+fn copy_col(k: usize, j: usize, dst: &mut [f64], src: &[f64]) {
+    for (rd, rs) in dst.chunks_exact_mut(k).zip(src.chunks_exact(k)) {
+        rd[j] = rs[j];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched BiCGSTAB.
+// ---------------------------------------------------------------------------
+
+/// Krylov scratch for [`bicgstab_multi`]: the eight stage vectors as
+/// [`MultiVec`]s plus per-member scalar state. Reused across cohorts and
+/// steps; warm calls allocate nothing.
+#[derive(Default)]
+struct BatchKrylov {
+    r: MultiVec,
+    r_hat: MultiVec,
+    v: MultiVec,
+    p: MultiVec,
+    p_hat: MultiVec,
+    s: MultiVec,
+    s_hat: MultiVec,
+    t: MultiVec,
+    /// Converged columns of `x`, snapshotted the moment their member exits
+    /// so later full-batch updates cannot disturb them.
+    x_done: MultiVec,
+    rho: Vec<f64>,
+    alpha: Vec<f64>,
+    omega: Vec<f64>,
+    beta: Vec<f64>,
+    bnorm: Vec<f64>,
+    resid: Vec<f64>,
+    rho_new: Vec<f64>,
+    aux: Vec<f64>,
+    ts: Vec<f64>,
+    live: Vec<bool>,
+    have: Vec<bool>,
+    scratch: Vec<f64>,
+    out: Vec<Option<Result<SolveStats, SolveError>>>,
+}
+
+impl BatchKrylov {
+    fn ensure(&mut self, k: usize, n: usize) {
+        for mv in [
+            &mut self.r,
+            &mut self.r_hat,
+            &mut self.v,
+            &mut self.p,
+            &mut self.p_hat,
+            &mut self.s,
+            &mut self.s_hat,
+            &mut self.t,
+            &mut self.x_done,
+        ] {
+            mv.ensure(k, n);
+        }
+        for sv in [
+            &mut self.rho,
+            &mut self.alpha,
+            &mut self.omega,
+            &mut self.beta,
+            &mut self.bnorm,
+            &mut self.resid,
+            &mut self.rho_new,
+            &mut self.aux,
+            &mut self.ts,
+        ] {
+            sv.clear();
+            sv.resize(k, 0.0);
+        }
+        self.live.clear();
+        self.live.resize(k, false);
+        self.have.clear();
+        self.have.resize(k, false);
+        self.out.clear();
+        self.out.resize(k, None);
+    }
+}
+
+/// Preconditioned BiCGSTAB over `k` right-hand sides sharing one matrix and
+/// one ILU(0) factorization. Per member this replays `bicgstab_tiered`
+/// exactly: the same reductions (in the member's node order), the same
+/// update kernels, the same breakdown tests at the same iteration numbers.
+/// Members converge (or fail) independently: a finished member's solution
+/// column is snapshotted and its lanes free-run as garbage — IEEE arithmetic
+/// never traps and columns never mix, so the survivors are unaffected — and
+/// every snapshot is restored before returning.
+///
+/// Outcomes are left in `kws.out[j]` (`None` for members not in `active`).
+/// Work is charged per *live* member exactly as the sequential solver
+/// charges its single counter.
+#[allow(clippy::too_many_arguments)] // a solver signature, mirrors bicgstab_tiered
+fn bicgstab_multi(
+    a: &Csr,
+    ilu: &Ilu0,
+    b: &MultiVec,
+    x: &mut MultiVec,
+    rel_tol: f64,
+    max_iters: usize,
+    tier: Tier,
+    kws: &mut BatchKrylov,
+    active: &[bool],
+    works: &mut [WorkCounter],
+) {
+    let n = a.n();
+    let k = b.k();
+    debug_assert_eq!(x.k(), k);
+    debug_assert_eq!(b.n(), n);
+    debug_assert_eq!(active.len(), k);
+    debug_assert_eq!(works.len(), k);
+    kws.ensure(k, n);
+
+    for (w, &act) in works.iter_mut().zip(active) {
+        if act {
+            w.add_batched_rhs(k);
+        }
+    }
+
+    // bnorm_j = ||b_j||.max(1e-300)
+    dot_multi(
+        tier,
+        k,
+        b.as_slice(),
+        b.as_slice(),
+        &mut kws.aux,
+        &mut kws.scratch,
+    );
+    for (bn, &d) in kws.bnorm.iter_mut().zip(&kws.aux) {
+        *bn = d.sqrt().max(1e-300);
+    }
+
+    a.matvec_multi_into(x, &mut kws.r);
+    for (w, &act) in works.iter_mut().zip(active) {
+        if act {
+            w.add_matvec(a.nnz());
+        }
+    }
+    residual_from_b(b.as_slice(), kws.r.as_mut_slice());
+    kws.r_hat.as_mut_slice().copy_from_slice(kws.r.as_slice());
+    kws.rho.fill(1.0);
+    kws.alpha.fill(1.0);
+    kws.omega.fill(1.0);
+    kws.v.fill(0.0);
+    kws.p.fill(0.0);
+    for (l, &act) in kws.live.iter_mut().zip(active) {
+        *l = act;
+    }
+
+    dot_multi(
+        tier,
+        k,
+        kws.r.as_slice(),
+        kws.r.as_slice(),
+        &mut kws.aux,
+        &mut kws.scratch,
+    );
+    for j in 0..k {
+        kws.resid[j] = kws.aux[j].sqrt() / kws.bnorm[j];
+        if kws.live[j] && kws.resid[j] <= rel_tol {
+            kws.out[j] = Some(Ok(SolveStats {
+                iterations: 0,
+                residual: kws.resid[j],
+            }));
+            kws.live[j] = false;
+            copy_col(k, j, kws.x_done.as_mut_slice(), x.as_slice());
+            kws.have[j] = true;
+        }
+    }
+
+    for it in 1..=max_iters {
+        if !kws.live.iter().any(|&l| l) {
+            break;
+        }
+        for (w, &l) in works.iter_mut().zip(&kws.live) {
+            if l {
+                w.add_lin_iter();
+            }
+        }
+        dot_multi(
+            tier,
+            k,
+            kws.r_hat.as_slice(),
+            kws.r.as_slice(),
+            &mut kws.rho_new,
+            &mut kws.scratch,
+        );
+        for j in 0..k {
+            if kws.live[j] && kws.rho_new[j].abs() < 1e-300 {
+                kws.out[j] = Some(Err(SolveError::Breakdown { iterations: it - 1 }));
+                kws.live[j] = false;
+                copy_col(k, j, kws.x_done.as_mut_slice(), x.as_slice());
+                kws.have[j] = true;
+            }
+        }
+        // Dead members compute garbage coefficients; their columns are dead
+        // and every live column only ever sees its own coefficient.
+        for j in 0..k {
+            kws.beta[j] = (kws.rho_new[j] / kws.rho[j]) * (kws.alpha[j] / kws.omega[j]);
+        }
+        p_update_multi(
+            k,
+            kws.p.as_mut_slice(),
+            kws.r.as_slice(),
+            &kws.beta,
+            &kws.omega,
+            kws.v.as_slice(),
+        );
+        ilu.apply_multi(&kws.p, &mut kws.p_hat);
+        for (w, &l) in works.iter_mut().zip(&kws.live) {
+            if l {
+                w.add_precond_apply(a.nnz());
+            }
+        }
+        a.matvec_multi_into(&kws.p_hat, &mut kws.v);
+        for (w, &l) in works.iter_mut().zip(&kws.live) {
+            if l {
+                w.add_matvec(a.nnz());
+            }
+        }
+        dot_multi(
+            tier,
+            k,
+            kws.r_hat.as_slice(),
+            kws.v.as_slice(),
+            &mut kws.aux,
+            &mut kws.scratch,
+        );
+        for j in 0..k {
+            if kws.live[j] && kws.aux[j].abs() < 1e-300 {
+                kws.out[j] = Some(Err(SolveError::Breakdown { iterations: it }));
+                kws.live[j] = false;
+                copy_col(k, j, kws.x_done.as_mut_slice(), x.as_slice());
+                kws.have[j] = true;
+            }
+        }
+        for j in 0..k {
+            kws.alpha[j] = kws.rho_new[j] / kws.aux[j];
+        }
+        s_update_multi(
+            k,
+            kws.s.as_mut_slice(),
+            kws.r.as_slice(),
+            &kws.alpha,
+            kws.v.as_slice(),
+        );
+        dot_multi(
+            tier,
+            k,
+            kws.s.as_slice(),
+            kws.s.as_slice(),
+            &mut kws.aux,
+            &mut kws.scratch,
+        );
+        for (j, work) in works.iter_mut().enumerate().take(k) {
+            if !kws.live[j] {
+                continue;
+            }
+            let snorm = kws.aux[j].sqrt() / kws.bnorm[j];
+            if snorm <= rel_tol {
+                axpy_col(k, j, x.as_mut_slice(), kws.alpha[j], kws.p_hat.as_slice());
+                work.add_vector_ops(n, 6);
+                kws.out[j] = Some(Ok(SolveStats {
+                    iterations: it,
+                    residual: snorm,
+                }));
+                kws.live[j] = false;
+                copy_col(k, j, kws.x_done.as_mut_slice(), x.as_slice());
+                kws.have[j] = true;
+            }
+        }
+        if !kws.live.iter().any(|&l| l) {
+            break;
+        }
+        ilu.apply_multi(&kws.s, &mut kws.s_hat);
+        for (w, &l) in works.iter_mut().zip(&kws.live) {
+            if l {
+                w.add_precond_apply(a.nnz());
+            }
+        }
+        a.matvec_multi_into(&kws.s_hat, &mut kws.t);
+        for (w, &l) in works.iter_mut().zip(&kws.live) {
+            if l {
+                w.add_matvec(a.nnz());
+            }
+        }
+        dot_multi(
+            tier,
+            k,
+            kws.t.as_slice(),
+            kws.t.as_slice(),
+            &mut kws.aux,
+            &mut kws.scratch,
+        );
+        for j in 0..k {
+            if kws.live[j] && kws.aux[j].abs() < 1e-300 {
+                kws.out[j] = Some(Err(SolveError::Breakdown { iterations: it }));
+                kws.live[j] = false;
+                copy_col(k, j, kws.x_done.as_mut_slice(), x.as_slice());
+                kws.have[j] = true;
+            }
+        }
+        dot_multi(
+            tier,
+            k,
+            kws.t.as_slice(),
+            kws.s.as_slice(),
+            &mut kws.ts,
+            &mut kws.scratch,
+        );
+        for j in 0..k {
+            kws.omega[j] = kws.ts[j] / kws.aux[j];
+        }
+        for j in 0..k {
+            if kws.live[j] && kws.omega[j].abs() < 1e-300 {
+                kws.out[j] = Some(Err(SolveError::Breakdown { iterations: it }));
+                kws.live[j] = false;
+                copy_col(k, j, kws.x_done.as_mut_slice(), x.as_slice());
+                kws.have[j] = true;
+            }
+        }
+        x_update_multi(
+            k,
+            x.as_mut_slice(),
+            &kws.alpha,
+            kws.p_hat.as_slice(),
+            &kws.omega,
+            kws.s_hat.as_slice(),
+        );
+        // r = s - omega * t, the same expression shape as the s-update.
+        s_update_multi(
+            k,
+            kws.r.as_mut_slice(),
+            kws.s.as_slice(),
+            &kws.omega,
+            kws.t.as_slice(),
+        );
+        for (w, &l) in works.iter_mut().zip(&kws.live) {
+            if l {
+                w.add_vector_ops(n, 10);
+            }
+        }
+        dot_multi(
+            tier,
+            k,
+            kws.r.as_slice(),
+            kws.r.as_slice(),
+            &mut kws.aux,
+            &mut kws.scratch,
+        );
+        for j in 0..k {
+            if !kws.live[j] {
+                continue;
+            }
+            kws.resid[j] = kws.aux[j].sqrt() / kws.bnorm[j];
+            if kws.resid[j] <= rel_tol {
+                kws.out[j] = Some(Ok(SolveStats {
+                    iterations: it,
+                    residual: kws.resid[j],
+                }));
+                kws.live[j] = false;
+                copy_col(k, j, kws.x_done.as_mut_slice(), x.as_slice());
+                kws.have[j] = true;
+            }
+        }
+        std::mem::swap(&mut kws.rho, &mut kws.rho_new);
+    }
+
+    for j in 0..k {
+        if kws.live[j] {
+            kws.out[j] = Some(Err(SolveError::MaxIterations {
+                residual: kws.resid[j],
+            }));
+            kws.live[j] = false;
+        }
+    }
+    for j in 0..k {
+        if kws.have[j] {
+            copy_col(k, j, x.as_mut_slice(), kws.x_done.as_slice());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The batched integrator.
+// ---------------------------------------------------------------------------
+
+/// A pooled stage system `I − γ·dt·A` with its ILU(0) factors, keyed on the
+/// exact bits of `dt`.
+struct BatchStage {
+    dt: f64,
+    stamp: u64,
+    cache: CachedStage,
+    ilu: Ilu0,
+}
+
+/// Find (or build) the pool entry for `dt_step`, returning its index. Pool
+/// maintenance work is charged to a throwaway counter: members are charged
+/// the factorizations *their* sequential runs would perform (see the module
+/// docs), not the pool's amortized upkeep.
+fn acquire_stage(
+    stages: &mut Vec<BatchStage>,
+    clock: &mut u64,
+    a: &Csr,
+    dt_step: f64,
+    cap: usize,
+) -> usize {
+    *clock += 1;
+    if let Some(i) = stages.iter().position(|s| s.dt == dt_step) {
+        stages[i].stamp = *clock;
+        return i;
+    }
+    let mut dummy = WorkCounter::new();
+    if stages.len() < cap.max(1) {
+        let cache = CachedStage::new(a, GAMMA * dt_step);
+        let ilu = Ilu0::new(cache.matrix(), &mut dummy);
+        stages.push(BatchStage {
+            dt: dt_step,
+            stamp: *clock,
+            cache,
+            ilu,
+        });
+        return stages.len() - 1;
+    }
+    let i = stages
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.stamp)
+        .map(|(i, _)| i)
+        .expect("cap >= 1");
+    let st = &mut stages[i];
+    st.cache.rewrite(a, GAMMA * dt_step);
+    st.ilu.refactor(st.cache.matrix(), &mut dummy);
+    st.dt = dt_step;
+    st.stamp = *clock;
+    i
+}
+
+/// Reusable state for [`integrate_batch`] and [`subsolve_batch`]: the SoA
+/// stage vectors, the batched Krylov scratch, the stage-matrix pool, the
+/// per-member integrator state, and a sequential [`Ros2Workspace`] for
+/// singleton groups. After the first cohort at a given shape the step loop
+/// performs zero heap allocations.
+#[derive(Default)]
+pub struct BatchWorkspace {
+    u: MultiVec,
+    f1: MultiVec,
+    f2: MultiVec,
+    k1: MultiVec,
+    k2: MultiVec,
+    u_stage: MultiVec,
+    u_new: MultiVec,
+    err: MultiVec,
+    g: Vec<f64>,
+    krylov: BatchKrylov,
+    stages: Vec<BatchStage>,
+    clock: u64,
+    stage_nnz: usize,
+    order: Vec<(u64, u64, usize)>,
+    ids: Vec<usize>,
+    cw: Vec<WorkCounter>,
+    active: Vec<bool>,
+    enorm: Vec<f64>,
+    tolv: Vec<f64>,
+    nscratch: Vec<f64>,
+    t: Vec<f64>,
+    dt: Vec<f64>,
+    stage_dt: Vec<f64>,
+    steps: Vec<usize>,
+    rejected: Vec<usize>,
+    refacts: Vec<usize>,
+    done: Vec<bool>,
+    errors: Vec<Option<IntegrateError>>,
+    seq: Ros2Workspace,
+}
+
+impl BatchWorkspace {
+    /// Fresh, empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Integrate `k` interior vectors over `[t0, t1]` on one shared
+/// [`Discretization`], each under its own tolerance, stepping equal-`(t,
+/// dt)` cohorts together. Per member the results (solution bits, step
+/// sequence, work counters up to the factorization/refactorization split
+/// and [`WorkCounter::batched_rhs`]) are exactly those of a fresh
+/// sequential [`crate::rosenbrock::integrate`] run at the same tier.
+///
+/// `us[m]` is updated in place to the solution at `t1` (on success);
+/// `results` is cleared and refilled with one outcome per member. Warm
+/// repeated calls at the same shape perform no heap allocation.
+#[allow(clippy::too_many_arguments)] // batched mirror of integrate_with
+pub fn integrate_batch(
+    disc: &Discretization,
+    us: &mut [Vec<f64>],
+    t0: f64,
+    t1: f64,
+    tols: &[f64],
+    tier: Tier,
+    ws: &mut BatchWorkspace,
+    works: &mut [WorkCounter],
+    results: &mut Vec<Result<Ros2Stats, IntegrateError>>,
+) {
+    let k_total = us.len();
+    assert_eq!(tols.len(), k_total);
+    assert_eq!(works.len(), k_total);
+    let n = disc.n();
+    for u in us.iter() {
+        assert_eq!(u.len(), n);
+    }
+    let span = t1 - t0;
+    assert!(span > 0.0, "empty integration interval");
+    results.clear();
+    if k_total == 0 {
+        return;
+    }
+
+    // Shared controller constants (Ros2Options defaults are tol-independent).
+    let opts = Ros2Options::with_tol(1.0);
+    let max_steps = opts.max_steps;
+    let lin_tol = opts.lin_tol;
+    let lin_max_iters = opts.lin_max_iters;
+    let dt_init = (span / 64.0).min(span);
+    let dt_floor = span * 1e-12;
+    let t_end_thresh = t1 - 1e-14 * span;
+
+    for sv in [&mut ws.t, &mut ws.dt, &mut ws.stage_dt] {
+        sv.clear();
+    }
+    ws.t.resize(k_total, t0);
+    ws.dt.resize(k_total, dt_init);
+    ws.stage_dt.resize(k_total, dt_init);
+    for sv in [&mut ws.steps, &mut ws.rejected, &mut ws.refacts] {
+        sv.clear();
+    }
+    ws.steps.resize(k_total, 0);
+    ws.rejected.resize(k_total, 0);
+    ws.refacts.resize(k_total, 1);
+    ws.done.clear();
+    ws.done.resize(k_total, false);
+    ws.errors.clear();
+    ws.errors.resize(k_total, None);
+
+    // Entry stage build: drop pool entries from other sparsity patterns,
+    // build the initial-dt system, and charge each member the full
+    // factorization its fresh sequential run performs here.
+    ws.stages.retain(|s| s.cache.matches(&disc.a));
+    let cap = k_total.max(1);
+    let si0 = acquire_stage(&mut ws.stages, &mut ws.clock, &disc.a, dt_init, cap);
+    ws.stage_nnz = ws.stages[si0].cache.matrix().nnz();
+    for w in works.iter_mut() {
+        w.add_factorization(ws.stage_nnz);
+    }
+
+    loop {
+        let mut order = std::mem::take(&mut ws.order);
+        order.clear();
+        for m in 0..k_total {
+            if !ws.done[m] {
+                order.push((ws.t[m].to_bits(), ws.dt[m].to_bits(), m));
+            }
+        }
+        if order.is_empty() {
+            ws.order = order;
+            break;
+        }
+        order.sort_unstable();
+
+        let mut ids = std::mem::take(&mut ws.ids);
+        let mut pos = 0;
+        while pos < order.len() {
+            let key = (order[pos].0, order[pos].1);
+            let mut end = pos;
+            while end < order.len() && (order[end].0, order[end].1) == key {
+                end += 1;
+            }
+            let t_c = f64::from_bits(key.0);
+            let dt_c = f64::from_bits(key.1);
+
+            ids.clear();
+            for &(_, _, m) in &order[pos..end] {
+                if ws.steps[m] + ws.rejected[m] >= max_steps {
+                    ws.done[m] = true;
+                    ws.errors[m] = Some(IntegrateError::MaxSteps { t: t_c });
+                } else {
+                    ids.push(m);
+                }
+            }
+            pos = end;
+            let kc = ids.len();
+            if kc == 0 {
+                continue;
+            }
+
+            let dt_step = dt_c.min(t1 - t_c);
+            for &m in ids.iter() {
+                let sd = ws.stage_dt[m];
+                if (dt_step - sd).abs() > 1e-14 * dt_step.max(sd) {
+                    works[m].add_refactorization(ws.stage_nnz);
+                    ws.refacts[m] += 1;
+                    ws.stage_dt[m] = dt_step;
+                }
+            }
+            let si = acquire_stage(&mut ws.stages, &mut ws.clock, &disc.a, dt_step, cap);
+
+            for mv in [
+                &mut ws.u,
+                &mut ws.f1,
+                &mut ws.f2,
+                &mut ws.k1,
+                &mut ws.k2,
+                &mut ws.u_stage,
+                &mut ws.u_new,
+                &mut ws.err,
+            ] {
+                mv.ensure(kc, n);
+            }
+            ws.g.resize(n, 0.0);
+            for (jj, &m) in ids.iter().enumerate() {
+                ws.u.pack_member(jj, &us[m]);
+            }
+            ws.cw.clear();
+            ws.cw.extend(ids.iter().map(|&m| works[m]));
+            ws.active.clear();
+            ws.active.resize(kc, true);
+            ws.tolv.clear();
+            ws.tolv.extend(ids.iter().map(|&m| tols[m]));
+
+            // Stage 1.
+            disc.rhs_into_multi_with(t_c, &ws.u, &mut ws.f1, &mut ws.g);
+            for w in ws.cw.iter_mut() {
+                w.add_matvec(disc.a.nnz());
+            }
+            ws.k1.fill(0.0);
+            {
+                let st = &ws.stages[si];
+                bicgstab_multi(
+                    st.cache.matrix(),
+                    &st.ilu,
+                    &ws.f1,
+                    &mut ws.k1,
+                    lin_tol,
+                    lin_max_iters,
+                    tier,
+                    &mut ws.krylov,
+                    &ws.active,
+                    &mut ws.cw,
+                );
+            }
+            for (jj, &m) in ids.iter().enumerate() {
+                if !ws.active[jj] {
+                    continue;
+                }
+                if let Some(Err(e)) = ws.krylov.out[jj].take() {
+                    ws.active[jj] = false;
+                    ws.done[m] = true;
+                    ws.errors[m] = Some(IntegrateError::Linear(e));
+                }
+            }
+
+            if ws.active.iter().any(|&a| a) {
+                // Stage 2.
+                stage_u_multi(
+                    dt_step,
+                    ws.u.as_slice(),
+                    ws.k1.as_slice(),
+                    ws.u_stage.as_mut_slice(),
+                );
+                disc.rhs_into_multi_with(t_c + dt_step, &ws.u_stage, &mut ws.f2, &mut ws.g);
+                for (w, &act) in ws.cw.iter_mut().zip(&ws.active) {
+                    if act {
+                        w.add_matvec(disc.a.nnz());
+                    }
+                }
+                stage_f2_multi(ws.f2.as_mut_slice(), ws.k1.as_slice());
+                ws.k2.fill(0.0);
+                {
+                    let st = &ws.stages[si];
+                    bicgstab_multi(
+                        st.cache.matrix(),
+                        &st.ilu,
+                        &ws.f2,
+                        &mut ws.k2,
+                        lin_tol,
+                        lin_max_iters,
+                        tier,
+                        &mut ws.krylov,
+                        &ws.active,
+                        &mut ws.cw,
+                    );
+                }
+                for (jj, &m) in ids.iter().enumerate() {
+                    if !ws.active[jj] {
+                        continue;
+                    }
+                    if let Some(Err(e)) = ws.krylov.out[jj].take() {
+                        ws.active[jj] = false;
+                        ws.done[m] = true;
+                        ws.errors[m] = Some(IntegrateError::Linear(e));
+                    }
+                }
+            }
+
+            if ws.active.iter().any(|&a| a) {
+                unew_multi(
+                    dt_step,
+                    ws.u.as_slice(),
+                    ws.k1.as_slice(),
+                    ws.k2.as_slice(),
+                    ws.u_new.as_mut_slice(),
+                );
+                errvec_multi(
+                    dt_step,
+                    ws.k1.as_slice(),
+                    ws.k2.as_slice(),
+                    ws.err.as_mut_slice(),
+                );
+                error_norm_multi(
+                    tier,
+                    kc,
+                    ws.err.as_slice(),
+                    ws.u.as_slice(),
+                    &ws.tolv,
+                    &mut ws.enorm,
+                    &mut ws.nscratch,
+                );
+                for (w, &act) in ws.cw.iter_mut().zip(&ws.active) {
+                    if act {
+                        w.add_vector_ops(n, 8);
+                    }
+                }
+                for (jj, &m) in ids.iter().enumerate() {
+                    if !ws.active[jj] {
+                        continue;
+                    }
+                    let enorm = ws.enorm[jj];
+                    if enorm <= 1.0 {
+                        ws.u_new.unpack_member(jj, &mut us[m]);
+                        ws.t[m] = t_c + dt_step;
+                        ws.steps[m] += 1;
+                        ws.cw[jj].add_step();
+                    } else {
+                        ws.rejected[m] += 1;
+                        ws.cw[jj].add_rejected();
+                    }
+                    let factor = (0.8 / enorm.sqrt()).clamp(0.2, 2.0);
+                    let dt_proposed = (dt_step * factor).min(span);
+                    if !(0.9..=1.1).contains(&(dt_proposed / dt_c)) || enorm > 1.0 {
+                        ws.dt[m] = dt_proposed;
+                    }
+                    if ws.dt[m] < dt_floor {
+                        ws.done[m] = true;
+                        ws.errors[m] = Some(IntegrateError::StepSizeUnderflow { t: ws.t[m] });
+                        continue;
+                    }
+                    if ws.t[m] >= t_end_thresh {
+                        ws.done[m] = true;
+                    }
+                }
+            }
+
+            for (jj, &m) in ids.iter().enumerate() {
+                works[m] = ws.cw[jj];
+            }
+        }
+        ws.ids = ids;
+        ws.order = order;
+    }
+
+    for m in 0..k_total {
+        match ws.errors[m].take() {
+            Some(e) => results.push(Err(e)),
+            None => results.push(Ok(Ros2Stats {
+                steps: ws.steps[m],
+                rejected: ws.rejected[m],
+                final_dt: ws.dt[m],
+                refactorizations: ws.refacts[m],
+            })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched subsolves.
+// ---------------------------------------------------------------------------
+
+/// Run a bundle of subsolve requests, batching the ones that share a grid
+/// shape and time window through [`integrate_batch`] and falling back to
+/// the sequential path for singletons. Results are returned in input
+/// order; every result is bit-identical to `subsolve_with` on the same
+/// request.
+pub fn subsolve_batch(
+    reqs: &[SubsolveRequest],
+    ws: &mut BatchWorkspace,
+) -> Vec<Result<SubsolveResult, IntegrateError>> {
+    subsolve_batch_tiered(reqs, Tier::Exact, ws)
+}
+
+/// [`subsolve_batch`] with an explicit numerical [`Tier`]: per request
+/// bit-identical to [`subsolve_tiered`] at the same tier.
+pub fn subsolve_batch_tiered(
+    reqs: &[SubsolveRequest],
+    tier: Tier,
+    ws: &mut BatchWorkspace,
+) -> Vec<Result<SubsolveResult, IntegrateError>> {
+    let mut results: Vec<Option<Result<SubsolveResult, IntegrateError>>> =
+        (0..reqs.len()).map(|_| None).collect();
+    let mut idx: Vec<usize> = (0..reqs.len()).collect();
+    idx.sort_by_key(|&i| {
+        let r = &reqs[i];
+        (r.root, r.l, r.m, r.t0.to_bits(), r.t1.to_bits())
+    });
+
+    let mut pos = 0;
+    while pos < idx.len() {
+        let first = &reqs[idx[pos]];
+        let mut end = pos;
+        while end < idx.len() {
+            let r = &reqs[idx[end]];
+            if (r.root, r.l, r.m, r.t0.to_bits(), r.t1.to_bits())
+                != (
+                    first.root,
+                    first.l,
+                    first.m,
+                    first.t0.to_bits(),
+                    first.t1.to_bits(),
+                )
+                || r.problem != first.problem
+            {
+                break;
+            }
+            end += 1;
+        }
+        let group = &idx[pos..end];
+        pos = end;
+
+        if group.len() < 2 {
+            let i = group[0];
+            results[i] = Some(subsolve_tiered(&reqs[i], tier, &mut ws.seq));
+            continue;
+        }
+
+        let grid = first.grid();
+        let p = first.problem;
+        let mut dummy = WorkCounter::new();
+        let disc = assemble(&grid, &p, &mut dummy);
+        let mut mw: Vec<WorkCounter> = group
+            .iter()
+            .map(|_| {
+                let mut w = WorkCounter::new();
+                w.add_assembly(disc.n());
+                w
+            })
+            .collect();
+        let mut u0s: Vec<Vec<f64>> = group
+            .iter()
+            .map(|&i| match &reqs[i].initial_interior {
+                Some(v) => {
+                    assert_eq!(v.len(), grid.interior_count(), "bad initial data size");
+                    v.as_ref().clone()
+                }
+                None => disc.exact_interior(reqs[i].t0),
+            })
+            .collect();
+        let tols: Vec<f64> = group.iter().map(|&i| reqs[i].tol).collect();
+        let mut outs = Vec::new();
+        integrate_batch(
+            &disc, &mut u0s, first.t0, first.t1, &tols, tier, ws, &mut mw, &mut outs,
+        );
+        let t1 = first.t1;
+        for (gg, &i) in group.iter().enumerate() {
+            results[i] = Some(match &outs[gg] {
+                Ok(stats) => {
+                    let values =
+                        Arc::new(grid.expand_interior(&u0s[gg], |x, y| p.boundary(x, y, t1)));
+                    Ok(SubsolveResult {
+                        l: reqs[i].l,
+                        m: reqs[i].m,
+                        values,
+                        work: mw[gg],
+                        steps: stats.steps,
+                        rejected: stats.rejected,
+                    })
+                }
+                Err(e) => Err(e.clone()),
+            });
+        }
+    }
+
+    results
+        .into_iter()
+        .map(|r| r.expect("every request processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Problem;
+
+    /// Compare a batched result against its sequential oracle. Flops (which
+    /// fold the factorization/refactorization split into one number), steps
+    /// and iteration counts must agree exactly; `batched_rhs` is the one
+    /// counter that legitimately differs.
+    fn assert_matches_sequential(batch: &SubsolveResult, seq: &SubsolveResult) {
+        assert_eq!(batch.values, seq.values, "solution bits differ");
+        assert_eq!(batch.steps, seq.steps);
+        assert_eq!(batch.rejected, seq.rejected);
+        assert_eq!(batch.work.flops, seq.work.flops);
+        assert_eq!(batch.work.steps, seq.work.steps);
+        assert_eq!(batch.work.rejected, seq.work.rejected);
+        assert_eq!(batch.work.lin_iters, seq.work.lin_iters);
+        assert_eq!(batch.work.assemblies, seq.work.assemblies);
+        assert_eq!(
+            batch.work.factorizations + batch.work.refactorizations,
+            seq.work.factorizations + seq.work.refactorizations
+        );
+    }
+
+    fn oracle(req: &SubsolveRequest, tier: Tier) -> Result<SubsolveResult, IntegrateError> {
+        let mut ws = Ros2Workspace::new();
+        subsolve_tiered(req, tier, &mut ws)
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let mut ws = BatchWorkspace::new();
+        assert!(subsolve_batch(&[], &mut ws).is_empty());
+    }
+
+    #[test]
+    fn identical_requests_match_sequential_bitwise() {
+        let p = Problem::transport_benchmark();
+        let req = SubsolveRequest::for_grid(2, 1, 1, 1e-3, p);
+        let reqs = vec![req.clone(); 4];
+        let mut ws = BatchWorkspace::new();
+        let batch = subsolve_batch(&reqs, &mut ws);
+        let seq = oracle(&req, Tier::Exact).unwrap();
+        assert!(batch[0].as_ref().unwrap().work.batched_rhs > 0);
+        for b in &batch {
+            assert_matches_sequential(b.as_ref().unwrap(), &seq);
+        }
+    }
+
+    #[test]
+    fn differing_tolerances_split_cohorts_and_stay_exact() {
+        // Different tolerances diverge the adaptive clocks after the first
+        // controller decision, exercising cohort splits, the stage pool and
+        // mixed accept/reject — every member must still match its oracle.
+        let p = Problem::manufactured_benchmark();
+        let tols = [1e-3, 1e-4, 1e-3, 3e-4, 2e-3];
+        let reqs: Vec<SubsolveRequest> = tols
+            .iter()
+            .map(|&tol| SubsolveRequest::for_grid(2, 1, 1, tol, p))
+            .collect();
+        let mut ws = BatchWorkspace::new();
+        let batch = subsolve_batch(&reqs, &mut ws);
+        for (b, r) in batch.iter().zip(&reqs) {
+            let seq = oracle(r, Tier::Exact).unwrap();
+            assert_matches_sequential(b.as_ref().unwrap(), &seq);
+        }
+    }
+
+    #[test]
+    fn differing_initial_data_stays_exact() {
+        let p = Problem::manufactured_benchmark();
+        let g = crate::grid::Grid2::new(2, 1, 1);
+        let base = SubsolveRequest::for_grid(2, 1, 1, 1e-3, p);
+        let mut shifted = base.clone();
+        shifted.initial_interior = Some(Arc::new(
+            g.restrict_interior(&g.sample(|x, y| p.exact(x, y, p.t0) + 0.01 * x * y)),
+        ));
+        let reqs = vec![base.clone(), shifted.clone(), base.clone()];
+        let mut ws = BatchWorkspace::new();
+        let batch = subsolve_batch(&reqs, &mut ws);
+        for (b, r) in batch.iter().zip(&reqs) {
+            let seq = oracle(r, Tier::Exact).unwrap();
+            assert_matches_sequential(b.as_ref().unwrap(), &seq);
+        }
+    }
+
+    #[test]
+    fn mixed_shapes_group_and_preserve_input_order() {
+        // Three shapes interleaved: (1,1) x3 batched, (0,2) x2 batched,
+        // (2,0) singleton through the sequential path.
+        let p = Problem::transport_benchmark();
+        let shapes = [(1, 1), (0, 2), (2, 0), (1, 1), (0, 2), (1, 1)];
+        let reqs: Vec<SubsolveRequest> = shapes
+            .iter()
+            .map(|&(l, m)| SubsolveRequest::for_grid(2, l, m, 1e-3, p))
+            .collect();
+        let mut ws = BatchWorkspace::new();
+        let batch = subsolve_batch(&reqs, &mut ws);
+        assert_eq!(batch.len(), reqs.len());
+        for (b, r) in batch.iter().zip(&reqs) {
+            let res = b.as_ref().unwrap();
+            assert_eq!((res.l, res.m), (r.l, r.m), "order not preserved");
+            let seq = oracle(r, Tier::Exact).unwrap();
+            assert_matches_sequential(res, &seq);
+        }
+        // The singleton went through the sequential path: no batched work.
+        assert_eq!(batch[2].as_ref().unwrap().work.batched_rhs, 0);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        // A renovation worker keeps one BatchWorkspace across bundles,
+        // including bundles of different shapes that force pool rebuilds.
+        let p = Problem::transport_benchmark();
+        let mut ws = BatchWorkspace::new();
+        for (l, m) in [(1, 1), (1, 1), (0, 2), (1, 1)] {
+            let reqs = vec![SubsolveRequest::for_grid(2, l, m, 1e-3, p); 3];
+            let batch = subsolve_batch(&reqs, &mut ws);
+            let seq = oracle(&reqs[0], Tier::Exact).unwrap();
+            for b in &batch {
+                assert_matches_sequential(b.as_ref().unwrap(), &seq);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_tier_batch_matches_fast_tier_sequential() {
+        // The fast tier reassociates reductions, so it differs from the
+        // exact tier — but batched-fast must still be bit-identical to
+        // sequential-fast per member.
+        let p = Problem::transport_benchmark();
+        let tols = [1e-3, 1e-4, 1e-3];
+        let reqs: Vec<SubsolveRequest> = tols
+            .iter()
+            .map(|&tol| SubsolveRequest::for_grid(2, 1, 1, tol, p))
+            .collect();
+        let mut ws = BatchWorkspace::new();
+        let batch = subsolve_batch_tiered(&reqs, Tier::Fast, &mut ws);
+        for (b, r) in batch.iter().zip(&reqs) {
+            let seq = oracle(r, Tier::Fast).unwrap();
+            assert_matches_sequential(b.as_ref().unwrap(), &seq);
+        }
+    }
+
+    #[test]
+    fn non_lane_multiple_group_sizes_stay_exact() {
+        // Group widths 3 and 5: neither is a multiple of the SIMD lane
+        // width, exercising every member-remainder path in the batched
+        // kernels.
+        let p = Problem::manufactured_benchmark();
+        for width in [3usize, 5] {
+            let req = SubsolveRequest::for_grid(2, 1, 2, 1e-3, p);
+            let reqs = vec![req.clone(); width];
+            let mut ws = BatchWorkspace::new();
+            let batch = subsolve_batch(&reqs, &mut ws);
+            let seq = oracle(&req, Tier::Exact).unwrap();
+            for b in &batch {
+                assert_matches_sequential(b.as_ref().unwrap(), &seq);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_rhs_counter_records_cohort_widths() {
+        let p = Problem::transport_benchmark();
+        let reqs = vec![SubsolveRequest::for_grid(2, 1, 1, 1e-3, p); 4];
+        let mut ws = BatchWorkspace::new();
+        let batch = subsolve_batch(&reqs, &mut ws);
+        // Identical requests never diverge: every stage solve ran 4 wide,
+        // two solves per step attempt.
+        let b = batch[0].as_ref().unwrap();
+        let attempts = (b.steps + b.rejected) as u64;
+        assert_eq!(b.work.batched_rhs, 8 * attempts);
+    }
+
+    #[test]
+    fn integrate_batch_reports_per_member_stats() {
+        let p = Problem::manufactured_benchmark();
+        let g = crate::grid::Grid2::new(2, 1, 1);
+        let mut w0 = WorkCounter::new();
+        let disc = assemble(&g, &p, &mut w0);
+        let u0 = disc.exact_interior(p.t0);
+        let mut us = vec![u0.clone(), u0];
+        let tols = [1e-3, 1e-4];
+        let mut works = [WorkCounter::new(), WorkCounter::new()];
+        let mut ws = BatchWorkspace::new();
+        let mut outs = Vec::new();
+        integrate_batch(
+            &disc,
+            &mut us,
+            p.t0,
+            p.t_end,
+            &tols,
+            Tier::Exact,
+            &mut ws,
+            &mut works,
+            &mut outs,
+        );
+        let tight = outs[1].as_ref().unwrap();
+        let loose = outs[0].as_ref().unwrap();
+        assert!(tight.steps > loose.steps, "tight {tight:?} loose {loose:?}");
+        assert!(works[1].flops > works[0].flops);
+    }
+}

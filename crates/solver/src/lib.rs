@@ -36,6 +36,7 @@
 //!   simulator's cost model.
 
 pub mod assemble;
+pub mod batch;
 pub mod combine;
 pub mod gmres;
 pub mod grid;
@@ -45,16 +46,19 @@ pub mod reference;
 pub mod restrict;
 pub mod rosenbrock;
 pub mod sequential;
+pub mod simd;
 pub mod sparse;
 pub mod study;
 pub mod subsolve;
 pub mod theta;
 pub mod work;
 
+pub use batch::{integrate_batch, subsolve_batch, subsolve_batch_tiered, BatchWorkspace};
 pub use grid::{Grid2, GridIndex};
 pub use problem::Problem;
 pub use sequential::{SequentialApp, SequentialResult};
-pub use subsolve::{subsolve, subsolve_with, SubsolveRequest, SubsolveResult};
+pub use simd::Tier;
+pub use subsolve::{subsolve, subsolve_tiered, subsolve_with, SubsolveRequest, SubsolveResult};
 pub use work::WorkCounter;
 
 /// Discrete L2 norm of a vector (RMS): `sqrt(Σ v_i² / n)`.

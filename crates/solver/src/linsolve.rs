@@ -18,7 +18,8 @@
 //! matrices) and for test cross-validation — it is never on the `subsolve`
 //! hot path.
 
-use crate::sparse::Csr;
+use crate::simd::{self, Backend, F64x4, Tier, LANES};
+use crate::sparse::{Csr, MultiVec, StencilPlan};
 use crate::work::WorkCounter;
 
 /// A left preconditioner `M ≈ A`: given `r`, produce `z ≈ A⁻¹ r`.
@@ -77,6 +78,10 @@ pub struct Ilu0 {
     /// Same for the backward solve.
     bwd_order: Vec<u32>,
     bwd_level_ptr: Vec<u32>,
+    /// The [`StencilPlan`] of the pattern, when it conforms — enables the
+    /// skewed-wavefront sweeps (ILU(0) preserves the pattern, so the plan
+    /// of `A` is the plan of the combined LU factor).
+    plan: Option<StencilPlan>,
 }
 
 /// Level schedule for a sparse triangular solve: `level[i]` is the longest
@@ -220,6 +225,7 @@ impl Ilu0 {
             factor_in_place(row_ptr, col_idx, vals, &diag_pos);
         }
         work.add_factorization(lu.nnz());
+        let plan = a.stencil_plan();
         Ilu0 {
             lu,
             diag_pos,
@@ -227,6 +233,7 @@ impl Ilu0 {
             fwd_level_ptr,
             bwd_order,
             bwd_level_ptr,
+            plan,
         }
     }
 
@@ -246,8 +253,11 @@ impl Ilu0 {
     }
 }
 
-impl Preconditioner for Ilu0 {
-    fn apply(&self, r: &[f64], z: &mut [f64], work: &mut WorkCounter) {
+impl Ilu0 {
+    /// Level-scheduled sweeps with the plain scalar inner loops — the
+    /// differential-test oracle for the lane-blocked [`Preconditioner::apply`]
+    /// and the `force-scalar` code path. Performs no work accounting.
+    pub fn apply_scalar(&self, r: &[f64], z: &mut [f64]) {
         let n = self.lu.n();
         assert_eq!(r.len(), n);
         assert_eq!(z.len(), n);
@@ -298,6 +308,573 @@ impl Preconditioner for Ilu0 {
                 }
             }
         }
+    }
+
+    /// Lane-blocked level-scheduled sweeps: rows inside a level are mutually
+    /// independent, so blocks of four equal-dependency-count rows run one
+    /// row per lane. Each row still evaluates exactly the scalar per-row
+    /// expression, so the result is bit-identical to [`Ilu0::apply_scalar`].
+    ///
+    /// # Safety
+    /// Relies on the same invariants as `apply_scalar` (see the safety
+    /// comment there); additionally, rows within one level never read each
+    /// other's `z`, so the four lanes of a block are data-independent.
+    #[inline(always)]
+    unsafe fn apply_lanes(&self, r: &[f64], z: &mut [f64]) {
+        let row_ptr = self.lu.row_ptr();
+        let cols = self.lu.col_indices();
+        let vals = self.lu.vals();
+        let diag_pos = &self.diag_pos;
+
+        // Forward solve L y = r (unit diagonal), y stored in z.
+        for w in self.fwd_level_ptr.windows(2) {
+            let (mut idx, hi) = (w[0] as usize, w[1] as usize);
+            while idx + LANES <= hi {
+                let i0 = *self.fwd_order.get_unchecked(idx) as usize;
+                let i1 = *self.fwd_order.get_unchecked(idx + 1) as usize;
+                let i2 = *self.fwd_order.get_unchecked(idx + 2) as usize;
+                let i3 = *self.fwd_order.get_unchecked(idx + 3) as usize;
+                let lo0 = *row_ptr.get_unchecked(i0);
+                let lo1 = *row_ptr.get_unchecked(i1);
+                let lo2 = *row_ptr.get_unchecked(i2);
+                let lo3 = *row_ptr.get_unchecked(i3);
+                let len = *diag_pos.get_unchecked(i0);
+                if *diag_pos.get_unchecked(i1) == len
+                    && *diag_pos.get_unchecked(i2) == len
+                    && *diag_pos.get_unchecked(i3) == len
+                {
+                    let mut acc = F64x4([
+                        *r.get_unchecked(i0),
+                        *r.get_unchecked(i1),
+                        *r.get_unchecked(i2),
+                        *r.get_unchecked(i3),
+                    ]);
+                    for p in 0..len {
+                        let a = F64x4([
+                            *vals.get_unchecked(lo0 + p),
+                            *vals.get_unchecked(lo1 + p),
+                            *vals.get_unchecked(lo2 + p),
+                            *vals.get_unchecked(lo3 + p),
+                        ]);
+                        let zz = F64x4([
+                            *z.get_unchecked(*cols.get_unchecked(lo0 + p)),
+                            *z.get_unchecked(*cols.get_unchecked(lo1 + p)),
+                            *z.get_unchecked(*cols.get_unchecked(lo2 + p)),
+                            *z.get_unchecked(*cols.get_unchecked(lo3 + p)),
+                        ]);
+                        acc = acc.sub(a.mul(zz));
+                    }
+                    *z.get_unchecked_mut(i0) = acc.0[0];
+                    *z.get_unchecked_mut(i1) = acc.0[1];
+                    *z.get_unchecked_mut(i2) = acc.0[2];
+                    *z.get_unchecked_mut(i3) = acc.0[3];
+                    idx += LANES;
+                    continue;
+                }
+                for q in idx..idx + LANES {
+                    self.fwd_row_scalar(q, r, z, row_ptr, cols, vals);
+                }
+                idx += LANES;
+            }
+            while idx < hi {
+                self.fwd_row_scalar(idx, r, z, row_ptr, cols, vals);
+                idx += 1;
+            }
+        }
+        // Backward solve U z = y.
+        for w in self.bwd_level_ptr.windows(2) {
+            let (mut idx, hi) = (w[0] as usize, w[1] as usize);
+            while idx + LANES <= hi {
+                let i0 = *self.bwd_order.get_unchecked(idx) as usize;
+                let i1 = *self.bwd_order.get_unchecked(idx + 1) as usize;
+                let i2 = *self.bwd_order.get_unchecked(idx + 2) as usize;
+                let i3 = *self.bwd_order.get_unchecked(idx + 3) as usize;
+                let dp0 = *row_ptr.get_unchecked(i0) + *diag_pos.get_unchecked(i0);
+                let dp1 = *row_ptr.get_unchecked(i1) + *diag_pos.get_unchecked(i1);
+                let dp2 = *row_ptr.get_unchecked(i2) + *diag_pos.get_unchecked(i2);
+                let dp3 = *row_ptr.get_unchecked(i3) + *diag_pos.get_unchecked(i3);
+                let len = *row_ptr.get_unchecked(i0 + 1) - dp0 - 1;
+                if *row_ptr.get_unchecked(i1 + 1) - dp1 - 1 == len
+                    && *row_ptr.get_unchecked(i2 + 1) - dp2 - 1 == len
+                    && *row_ptr.get_unchecked(i3 + 1) - dp3 - 1 == len
+                {
+                    let mut acc = F64x4([
+                        *z.get_unchecked(i0),
+                        *z.get_unchecked(i1),
+                        *z.get_unchecked(i2),
+                        *z.get_unchecked(i3),
+                    ]);
+                    for p in 1..=len {
+                        let a = F64x4([
+                            *vals.get_unchecked(dp0 + p),
+                            *vals.get_unchecked(dp1 + p),
+                            *vals.get_unchecked(dp2 + p),
+                            *vals.get_unchecked(dp3 + p),
+                        ]);
+                        let zz = F64x4([
+                            *z.get_unchecked(*cols.get_unchecked(dp0 + p)),
+                            *z.get_unchecked(*cols.get_unchecked(dp1 + p)),
+                            *z.get_unchecked(*cols.get_unchecked(dp2 + p)),
+                            *z.get_unchecked(*cols.get_unchecked(dp3 + p)),
+                        ]);
+                        acc = acc.sub(a.mul(zz));
+                    }
+                    let d = F64x4([
+                        *vals.get_unchecked(dp0),
+                        *vals.get_unchecked(dp1),
+                        *vals.get_unchecked(dp2),
+                        *vals.get_unchecked(dp3),
+                    ]);
+                    let out = acc.div(d);
+                    *z.get_unchecked_mut(i0) = out.0[0];
+                    *z.get_unchecked_mut(i1) = out.0[1];
+                    *z.get_unchecked_mut(i2) = out.0[2];
+                    *z.get_unchecked_mut(i3) = out.0[3];
+                    idx += LANES;
+                    continue;
+                }
+                for q in idx..idx + LANES {
+                    self.bwd_row_scalar(q, z, row_ptr, cols, vals);
+                }
+                idx += LANES;
+            }
+            while idx < hi {
+                self.bwd_row_scalar(idx, z, row_ptr, cols, vals);
+                idx += 1;
+            }
+        }
+    }
+
+    /// One forward-sweep row (scalar), addressed by schedule position.
+    ///
+    /// # Safety
+    /// Same invariants as [`Ilu0::apply_lanes`]; `q` must be a valid index
+    /// into `fwd_order`.
+    #[inline(always)]
+    unsafe fn fwd_row_scalar(
+        &self,
+        q: usize,
+        r: &[f64],
+        z: &mut [f64],
+        row_ptr: &[usize],
+        cols: &[usize],
+        vals: &[f64],
+    ) {
+        let i = *self.fwd_order.get_unchecked(q) as usize;
+        let lo = *row_ptr.get_unchecked(i);
+        let dp = lo + *self.diag_pos.get_unchecked(i);
+        let mut acc = *r.get_unchecked(i);
+        for k in lo..dp {
+            acc -= *vals.get_unchecked(k) * *z.get_unchecked(*cols.get_unchecked(k));
+        }
+        *z.get_unchecked_mut(i) = acc;
+    }
+
+    /// One backward-sweep row (scalar), addressed by schedule position.
+    ///
+    /// # Safety
+    /// Same invariants as [`Ilu0::apply_lanes`]; `q` must be a valid index
+    /// into `bwd_order`.
+    #[inline(always)]
+    unsafe fn bwd_row_scalar(
+        &self,
+        q: usize,
+        z: &mut [f64],
+        row_ptr: &[usize],
+        cols: &[usize],
+        vals: &[f64],
+    ) {
+        let i = *self.bwd_order.get_unchecked(q) as usize;
+        let lo = *row_ptr.get_unchecked(i);
+        let hi = *row_ptr.get_unchecked(i + 1);
+        let dp = lo + *self.diag_pos.get_unchecked(i);
+        let mut acc = *z.get_unchecked(i);
+        for k in dp + 1..hi {
+            acc -= *vals.get_unchecked(k) * *z.get_unchecked(*cols.get_unchecked(k));
+        }
+        *z.get_unchecked_mut(i) = acc / *vals.get_unchecked(dp);
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn apply_lanes_avx2(&self, r: &[f64], z: &mut [f64]) {
+        self.apply_lanes(r, z)
+    }
+
+    /// Skewed-wavefront sweeps for a stencil-plan factorization. The
+    /// triangular recurrences of a 5-point stencil couple each row to its
+    /// west and north (forward) or east and south (backward) neighbors, so
+    /// the natural sweep is one long latency chain per grid line. The
+    /// wavefront runs blocks of up to four *lines* concurrently, skewed one
+    /// column apart, which makes the four in-flight row updates mutually
+    /// independent — the CPU overlaps their multiply/subtract(/divide)
+    /// chains — while each neighbor value is carried in a register instead
+    /// of re-loaded through `col_idx` gathers.
+    ///
+    /// Row order is a valid topological order of the triangular
+    /// dependencies and every row evaluates the exact scalar per-row
+    /// expression (ascending-column subtract order, final divide), so the
+    /// result is bitwise identical to [`Ilu0::apply_scalar`] — same
+    /// argument as the level-scheduled sweeps (see [`level_schedule`]).
+    ///
+    /// # Safety
+    /// `plan` must be the verified [`StencilPlan`] of `self.lu`'s pattern;
+    /// `r.len() == z.len() == w·h`.
+    #[inline(always)]
+    unsafe fn apply_wavefront(&self, plan: StencilPlan, r: &[f64], z: &mut [f64]) {
+        let StencilPlan { w, h } = plan;
+        let row_ptr = self.lu.row_ptr();
+        let vals = self.lu.vals();
+        // Forward solve L y = r (unit diagonal), y stored in z.
+        // Line 0 rides as lane 0 of the first block (`TOP`: no north term),
+        // so there is no serial boundary pass — every row is wavefronted.
+        // Grids shorter than a full block (h = 3: the thinnest detectable
+        // plan) run as one under-laned TOP block.
+        let mut j0 = h.min(4);
+        match j0 {
+            3 => fwd_wave_block::<3, true>(0, w, row_ptr, vals, r, z),
+            _ => fwd_wave_block::<4, true>(0, w, row_ptr, vals, r, z),
+        }
+        while j0 + 4 <= h {
+            fwd_wave_block::<4, false>(j0, w, row_ptr, vals, r, z);
+            j0 += 4;
+        }
+        match h - j0 {
+            1 => fwd_wave_block::<1, false>(j0, w, row_ptr, vals, r, z),
+            2 => fwd_wave_block::<2, false>(j0, w, row_ptr, vals, r, z),
+            3 => fwd_wave_block::<3, false>(j0, w, row_ptr, vals, r, z),
+            _ => {}
+        }
+        // Backward solve U z = y. Line h-1 rides as lane 0 of the first
+        // block (`BOTTOM`: no south term), mirroring the forward solve.
+        match h.min(4) {
+            3 => bwd_wave_block::<3, true>(h - 1, w, row_ptr, vals, z),
+            _ => bwd_wave_block::<4, true>(h - 1, w, row_ptr, vals, z),
+        }
+        let mut rem = h - h.min(4);
+        while rem >= 4 {
+            bwd_wave_block::<4, false>(rem - 1, w, row_ptr, vals, z);
+            rem -= 4;
+        }
+        match rem {
+            1 => bwd_wave_block::<1, false>(rem - 1, w, row_ptr, vals, z),
+            2 => bwd_wave_block::<2, false>(rem - 1, w, row_ptr, vals, z),
+            3 => bwd_wave_block::<3, false>(rem - 1, w, row_ptr, vals, z),
+            _ => {}
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn apply_wavefront_avx2(&self, plan: StencilPlan, r: &[f64], z: &mut [f64]) {
+        self.apply_wavefront(plan, r, z)
+    }
+
+    /// Apply the factorization to `k` right-hand sides in SoA layout, lanes
+    /// across members. Sweeps run in natural row order — any topological
+    /// order gives bitwise-identical results (each row's arithmetic is
+    /// unchanged; dependencies are honored) — and every stored entry is
+    /// broadcast against the k contiguous member values, so the batched
+    /// sweep vectorizes without the gather traffic of the single-RHS lane
+    /// kernel. Bit-identical per member to [`Ilu0::apply_scalar`]. No work
+    /// accounting: the batched solver charges per active member.
+    pub fn apply_multi(&self, r: &MultiVec, z: &mut MultiVec) {
+        let n = self.lu.n();
+        assert_eq!(r.n(), n);
+        assert_eq!(z.n(), n);
+        assert_eq!(r.k(), z.k());
+        let k = r.k();
+        // SAFETY: Csr invariants as in `apply_scalar`; member blocks stay
+        // within buffers of length `n * k`.
+        match simd::backend() {
+            #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+            Backend::Avx2 => unsafe {
+                self.apply_multi_lanes_avx2(k, r.as_slice(), z.as_mut_slice())
+            },
+            Backend::Scalar => {
+                let rs = r.as_slice();
+                let zs = z.as_mut_slice();
+                let row_ptr = self.lu.row_ptr();
+                let cols = self.lu.col_indices();
+                let vals = self.lu.vals();
+                for j in 0..k {
+                    for i in 0..n {
+                        let lo = row_ptr[i];
+                        let dp = lo + self.diag_pos[i];
+                        let mut acc = rs[i * k + j];
+                        for p in lo..dp {
+                            acc -= vals[p] * zs[cols[p] * k + j];
+                        }
+                        zs[i * k + j] = acc;
+                    }
+                    for i in (0..n).rev() {
+                        let lo = row_ptr[i];
+                        let hi = row_ptr[i + 1];
+                        let dp = lo + self.diag_pos[i];
+                        let mut acc = zs[i * k + j];
+                        for p in dp + 1..hi {
+                            acc -= vals[p] * zs[cols[p] * k + j];
+                        }
+                        zs[i * k + j] = acc / vals[dp];
+                    }
+                }
+            }
+            _ => unsafe { self.apply_multi_lanes(k, r.as_slice(), z.as_mut_slice()) },
+        }
+    }
+
+    /// SoA sweep body for [`Ilu0::apply_multi`].
+    ///
+    /// # Safety
+    /// Csr invariants as in `apply_scalar`; `r.len() == z.len() == n * k`.
+    #[inline(always)]
+    unsafe fn apply_multi_lanes(&self, k: usize, r: &[f64], z: &mut [f64]) {
+        let n = self.lu.n();
+        let row_ptr = self.lu.row_ptr();
+        let cols = self.lu.col_indices();
+        let vals = self.lu.vals();
+        // Forward solve L y = r (unit diagonal), y stored in z.
+        for i in 0..n {
+            let lo = *row_ptr.get_unchecked(i);
+            let dp = lo + *self.diag_pos.get_unchecked(i);
+            let mut jb = 0;
+            while jb + LANES <= k {
+                let mut acc = F64x4::load(r, i * k + jb);
+                for p in lo..dp {
+                    let a = F64x4::splat(*vals.get_unchecked(p));
+                    let zz = F64x4::load(z, *cols.get_unchecked(p) * k + jb);
+                    acc = acc.sub(a.mul(zz));
+                }
+                acc.store(z, i * k + jb);
+                jb += LANES;
+            }
+            while jb < k {
+                let mut acc = *r.get_unchecked(i * k + jb);
+                for p in lo..dp {
+                    acc -=
+                        *vals.get_unchecked(p) * *z.get_unchecked(*cols.get_unchecked(p) * k + jb);
+                }
+                *z.get_unchecked_mut(i * k + jb) = acc;
+                jb += 1;
+            }
+        }
+        // Backward solve U z = y.
+        for i in (0..n).rev() {
+            let lo = *row_ptr.get_unchecked(i);
+            let hi = *row_ptr.get_unchecked(i + 1);
+            let dp = lo + *self.diag_pos.get_unchecked(i);
+            let d = *vals.get_unchecked(dp);
+            let mut jb = 0;
+            while jb + LANES <= k {
+                let mut acc = F64x4::load(z, i * k + jb);
+                for p in dp + 1..hi {
+                    let a = F64x4::splat(*vals.get_unchecked(p));
+                    let zz = F64x4::load(z, *cols.get_unchecked(p) * k + jb);
+                    acc = acc.sub(a.mul(zz));
+                }
+                acc.div(F64x4::splat(d)).store(z, i * k + jb);
+                jb += LANES;
+            }
+            while jb < k {
+                let mut acc = *z.get_unchecked(i * k + jb);
+                for p in dp + 1..hi {
+                    acc -=
+                        *vals.get_unchecked(p) * *z.get_unchecked(*cols.get_unchecked(p) * k + jb);
+                }
+                *z.get_unchecked_mut(i * k + jb) = acc / d;
+                jb += 1;
+            }
+        }
+    }
+
+    #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+    #[target_feature(enable = "avx2")]
+    unsafe fn apply_multi_lanes_avx2(&self, k: usize, r: &[f64], z: &mut [f64]) {
+        self.apply_multi_lanes(k, r, z)
+    }
+}
+
+/// One forward wavefront block: lines `j0 .. j0+L`, lane `k` on line
+/// `j0+k`, skewed so lane `k` sits one column behind lane `k-1`. At
+/// wavefront step `t`, lane `k` updates column `t−k`; its west operand is
+/// its own previous value (`carry[k]`) and its north operand is lane
+/// `k−1`'s previous value (`carry[k−1]`, still unwritten at step `t`
+/// because lanes run in descending `k`) — lane 0 reads the north line from
+/// `z`, finalized by the previous block, except in the grid's first block
+/// (`TOP`), where lane 0 is line 0 and has no north term at all. Per row:
+/// north subtract before west subtract (ascending columns), exactly the
+/// scalar sweep's operation sequence.
+///
+/// # Safety
+/// The stencil plan must hold for lines `j0 ..= j0+L-1` (and `j0-1` when
+/// not `TOP`) of the pattern behind `row_ptr`/`vals` (callers pass a
+/// verified [`StencilPlan`]); `r.len() == z.len() == w·h` with
+/// `j0+L <= h`; `TOP` iff `j0 == 0`.
+#[inline(always)]
+unsafe fn fwd_wave_block<const L: usize, const TOP: bool>(
+    j0: usize,
+    w: usize,
+    row_ptr: &[usize],
+    vals: &[f64],
+    r: &[f64],
+    z: &mut [f64],
+) {
+    let mut carry = [0.0f64; L];
+    for t in 0..w + L - 1 {
+        let mut k = L;
+        while k > 0 {
+            k -= 1;
+            if t < k || t - k >= w {
+                continue;
+            }
+            let c = t - k;
+            let i = (j0 + k) * w + c;
+            let base = *row_ptr.get_unchecked(i);
+            let mut acc;
+            if TOP && k == 0 {
+                // Line 0: no north entry, so the west value (when present)
+                // sits first in the row.
+                acc = *r.get_unchecked(i);
+                if c > 0 {
+                    acc -= *vals.get_unchecked(base) * carry[0];
+                }
+            } else {
+                let zup = if k == 0 {
+                    *z.get_unchecked(i - w)
+                } else {
+                    carry[k - 1]
+                };
+                acc = *r.get_unchecked(i) - *vals.get_unchecked(base) * zup;
+                if c > 0 {
+                    acc -= *vals.get_unchecked(base + 1) * carry[k];
+                }
+            }
+            *z.get_unchecked_mut(i) = acc;
+            carry[k] = acc;
+        }
+    }
+}
+
+/// One backward wavefront block: lines `jtop, jtop-1, …`, lane `k` on line
+/// `jtop−k`, columns walked east-to-west. The east operand is the lane's
+/// own previous value, the south operand is lane `k−1`'s (lane 0 reads the
+/// finalized south line from `z`, except in the grid's first block
+/// (`BOTTOM`), where lane 0 is line h-1 and has no south term at all). Per
+/// row: east subtract before south subtract (ascending columns), then the
+/// diagonal divide — the scalar sweep's exact sequence.
+///
+/// Each step runs in two phases: numerators and diagonals for every active
+/// lane first (all carry reads see step `t-1` values), then packed divides
+/// — inactive lanes divide padding by 1.0 and are discarded. IEEE division
+/// is per-lane correctly rounded, so each quotient is bit-identical to its
+/// scalar divide; batching quadruples divider throughput, which is what
+/// the backward recurrence is bound on.
+///
+/// # Safety
+/// As [`fwd_wave_block`], for lines `jtop-L+1 ..= jtop` (and `jtop+1` when
+/// not `BOTTOM`) with `L-1 <= jtop <= h-1`; `BOTTOM` iff `jtop == h-1`.
+#[inline(always)]
+unsafe fn bwd_wave_block<const L: usize, const BOTTOM: bool>(
+    jtop: usize,
+    w: usize,
+    row_ptr: &[usize],
+    vals: &[f64],
+    z: &mut [f64],
+) {
+    let mut carry = [0.0f64; L];
+    for t in 0..w + L - 1 {
+        let mut acc = [0.0f64; L];
+        let mut d = [1.0f64; L];
+        for k in 0..L {
+            if t < k || t - k >= w {
+                continue;
+            }
+            let c = (w - 1) - (t - k);
+            let i = (jtop - k) * w + c;
+            let base = *row_ptr.get_unchecked(i);
+            let dp = base + usize::from(jtop - k > 0) + usize::from(c > 0);
+            let mut a = *z.get_unchecked(i);
+            if BOTTOM && k == 0 {
+                // Line h-1: no south entry; only the east term remains.
+                if c + 1 < w {
+                    a -= *vals.get_unchecked(dp + 1) * carry[0];
+                }
+            } else {
+                let zdown = if k == 0 {
+                    *z.get_unchecked(i + w)
+                } else {
+                    carry[k - 1]
+                };
+                let up_pos = if c + 1 < w {
+                    a -= *vals.get_unchecked(dp + 1) * carry[k];
+                    dp + 2
+                } else {
+                    dp + 1
+                };
+                a -= *vals.get_unchecked(up_pos) * zdown;
+            }
+            acc[k] = a;
+            d[k] = *vals.get_unchecked(dp);
+        }
+        let mut out = [0.0f64; L];
+        if L.is_multiple_of(4) {
+            let mut b = 0;
+            while b < L {
+                let num = F64x4([acc[b], acc[b + 1], acc[b + 2], acc[b + 3]]);
+                let den = F64x4([d[b], d[b + 1], d[b + 2], d[b + 3]]);
+                out[b..b + 4].copy_from_slice(&num.div(den).0);
+                b += 4;
+            }
+        } else {
+            for k in 0..L {
+                out[k] = acc[k] / d[k];
+            }
+        }
+        for k in 0..L {
+            if t < k || t - k >= w {
+                continue;
+            }
+            let i = (jtop - k) * w + (w - 1) - (t - k);
+            *z.get_unchecked_mut(i) = out[k];
+            carry[k] = out[k];
+        }
+    }
+}
+
+impl Preconditioner for Ilu0 {
+    /// Backend-dispatched sweeps, bit-identical to [`Ilu0::apply_scalar`]
+    /// on every backend: stencil-plan factorizations take the skewed
+    /// wavefront ([`Ilu0::apply_wavefront`]), everything else the
+    /// lane-blocked level schedule — in both, per-row operation order is
+    /// unchanged and only the scheduling across independent rows differs.
+    fn apply(&self, r: &[f64], z: &mut [f64], work: &mut WorkCounter) {
+        assert_eq!(r.len(), self.lu.n());
+        assert_eq!(z.len(), self.lu.n());
+        match simd::backend() {
+            #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+            // SAFETY: backend() returned Avx2, so the CPU supports it; the
+            // sweep invariants are documented on `apply_scalar`/`apply_lanes`,
+            // and `self.plan` was verified against this pattern in `new`.
+            Backend::Avx2 => unsafe {
+                // Any detected stencil takes the wavefront: even at the
+                // minimum line width (w = 3) it breaks the serial
+                // west-neighbor chain across four lines, beating the
+                // chain-bound scalar sweep (measured on the level-8
+                // anisotropic family — see BENCH_solver.json).
+                match self.plan {
+                    Some(plan) => self.apply_wavefront_avx2(plan, r, z),
+                    None => self.apply_lanes_avx2(r, z),
+                }
+            },
+            Backend::Scalar => self.apply_scalar(r, z),
+            // SAFETY: sweep invariants as documented on `apply_scalar`.
+            _ => unsafe {
+                match self.plan {
+                    Some(plan) => self.apply_wavefront(plan, r, z),
+                    None => self.apply_lanes(r, z),
+                }
+            },
+        }
         work.add_precond_apply(self.lu.nnz());
     }
 }
@@ -341,12 +918,20 @@ pub struct SolveStats {
     pub residual: f64,
 }
 
-fn dot(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+/// Tier-dispatched dot product: strict sequential order on the exact tier
+/// (bit-identical to `solver::reference`), the fixed stride-8 reassociated
+/// pattern of [`crate::simd::dot_fast`] on the fast tier.
+#[inline]
+fn tier_dot(tier: Tier, a: &[f64], b: &[f64]) -> f64 {
+    match tier {
+        Tier::Exact => simd::dot_exact(a, b),
+        Tier::Fast => simd::dot_fast(a, b),
+    }
 }
 
-fn norm2(a: &[f64]) -> f64 {
-    dot(a, a).sqrt()
+#[inline]
+fn tier_norm2(tier: Tier, a: &[f64]) -> f64 {
+    tier_dot(tier, a, a).sqrt()
 }
 
 /// Reusable scratch vectors for the Krylov solvers ([`bicgstab_with`] and
@@ -426,10 +1011,35 @@ pub fn bicgstab_with(
     ws: &mut KrylovWorkspace,
     work: &mut WorkCounter,
 ) -> Result<SolveStats, SolveError> {
+    bicgstab_tiered(a, precond, b, x, rel_tol, max_iters, Tier::Exact, ws, work)
+}
+
+/// [`bicgstab_with`] with an explicit numerical [`Tier`].
+///
+/// `Tier::Exact` is byte-for-byte the historical solver: every reduction in
+/// strict sequential order. `Tier::Fast` reroutes the seven per-iteration
+/// dot products/norms — the latency-bound scalar chains that dominate the
+/// iteration once sweeps and matvec are vectorized — through the
+/// reassociated [`crate::simd::dot_fast`] pattern; the elementwise updates
+/// and sweeps are identical between the tiers. Fast-tier results carry a
+/// measured error bound (see the tier tests and DESIGN.md), not bitwise
+/// reproducibility against the reference oracle.
+#[allow(clippy::too_many_arguments)] // a solver signature, mirrors gmres
+pub fn bicgstab_tiered(
+    a: &Csr,
+    precond: &dyn Preconditioner,
+    b: &[f64],
+    x: &mut [f64],
+    rel_tol: f64,
+    max_iters: usize,
+    tier: Tier,
+    ws: &mut KrylovWorkspace,
+    work: &mut WorkCounter,
+) -> Result<SolveStats, SolveError> {
     let n = a.n();
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
-    let bnorm = norm2(b).max(1e-300);
+    let bnorm = tier_norm2(tier, b).max(1e-300);
 
     ws.ensure(n);
     let KrylovWorkspace {
@@ -456,7 +1066,7 @@ pub fn bicgstab_with(
     v.fill(0.0);
     p.fill(0.0);
 
-    let mut resid = norm2(r) / bnorm;
+    let mut resid = tier_norm2(tier, r) / bnorm;
     if resid <= rel_tol {
         return Ok(SolveStats {
             iterations: 0,
@@ -466,54 +1076,45 @@ pub fn bicgstab_with(
 
     for it in 1..=max_iters {
         work.add_lin_iter();
-        let rho_new = dot(r_hat, r);
+        let rho_new = tier_dot(tier, r_hat, r);
         if rho_new.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it - 1 });
         }
         let beta = (rho_new / rho) * (alpha / omega);
-        for ((pi, ri), vi) in p.iter_mut().zip(r.iter()).zip(v.iter()) {
-            *pi = ri + beta * (*pi - omega * vi);
-        }
+        simd::p_update(p, r, beta, omega, v);
         precond.apply(p, p_hat, work);
         a.matvec_into(p_hat, v);
         work.add_matvec(a.nnz());
-        let rv = dot(r_hat, v);
+        let rv = tier_dot(tier, r_hat, v);
         if rv.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
         alpha = rho_new / rv;
-        for ((si, ri), vi) in s.iter_mut().zip(r.iter()).zip(v.iter()) {
-            *si = ri - alpha * vi;
-        }
-        if norm2(s) / bnorm <= rel_tol {
-            for (xi, phi) in x.iter_mut().zip(p_hat.iter()) {
-                *xi += alpha * phi;
-            }
+        simd::s_update(s, r, alpha, v);
+        if tier_norm2(tier, s) / bnorm <= rel_tol {
+            simd::axpy(x, alpha, p_hat);
             work.add_vector_ops(n, 6);
             return Ok(SolveStats {
                 iterations: it,
-                residual: norm2(s) / bnorm,
+                residual: tier_norm2(tier, s) / bnorm,
             });
         }
         precond.apply(s, s_hat, work);
         a.matvec_into(s_hat, t);
         work.add_matvec(a.nnz());
-        let tt = dot(t, t);
+        let tt = tier_dot(tier, t, t);
         if tt.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
-        omega = dot(t, s) / tt;
+        omega = tier_dot(tier, t, s) / tt;
         if omega.abs() < 1e-300 {
             return Err(SolveError::Breakdown { iterations: it });
         }
-        for ((xi, phi), shi) in x.iter_mut().zip(p_hat.iter()).zip(s_hat.iter()) {
-            *xi += alpha * phi + omega * shi;
-        }
-        for ((ri, si), ti) in r.iter_mut().zip(s.iter()).zip(t.iter()) {
-            *ri = si - omega * ti;
-        }
+        simd::x_update(x, alpha, p_hat, omega, s_hat);
+        // r = s - omega * t: same expression shape as the s-update kernel.
+        simd::s_update(r, s, omega, t);
         work.add_vector_ops(n, 10);
-        resid = norm2(r) / bnorm;
+        resid = tier_norm2(tier, r) / bnorm;
         if resid <= rel_tol {
             return Ok(SolveStats {
                 iterations: it,
@@ -544,6 +1145,93 @@ mod tests {
             }
         }
         Csr::from_triplets(n, &t)
+    }
+
+    /// A w×h 5-point-stencil matrix with row-distinct values (mirrors the
+    /// sparse-module helper; here it drives the wavefront sweeps).
+    fn stencil_matrix(w: usize, h: usize) -> Csr {
+        let n = w * h;
+        let mut t = Vec::new();
+        for j in 0..h {
+            for c in 0..w {
+                let i = j * w + c;
+                let f = i as f64;
+                if j > 0 {
+                    t.push((i, i - w, -1.0 - 0.01 * f));
+                }
+                if c > 0 {
+                    t.push((i, i - 1, -0.5 - 0.002 * f));
+                }
+                t.push((i, i, 4.0 + 0.1 * f));
+                if c + 1 < w {
+                    t.push((i, i + 1, -0.6 + 0.003 * f));
+                }
+                if j + 1 < h {
+                    t.push((i, i + w, -1.1 + 0.004 * f));
+                }
+            }
+        }
+        Csr::from_triplets(n, &t)
+    }
+
+    #[test]
+    fn wavefront_apply_matches_scalar_bitwise_on_manual_stencils() {
+        // h drives the line-block partition: h-1 wavefront lines split into
+        // blocks of four plus a 1/2/3-line remainder — every remainder size
+        // and the multi-block case are covered, as are w = 2 (no interior
+        // columns) and wide lines with chunk remainders.
+        for (w, h) in [
+            (2, 2),
+            (3, 3),
+            (2, 6),
+            (5, 4),
+            (4, 5),
+            (6, 6),
+            (9, 7),
+            (3, 9),
+            (17, 5),
+        ] {
+            let a = stencil_matrix(w, h);
+            assert_eq!(a.stencil_plan().is_some(), w >= 3 && h >= 3, "{w}x{h}");
+            let mut wk = WorkCounter::new();
+            let ilu = Ilu0::new(&a, &mut wk);
+            let n = w * h;
+            let r: Vec<f64> = (0..n)
+                .map(|i| (i as f64 * 0.17).sin() * 3.0 - 0.4)
+                .collect();
+            let mut z = vec![0.0; n];
+            let mut z_scalar = vec![0.0; n];
+            ilu.apply(&r, &mut z, &mut wk);
+            ilu.apply_scalar(&r, &mut z_scalar);
+            assert_eq!(z, z_scalar, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn wavefront_apply_matches_scalar_bitwise_on_assembled_grids() {
+        // The production path: assembled advection-diffusion stage matrices,
+        // including the strongly anisotropic shapes. Non-stencil shapes (if
+        // a grid degenerates below the plan's minimum) still must agree —
+        // they take the lane-blocked path instead.
+        let p = Problem::transport_benchmark();
+        let mut planned = 0;
+        for (lx, ly) in [(1, 1), (2, 2), (0, 4), (4, 0), (1, 3), (3, 1), (2, 3)] {
+            let g = Grid2::new(2, lx, ly);
+            let mut wk = WorkCounter::new();
+            let d = assemble(&g, &p, &mut wk);
+            let m = d.a.identity_minus_scaled(0.013);
+            if m.stencil_plan().is_some() {
+                planned += 1;
+            }
+            let ilu = Ilu0::new(&m, &mut wk);
+            let r: Vec<f64> = (0..m.n()).map(|i| ((i % 23) as f64) * 0.11 - 1.0).collect();
+            let mut z = vec![0.0; m.n()];
+            let mut z_scalar = vec![0.0; m.n()];
+            ilu.apply(&r, &mut z, &mut wk);
+            ilu.apply_scalar(&r, &mut z_scalar);
+            assert_eq!(z, z_scalar, "({lx},{ly})");
+        }
+        assert!(planned >= 4, "only {planned} grids had a stencil plan");
     }
 
     #[test]

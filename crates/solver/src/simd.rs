@@ -1,0 +1,545 @@
+//! Explicit-width SIMD lanes for the solver hot path.
+//!
+//! Everything here follows one discipline, inherited from the PR-3 rule that
+//! the optimized path must stay bit-identical to [`crate::reference`]:
+//!
+//! * **Lanewise kernels** (axpy-style elementwise updates, lane-per-row
+//!   sweeps and matvecs) evaluate *exactly the same expression tree per
+//!   element* as the scalar code — lanes never interact — so they are
+//!   bit-identical to scalar by construction and safe on the default tier.
+//! * **Reassociating reductions** ([`dot_fast`], [`norm2_fast`]) change the
+//!   summation order (a fixed stride-8, two-register accumulation pattern)
+//!   and therefore live behind the opt-in [`Tier::Fast`]; the error is
+//!   bounded and measured by tests, and the pattern is *deterministic* —
+//!   the AVX2 and portable instantiations produce the same bits, only the
+//!   exact tier differs from them.
+//!
+//! Dispatch is resolved once at startup ([`backend`]): on `x86_64` with AVX2
+//! detected at runtime the kernels run as `#[target_feature(enable =
+//! "avx2")]` instantiations of the same portable [`F64x4`] bodies (plus a
+//! hand-written `core::arch` path for the reductions); otherwise the
+//! portable bodies run under the baseline ISA. Building the crate with the
+//! `force-scalar` feature pins plain scalar loops everywhere, which is the
+//! baseline CI keeps green and the denominator the benches report against.
+
+use std::sync::OnceLock;
+
+/// Lane width of the explicit vector type. All blocked kernels consume
+/// elements in chunks of this many `f64`s with a scalar remainder loop.
+pub const LANES: usize = 4;
+
+/// Numerical tier for the Krylov solver's reductions.
+///
+/// `Exact` (the default) keeps every dot product and norm in strict
+/// left-to-right order — bit-identical to `solver::reference`. `Fast`
+/// reassociates reductions into the fixed stride-8 pattern implemented in
+/// this module; everything *else* (sweeps, matvecs, elementwise updates)
+/// is identical between the tiers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Tier {
+    #[default]
+    Exact,
+    Fast,
+}
+
+impl Tier {
+    /// Parse a CLI-style tier name.
+    pub fn parse(s: &str) -> Option<Tier> {
+        match s {
+            "exact" => Some(Tier::Exact),
+            "fast" => Some(Tier::Fast),
+            _ => None,
+        }
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Exact => "exact",
+            Tier::Fast => "fast",
+        }
+    }
+}
+
+/// Which instantiation of the kernels this process runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// `#[target_feature(enable = "avx2")]` instantiations (x86_64, detected
+    /// at startup).
+    Avx2,
+    /// Portable [`F64x4`] bodies compiled for the baseline target ISA.
+    Portable,
+    /// Plain scalar loops (the `force-scalar` build).
+    Scalar,
+}
+
+impl Backend {
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Avx2 => "avx2",
+            Backend::Portable => "portable",
+            Backend::Scalar => "scalar",
+        }
+    }
+}
+
+/// The process-wide kernel backend, detected once on first use.
+pub fn backend() -> Backend {
+    static BACKEND: OnceLock<Backend> = OnceLock::new();
+    *BACKEND.get_or_init(detect)
+}
+
+#[cfg(feature = "force-scalar")]
+fn detect() -> Backend {
+    Backend::Scalar
+}
+
+#[cfg(not(feature = "force-scalar"))]
+fn detect() -> Backend {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return Backend::Avx2;
+    }
+    Backend::Portable
+}
+
+/// Four `f64` lanes. Operations are plain per-lane IEEE ops (no FMA, no
+/// reassociation), so a lane computes exactly what the scalar code computes
+/// for the same element. LLVM lowers this to `ymm` arithmetic inside the
+/// AVX2-instantiated kernels and to the baseline vector ISA elsewhere.
+#[derive(Clone, Copy, Debug)]
+#[repr(C, align(32))]
+pub struct F64x4(pub [f64; 4]);
+
+// The named lane-wise ops deliberately shadow the operator names: kernel
+// code spells arithmetic as explicit method chains (`a.mul(x).add(y)`) so
+// the unfused, per-lane evaluation order the bit-identity contract relies
+// on stays visible at every call site.
+#[allow(clippy::should_implement_trait)]
+impl F64x4 {
+    #[inline(always)]
+    pub fn splat(v: f64) -> F64x4 {
+        F64x4([v; 4])
+    }
+
+    #[inline(always)]
+    pub fn zero() -> F64x4 {
+        F64x4([0.0; 4])
+    }
+
+    /// Load four consecutive elements starting at `s[i]`.
+    ///
+    /// # Safety
+    /// `i + 4 <= s.len()`.
+    #[inline(always)]
+    pub unsafe fn load(s: &[f64], i: usize) -> F64x4 {
+        debug_assert!(i + 4 <= s.len());
+        F64x4([
+            *s.get_unchecked(i),
+            *s.get_unchecked(i + 1),
+            *s.get_unchecked(i + 2),
+            *s.get_unchecked(i + 3),
+        ])
+    }
+
+    /// Store the four lanes to consecutive elements starting at `s[i]`.
+    ///
+    /// # Safety
+    /// `i + 4 <= s.len()`.
+    #[inline(always)]
+    pub unsafe fn store(self, s: &mut [f64], i: usize) {
+        debug_assert!(i + 4 <= s.len());
+        *s.get_unchecked_mut(i) = self.0[0];
+        *s.get_unchecked_mut(i + 1) = self.0[1];
+        *s.get_unchecked_mut(i + 2) = self.0[2];
+        *s.get_unchecked_mut(i + 3) = self.0[3];
+    }
+
+    #[inline(always)]
+    pub fn add(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] + o.0[0],
+            self.0[1] + o.0[1],
+            self.0[2] + o.0[2],
+            self.0[3] + o.0[3],
+        ])
+    }
+
+    #[inline(always)]
+    pub fn sub(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] - o.0[0],
+            self.0[1] - o.0[1],
+            self.0[2] - o.0[2],
+            self.0[3] - o.0[3],
+        ])
+    }
+
+    #[inline(always)]
+    pub fn mul(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] * o.0[0],
+            self.0[1] * o.0[1],
+            self.0[2] * o.0[2],
+            self.0[3] * o.0[3],
+        ])
+    }
+
+    #[inline(always)]
+    pub fn div(self, o: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] / o.0[0],
+            self.0[1] / o.0[1],
+            self.0[2] / o.0[2],
+            self.0[3] / o.0[3],
+        ])
+    }
+
+    #[inline(always)]
+    pub fn abs(self) -> F64x4 {
+        F64x4([
+            self.0[0].abs(),
+            self.0[1].abs(),
+            self.0[2].abs(),
+            self.0[3].abs(),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exact-tier reductions (strict left-to-right order, same as reference).
+// ---------------------------------------------------------------------------
+
+/// Sequential dot product — the exact-tier reduction, bit-identical to the
+/// reference solver's.
+#[inline]
+pub fn dot_exact(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Sequential 2-norm (exact tier).
+#[inline]
+pub fn norm2_exact(a: &[f64]) -> f64 {
+    dot_exact(a, a).sqrt()
+}
+
+// ---------------------------------------------------------------------------
+// Fast-tier reductions: fixed stride-8, two-register accumulation.
+//
+// Scalar dot products are *latency*-bound: one dependent add every ~4
+// cycles, and strict IEEE semantics forbid the compiler from breaking the
+// chain. BiCGSTAB performs seven reductions per iteration, which makes this
+// the single hottest scalar pattern left after PR 3. The fast tier keeps
+// eight partial sums in flight (two F64x4 registers), which hides the add
+// latency and vectorizes; the final combine order is fixed:
+//
+//   acc = acc0 + acc1 (lanewise);  h = (acc[0]+acc[1]) + (acc[2]+acc[3]);
+//   h += tail elements in order.
+//
+// Because that pattern is fixed, the AVX2 and portable instantiations give
+// identical bits — only the *exact* tier differs from the fast tier.
+// ---------------------------------------------------------------------------
+
+macro_rules! fast_reduce_body {
+    ($a:ident, $b:ident) => {{
+        debug_assert_eq!($a.len(), $b.len());
+        let n = $a.len();
+        let mut acc0 = F64x4::zero();
+        let mut acc1 = F64x4::zero();
+        let mut i = 0;
+        // SAFETY: i + 8 <= n inside the loop.
+        unsafe {
+            while i + 8 <= n {
+                acc0 = acc0.add(F64x4::load($a, i).mul(F64x4::load($b, i)));
+                acc1 = acc1.add(F64x4::load($a, i + 4).mul(F64x4::load($b, i + 4)));
+                i += 8;
+            }
+        }
+        let acc = acc0.add(acc1);
+        let mut h = (acc.0[0] + acc.0[1]) + (acc.0[2] + acc.0[3]);
+        while i < n {
+            h += $a[i] * $b[i];
+            i += 1;
+        }
+        h
+    }};
+}
+
+#[inline]
+fn dot_fast_portable(a: &[f64], b: &[f64]) -> f64 {
+    fast_reduce_body!(a, b)
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_fast_avx2(a: &[f64], b: &[f64]) -> f64 {
+    use std::arch::x86_64::*;
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let (pa, pb) = (a.as_ptr(), b.as_ptr());
+    let mut acc0 = _mm256_setzero_pd();
+    let mut acc1 = _mm256_setzero_pd();
+    let mut i = 0;
+    while i + 8 <= n {
+        let x0 = _mm256_loadu_pd(pa.add(i));
+        let y0 = _mm256_loadu_pd(pb.add(i));
+        let x1 = _mm256_loadu_pd(pa.add(i + 4));
+        let y1 = _mm256_loadu_pd(pb.add(i + 4));
+        // mul + add, not FMA: keeps the bits identical to the portable body.
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(x0, y0));
+        acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(x1, y1));
+        i += 8;
+    }
+    let acc = _mm256_add_pd(acc0, acc1);
+    let mut lanes = [0.0f64; 4];
+    _mm256_storeu_pd(lanes.as_mut_ptr(), acc);
+    let mut h = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    while i < n {
+        h += *pa.add(i) * *pb.add(i);
+        i += 1;
+    }
+    h
+}
+
+/// Fast-tier dot product: reassociated (stride-8, two registers), backend
+/// dispatched. Deterministic for a given input regardless of backend.
+#[inline]
+pub fn dot_fast(a: &[f64], b: &[f64]) -> f64 {
+    match backend() {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        Backend::Avx2 => unsafe { dot_fast_avx2(a, b) },
+        _ => dot_fast_portable(a, b),
+    }
+}
+
+/// Fast-tier 2-norm.
+#[inline]
+pub fn norm2_fast(a: &[f64]) -> f64 {
+    dot_fast(a, a).sqrt()
+}
+
+// ---------------------------------------------------------------------------
+// Lanewise elementwise kernels (exact on every tier).
+//
+// Each kernel's per-element expression tree is written once in a portable
+// body; `dispatch_lanes!` instantiates it a second time under
+// `#[target_feature(enable = "avx2")]` so the hot builds use ymm registers
+// without a separate source body to keep in sync. Under `force-scalar` the
+// scalar loop below each body is used instead.
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch_lanes {
+    ($pub_name:ident, $portable:ident, $avx2:ident, ($($arg:ident : $ty:ty),*)) => {
+        #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+        #[target_feature(enable = "avx2")]
+        unsafe fn $avx2($($arg: $ty),*) {
+            $portable($($arg),*)
+        }
+
+        #[inline]
+        pub fn $pub_name($($arg: $ty),*) {
+            match backend() {
+                #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+                Backend::Avx2 => unsafe { $avx2($($arg),*) },
+                _ => $portable($($arg),*),
+            }
+        }
+    };
+}
+
+/// `y[i] += a * x[i]` — same op order per element as the scalar loop.
+#[inline(always)]
+fn axpy_portable(y: &mut [f64], a: f64, x: &[f64]) {
+    debug_assert_eq!(y.len(), x.len());
+    let n = y.len();
+    let av = F64x4::splat(a);
+    let mut i = 0;
+    // SAFETY: i + 4 <= n inside the loop.
+    unsafe {
+        while i + 4 <= n {
+            let yy = F64x4::load(y, i).add(av.mul(F64x4::load(x, i)));
+            yy.store(y, i);
+            i += 4;
+        }
+    }
+    while i < n {
+        y[i] += a * x[i];
+        i += 1;
+    }
+}
+
+dispatch_lanes!(axpy, axpy_portable, axpy_avx2, (y: &mut [f64], a: f64, x: &[f64]));
+
+/// BiCGSTAB search-direction update: `p[i] = r[i] + beta * (p[i] - omega * v[i])`.
+#[inline(always)]
+fn p_update_portable(p: &mut [f64], r: &[f64], beta: f64, omega: f64, v: &[f64]) {
+    debug_assert!(p.len() == r.len() && p.len() == v.len());
+    let n = p.len();
+    let (bv, ov) = (F64x4::splat(beta), F64x4::splat(omega));
+    let mut i = 0;
+    // SAFETY: i + 4 <= n inside the loop.
+    unsafe {
+        while i + 4 <= n {
+            let pp =
+                F64x4::load(r, i).add(bv.mul(F64x4::load(p, i).sub(ov.mul(F64x4::load(v, i)))));
+            pp.store(p, i);
+            i += 4;
+        }
+    }
+    while i < n {
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+        i += 1;
+    }
+}
+
+dispatch_lanes!(
+    p_update,
+    p_update_portable,
+    p_update_avx2,
+    (p: &mut [f64], r: &[f64], beta: f64, omega: f64, v: &[f64])
+);
+
+/// `s[i] = r[i] - alpha * v[i]`.
+#[inline(always)]
+fn s_update_portable(s: &mut [f64], r: &[f64], alpha: f64, v: &[f64]) {
+    debug_assert!(s.len() == r.len() && s.len() == v.len());
+    let n = s.len();
+    let av = F64x4::splat(alpha);
+    let mut i = 0;
+    // SAFETY: i + 4 <= n inside the loop.
+    unsafe {
+        while i + 4 <= n {
+            F64x4::load(r, i).sub(av.mul(F64x4::load(v, i))).store(s, i);
+            i += 4;
+        }
+    }
+    while i < n {
+        s[i] = r[i] - alpha * v[i];
+        i += 1;
+    }
+}
+
+dispatch_lanes!(
+    s_update,
+    s_update_portable,
+    s_update_avx2,
+    (s: &mut [f64], r: &[f64], alpha: f64, v: &[f64])
+);
+
+/// `x[i] += alpha * p[i] + omega * s[i]`.
+#[inline(always)]
+fn x_update_portable(x: &mut [f64], alpha: f64, p: &[f64], omega: f64, s: &[f64]) {
+    debug_assert!(x.len() == p.len() && x.len() == s.len());
+    let n = x.len();
+    let (av, ov) = (F64x4::splat(alpha), F64x4::splat(omega));
+    let mut i = 0;
+    // SAFETY: i + 4 <= n inside the loop.
+    unsafe {
+        while i + 4 <= n {
+            let xx =
+                F64x4::load(x, i).add(av.mul(F64x4::load(p, i)).add(ov.mul(F64x4::load(s, i))));
+            xx.store(x, i);
+            i += 4;
+        }
+    }
+    while i < n {
+        x[i] += alpha * p[i] + omega * s[i];
+        i += 1;
+    }
+}
+
+dispatch_lanes!(
+    x_update,
+    x_update_portable,
+    x_update_avx2,
+    (x: &mut [f64], alpha: f64, p: &[f64], omega: f64, s: &[f64])
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_is_detected_once() {
+        assert_eq!(backend(), backend());
+        #[cfg(feature = "force-scalar")]
+        assert_eq!(backend(), Backend::Scalar);
+        #[cfg(not(feature = "force-scalar"))]
+        assert_ne!(backend(), Backend::Scalar);
+    }
+
+    #[test]
+    fn tier_parse_roundtrip() {
+        assert_eq!(Tier::parse("exact"), Some(Tier::Exact));
+        assert_eq!(Tier::parse("fast"), Some(Tier::Fast));
+        assert_eq!(Tier::parse("FAST"), None);
+        assert_eq!(Tier::default(), Tier::Exact);
+        assert_eq!(Tier::Fast.name(), "fast");
+    }
+
+    #[test]
+    fn elementwise_kernels_match_scalar_bitwise() {
+        // Odd length exercises the remainder loop; values with different
+        // exponents make reassociation visible if it ever sneaks in.
+        let n = 37;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.7).sin() * 1e3_f64.powi((i % 5) as i32 - 2))
+            .collect();
+        let v: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 1.3).cos() + 0.01 * i as f64)
+            .collect();
+        let r: Vec<f64> = (0..n).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let (a, beta, omega) = (1.625, -0.3125, 0.78125);
+
+        let mut y1 = x.clone();
+        let mut y2 = x.clone();
+        axpy(&mut y1, a, &v);
+        for i in 0..n {
+            y2[i] += a * v[i];
+        }
+        assert_eq!(y1, y2);
+
+        let mut p1 = x.clone();
+        let mut p2 = x.clone();
+        p_update(&mut p1, &r, beta, omega, &v);
+        for i in 0..n {
+            p2[i] = r[i] + beta * (p2[i] - omega * v[i]);
+        }
+        assert_eq!(p1, p2);
+
+        let mut s1 = vec![0.0; n];
+        let mut s2 = vec![0.0; n];
+        s_update(&mut s1, &r, a, &v);
+        for i in 0..n {
+            s2[i] = r[i] - a * v[i];
+        }
+        assert_eq!(s1, s2);
+
+        let mut x1 = x.clone();
+        let mut x2 = x.clone();
+        x_update(&mut x1, a, &r, omega, &v);
+        for i in 0..n {
+            x2[i] += a * r[i] + omega * v[i];
+        }
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn fast_dot_matches_portable_pattern_and_bounds_error() {
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 63, 64, 65, 1000] {
+            let a: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).cos()).collect();
+            let fast = dot_fast(&a, &b);
+            // The dispatched result must equal the portable fixed pattern
+            // bitwise (backend-independence of the fast tier).
+            assert_eq!(fast.to_bits(), dot_fast_portable(&a, &b).to_bits());
+            let exact = dot_exact(&a, &b);
+            let mag: f64 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            let bound = (n as f64) * f64::EPSILON * mag + f64::MIN_POSITIVE;
+            assert!(
+                (fast - exact).abs() <= bound,
+                "n={n}: |{fast} - {exact}| > {bound}"
+            );
+        }
+    }
+}

@@ -5,6 +5,96 @@
 //! time the step size changes. This module provides the minimal CSR tool
 //! set for both, with sorted column indices per row (required by the ILU(0)
 //! factorization in [`crate::linsolve`]).
+//!
+//! The matvec kernel is lane-blocked ([`crate::simd`]): blocks of four
+//! consecutive equal-length rows accumulate in four independent lanes, one
+//! row per lane, preserving each row's accumulation order exactly — so the
+//! vectorized kernel stays bit-identical to [`Csr::matvec_into_scalar`]
+//! (which is both the `force-scalar` fallback and the differential-test
+//! oracle). [`MultiVec`] adds the SoA multi-right-hand-side layout the
+//! batched solver ([`crate::batch`]) sweeps through one factorization.
+
+use std::sync::OnceLock;
+
+use crate::simd::{self, Backend, F64x4, LANES};
+
+/// The tensor-product 5-point-stencil shape of a CSR pattern, when every
+/// row conforms: row `i = j·w + c` stores exactly the columns
+/// `{i−w if j>0, i−1 if c>0, i, i+1 if c+1<w, i+w if j+1<h}`, ascending.
+/// This is the pattern every [`crate::assemble`] interior operator (and
+/// its `I − γ·dt·A` stage matrices, and their ILU(0) factors) has, and it
+/// unlocks the structure-aware kernels: a run-vectorized matvec with
+/// contiguous loads instead of per-entry gathers, and skewed-wavefront
+/// triangular sweeps that pipeline the row recurrence across grid lines.
+/// The plan depends only on the sparsity pattern, which is immutable after
+/// construction, so it is detected once and cached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StencilPlan {
+    /// Interior row width (fast index): rows `j·w .. (j+1)·w` form line `j`.
+    pub w: usize,
+    /// Number of grid lines; `n == w · h`.
+    pub h: usize,
+}
+
+/// Below this line width, the four-row interior chunks of
+/// [`matvec_stencil`] degenerate (at most one chunk plus remainders per
+/// line) and the const-width unrolled [`matvec_thin`] kernel wins instead
+/// (measured on the level-8 anisotropic family — see BENCH_solver.json).
+const STENCIL_MATVEC_MIN_W: usize = 8;
+
+/// Detect the [`StencilPlan`] of a CSR pattern, conservatively: `None`
+/// unless *every* row matches the positional stencil exactly.
+fn detect_stencil(n: usize, row_ptr: &[usize], col_idx: &[usize]) -> Option<StencilPlan> {
+    // Width from the first 5-entry row; bail unless it is a conforming
+    // interior row (w >= 2 keeps the five columns distinct).
+    let mut w = 0usize;
+    for i in 0..n {
+        let row = &col_idx[row_ptr[i]..row_ptr[i + 1]];
+        if row.len() == 5 {
+            if row[2] == i && row[1] + 1 == i && row[3] == i + 1 {
+                let cand = i - row[0];
+                if cand >= 2 && row[4] == i + cand {
+                    w = cand;
+                }
+            }
+            break;
+        }
+    }
+    if w < 2 || !n.is_multiple_of(w) {
+        return None;
+    }
+    let h = n / w;
+    if h < 2 {
+        return None;
+    }
+    let mut expect = [0usize; 5];
+    for i in 0..n {
+        let (j, c) = (i / w, i % w);
+        let mut len = 0;
+        if j > 0 {
+            expect[len] = i - w;
+            len += 1;
+        }
+        if c > 0 {
+            expect[len] = i - 1;
+            len += 1;
+        }
+        expect[len] = i;
+        len += 1;
+        if c + 1 < w {
+            expect[len] = i + 1;
+            len += 1;
+        }
+        if j + 1 < h {
+            expect[len] = i + w;
+            len += 1;
+        }
+        if col_idx[row_ptr[i]..row_ptr[i + 1]] != expect[..len] {
+            return None;
+        }
+    }
+    Some(StencilPlan { w, h })
+}
 
 /// A square sparse matrix in CSR format with per-row sorted columns.
 ///
@@ -16,12 +106,24 @@
 /// index `< n`. The hot kernels ([`Csr::matvec_into`], the ILU(0)
 /// triangular solves in [`crate::linsolve`]) rely on these invariants to
 /// skip per-element bounds checks.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct Csr {
     n: usize,
     row_ptr: Vec<usize>,
     col_idx: Vec<usize>,
     vals: Vec<f64>,
+    /// Lazily detected [`StencilPlan`] of the (immutable) pattern.
+    stencil: OnceLock<Option<StencilPlan>>,
+}
+
+impl PartialEq for Csr {
+    fn eq(&self, other: &Self) -> bool {
+        // The stencil cache is derived state — equality is the matrix.
+        self.n == other.n
+            && self.row_ptr == other.row_ptr
+            && self.col_idx == other.col_idx
+            && self.vals == other.vals
+    }
 }
 
 impl Csr {
@@ -59,6 +161,7 @@ impl Csr {
             row_ptr,
             col_idx,
             vals,
+            stencil: OnceLock::new(),
         }
     }
 
@@ -84,6 +187,7 @@ impl Csr {
             row_ptr,
             col_idx,
             vals,
+            stencil: OnceLock::new(),
         }
     }
 
@@ -94,7 +198,18 @@ impl Csr {
             row_ptr: (0..=n).collect(),
             col_idx: (0..n).collect(),
             vals: vec![1.0; n],
+            stencil: OnceLock::new(),
         }
+    }
+
+    /// The [`StencilPlan`] of this matrix's pattern, if it is a conforming
+    /// tensor-product 5-point stencil. Detected on first call and cached;
+    /// the pattern is immutable so the cache can never go stale (values may
+    /// change in place, but the plan does not depend on them).
+    pub fn stencil_plan(&self) -> Option<StencilPlan> {
+        *self
+            .stencil
+            .get_or_init(|| detect_stencil(self.n, &self.row_ptr, &self.col_idx))
     }
 
     /// Matrix dimension.
@@ -152,8 +267,47 @@ impl Csr {
         self.n == other.n && self.row_ptr == other.row_ptr && self.col_idx == other.col_idx
     }
 
-    /// `y = A·x`.
+    /// `y = A·x`, backend-dispatched. Bit-identical to
+    /// [`Csr::matvec_into_scalar`] on every backend: the lane-blocked kernel
+    /// assigns one row per lane, so each row's accumulation order is
+    /// unchanged.
     pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        // SAFETY (both lane paths): the struct invariants guarantee
+        // `row_ptr` is monotone with `row_ptr[n] == col_idx.len() ==
+        // vals.len()` and every stored column `< n == x.len()`.
+        match simd::backend() {
+            #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+            Backend::Avx2 => unsafe {
+                match self.stencil_plan() {
+                    Some(plan) if plan.w >= STENCIL_MATVEC_MIN_W => {
+                        matvec_stencil_avx2(&self.row_ptr, &self.vals, plan, x, y)
+                    }
+                    Some(plan) => {
+                        matvec_thin_dispatch(&self.row_ptr, &self.col_idx, &self.vals, plan, x, y)
+                    }
+                    None => matvec_lanes_avx2(&self.row_ptr, &self.col_idx, &self.vals, x, y),
+                }
+            },
+            Backend::Scalar => self.matvec_into_scalar(x, y),
+            _ => unsafe {
+                match self.stencil_plan() {
+                    Some(plan) if plan.w >= STENCIL_MATVEC_MIN_W => {
+                        matvec_stencil(&self.row_ptr, &self.vals, plan, x, y)
+                    }
+                    Some(plan) => {
+                        matvec_thin_dispatch(&self.row_ptr, &self.col_idx, &self.vals, plan, x, y)
+                    }
+                    None => matvec_lanes(&self.row_ptr, &self.col_idx, &self.vals, x, y),
+                }
+            },
+        }
+    }
+
+    /// `y = A·x` with the plain per-row scalar loop — the differential-test
+    /// oracle for the lane-blocked kernel and the `force-scalar` code path.
+    pub fn matvec_into_scalar(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
         // SAFETY: the struct invariants guarantee `row_ptr` is monotone with
@@ -171,6 +325,58 @@ impl Csr {
                 }
                 *y.get_unchecked_mut(i) = acc;
             }
+        }
+    }
+
+    /// `Y = A·X` for `X.k()` right-hand sides in SoA layout.
+    ///
+    /// Lanes run across *members* (the k RHS): for every stored entry the
+    /// value is broadcast and multiplied against the k contiguous member
+    /// values of the source column, accumulating in entry order — each
+    /// member sees exactly the scalar [`Csr::matvec_into`] operation
+    /// sequence, so the batched kernel is bit-identical per member *and*
+    /// fully vectorized without gathers (this is the point of SoA).
+    pub fn matvec_multi_into(&self, x: &MultiVec, y: &mut MultiVec) {
+        assert_eq!(x.n(), self.n);
+        assert_eq!(y.n(), self.n);
+        assert_eq!(x.k(), y.k());
+        let k = x.k();
+        // SAFETY: struct invariants as in `matvec_into`; member blocks stay
+        // within `i*k..(i+1)*k` of buffers sized `n*k`.
+        match simd::backend() {
+            #[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+            Backend::Avx2 => unsafe {
+                matvec_multi_lanes_avx2(
+                    &self.row_ptr,
+                    &self.col_idx,
+                    &self.vals,
+                    k,
+                    x.as_slice(),
+                    y.as_mut_slice(),
+                )
+            },
+            Backend::Scalar => {
+                for j in 0..k {
+                    for i in 0..self.n {
+                        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+                        let mut acc = 0.0;
+                        for p in lo..hi {
+                            acc += self.vals[p] * x.as_slice()[self.col_idx[p] * k + j];
+                        }
+                        y.as_mut_slice()[i * k + j] = acc;
+                    }
+                }
+            }
+            _ => unsafe {
+                matvec_multi_lanes(
+                    &self.row_ptr,
+                    &self.col_idx,
+                    &self.vals,
+                    k,
+                    x.as_slice(),
+                    y.as_mut_slice(),
+                )
+            },
         }
     }
 
@@ -232,6 +438,429 @@ impl Csr {
         (0..self.n)
             .map(|r| self.row(r).1.iter().map(|v| v.abs()).sum::<f64>())
             .fold(0.0, f64::max)
+    }
+}
+
+/// Lane-blocked matvec body: one row per lane for blocks of four
+/// consecutive equal-length rows (the common case in the pentadiagonal
+/// interior), scalar otherwise. Per-row accumulation order is identical to
+/// the scalar kernel.
+///
+/// # Safety
+/// CSR invariants (see [`Csr`]): monotone `row_ptr` bounded by
+/// `col_idx.len() == vals.len()`, all columns `< x.len()`,
+/// `row_ptr.len() == y.len() + 1`, `x.len() == y.len()`.
+#[inline(always)]
+unsafe fn matvec_lanes(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    #[inline(always)]
+    unsafe fn row_dot(
+        row_ptr: &[usize],
+        col_idx: &[usize],
+        vals: &[f64],
+        x: &[f64],
+        r: usize,
+    ) -> f64 {
+        let lo = *row_ptr.get_unchecked(r);
+        let hi = *row_ptr.get_unchecked(r + 1);
+        let mut acc = 0.0;
+        for k in lo..hi {
+            acc += *vals.get_unchecked(k) * *x.get_unchecked(*col_idx.get_unchecked(k));
+        }
+        acc
+    }
+
+    let n = y.len();
+    let mut i = 0;
+    while i + LANES <= n {
+        let lo0 = *row_ptr.get_unchecked(i);
+        let lo1 = *row_ptr.get_unchecked(i + 1);
+        let lo2 = *row_ptr.get_unchecked(i + 2);
+        let lo3 = *row_ptr.get_unchecked(i + 3);
+        let hi3 = *row_ptr.get_unchecked(i + 4);
+        let len = lo1 - lo0;
+        if lo2 - lo1 == len && lo3 - lo2 == len && hi3 - lo3 == len {
+            let mut acc = F64x4::zero();
+            for p in 0..len {
+                let a = F64x4([
+                    *vals.get_unchecked(lo0 + p),
+                    *vals.get_unchecked(lo1 + p),
+                    *vals.get_unchecked(lo2 + p),
+                    *vals.get_unchecked(lo3 + p),
+                ]);
+                let xx = F64x4([
+                    *x.get_unchecked(*col_idx.get_unchecked(lo0 + p)),
+                    *x.get_unchecked(*col_idx.get_unchecked(lo1 + p)),
+                    *x.get_unchecked(*col_idx.get_unchecked(lo2 + p)),
+                    *x.get_unchecked(*col_idx.get_unchecked(lo3 + p)),
+                ]);
+                acc = acc.add(a.mul(xx));
+            }
+            acc.store(y, i);
+        } else {
+            for r in i..i + LANES {
+                *y.get_unchecked_mut(r) = row_dot(row_ptr, col_idx, vals, x, r);
+            }
+        }
+        i += LANES;
+    }
+    while i < n {
+        *y.get_unchecked_mut(i) = row_dot(row_ptr, col_idx, vals, x, i);
+        i += 1;
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+#[target_feature(enable = "avx2")]
+unsafe fn matvec_lanes_avx2(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    matvec_lanes(row_ptr, col_idx, vals, x, y)
+}
+
+/// Stencil matvec body: the [`StencilPlan`] pins every column index, so no
+/// `col_idx` indirection (and no per-entry gather) is needed. Per grid
+/// line, the two boundary rows run scalar; the interior rows all have the
+/// same entry count `E` (4 on the first/last line, 5 elsewhere) with
+/// values contiguous at stride `E`, and are processed in four-row chunks:
+/// for each of the `E` stencil bands, four row values come from strided
+/// positions in `vals` and the four `x` operands are one *contiguous* load
+/// at the band's column offset. Bands accumulate in ascending-column order
+/// from a zero accumulator with separate mul/add — exactly the scalar
+/// kernel's per-row operation sequence, so the result is bit-identical to
+/// [`Csr::matvec_into_scalar`].
+///
+/// # Safety
+/// `plan` must be the verified [`StencilPlan`] of this pattern (so row
+/// `j·w + c` has exactly the positional stencil columns and `row_ptr`
+/// matches the implied row lengths); `x.len() == y.len() == w·h`.
+#[inline(always)]
+unsafe fn matvec_stencil(
+    row_ptr: &[usize],
+    vals: &[f64],
+    plan: StencilPlan,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let StencilPlan { w, h } = plan;
+    for j in 0..h {
+        let row0 = j * w;
+        // First column of the line: scalar (no west neighbor).
+        {
+            let i = row0;
+            let mut p = *row_ptr.get_unchecked(i);
+            let mut acc = 0.0;
+            if j > 0 {
+                acc += *vals.get_unchecked(p) * *x.get_unchecked(i - w);
+                p += 1;
+            }
+            acc += *vals.get_unchecked(p) * *x.get_unchecked(i);
+            acc += *vals.get_unchecked(p + 1) * *x.get_unchecked(i + 1);
+            if j + 1 < h {
+                acc += *vals.get_unchecked(p + 2) * *x.get_unchecked(i + w);
+            }
+            *y.get_unchecked_mut(i) = acc;
+        }
+        // Interior columns 1..w-1: equal-length rows, vals at stride e.
+        let (e, offs): (usize, [isize; 5]) = if j == 0 {
+            (4, [-1, 0, 1, w as isize, 0])
+        } else if j + 1 == h {
+            (4, [-(w as isize), -1, 0, 1, 0])
+        } else {
+            (5, [-(w as isize), -1, 0, 1, w as isize])
+        };
+        let first = row0 + 1;
+        let m = w - 2;
+        let p0 = *row_ptr.get_unchecked(first);
+        let mut r = 0usize;
+        while r + LANES <= m {
+            let i = first + r;
+            let p = p0 + r * e;
+            let mut acc = F64x4::zero();
+            for (b, off) in offs.iter().enumerate().take(e) {
+                let a = F64x4([
+                    *vals.get_unchecked(p + b),
+                    *vals.get_unchecked(p + e + b),
+                    *vals.get_unchecked(p + 2 * e + b),
+                    *vals.get_unchecked(p + 3 * e + b),
+                ]);
+                let xx = F64x4::load(x, (i as isize + off) as usize);
+                acc = acc.add(a.mul(xx));
+            }
+            acc.store(y, i);
+            r += LANES;
+        }
+        while r < m {
+            let i = first + r;
+            let p = p0 + r * e;
+            let mut acc = 0.0;
+            for (b, off) in offs.iter().enumerate().take(e) {
+                acc += *vals.get_unchecked(p + b) * *x.get_unchecked((i as isize + off) as usize);
+            }
+            *y.get_unchecked_mut(i) = acc;
+            r += 1;
+        }
+        // Last column of the line: scalar (no east neighbor).
+        {
+            let i = row0 + w - 1;
+            let mut p = *row_ptr.get_unchecked(i);
+            let mut acc = 0.0;
+            if j > 0 {
+                acc += *vals.get_unchecked(p) * *x.get_unchecked(i - w);
+                p += 1;
+            }
+            acc += *vals.get_unchecked(p) * *x.get_unchecked(i - 1);
+            acc += *vals.get_unchecked(p + 1) * *x.get_unchecked(i);
+            if j + 1 < h {
+                acc += *vals.get_unchecked(p + 2) * *x.get_unchecked(i + w);
+            }
+            *y.get_unchecked_mut(i) = acc;
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+#[target_feature(enable = "avx2")]
+unsafe fn matvec_stencil_avx2(
+    row_ptr: &[usize],
+    vals: &[f64],
+    plan: StencilPlan,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    matvec_stencil(row_ptr, vals, plan, x, y)
+}
+
+/// One line of the thin-stencil matvec: straight-line code for all `W`
+/// columns of line `j` (the `c` loop fully unrolls for const `W`, erasing
+/// the boundary branches and the per-entry `col_idx` loads the generic
+/// kernels pay). Each row accumulates its bands in ascending-column order
+/// from a zero accumulator — the scalar kernel's exact operation sequence,
+/// so the result is bit-identical to [`Csr::matvec_into_scalar`].
+///
+/// # Safety
+/// As for [`matvec_thin`], with `j` a valid line index (`TOP` iff `j == 0`,
+/// `BOTTOM` iff `j + 1 == h`).
+#[inline(always)]
+unsafe fn thin_line<const W: usize, const TOP: bool, const BOTTOM: bool>(
+    j: usize,
+    row_ptr: &[usize],
+    vals: &[f64],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    for c in 0..W {
+        let i = j * W + c;
+        let mut p = *row_ptr.get_unchecked(i);
+        let mut acc = 0.0;
+        if !TOP {
+            acc += *vals.get_unchecked(p) * *x.get_unchecked(i - W);
+            p += 1;
+        }
+        if c > 0 {
+            acc += *vals.get_unchecked(p) * *x.get_unchecked(i - 1);
+            p += 1;
+        }
+        acc += *vals.get_unchecked(p) * *x.get_unchecked(i);
+        p += 1;
+        if c + 1 < W {
+            acc += *vals.get_unchecked(p) * *x.get_unchecked(i + 1);
+            p += 1;
+        }
+        if !BOTTOM {
+            acc += *vals.get_unchecked(p) * *x.get_unchecked(i + W);
+        }
+        *y.get_unchecked_mut(i) = acc;
+    }
+}
+
+/// Thin-stencil matvec body for lines narrower than
+/// [`STENCIL_MATVEC_MIN_W`]: too narrow for the four-row interior chunks of
+/// [`matvec_stencil`], but the const line width lets every line run as
+/// unrolled straight-line code with full instruction-level parallelism
+/// (`W` independent accumulators per line). Bit-identical to
+/// [`Csr::matvec_into_scalar`] — see [`thin_line`].
+///
+/// # Safety
+/// `plan` must be the verified [`StencilPlan`] of this pattern with
+/// `plan.w == W` (detection guarantees `h >= 3`, so the first and last
+/// lines are distinct); `x.len() == y.len() == w·h`.
+/// Route a narrow plan (`plan.w < STENCIL_MATVEC_MIN_W`) to the matching
+/// const-width [`matvec_thin`] body. Detection admits widths down to 2; a
+/// width outside `2..=6` cannot reach here, but falls back to the generic
+/// lane kernel rather than trusting that invariant with UB.
+///
+/// # Safety
+/// As for [`matvec_thin`], minus the width pin (checked here).
+#[inline(always)]
+unsafe fn matvec_thin_dispatch(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &[f64],
+    plan: StencilPlan,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    match plan.w {
+        2 => matvec_thin::<2>(row_ptr, vals, plan, x, y),
+        3 => matvec_thin::<3>(row_ptr, vals, plan, x, y),
+        4 => matvec_thin::<4>(row_ptr, vals, plan, x, y),
+        5 => matvec_thin::<5>(row_ptr, vals, plan, x, y),
+        6 => matvec_thin::<6>(row_ptr, vals, plan, x, y),
+        7 => matvec_thin::<7>(row_ptr, vals, plan, x, y),
+        _ => matvec_lanes(row_ptr, col_idx, vals, x, y),
+    }
+}
+
+unsafe fn matvec_thin<const W: usize>(
+    row_ptr: &[usize],
+    vals: &[f64],
+    plan: StencilPlan,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    debug_assert_eq!(plan.w, W);
+    let h = plan.h;
+    thin_line::<W, true, false>(0, row_ptr, vals, x, y);
+    for j in 1..h - 1 {
+        thin_line::<W, false, false>(j, row_ptr, vals, x, y);
+    }
+    thin_line::<W, false, true>(h - 1, row_ptr, vals, x, y);
+}
+
+/// SoA multi-RHS matvec body: lanes run across members. For every stored
+/// entry, broadcast the value and accumulate against the k contiguous
+/// member values of the source column, in entry order.
+///
+/// # Safety
+/// CSR invariants as for [`matvec_lanes`]; `x.len() == y.len() == n * k`.
+#[inline(always)]
+unsafe fn matvec_multi_lanes(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &[f64],
+    k: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let n = row_ptr.len() - 1;
+    for i in 0..n {
+        let lo = *row_ptr.get_unchecked(i);
+        let hi = *row_ptr.get_unchecked(i + 1);
+        let mut jb = 0;
+        while jb + LANES <= k {
+            let mut acc = F64x4::zero();
+            for p in lo..hi {
+                let a = F64x4::splat(*vals.get_unchecked(p));
+                let xx = F64x4::load(x, *col_idx.get_unchecked(p) * k + jb);
+                acc = acc.add(a.mul(xx));
+            }
+            acc.store(y, i * k + jb);
+            jb += LANES;
+        }
+        while jb < k {
+            let mut acc = 0.0;
+            for p in lo..hi {
+                acc +=
+                    *vals.get_unchecked(p) * *x.get_unchecked(*col_idx.get_unchecked(p) * k + jb);
+            }
+            *y.get_unchecked_mut(i * k + jb) = acc;
+            jb += 1;
+        }
+    }
+}
+
+#[cfg(all(target_arch = "x86_64", not(feature = "force-scalar")))]
+#[target_feature(enable = "avx2")]
+unsafe fn matvec_multi_lanes_avx2(
+    row_ptr: &[usize],
+    col_idx: &[usize],
+    vals: &[f64],
+    k: usize,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    matvec_multi_lanes(row_ptr, col_idx, vals, k, x, y)
+}
+
+/// `k` vectors of length `n` in structure-of-arrays layout: the `k` member
+/// values for node `i` are contiguous at `data[i*k .. (i+1)*k]`.
+///
+/// This is the batched solver's working layout: every elementwise kernel
+/// and reduction runs lanes across *members*, which makes per-member
+/// reductions simultaneously vectorized and bit-exact (each member's sum
+/// stays in node order — no reassociation within a member).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MultiVec {
+    k: usize,
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl MultiVec {
+    pub fn new() -> MultiVec {
+        MultiVec::default()
+    }
+
+    /// Resize to `k` members of length `n`. Existing capacity is reused;
+    /// warm calls with the same or smaller shape never allocate.
+    pub fn ensure(&mut self, k: usize, n: usize) {
+        self.k = k;
+        self.n = n;
+        if self.data.len() < k * n {
+            self.data.resize(k * n, 0.0);
+        }
+    }
+
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data[..self.k * self.n]
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        let len = self.k * self.n;
+        &mut self.data[..len]
+    }
+
+    pub fn fill(&mut self, v: f64) {
+        let len = self.k * self.n;
+        self.data[..len].fill(v);
+    }
+
+    /// Scatter `src` (length `n`) into member `j`.
+    pub fn pack_member(&mut self, j: usize, src: &[f64]) {
+        assert_eq!(src.len(), self.n);
+        assert!(j < self.k);
+        let k = self.k;
+        for (i, &v) in src.iter().enumerate() {
+            self.data[i * k + j] = v;
+        }
+    }
+
+    /// Gather member `j` into `dst` (length `n`).
+    pub fn unpack_member(&self, j: usize, dst: &mut [f64]) {
+        assert_eq!(dst.len(), self.n);
+        assert!(j < self.k);
+        let k = self.k;
+        for (i, d) in dst.iter_mut().enumerate() {
+            *d = self.data[i * k + j];
+        }
     }
 }
 
@@ -491,6 +1120,188 @@ mod tests {
         let other = Csr::from_triplets(3, &[(0, 0, 1.0), (2, 2, 1.0), (1, 1, 1.0)]);
         assert!(!cache.matches(&other));
         assert!(!cache.matches(&Csr::identity(4)));
+    }
+
+    #[test]
+    fn lane_matvec_matches_scalar_bitwise() {
+        // Pentadiagonal-ish matrix large enough to hit full lane blocks,
+        // equal-length runs, ragged blocks, and the remainder loop.
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 13, 31] {
+            let mut t = Vec::new();
+            for i in 0..n {
+                t.push((i, i, 4.0 + i as f64 * 0.01));
+                if i >= 1 {
+                    t.push((i, i - 1, -1.0 - 0.001 * i as f64));
+                }
+                if i + 1 < n {
+                    t.push((i, i + 1, -1.1));
+                }
+                if i >= 3 {
+                    t.push((i, i - 3, -0.3));
+                }
+                if i + 3 < n {
+                    t.push((i, i + 3, -0.31));
+                }
+            }
+            let a = Csr::from_triplets(n, &t);
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+            let mut y_lanes = vec![0.0; n];
+            let mut y_scalar = vec![0.0; n];
+            a.matvec_into(&x, &mut y_lanes);
+            a.matvec_into_scalar(&x, &mut y_scalar);
+            assert_eq!(y_lanes, y_scalar, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn multi_matvec_matches_per_member_bitwise() {
+        let a = example();
+        for k in [1usize, 2, 3, 4, 5, 8, 9] {
+            let mut x = MultiVec::new();
+            let mut y = MultiVec::new();
+            x.ensure(k, 3);
+            y.ensure(k, 3);
+            let members: Vec<Vec<f64>> = (0..k)
+                .map(|j| (0..3).map(|i| (i + j) as f64 * 0.7 - 1.0).collect())
+                .collect();
+            for (j, m) in members.iter().enumerate() {
+                x.pack_member(j, m);
+            }
+            a.matvec_multi_into(&x, &mut y);
+            let mut got = vec![0.0; 3];
+            let mut want = vec![0.0; 3];
+            for (j, m) in members.iter().enumerate() {
+                y.unpack_member(j, &mut got);
+                a.matvec_into_scalar(m, &mut want);
+                assert_eq!(got, want, "k = {k}, member {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn multivec_pack_unpack_roundtrip() {
+        let mut mv = MultiVec::new();
+        mv.ensure(3, 4);
+        let m: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0];
+        mv.pack_member(1, &m);
+        let mut out = vec![0.0; 4];
+        mv.unpack_member(1, &mut out);
+        assert_eq!(out, m);
+        mv.unpack_member(0, &mut out);
+        assert_eq!(out, vec![0.0; 4]);
+        // Shrinking then regrowing within capacity must not allocate a new
+        // buffer (warm-loop discipline) — observable via the data pointer.
+        let p = mv.as_slice().as_ptr();
+        mv.ensure(2, 3);
+        mv.ensure(3, 4);
+        assert_eq!(mv.as_slice().as_ptr(), p);
+    }
+
+    /// A w×h 5-point-stencil matrix with smoothly varying, row-distinct
+    /// values (so a misplaced band or a swapped neighbor cannot cancel).
+    fn stencil_matrix(w: usize, h: usize) -> Csr {
+        let n = w * h;
+        let mut t = Vec::new();
+        for j in 0..h {
+            for c in 0..w {
+                let i = j * w + c;
+                let f = i as f64;
+                if j > 0 {
+                    t.push((i, i - w, -1.0 - 0.01 * f));
+                }
+                if c > 0 {
+                    t.push((i, i - 1, -0.5 - 0.002 * f));
+                }
+                t.push((i, i, 4.0 + 0.1 * f));
+                if c + 1 < w {
+                    t.push((i, i + 1, -0.6 + 0.003 * f));
+                }
+                if j + 1 < h {
+                    t.push((i, i + w, -1.1 + 0.004 * f));
+                }
+            }
+        }
+        Csr::from_triplets(n, &t)
+    }
+
+    #[test]
+    fn stencil_plan_detected_on_grids() {
+        for (w, h) in [(3, 3), (3, 4), (5, 3), (4, 7), (9, 4), (16, 16)] {
+            let a = stencil_matrix(w, h);
+            assert_eq!(a.stencil_plan(), Some(StencilPlan { w, h }), "{w}x{h}");
+        }
+        // Width- or height-2 grids have no interior (5-entry) row to anchor
+        // detection — they conservatively stay on the generic kernels.
+        for (w, h) in [(2, 2), (2, 5), (5, 2)] {
+            assert_eq!(stencil_matrix(w, h).stencil_plan(), None, "{w}x{h}");
+        }
+    }
+
+    #[test]
+    fn stencil_plan_rejects_non_stencil_patterns() {
+        assert_eq!(Csr::identity(6).stencil_plan(), None);
+        assert_eq!(example().stencil_plan(), None, "tridiagonal");
+        // A 1-D pentadiagonal (bandwidth-3) matrix: its first 5-entry row
+        // looks like a width-3 stencil row, but the full verification pass
+        // must reject it.
+        let n = 12;
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i >= 1 {
+                t.push((i, i - 1, -1.0));
+            }
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+            }
+            if i >= 3 {
+                t.push((i, i - 3, -0.3));
+            }
+            if i + 3 < n {
+                t.push((i, i + 3, -0.3));
+            }
+        }
+        assert_eq!(Csr::from_triplets(n, &t).stencil_plan(), None);
+        // A true stencil with one interior entry knocked out.
+        let a = stencil_matrix(4, 4);
+        let mut dropped = Vec::new();
+        for r in 0..a.n() {
+            let (cols, vals) = a.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                if !(r == 5 && *c == 6) {
+                    dropped.push((r, *c, *v));
+                }
+            }
+        }
+        assert_eq!(Csr::from_triplets(a.n(), &dropped).stencil_plan(), None);
+    }
+
+    #[test]
+    fn stencil_matvec_matches_scalar_bitwise() {
+        // Shapes cover w == 2 (no interior columns), thin-and-tall,
+        // wide-and-short, chunk remainders (w-2 mod 4 in every class), and
+        // a square large enough for several four-row chunks per line.
+        for (w, h) in [
+            (2, 2),
+            (2, 7),
+            (3, 3),
+            (4, 5),
+            (5, 4),
+            (6, 3),
+            (7, 2),
+            (9, 6),
+            (17, 5),
+        ] {
+            let a = stencil_matrix(w, h);
+            assert_eq!(a.stencil_plan().is_some(), w >= 3 && h >= 3, "{w}x{h}");
+            let n = w * h;
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).sin() * 2.5).collect();
+            let mut y = vec![0.0; n];
+            let mut y_scalar = vec![0.0; n];
+            a.matvec_into(&x, &mut y);
+            a.matvec_into_scalar(&x, &mut y_scalar);
+            assert_eq!(y, y_scalar, "{w}x{h}");
+        }
     }
 
     #[test]

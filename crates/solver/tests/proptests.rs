@@ -6,8 +6,9 @@ use solver::combine::{combine, prolong_bilinear};
 use solver::grid::{Grid2, GridIndex};
 use solver::linsolve::{bicgstab, Ilu0, Preconditioner};
 use solver::problem::Problem;
-use solver::sparse::Csr;
-use solver::{l2_norm, linf_norm, WorkCounter};
+use solver::rosenbrock::{integrate_with, Ros2Options, Ros2Workspace};
+use solver::sparse::{Csr, MultiVec, StencilPlan};
+use solver::{l2_norm, linf_norm, Tier, WorkCounter};
 
 // -------------------------------------------------------------------- CSR
 
@@ -128,6 +129,238 @@ proptest! {
             let (cols, _) = a.row(r);
             prop_assert!(cols.windows(2).all(|w| w[0] < w[1]), "row {r}: {cols:?}");
         }
+    }
+}
+
+// ------------------------------------------------- SIMD kernel dispatch
+//
+// The production kernels (`Csr::matvec_into`, `Ilu0::apply`, and their
+// multi-RHS variants) promise *bit identity* with the plain scalar loops on
+// every backend and for every dispatch route (lane-blocked, thin stencil,
+// chunked stencil, wavefront). These differentials pin that promise on
+// adversarial shapes: odd lengths, remainder lanes, systems smaller than
+// the lane width, and stencil grids across the thin/chunked width split.
+
+/// Deterministic pseudo-random vector (splitmix-style) in roughly ±1.
+fn test_vector(n: usize, seed: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let mut z = seed ^ (0x9e3779b97f4a7c15u64.wrapping_mul(i as u64 + 1));
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            ((z >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Random pentadiagonal CSR: bands at offsets `{-b, -1, 0, +1, +b}`, each
+/// off-diagonal entry present with probability ~0.7 (so rows have ragged
+/// lengths and the pattern rarely conforms to a stencil plan), strongly
+/// diagonally dominant. `n` ranges below the lane width (4) up to several
+/// lane blocks plus remainders.
+fn arb_pentadiagonal() -> impl Strategy<Value = Csr> {
+    // The vendored proptest has no `prop_flat_map`, so draw fixed-size
+    // entry pools for the largest `n` and slice what the drawn size needs.
+    (
+        1usize..26,
+        2usize..6,
+        prop::collection::vec((0.0..1.0f64, -1.5..1.5f64), 100..101),
+        prop::collection::vec(7.0..9.0f64, 25..26),
+    )
+        .prop_map(|(n, b, offdiag, diag)| {
+            let mut t = Vec::new();
+            for i in 0..n {
+                t.push((i, i, diag[i]));
+                for (q, &off) in [1usize, b].iter().enumerate() {
+                    let (pl, vl) = offdiag[4 * i + 2 * q];
+                    let (pu, vu) = offdiag[4 * i + 2 * q + 1];
+                    if pl < 0.7 && i >= off {
+                        t.push((i, i - off, vl));
+                    }
+                    if pu < 0.7 && i + off < n {
+                        t.push((i, i + off, vu));
+                    }
+                }
+            }
+            Csr::from_triplets(n, &t)
+        })
+}
+
+/// Exact 5-point tensor-product stencil matrix on a `w × h` grid with
+/// random band values, spanning the thin-width (`w < 8`) and chunked
+/// (`w >= 8`) matvec routes and the wavefront sweep. Width starts at 3:
+/// a 2-wide grid has no 5-entry row for detection to anchor on.
+fn arb_stencil_csr() -> impl Strategy<Value = (Csr, usize, usize)> {
+    // Entry pools sized for the largest `w × h` (see `arb_pentadiagonal`).
+    (
+        3usize..11,
+        3usize..9,
+        prop::collection::vec(-1.0..1.0f64, 320..321),
+        prop::collection::vec(7.0..9.0f64, 80..81),
+    )
+        .prop_map(|(w, h, bands, diag)| {
+            let n = w * h;
+            let mut t = Vec::new();
+            for i in 0..n {
+                let (j, c) = (i / w, i % w);
+                t.push((i, i, diag[i]));
+                if j > 0 {
+                    t.push((i, i - w, bands[4 * i]));
+                }
+                if c > 0 {
+                    t.push((i, i - 1, bands[4 * i + 1]));
+                }
+                if c + 1 < w {
+                    t.push((i, i + 1, bands[4 * i + 2]));
+                }
+                if j + 1 < h {
+                    t.push((i, i + w, bands[4 * i + 3]));
+                }
+            }
+            (Csr::from_triplets(n, &t), w, h)
+        })
+}
+
+proptest! {
+    /// Dispatched matvec and ILU(0) sweeps are bit-identical to the scalar
+    /// loops on ragged pentadiagonal systems (lane-blocked route).
+    #[test]
+    fn simd_kernels_bit_identical_on_pentadiagonal(
+        a in arb_pentadiagonal(),
+        seed in any::<u64>()
+    ) {
+        let n = a.n();
+        let x = test_vector(n, seed);
+        let mut y = vec![0.0; n];
+        let mut y_s = vec![0.0; n];
+        a.matvec_into(&x, &mut y);
+        a.matvec_into_scalar(&x, &mut y_s);
+        for i in 0..n {
+            prop_assert_eq!(y[i].to_bits(), y_s[i].to_bits(), "matvec row {}", i);
+        }
+
+        let mut w = WorkCounter::new();
+        let ilu = Ilu0::new(&a, &mut w);
+        let mut z = vec![0.0; n];
+        let mut z_s = vec![0.0; n];
+        ilu.apply(&x, &mut z, &mut w);
+        ilu.apply_scalar(&x, &mut z_s);
+        for i in 0..n {
+            prop_assert_eq!(z[i].to_bits(), z_s[i].to_bits(), "sweep row {}", i);
+        }
+    }
+
+    /// On conforming stencil grids the plan is detected and the
+    /// structure-aware routes (thin/chunked matvec, wavefront sweeps) stay
+    /// bit-identical to the scalar loops.
+    #[test]
+    fn simd_kernels_bit_identical_on_stencil_grids(
+        (a, w, h) in arb_stencil_csr(),
+        seed in any::<u64>()
+    ) {
+        prop_assert_eq!(a.stencil_plan(), Some(StencilPlan { w, h }));
+        let n = a.n();
+        let x = test_vector(n, seed);
+        let mut y = vec![0.0; n];
+        let mut y_s = vec![0.0; n];
+        a.matvec_into(&x, &mut y);
+        a.matvec_into_scalar(&x, &mut y_s);
+        for i in 0..n {
+            prop_assert_eq!(y[i].to_bits(), y_s[i].to_bits(), "matvec row {}", i);
+        }
+
+        let mut wk = WorkCounter::new();
+        let ilu = Ilu0::new(&a, &mut wk);
+        let mut z = vec![0.0; n];
+        let mut z_s = vec![0.0; n];
+        ilu.apply(&x, &mut z, &mut wk);
+        ilu.apply_scalar(&x, &mut z_s);
+        for i in 0..n {
+            prop_assert_eq!(z[i].to_bits(), z_s[i].to_bits(), "sweep row {}", i);
+        }
+    }
+
+    /// The SoA multi-RHS kernels are bit-identical to the single-RHS scalar
+    /// loops member by member, for widths off the lane grid.
+    #[test]
+    fn multi_rhs_kernels_bit_identical_per_member(
+        (a, _, _) in arb_stencil_csr(),
+        k in 1usize..6,
+        seed in any::<u64>()
+    ) {
+        let n = a.n();
+        let members: Vec<Vec<f64>> =
+            (0..k).map(|j| test_vector(n, seed ^ (j as u64) << 17)).collect();
+        let mut x = MultiVec::new();
+        let mut y = MultiVec::new();
+        x.ensure(k, n);
+        y.ensure(k, n);
+        for (j, mem) in members.iter().enumerate() {
+            x.pack_member(j, mem);
+        }
+
+        let mut got = vec![0.0; n];
+        let mut want = vec![0.0; n];
+        a.matvec_multi_into(&x, &mut y);
+        for (j, mem) in members.iter().enumerate() {
+            y.unpack_member(j, &mut got);
+            a.matvec_into_scalar(mem, &mut want);
+            for i in 0..n {
+                prop_assert_eq!(got[i].to_bits(), want[i].to_bits(),
+                    "matvec member {} row {}", j, i);
+            }
+        }
+
+        let mut wk = WorkCounter::new();
+        let ilu = Ilu0::new(&a, &mut wk);
+        ilu.apply_multi(&x, &mut y);
+        for (j, mem) in members.iter().enumerate() {
+            y.unpack_member(j, &mut got);
+            ilu.apply_scalar(mem, &mut want);
+            for i in 0..n {
+                prop_assert_eq!(got[i].to_bits(), want[i].to_bits(),
+                    "sweep member {} row {}", j, i);
+            }
+        }
+    }
+}
+
+/// The fast tier trades bit-reproducibility for speed (blocked dots, fused
+/// error norm) but must not degrade *accuracy*: on the anisotropic
+/// regression grids, the fast-tier solution error against the manufactured
+/// exact solution stays within a whisker of the exact tier's.
+#[test]
+fn fast_tier_error_bound_on_regression_grids() {
+    let problem = Problem::manufactured_benchmark();
+    for (l, m) in [(0u32, 4u32), (4, 0), (1, 3), (3, 1), (2, 2)] {
+        let g = Grid2::new(2, l, m);
+        let mut wk = WorkCounter::new();
+        let disc = assemble(&g, &problem, &mut wk);
+        let u0 = disc.exact_interior(problem.t0);
+        let want = disc.exact_interior(problem.t_end);
+        let mut err = [0.0f64; 2];
+        for (slot, tier) in [(0, Tier::Exact), (1, Tier::Fast)] {
+            let opts = Ros2Options::with_tol(1e-4).with_tier(tier);
+            let mut ws = Ros2Workspace::new();
+            let (u, _) = integrate_with(
+                &disc,
+                u0.clone(),
+                problem.t0,
+                problem.t_end,
+                &opts,
+                &mut ws,
+                &mut wk,
+            )
+            .expect("integration");
+            let diff: Vec<f64> = u.iter().zip(&want).map(|(a, b)| a - b).collect();
+            err[slot] = l2_norm(&diff) / (1.0 + l2_norm(&want));
+        }
+        assert!(
+            err[1] <= 1.05 * err[0] + 1e-7,
+            "grid ({l},{m}): fast-tier error {} vs exact-tier {}",
+            err[1],
+            err[0]
+        );
     }
 }
 
