@@ -5,8 +5,9 @@
 //! cargo run -p bench --release --bin serve_bench -- \
 //!     [--tenants N] [--inflight N] [--jobs N] [--root N] [--level N]
 //!     [--backend sim|threads] [--heavy-weight W] [--connect ADDR]
+//!     [--journal DIR] [--kill-daemon N] [--seed N]
 //!     [--drain] [--assert-zero-rejections] [--assert-min-peak N]
-//!     [--json PATH]
+//!     [--assert-lossless] [--json PATH]
 //! ```
 //!
 //! Each tenant owns one connection and keeps `--inflight` submits open:
@@ -20,15 +21,30 @@
 //! (root, level, tol): the served `combined` field must be
 //! **bit-identical** (FNV-1a over the f64 bit patterns, plus the exact
 //! `l2_error`). Any drift fails the run. `Reject` replies are counted,
-//! backed off by the daemon's retry-after hint, and resubmitted — the
-//! rejection *rate* is part of the report, not an error.
+//! backed off under jittered exponential backoff floored at the daemon's
+//! retry-after hint, and resubmitted — the rejection *rate* is part of
+//! the report, not an error.
+//!
+//! **Chaos mode** (`--kill-daemon N`): the bench becomes a supervisor.
+//! It spawns a real `mf-served` process with `--journal`, arms it with a
+//! `daemonkill@K` fault (SIGKILL after the K-th journaled outcome, K
+//! seeded by `--seed`), and restarts it on the same journal every time it
+//! dies — N induced crashes, then a clean final incarnation. Tenants ride
+//! through with resume tokens. `--assert-lossless` then requires every
+//! job resolved exactly once: zero lost, zero application-level
+//! duplicates, zero drift — the crash-durability acceptance gate.
 //!
 //! Without `--connect` the bench embeds a daemon on a loopback socket and
 //! reports its admission-layer statistics (peak in-system concurrency,
 //! per-tenant fair-share rows) alongside the client-side latency
-//! histograms; `--json` writes the whole thing as `BENCH_serve.json`.
+//! histograms; `--journal DIR` turns on the embedded daemon's write-ahead
+//! journal (for measuring its overhead); `--json` writes the whole thing
+//! as `BENCH_serve.json`.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,13 +53,14 @@ use protocol::PaperFaithful;
 use renovation::{Engine, EngineOpts, RunMode};
 use serve::daemon::{Daemon, DaemonConfig, EngineBuilder};
 use serve::proto::field_checksum;
-use serve::{AdmissionConfig, ServeMsg, TenantClient};
+use serve::{AdmissionConfig, Backoff, JournalConfig, ServeMsg, TenantClient};
 use solver::sequential::SequentialApp;
 use transport::Addr;
 
 const USAGE: &str = "[--tenants N] [--inflight N] [--jobs N] [--root N] [--level N] \
-     [--backend sim|threads] [--heavy-weight W] [--connect ADDR] [--drain] \
-     [--assert-zero-rejections] [--assert-min-peak N] [--json PATH]";
+     [--backend sim|threads] [--heavy-weight W] [--connect ADDR] [--journal DIR] \
+     [--kill-daemon N] [--seed N] [--drain] [--assert-zero-rejections] \
+     [--assert-min-peak N] [--assert-lossless] [--json PATH]";
 
 /// One tenant thread's view of its own run.
 struct TenantOutcome {
@@ -53,6 +70,13 @@ struct TenantOutcome {
     rejected: u64,
     failed: u64,
     drifted: u64,
+    /// Replayed replies the client's exactly-once filter swallowed.
+    duplicates_suppressed: u64,
+    /// Replies that resolved a seq this tenant had already resolved —
+    /// must be zero, or exactly-once is broken end to end.
+    app_duplicates: u64,
+    /// Times this tenant resumed its session after a dead connection.
+    resumes: u64,
     latencies_ms: Vec<f64>,
 }
 
@@ -65,7 +89,9 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
 }
 
 /// Drive one tenant's closed loop: keep `inflight` submits open until
-/// `jobs` of them have resolved (served or finally failed).
+/// `jobs` of them have resolved (served or finally failed). When
+/// `resumable` (chaos mode), a dead connection is resumed under backoff
+/// instead of failing the tenant.
 #[allow(clippy::too_many_arguments)]
 fn run_tenant(
     addr: &Addr,
@@ -78,8 +104,26 @@ fn run_tenant(
     tol: f64,
     oracle_checksum: u64,
     oracle_l2: f64,
+    resumable: bool,
+    seed: u64,
 ) -> std::io::Result<TenantOutcome> {
-    let mut c = TenantClient::connect(addr, &name, weight)?;
+    let mut reconnect = Backoff::with(
+        Duration::from_millis(5),
+        Duration::from_millis(200),
+        seed ^ 0xA5A5,
+    );
+    let mut c = if resumable {
+        // The daemon may still be binding (or rebinding, mid-crash).
+        loop {
+            match TenantClient::connect(addr, &name, weight) {
+                Ok(c) => break c,
+                Err(_) => std::thread::sleep(reconnect.next(None)),
+            }
+        }
+    } else {
+        TenantClient::connect(addr, &name, weight)?
+    };
+    reconnect.reset();
     c.set_read_timeout(Some(Duration::from_secs(60)))?;
     let mut out = TenantOutcome {
         name,
@@ -88,128 +132,138 @@ fn run_tenant(
         rejected: 0,
         failed: 0,
         drifted: 0,
+        duplicates_suppressed: 0,
+        app_duplicates: 0,
+        resumes: 0,
         latencies_ms: Vec::with_capacity(jobs as usize),
     };
+    let mut reject_backoff = Backoff::new(seed ^ 0x5A5A);
     let mut open: HashMap<u64, Instant> = HashMap::new();
     let mut next_seq = 0u64;
     let mut submitted = 0u64;
     while out.served + out.failed < jobs {
-        while open.len() < inflight && submitted < jobs {
-            next_seq += 1;
-            submitted += 1;
-            c.submit(next_seq, root, level, tol)?;
-            open.insert(next_seq, Instant::now());
-        }
-        match c.recv()? {
-            ServeMsg::Done {
-                seq,
-                l2_error,
-                combined,
-                ..
-            } => {
-                if let Some(t0) = open.remove(&seq) {
-                    out.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let step: std::io::Result<bool> = (|| {
+            while open.len() < inflight && submitted < jobs {
+                next_seq += 1;
+                submitted += 1;
+                c.submit(next_seq, root, level, tol)?;
+                open.insert(next_seq, Instant::now());
+            }
+            match c.recv()? {
+                ServeMsg::Done {
+                    seq,
+                    l2_error,
+                    combined,
+                    ..
+                } => {
+                    match open.remove(&seq) {
+                        Some(t0) => out.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+                        // Resolved once already: exactly-once violated.
+                        None => out.app_duplicates += 1,
+                    }
+                    out.served += 1;
+                    if field_checksum(&combined) != oracle_checksum || l2_error != oracle_l2 {
+                        out.drifted += 1;
+                    }
+                    reject_backoff.reset();
                 }
-                out.served += 1;
-                if field_checksum(&combined) != oracle_checksum || l2_error != oracle_l2 {
-                    out.drifted += 1;
+                ServeMsg::Reject {
+                    seq,
+                    retry_after_ms,
+                    ..
+                } => {
+                    out.rejected += 1;
+                    open.remove(&seq);
+                    // Back off under jitter, floored at the daemon's
+                    // hint, then re-fund the slot with a fresh seq.
+                    submitted -= 1;
+                    std::thread::sleep(
+                        reject_backoff.next(Some(Duration::from_millis(retry_after_ms))),
+                    );
                 }
+                ServeMsg::Fail { seq, .. } => {
+                    if open.remove(&seq).is_none() {
+                        out.app_duplicates += 1;
+                    }
+                    out.failed += 1;
+                }
+                // The daemon is going down mid-run; stop cleanly.
+                ServeMsg::Drained { .. } => return Ok(false),
+                _ => {}
             }
-            ServeMsg::Reject {
-                seq,
-                retry_after_ms,
-                ..
-            } => {
-                out.rejected += 1;
-                open.remove(&seq);
-                // Honour the backpressure hint, then re-fund the slot.
-                submitted -= 1;
-                std::thread::sleep(Duration::from_millis(retry_after_ms.min(100)));
+            Ok(true)
+        })();
+        match step {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => {
+                if !resumable {
+                    return Err(e);
+                }
+                // Chaos mode: the daemon died under us. Resume the
+                // session (token + consumed-reply watermark + automatic
+                // resubmission of open seqs) against its successor.
+                c.resume_with_backoff(&mut reconnect, 3_000)?;
+                c.set_read_timeout(Some(Duration::from_secs(60)))?;
+                reconnect.reset();
+                out.resumes += 1;
             }
-            ServeMsg::Fail { seq, .. } => {
-                open.remove(&seq);
-                out.failed += 1;
-            }
-            // The daemon is going down mid-run; stop cleanly.
-            ServeMsg::Drained { .. } => break,
-            _ => {}
         }
     }
+    out.duplicates_suppressed = c.duplicates_suppressed();
+    let _ = c.ack();
     c.bye()?;
     Ok(out)
 }
 
+/// Durability-mode accounting for the report.
+struct ChaosReport {
+    kills: u32,
+    final_exit_clean: bool,
+}
+
+/// Where the `mf-served` binary lives: next to this bench binary unless
+/// `MF_SERVED_BIN` says otherwise.
+fn mf_served_path() -> PathBuf {
+    if let Some(p) = std::env::var_os("MF_SERVED_BIN") {
+        return p.into();
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.pop();
+    if p.ends_with("deps") {
+        p.pop();
+    }
+    p.push("mf-served");
+    p
+}
+
 #[allow(clippy::too_many_arguments)]
-fn render_json(
+fn spawn_served(
+    sock: &Path,
+    journal: &Path,
     backend: &str,
-    tenants: usize,
-    inflight: usize,
-    jobs: u64,
-    root: u32,
     level: u32,
-    tol: f64,
-    wall_s: f64,
-    served: u64,
-    rejected: u64,
-    peak_in_system: Option<usize>,
-    bit_identical: bool,
-    overall: &[f64],
-    rows: &[TenantOutcome],
-) -> String {
-    let offered = served + rejected;
-    let mut out = String::from("{\n");
-    out.push_str("  \"bench\": \"serve_bench\",\n");
-    out.push_str(&format!("  \"backend\": \"{backend}\",\n"));
-    out.push_str(&format!("  \"tenants\": {tenants},\n"));
-    out.push_str(&format!("  \"inflight_per_tenant\": {inflight},\n"));
-    out.push_str(&format!("  \"jobs_per_tenant\": {jobs},\n"));
-    out.push_str(&format!(
-        "  \"problem\": {{ \"root\": {root}, \"level\": {level}, \"tol\": {tol:e} }},\n"
-    ));
-    out.push_str(&format!("  \"wall_s\": {wall_s:.3},\n"));
-    out.push_str(&format!(
-        "  \"throughput_jobs_per_s\": {:.1},\n",
-        served as f64 / wall_s
-    ));
-    out.push_str(&format!("  \"served\": {served},\n"));
-    out.push_str(&format!("  \"rejected\": {rejected},\n"));
-    out.push_str(&format!(
-        "  \"rejection_rate\": {:.4},\n",
-        if offered == 0 {
-            0.0
-        } else {
-            rejected as f64 / offered as f64
-        }
-    ));
-    match peak_in_system {
-        Some(p) => out.push_str(&format!("  \"peak_in_system\": {p},\n")),
-        None => out.push_str("  \"peak_in_system\": null,\n"),
+    queue_cap: usize,
+    faults: Option<&str>,
+) -> Child {
+    let mut cmd = Command::new(mf_served_path());
+    cmd.arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .arg("--backend")
+        .arg(backend)
+        .arg("--journal")
+        .arg(journal)
+        .arg("--capacity-level")
+        .arg(level.to_string())
+        .arg("--queue-cap")
+        .arg(queue_cap.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    if let Some(f) = faults {
+        cmd.arg("--faults").arg(f);
     }
-    out.push_str(&format!("  \"bit_identical\": {bit_identical},\n"));
-    out.push_str(&format!(
-        "  \"latency_ms\": {{ \"p50\": {:.2}, \"p99\": {:.2} }},\n",
-        percentile(overall, 0.50),
-        percentile(overall, 0.99)
-    ));
-    out.push_str("  \"per_tenant\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let mut sorted = r.latencies_ms.clone();
-        sorted.sort_by(f64::total_cmp);
-        out.push_str(&format!(
-            "    {{ \"tenant\": \"{}\", \"weight\": {}, \"served\": {}, \"rejected\": {}, \
-             \"failed\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2} }}{}\n",
-            r.name,
-            r.weight,
-            r.served,
-            r.rejected,
-            r.failed,
-            percentile(&sorted, 0.50),
-            percentile(&sorted, 0.99),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    out.push_str("  ]\n}\n");
-    out
+    cmd.spawn()
+        .expect("spawn mf-served (is it built? cargo build -p serve --bin mf-served)")
 }
 
 fn main() {
@@ -223,6 +277,8 @@ fn main() {
     let heavy_weight = cli.parsed("--heavy-weight", 4u32);
     let backend = cli.value("--backend").unwrap_or("sim").to_string();
     let want_drain = cli.flag("--drain");
+    let kill_daemon: u32 = cli.parsed("--kill-daemon", 0u32);
+    let seed: u64 = cli.parsed("--seed", 42u64);
 
     let oracle = SequentialApp::new(root, level, tol)
         .run()
@@ -230,42 +286,137 @@ fn main() {
     let oracle_checksum = field_checksum(&oracle.combined);
     let oracle_l2 = oracle.l2_error;
 
-    // Embedded daemon unless --connect points at an external one.
-    let (daemon, addr, backend_label) = match cli.value("--connect") {
-        Some(spec) => {
-            let addr =
-                Addr::parse(spec).unwrap_or_else(|e| cli.usage_exit(&format!("--connect: {e}")));
-            (None, addr, "external".to_string())
+    // Three ways to get a daemon: connect to an external one, supervise
+    // our own external one through induced crashes, or embed one.
+    let mut supervisor: Option<std::thread::JoinHandle<ChaosReport>> = None;
+    let done = Arc::new(AtomicBool::new(false));
+    let mut scratch: Option<PathBuf> = None;
+    let (daemon, addr, backend_label) = if kill_daemon > 0 {
+        if cli.value("--connect").is_some() {
+            cli.usage_exit("--kill-daemon supervises its own daemon; drop --connect");
         }
-        None => {
-            let opts = EngineOpts {
-                capacity_level: level,
-                ..EngineOpts::default()
-            };
-            let build: EngineBuilder = match backend.as_str() {
-                "sim" => Box::new(move || Engine::sim(None, Arc::new(PaperFaithful), opts)),
-                "threads" => Box::new(move || {
-                    Engine::threads(RunMode::Parallel, Arc::new(PaperFaithful), opts)
-                }),
-                other => cli.usage_exit(&format!(
-                    "--backend: unknown backend {other:?} (expected sim or threads)"
-                )),
-            };
-            let cfg = DaemonConfig {
-                addr: Addr::Tcp("127.0.0.1:0".into()),
-                admission: AdmissionConfig {
-                    // Room for every tenant's full window plus retries, so
-                    // the steady-state closed loop is rejection-free.
-                    queue_cap: inflight * 2,
-                    max_weight: 16,
+        let base = std::env::temp_dir().join(format!("serve-bench-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).expect("scratch dir");
+        let sock = base.join("sock");
+        let journal = match cli.value("--journal") {
+            Some(dir) => PathBuf::from(dir),
+            None => base.join("journal"),
+        };
+        scratch = Some(base);
+        let queue_cap = tenants * inflight * 2;
+
+        // Seeded kill points: SIGKILL after the K-th journaled outcome,
+        // a different K per incarnation, never past a quarter of the
+        // total so every kill actually fires mid-run.
+        let total = tenants as u64 * jobs;
+        let mut s = seed | 1;
+        let mut rng = move || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let kill_points: Vec<u64> = (0..kill_daemon)
+            .map(|_| 1 + rng() % (total / 4).max(1))
+            .collect();
+        println!(
+            "serve_bench — chaos supervisor: {kill_daemon} induced crashes at journaled \
+             outcomes {kill_points:?}"
+        );
+
+        let first_fault = format!("daemonkill@{}", kill_points[0]);
+        let child = spawn_served(
+            &sock,
+            &journal,
+            &backend,
+            level,
+            queue_cap,
+            Some(&first_fault),
+        );
+        let addr = Addr::Unix(sock.clone());
+        let done2 = Arc::clone(&done);
+        let backend2 = backend.clone();
+        supervisor = Some(std::thread::spawn(move || {
+            let mut child = child;
+            let mut kills = 0u32;
+            loop {
+                let status = child.wait().expect("wait mf-served");
+                if done2.load(Ordering::Acquire) {
+                    return ChaosReport {
+                        kills,
+                        final_exit_clean: status.success(),
+                    };
+                }
+                if status.success() {
+                    eprintln!("serve_bench: daemon exited cleanly before the drain?");
+                    return ChaosReport {
+                        kills,
+                        final_exit_clean: false,
+                    };
+                }
+                kills += 1;
+                let faults = kill_points
+                    .get(kills as usize)
+                    .map(|k| format!("daemonkill@{k}"));
+                child = spawn_served(
+                    &sock,
+                    &journal,
+                    &backend2,
+                    level,
+                    queue_cap,
+                    faults.as_deref(),
+                );
+            }
+        }));
+        (None, addr, format!("{backend}+chaos"))
+    } else {
+        match cli.value("--connect") {
+            Some(spec) => {
+                let addr = Addr::parse(spec)
+                    .unwrap_or_else(|e| cli.usage_exit(&format!("--connect: {e}")));
+                (None, addr, "external".to_string())
+            }
+            None => {
+                let opts = EngineOpts {
                     capacity_level: level,
-                    ..AdmissionConfig::default()
-                },
-                ..DaemonConfig::default()
-            };
-            let daemon = Daemon::start(cfg, build).expect("embedded daemon");
-            let addr = daemon.local_addr().clone();
-            (Some(daemon), addr, backend)
+                    ..EngineOpts::default()
+                };
+                let build: EngineBuilder = match backend.as_str() {
+                    "sim" => Box::new(move || Engine::sim(None, Arc::new(PaperFaithful), opts)),
+                    "threads" => Box::new(move || {
+                        Engine::threads(RunMode::Parallel, Arc::new(PaperFaithful), opts)
+                    }),
+                    other => cli.usage_exit(&format!(
+                        "--backend: unknown backend {other:?} (expected sim or threads)"
+                    )),
+                };
+                let journal = cli
+                    .value("--journal")
+                    .map(|dir| JournalConfig::new(PathBuf::from(dir)));
+                let journaled = journal.is_some();
+                let cfg = DaemonConfig {
+                    addr: Addr::Tcp("127.0.0.1:0".into()),
+                    admission: AdmissionConfig {
+                        // Room for every tenant's full window plus retries, so
+                        // the steady-state closed loop is rejection-free.
+                        queue_cap: inflight * 2,
+                        max_weight: 16,
+                        capacity_level: level,
+                        ..AdmissionConfig::default()
+                    },
+                    journal,
+                    ..DaemonConfig::default()
+                };
+                let daemon = Daemon::start(cfg, build).expect("embedded daemon");
+                let addr = daemon.local_addr().clone();
+                let label = if journaled {
+                    format!("{backend}+journal")
+                } else {
+                    backend
+                };
+                (Some(daemon), addr, label)
+            }
         }
     };
 
@@ -274,6 +425,7 @@ fn main() {
          (root {root}, level {level}) against {addr} [{backend_label}]"
     );
 
+    let resumable = kill_daemon > 0;
     let t0 = Instant::now();
     let mut joins = Vec::new();
     for t in 0..tenants {
@@ -294,6 +446,8 @@ fn main() {
                 tol,
                 oracle_checksum,
                 oracle_l2,
+                resumable,
+                seed ^ (t as u64).wrapping_mul(0x9E37_79B9),
             )
         }));
     }
@@ -310,9 +464,37 @@ fn main() {
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
+    // Chaos mode: every reply is home — drain the final incarnation and
+    // let the supervisor observe its voluntary, clean exit.
+    let chaos = supervisor.map(|sup| {
+        done.store(true, Ordering::Release);
+        let mut backoff = Backoff::with(
+            Duration::from_millis(5),
+            Duration::from_millis(200),
+            seed ^ 0xD12A,
+        );
+        let mut ctl = loop {
+            match TenantClient::connect(&addr, "drain-ctl", 0) {
+                Ok(c) => break c,
+                Err(_) => std::thread::sleep(backoff.next(None)),
+            }
+        };
+        let _ = ctl.send(&ServeMsg::Drain);
+        let _ = ctl.set_read_timeout(Some(Duration::from_secs(60)));
+        while let Ok(msg) = ctl.recv() {
+            if matches!(msg, ServeMsg::Drained { .. }) {
+                break;
+            }
+        }
+        sup.join().expect("supervisor thread")
+    });
+    if let Some(base) = scratch {
+        let _ = std::fs::remove_dir_all(base);
+    }
+
     // External daemons are drained on request (the CI smoke relies on it);
     // the embedded one always drains so its report can be harvested.
-    if want_drain && daemon.is_none() {
+    if want_drain && daemon.is_none() && chaos.is_none() {
         match TenantClient::connect(&addr, "drain-ctl", 0) {
             Ok(mut ctl) => {
                 let _ = ctl.send(&ServeMsg::Drain);
@@ -340,6 +522,11 @@ fn main() {
     let rejected: u64 = rows.iter().map(|r| r.rejected).sum();
     let drifted: u64 = rows.iter().map(|r| r.drifted).sum();
     let failed: u64 = rows.iter().map(|r| r.failed).sum();
+    let duplicates_suppressed: u64 = rows.iter().map(|r| r.duplicates_suppressed).sum();
+    let app_duplicates: u64 = rows.iter().map(|r| r.app_duplicates).sum();
+    let resumes: u64 = rows.iter().map(|r| r.resumes).sum();
+    let expected = tenants as u64 * jobs;
+    let lost = expected.saturating_sub(served + failed);
     let mut overall: Vec<f64> = rows.iter().flat_map(|r| r.latencies_ms.clone()).collect();
     overall.sort_by(f64::total_cmp);
 
@@ -372,9 +559,17 @@ fn main() {
             None => String::new(),
         }
     );
+    if let Some(cr) = &chaos {
+        println!(
+            "chaos: {} daemon kills survived, {resumes} session resumes, \
+             {duplicates_suppressed} replayed replies suppressed, {lost} lost, \
+             {app_duplicates} duplicated, final drain clean={}",
+            cr.kills, cr.final_exit_clean
+        );
+    }
 
-    let json = render_json(
-        &backend_label,
+    let json = render_json(&JsonInputs {
+        backend: &backend_label,
         tenants,
         inflight,
         jobs,
@@ -385,10 +580,15 @@ fn main() {
         served,
         rejected,
         peak_in_system,
-        drifted == 0,
-        &overall,
-        &rows,
-    );
+        bit_identical: drifted == 0,
+        overall: &overall,
+        rows: &rows,
+        chaos: chaos.as_ref(),
+        lost,
+        app_duplicates,
+        duplicates_suppressed,
+        resumes,
+    });
     match cli.value("--json") {
         Some(path) => {
             std::fs::write(path, &json).expect("write --json file");
@@ -420,15 +620,142 @@ fn main() {
             bad = true;
         }
     }
-    if served + failed != tenants as u64 * jobs && io_errors == 0 {
+    if cli.flag("--assert-lossless") {
+        if lost > 0 {
+            eprintln!("serve_bench: --assert-lossless violated ({lost} jobs never resolved)");
+            bad = true;
+        }
+        if app_duplicates > 0 {
+            eprintln!(
+                "serve_bench: --assert-lossless violated ({app_duplicates} duplicate \
+                 resolutions — exactly-once broken)"
+            );
+            bad = true;
+        }
+        if drifted > 0 || failed > 0 {
+            eprintln!(
+                "serve_bench: --assert-lossless violated ({drifted} drifted, {failed} failed)"
+            );
+            bad = true;
+        }
+    }
+    if let Some(cr) = &chaos {
+        if cr.kills != kill_daemon {
+            eprintln!(
+                "serve_bench: expected {kill_daemon} induced crashes, observed {}",
+                cr.kills
+            );
+            bad = true;
+        }
+        if !cr.final_exit_clean {
+            eprintln!("serve_bench: final daemon incarnation did not drain cleanly");
+            bad = true;
+        }
+    }
+    if served + failed != expected && io_errors == 0 && chaos.is_none() {
         eprintln!(
-            "serve_bench: accounting hole — {} resolved of {} expected",
-            served + failed,
-            tenants as u64 * jobs
+            "serve_bench: accounting hole — {} resolved of {expected} expected",
+            served + failed
         );
         bad = true;
     }
     if bad {
         std::process::exit(1);
     }
+}
+
+struct JsonInputs<'a> {
+    backend: &'a str,
+    tenants: usize,
+    inflight: usize,
+    jobs: u64,
+    root: u32,
+    level: u32,
+    tol: f64,
+    wall_s: f64,
+    served: u64,
+    rejected: u64,
+    peak_in_system: Option<usize>,
+    bit_identical: bool,
+    overall: &'a [f64],
+    rows: &'a [TenantOutcome],
+    chaos: Option<&'a ChaosReport>,
+    lost: u64,
+    app_duplicates: u64,
+    duplicates_suppressed: u64,
+    resumes: u64,
+}
+
+fn render_json(ji: &JsonInputs) -> String {
+    let offered = ji.served + ji.rejected;
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"serve_bench\",\n");
+    out.push_str(&format!("  \"backend\": \"{}\",\n", ji.backend));
+    out.push_str(&format!("  \"tenants\": {},\n", ji.tenants));
+    out.push_str(&format!("  \"inflight_per_tenant\": {},\n", ji.inflight));
+    out.push_str(&format!("  \"jobs_per_tenant\": {},\n", ji.jobs));
+    out.push_str(&format!(
+        "  \"problem\": {{ \"root\": {}, \"level\": {}, \"tol\": {:e} }},\n",
+        ji.root, ji.level, ji.tol
+    ));
+    out.push_str(&format!("  \"wall_s\": {:.3},\n", ji.wall_s));
+    out.push_str(&format!(
+        "  \"throughput_jobs_per_s\": {:.1},\n",
+        ji.served as f64 / ji.wall_s
+    ));
+    out.push_str(&format!("  \"served\": {},\n", ji.served));
+    out.push_str(&format!("  \"rejected\": {},\n", ji.rejected));
+    out.push_str(&format!(
+        "  \"rejection_rate\": {:.4},\n",
+        if offered == 0 {
+            0.0
+        } else {
+            ji.rejected as f64 / offered as f64
+        }
+    ));
+    match ji.peak_in_system {
+        Some(p) => out.push_str(&format!("  \"peak_in_system\": {p},\n")),
+        None => out.push_str("  \"peak_in_system\": null,\n"),
+    }
+    out.push_str(&format!("  \"bit_identical\": {},\n", ji.bit_identical));
+    if let Some(cr) = ji.chaos {
+        out.push_str("  \"durability\": {\n");
+        out.push_str(&format!("    \"daemon_kills\": {},\n", cr.kills));
+        out.push_str(&format!("    \"session_resumes\": {},\n", ji.resumes));
+        out.push_str(&format!("    \"lost\": {},\n", ji.lost));
+        out.push_str(&format!("    \"app_duplicates\": {},\n", ji.app_duplicates));
+        out.push_str(&format!(
+            "    \"replayed_suppressed\": {},\n",
+            ji.duplicates_suppressed
+        ));
+        out.push_str(&format!(
+            "    \"final_drain_clean\": {}\n",
+            cr.final_exit_clean
+        ));
+        out.push_str("  },\n");
+    }
+    out.push_str(&format!(
+        "  \"latency_ms\": {{ \"p50\": {:.2}, \"p99\": {:.2} }},\n",
+        percentile(ji.overall, 0.50),
+        percentile(ji.overall, 0.99)
+    ));
+    out.push_str("  \"per_tenant\": [\n");
+    for (i, r) in ji.rows.iter().enumerate() {
+        let mut sorted = r.latencies_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        out.push_str(&format!(
+            "    {{ \"tenant\": \"{}\", \"weight\": {}, \"served\": {}, \"rejected\": {}, \
+             \"failed\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2} }}{}\n",
+            r.name,
+            r.weight,
+            r.served,
+            r.rejected,
+            r.failed,
+            percentile(&sorted, 0.50),
+            percentile(&sorted, 0.99),
+            if i + 1 < ji.rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

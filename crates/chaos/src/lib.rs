@@ -82,6 +82,15 @@ pub enum FaultKind {
         /// 1-based count of completed results.
         at_result: u64,
     },
+    /// The serving daemon SIGKILLs itself right after *journaling* its
+    /// `at_served`-th engine outcome of the current incarnation — before
+    /// the reply is sent, the nastiest point for exactly-once delivery.
+    /// Counting is per incarnation, so the relaunched daemon (given a
+    /// fresh plan) runs clean.
+    DaemonKill {
+        /// 1-based count of journaled outcomes within one incarnation.
+        at_served: u64,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -101,6 +110,7 @@ impl fmt::Display for FaultKind {
                 write!(f, "hbdelay:{instance}:{millis}")
             }
             FaultKind::MasterKill { at_result } => write!(f, "masterkill@{at_result}"),
+            FaultKind::DaemonKill { at_served } => write!(f, "daemonkill@{at_served}"),
         }
     }
 }
@@ -256,6 +266,14 @@ impl FaultPlan {
         })
     }
 
+    /// The daemon-kill position, if the plan schedules one (first wins).
+    pub fn daemon_kill(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::DaemonKill { at_served } => Some(*at_served),
+            _ => None,
+        })
+    }
+
     /// Parse the textual form: comma-separated fault tokens, optionally
     /// with a `seed:S` token. Grammar (all numbers decimal):
     ///
@@ -266,6 +284,7 @@ impl FaultPlan {
     ///           | "stall:" I "@" N ":" MS
     ///           | "hbdelay:" I ":" MS
     ///           | "masterkill@" K
+    ///           | "daemonkill@" K
     /// ```
     pub fn parse(s: &str) -> Result<FaultPlan, String> {
         let mut plan = FaultPlan::new(0);
@@ -311,6 +330,10 @@ impl FaultPlan {
             } else if let Some(v) = token.strip_prefix("masterkill@") {
                 plan.faults.push(FaultKind::MasterKill {
                     at_result: num(v, token)?,
+                });
+            } else if let Some(v) = token.strip_prefix("daemonkill@") {
+                plan.faults.push(FaultKind::DaemonKill {
+                    at_served: num(v, token)?,
                 });
             } else {
                 return Err(format!("unknown fault token {token:?}"));
@@ -406,12 +429,13 @@ mod tests {
                 instance: 1,
                 millis: 800,
             })
-            .push(FaultKind::MasterKill { at_result: 3 });
+            .push(FaultKind::MasterKill { at_result: 3 })
+            .push(FaultKind::DaemonKill { at_served: 9 });
         let text = plan.to_string();
         assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
         assert_eq!(
             text,
-            "seed:42,crash:0@2,drop:1@3,corrupt:1@1,stall:0@4:250,hbdelay:1:800,masterkill@3"
+            "seed:42,crash:0@2,drop:1@3,corrupt:1@1,stall:0@4:250,hbdelay:1:800,masterkill@3,daemonkill@9"
         );
     }
 
@@ -436,6 +460,10 @@ mod tests {
         assert_eq!(w1.corrupt_on_job, Some(3));
         assert!(plan.worker_faults(2).is_empty());
         assert_eq!(plan.master_kill(), Some(4));
+        assert_eq!(plan.daemon_kill(), None);
+        let dk = FaultPlan::parse("daemonkill@7").unwrap();
+        assert_eq!(dk.daemon_kill(), Some(7));
+        assert_eq!(dk.master_kill(), None);
     }
 
     #[test]

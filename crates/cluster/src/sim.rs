@@ -356,7 +356,9 @@ impl SimFleet {
                 FaultKind::ConnStall { on_job, millis, .. } => {
                     stall_ms.entry(on_job).or_insert(millis);
                 }
-                FaultKind::HeartbeatDelay { .. } | FaultKind::MasterKill { .. } => {}
+                FaultKind::HeartbeatDelay { .. }
+                | FaultKind::MasterKill { .. }
+                | FaultKind::DaemonKill { .. } => {}
             }
         }
         let chaos_rng = StdRng::seed_from_u64(plan.seed ^ 0x00c5_a05c_0de0_f003);

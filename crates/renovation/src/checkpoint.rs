@@ -24,7 +24,7 @@
 
 use std::fs;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use manifold::prelude::*;
 use solver::sequential::SequentialApp;
@@ -39,6 +39,32 @@ pub const MAGIC: &[u8; 4] = b"MFCK";
 pub const CHECKPOINT_VERSION: u32 = 1;
 
 const FILE_NAME: &str = "run.ckpt";
+
+/// Atomically replace `path` with `bytes`: write a temp file in the same
+/// directory (same filesystem, so the rename cannot cross devices),
+/// optionally fsync it, then rename over the destination. A crash at any
+/// point leaves either the previous file or the new one — never a torn
+/// mixture. This is the write discipline behind both the run checkpoints
+/// here and the serving layer's journal segments.
+pub fn atomic_replace(path: &Path, bytes: &[u8], fsync: bool) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "atomic".to_string());
+    let tmp = dir.join(format!("{name}.tmp.{}", std::process::id()));
+    let write = || -> std::io::Result<()> {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        if fsync {
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    };
+    write().inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
 
 /// The identity of a run — a checkpoint only resumes a run with the very
 /// same identity, because everything else about the replay is derived
@@ -215,19 +241,8 @@ impl CheckpointStore {
         bytes.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
         bytes.extend_from_slice(&transport::frame_vec(&payload));
 
-        let tmp = self
-            .dir
-            .join(format!("{FILE_NAME}.tmp.{}", std::process::id()));
-        let write = || -> std::io::Result<()> {
-            let mut f = fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
-            f.sync_all()?;
-            fs::rename(&tmp, self.path())
-        };
-        write().map_err(|e| {
-            let _ = fs::remove_file(&tmp);
-            MfError::App(format!("checkpoint save {}: {e}", self.path().display()))
-        })
+        atomic_replace(&self.path(), &bytes, true)
+            .map_err(|e| MfError::App(format!("checkpoint save {}: {e}", self.path().display())))
     }
 
     /// Load the current checkpoint; `Ok(None)` when none has been written

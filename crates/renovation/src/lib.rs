@@ -50,7 +50,7 @@ pub use app::{
     run_concurrent, run_concurrent_opts, run_concurrent_with_policy, ConcurrentResult, RunMode,
     RunOpts,
 };
-pub use checkpoint::{Checkpoint, CheckpointStore, RunKey};
+pub use checkpoint::{atomic_replace, Checkpoint, CheckpointStore, RunKey};
 pub use cost::{parse_subsolve_label, CostModel};
 pub use engine::{
     AppConfig, Engine, EngineBackend, EngineOpts, EngineSummary, JobHandle, JobReport, SubmitError,

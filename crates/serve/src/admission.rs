@@ -263,6 +263,44 @@ impl Admission {
         idx as u64
     }
 
+    /// Recovery side: re-create `name` exactly as the journal recorded
+    /// it — in original registration order (ordinals key per-tenant fault
+    /// plans), with the fault budget already debited by the journal's
+    /// replayed `Fail` count. Restored tenants start at the current
+    /// virtual clock like everyone else: a restart levels vtimes, it
+    /// never banks credit.
+    pub fn restore_tenant(&self, name: &str, weight: u32, failed: u64) -> u64 {
+        let idx = self.register(name, weight);
+        let mut s = self.m.lock();
+        let t = &mut s.tenants[idx as usize];
+        t.failed = failed;
+        t.faults_left = (self.cfg.fault_budget as u64).saturating_sub(failed) as u32;
+        idx
+    }
+
+    /// Recovery side: requeue a journaled-but-unfinished job. Bypasses
+    /// the drain/capacity/budget/queue-cap gates — this job was already
+    /// admitted in a previous incarnation and journal-before-ack means
+    /// the client was (or will be, via replay) told so. Unknown tenants
+    /// are ignored; restore tenants first.
+    pub fn restore(&self, job: QueuedJob) {
+        let mut s = self.m.lock();
+        let Some(&idx) = s.by_name.get(job.tenant.as_ref()) else {
+            return;
+        };
+        let clock = s.clock;
+        let t = &mut s.tenants[idx];
+        if t.queue.is_empty() {
+            t.vtime = t.vtime.max(clock);
+        }
+        t.queue.push_back(job);
+        t.accepted += 1;
+        s.queued_total += 1;
+        let in_system = s.queued_total + s.inflight;
+        s.peak_in_system = s.peak_in_system.max(in_system);
+        self.cv.notify_all();
+    }
+
     /// Offer one job. Never blocks: the answer is either "queued" or a
     /// typed rejection the caller turns into a backpressure reply.
     pub fn offer(&self, job: QueuedJob) -> Offer {

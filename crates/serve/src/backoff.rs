@@ -1,0 +1,159 @@
+//! Jittered exponential backoff for retry loops.
+//!
+//! Two places retry against the daemon: a `Reject`ed submit (backpressure)
+//! and a dropped connection (crash, restart, network blip). Retrying on a
+//! fixed schedule is how a mass disconnect becomes a retry *storm* — every
+//! bounced client sleeps the same interval and stampedes back in the same
+//! millisecond. This module implements capped exponential backoff with
+//! *full jitter* (AWS-style: sleep a uniform draw from `[0, ceil)`, ceil
+//! doubling per attempt), floored at whatever `retry_after` hint the
+//! server sent, from a deterministic seeded generator so tests and the
+//! bench harness stay reproducible.
+
+use std::time::Duration;
+
+/// Deterministic jittered exponential backoff.
+///
+/// ```
+/// use serve::backoff::Backoff;
+/// use std::time::Duration;
+/// let mut b = Backoff::new(42);
+/// let d = b.next(None);              // uniform in [0, base)
+/// assert!(d < Duration::from_millis(10));
+/// let hinted = b.next(Some(Duration::from_millis(25)));
+/// assert!(hinted >= Duration::from_millis(25)); // hint is a floor
+/// b.reset();                         // success: start over
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// Default shape: 10 ms base, 2 s cap. `seed` individualizes the
+    /// jitter stream (use a per-client value).
+    pub fn new(seed: u64) -> Backoff {
+        Backoff::with(Duration::from_millis(10), Duration::from_secs(2), seed)
+    }
+
+    /// Custom base delay and cap.
+    pub fn with(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        Backoff {
+            base,
+            cap,
+            attempt: 0,
+            // Avoid the all-zero fixed point of the xorshift step.
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Attempts since the last [`reset`](Backoff::reset).
+    pub fn attempts(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The delay before the next retry: a uniform draw from
+    /// `[0, min(cap, base·2^attempt))`, plus the server's `retry_after`
+    /// hint (the hint is a floor — the server knows something the client
+    /// does not, e.g. its drain grace or queue depth).
+    pub fn next(&mut self, hint: Option<Duration>) -> Duration {
+        let ceil = self
+            .base
+            .saturating_mul(1u32 << self.attempt.min(20))
+            .min(self.cap)
+            .max(Duration::from_micros(1));
+        self.attempt = self.attempt.saturating_add(1);
+        let jitter_ns = self.draw() % ceil.as_nanos().max(1) as u64;
+        hint.unwrap_or(Duration::ZERO) + Duration::from_nanos(jitter_ns)
+    }
+
+    /// Call after a success so the next failure starts from the base.
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+
+    fn draw(&mut self) -> u64 {
+        // xorshift64* — tiny, seedable, plenty for jitter.
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_bounded_and_honor_the_hint() {
+        let mut b = Backoff::with(Duration::from_millis(10), Duration::from_millis(500), 7);
+        for attempt in 0..32 {
+            let hint = Duration::from_millis(25);
+            let d = b.next(Some(hint));
+            assert!(d >= hint, "attempt {attempt}: {d:?} under the hint");
+            assert!(
+                d <= hint + Duration::from_millis(500),
+                "attempt {attempt}: {d:?} over cap+hint"
+            );
+        }
+        b.reset();
+        assert!(
+            b.next(None) < Duration::from_millis(10),
+            "reset restores the base"
+        );
+    }
+
+    /// The satellite requirement: after a mass disconnect the fleet's
+    /// retries must not re-arrive in lockstep. Simulate 512 clients all
+    /// bounced at t=0 and check that no narrow window captures more than
+    /// a small fraction of any retry wave.
+    #[test]
+    fn mass_disconnect_storm_is_dispersed() {
+        const CLIENTS: usize = 512;
+        let mut backoffs: Vec<Backoff> = (0..CLIENTS)
+            .map(|i| Backoff::new(0xC0FFEE ^ i as u64))
+            .collect();
+        for wave in 0..6 {
+            let delays: Vec<Duration> = backoffs.iter_mut().map(|b| b.next(None)).collect();
+            let ceil_ms = (10u64 << wave).min(2000);
+            // Bucket the wave into 1 ms bins over its spread. A lockstep
+            // schedule puts 100% in one bin; full jitter spreads ~uniform,
+            // so even a generous 15% bound has a wide safety margin while
+            // still failing any constant or coarsely-quantized schedule.
+            let mut bins = vec![0usize; ceil_ms as usize + 1];
+            for d in &delays {
+                bins[(d.as_millis() as u64).min(ceil_ms) as usize] += 1;
+            }
+            let worst = *bins.iter().max().unwrap();
+            assert!(
+                worst <= CLIENTS * 15 / 100,
+                "wave {wave}: {worst}/{CLIENTS} clients retry in the same millisecond"
+            );
+            // And the wave's spread actually widens as attempts mount.
+            let max = delays.iter().max().unwrap();
+            assert!(
+                *max >= Duration::from_millis(ceil_ms / 2),
+                "wave {wave}: max delay {max:?} suggests the ceiling is not growing"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_schedules() {
+        let mut a = Backoff::new(1);
+        let mut b = Backoff::new(2);
+        let sa: Vec<Duration> = (0..8).map(|_| a.next(None)).collect();
+        let sb: Vec<Duration> = (0..8).map(|_| b.next(None)).collect();
+        assert_ne!(sa, sb);
+        // Same seed ⇒ same schedule (reproducible benches).
+        let mut c = Backoff::new(1);
+        let sc: Vec<Duration> = (0..8).map(|_| c.next(None)).collect();
+        assert_eq!(sa, sc);
+    }
+}

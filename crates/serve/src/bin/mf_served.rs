@@ -6,13 +6,22 @@
 //!           [--capacity-level N] [--queue-cap N] [--max-weight N]
 //!           [--fault-budget N] [--retry-budget N] [--retry-after-ms N]
 //!           [--faults SPEC] [--drain-grace-ms N]
+//!           [--journal DIR] [--journal-fsync] [--journal-segment-bytes N]
 //! ```
 //!
 //! Listens until something drains it — SIGTERM/SIGINT, or a tenant's
 //! `Drain` message — then finishes every accepted job, tells each session
 //! `Drained{served}`, flushes, and exits 0 on a clean drain. `--faults`
 //! takes the chaos DSL (`crash:T@N,stall:T@N:MS,…`) with `instance`
-//! reinterpreted as the tenant registration ordinal.
+//! reinterpreted as the tenant registration ordinal, plus `daemonkill@N`
+//! (SIGKILL the daemon after its N-th journaled outcome).
+//!
+//! `--journal DIR` turns on crash durability: every admission and every
+//! outcome is journaled before it is acknowledged, sessions get resume
+//! tokens, and a restarted daemon pointed at the same DIR rebuilds its
+//! tenants, requeues unfinished jobs, and replays unacknowledged replies
+//! to reconnecting clients. `--journal-fsync` extends the guarantee from
+//! process crashes to power loss, at a per-record fsync cost.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -21,13 +30,14 @@ use chaos::FaultPlan;
 use protocol::PaperFaithful;
 use renovation::{Engine, EngineOpts, ProcsConfig, RunMode};
 use serve::daemon::{Daemon, DaemonConfig, EngineBuilder};
-use serve::AdmissionConfig;
+use serve::{AdmissionConfig, JournalConfig};
 use transport::Addr;
 
 const USAGE: &str = "usage: mf-served [--listen tcp:HOST:PORT|unix:PATH] [--threads N] \
      [--backend threads|procs|sim] [--instances N] [--worker-exe PATH] \
      [--capacity-level N] [--queue-cap N] [--max-weight N] [--fault-budget N] \
-     [--retry-budget N] [--retry-after-ms N] [--faults SPEC] [--drain-grace-ms N]";
+     [--retry-budget N] [--retry-after-ms N] [--faults SPEC] [--drain-grace-ms N] \
+     [--journal DIR] [--journal-fsync] [--journal-segment-bytes N]";
 
 static TERM: AtomicBool = AtomicBool::new(false);
 
@@ -105,12 +115,19 @@ fn main() {
             }
         },
     };
+    let journal = args.value("--journal").map(|dir| {
+        let mut jc = JournalConfig::new(std::path::PathBuf::from(dir));
+        jc.fsync = args.0.iter().any(|a| a == "--journal-fsync");
+        jc.segment_bytes = args.parsed("--journal-segment-bytes", jc.segment_bytes);
+        jc
+    });
     let cfg = DaemonConfig {
         addr,
         reactor_threads: args.parsed("--threads", 0),
         admission,
         tenant_faults,
         drain_grace: Duration::from_millis(args.parsed("--drain-grace-ms", 5_000)),
+        journal,
     };
 
     let backend = args.value("--backend").unwrap_or("threads").to_string();

@@ -7,19 +7,54 @@
 //! choice: `submit` any number of seqs, then `recv` replies as they
 //! arrive — the load generator keeps `--inflight` of them open per
 //! connection, the smoke tests keep one.
+//!
+//! Against a journaled daemon the client is also a *resumable* session:
+//! the `Welcome` carries a resume token, every daemon reply carries a
+//! per-tenant reply sequence (`rseq`), and [`TenantClient::resume`]
+//! reconnects with `Hello{token, last_reply}` after a daemon crash or a
+//! dropped socket. The daemon replays unacknowledged replies and the
+//! client suppresses any it already consumed (`rseq <= last_reply`), so
+//! the caller sees each reply exactly once no matter how many times the
+//! connection (or the daemon) dies in between. Open submissions are
+//! tracked client-side and resubmitted on resume — the daemon's journal
+//! dedups them by `(tenant, seq)`, so resubmission is idempotent.
 
+use std::collections::HashMap;
 use std::io;
 use std::time::Duration;
 
 use transport::frame::{read_frame, write_frame};
 use transport::{Addr, Conn};
 
+use crate::backoff::Backoff;
 use crate::proto::{ServeMsg, SERVE_PROTOCOL_VERSION};
+
+/// How many consumed replies between automatic `Ack`s. Acks bound journal
+/// replay length (and enable compaction), but each one is a frame — a
+/// modest batch keeps the overhead invisible.
+const ACK_EVERY: u64 = 32;
 
 /// One connected, welcomed tenant session.
 pub struct TenantClient {
     conn: Conn,
     session: u64,
+    addr: Addr,
+    tenant: String,
+    weight: u32,
+    /// Resume token from the daemon's `Welcome` (0 against a journal-less
+    /// daemon — resume unavailable).
+    token: u64,
+    /// Highest reply sequence consumed by the caller; sent in `Hello` on
+    /// resume and periodically acknowledged.
+    last_reply: u64,
+    /// Replies consumed since the last `Ack`.
+    unacked: u64,
+    /// Submitted seqs with no consumed reply yet, with their submit
+    /// arguments so `resume` can resubmit them.
+    open: HashMap<u64, (u32, u32, f64)>,
+    /// Replayed replies the dedup filter swallowed (telemetry: proves the
+    /// exactly-once filter actually fired).
+    duplicates_suppressed: u64,
 }
 
 impl TenantClient {
@@ -27,16 +62,35 @@ impl TenantClient {
     /// handshake. `weight` 0 requests the daemon default.
     pub fn connect(addr: &Addr, tenant: &str, weight: u32) -> io::Result<TenantClient> {
         let conn = Conn::connect(addr, Duration::from_secs(5))?;
-        let mut client = TenantClient { conn, session: 0 };
-        client.send(&ServeMsg::Hello {
-            version: SERVE_PROTOCOL_VERSION,
+        let mut client = TenantClient {
+            conn,
+            session: 0,
+            addr: addr.clone(),
             tenant: tenant.to_string(),
             weight,
+            token: 0,
+            last_reply: 0,
+            unacked: 0,
+            open: HashMap::new(),
+            duplicates_suppressed: 0,
+        };
+        client.handshake()?;
+        Ok(client)
+    }
+
+    fn handshake(&mut self) -> io::Result<()> {
+        self.send(&ServeMsg::Hello {
+            version: SERVE_PROTOCOL_VERSION,
+            tenant: self.tenant.clone(),
+            weight: self.weight,
+            token: self.token,
+            last_reply: self.last_reply,
         })?;
-        match client.recv()? {
-            ServeMsg::Welcome { session } => {
-                client.session = session;
-                Ok(client)
+        match self.recv_raw()? {
+            ServeMsg::Welcome { session, token } => {
+                self.session = session;
+                self.token = token;
+                Ok(())
             }
             ServeMsg::Fail { error, .. } => Err(io::Error::new(
                 io::ErrorKind::ConnectionRefused,
@@ -54,6 +108,26 @@ impl TenantClient {
         self.session
     }
 
+    /// The resume token (0 when the daemon offers no resume).
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Can this session be resumed after a disconnect?
+    pub fn resumable(&self) -> bool {
+        self.token != 0
+    }
+
+    /// Submitted seqs still awaiting a reply.
+    pub fn open_jobs(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Replayed replies the exactly-once filter swallowed so far.
+    pub fn duplicates_suppressed(&self) -> u64 {
+        self.duplicates_suppressed
+    }
+
     /// Read timeout for subsequent [`recv`](TenantClient::recv) calls
     /// (`None` blocks forever).
     pub fn set_read_timeout(&self, t: Option<Duration>) -> io::Result<()> {
@@ -68,6 +142,7 @@ impl TenantClient {
 
     /// Queue job `seq`; replies carry the seq back, in service order.
     pub fn submit(&mut self, seq: u64, root: u32, level: u32, tol: f64) -> io::Result<()> {
+        self.open.insert(seq, (root, level, tol));
         self.send(&ServeMsg::Submit {
             seq,
             root,
@@ -76,9 +151,8 @@ impl TenantClient {
         })
     }
 
-    /// Block for the next daemon message. An orderly daemon-side close
-    /// surfaces as `UnexpectedEof`.
-    pub fn recv(&mut self) -> io::Result<ServeMsg> {
+    /// One frame off the wire, no dedup bookkeeping.
+    fn recv_raw(&mut self) -> io::Result<ServeMsg> {
         match read_frame(&mut self.conn)? {
             None => Err(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
@@ -89,8 +163,103 @@ impl TenantClient {
         }
     }
 
+    /// Block for the next daemon message the caller has *not* seen yet.
+    ///
+    /// Replayed replies (rseq at or below the consumed watermark) are
+    /// counted and skipped, the watermark advances on fresh ones, and
+    /// every [`ACK_EVERY`] consumed replies an `Ack` flows back so the
+    /// daemon can trim its journal. An orderly daemon-side close surfaces
+    /// as `UnexpectedEof`.
+    pub fn recv(&mut self) -> io::Result<ServeMsg> {
+        loop {
+            let msg = self.recv_raw()?;
+            let (rseq, seq) = match &msg {
+                ServeMsg::Done { seq, rseq, .. } => (*rseq, Some(*seq)),
+                ServeMsg::Fail { seq, rseq, .. } => (*rseq, Some(*seq)),
+                ServeMsg::Reject { seq, rseq, .. } => (*rseq, Some(*seq)),
+                // Drained / Welcome / anything unnumbered: pass through.
+                _ => (0, None),
+            };
+            if rseq > 0 {
+                if rseq <= self.last_reply {
+                    self.duplicates_suppressed += 1;
+                    continue;
+                }
+                self.last_reply = rseq;
+                self.unacked += 1;
+                if self.unacked >= ACK_EVERY {
+                    self.ack()?;
+                }
+            }
+            if let Some(seq) = seq {
+                self.open.remove(&seq);
+            }
+            return Ok(msg);
+        }
+    }
+
+    /// Flush the consumed-reply watermark to the daemon now.
+    pub fn ack(&mut self) -> io::Result<()> {
+        if self.unacked == 0 {
+            return Ok(());
+        }
+        let upto = self.last_reply;
+        self.send(&ServeMsg::Ack { upto })?;
+        self.unacked = 0;
+        Ok(())
+    }
+
+    /// Reconnect and resume this session after a disconnect: redo the
+    /// handshake with the saved token and consumed-reply watermark, then
+    /// resubmit every open seq (the daemon's journal dedups in-flight and
+    /// finished ones). Fails with `InvalidInput` when the session is not
+    /// resumable (no token — daemon runs without a journal).
+    pub fn resume(&mut self) -> io::Result<()> {
+        if self.token == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "session has no resume token (daemon runs without a journal)",
+            ));
+        }
+        self.conn = Conn::connect(&self.addr, Duration::from_secs(5))?;
+        self.unacked = 0;
+        self.handshake()?;
+        let open: Vec<(u64, (u32, u32, f64))> = self.open.iter().map(|(s, a)| (*s, *a)).collect();
+        for (seq, (root, level, tol)) in open {
+            self.send(&ServeMsg::Submit {
+                seq,
+                root,
+                level,
+                tol,
+            })?;
+        }
+        Ok(())
+    }
+
+    /// [`resume`](TenantClient::resume), retried under jittered
+    /// exponential backoff — the reconnect path for a daemon that is
+    /// still restarting. Gives up (returning the last error) after
+    /// `max_attempts` failed tries.
+    pub fn resume_with_backoff(
+        &mut self,
+        backoff: &mut Backoff,
+        max_attempts: u32,
+    ) -> io::Result<()> {
+        let mut last = io::Error::other("no resume attempts made");
+        for _ in 0..max_attempts {
+            match self.resume() {
+                Ok(()) => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::InvalidInput => return Err(e),
+                Err(e) => last = e,
+            }
+            std::thread::sleep(backoff.next(None));
+        }
+        Err(last)
+    }
+
     /// Announce departure (queued jobs are dropped daemon-side).
     pub fn bye(mut self) -> io::Result<()> {
+        let _ = self.ack();
         self.send(&ServeMsg::Bye)
     }
 }

@@ -46,6 +46,7 @@ use solver::sequential::SequentialApp;
 use transport::Addr;
 
 use crate::admission::{Admission, AdmissionConfig, AdmissionStats, Next, Offer, QueuedJob};
+use crate::journal::{Admit, Journal, JournalConfig, OutcomeBody};
 use crate::proto::{ServeMsg, SERVE_PROTOCOL_VERSION};
 use crate::reactor::{Action, Reactor, Service};
 use crate::registry::{Registry, Session};
@@ -62,11 +63,17 @@ pub struct DaemonConfig {
     pub reactor_threads: usize,
     /// Admission tuning (queue caps, weights, budgets).
     pub admission: AdmissionConfig,
-    /// Per-tenant fault schedule (`instance` = tenant ordinal).
+    /// Per-tenant fault schedule (`instance` = tenant ordinal). A
+    /// `daemonkill@N` token makes the daemon SIGKILL itself after
+    /// journaling its `N`-th outcome — the crash-recovery test hook.
     pub tenant_faults: Option<FaultPlan>,
     /// How long the final outbox flush may take before the reactor
     /// abandons unflushed (dead) peers.
     pub drain_grace: Duration,
+    /// Crash durability: journal every admission and outcome here, and
+    /// recover (rebuild tenants + requeue unfinished jobs) on start.
+    /// `None` keeps the original volatile semantics.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for DaemonConfig {
@@ -77,6 +84,7 @@ impl Default for DaemonConfig {
             admission: AdmissionConfig::default(),
             tenant_faults: None,
             drain_grace: Duration::from_secs(5),
+            journal: None,
         }
     }
 }
@@ -145,8 +153,49 @@ impl Daemon {
     pub fn start(cfg: DaemonConfig, build_engine: EngineBuilder) -> std::io::Result<Daemon> {
         let admission = Arc::new(Admission::new(cfg.admission));
         let registry = Arc::new(Registry::new());
+
+        // Recovery happens *before* the listener binds: by the time a
+        // tenant can reconnect, its identity, budgets, and unfinished
+        // jobs are already back in the admission queue.
+        let journal = match &cfg.journal {
+            None => None,
+            Some(jc) => {
+                let (j, rec) = Journal::open(jc.clone())?;
+                for (name, weight, failed) in &rec.tenants {
+                    admission.restore_tenant(name, *weight, *failed);
+                }
+                for p in &rec.pending {
+                    // Session 0 is never a live connection: the job is
+                    // detached until its tenant rebinds, and the reply
+                    // routes by tenant name anyway.
+                    admission.restore(QueuedJob {
+                        tenant: Arc::from(p.tenant.as_str()),
+                        session: 0,
+                        seq: p.seq,
+                        root: p.root,
+                        level: p.level,
+                        tol: p.tol,
+                        attempts: 0,
+                        enqueued: Instant::now(),
+                    });
+                }
+                if !rec.tenants.is_empty() {
+                    eprintln!(
+                        "journal: recovered {} tenants; resubmitting {} unfinished jobs, \
+                         {} unacknowledged replies await reconnect",
+                        rec.tenants.len(),
+                        rec.pending.len(),
+                        rec.unacked_outcomes
+                    );
+                }
+                Some(Arc::new(j))
+            }
+        };
+
         let service = Arc::new(ServeService {
             admission: Arc::clone(&admission),
+            registry: Arc::clone(&registry),
+            journal: journal.clone(),
         });
         let reactor = Reactor::start(
             &cfg.addr,
@@ -160,7 +209,7 @@ impl Daemon {
             let faults = cfg.tenant_faults.clone();
             std::thread::Builder::new()
                 .name("serve-dispatch".into())
-                .spawn(move || dispatch_loop(build_engine, admission, registry, faults))?
+                .spawn(move || dispatch_loop(build_engine, admission, registry, faults, journal))?
         };
         Ok(Daemon {
             admission,
@@ -220,6 +269,8 @@ impl Daemon {
 /// blocks.
 struct ServeService {
     admission: Arc<Admission>,
+    registry: Arc<Registry>,
+    journal: Option<Arc<Journal>>,
 }
 
 impl Service for ServeService {
@@ -229,10 +280,13 @@ impl Service for ServeService {
                 version,
                 tenant,
                 weight,
+                token,
+                last_reply,
             } => {
                 if version != SERVE_PROTOCOL_VERSION {
                     session.send(&ServeMsg::Fail {
                         seq: 0,
+                        rseq: 0,
                         error: format!(
                             "protocol version {version} unsupported (daemon speaks \
                              {SERVE_PROTOCOL_VERSION})"
@@ -240,11 +294,59 @@ impl Service for ServeService {
                     });
                     return Action::Close;
                 }
-                self.admission.register(&tenant, weight);
-                session.set_tenant(Arc::from(tenant.as_str()));
-                session.send(&ServeMsg::Welcome {
-                    session: session.id,
-                });
+                match &self.journal {
+                    Some(j) => {
+                        // Journal first: the Welcome must not be sent for
+                        // a tenant whose registration could vanish in a
+                        // crash.
+                        let resume = match j.register(&tenant, weight, token, last_reply) {
+                            Ok(r) => r,
+                            Err(e) => {
+                                session.send(&ServeMsg::Fail {
+                                    seq: 0,
+                                    rseq: 0,
+                                    error: e,
+                                });
+                                return Action::Close;
+                            }
+                        };
+                        self.admission.register(&tenant, weight);
+                        let t: Arc<str> = Arc::from(tenant.as_str());
+                        session.set_tenant(Arc::clone(&t));
+                        // Last Hello wins: with a journal, one session
+                        // speaks for a tenant at a time, and replies route
+                        // by tenant, not by the submitting socket.
+                        self.registry.bind_tenant(t, session.id);
+                        session.send(&ServeMsg::Welcome {
+                            session: session.id,
+                            token: resume.token,
+                        });
+                        // Replay unacknowledged replies *before* anything
+                        // the client pipelines after its Hello — same
+                        // socket, so ordering is free.
+                        for m in &resume.replay {
+                            session.send(m);
+                        }
+                    }
+                    None => {
+                        if token != 0 {
+                            session.send(&ServeMsg::Fail {
+                                seq: 0,
+                                rseq: 0,
+                                error: "resume token presented, but this daemon runs \
+                                        without a journal — resume refused"
+                                    .into(),
+                            });
+                            return Action::Close;
+                        }
+                        self.admission.register(&tenant, weight);
+                        session.set_tenant(Arc::from(tenant.as_str()));
+                        session.send(&ServeMsg::Welcome {
+                            session: session.id,
+                            token: 0,
+                        });
+                    }
+                }
                 Action::Continue
             }
             ServeMsg::Submit {
@@ -256,12 +358,37 @@ impl Service for ServeService {
                 let Some(tenant) = session.tenant() else {
                     session.send(&ServeMsg::Fail {
                         seq,
+                        rseq: 0,
                         error: "submit before hello".into(),
                     });
                     return Action::Close;
                 };
+                if let Some(j) = &self.journal {
+                    // Write-ahead: the admission is durable before the
+                    // admission layer (or the client) learns of it.
+                    match j.admit(&tenant, seq, root, level, tol) {
+                        Ok(Admit::New) => {}
+                        // Already in flight from a previous connection —
+                        // its reply will arrive (or replay) on its own.
+                        Ok(Admit::DuplicatePending) => return Action::Continue,
+                        // Finished in a previous life: resend the recorded
+                        // outcome, never re-execute.
+                        Ok(Admit::Replay(msg)) => {
+                            session.send(&msg);
+                            return Action::Continue;
+                        }
+                        Err(e) => {
+                            session.send(&ServeMsg::Fail {
+                                seq,
+                                rseq: 0,
+                                error: format!("journal admit: {e}"),
+                            });
+                            return Action::Continue;
+                        }
+                    }
+                }
                 let offer = self.admission.offer(QueuedJob {
-                    tenant,
+                    tenant: Arc::clone(&tenant),
                     session: session.id,
                     seq,
                     root,
@@ -275,11 +402,41 @@ impl Service for ServeService {
                     retry_after,
                 } = offer
                 {
+                    let retry_after_ms = retry_after.as_millis() as u64;
+                    // Rejections are replies too: journaled (with a reply
+                    // sequence) before they are sent, so a crash between
+                    // reject and delivery still replays the backpressure
+                    // signal instead of losing the seq.
+                    let rseq = match &self.journal {
+                        Some(j) => j
+                            .record_outcome(
+                                &tenant,
+                                seq,
+                                &OutcomeBody::Reject {
+                                    retry_after_ms,
+                                    reason,
+                                },
+                            )
+                            .unwrap_or_else(|e| {
+                                eprintln!("journal: reject outcome write failed: {e}");
+                                0
+                            }),
+                        None => 0,
+                    };
                     session.send(&ServeMsg::Reject {
                         seq,
-                        retry_after_ms: retry_after.as_millis() as u64,
+                        rseq,
+                        retry_after_ms,
                         reason,
                     });
+                }
+                Action::Continue
+            }
+            ServeMsg::Ack { upto } => {
+                if let (Some(j), Some(tenant)) = (&self.journal, session.tenant()) {
+                    if let Err(e) = j.ack(&tenant, upto) {
+                        eprintln!("journal: ack write failed: {e}");
+                    }
                 }
                 Action::Continue
             }
@@ -290,7 +447,16 @@ impl Service for ServeService {
                 Action::Continue
             }
             ServeMsg::Bye => {
-                self.admission.forget_session(session.id);
+                if let Some(t) = session.tenant() {
+                    self.registry.unbind_tenant(&t, session.id);
+                }
+                // Without a journal a departing session's queued jobs are
+                // solved for nobody — drop them. With one, accepted work
+                // is durable: it finishes and its outcome waits in the
+                // journal for a future session of the same tenant.
+                if self.journal.is_none() {
+                    self.admission.forget_session(session.id);
+                }
                 Action::Close
             }
             // Daemon-to-tenant messages arriving *at* the daemon are a
@@ -304,9 +470,34 @@ impl Service for ServeService {
     }
 
     fn on_disconnect(&self, session: &Arc<Session>) {
+        if let Some(t) = session.tenant() {
+            self.registry.unbind_tenant(&t, session.id);
+        }
         // Queued jobs from a dead session would be solved for nobody (the
-        // reactor already pulled the session out of the registry).
-        self.admission.forget_session(session.id);
+        // reactor already pulled the session out of the registry) — except
+        // under a journal, where they survive the disconnect exactly like
+        // they survive a daemon crash, and their replies wait for the
+        // tenant to resume.
+        if self.journal.is_none() {
+            self.admission.forget_session(session.id);
+        }
+    }
+}
+
+/// SIGKILL ourselves: the crash-recovery hook. No destructors, no flushes
+/// — the closest a test can get to a power cut without root.
+fn sigkill_self() -> ! {
+    extern "C" {
+        fn kill(pid: i32, sig: i32) -> i32;
+        fn getpid() -> i32;
+    }
+    unsafe {
+        kill(getpid(), 9);
+    }
+    // SIGKILL is not deliverable to a stopped clock, but the compiler
+    // doesn't know that.
+    loop {
+        std::thread::sleep(Duration::from_secs(1));
     }
 }
 
@@ -317,6 +508,7 @@ fn dispatch_loop(
     admission: Arc<Admission>,
     registry: Arc<Registry>,
     faults: Option<FaultPlan>,
+    journal: Option<Arc<Journal>>,
 ) -> DispatchOutcome {
     let mut engine_error: Option<String> = None;
     let mut engine = match build_engine() {
@@ -329,6 +521,11 @@ fn dispatch_loop(
     // Per-tenant dispatched-job ordinals, the `on_job` coordinate of the
     // per-tenant fault vocabulary.
     let mut tenant_jobs: HashMap<Arc<str>, u64> = HashMap::new();
+    // daemonkill@N: die *after* journaling outcome N but *before* sending
+    // it — the nastiest window, where only recovery + replay can save the
+    // reply.
+    let daemon_kill = faults.as_ref().and_then(|p| p.daemon_kill());
+    let mut outcomes: u64 = 0;
 
     loop {
         let job = match admission.next(Duration::from_millis(200)) {
@@ -380,23 +577,80 @@ fn dispatch_loop(
 
         match served {
             Ok(report) => {
-                let delivered = registry.get(job.session).is_some_and(|s| {
-                    s.send(&ServeMsg::Done {
-                        seq: job.seq,
-                        grids: report.result.per_grid.len() as u64,
-                        l2_error: report.result.l2_error,
-                        combined: report.result.combined,
-                    })
-                });
-                admission.complete(&job, delivered);
+                let delivered = match &journal {
+                    Some(j) => {
+                        // Journal the outcome before sending it: a crash
+                        // in between replays the reply; a crash before
+                        // re-executes the (deterministic) job.
+                        let body = OutcomeBody::Done {
+                            grids: report.result.per_grid.len() as u64,
+                            l2_error: report.result.l2_error,
+                            combined: report.result.combined,
+                        };
+                        match j.record_outcome(&job.tenant, job.seq, &body) {
+                            Ok(rseq) => {
+                                outcomes += 1;
+                                if Some(outcomes) == daemon_kill {
+                                    sigkill_self();
+                                }
+                                registry
+                                    .tenant_session(&job.tenant)
+                                    .is_some_and(|s| s.send(&body.to_msg(job.seq, rseq)))
+                            }
+                            Err(e) => {
+                                eprintln!("journal: done outcome write failed: {e}");
+                                false
+                            }
+                        }
+                    }
+                    None => registry.get(job.session).is_some_and(|s| {
+                        s.send(&ServeMsg::Done {
+                            seq: job.seq,
+                            rseq: 0,
+                            grids: report.result.per_grid.len() as u64,
+                            l2_error: report.result.l2_error,
+                            combined: report.result.combined,
+                        })
+                    }),
+                };
+                // Under a journal an undelivered reply is not an orphan:
+                // it waits, durably, for the tenant to resume.
+                admission.complete(&job, delivered || journal.is_some());
             }
             Err(error) => {
-                let (seq, sess) = (job.seq, job.session);
+                let (tenant, seq, sess) = (Arc::clone(&job.tenant), job.seq, job.session);
                 // Retry first (re-queued at the tenant's head); only a
                 // spent retry budget surfaces the failure to the tenant.
                 if admission.charge_failure(job).is_none() {
-                    if let Some(s) = registry.get(sess) {
-                        s.send(&ServeMsg::Fail { seq, error });
+                    match &journal {
+                        Some(j) => {
+                            let body = OutcomeBody::Fail {
+                                error: error.clone(),
+                            };
+                            match j.record_outcome(&tenant, seq, &body) {
+                                Ok(rseq) => {
+                                    outcomes += 1;
+                                    if Some(outcomes) == daemon_kill {
+                                        sigkill_self();
+                                    }
+                                    if let Some(s) = registry.tenant_session(&tenant) {
+                                        s.send(&body.to_msg(seq, rseq));
+                                    }
+                                }
+                                Err(e) => {
+                                    eprintln!("journal: fail outcome write failed: {e}");
+                                }
+                            }
+                        }
+                        None => {
+                            if let Some(s) = registry.get(sess) {
+                                s.send(&ServeMsg::Fail {
+                                    seq,
+                                    rseq: 0,
+                                    error,
+                                });
+                            }
+                        }
                     }
                 }
             }

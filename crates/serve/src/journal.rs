@@ -1,0 +1,1150 @@
+//! The serving write-ahead journal: crash durability for admitted work.
+//!
+//! The daemon's contract without a journal is "accepted work finishes
+//! unless the daemon dies" — this module removes the qualifier. Every
+//! admitted `Submit` is journaled *before* the admission layer sees it,
+//! and every outcome (`Done`/`Fail`/`Reject`) is journaled *before* it is
+//! sent, so a SIGKILL at any instant loses at most replies that were
+//! never acknowledged — and those replay on reconnect.
+//!
+//! ## On-disk format
+//!
+//! A journal is a directory of numbered segments:
+//!
+//! ```text
+//! wal-000001.seg   "MFSJ" version:u32le  frame(record)*
+//! wal-000002.seg   "MFSJ" version:u32le  frame(Snapshot) frame(record)*
+//! ```
+//!
+//! Each record is a [`Unit`] tuple encoded by [`transport::wire`] and
+//! wrapped in the transport's CRC-32 frame — the same discipline as
+//! [`renovation::checkpoint`] (MFCK), so bit rot is *detected* and a torn
+//! tail (the one record a crash can interrupt) is truncated on recovery,
+//! never misread. Records append with plain `write(2)`: a page-cached
+//! write survives process death (the SIGKILL threat model this layer is
+//! built for); [`JournalConfig::fsync`] upgrades every append to
+//! power-loss durability at the documented throughput cost.
+//!
+//! ## Rotation and compaction
+//!
+//! When the active segment exceeds [`JournalConfig::segment_bytes`], the
+//! journal writes a fresh segment whose first record is a `Snapshot` of
+//! the entire live state — tenants and their reply watermarks, pending
+//! jobs, unacknowledged outcomes — via the checkpoint crate's
+//! atomic temp-write + rename, then deletes the older segments. Entries
+//! the client has `Ack`ed are dropped from the snapshot, so the journal's
+//! size is bounded by outstanding (not historical) work.
+//!
+//! ## Replay invariants
+//!
+//! * `rseq` — the per-tenant reply sequence — is assigned under the
+//!   journal lock, so replies from the dispatcher thread (`Done`/`Fail`)
+//!   and the reactor threads (`Reject`) interleave into one gap-free
+//!   order per tenant.
+//! * A seq with a journaled non-`Reject` outcome is never re-executed:
+//!   re-`Submit`ting it replays the recorded outcome with its *original*
+//!   `rseq`, which the client's `last_reply` watermark dedups —
+//!   exactly-once delivery end to end.
+//! * A seq whose outcome was `Reject` may be re-admitted (that is what
+//!   the backpressure retry loop does).
+//! * Recovery resubmits every journaled-but-outcomeless job to a fresh
+//!   engine; fault budgets are restored from the replayed `Fail` count,
+//!   and vtimes restart level — a tenant cannot bank fairness credit by
+//!   crash-looping the daemon.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, Write};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use manifold::Unit;
+
+use crate::proto::{RejectReason, ServeMsg};
+
+/// Magic bytes opening every journal segment.
+pub const MAGIC: &[u8; 4] = b"MFSJ";
+
+/// Version of the journal layout; mismatches are refused, not guessed.
+pub const JOURNAL_VERSION: u32 = 1;
+
+const R_REGISTER: i64 = 1;
+const R_ADMIT: i64 = 2;
+const R_OUTCOME: i64 = 3;
+const R_ACK: i64 = 4;
+const R_SNAPSHOT: i64 = 5;
+
+const O_DONE: i64 = 0;
+const O_FAIL: i64 = 1;
+const O_REJECT: i64 = 2;
+
+/// Where and how to journal.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding the segments (created if missing).
+    pub dir: PathBuf,
+    /// `fsync` every appended record. Off by default: page-cached writes
+    /// already survive SIGKILL (the serving threat model); turn this on
+    /// for power-loss durability.
+    pub fsync: bool,
+    /// Rotate (snapshot + compact) once the active segment passes this.
+    pub segment_bytes: u64,
+}
+
+impl JournalConfig {
+    /// Journal into `dir` with default knobs (no fsync, 8 MiB segments).
+    pub fn new(dir: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig {
+            dir: dir.into(),
+            fsync: false,
+            segment_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+/// The body of a journaled reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OutcomeBody {
+    /// Job served; the full field rides in the journal so replay is
+    /// bit-identical to first delivery.
+    Done {
+        /// Component grids visited.
+        grids: u64,
+        /// Discrete L2 error.
+        l2_error: f64,
+        /// Full combined solution field.
+        combined: Vec<f64>,
+    },
+    /// Accepted but failed in the engine.
+    Fail {
+        /// Failure description.
+        error: String,
+    },
+    /// Refused at admission.
+    Reject {
+        /// Suggested back-off.
+        retry_after_ms: u64,
+        /// Why.
+        reason: RejectReason,
+    },
+}
+
+impl OutcomeBody {
+    /// The wire message delivering this outcome for request `seq` under
+    /// reply sequence `rseq`.
+    pub fn to_msg(&self, seq: u64, rseq: u64) -> ServeMsg {
+        match self {
+            OutcomeBody::Done {
+                grids,
+                l2_error,
+                combined,
+            } => ServeMsg::Done {
+                seq,
+                rseq,
+                grids: *grids,
+                l2_error: *l2_error,
+                combined: combined.clone(),
+            },
+            OutcomeBody::Fail { error } => ServeMsg::Fail {
+                seq,
+                rseq,
+                error: error.clone(),
+            },
+            OutcomeBody::Reject {
+                retry_after_ms,
+                reason,
+            } => ServeMsg::Reject {
+                seq,
+                rseq,
+                retry_after_ms: *retry_after_ms,
+                reason: *reason,
+            },
+        }
+    }
+
+    fn to_unit(&self) -> Unit {
+        match self {
+            OutcomeBody::Done {
+                grids,
+                l2_error,
+                combined,
+            } => Unit::tuple(vec![
+                Unit::int(O_DONE),
+                Unit::int(*grids as i64),
+                Unit::real(*l2_error),
+                Unit::reals(combined.clone()),
+            ]),
+            OutcomeBody::Fail { error } => Unit::tuple(vec![Unit::int(O_FAIL), Unit::text(error)]),
+            OutcomeBody::Reject {
+                retry_after_ms,
+                reason,
+            } => Unit::tuple(vec![
+                Unit::int(O_REJECT),
+                Unit::int(*retry_after_ms as i64),
+                Unit::int(match reason {
+                    RejectReason::QueueFull => 0,
+                    RejectReason::Draining => 1,
+                    RejectReason::FaultBudgetExhausted => 2,
+                    RejectReason::OverCapacity => 3,
+                }),
+            ]),
+        }
+    }
+
+    fn from_unit(u: &Unit) -> Result<OutcomeBody, String> {
+        let t = u.as_tuple().ok_or("outcome body is not a tuple")?;
+        let int = |i: usize| -> Result<i64, String> {
+            t.get(i)
+                .and_then(Unit::as_int)
+                .ok_or_else(|| format!("outcome field {i} is not an int"))
+        };
+        match int(0)? {
+            O_DONE => Ok(OutcomeBody::Done {
+                grids: int(1)? as u64,
+                l2_error: t
+                    .get(2)
+                    .and_then(Unit::as_real)
+                    .ok_or("outcome field 2 is not a real")?,
+                combined: t
+                    .get(3)
+                    .and_then(Unit::as_reals)
+                    .ok_or("outcome field 3 is not a reals vector")?
+                    .as_ref()
+                    .clone(),
+            }),
+            O_FAIL => Ok(OutcomeBody::Fail {
+                error: t
+                    .get(1)
+                    .and_then(Unit::as_text)
+                    .ok_or("outcome field 1 is not text")?
+                    .to_string(),
+            }),
+            O_REJECT => Ok(OutcomeBody::Reject {
+                retry_after_ms: int(1)? as u64,
+                reason: match int(2)? {
+                    0 => RejectReason::QueueFull,
+                    1 => RejectReason::Draining,
+                    2 => RejectReason::FaultBudgetExhausted,
+                    3 => RejectReason::OverCapacity,
+                    other => return Err(format!("unknown reject reason {other}")),
+                },
+            }),
+            other => Err(format!("unknown outcome kind {other}")),
+        }
+    }
+
+    fn is_reject(&self) -> bool {
+        matches!(self, OutcomeBody::Reject { .. })
+    }
+
+    fn is_fail(&self) -> bool {
+        matches!(self, OutcomeBody::Fail { .. })
+    }
+}
+
+#[derive(Debug, Clone)]
+enum JobState {
+    Pending { root: u32, level: u32, tol: f64 },
+    Outcome { rseq: u64, body: OutcomeBody },
+}
+
+#[derive(Debug, Clone)]
+struct TenantRec {
+    name: String,
+    weight: u32,
+    token: u64,
+    /// Next reply sequence to assign (first assigned is 1).
+    next_rseq: u64,
+    /// Highest reply sequence the client has acknowledged.
+    acked: u64,
+    /// Replayed `Fail` outcomes — restores the fault budget on recovery.
+    failed: u64,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    /// Registration order — ordinals must survive restart because chaos
+    /// fault plans and fair-queue tie-breaks key on them.
+    tenants: Vec<TenantRec>,
+    by_name: HashMap<String, usize>,
+    /// `(tenant ordinal, seq)` → job state. BTreeMap so recovery re-offers
+    /// in a deterministic (ordinal, seq) order.
+    jobs: BTreeMap<(usize, u64), JobState>,
+}
+
+impl State {
+    fn apply(&mut self, u: &Unit) -> Result<(), String> {
+        let t = u.as_tuple().ok_or("record is not a tuple")?;
+        let int = |i: usize| -> Result<i64, String> {
+            t.get(i)
+                .and_then(Unit::as_int)
+                .ok_or_else(|| format!("record field {i} is not an int"))
+        };
+        let text = |i: usize| -> Result<&str, String> {
+            t.get(i)
+                .and_then(Unit::as_text)
+                .ok_or_else(|| format!("record field {i} is not text"))
+        };
+        match int(0)? {
+            R_REGISTER => {
+                let name = text(1)?.to_string();
+                let idx = self.tenants.len();
+                self.by_name.insert(name.clone(), idx);
+                self.tenants.push(TenantRec {
+                    name,
+                    weight: int(2)?.max(0) as u32,
+                    token: int(3)? as u64,
+                    next_rseq: 1,
+                    acked: 0,
+                    failed: 0,
+                });
+                Ok(())
+            }
+            R_ADMIT => {
+                let idx = *self
+                    .by_name
+                    .get(text(1)?)
+                    .ok_or("admit for unregistered tenant")?;
+                self.jobs.insert(
+                    (idx, int(2)? as u64),
+                    JobState::Pending {
+                        root: int(3)?.max(0) as u32,
+                        level: int(4)?.max(0) as u32,
+                        tol: t
+                            .get(5)
+                            .and_then(Unit::as_real)
+                            .ok_or("record field 5 is not a real")?,
+                    },
+                );
+                Ok(())
+            }
+            R_OUTCOME => {
+                let idx = *self
+                    .by_name
+                    .get(text(1)?)
+                    .ok_or("outcome for unregistered tenant")?;
+                let rseq = int(3)? as u64;
+                let body = OutcomeBody::from_unit(t.get(4).ok_or("outcome has no body")?)?;
+                let tn = &mut self.tenants[idx];
+                tn.next_rseq = tn.next_rseq.max(rseq + 1);
+                if body.is_fail() {
+                    tn.failed += 1;
+                }
+                self.jobs
+                    .insert((idx, int(2)? as u64), JobState::Outcome { rseq, body });
+                Ok(())
+            }
+            R_ACK => {
+                let idx = *self
+                    .by_name
+                    .get(text(1)?)
+                    .ok_or("ack for unregistered tenant")?;
+                self.ack(idx, int(2)? as u64);
+                Ok(())
+            }
+            R_SNAPSHOT => {
+                *self = State::default();
+                for tu in t
+                    .get(1)
+                    .and_then(Unit::as_tuple)
+                    .ok_or("snapshot tenants is not a tuple")?
+                {
+                    let f = tu.as_tuple().ok_or("snapshot tenant is not a tuple")?;
+                    let fi = |i: usize| -> Result<i64, String> {
+                        f.get(i)
+                            .and_then(Unit::as_int)
+                            .ok_or_else(|| format!("snapshot tenant field {i} is not an int"))
+                    };
+                    let name = f
+                        .first()
+                        .and_then(Unit::as_text)
+                        .ok_or("snapshot tenant name is not text")?
+                        .to_string();
+                    let idx = self.tenants.len();
+                    self.by_name.insert(name.clone(), idx);
+                    self.tenants.push(TenantRec {
+                        name,
+                        weight: fi(1)?.max(0) as u32,
+                        token: fi(2)? as u64,
+                        next_rseq: fi(3)? as u64,
+                        acked: fi(4)? as u64,
+                        failed: fi(5)? as u64,
+                    });
+                }
+                for ju in t
+                    .get(2)
+                    .and_then(Unit::as_tuple)
+                    .ok_or("snapshot jobs is not a tuple")?
+                {
+                    let f = ju.as_tuple().ok_or("snapshot job is not a tuple")?;
+                    let idx = *self
+                        .by_name
+                        .get(
+                            f.first()
+                                .and_then(Unit::as_text)
+                                .ok_or("snapshot job tenant is not text")?,
+                        )
+                        .ok_or("snapshot job for unknown tenant")?;
+                    let seq = f
+                        .get(1)
+                        .and_then(Unit::as_int)
+                        .ok_or("snapshot job seq is not an int")?
+                        as u64;
+                    let su = f.get(2).ok_or("snapshot job has no state")?;
+                    let s = su.as_tuple().ok_or("snapshot job state is not a tuple")?;
+                    let si = |i: usize| -> Result<i64, String> {
+                        s.get(i)
+                            .and_then(Unit::as_int)
+                            .ok_or_else(|| format!("snapshot job state field {i} is not an int"))
+                    };
+                    let state = match si(0)? {
+                        0 => JobState::Pending {
+                            root: si(1)?.max(0) as u32,
+                            level: si(2)?.max(0) as u32,
+                            tol: s
+                                .get(3)
+                                .and_then(Unit::as_real)
+                                .ok_or("snapshot job tol is not a real")?,
+                        },
+                        1 => JobState::Outcome {
+                            rseq: si(1)? as u64,
+                            body: OutcomeBody::from_unit(
+                                s.get(2).ok_or("snapshot outcome has no body")?,
+                            )?,
+                        },
+                        other => return Err(format!("unknown snapshot job kind {other}")),
+                    };
+                    self.jobs.insert((idx, seq), state);
+                }
+                Ok(())
+            }
+            other => Err(format!("unknown journal record tag {other}")),
+        }
+    }
+
+    /// Raise the ack watermark and drop the outcomes it covers — the
+    /// in-memory side of compaction (the on-disk side happens at the next
+    /// rotation snapshot).
+    fn ack(&mut self, idx: usize, upto: u64) {
+        let tn = &mut self.tenants[idx];
+        if upto <= tn.acked {
+            return;
+        }
+        tn.acked = upto;
+        self.jobs.retain(|(t, _), s| {
+            *t != idx
+                || match s {
+                    JobState::Pending { .. } => true,
+                    JobState::Outcome { rseq, .. } => *rseq > upto,
+                }
+        });
+    }
+
+    fn snapshot_unit(&self) -> Unit {
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                Unit::tuple(vec![
+                    Unit::text(&t.name),
+                    Unit::int(t.weight as i64),
+                    Unit::int(t.token as i64),
+                    Unit::int(t.next_rseq as i64),
+                    Unit::int(t.acked as i64),
+                    Unit::int(t.failed as i64),
+                ])
+            })
+            .collect();
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|(&(idx, seq), s)| {
+                let state = match s {
+                    JobState::Pending { root, level, tol } => Unit::tuple(vec![
+                        Unit::int(0),
+                        Unit::int(*root as i64),
+                        Unit::int(*level as i64),
+                        Unit::real(*tol),
+                    ]),
+                    JobState::Outcome { rseq, body } => {
+                        Unit::tuple(vec![Unit::int(1), Unit::int(*rseq as i64), body.to_unit()])
+                    }
+                };
+                Unit::tuple(vec![
+                    Unit::text(&self.tenants[idx].name),
+                    Unit::int(seq as i64),
+                    state,
+                ])
+            })
+            .collect();
+        Unit::tuple(vec![
+            Unit::int(R_SNAPSHOT),
+            Unit::tuple(tenants),
+            Unit::tuple(jobs),
+        ])
+    }
+}
+
+/// What [`Journal::open`] recovered from disk — the daemon feeds this
+/// back into its admission layer before accepting connections.
+#[derive(Debug, Clone, Default)]
+pub struct Recovery {
+    /// `(name, weight, replayed Fail count)` in original registration
+    /// order, so re-registration reproduces the ordinals.
+    pub tenants: Vec<(String, u32, u64)>,
+    /// Jobs admitted but without a journaled outcome: resubmit these.
+    pub pending: Vec<PendingJob>,
+    /// Unacknowledged outcomes waiting for their tenants to reconnect.
+    pub unacked_outcomes: usize,
+}
+
+/// One journaled-but-unfinished job to re-offer on recovery.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PendingJob {
+    /// Owning tenant.
+    pub tenant: String,
+    /// Tenant-chosen sequence number.
+    pub seq: u64,
+    /// Root refinement.
+    pub root: u32,
+    /// Levels above root.
+    pub level: u32,
+    /// Integrator tolerance.
+    pub tol: f64,
+}
+
+/// Outcome of [`Journal::register`].
+#[derive(Debug)]
+pub struct Resume {
+    /// The tenant's stable resume token (mint or existing).
+    pub token: u64,
+    /// Journaled replies above the client's watermark, in `rseq` order —
+    /// queue these to the session before processing anything else on it.
+    pub replay: Vec<ServeMsg>,
+}
+
+/// Outcome of [`Journal::admit`].
+#[derive(Debug)]
+pub enum Admit {
+    /// Journaled; hand the job to admission.
+    New,
+    /// Already admitted and still in flight — the reply will come; drop
+    /// this duplicate on the floor.
+    DuplicatePending,
+    /// A terminal outcome is already journaled: resend it (original
+    /// `rseq`, so the client's dedup decides) instead of re-executing.
+    Replay(Box<ServeMsg>),
+}
+
+struct Inner {
+    cfg: JournalConfig,
+    state: State,
+    file: File,
+    seg_index: u64,
+    seg_bytes: u64,
+    token_nonce: u64,
+}
+
+/// The write-ahead journal. All methods are `&self`; one internal lock
+/// orders appends from the reactor threads and the dispatcher.
+pub struct Journal {
+    inner: Mutex<Inner>,
+}
+
+fn seg_name(index: u64) -> String {
+    format!("wal-{index:06}.seg")
+}
+
+fn seg_header() -> Vec<u8> {
+    let mut h = Vec::with_capacity(8);
+    h.extend_from_slice(MAGIC);
+    h.extend_from_slice(&JOURNAL_VERSION.to_le_bytes());
+    h
+}
+
+fn encode_record(u: &Unit) -> io::Result<Vec<u8>> {
+    let payload = transport::encode_unit_vec(u)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("journal encode: {e}")))?;
+    Ok(transport::frame_vec(&payload))
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl Journal {
+    /// Open (or create) the journal in `cfg.dir`, replaying any existing
+    /// segments. Returns the journal plus what it recovered.
+    pub fn open(cfg: JournalConfig) -> io::Result<(Journal, Recovery)> {
+        fs::create_dir_all(&cfg.dir)?;
+        let mut segs: Vec<u64> = fs::read_dir(&cfg.dir)?
+            .filter_map(|e| {
+                let name = e.ok()?.file_name().to_string_lossy().into_owned();
+                let idx = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+                idx.parse::<u64>().ok()
+            })
+            .collect();
+        segs.sort_unstable();
+
+        let mut state = State::default();
+        let (file, seg_index, seg_bytes) = if segs.is_empty() {
+            let index = 1;
+            let path = cfg.dir.join(seg_name(index));
+            let mut f = OpenOptions::new()
+                .create(true)
+                .truncate(true)
+                .write(true)
+                .open(&path)?;
+            f.write_all(&seg_header())?;
+            (f, index, 8u64)
+        } else {
+            let last = *segs.last().unwrap();
+            for &idx in &segs {
+                let path = cfg.dir.join(seg_name(idx));
+                let bytes = fs::read(&path)?;
+                let bad = |what: String| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("journal segment {}: {what}", path.display()),
+                    )
+                };
+                if bytes.len() < 8 || &bytes[..4] != MAGIC {
+                    return Err(bad("not a journal segment (bad magic)".into()));
+                }
+                let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+                if version != JOURNAL_VERSION {
+                    return Err(bad(format!(
+                        "layout version {version}, this build reads {JOURNAL_VERSION}"
+                    )));
+                }
+                let mut cur = io::Cursor::new(&bytes[8..]);
+                let mut valid = 0u64;
+                loop {
+                    match transport::read_frame(&mut cur) {
+                        Ok(Some(payload)) => {
+                            let unit = transport::decode_unit(&payload)
+                                .map_err(|e| bad(format!("record decode: {e}")))?;
+                            state
+                                .apply(&unit)
+                                .map_err(|e| bad(format!("record replay: {e}")))?;
+                            valid = cur.position();
+                        }
+                        Ok(None) => break,
+                        Err(e) if idx == last => {
+                            // The one record a crash can tear is the last
+                            // append of the final segment: drop it. The
+                            // write it guarded was never acknowledged.
+                            eprintln!(
+                                "journal: truncating torn tail of {} at byte {} ({e})",
+                                path.display(),
+                                8 + valid
+                            );
+                            break;
+                        }
+                        Err(e) => {
+                            return Err(bad(format!(
+                                "corrupt record at byte {} of a non-final segment: {e}",
+                                8 + valid
+                            )))
+                        }
+                    }
+                }
+                if idx == last {
+                    let f = OpenOptions::new().write(true).open(&path)?;
+                    f.set_len(8 + valid)?;
+                }
+            }
+            let path = cfg.dir.join(seg_name(last));
+            let mut f = OpenOptions::new().append(true).open(&path)?;
+            let len = f.seek(io::SeekFrom::End(0))?;
+            (f, last, len)
+        };
+
+        let recovery = Recovery {
+            tenants: state
+                .tenants
+                .iter()
+                .map(|t| (t.name.clone(), t.weight, t.failed))
+                .collect(),
+            pending: state
+                .jobs
+                .iter()
+                .filter_map(|(&(idx, seq), s)| match s {
+                    JobState::Pending { root, level, tol } => Some(PendingJob {
+                        tenant: state.tenants[idx].name.clone(),
+                        seq,
+                        root: *root,
+                        level: *level,
+                        tol: *tol,
+                    }),
+                    JobState::Outcome { .. } => None,
+                })
+                .collect(),
+            unacked_outcomes: state
+                .jobs
+                .values()
+                .filter(|s| matches!(s, JobState::Outcome { .. }))
+                .count(),
+        };
+        let token_nonce = {
+            let t = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0);
+            t ^ ((std::process::id() as u64) << 32)
+        };
+        Ok((
+            Journal {
+                inner: Mutex::new(Inner {
+                    cfg,
+                    state,
+                    file,
+                    seg_index,
+                    seg_bytes,
+                    token_nonce,
+                }),
+            },
+            recovery,
+        ))
+    }
+
+    /// Register `tenant` (or resume it). `token == 0` means "fresh or
+    /// lost my token"; a nonzero token must match the journal's record.
+    /// `last_reply` acknowledges every reply at or below it.
+    pub fn register(
+        &self,
+        tenant: &str,
+        weight: u32,
+        token: u64,
+        last_reply: u64,
+    ) -> Result<Resume, String> {
+        let mut g = self.inner.lock().unwrap();
+        let inner = &mut *g;
+        match inner.state.by_name.get(tenant).copied() {
+            Some(idx) => {
+                let known = inner.state.tenants[idx].token;
+                if token != 0 && token != known {
+                    return Err(format!(
+                        "resume token {token:#x} does not match the journal's record for \
+                         tenant {tenant:?} — refusing to resume"
+                    ));
+                }
+                if last_reply > inner.state.tenants[idx].acked {
+                    inner
+                        .append_ack(idx, last_reply)
+                        .map_err(|e| format!("journal ack: {e}"))?;
+                }
+                let mut replay: Vec<(u64, ServeMsg)> = inner
+                    .state
+                    .jobs
+                    .iter()
+                    .filter_map(|(&(t, seq), s)| match s {
+                        JobState::Outcome { rseq, body } if t == idx && *rseq > last_reply => {
+                            Some((*rseq, body.to_msg(seq, *rseq)))
+                        }
+                        _ => None,
+                    })
+                    .collect();
+                replay.sort_by_key(|(rseq, _)| *rseq);
+                Ok(Resume {
+                    token: known,
+                    replay: replay.into_iter().map(|(_, m)| m).collect(),
+                })
+            }
+            None => {
+                if token != 0 {
+                    return Err(format!(
+                        "resume token {token:#x} presented for tenant {tenant:?}, but the \
+                         journal has no record of it — refusing to resume"
+                    ));
+                }
+                let idx = inner.state.tenants.len();
+                let minted =
+                    (splitmix64(inner.token_nonce ^ (idx as u64)) & 0x7fff_ffff_ffff_ffff).max(1);
+                let rec = Unit::tuple(vec![
+                    Unit::int(R_REGISTER),
+                    Unit::text(tenant),
+                    Unit::int(weight as i64),
+                    Unit::int(minted as i64),
+                ]);
+                inner
+                    .append(&rec)
+                    .map_err(|e| format!("journal register: {e}"))?;
+                inner.state.apply(&rec).expect("self-built record");
+                Ok(Resume {
+                    token: minted,
+                    replay: Vec::new(),
+                })
+            }
+        }
+    }
+
+    /// Journal an admission *before* it enters the admission queue.
+    pub fn admit(
+        &self,
+        tenant: &str,
+        seq: u64,
+        root: u32,
+        level: u32,
+        tol: f64,
+    ) -> io::Result<Admit> {
+        let mut g = self.inner.lock().unwrap();
+        let inner = &mut *g;
+        let idx = *inner.state.by_name.get(tenant).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("admit for unregistered tenant {tenant:?}"),
+            )
+        })?;
+        match inner.state.jobs.get(&(idx, seq)) {
+            Some(JobState::Pending { .. }) => return Ok(Admit::DuplicatePending),
+            Some(JobState::Outcome { rseq, body }) if !body.is_reject() => {
+                return Ok(Admit::Replay(Box::new(body.to_msg(seq, *rseq))));
+            }
+            // A journaled Reject is not terminal: the client is retrying
+            // after backpressure, so fall through and re-admit.
+            Some(JobState::Outcome { .. }) | None => {}
+        }
+        let rec = Unit::tuple(vec![
+            Unit::int(R_ADMIT),
+            Unit::text(tenant),
+            Unit::int(seq as i64),
+            Unit::int(root as i64),
+            Unit::int(level as i64),
+            Unit::real(tol),
+        ]);
+        inner.append(&rec)?;
+        inner.state.apply(&rec).expect("self-built record");
+        Ok(Admit::New)
+    }
+
+    /// Journal an outcome *before* it is sent, assigning and returning
+    /// its reply sequence.
+    pub fn record_outcome(&self, tenant: &str, seq: u64, body: &OutcomeBody) -> io::Result<u64> {
+        let mut g = self.inner.lock().unwrap();
+        let inner = &mut *g;
+        let idx = *inner.state.by_name.get(tenant).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("outcome for unregistered tenant {tenant:?}"),
+            )
+        })?;
+        let rseq = inner.state.tenants[idx].next_rseq;
+        let rec = Unit::tuple(vec![
+            Unit::int(R_OUTCOME),
+            Unit::text(tenant),
+            Unit::int(seq as i64),
+            Unit::int(rseq as i64),
+            body.to_unit(),
+        ]);
+        inner.append(&rec)?;
+        inner.state.apply(&rec).expect("self-built record");
+        Ok(rseq)
+    }
+
+    /// The client has durably consumed every reply with `rseq <= upto`.
+    pub fn ack(&self, tenant: &str, upto: u64) -> io::Result<()> {
+        let mut g = self.inner.lock().unwrap();
+        let inner = &mut *g;
+        let Some(idx) = inner.state.by_name.get(tenant).copied() else {
+            return Ok(()); // unknown tenant's ack is a no-op, not an error
+        };
+        if upto > inner.state.tenants[idx].acked {
+            inner.append_ack(idx, upto)?;
+        }
+        Ok(())
+    }
+
+    /// Jobs currently journaled without a terminal outcome (test hook and
+    /// operator introspection).
+    pub fn pending_count(&self) -> usize {
+        let g = self.inner.lock().unwrap();
+        g.state
+            .jobs
+            .values()
+            .filter(|s| matches!(s, JobState::Pending { .. }))
+            .count()
+    }
+
+    /// Current segment count on disk (1 except transiently; tests use
+    /// this to observe rotation + compaction).
+    pub fn segment_count(&self) -> usize {
+        let g = self.inner.lock().unwrap();
+        fs::read_dir(&g.cfg.dir)
+            .map(|rd| {
+                rd.filter(|e| {
+                    e.as_ref()
+                        .map(|e| {
+                            let n = e.file_name().to_string_lossy().into_owned();
+                            n.starts_with("wal-") && n.ends_with(".seg")
+                        })
+                        .unwrap_or(false)
+                })
+                .count()
+            })
+            .unwrap_or(0)
+    }
+}
+
+impl Inner {
+    fn append(&mut self, rec: &Unit) -> io::Result<()> {
+        let bytes = encode_record(rec)?;
+        self.file.write_all(&bytes)?;
+        if self.cfg.fsync {
+            self.file.sync_data()?;
+        }
+        self.seg_bytes += bytes.len() as u64;
+        if self.seg_bytes >= self.cfg.segment_bytes {
+            self.rotate()?;
+        }
+        Ok(())
+    }
+
+    fn append_ack(&mut self, idx: usize, upto: u64) -> io::Result<()> {
+        let rec = Unit::tuple(vec![
+            Unit::int(R_ACK),
+            Unit::text(&self.state.tenants[idx].name),
+            Unit::int(upto as i64),
+        ]);
+        self.append(&rec)?;
+        self.state.ack(idx, upto);
+        Ok(())
+    }
+
+    /// Start a new segment headed by a snapshot of live state, then drop
+    /// the older segments — compaction of everything already acked.
+    fn rotate(&mut self) -> io::Result<()> {
+        let next = self.seg_index + 1;
+        let path = self.cfg.dir.join(seg_name(next));
+        let mut bytes = seg_header();
+        bytes.extend_from_slice(&encode_record(&self.state.snapshot_unit())?);
+        renovation::atomic_replace(&path, &bytes, self.cfg.fsync)?;
+        self.file = OpenOptions::new().append(true).open(&path)?;
+        for old in 1..next {
+            let _ = fs::remove_file(self.cfg.dir.join(seg_name(old)));
+        }
+        self.seg_index = next;
+        self.seg_bytes = bytes.len() as u64;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("mfsj-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn done(v: f64) -> OutcomeBody {
+        OutcomeBody::Done {
+            grids: 3,
+            l2_error: 1e-4,
+            combined: vec![v, v + 0.5],
+        }
+    }
+
+    #[test]
+    fn register_admit_outcome_survive_reopen() {
+        let dir = tmp_dir("reopen");
+        let (j, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert!(rec.tenants.is_empty());
+        let r = j.register("acme", 2, 0, 0).unwrap();
+        assert_ne!(r.token, 0);
+        assert!(matches!(
+            j.admit("acme", 1, 2, 1, 1e-3).unwrap(),
+            Admit::New
+        ));
+        assert!(matches!(
+            j.admit("acme", 2, 2, 1, 1e-3).unwrap(),
+            Admit::New
+        ));
+        assert!(matches!(
+            j.admit("acme", 1, 2, 1, 1e-3).unwrap(),
+            Admit::DuplicatePending
+        ));
+        let rseq = j.record_outcome("acme", 1, &done(1.0)).unwrap();
+        assert_eq!(rseq, 1);
+        drop(j);
+
+        // "Crash": reopen from disk. Seq 2 is pending, seq 1's outcome is
+        // unacked, the tenant keeps its token.
+        let (j2, rec2) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(rec2.tenants, vec![("acme".to_string(), 2, 0)]);
+        assert_eq!(rec2.pending.len(), 1);
+        assert_eq!(rec2.pending[0].seq, 2);
+        assert_eq!(rec2.unacked_outcomes, 1);
+        let r2 = j2.register("acme", 2, r.token, 0).unwrap();
+        assert_eq!(r2.token, r.token);
+        assert_eq!(r2.replay.len(), 1);
+        match &r2.replay[0] {
+            ServeMsg::Done {
+                seq,
+                rseq,
+                combined,
+                ..
+            } => {
+                assert_eq!((*seq, *rseq), (1, 1));
+                assert_eq!(combined, &vec![1.0, 1.5]);
+            }
+            other => panic!("unexpected replay {other:?}"),
+        }
+        // Resubmitting the finished seq replays, not re-executes.
+        assert!(matches!(
+            j2.admit("acme", 1, 2, 1, 1e-3).unwrap(),
+            Admit::Replay(_)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_tokens_are_refused() {
+        let dir = tmp_dir("token");
+        let (j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let r = j.register("a", 1, 0, 0).unwrap();
+        assert!(j
+            .register("a", 1, r.token ^ 1, 0)
+            .unwrap_err()
+            .contains("does not match"));
+        assert!(j
+            .register("ghost", 1, 77, 0)
+            .unwrap_err()
+            .contains("no record"));
+        // token 0 re-registration returns the existing token.
+        assert_eq!(j.register("a", 1, 0, 0).unwrap().token, r.token);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn acked_replies_are_not_replayed_and_rejects_readmit() {
+        let dir = tmp_dir("ack");
+        let (j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        let tok = j.register("a", 1, 0, 0).unwrap().token;
+        j.admit("a", 1, 2, 1, 1e-3).unwrap();
+        j.admit("a", 2, 2, 1, 1e-3).unwrap();
+        j.record_outcome("a", 1, &done(1.0)).unwrap(); // rseq 1
+        j.record_outcome(
+            "a",
+            2,
+            &OutcomeBody::Reject {
+                retry_after_ms: 25,
+                reason: RejectReason::QueueFull,
+            },
+        )
+        .unwrap(); // rseq 2
+        j.ack("a", 1).unwrap();
+        let r = j.register("a", 1, tok, 1).unwrap();
+        assert_eq!(r.replay.len(), 1, "only the unacked reject replays");
+        assert!(matches!(
+            r.replay[0],
+            ServeMsg::Reject {
+                seq: 2,
+                rseq: 2,
+                ..
+            }
+        ));
+        // The rejected seq may be re-admitted (backpressure retry).
+        assert!(matches!(j.admit("a", 2, 2, 1, 1e-3).unwrap(), Admit::New));
+        // Hello's last_reply acks implicitly, and survives reopen.
+        drop(j);
+        let (j2, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(rec.pending.len(), 1); // the re-admitted seq 2
+        let r2 = j2.register("a", 1, tok, 0).unwrap();
+        assert!(
+            r2.replay.is_empty(),
+            "acked Done stays compacted: {:?}",
+            r2.replay
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = tmp_dir("torn");
+        let (j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        j.register("a", 1, 0, 0).unwrap();
+        j.admit("a", 1, 2, 1, 1e-3).unwrap();
+        drop(j);
+        let path = dir.join(seg_name(1));
+        let bytes = fs::read(&path).unwrap();
+        // Chop mid-record: recovery keeps the register, drops the admit.
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let (_j2, rec) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert_eq!(rec.tenants.len(), 1);
+        assert!(rec.pending.is_empty(), "torn admit must not resurrect");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_compacts_acked_entries() {
+        let dir = tmp_dir("rotate");
+        let mut cfg = JournalConfig::new(&dir);
+        cfg.segment_bytes = 2048; // rotate eagerly
+        let (j, _) = Journal::open(cfg.clone()).unwrap();
+        let tok = j.register("a", 1, 0, 0).unwrap().token;
+        for seq in 1..=64u64 {
+            j.admit("a", seq, 2, 1, 1e-3).unwrap();
+            let rseq = j.record_outcome("a", seq, &done(seq as f64)).unwrap();
+            j.ack("a", rseq).unwrap();
+        }
+        assert_eq!(j.segment_count(), 1, "old segments deleted after rotation");
+        drop(j);
+        // The compacted journal still knows the tenant and its watermark.
+        let (j2, rec) = Journal::open(cfg).unwrap();
+        assert_eq!(rec.tenants.len(), 1);
+        assert!(rec.pending.is_empty());
+        assert_eq!(rec.unacked_outcomes, 0);
+        let r = j2.register("a", 1, tok, 0).unwrap();
+        assert!(r.replay.is_empty());
+        // rseq keeps counting from where it left off.
+        j2.admit("a", 65, 2, 1, 1e-3).unwrap();
+        assert_eq!(j2.record_outcome("a", 65, &done(0.0)).unwrap(), 65);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_non_final_segment_is_fatal() {
+        let dir = tmp_dir("rot-corrupt");
+        let mut cfg = JournalConfig::new(&dir);
+        cfg.segment_bytes = 1024;
+        let (j, _) = Journal::open(cfg.clone()).unwrap();
+        j.register("a", 1, 0, 0).unwrap();
+        for seq in 1..=32u64 {
+            j.admit("a", seq, 2, 1, 1e-3).unwrap();
+        }
+        drop(j);
+        // Plant a corrupt *earlier* segment alongside the live one.
+        let live = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .find(|e| e.file_name().to_string_lossy().starts_with("wal-"))
+            .unwrap();
+        let live_name = live.file_name().to_string_lossy().into_owned();
+        let idx: u64 = live_name
+            .strip_prefix("wal-")
+            .unwrap()
+            .strip_suffix(".seg")
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(idx >= 1);
+        let mut earlier = fs::read(live.path()).unwrap();
+        let last = earlier.len() - 1;
+        earlier[last] ^= 0x10; // bit rot, not truncation
+        fs::write(dir.join(seg_name(idx + 1)), fs::read(live.path()).unwrap()).unwrap();
+        fs::write(live.path(), &earlier).unwrap();
+        let err = match Journal::open(cfg) {
+            Err(e) => e.to_string(),
+            Ok(_) => panic!("corrupt non-final segment must refuse to open"),
+        };
+        assert!(err.contains("non-final segment"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

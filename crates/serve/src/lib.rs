@@ -22,7 +22,13 @@
 //!   every accepted job before the last outbox flush;
 //! * [`proto`] / [`client`] — the tenant session protocol (`Hello` …
 //!   `Drained`) and a blocking client for tests, smoke drivers, and the
-//!   `serve_bench` load generator.
+//!   `serve_bench` load generator;
+//! * [`journal`] — the crash-durability layer: a CRC-framed write-ahead
+//!   journal of admissions and outcomes with snapshot compaction, resume
+//!   tokens, and exactly-once reply replay across daemon restarts;
+//! * [`backoff`] — seeded jittered exponential backoff for the client's
+//!   Reject/reconnect retry loops, so a thousand tenants bounced by one
+//!   crash do not stampede back in lockstep.
 //!
 //! The serving guarantee extends the paper's: every `Done` reply carries
 //! the full combined field, **bit-identical** to a solo sequential run of
@@ -30,8 +36,10 @@
 //! get.
 
 pub mod admission;
+pub mod backoff;
 pub mod client;
 pub mod daemon;
+pub mod journal;
 pub mod poll;
 pub mod proto;
 pub mod reactor;
@@ -40,8 +48,10 @@ pub mod registry;
 pub use admission::{
     Admission, AdmissionConfig, AdmissionStats, Next, Offer, QueuedJob, TenantStats,
 };
+pub use backoff::Backoff;
 pub use client::TenantClient;
 pub use daemon::{Daemon, DaemonConfig, DaemonReport, DrainTrigger, EngineBuilder};
+pub use journal::{Journal, JournalConfig, OutcomeBody, PendingJob, Recovery};
 pub use proto::{field_checksum, RejectReason, ServeMsg, SERVE_PROTOCOL_VERSION};
 pub use reactor::{Action, Reactor, Service};
 pub use registry::{Registry, Session, SessionId};

@@ -13,11 +13,13 @@
 //!
 //! ```text
 //! tenant                              daemon
-//!   | -- Hello{ver,tenant,weight} ------>|   (tenant self-identifies)
-//!   |<-- Welcome{session} -------------- |
+//!   | -- Hello{ver,tenant,weight,token,last_reply} -->|
+//!   |<-- Welcome{session,token} -------- |   (token resumes the session)
+//!   |<-- Done{rseq,…} ------------------ |   (replay of unacked replies)
 //!   | -- Submit{seq,root,level,tol} ---->|   (any number, pipelined)
-//!   |<-- Done{seq,…,combined} ---------- |   (or Fail{seq,error})
-//!   |<-- Reject{seq,retry_after_ms,…} -- |   (backpressure: try later)
+//!   |<-- Done{seq,rseq,…,combined} ----- |   (or Fail{seq,rseq,error})
+//!   |<-- Reject{seq,rseq,retry_after,…}- |   (backpressure: try later)
+//!   | -- Ack{upto} --------------------->|   (replies ≤ upto delivered)
 //!   | -- Drain ------------------------->|   (admin: finish and stop)
 //!   |<-- Drained{served} --------------- |   (all accepted work done)
 //!   | -- Bye --------------------------->|   (tenant departs)
@@ -28,13 +30,24 @@
 //! closed-loop workload. A `Reject` is not an error — it is the admission
 //! layer saying "my bounded queue for you is full (or I am draining, or
 //! your fault budget is spent); come back in `retry_after_ms`".
+//!
+//! Version 2 adds crash-durable resume: against a journaled daemon every
+//! reply additionally carries `rseq`, the tenant's monotonically increasing
+//! *reply sequence*. A reconnecting tenant presents the `token` it was
+//! issued in `Welcome` plus the highest `rseq` it has seen; the daemon
+//! replays every journaled reply above that watermark (the client drops
+//! anything at or below it, making delivery exactly-once), and `Ack{upto}`
+//! lets the journal compact replies the client has durably consumed.
+//! Against a journal-less daemon `rseq` and `token` are 0 and resume is
+//! refused.
 
 use manifold::Unit;
 use transport::WireError;
 
 /// Version of the tenant session protocol; peers with different versions
-/// refuse the handshake.
-pub const SERVE_PROTOCOL_VERSION: i64 = 1;
+/// refuse the handshake. Version 2 added resume tokens and reply
+/// sequences (crash-durable serving).
+pub const SERVE_PROTOCOL_VERSION: i64 = 2;
 
 const T_HELLO: i64 = 100;
 const T_WELCOME: i64 = 101;
@@ -45,6 +58,7 @@ const T_REJECT: i64 = 105;
 const T_DRAIN: i64 = 106;
 const T_DRAINED: i64 = 107;
 const T_BYE: i64 = 108;
+const T_ACK: i64 = 109;
 
 /// Why the admission layer refused a submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,11 +117,23 @@ pub enum ServeMsg {
         tenant: String,
         /// Requested fair-share weight (clamped by the daemon).
         weight: u32,
+        /// Resume token from a previous `Welcome`, or 0 for a fresh
+        /// session. A journaled daemon replays unacknowledged replies to
+        /// a resuming tenant; presenting a token the daemon does not
+        /// recognise fails the handshake.
+        token: u64,
+        /// Highest reply sequence this tenant has already seen (0 when
+        /// fresh). Replies at or below this are acknowledged by the
+        /// handshake itself and are not replayed.
+        last_reply: u64,
     },
     /// Daemon → tenant: session admitted.
     Welcome {
         /// Daemon-assigned session id.
         session: u64,
+        /// Resume token for this tenant (stable across reconnects and
+        /// daemon restarts); 0 when the daemon runs without a journal.
+        token: u64,
     },
     /// Tenant → daemon: solve this problem.
     Submit {
@@ -124,6 +150,8 @@ pub enum ServeMsg {
     Done {
         /// Echo of the request's sequence number.
         seq: u64,
+        /// Per-tenant reply sequence (monotonic; 0 without a journal).
+        rseq: u64,
         /// Number of component grids the combination visited.
         grids: u64,
         /// Discrete L2 error of the combined solution.
@@ -136,6 +164,8 @@ pub enum ServeMsg {
     Fail {
         /// Echo of the request's sequence number.
         seq: u64,
+        /// Per-tenant reply sequence (monotonic; 0 without a journal).
+        rseq: u64,
         /// Human-readable failure description.
         error: String,
     },
@@ -143,10 +173,19 @@ pub enum ServeMsg {
     Reject {
         /// Echo of the request's sequence number.
         seq: u64,
+        /// Per-tenant reply sequence (monotonic; 0 without a journal).
+        rseq: u64,
         /// Suggested back-off before retrying.
         retry_after_ms: u64,
         /// Why.
         reason: RejectReason,
+    },
+    /// Tenant → daemon: every reply with `rseq <= upto` has been durably
+    /// consumed; the journal may compact them. Only meaningful against a
+    /// journaled daemon (otherwise ignored).
+    Ack {
+        /// Highest consumed reply sequence.
+        upto: u64,
     },
     /// Tenant → daemon: finish accepted work, then shut down. (The daemon
     /// honours SIGTERM identically.)
@@ -169,15 +208,21 @@ impl ServeMsg {
                 version,
                 tenant,
                 weight,
+                token,
+                last_reply,
             } => Unit::tuple(vec![
                 Unit::int(T_HELLO),
                 Unit::int(*version),
                 Unit::text(tenant),
                 Unit::int(*weight as i64),
+                Unit::int(*token as i64),
+                Unit::int(*last_reply as i64),
             ]),
-            ServeMsg::Welcome { session } => {
-                Unit::tuple(vec![Unit::int(T_WELCOME), Unit::int(*session as i64)])
-            }
+            ServeMsg::Welcome { session, token } => Unit::tuple(vec![
+                Unit::int(T_WELCOME),
+                Unit::int(*session as i64),
+                Unit::int(*token as i64),
+            ]),
             ServeMsg::Submit {
                 seq,
                 root,
@@ -192,31 +237,37 @@ impl ServeMsg {
             ]),
             ServeMsg::Done {
                 seq,
+                rseq,
                 grids,
                 l2_error,
                 combined,
             } => Unit::tuple(vec![
                 Unit::int(T_DONE),
                 Unit::int(*seq as i64),
+                Unit::int(*rseq as i64),
                 Unit::int(*grids as i64),
                 Unit::real(*l2_error),
                 Unit::reals(combined.clone()),
             ]),
-            ServeMsg::Fail { seq, error } => Unit::tuple(vec![
+            ServeMsg::Fail { seq, rseq, error } => Unit::tuple(vec![
                 Unit::int(T_FAIL),
                 Unit::int(*seq as i64),
+                Unit::int(*rseq as i64),
                 Unit::text(error),
             ]),
             ServeMsg::Reject {
                 seq,
+                rseq,
                 retry_after_ms,
                 reason,
             } => Unit::tuple(vec![
                 Unit::int(T_REJECT),
                 Unit::int(*seq as i64),
+                Unit::int(*rseq as i64),
                 Unit::int(*retry_after_ms as i64),
                 Unit::int(reason.code()),
             ]),
+            ServeMsg::Ack { upto } => Unit::tuple(vec![Unit::int(T_ACK), Unit::int(*upto as i64)]),
             ServeMsg::Drain => Unit::tuple(vec![Unit::int(T_DRAIN)]),
             ServeMsg::Drained { served } => {
                 Unit::tuple(vec![Unit::int(T_DRAINED), Unit::int(*served as i64)])
@@ -263,17 +314,20 @@ impl ServeMsg {
         };
         match tag {
             T_HELLO => {
-                arity(4)?;
+                arity(6)?;
                 Ok(ServeMsg::Hello {
                     version: int(1)?,
                     tenant: text(2)?,
                     weight: int(3)?.max(0) as u32,
+                    token: int(4)? as u64,
+                    last_reply: int(5)? as u64,
                 })
             }
             T_WELCOME => {
-                arity(2)?;
+                arity(3)?;
                 Ok(ServeMsg::Welcome {
                     session: int(1)? as u64,
+                    token: int(2)? as u64,
                 })
             }
             T_SUBMIT => {
@@ -286,31 +340,40 @@ impl ServeMsg {
                 })
             }
             T_DONE => {
-                arity(5)?;
+                arity(6)?;
                 let combined = items
-                    .get(4)
+                    .get(5)
                     .and_then(Unit::as_reals)
-                    .ok_or("field 4 is not a reals vector")?;
+                    .ok_or("field 5 is not a reals vector")?;
                 Ok(ServeMsg::Done {
                     seq: int(1)? as u64,
-                    grids: int(2)? as u64,
-                    l2_error: real(3)?,
+                    rseq: int(2)? as u64,
+                    grids: int(3)? as u64,
+                    l2_error: real(4)?,
                     combined: combined.as_ref().clone(),
                 })
             }
             T_FAIL => {
-                arity(3)?;
+                arity(4)?;
                 Ok(ServeMsg::Fail {
                     seq: int(1)? as u64,
-                    error: text(2)?,
+                    rseq: int(2)? as u64,
+                    error: text(3)?,
                 })
             }
             T_REJECT => {
-                arity(4)?;
+                arity(5)?;
                 Ok(ServeMsg::Reject {
                     seq: int(1)? as u64,
-                    retry_after_ms: int(2)? as u64,
-                    reason: RejectReason::from_code(int(3)?)?,
+                    rseq: int(2)? as u64,
+                    retry_after_ms: int(3)? as u64,
+                    reason: RejectReason::from_code(int(4)?)?,
+                })
+            }
+            T_ACK => {
+                arity(2)?;
+                Ok(ServeMsg::Ack {
+                    upto: int(1)? as u64,
                 })
             }
             T_DRAIN => {
@@ -373,8 +436,13 @@ mod tests {
                 version: SERVE_PROTOCOL_VERSION,
                 tenant: "team-red".into(),
                 weight: 4,
+                token: 0xdead_beef,
+                last_reply: 41,
             },
-            ServeMsg::Welcome { session: 9 },
+            ServeMsg::Welcome {
+                session: 9,
+                token: 0xdead_beef,
+            },
             ServeMsg::Submit {
                 seq: 17,
                 root: 1,
@@ -383,19 +451,23 @@ mod tests {
             },
             ServeMsg::Done {
                 seq: 17,
+                rseq: 42,
                 grids: 7,
                 l2_error: 3.5e-4,
                 combined: vec![0.0, -1.5, 2.25],
             },
             ServeMsg::Fail {
                 seq: 18,
+                rseq: 43,
                 error: "engine: subsolve diverged".into(),
             },
             ServeMsg::Reject {
                 seq: 19,
+                rseq: 44,
                 retry_after_ms: 25,
                 reason: RejectReason::QueueFull,
             },
+            ServeMsg::Ack { upto: 44 },
             ServeMsg::Drain,
             ServeMsg::Drained { served: 4096 },
             ServeMsg::Bye,

@@ -168,6 +168,11 @@ impl Session {
 #[derive(Default)]
 pub struct Registry {
     m: Mutex<HashMap<SessionId, Arc<Session>>>,
+    /// Tenant name → the session currently speaking for it. A journaled
+    /// daemon routes replies by *tenant* (the durable identity), not by
+    /// the session that happened to submit the job — the submitting
+    /// socket may be long dead by the time the job finishes.
+    bound: Mutex<HashMap<Arc<str>, SessionId>>,
 }
 
 impl Registry {
@@ -199,6 +204,28 @@ impl Registry {
     /// No sessions connected?
     pub fn is_empty(&self) -> bool {
         self.m.lock().is_empty()
+    }
+
+    /// Bind `tenant` to `id`: future tenant-routed replies go to this
+    /// session. Last `Hello` wins — with a journal, one session speaks
+    /// for a tenant at a time.
+    pub fn bind_tenant(&self, tenant: Arc<str>, id: SessionId) {
+        self.bound.lock().insert(tenant, id);
+    }
+
+    /// Drop the binding, but only if `id` still holds it (a newer
+    /// session's rebind must not be undone by the old socket's reap).
+    pub fn unbind_tenant(&self, tenant: &str, id: SessionId) {
+        let mut b = self.bound.lock();
+        if b.get(tenant).copied() == Some(id) {
+            b.remove(tenant);
+        }
+    }
+
+    /// The live session currently bound to `tenant`, if any.
+    pub fn tenant_session(&self, tenant: &str) -> Option<Arc<Session>> {
+        let id = self.bound.lock().get(tenant).copied()?;
+        self.get(id)
     }
 
     /// Queue `msg` on every live session (drain announcements).
@@ -252,10 +279,107 @@ mod tests {
         let waker = Arc::new(Waker::new().unwrap());
         let s = Session::new(3, waker);
         reg.insert(Arc::clone(&s));
-        assert!(s.send(&ServeMsg::Welcome { session: 3 }));
+        assert!(s.send(&ServeMsg::Welcome {
+            session: 3,
+            token: 0
+        }));
         s.mark_disconnected();
         assert!(!s.send(&ServeMsg::Bye));
         assert!(reg.remove(3).is_some());
         assert!(reg.is_empty());
+    }
+
+    /// The partial-write resume point (`head_off`) under the worst case:
+    /// a sink that takes exactly one byte per call, so *every* byte of a
+    /// multi-frame backlog goes through the resume path. The flushed
+    /// stream must still deframe to the original messages — byte-exact
+    /// frame integrity, not just byte count.
+    #[test]
+    fn one_byte_writes_preserve_frame_integrity() {
+        let ob = Outbox::new();
+        let msgs = [
+            ServeMsg::Done {
+                seq: 1,
+                rseq: 1,
+                grids: 7,
+                l2_error: 1.25e-4,
+                combined: vec![0.5, -0.25, 3.75, f64::MIN_POSITIVE],
+            },
+            ServeMsg::Reject {
+                seq: 2,
+                rseq: 2,
+                retry_after_ms: 25,
+                reason: crate::proto::RejectReason::QueueFull,
+            },
+            ServeMsg::Drained { served: 99 },
+        ];
+        for m in &msgs {
+            ob.push(m.to_frame().unwrap());
+        }
+
+        /// One byte per write() call, with a WouldBlock stutter every
+        /// third byte for good measure.
+        struct OneByte {
+            out: Vec<u8>,
+            calls: usize,
+        }
+        impl Write for OneByte {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.calls += 1;
+                if self.calls.is_multiple_of(3) {
+                    return Err(std::io::Error::from(std::io::ErrorKind::WouldBlock));
+                }
+                self.out.push(buf[0]);
+                Ok(1)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = OneByte {
+            out: Vec::new(),
+            calls: 0,
+        };
+        let mut rounds = 0;
+        while !ob.write_to(&mut sink).unwrap() {
+            rounds += 1;
+            assert!(rounds < 100_000, "flush does not terminate");
+        }
+        assert!(ob.is_empty());
+
+        let mut dec = transport::FrameDecoder::new();
+        dec.push(&sink.out);
+        let mut back = Vec::new();
+        while let Some(payload) = dec.next_frame().unwrap() {
+            back.push(ServeMsg::decode(&payload).unwrap());
+        }
+        assert_eq!(dec.pending(), 0, "trailing bytes after the last frame");
+        assert_eq!(back, msgs, "frames reassembled byte-exactly");
+    }
+
+    #[test]
+    fn tenant_binding_routes_to_latest_session_only() {
+        let reg = Registry::new();
+        let waker = Arc::new(Waker::new().unwrap());
+        let old = Session::new(1, Arc::clone(&waker));
+        let new = Session::new(2, waker);
+        reg.insert(Arc::clone(&old));
+        reg.insert(Arc::clone(&new));
+        let tenant: Arc<str> = Arc::from("acme");
+
+        reg.bind_tenant(Arc::clone(&tenant), 1);
+        assert_eq!(reg.tenant_session("acme").unwrap().id, 1);
+
+        // Reconnect: the new session takes over.
+        reg.bind_tenant(Arc::clone(&tenant), 2);
+        assert_eq!(reg.tenant_session("acme").unwrap().id, 2);
+
+        // The old socket's reap must not undo the rebind…
+        reg.unbind_tenant("acme", 1);
+        assert_eq!(reg.tenant_session("acme").unwrap().id, 2);
+
+        // …but the current holder's departure does.
+        reg.unbind_tenant("acme", 2);
+        assert!(reg.tenant_session("acme").is_none());
     }
 }

@@ -42,6 +42,7 @@ fn start_daemon(name: &str, admission: AdmissionConfig, faults: Option<FaultPlan
             admission,
             tenant_faults: faults,
             drain_grace: Duration::from_secs(5),
+            journal: None,
         },
         threads_engine(capacity),
     )
@@ -83,6 +84,7 @@ fn served_results_are_bit_identical_to_the_sequential_oracle() {
                         l2_error,
                         combined,
                         grids,
+                        ..
                     } => {
                         let (root, level) = mix[seq as usize];
                         let oracle = SequentialApp::new(root, level, 1e-3).run().unwrap();
@@ -205,7 +207,7 @@ fn fault_budget_quarantines_the_faulty_tenant_only() {
     ));
     flaky.submit(2, 1, 1, 1e-3).unwrap();
     match flaky.recv().unwrap() {
-        ServeMsg::Fail { seq, error } => {
+        ServeMsg::Fail { seq, error, .. } => {
             assert_eq!(seq, 2);
             assert!(error.contains("chaos"), "unexpected failure text {error:?}");
         }
