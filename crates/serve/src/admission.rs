@@ -401,6 +401,28 @@ impl Admission {
         self.cv.notify_all();
     }
 
+    /// Dispatcher side: put a popped job back at the end of its tenant's
+    /// queue because its outcome could not be journaled. A WAL write
+    /// failure is not ignorable — the journal's promise is "an admitted
+    /// seq produces a journaled outcome", and completing the job without
+    /// one would wedge the seq (resubmits dedup against the Pending
+    /// entry) until a restart. The job is deterministic, so it is
+    /// re-executed and the outcome write retried; no retry or fault
+    /// budget is charged, a failing disk is not the tenant's doing.
+    pub fn requeue_after_journal_failure(&self, job: QueuedJob) {
+        let mut s = self.m.lock();
+        s.inflight -= 1;
+        let Some(&idx) = s.by_name.get(job.tenant.as_ref()) else {
+            // Jobs only pop for registered tenants; if the tenant is
+            // somehow gone, at least keep the in-system accounting sane.
+            s.orphaned += 1;
+            return;
+        };
+        s.tenants[idx].queue.push_back(job);
+        s.queued_total += 1;
+        self.cv.notify_all();
+    }
+
     /// Dispatcher side: a popped job failed in the engine. Returns the
     /// job re-armed for retry when the tenant still has retry budget;
     /// `None` means the failure is final — reply `Fail` and charge the
@@ -673,6 +695,37 @@ mod tests {
             Next::Job(j) => assert_eq!(j.session, 8),
             other => panic!("{other:?}"),
         }
+    }
+
+    /// A journal-failure requeue releases in-flight accounting, returns
+    /// the job to its tenant's queue, and charges no budget — the job
+    /// must come back out of `next` and still complete as served.
+    #[test]
+    fn journal_failure_requeue_keeps_the_job_alive_without_charges() {
+        let adm = Admission::new(AdmissionConfig::default());
+        adm.register("t", 1);
+        let t: Arc<str> = Arc::from("t");
+        adm.offer(job(&t, 1));
+        let j = match adm.next(Duration::from_secs(1)) {
+            Next::Job(j) => j,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(adm.stats().inflight, 1);
+        adm.requeue_after_journal_failure(j);
+        let s = adm.stats();
+        assert_eq!((s.inflight, s.queued), (0, 1));
+        assert_eq!(s.tenants[0].faults_left, AdmissionConfig::default().fault_budget);
+        let j2 = match adm.next(Duration::from_secs(1)) {
+            Next::Job(j) => j,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(j2.seq, 1);
+        adm.complete(&j2, true);
+        let s = adm.stats();
+        assert_eq!((s.inflight, s.queued, s.served, s.orphaned), (0, 0, 1, 0));
+        // Drain still terminates: nothing is stuck in flight.
+        adm.drain();
+        assert!(matches!(adm.next(Duration::from_millis(50)), Next::Drained));
     }
 
     #[test]

@@ -13,13 +13,19 @@
 //! per-tenant reply sequence (`rseq`), and [`TenantClient::resume`]
 //! reconnects with `Hello{token, last_reply}` after a daemon crash or a
 //! dropped socket. The daemon replays unacknowledged replies and the
-//! client suppresses any it already consumed (`rseq <= last_reply`), so
-//! the caller sees each reply exactly once no matter how many times the
-//! connection (or the daemon) dies in between. Open submissions are
-//! tracked client-side and resubmitted on resume — the daemon's journal
-//! dedups them by `(tenant, seq)`, so resubmission is idempotent.
+//! client suppresses any it already consumed, so the caller sees each
+//! reply exactly once no matter how many times the connection (or the
+//! daemon) dies in between. The filter is a contiguous watermark plus a
+//! set of `rseq`s seen ahead of it, because wire order is *not* `rseq`
+//! order: `rseq` assignment (under the daemon's journal lock) and the
+//! socket send are separate steps, so a reactor-thread `Reject` can
+//! overtake a dispatcher `Done` that drew a lower sequence, and a fresh
+//! outcome can land ahead of the `Hello` replay of older ones. Open
+//! submissions are tracked client-side and resubmitted on resume — the
+//! daemon's journal dedups them by `(tenant, seq)`, so resubmission is
+//! idempotent.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::time::Duration;
 
@@ -34,6 +40,32 @@ use crate::proto::{ServeMsg, SERVE_PROTOCOL_VERSION};
 /// modest batch keeps the overhead invisible.
 const ACK_EVERY: u64 = 32;
 
+/// The client half of exactly-once delivery: admits each reply sequence
+/// once, tolerating out-of-order arrival. `watermark` is the highest
+/// rseq below which *everything* has been consumed; `ahead` holds the
+/// rseqs consumed beyond a gap. Memory is bounded by the gap width, and
+/// only the watermark is ever acknowledged to the daemon — an `Ack`
+/// never covers a reply that was skipped over.
+#[derive(Debug, Default)]
+struct ReplyDedup {
+    watermark: u64,
+    ahead: BTreeSet<u64>,
+}
+
+impl ReplyDedup {
+    /// First sighting of `rseq`? Advances the watermark over any
+    /// now-contiguous prefix; returns false for a duplicate.
+    fn admit(&mut self, rseq: u64) -> bool {
+        if rseq <= self.watermark || !self.ahead.insert(rseq) {
+            return false;
+        }
+        while self.ahead.remove(&(self.watermark + 1)) {
+            self.watermark += 1;
+        }
+        true
+    }
+}
+
 /// One connected, welcomed tenant session.
 pub struct TenantClient {
     conn: Conn,
@@ -44,9 +76,9 @@ pub struct TenantClient {
     /// Resume token from the daemon's `Welcome` (0 against a journal-less
     /// daemon — resume unavailable).
     token: u64,
-    /// Highest reply sequence consumed by the caller; sent in `Hello` on
+    /// Exactly-once reply filter; its watermark is sent in `Hello` on
     /// resume and periodically acknowledged.
-    last_reply: u64,
+    dedup: ReplyDedup,
     /// Replies consumed since the last `Ack`.
     unacked: u64,
     /// Submitted seqs with no consumed reply yet, with their submit
@@ -69,7 +101,7 @@ impl TenantClient {
             tenant: tenant.to_string(),
             weight,
             token: 0,
-            last_reply: 0,
+            dedup: ReplyDedup::default(),
             unacked: 0,
             open: HashMap::new(),
             duplicates_suppressed: 0,
@@ -84,7 +116,7 @@ impl TenantClient {
             tenant: self.tenant.clone(),
             weight: self.weight,
             token: self.token,
-            last_reply: self.last_reply,
+            last_reply: self.dedup.watermark,
         })?;
         match self.recv_raw()? {
             ServeMsg::Welcome { session, token } => {
@@ -165,11 +197,13 @@ impl TenantClient {
 
     /// Block for the next daemon message the caller has *not* seen yet.
     ///
-    /// Replayed replies (rseq at or below the consumed watermark) are
-    /// counted and skipped, the watermark advances on fresh ones, and
-    /// every [`ACK_EVERY`] consumed replies an `Ack` flows back so the
-    /// daemon can trim its journal. An orderly daemon-side close surfaces
-    /// as `UnexpectedEof`.
+    /// Replayed (already-consumed) replies are counted and skipped —
+    /// the filter tolerates arrival out of `rseq` order, so a reply
+    /// overtaken on the wire by a higher-sequence one is still
+    /// delivered, not mistaken for a duplicate. Every [`ACK_EVERY`]
+    /// consumed replies an `Ack` flows back so the daemon can trim its
+    /// journal. An orderly daemon-side close surfaces as
+    /// `UnexpectedEof`.
     pub fn recv(&mut self) -> io::Result<ServeMsg> {
         loop {
             let msg = self.recv_raw()?;
@@ -181,11 +215,10 @@ impl TenantClient {
                 _ => (0, None),
             };
             if rseq > 0 {
-                if rseq <= self.last_reply {
+                if !self.dedup.admit(rseq) {
                     self.duplicates_suppressed += 1;
                     continue;
                 }
-                self.last_reply = rseq;
                 self.unacked += 1;
                 if self.unacked >= ACK_EVERY {
                     self.ack()?;
@@ -198,12 +231,14 @@ impl TenantClient {
         }
     }
 
-    /// Flush the consumed-reply watermark to the daemon now.
+    /// Flush the consumed-reply watermark to the daemon now. Only the
+    /// contiguous watermark is acknowledged: a reply still missing below
+    /// an out-of-order arrival stays replayable.
     pub fn ack(&mut self) -> io::Result<()> {
         if self.unacked == 0 {
             return Ok(());
         }
-        let upto = self.last_reply;
+        let upto = self.dedup.watermark;
         self.send(&ServeMsg::Ack { upto })?;
         self.unacked = 0;
         Ok(())
@@ -257,9 +292,58 @@ impl TenantClient {
         Err(last)
     }
 
-    /// Announce departure (queued jobs are dropped daemon-side).
+    /// Announce departure. Against a journal-less daemon, queued jobs
+    /// are dropped daemon-side (solved for nobody). Against a journaled
+    /// daemon, accepted work is durable: it still finishes, and its
+    /// outcome waits in the journal for a future session of the same
+    /// tenant.
     pub fn bye(mut self) -> io::Result<()> {
         let _ = self.ack();
         self.send(&ServeMsg::Bye)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ReplyDedup;
+
+    #[test]
+    fn in_order_replies_advance_the_watermark() {
+        let mut d = ReplyDedup::default();
+        for rseq in 1..=5 {
+            assert!(d.admit(rseq), "fresh rseq {rseq} must be admitted");
+        }
+        assert_eq!(d.watermark, 5);
+        assert!(d.ahead.is_empty());
+        assert!(!d.admit(3), "replay below the watermark is a duplicate");
+    }
+
+    /// The wire race the filter exists for: a higher rseq (reactor
+    /// Reject, or a fresh Done overtaking the Hello replay) arrives
+    /// before a lower one. The lower reply must still be admitted, not
+    /// discarded as a duplicate.
+    #[test]
+    fn out_of_order_arrival_loses_nothing() {
+        let mut d = ReplyDedup::default();
+        assert!(d.admit(1));
+        assert!(d.admit(3), "rseq 3 overtook rseq 2 on the wire");
+        assert_eq!(d.watermark, 1, "ack watermark must not cover unseen 2");
+        assert!(d.admit(2), "the overtaken reply is fresh, not a duplicate");
+        assert_eq!(d.watermark, 3, "gap closed: watermark folds the run");
+        assert!(d.ahead.is_empty());
+    }
+
+    #[test]
+    fn duplicates_above_the_watermark_are_caught() {
+        let mut d = ReplyDedup::default();
+        assert!(d.admit(4));
+        assert!(!d.admit(4), "replayed out-of-order rseq is a duplicate");
+        assert_eq!(d.watermark, 0);
+        // Replay of the whole window (a resume): 1..=4 where 4 was seen.
+        assert!(d.admit(1));
+        assert!(d.admit(2));
+        assert!(d.admit(3));
+        assert!(!d.admit(4));
+        assert_eq!(d.watermark, 4);
     }
 }

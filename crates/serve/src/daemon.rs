@@ -408,19 +408,42 @@ impl Service for ServeService {
                     // reject and delivery still replays the backpressure
                     // signal instead of losing the seq.
                     let rseq = match &self.journal {
-                        Some(j) => j
-                            .record_outcome(
-                                &tenant,
-                                seq,
-                                &OutcomeBody::Reject {
-                                    retry_after_ms,
-                                    reason,
-                                },
-                            )
-                            .unwrap_or_else(|e| {
-                                eprintln!("journal: reject outcome write failed: {e}");
-                                0
-                            }),
+                        Some(j) => match j.record_outcome(
+                            &tenant,
+                            seq,
+                            &OutcomeBody::Reject {
+                                retry_after_ms,
+                                reason,
+                            },
+                        ) {
+                            Ok(rseq) => rseq,
+                            Err(e) => {
+                                // The admit is journaled (Pending) but
+                                // the reject cannot be. Sending an
+                                // unjournaled Reject would wedge the
+                                // seq: the backoff resubmit dedups
+                                // against the Pending entry and vanishes.
+                                // Absorb the job instead — restore()
+                                // bypasses the admission gates, honoring
+                                // the journal's promise that an admitted
+                                // seq produces an outcome.
+                                eprintln!(
+                                    "journal: reject outcome write failed: {e}; \
+                                     absorbing seq {seq} of tenant {tenant} despite rejection"
+                                );
+                                self.admission.restore(QueuedJob {
+                                    tenant: Arc::clone(&tenant),
+                                    session: session.id,
+                                    seq,
+                                    root,
+                                    level,
+                                    tol,
+                                    attempts: 0,
+                                    enqueued: Instant::now(),
+                                });
+                                return Action::Continue;
+                            }
+                        },
                         None => 0,
                     };
                     session.send(&ServeMsg::Reject {
@@ -501,6 +524,11 @@ fn sigkill_self() -> ! {
     }
 }
 
+/// Pause after a failed journal outcome write before the requeued job
+/// can run again: a dead disk must not turn the dispatcher into a hot
+/// re-execute loop.
+const JOURNAL_RETRY_PAUSE: Duration = Duration::from_millis(100);
+
 /// The dispatcher: owns the engine, serves the fair-share queue until the
 /// drain empties it.
 fn dispatch_loop(
@@ -576,34 +604,49 @@ fn dispatch_loop(
         };
 
         match served {
-            Ok(report) => {
-                let delivered = match &journal {
-                    Some(j) => {
-                        // Journal the outcome before sending it: a crash
-                        // in between replays the reply; a crash before
-                        // re-executes the (deterministic) job.
-                        let body = OutcomeBody::Done {
-                            grids: report.result.per_grid.len() as u64,
-                            l2_error: report.result.l2_error,
-                            combined: report.result.combined,
-                        };
-                        match j.record_outcome(&job.tenant, job.seq, &body) {
-                            Ok(rseq) => {
-                                outcomes += 1;
-                                if Some(outcomes) == daemon_kill {
-                                    sigkill_self();
-                                }
-                                registry
-                                    .tenant_session(&job.tenant)
-                                    .is_some_and(|s| s.send(&body.to_msg(job.seq, rseq)))
+            Ok(report) => match &journal {
+                Some(j) => {
+                    // Journal the outcome before sending it: a crash
+                    // in between replays the reply; a crash before
+                    // re-executes the (deterministic) job.
+                    let body = OutcomeBody::Done {
+                        grids: report.result.per_grid.len() as u64,
+                        l2_error: report.result.l2_error,
+                        combined: report.result.combined,
+                    };
+                    match j.record_outcome(&job.tenant, job.seq, &body) {
+                        Ok(rseq) => {
+                            outcomes += 1;
+                            if Some(outcomes) == daemon_kill {
+                                sigkill_self();
                             }
-                            Err(e) => {
-                                eprintln!("journal: done outcome write failed: {e}");
-                                false
+                            if let Some(s) = registry.tenant_session(&job.tenant) {
+                                s.send(&body.to_msg(job.seq, rseq));
                             }
+                            // An undelivered reply is not an orphan: it
+                            // waits, durably, for the tenant to resume.
+                            admission.complete(&job, true);
+                        }
+                        Err(e) => {
+                            // Completing without a journaled outcome
+                            // would wedge the seq: the entry stays
+                            // Pending, so resubmits dedup into nothing
+                            // until a restart replays it. Requeue
+                            // instead — re-execute (deterministic) and
+                            // retry the write, paced so a dead disk
+                            // does not become a hot loop.
+                            eprintln!(
+                                "journal: done outcome write failed: {e}; \
+                                 requeueing seq {} of tenant {}",
+                                job.seq, job.tenant
+                            );
+                            admission.requeue_after_journal_failure(job);
+                            std::thread::sleep(JOURNAL_RETRY_PAUSE);
                         }
                     }
-                    None => registry.get(job.session).is_some_and(|s| {
+                }
+                None => {
+                    let delivered = registry.get(job.session).is_some_and(|s| {
                         s.send(&ServeMsg::Done {
                             seq: job.seq,
                             rseq: 0,
@@ -611,17 +654,16 @@ fn dispatch_loop(
                             l2_error: report.result.l2_error,
                             combined: report.result.combined,
                         })
-                    }),
-                };
-                // Under a journal an undelivered reply is not an orphan:
-                // it waits, durably, for the tenant to resume.
-                admission.complete(&job, delivered || journal.is_some());
-            }
+                    });
+                    admission.complete(&job, delivered);
+                }
+            },
             Err(error) => {
-                let (tenant, seq, sess) = (Arc::clone(&job.tenant), job.seq, job.session);
+                let final_copy = job.clone();
                 // Retry first (re-queued at the tenant's head); only a
                 // spent retry budget surfaces the failure to the tenant.
                 if admission.charge_failure(job).is_none() {
+                    let (tenant, seq) = (final_copy.tenant.clone(), final_copy.seq);
                     match &journal {
                         Some(j) => {
                             let body = OutcomeBody::Fail {
@@ -638,12 +680,27 @@ fn dispatch_loop(
                                     }
                                 }
                                 Err(e) => {
-                                    eprintln!("journal: fail outcome write failed: {e}");
+                                    // Same wedge as the Done path: the
+                                    // seq must not end without a
+                                    // journaled outcome. charge_failure
+                                    // already released the in-flight
+                                    // slot, so restore() (no accounting
+                                    // beyond the queue) re-arms the job;
+                                    // the re-run charges the budget
+                                    // again — accounting drift under a
+                                    // failing disk, traded for never
+                                    // wedging the seq.
+                                    eprintln!(
+                                        "journal: fail outcome write failed: {e}; \
+                                         requeueing seq {seq} of tenant {tenant}"
+                                    );
+                                    admission.restore(final_copy);
+                                    std::thread::sleep(JOURNAL_RETRY_PAUSE);
                                 }
                             }
                         }
                         None => {
-                            if let Some(s) = registry.get(sess) {
+                            if let Some(s) = registry.get(final_copy.session) {
                                 s.send(&ServeMsg::Fail {
                                     seq,
                                     rseq: 0,

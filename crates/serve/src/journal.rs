@@ -43,8 +43,11 @@
 //!   order per tenant.
 //! * A seq with a journaled non-`Reject` outcome is never re-executed:
 //!   re-`Submit`ting it replays the recorded outcome with its *original*
-//!   `rseq`, which the client's `last_reply` watermark dedups —
-//!   exactly-once delivery end to end.
+//!   `rseq`, which the client's exactly-once filter dedups. Note that
+//!   gap-free `rseq` *assignment* does not make the wire gap-free: the
+//!   journal lock is released before the outbox push, so the client's
+//!   filter tolerates out-of-order arrival (watermark + seen-ahead set)
+//!   rather than assuming delivery in `rseq` order.
 //! * A seq whose outcome was `Reject` may be re-admitted (that is what
 //!   the backpressure retry loop does).
 //! * Recovery resubmits every journaled-but-outcomeless job to a fresh
@@ -712,9 +715,19 @@ impl Journal {
         ))
     }
 
-    /// Register `tenant` (or resume it). `token == 0` means "fresh or
-    /// lost my token"; a nonzero token must match the journal's record.
-    /// `last_reply` acknowledges every reply at or below it.
+    /// Register `tenant` (or resume it). A nonzero token must match the
+    /// journal's record. `token == 0` means "fresh": it is honoured for
+    /// an unknown tenant, and for a known tenant *only* while that
+    /// tenant has no journaled activity — the interrupted-handshake
+    /// window, where a crash between journaling the registration and
+    /// delivering `Welcome` left the client tokenless. Once the tenant
+    /// has any journaled job, outcome, or ack, a tokenless `Hello` is
+    /// refused: handing out the real token (and the unacked replay)
+    /// to any connection that merely knows the name would let it steal
+    /// the session. `last_reply` acknowledges every reply at or below
+    /// it, and must not exceed the highest reply sequence the daemon
+    /// ever issued — a forged watermark would compact away replies the
+    /// legitimate client never received.
     pub fn register(
         &self,
         tenant: &str,
@@ -726,11 +739,35 @@ impl Journal {
         let inner = &mut *g;
         match inner.state.by_name.get(tenant).copied() {
             Some(idx) => {
-                let known = inner.state.tenants[idx].token;
+                let tn = &inner.state.tenants[idx];
+                let known = tn.token;
                 if token != 0 && token != known {
                     return Err(format!(
                         "resume token {token:#x} does not match the journal's record for \
                          tenant {tenant:?} — refusing to resume"
+                    ));
+                }
+                if token == 0 {
+                    let started = tn.next_rseq > 1
+                        || tn.acked > 0
+                        || inner
+                            .state
+                            .jobs
+                            .range((idx, 0)..=(idx, u64::MAX))
+                            .next()
+                            .is_some();
+                    if started {
+                        return Err(format!(
+                            "tenant {tenant:?} has journaled history; resuming it requires \
+                             its token — refusing a tokenless hello"
+                        ));
+                    }
+                }
+                if last_reply >= inner.state.tenants[idx].next_rseq {
+                    return Err(format!(
+                        "last_reply {last_reply} acknowledges replies the daemon never \
+                         issued (next reply sequence is {}) — refusing",
+                        inner.state.tenants[idx].next_rseq
                     ));
                 }
                 if last_reply > inner.state.tenants[idx].acked {
@@ -760,6 +797,12 @@ impl Journal {
                     return Err(format!(
                         "resume token {token:#x} presented for tenant {tenant:?}, but the \
                          journal has no record of it — refusing to resume"
+                    ));
+                }
+                if last_reply != 0 {
+                    return Err(format!(
+                        "last_reply {last_reply} presented by a tenant the journal has \
+                         never issued a reply to — refusing"
                     ));
                 }
                 let idx = inner.state.tenants.len();
@@ -1017,8 +1060,43 @@ mod tests {
             .register("ghost", 1, 77, 0)
             .unwrap_err()
             .contains("no record"));
-        // token 0 re-registration returns the existing token.
+        // The interrupted-handshake window: no journaled activity yet, so
+        // a tokenless re-registration recovers the existing token.
         assert_eq!(j.register("a", 1, 0, 0).unwrap().token, r.token);
+        // Once the tenant has any journaled history, a tokenless hello
+        // is a session-steal attempt and is refused.
+        j.admit("a", 1, 2, 1, 1e-3).unwrap();
+        assert!(j
+            .register("a", 1, 0, 0)
+            .unwrap_err()
+            .contains("requires its token"));
+        // The real token still resumes.
+        assert_eq!(j.register("a", 1, r.token, 0).unwrap().token, r.token);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A `last_reply` above anything the daemon ever issued is a forged
+    /// ack that would compact away undelivered replies — refused, both
+    /// with a valid token and on first registration.
+    #[test]
+    fn inflated_last_reply_is_refused() {
+        let dir = tmp_dir("inflate");
+        let (j, _) = Journal::open(JournalConfig::new(&dir)).unwrap();
+        assert!(j
+            .register("a", 1, 0, 3)
+            .unwrap_err()
+            .contains("never issued a reply"));
+        let tok = j.register("a", 1, 0, 0).unwrap().token;
+        j.admit("a", 1, 2, 1, 1e-3).unwrap();
+        let rseq = j.record_outcome("a", 1, &done(1.0)).unwrap();
+        assert_eq!(rseq, 1);
+        assert!(j
+            .register("a", 1, tok, 2)
+            .unwrap_err()
+            .contains("never issued"));
+        // The genuine watermark is accepted and acks the outcome.
+        let r = j.register("a", 1, tok, 1).unwrap();
+        assert!(r.replay.is_empty());
         let _ = fs::remove_dir_all(&dir);
     }
 
