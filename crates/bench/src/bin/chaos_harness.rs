@@ -108,9 +108,8 @@ fn main() {
             let t0 = Instant::now();
             let opts = LiveOpts {
                 faults: Some(plan.clone()),
-                checkpoint_dir: None,
-                resume: false,
                 retry_budget: Some(16),
+                ..LiveOpts::default()
             };
             let v = match run_live_with(backend, &app, Arc::new(PaperFaithful), instances, &opts) {
                 Ok(r) if r.checksum == reference => Verdict {
@@ -164,8 +163,7 @@ fn main() {
             let opts = RunOpts {
                 faults: Some(plan),
                 checkpoint_dir: Some(dir.clone()),
-                resume: false,
-                retry_budget: None,
+                ..RunOpts::default()
             };
             let launch_app = app;
             let sup = supervise(2, move |resume| {
@@ -281,9 +279,8 @@ fn main() {
         });
         let opts = LiveOpts {
             faults: Some(plan),
-            checkpoint_dir: None,
-            resume: false,
             retry_budget: Some(2),
+            ..LiveOpts::default()
         };
         let v = match run_live_with(Backend::Procs, &app, Arc::new(PaperFaithful), 1, &opts) {
             Err(e) => Verdict {

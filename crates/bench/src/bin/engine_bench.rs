@@ -30,7 +30,8 @@ use renovation::{AppConfig, Engine, EngineOpts, ProcsConfig, RunMode};
 use solver::sequential::SequentialApp;
 
 const USAGE: &str = "[--backend threads|procs|sim|all] [--jobs N] [--level N] \
-     [--instances N] [--reps N] \
+     [--instances N] [--reps N] [--shards N] [--steal on|off] \
+     [--churn join@N,leave@M] \
      [--policy paper-faithful|bounded-reuse:N|cost-aware] [--json PATH]";
 
 /// One backend's aggregate numbers.
@@ -193,8 +194,12 @@ fn main() {
     };
 
     let app = SequentialApp::new(2, level, 1e-3);
+    let shards = cli.shards();
+    let churn = cli.churn();
     let opts = || EngineOpts {
         capacity_level: level,
+        shards,
+        churn: churn.clone(),
         ..EngineOpts::default()
     };
 

@@ -8,6 +8,7 @@
 //! cargo run -p bench --release --bin table1 \
 //!     [-- --io-workers] [--runs N] [--policy paper-faithful|bounded-reuse:N|cost-aware] \
 //!     [--backend sim|threads|procs] [--max-level N] [--instances N] \
+//!     [--shards N] [--steal on|off] [--churn join@N,leave@M] \
 //!     [--faults <seed|plan>] [--checkpoint-dir DIR] [--resume]
 //! ```
 //!
@@ -26,6 +27,7 @@ use renovation::run_distributed_experiment_with_policy;
 const USAGE: &str = "[--io-workers] [--runs N] \
      [--policy paper-faithful|bounded-reuse:N|cost-aware] \
      [--backend sim|threads|procs] [--max-level N] [--instances N] \
+     [--shards N] [--steal on|off] [--churn join@N,leave@M] \
      [--faults <seed|plan>] [--checkpoint-dir DIR] [--resume]";
 
 fn main() {
@@ -71,6 +73,8 @@ fn main() {
                 checkpoint_dir: checkpoint_dir.clone(),
                 resume,
                 retry_budget: fault_spec.as_ref().map(|_| 16),
+                shards: cli.shards(),
+                churn: cli.churn(),
             };
             let r = run_live_with(backend, &app, policy.clone(), instances, &opts)
                 .expect("live run failed (fault schedule exceeded the retry budget?)");

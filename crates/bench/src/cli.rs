@@ -153,6 +153,31 @@ impl Cli {
         self.parsed("--inflight", default).max(1)
     }
 
+    /// `--shards N` plus `--steal on|off` — the sharded-fleet dispatch
+    /// spec. Defaults to one shard (the flat master) with stealing on.
+    pub fn shards(&self) -> protocol::ShardSpec {
+        let n: usize = self.parsed("--shards", 1);
+        let spec = protocol::ShardSpec::new(n.max(1));
+        match self.value("--steal") {
+            None => spec,
+            Some("on") => spec.with_steal(true),
+            Some("off") => spec.with_steal(false),
+            Some(v) => self.usage_exit(&format!("--steal: expected on or off, got {v:?}")),
+        }
+    }
+
+    /// `--churn join@N,leave@M,...` — worker membership churn keyed on
+    /// 1-based dispatch ordinals. Defaults to no churn.
+    pub fn churn(&self) -> protocol::ChurnPlan {
+        match self.value("--churn") {
+            None => protocol::ChurnPlan::default(),
+            Some(spec) => match protocol::ChurnPlan::parse(spec) {
+                Ok(plan) => plan,
+                Err(e) => self.usage_exit(&format!("--churn: malformed plan {spec:?}: {e}")),
+            },
+        }
+    }
+
     /// The raw `--faults` specification, if present (a bare seed or a full
     /// textual plan — resolve per run with [`Cli::fault_plan`]).
     pub fn fault_spec(&self) -> Option<String> {
@@ -229,6 +254,28 @@ mod tests {
         assert_eq!(c.backend(Backend::Sim), Backend::Threads);
         assert_eq!(cli(&[]).backend(Backend::Sim), Backend::Sim);
         assert_eq!(cli(&[]).policy().name(), "paper-faithful");
+    }
+
+    #[test]
+    fn shards_and_churn_parse() {
+        let c = cli(&[
+            "--shards",
+            "4",
+            "--steal",
+            "off",
+            "--churn",
+            "join@3,leave@6",
+        ]);
+        let spec = c.shards();
+        assert_eq!(spec.shards, 4);
+        assert!(!spec.steal);
+        let churn = c.churn();
+        assert_eq!(churn.joins, vec![3]);
+        assert_eq!(churn.leaves, vec![6]);
+        let d = cli(&[]);
+        assert!(d.shards().is_flat());
+        assert!(d.shards().steal);
+        assert!(d.churn().is_empty());
     }
 
     #[test]

@@ -64,6 +64,12 @@ pub struct LiveRun {
     /// `worker lost` events the master observed (0 without injected
     /// faults or real losses).
     pub losses: usize,
+    /// Work-steal events between shard queues (0 when flat).
+    pub steals: usize,
+    /// Workers that joined mid-run under the churn plan.
+    pub joins: usize,
+    /// Workers retired mid-run under the churn plan.
+    pub leaves: usize,
 }
 
 /// Robustness options of a live run: fault injection and
@@ -80,6 +86,12 @@ pub struct LiveOpts {
     /// Lost-worker re-dispatches tolerated before the run fails
     /// (backend default when `None`).
     pub retry_budget: Option<usize>,
+    /// Sharded dispatch spec (`--shards` / `--steal`); one shard is the
+    /// flat master.
+    pub shards: protocol::ShardSpec,
+    /// Membership churn plan (`--churn`); real process joins/retirements
+    /// on the procs backend, inert on threads.
+    pub churn: protocol::ChurnPlan,
 }
 
 /// FNV-1a over the bit patterns of a float field (one shared definition —
@@ -121,6 +133,8 @@ pub fn run_live_with(
                 checkpoint_dir: opts.checkpoint_dir.clone(),
                 resume: opts.resume,
                 retry_budget: opts.retry_budget,
+                shards: opts.shards,
+                churn: opts.churn.clone(),
             };
             run_concurrent_opts(app, &RunMode::Parallel, true, policy, &run_opts)?
         }
@@ -132,6 +146,8 @@ pub fn run_live_with(
             if let Some(budget) = opts.retry_budget {
                 cfg.retry_budget = budget;
             }
+            cfg.shards = opts.shards;
+            cfg.churn = opts.churn.clone();
             run_concurrent_procs(app, &cfg, true, policy)?
         }
     };
@@ -141,6 +157,17 @@ pub fn run_live_with(
         .iter()
         .filter(|r| r.message.contains("worker lost"))
         .count();
+    let count = |prefix: &str| {
+        conc.records
+            .iter()
+            .filter(|r| r.message.starts_with(prefix))
+            .count()
+    };
+    let (steals, joins, leaves) = (
+        count("steal: shard"),
+        count("join: instance"),
+        count("leave: instance"),
+    );
     Ok(LiveRun {
         level: app.level,
         jobs: conc.result.per_grid.len(),
@@ -150,6 +177,9 @@ pub fn run_live_with(
         peak: conc.peak_concurrent_workers,
         workers_created: conc.outcome.pools()[0].workers_created,
         losses,
+        steals,
+        joins,
+        leaves,
     })
 }
 

@@ -91,6 +91,14 @@ pub enum FaultKind {
         /// 1-based count of journaled outcomes within one incarnation.
         at_served: u64,
     },
+    /// In a sharded fleet, shard master `pool` dies mid-run (after
+    /// dispatching half its assigned queue). The root supervisor must
+    /// re-home the dead pool's workers and still-queued jobs onto the
+    /// surviving shards — exactly once.
+    PoolKill {
+        /// 0-based shard (pool) index whose master dies.
+        pool: u64,
+    },
 }
 
 impl fmt::Display for FaultKind {
@@ -111,6 +119,7 @@ impl fmt::Display for FaultKind {
             }
             FaultKind::MasterKill { at_result } => write!(f, "masterkill@{at_result}"),
             FaultKind::DaemonKill { at_served } => write!(f, "daemonkill@{at_served}"),
+            FaultKind::PoolKill { pool } => write!(f, "poolkill@{pool}"),
         }
     }
 }
@@ -274,6 +283,15 @@ impl FaultPlan {
         })
     }
 
+    /// The shard (pool) whose master a `poolkill` token sentences, if any
+    /// (first wins).
+    pub fn pool_kill(&self) -> Option<u64> {
+        self.faults.iter().find_map(|f| match f {
+            FaultKind::PoolKill { pool } => Some(*pool),
+            _ => None,
+        })
+    }
+
     /// Parse the textual form: comma-separated fault tokens, optionally
     /// with a `seed:S` token. Grammar (all numbers decimal):
     ///
@@ -334,6 +352,10 @@ impl FaultPlan {
             } else if let Some(v) = token.strip_prefix("daemonkill@") {
                 plan.faults.push(FaultKind::DaemonKill {
                     at_served: num(v, token)?,
+                });
+            } else if let Some(v) = token.strip_prefix("poolkill@") {
+                plan.faults.push(FaultKind::PoolKill {
+                    pool: num(v, token)?,
                 });
             } else {
                 return Err(format!("unknown fault token {token:?}"));
@@ -430,12 +452,13 @@ mod tests {
                 millis: 800,
             })
             .push(FaultKind::MasterKill { at_result: 3 })
-            .push(FaultKind::DaemonKill { at_served: 9 });
+            .push(FaultKind::DaemonKill { at_served: 9 })
+            .push(FaultKind::PoolKill { pool: 1 });
         let text = plan.to_string();
         assert_eq!(FaultPlan::parse(&text).unwrap(), plan);
         assert_eq!(
             text,
-            "seed:42,crash:0@2,drop:1@3,corrupt:1@1,stall:0@4:250,hbdelay:1:800,masterkill@3,daemonkill@9"
+            "seed:42,crash:0@2,drop:1@3,corrupt:1@1,stall:0@4:250,hbdelay:1:800,masterkill@3,daemonkill@9,poolkill@1"
         );
     }
 
@@ -464,6 +487,9 @@ mod tests {
         let dk = FaultPlan::parse("daemonkill@7").unwrap();
         assert_eq!(dk.daemon_kill(), Some(7));
         assert_eq!(dk.master_kill(), None);
+        assert_eq!(dk.pool_kill(), None);
+        let pk = FaultPlan::parse("poolkill@2").unwrap();
+        assert_eq!(pk.pool_kill(), Some(2));
     }
 
     #[test]

@@ -116,6 +116,50 @@ pub fn paper_cluster(ref_flops_per_sec: f64) -> ClusterSpec {
     ClusterSpec::new(hosts, ref_flops_per_sec)
 }
 
+/// A deterministic heterogeneous cluster of `n` simulated hosts for the
+/// sharded-fleet scaling study (1,000–10,000 hosts). The machine mix
+/// extrapolates the paper's lab: a majority of reference-speed (1200 MHz)
+/// workstations with faster tiers mixed in at seed-chosen positions, so a
+/// sweep over `n` at one seed is reproducible host for host. The first
+/// host is always a reference-speed machine (the start-up machine the
+/// root master runs on).
+pub fn synthetic_cluster(n: usize, seed: u64, ref_flops_per_sec: f64) -> ClusterSpec {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    assert!(n >= 1, "cluster needs at least one host");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00c5_a05c_0de0_f004);
+    // Clock tiers with weights: 50% reference, then progressively rarer
+    // faster (and a few slower) machines — the clock spread a real
+    // donation-grown fleet shows.
+    const TIERS: [(f64, f64); 5] = [
+        (1200.0, 0.50),
+        (1000.0, 0.10),
+        (1400.0, 0.20),
+        (1466.0, 0.12),
+        (1800.0, 0.08),
+    ];
+    let mut hosts = Vec::with_capacity(n);
+    for i in 0..n {
+        let mhz = if i == 0 {
+            1200.0
+        } else {
+            let mut p: f64 = rng.gen();
+            let mut mhz = TIERS[TIERS.len() - 1].0;
+            for &(tier, w) in &TIERS {
+                if p < w {
+                    mhz = tier;
+                    break;
+                }
+                p -= w;
+            }
+            mhz
+        };
+        hosts.push(Host::new(format!("sim{i:05}.fleet"), mhz));
+    }
+    ClusterSpec::new(hosts, ref_flops_per_sec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +198,28 @@ mod tests {
     fn unknown_host_runs_at_reference_speed() {
         let c = paper_cluster(1e9);
         assert_eq!(c.flops_per_sec(&"nowhere".into()), 1e9);
+    }
+
+    #[test]
+    fn synthetic_cluster_is_deterministic_and_heterogeneous() {
+        let a = synthetic_cluster(1000, 7, 1e9);
+        let b = synthetic_cluster(1000, 7, 1e9);
+        assert_eq!(a, b, "same seed must give the same fleet");
+        let c = synthetic_cluster(1000, 8, 1e9);
+        assert_ne!(a, c, "different seeds must differ");
+        assert_eq!(a.len(), 1000);
+        // The start-up machine is the 1200 MHz reference.
+        assert_eq!(a.startup().mhz, 1200.0);
+        // Heterogeneous: at least three distinct clock tiers present.
+        let mut clocks: Vec<u64> = a.hosts.iter().map(|h| h.mhz as u64).collect();
+        clocks.sort_unstable();
+        clocks.dedup();
+        assert!(clocks.len() >= 3, "tiers seen: {clocks:?}");
+        // Names unique.
+        let mut names: Vec<_> = a.hosts.iter().map(|h| h.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 1000);
     }
 
     #[test]

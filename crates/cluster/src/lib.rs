@@ -27,17 +27,26 @@
 //! machines-in-use step function behind Figure 1 and the `m` column of
 //! Table 1.
 
+//!
+//! The [`shard`] module extends the DES past the paper's lab: a sharded
+//! fleet of 1,000–10,000 synthetic hosts ([`hosts::synthetic_cluster`])
+//! behind a two-level fabric ([`network::FabricModel`]), used by the
+//! scaling study to chart where the flat master saturates and how the
+//! hierarchical topology keeps scaling.
+
 pub mod des;
 pub mod hosts;
 pub mod network;
 pub mod noise;
+pub mod shard;
 pub mod sim;
 pub mod timeline;
 pub mod workload;
 
-pub use hosts::{paper_cluster, ClusterSpec, Host};
-pub use network::NetworkModel;
+pub use hosts::{paper_cluster, synthetic_cluster, ClusterSpec, Host};
+pub use network::{FabricModel, NetworkModel};
 pub use noise::Perturbation;
+pub use shard::{ShardReport, ShardSimOpts, ShardedSim};
 pub use sim::{CoordCosts, DistributedReport, DistributedSim, SimFleet};
 pub use timeline::StepTrace;
 pub use workload::{Job, Workload};

@@ -93,6 +93,58 @@ impl NetworkModel {
     }
 }
 
+/// Two-level fabric for a sharded fleet: each pool's hosts hang off one
+/// edge switch (the paper's 100 Mbps switched-Ethernet model), and pools
+/// are joined by an aggregation layer, so a transfer that crosses pools
+/// pays extra hops and a shared, oversubscribed uplink. This is what makes
+/// work stealing and re-homing *cost* something in the DES: a stolen job's
+/// input crosses the inter-pool link instead of staying on the edge
+/// switch.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FabricModel {
+    /// Links within one pool (host ↔ host, shard master ↔ its workers).
+    pub intra: NetworkModel,
+    /// Links between pools (root ↔ shard masters, steals, re-homes).
+    pub inter: NetworkModel,
+}
+
+impl FabricModel {
+    /// The scaling study's fabric: paper-era edge switches, with the
+    /// aggregation layer adding two switch hops of latency and a 4:1
+    /// oversubscribed uplink.
+    pub fn two_level_2004() -> FabricModel {
+        let intra = NetworkModel::switched_ethernet_100mbps();
+        FabricModel {
+            intra,
+            inter: NetworkModel {
+                latency: intra.latency * 3.0,
+                bandwidth: intra.bandwidth / 4.0,
+                mem_bandwidth: intra.mem_bandwidth,
+            },
+        }
+    }
+
+    /// A flat fabric (one switch): inter-pool costs equal intra-pool.
+    /// What a single-shard (paper-topology) run sees.
+    pub fn flat(net: NetworkModel) -> FabricModel {
+        FabricModel {
+            intra: net,
+            inter: net,
+        }
+    }
+
+    /// Transfer time for `bytes`, picking the link by locality.
+    pub fn transfer(&self, bytes: usize, same_host: bool, same_pool: bool) -> f64 {
+        if same_host {
+            self.intra.local_transfer(bytes)
+        } else if same_pool {
+            self.intra.remote_transfer(bytes)
+        } else {
+            self.inter.remote_transfer(bytes)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +176,23 @@ mod tests {
         let n = NetworkModel::switched_ethernet_100mbps();
         assert_eq!(n.transfer(4096, true), n.local_transfer(4096));
         assert_eq!(n.transfer(4096, false), n.remote_transfer(4096));
+    }
+
+    #[test]
+    fn fabric_orders_links_by_locality() {
+        let f = FabricModel::two_level_2004();
+        for &b in &[64usize, 4096, 1 << 20] {
+            let local = f.transfer(b, true, true);
+            let intra = f.transfer(b, false, true);
+            let inter = f.transfer(b, false, false);
+            assert!(local < intra, "memory copy beats the edge switch");
+            assert!(intra < inter, "edge switch beats the aggregation hop");
+        }
+        let flat = FabricModel::flat(NetworkModel::switched_ethernet_100mbps());
+        assert_eq!(
+            flat.transfer(4096, false, true),
+            flat.transfer(4096, false, false)
+        );
     }
 
     #[test]

@@ -358,7 +358,8 @@ impl SimFleet {
                 }
                 FaultKind::HeartbeatDelay { .. }
                 | FaultKind::MasterKill { .. }
-                | FaultKind::DaemonKill { .. } => {}
+                | FaultKind::DaemonKill { .. }
+                | FaultKind::PoolKill { .. } => {}
             }
         }
         let chaos_rng = StdRng::seed_from_u64(plan.seed ^ 0x00c5_a05c_0de0_f003);

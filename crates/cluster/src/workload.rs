@@ -84,6 +84,34 @@ impl Workload {
             .map(|j| j.flops)
             .fold(0.0, f64::max)
     }
+
+    /// The workload's job stream replicated `copies` times into a single
+    /// pool — a stand-in for a fleet serving `copies` independent
+    /// submissions at once, which is what the 1,000–10,000-host scaling
+    /// study needs (the paper's single run has only `2·level + 1` jobs).
+    /// Labels gain a `#k` copy suffix; master-side init/prolongation are
+    /// scaled with the copies.
+    pub fn replicate(&self, copies: usize) -> Workload {
+        let copies = copies.max(1);
+        let mut pool = Vec::with_capacity(self.job_count() * copies);
+        for k in 0..copies {
+            for job in self.pools.iter().flatten() {
+                let mut j = job.clone();
+                if k > 0 {
+                    j.label = format!("{}#{k}", job.label);
+                }
+                pool.push(j);
+            }
+        }
+        Workload {
+            name: format!("{} ×{copies}", self.name),
+            init_flops: self.init_flops * copies as f64,
+            prolong_flops: self.prolong_flops * copies as f64,
+            pools: vec![pool],
+            feed_flops_per_byte: self.feed_flops_per_byte,
+            collect_flops_per_byte: self.collect_flops_per_byte,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +138,20 @@ mod tests {
         assert_eq!(w.job_count(), 3);
         assert_eq!(w.sequential_flops(), 365.0);
         assert_eq!(w.max_job_flops(), 200.0);
+    }
+
+    #[test]
+    fn replicate_scales_jobs_and_keeps_labels_distinct() {
+        let w = wl().replicate(3);
+        assert_eq!(w.pools.len(), 1);
+        assert_eq!(w.job_count(), 9);
+        assert_eq!(w.init_flops, 30.0);
+        assert_eq!(w.prolong_flops, 15.0);
+        let mut labels: Vec<&str> = w.pools[0].iter().map(|j| j.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 9, "copy suffixes keep labels unique");
+        assert_eq!(wl().replicate(1).job_count(), 3);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //!   with backpressure ([`BoundedReuse`]), and longest-job-first ordering
 //!   ([`CostAware`]). Both the live runtime and the cluster simulator
 //!   consume the same [`DispatchPolicy`] trait.
+//! * [`shard`] — the sharded dispatch layer above the policies: cost-aware
+//!   partition of one pool across several shard masters ([`ShardPlan`]),
+//!   pop-two-merge work stealing between their queues ([`StealQueues`]),
+//!   and elastic fleet membership ([`MembershipDirectory`]). Each shard
+//!   runs its [`DispatchPolicy`] unchanged over its slice.
 //!
 //! The event vocabulary matches the paper exactly: [`CREATE_POOL`],
 //! [`CREATE_WORKER`], [`RENDEZVOUS`], [`A_RENDEZVOUS`], [`FINISHED`],
@@ -34,6 +39,7 @@ pub mod interpreted;
 pub mod mw;
 pub mod remote;
 pub mod scheduler;
+pub mod shard;
 
 pub use handles::{MasterHandle, WorkerHandle};
 pub use interpreted::{run_protocol_mc, run_protocol_source};
@@ -41,6 +47,9 @@ pub use mw::{create_worker_pool, protocol_mw, PerpetualPool, PoolStats, Protocol
 pub use remote::{as_lost_job, lost_job_marker, remote_worker_factory, WORKER_LOST};
 pub use scheduler::{
     parse_policy, BoundedReuse, CostAware, DispatchPolicy, PaperFaithful, PolicyRef,
+};
+pub use shard::{
+    ChurnPlan, Membership, MembershipDirectory, ShardPlan, ShardSpec, StealEvent, StealQueues,
 };
 
 /// Master → coordinator: "I need a workers-pool to delegate work to"

@@ -152,6 +152,14 @@ pub struct RunOpts {
     pub resume: bool,
     /// Override the master's lost-worker retry budget.
     pub retry_budget: Option<usize>,
+    /// Sharded dispatch (`--shards N`, `--steal on|off`): shard masters
+    /// over the same pool, flat when 1. Numerics are bit-identical for
+    /// any shard count.
+    pub shards: protocol::ShardSpec,
+    /// Membership churn plan (`--churn join@N,leave@M`). Threads workers
+    /// are anonymous, so churn is inert here; the procs backend applies
+    /// it as real process joins/retirements.
+    pub churn: protocol::ChurnPlan,
 }
 
 /// [`run_concurrent_with_policy`] plus chaos and checkpoint/resume
@@ -173,6 +181,8 @@ pub fn run_concurrent_opts(
         checkpoint_dir: opts.checkpoint_dir.clone(),
         resume: opts.resume,
         retry_budget: opts.retry_budget,
+        shards: opts.shards,
+        churn: opts.churn.clone(),
     };
     let mut engine = Engine::threads(mode.clone(), policy, engine_opts)?;
     let handle = engine.submit(AppConfig::new(*app).with_data_through_master(data_through_master));

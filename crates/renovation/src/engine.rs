@@ -46,7 +46,7 @@ use transport::{PoolConfig, RemoteWorkerPool};
 use crate::app::{ConcurrentResult, RunMode};
 use crate::checkpoint::CheckpointStore;
 use crate::cost::CostModel;
-use crate::master::{master_body, MasterConfig};
+use crate::master::{master_body, FleetMembership, MasterConfig};
 use crate::procs::{GaugedSource, ProcsConfig};
 use crate::virtualrun::paper_sim;
 use crate::worker::{worker_factory_chaos, worker_factory_with_gauge, WorkerGauge};
@@ -93,6 +93,17 @@ pub struct EngineOpts {
     pub resume: bool,
     /// Override the lost-worker retry budget (default: backend's own).
     pub retry_budget: Option<usize>,
+    /// Sharded dispatch: partition each job's dispatch sequence across
+    /// this many shard masters (with optional work stealing). The default
+    /// single shard is the flat master, byte for byte. On the procs
+    /// backend the worker processes are also partitioned into matching
+    /// pools and checkouts prefer the dispatching shard's pool.
+    pub shards: protocol::ShardSpec,
+    /// Membership churn plan: worker joins/leaves fired at 1-based
+    /// dispatch ordinals (per job). Real on the procs backend (processes
+    /// are added/retired mid-run); inert on threads and sim, whose
+    /// workers are anonymous.
+    pub churn: protocol::ChurnPlan,
 }
 
 impl Default for EngineOpts {
@@ -103,6 +114,8 @@ impl Default for EngineOpts {
             checkpoint_dir: None,
             resume: false,
             retry_budget: None,
+            shards: protocol::ShardSpec::default(),
+            churn: protocol::ChurnPlan::default(),
         }
     }
 }
@@ -287,7 +300,9 @@ enum BackendState {
         env: Environment,
         pool: Arc<RemoteWorkerPool>,
         gauge: Arc<WorkerGauge>,
-        source: Arc<dyn ConduitSource>,
+        // Concrete so it can serve as both the ConduitSource and the
+        // master's FleetMembership backend.
+        source: Arc<GaugedSource>,
         instances: usize,
     },
     SimFleetState {
@@ -352,6 +367,7 @@ impl Engine {
                 pool_cfg.hosts = cfg.hosts.clone();
                 pool_cfg.job_timeout = cfg.job_timeout;
                 pool_cfg.respawn_budget = retry;
+                pool_cfg.shards = opts.shards.shards.max(1);
                 pool_cfg.base_env = vec![(
                     "MF_WORKER_HEARTBEAT_MS".into(),
                     cfg.heartbeat.as_millis().to_string(),
@@ -376,10 +392,7 @@ impl Engine {
                     manifold::config::ConfigSpec::with_startup("bumpa.sen.cwi.nl"),
                 );
                 let gauge = WorkerGauge::new();
-                let source: Arc<dyn ConduitSource> = Arc::new(GaugedSource {
-                    pool: Arc::clone(&pool),
-                    gauge: Arc::clone(&gauge),
-                });
+                let source = Arc::new(GaugedSource::new(Arc::clone(&pool), Arc::clone(&gauge)));
                 BackendState::ProcsFleet {
                     env,
                     pool,
@@ -524,7 +537,9 @@ impl Engine {
         let policy = cfg.policy.clone().unwrap_or_else(|| self.policy.clone());
         let mut mc = MasterConfig::new(cfg.app, cfg.data_through_master)
             .with_policy(policy.clone())
-            .with_batch_width(cfg.batch_width);
+            .with_batch_width(cfg.batch_width)
+            .with_shards(self.opts.shards)
+            .with_churn(self.opts.churn.clone());
         if let Some(budget) = self.opts.retry_budget {
             mc = mc.with_retry_budget(budget);
         }
@@ -571,13 +586,19 @@ impl Engine {
                 ..
             } => {
                 pool.set_current_job(id);
+                // The pool is the only backend with real membership:
+                // sharded masters hint checkouts through it and churn
+                // joins/retires worker processes.
+                let master_cfg =
+                    master_cfg.with_membership(Arc::clone(source) as Arc<dyn FleetMembership>);
+                let dyn_source: Arc<dyn ConduitSource> = Arc::clone(source) as _;
                 run_live_job(
                     id,
                     master_cfg,
                     env,
                     gauge,
                     &mut self.protocol_pool,
-                    LiveWorkers::Remote(source),
+                    LiveWorkers::Remote(&dyn_source),
                 )
             }
             BackendState::SimFleetState {

@@ -55,6 +55,7 @@ pub use cost::{parse_subsolve_label, CostModel};
 pub use engine::{
     AppConfig, Engine, EngineBackend, EngineOpts, EngineSummary, JobHandle, JobReport, SubmitError,
 };
+pub use master::{master_body, FleetMembership, MasterConfig};
 pub use procs::{run_concurrent_procs, run_worker_child, ProcsConfig};
 pub use supervisor::{supervise, SupervisedRun};
 pub use virtualrun::{

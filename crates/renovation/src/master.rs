@@ -24,7 +24,9 @@ use std::sync::Arc;
 
 use manifold::mes;
 use manifold::prelude::*;
-use protocol::{MasterHandle, PaperFaithful, PolicyRef};
+use protocol::{
+    ChurnPlan, MasterHandle, PaperFaithful, PolicyRef, ShardPlan, ShardSpec, StealQueues,
+};
 use solver::grid::Grid2;
 use solver::sequential::{prolongation_phase, SequentialApp, SequentialResult};
 use solver::subsolve::SubsolveResult;
@@ -69,6 +71,37 @@ pub struct MasterConfig {
     /// `solver::subsolve_batch`, whose multi-RHS kernels batch same-shape
     /// members and whose results are bit-identical per job either way.
     pub batch_width: usize,
+    /// Sharded dispatch: partition the policy-ordered job sequence across
+    /// shard masters ([`ShardPlan`]) and dispatch in their interleaved
+    /// round-robin order, with pop-two-merge work stealing when a shard's
+    /// queue drains first. `ShardSpec::default()` (one shard) reproduces
+    /// the flat master's dispatch loop byte for byte; any fixed shard
+    /// count produces bit-identical numerics (the prolongation sorts by
+    /// grid index).
+    pub shards: ShardSpec,
+    /// Membership churn: worker joins/leaves fired at 1-based dispatch
+    /// ordinals. Requires a [`FleetMembership`] backend (procs); inert on
+    /// backends without real membership (threads, sim).
+    pub churn: ChurnPlan,
+    /// Live membership operations (procs: the worker-process pool). `None`
+    /// on backends whose workers are anonymous.
+    pub membership: Option<Arc<dyn FleetMembership>>,
+}
+
+/// Live-fleet membership operations the master drives at dispatch
+/// ordinals. The procs backend implements this over its worker-process
+/// pool (`transport::RemoteWorkerPool`); backends with anonymous workers
+/// have no implementation and churn is inert there.
+pub trait FleetMembership: Send + Sync {
+    /// Admit one worker, optionally into a specific pool (shard). Returns
+    /// the new instance index.
+    fn join(&self, pool: Option<u64>) -> MfResult<u64>;
+    /// Retire one worker (the implementation chooses the victim). Returns
+    /// the retired instance index, or `None` when nothing is retirable.
+    fn leave(&self) -> MfResult<Option<u64>>;
+    /// Affinity hint: the next worker checkout should prefer this pool
+    /// (shard). Advisory and one-shot; implementations may ignore it.
+    fn hint_pool(&self, _pool: u64) {}
 }
 
 impl MasterConfig {
@@ -83,7 +116,28 @@ impl MasterConfig {
             resume_from: None,
             master_kill_at: None,
             batch_width: 1,
+            shards: ShardSpec::default(),
+            churn: ChurnPlan::default(),
+            membership: None,
         }
+    }
+
+    /// Shard the dispatch across `spec.shards` shard masters.
+    pub fn with_shards(mut self, spec: ShardSpec) -> Self {
+        self.shards = spec;
+        self
+    }
+
+    /// Fire worker joins/leaves at these dispatch ordinals.
+    pub fn with_churn(mut self, churn: ChurnPlan) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Provide the live membership backend churn and pool hints act on.
+    pub fn with_membership(mut self, membership: Arc<dyn FleetMembership>) -> Self {
+        self.membership = Some(membership);
+        self
     }
 
     /// Replace the dispatch policy.
@@ -143,8 +197,84 @@ impl fmt::Debug for MasterConfig {
             )
             .field("master_kill_at", &self.master_kill_at)
             .field("batch_width", &self.batch_width)
+            .field("shards", &self.shards)
+            .field("churn", &self.churn)
+            .field("membership", &self.membership.is_some())
             .finish()
     }
+}
+
+/// One planned dispatch: which job (index into the grid list), which
+/// shard master issues it, and — when the shard obtained the job by
+/// stealing — the steal event to attribute in the trace.
+struct DispatchStep {
+    job: usize,
+    shard: usize,
+    steal: Option<protocol::StealEvent>,
+}
+
+/// Lay out the sharded fleet's joint dispatch sequence and the per-shard
+/// in-flight windows.
+///
+/// Each shard master drains its own queue round-robin, one job per turn;
+/// a shard whose queue empties first steals from the longest queue
+/// (pop-two-merge, [`StealQueues`]). The sequence this produces is the
+/// same interleaved order the shard masters would jointly emit, so the
+/// live master and the cluster DES agree on it by construction. With one
+/// shard the sequence is exactly `order` and the per-shard window is
+/// unbounded (the policy's global window alone governs), so the flat
+/// dispatch loop is reproduced byte for byte.
+fn plan_dispatch(
+    order: &[usize],
+    costs: &[f64],
+    spec: &ShardSpec,
+    policy: &PolicyRef,
+) -> (Vec<DispatchStep>, Vec<usize>) {
+    if spec.is_flat() || order.len() <= 1 {
+        let steps = order
+            .iter()
+            .map(|&job| DispatchStep {
+                job,
+                shard: 0,
+                steal: None,
+            })
+            .collect();
+        return (steps, vec![usize::MAX]);
+    }
+    let shards = spec.shards.min(order.len());
+    let seq_costs: Vec<f64> = order.iter().map(|&j| costs[j]).collect();
+    let plan = ShardPlan::partition(&seq_costs, shards);
+    let windows: Vec<usize> = plan
+        .queues()
+        .iter()
+        .map(|q| policy.window(q.len()).max(1))
+        .collect();
+    let mut queues = StealQueues::new(&plan);
+    let mut steps = Vec::with_capacity(order.len());
+    let mut s = 0usize;
+    while queues.total_pending() > 0 {
+        if let Some(pos) = queues.pop_own(s) {
+            steps.push(DispatchStep {
+                job: order[pos],
+                shard: s,
+                steal: None,
+            });
+        } else if spec.steal {
+            if let Some(ev) = queues.steal_into(s) {
+                let pos = queues
+                    .pop_own(s)
+                    .expect("a steal leaves the thief's queue non-empty");
+                steps.push(DispatchStep {
+                    job: order[pos],
+                    shard: s,
+                    steal: Some(ev),
+                });
+            }
+        }
+        s = (s + 1) % shards;
+    }
+    debug_assert_eq!(steps.len(), order.len());
+    (steps, windows)
 }
 
 /// Collect one worker's *computational* results from the dataport — one
@@ -283,28 +413,65 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
     // policy order, but once `window` jobs are in flight, collect a result
     // before issuing the next — collection overlaps computation instead of
     // waiting for the full feed to finish.
+    //
+    // A sharded fleet dispatches the same jobs in the shard masters' joint
+    // interleaved order, each shard bounded by its own window, with work
+    // stealing and membership churn attributed in the trace. One shard is
+    // byte-for-byte the flat loop.
+    let (steps, shard_windows) = plan_dispatch(&order, &costs, &cfg.shards, &cfg.policy);
+    let sharded = shard_windows.len() > 1;
     h.create_pool();
     let mut retries_left = cfg.retry_budget;
     let mut in_flight = 0usize;
+    let mut shard_inflight = vec![0usize; shard_windows.len()];
+    let mut shard_of: std::collections::BTreeMap<(u32, u32), usize> = Default::default();
+    let mut dispatch_no: u64 = 0;
     let width = cfg.batch_width.max(1);
     let mut pending: Vec<SubsolveRequest> = Vec::new();
-    for &job in &order {
-        let idx = grids[job];
+    let mut pending_shard = 0usize;
+    for step in &steps {
+        let idx = grids[step.job];
         if done.contains(&(idx.l, idx.m)) {
             continue;
         }
-        while pending.is_empty() && in_flight >= window {
+        while pending.is_empty()
+            && in_flight > 0
+            && (in_flight >= window || shard_inflight[step.shard] >= shard_windows[step.shard])
+        {
             // (f): collect one worker's results from our own dataport,
             // freeing a slot.
             for res in collect_results(h, &mut retries_left)? {
+                if let Some(&s) = shard_of.get(&(res.l, res.m)) {
+                    shard_inflight[s] = shard_inflight[s].saturating_sub(1);
+                }
                 account(&mut work, &mut per_grid, res)?;
             }
             in_flight -= 1;
         }
+        if let Some(ev) = &step.steal {
+            mes!(
+                h.ctx(),
+                "steal: shard {} <- shard {} ({} jobs)",
+                ev.thief,
+                ev.victim,
+                ev.jobs.len()
+            );
+        }
         // The dispatch sequence is the trace-visible signature of the
         // policy: the cross-backend tests require it to match between the
         // threads and the process backends line for line.
-        mes!(h.ctx(), "dispatch subsolve({}, {})", idx.l, idx.m);
+        if sharded {
+            mes!(
+                h.ctx(),
+                "dispatch subsolve({}, {}) [shard {}]",
+                idx.l,
+                idx.m,
+                step.shard
+            );
+        } else {
+            mes!(h.ctx(), "dispatch subsolve({}, {})", idx.l, idx.m);
+        }
+        dispatch_no += 1;
         // Build the job — with the initial data segment when the master
         // mediates all data.
         let mut req = app.request_for(idx);
@@ -315,9 +482,41 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
             // Shared buffer: codec and port transfer add no copies.
             req.initial_interior = Some(Arc::new(interior));
         }
+        if pending.is_empty() {
+            pending_shard = step.shard;
+        }
+        shard_of.insert((idx.l, idx.m), step.shard);
+        shard_inflight[step.shard] += 1;
         pending.push(req);
         if pending.len() >= width {
+            if sharded {
+                if let Some(members) = &cfg.membership {
+                    members.hint_pool(pending_shard as u64);
+                }
+            }
             flush_bundle(h, &mut pending, &mut in_flight)?;
+        }
+        // Membership churn fires by dispatch ordinal, after the job that
+        // reaches it: a joined worker is in the rotation from the next
+        // dispatch on; a retirement waits for the victim's in-flight job
+        // (the slot lock serializes them), so nothing is lost.
+        if let Some(members) = &cfg.membership {
+            if !cfg.churn.is_empty() {
+                for _ in cfg.churn.joins.iter().filter(|&&at| at == dispatch_no) {
+                    let inst = members.join(Some(step.shard as u64))?;
+                    mes!(h.ctx(), "join: instance {} -> pool {}", inst, step.shard);
+                }
+                for _ in cfg.churn.leaves.iter().filter(|&&at| at == dispatch_no) {
+                    if let Some(inst) = members.leave()? {
+                        mes!(h.ctx(), "leave: instance {} retired", inst);
+                    }
+                }
+            }
+        }
+    }
+    if !pending.is_empty() && sharded {
+        if let Some(members) = &cfg.membership {
+            members.hint_pool(pending_shard as u64);
         }
     }
     flush_bundle(h, &mut pending, &mut in_flight)?;
@@ -358,4 +557,73 @@ pub fn master_body(h: &MasterHandle, cfg: &MasterConfig) -> MfResult<SequentialR
         work,
         l2_error,
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn steps_of(order: &[usize], costs: &[f64], spec: &ShardSpec) -> Vec<DispatchStep> {
+        let policy: PolicyRef = Arc::new(PaperFaithful);
+        plan_dispatch(order, costs, spec, &policy).0
+    }
+
+    fn jobs_sorted(steps: &[DispatchStep]) -> Vec<usize> {
+        let mut seen: Vec<usize> = steps.iter().map(|s| s.job).collect();
+        seen.sort_unstable();
+        seen
+    }
+
+    #[test]
+    fn flat_plan_reproduces_the_order_verbatim() {
+        let order = [3usize, 1, 4, 0, 2];
+        let costs = [1.0; 5];
+        let policy: PolicyRef = Arc::new(PaperFaithful);
+        let (steps, windows) = plan_dispatch(&order, &costs, &ShardSpec::default(), &policy);
+        assert_eq!(windows, vec![usize::MAX]);
+        let jobs: Vec<usize> = steps.iter().map(|s| s.job).collect();
+        assert_eq!(jobs, order);
+        assert!(steps.iter().all(|s| s.shard == 0 && s.steal.is_none()));
+    }
+
+    #[test]
+    fn skewed_costs_force_a_steal_and_lose_no_jobs() {
+        // LPT hands shard 0 the one huge job and shard 1 the seven small
+        // ones; shard 0's queue empties on its first turn and it must
+        // steal to stay busy.
+        let costs = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let order: Vec<usize> = (0..costs.len()).collect();
+        let steps = steps_of(&order, &costs, &ShardSpec::new(2));
+        assert_eq!(
+            jobs_sorted(&steps),
+            order,
+            "every job dispatched exactly once"
+        );
+        assert!(
+            steps.iter().any(|s| s.steal.is_some()),
+            "the starved shard stole"
+        );
+        for s in &steps {
+            assert!(s.shard < 2);
+        }
+    }
+
+    #[test]
+    fn disabling_steal_still_dispatches_every_job() {
+        let costs = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let order: Vec<usize> = (0..costs.len()).collect();
+        let steps = steps_of(&order, &costs, &ShardSpec::new(2).with_steal(false));
+        assert!(steps.iter().all(|s| s.steal.is_none()));
+        assert_eq!(jobs_sorted(&steps), order);
+    }
+
+    #[test]
+    fn more_shards_than_jobs_clamps_to_the_job_count() {
+        let costs = [2.0, 1.0];
+        let order = [0usize, 1];
+        let steps = steps_of(&order, &costs, &ShardSpec::new(8));
+        assert_eq!(jobs_sorted(&steps), vec![0, 1]);
+        assert!(steps.iter().all(|s| s.shard < 2));
+    }
 }

@@ -37,6 +37,7 @@ use transport::{serve, Addr, BindMode, RemoteWorkerPool, ServeConfig, ServeSumma
 
 use crate::app::ConcurrentResult;
 use crate::engine::{AppConfig, Engine, EngineOpts, JobHandle};
+use crate::master::FleetMembership;
 use crate::worker::{worker_factory, WorkerGauge};
 
 /// Configuration of a multi-process run.
@@ -72,6 +73,13 @@ pub struct ProcsConfig {
     pub job_timeout: Duration,
     /// Child heartbeat cadence.
     pub heartbeat: Duration,
+    /// Sharded dispatch: worker processes are partitioned into this many
+    /// pools (by `instance % shards`) and the master dispatches through
+    /// matching shard queues. One shard is the flat master.
+    pub shards: protocol::ShardSpec,
+    /// Worker joins/leaves fired at 1-based dispatch ordinals — real
+    /// process churn on this backend (`add_instance`/`retire_instance`).
+    pub churn: protocol::ChurnPlan,
 }
 
 impl ProcsConfig {
@@ -88,7 +96,21 @@ impl ProcsConfig {
             resume: false,
             job_timeout: Duration::from_secs(60),
             heartbeat: Duration::from_millis(100),
+            shards: protocol::ShardSpec::default(),
+            churn: protocol::ChurnPlan::default(),
         }
+    }
+
+    /// Shard the dispatch (and the worker-process pools) `shards` ways.
+    pub fn with_shards(mut self, spec: protocol::ShardSpec) -> Self {
+        self.shards = spec;
+        self
+    }
+
+    /// Fire worker joins/leaves at these dispatch ordinals.
+    pub fn with_churn(mut self, churn: protocol::ChurnPlan) -> Self {
+        self.churn = churn;
+        self
     }
 
     /// Schedule one abrupt exit: `instance` dies upon receiving its
@@ -138,10 +160,25 @@ pub(crate) fn resolve_worker_exe(cfg: &ProcsConfig) -> MfResult<PathBuf> {
 
 /// Wraps the pool so every job executed through a conduit is counted by
 /// the same [`WorkerGauge`] the threads backend uses — `peak_concurrent_workers`
-/// means the same thing for both backends.
+/// means the same thing for both backends. Also the procs backend's
+/// [`FleetMembership`]: sharded masters leave a one-shot pool-affinity
+/// hint here before each checkout, and churn joins/retires worker
+/// processes through it.
 pub(crate) struct GaugedSource {
     pub(crate) pool: Arc<RemoteWorkerPool>,
     pub(crate) gauge: Arc<WorkerGauge>,
+    /// One-shot checkout affinity hint (`u64::MAX` = none).
+    hint: AtomicU64,
+}
+
+impl GaugedSource {
+    pub(crate) fn new(pool: Arc<RemoteWorkerPool>, gauge: Arc<WorkerGauge>) -> Self {
+        GaugedSource {
+            pool,
+            gauge,
+            hint: AtomicU64::new(u64::MAX),
+        }
+    }
 }
 
 struct GaugedConduit {
@@ -151,10 +188,35 @@ struct GaugedConduit {
 
 impl ConduitSource for GaugedSource {
     fn checkout(&self) -> MfResult<Arc<dyn RemoteConduit>> {
+        let hint = self.hint.swap(u64::MAX, Ordering::Relaxed);
+        let pool = (hint != u64::MAX).then_some(hint);
         Ok(Arc::new(GaugedConduit {
-            inner: self.pool.checkout()?,
+            inner: self.pool.checkout_pool(pool)?,
             gauge: Arc::clone(&self.gauge),
         }))
+    }
+}
+
+impl FleetMembership for GaugedSource {
+    fn join(&self, pool: Option<u64>) -> MfResult<u64> {
+        self.pool.add_instance(pool)
+    }
+
+    fn leave(&self) -> MfResult<Option<u64>> {
+        // Retire the newest member (the reverse of join, so churn plans
+        // compose predictably) — but never the last worker, which would
+        // starve the run.
+        let members = self.pool.member_indices();
+        if members.len() <= 1 {
+            return Ok(None);
+        }
+        let victim = *members.last().expect("non-empty membership");
+        self.pool.retire_instance(victim)?;
+        Ok(Some(victim))
+    }
+
+    fn hint_pool(&self, pool: u64) {
+        self.hint.store(pool, Ordering::Relaxed);
     }
 }
 
@@ -198,6 +260,8 @@ pub fn run_concurrent_procs(
         checkpoint_dir: cfg.checkpoint_dir.clone(),
         resume: cfg.resume,
         retry_budget: Some(cfg.retry_budget),
+        shards: cfg.shards,
+        churn: cfg.churn.clone(),
     };
     let mut engine = Engine::procs(cfg.clone(), policy, engine_opts)?;
     let handle = engine.submit(AppConfig::new(*app).with_data_through_master(data_through_master));

@@ -145,8 +145,7 @@ mod tests {
         let opts = RunOpts {
             faults: Some(plan),
             checkpoint_dir: Some(dir.clone()),
-            resume: false,
-            retry_budget: None,
+            ..RunOpts::default()
         };
         let sup = supervise(2, move |resume| {
             let mut opts = opts.clone();

@@ -40,8 +40,7 @@ fn threads_kill_at_every_point_resumes_bit_identically() {
                 FaultPlan::new(kill_at).push(FaultKind::MasterKill { at_result: kill_at }),
             ),
             checkpoint_dir: Some(dir.clone()),
-            resume: false,
-            retry_budget: None,
+            ..RunOpts::default()
         };
         let err = run_concurrent_opts(
             &app,
@@ -55,10 +54,9 @@ fn threads_kill_at_every_point_resumes_bit_identically() {
         assert!(err.contains("master killed"), "kill_at {kill_at}: {err}");
 
         let resumed = RunOpts {
-            faults: None,
             checkpoint_dir: Some(dir.clone()),
             resume: true,
-            retry_budget: None,
+            ..RunOpts::default()
         };
         let run = run_concurrent_opts(
             &app,

@@ -714,7 +714,10 @@ mod tests {
         adm.requeue_after_journal_failure(j);
         let s = adm.stats();
         assert_eq!((s.inflight, s.queued), (0, 1));
-        assert_eq!(s.tenants[0].faults_left, AdmissionConfig::default().fault_budget);
+        assert_eq!(
+            s.tenants[0].faults_left,
+            AdmissionConfig::default().fault_budget
+        );
         let j2 = match adm.next(Duration::from_secs(1)) {
             Next::Job(j) => j,
             other => panic!("{other:?}"),

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use manifold::config::HostName;
 use manifold::remote::{ConduitSource, RemoteConduit, RemoteIdentity};
 use manifold::{MfError, MfResult, Unit};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::conn::{Addr, Backoff, Conn};
 use crate::msg::{Message, PROTOCOL_VERSION};
@@ -64,6 +64,11 @@ pub struct PoolConfig {
     pub job_timeout: Duration,
     /// Respawns allowed per slot over the pool's lifetime.
     pub respawn_budget: usize,
+    /// Number of shard pools the fleet is partitioned into. Each slot is
+    /// assigned pool `index % shards` in its `HelloAck`; checkouts can
+    /// prefer a pool with [`RemoteWorkerPool::checkout_pool`]. 1 (the
+    /// default) is the flat fleet.
+    pub shards: usize,
 }
 
 impl PoolConfig {
@@ -80,6 +85,7 @@ impl PoolConfig {
             handshake_timeout: Duration::from_secs(20),
             job_timeout: Duration::from_secs(10),
             respawn_budget: 3,
+            shards: 1,
         }
     }
 
@@ -179,6 +185,10 @@ struct SlotState {
     child: Option<ChildHandle>,
     respawns_left: usize,
     backoff: Backoff,
+    /// Departed cleanly (`Leave` exchanged). A departed slot is out of the
+    /// rotation for good: it is never handed out and never respawned —
+    /// that is what distinguishes an orderly retirement from a crash.
+    departed: bool,
 }
 
 impl SlotState {
@@ -193,6 +203,8 @@ impl SlotState {
 
 struct Slot {
     index: u64,
+    /// Shard pool this slot serves (assigned in its `HelloAck`).
+    pool: u64,
     job_timeout: Duration,
     state: Mutex<SlotState>,
     seq: AtomicU64,
@@ -205,8 +217,14 @@ struct PoolInner {
     // respawns cannot cross-wire two children's connections.
     listener: Mutex<Listener>,
     spawner: Arc<dyn Spawner>,
-    slots: Vec<Arc<Slot>>,
+    // Membership is elastic: joins append, so the vector is behind a
+    // read-write lock. Retired slots stay in place (marked departed)
+    // so indices remain stable.
+    slots: RwLock<Vec<Arc<Slot>>>,
     next: AtomicUsize,
+    // Monotonic instance-index source; never reused, so a joined worker
+    // can never be confused with a departed one.
+    next_index: AtomicU64,
     // Engine-job id stamped on every Job frame; replies must echo it.
     // One-shot pools leave it at 0 for their whole life.
     current_job: Arc<AtomicU64>,
@@ -230,40 +248,26 @@ impl RemoteWorkerPool {
             return Err(app_err("pool needs at least one instance"));
         }
         let (listener, addr) = Listener::bind(cfg.bind).map_err(app_err)?;
-        let job_timeout = cfg.job_timeout;
+        let instances = cfg.instances as u64;
+        let shards = cfg.shards.max(1) as u64;
         let inner = Arc::new(PoolInner {
             addr,
             listener: Mutex::new(listener),
             spawner,
-            slots: (0..cfg.instances as u64)
-                .map(|index| {
-                    Arc::new(Slot {
-                        index,
-                        job_timeout,
-                        state: Mutex::new(SlotState {
-                            conn: None,
-                            identity: RemoteIdentity {
-                                host: cfg.host_for(index as usize),
-                                task_uid: 0,
-                            },
-                            child: None,
-                            respawns_left: cfg.respawn_budget,
-                            backoff: Backoff::new(
-                                Duration::from_millis(50),
-                                Duration::from_secs(2),
-                            ),
-                        }),
-                        seq: AtomicU64::new(1),
-                    })
-                })
-                .collect(),
+            slots: RwLock::new(
+                (0..instances)
+                    .map(|index| new_slot(&cfg, index, index % shards))
+                    .collect(),
+            ),
             next: AtomicUsize::new(0),
+            next_index: AtomicU64::new(instances),
             current_job: Arc::new(AtomicU64::new(0)),
             cfg,
         });
-        for slot in &inner.slots {
+        let slots: Vec<Arc<Slot>> = inner.slots.read().clone();
+        for slot in &slots {
             let mut st = slot.state.lock();
-            bring_up(&inner, slot.index, &mut st)?;
+            bring_up(&inner, slot.index, slot.pool, &mut st)?;
         }
         Ok(RemoteWorkerPool { inner })
     }
@@ -290,6 +294,7 @@ impl RemoteWorkerPool {
     pub fn live_count(&self) -> usize {
         self.inner
             .slots
+            .read()
             .iter()
             .filter(|s| s.state.lock().conn.is_some())
             .count()
@@ -299,9 +304,91 @@ impl RemoteWorkerPool {
     pub fn identities(&self) -> Vec<(u64, RemoteIdentity)> {
         self.inner
             .slots
+            .read()
             .iter()
             .map(|s| (s.index, s.state.lock().identity.clone()))
             .collect()
+    }
+
+    /// Instance indices still in the membership (not departed), ascending.
+    pub fn member_indices(&self) -> Vec<u64> {
+        self.inner
+            .slots
+            .read()
+            .iter()
+            .filter(|s| !s.state.lock().departed)
+            .map(|s| s.index)
+            .collect()
+    }
+
+    /// Dynamic membership: admit one more worker into the fleet mid-run.
+    /// The new slot gets a fresh (never reused) instance index, a pool
+    /// assignment, and the full spawn + `Hello`/`HelloAck` handshake
+    /// before this returns; on success it is immediately in the checkout
+    /// rotation. `pool` of `None` balances by `index % shards`.
+    pub fn add_instance(&self, pool: Option<u64>) -> MfResult<u64> {
+        let index = self.inner.next_index.fetch_add(1, Ordering::Relaxed);
+        let shards = self.inner.cfg.shards.max(1) as u64;
+        let pool = pool.unwrap_or(index % shards).min(shards - 1);
+        let slot = new_slot(&self.inner.cfg, index, pool);
+        {
+            let mut st = slot.state.lock();
+            bring_up(&self.inner, index, pool, &mut st)?;
+        }
+        self.inner.slots.write().push(slot);
+        Ok(index)
+    }
+
+    /// Dynamic membership: retire the worker in slot `index` with the
+    /// bidirectional `Leave` exchange. Holding the slot's state lock for
+    /// the whole exchange means no job can be in flight on the connection,
+    /// so retirement is deterministic and loses nothing: the worker either
+    /// finished its previous job (reply already collected) or never saw
+    /// one. Returns the child's final trace block, if it sent one. The
+    /// departed slot never respawns and is skipped by checkouts.
+    pub fn retire_instance(&self, index: u64) -> MfResult<Option<String>> {
+        let slot = self
+            .inner
+            .slots
+            .read()
+            .iter()
+            .find(|s| s.index == index)
+            .cloned()
+            .ok_or_else(|| app_err(format!("no slot with instance index {index}")))?;
+        let mut st = slot.state.lock();
+        if st.departed {
+            return Err(app_err(format!("instance {index} already departed")));
+        }
+        let mut trace = None;
+        if let Some(mut conn) = st.conn.take() {
+            let leave = Message::Leave {
+                instance: index,
+                reason: "retired".into(),
+            };
+            if conn.send_msg(&leave).is_ok() {
+                let _ = conn.set_read_timeout(Some(Duration::from_secs(5)));
+                // The child acknowledges with its own Leave, then ships its
+                // trace and exits; tolerate heartbeats racing in between.
+                loop {
+                    match conn.recv_msg() {
+                        Ok(Some(Message::Heartbeat)) => continue,
+                        Ok(Some(Message::Leave { .. })) => continue,
+                        Ok(Some(Message::Trace { text })) => {
+                            trace = Some(text);
+                            break;
+                        }
+                        Ok(Some(_)) | Ok(None) | Err(_) => break,
+                    }
+                }
+            }
+        }
+        if let Some(child) = st.child.as_mut() {
+            // A clean child has already exited; kill() just reaps it.
+            child.kill();
+        }
+        st.child = None;
+        st.departed = true;
+        Ok(trace)
     }
 
     /// Orderly shutdown: ask every live child to finish, collect the
@@ -309,7 +396,8 @@ impl RemoteWorkerPool {
     /// `(slot, identity, trace)` per instance.
     pub fn shutdown(&self) -> Vec<(u64, RemoteIdentity, Option<String>)> {
         let mut out = Vec::new();
-        for slot in &self.inner.slots {
+        let slots: Vec<Arc<Slot>> = self.inner.slots.read().clone();
+        for slot in &slots {
             let mut st = slot.state.lock();
             let identity = st.identity.clone();
             let mut trace = None;
@@ -339,10 +427,31 @@ impl RemoteWorkerPool {
     }
 }
 
+/// Build a cold slot with the standard respawn budget and backoff.
+fn new_slot(cfg: &PoolConfig, index: u64, pool: u64) -> Arc<Slot> {
+    Arc::new(Slot {
+        index,
+        pool,
+        job_timeout: cfg.job_timeout,
+        state: Mutex::new(SlotState {
+            conn: None,
+            identity: RemoteIdentity {
+                host: cfg.host_for(index as usize),
+                task_uid: 0,
+            },
+            child: None,
+            respawns_left: cfg.respawn_budget,
+            backoff: Backoff::new(Duration::from_millis(50), Duration::from_secs(2)),
+            departed: false,
+        }),
+        seq: AtomicU64::new(1),
+    })
+}
+
 /// Spawn a child for `slot`, accept its connection and handshake.
 /// The caller holds the slot's state lock; the listener lock is taken
 /// here, serializing concurrent bring-ups.
-fn bring_up(inner: &PoolInner, slot_index: u64, st: &mut SlotState) -> MfResult<()> {
+fn bring_up(inner: &PoolInner, slot_index: u64, pool: u64, st: &mut SlotState) -> MfResult<()> {
     let cfg = &inner.cfg;
     let host = cfg.host_for(slot_index as usize);
     let mut env = cfg.base_env.clone();
@@ -394,7 +503,7 @@ fn bring_up(inner: &PoolInner, slot_index: u64, st: &mut SlotState) -> MfResult<
                     // and keep waiting for the child we just spawned.
                     continue;
                 }
-                conn.send_msg(&Message::HelloAck { instance })
+                conn.send_msg(&Message::HelloAck { instance, pool })
                     .map_err(app_err)?;
                 st.conn = Some(conn);
                 st.identity = RemoteIdentity {
@@ -413,43 +522,62 @@ fn bring_up(inner: &PoolInner, slot_index: u64, st: &mut SlotState) -> MfResult<
     }
 }
 
-impl ConduitSource for RemoteWorkerPool {
-    fn checkout(&self) -> MfResult<Arc<dyn RemoteConduit>> {
-        let n = self.inner.slots.len();
-        let start = self.inner.next.fetch_add(1, Ordering::Relaxed) % n;
-        let slot = &self.inner.slots[start];
-        {
-            let mut st = slot.state.lock();
-            if st.conn.is_none() && st.respawns_left > 0 {
-                st.respawns_left -= 1;
-                let delay = st.backoff.step();
-                std::thread::sleep(delay);
-                if let Err(e) = bring_up(&self.inner, slot.index, &mut st) {
-                    st.mark_dead();
-                    // Fall through to the live-slot scan below.
-                    let _ = e;
-                }
-            }
-            if st.conn.is_some() {
-                return Ok(Arc::new(SlotConduit {
-                    slot: Arc::clone(slot),
-                    job: Arc::clone(&self.inner.current_job),
-                }));
-            }
+impl RemoteWorkerPool {
+    /// Check out a conduit, preferring workers assigned to `pool`. This is
+    /// the sharded fleet's locality hint: a shard master asks for its own
+    /// pool first and falls back to any live worker — worker-level work
+    /// stealing — when its pool is busy, dead, or departed. `None` is the
+    /// flat round-robin.
+    pub fn checkout_pool(&self, pool: Option<u64>) -> MfResult<Arc<dyn RemoteConduit>> {
+        let slots: Vec<Arc<Slot>> = self.inner.slots.read().clone();
+        let n = slots.len();
+        if n == 0 {
+            return Err(app_err("pool has no slots"));
         }
-        // Chosen slot is dead beyond its budget: hand out any live slot.
-        for i in 1..n {
-            let slot = &self.inner.slots[(start + i) % n];
-            if slot.state.lock().conn.is_some() {
-                return Ok(Arc::new(SlotConduit {
-                    slot: Arc::clone(slot),
-                    job: Arc::clone(&self.inner.current_job),
-                }));
+        let start = self.inner.next.fetch_add(1, Ordering::Relaxed) % n;
+        // Walk from the round-robin cursor; first pass prefers the hinted
+        // pool, the second takes any live worker.
+        let passes: &[Option<u64>] = match pool {
+            Some(p) => &[Some(p), None],
+            None => &[None],
+        };
+        for &want in passes {
+            for i in 0..n {
+                let slot = &slots[(start + i) % n];
+                if want.is_some_and(|p| slot.pool != p) {
+                    continue;
+                }
+                let mut st = slot.state.lock();
+                if st.departed {
+                    continue;
+                }
+                if st.conn.is_none() && st.respawns_left > 0 {
+                    st.respawns_left -= 1;
+                    let delay = st.backoff.step();
+                    std::thread::sleep(delay);
+                    if let Err(e) = bring_up(&self.inner, slot.index, slot.pool, &mut st) {
+                        st.mark_dead();
+                        // Keep scanning for another live slot.
+                        let _ = e;
+                    }
+                }
+                if st.conn.is_some() {
+                    return Ok(Arc::new(SlotConduit {
+                        slot: Arc::clone(slot),
+                        job: Arc::clone(&self.inner.current_job),
+                    }));
+                }
             }
         }
         Err(app_err(
             "no live remote instances (respawn budget exhausted)",
         ))
+    }
+}
+
+impl ConduitSource for RemoteWorkerPool {
+    fn checkout(&self) -> MfResult<Arc<dyn RemoteConduit>> {
+        self.checkout_pool(None)
     }
 }
 
@@ -737,6 +865,63 @@ mod tests {
         let err = c.execute(Unit::int(1)).unwrap_err();
         assert!(err.to_string().contains("protocol confusion"), "got: {err}");
         assert_eq!(pool.live_count(), 0, "stale reply must poison the slot");
+    }
+
+    #[test]
+    fn membership_join_and_retire_mid_run() {
+        let spawner = Arc::new(ThreadSpawner::new(None));
+        let mut cfg = quick_cfg(2, BindMode::Tcp);
+        cfg.shards = 2;
+        let pool = RemoteWorkerPool::launch(cfg, spawner.clone()).unwrap();
+        assert_eq!(pool.live_count(), 2);
+
+        // Join: a third worker handshakes and serves immediately.
+        let idx = pool.add_instance(None).unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(pool.live_count(), 3);
+
+        // Retire instance 0: Leave exchange, trace shipped, out of the
+        // rotation for good.
+        let trace = pool.retire_instance(0).unwrap();
+        assert_eq!(trace.as_deref(), Some("trace-of-0"));
+        assert_eq!(pool.live_count(), 2);
+
+        // Checkouts keep working and never hand out the departed slot —
+        // and a departed slot is never respawned (zero lost jobs, zero
+        // zombie spawns).
+        for k in 0..6 {
+            let c = pool.checkout().unwrap();
+            assert_ne!(c.instance_id(), 0, "departed slot handed out");
+            let out = c.execute(Unit::int(k)).unwrap();
+            assert_eq!(
+                out,
+                Unit::tuple(vec![Unit::int(c.instance_id() as i64), Unit::int(k)])
+            );
+        }
+        assert!(pool.retire_instance(0).is_err(), "double retirement");
+        assert_eq!(spawner.spawned.load(Ordering::Relaxed), 3);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn checkout_pool_prefers_the_hinted_shard_and_steals_on_famine() {
+        let spawner = Arc::new(ThreadSpawner::new(None));
+        let mut cfg = quick_cfg(4, BindMode::Tcp);
+        cfg.shards = 2;
+        let pool = RemoteWorkerPool::launch(cfg, spawner).unwrap();
+        // Pool assignment is index % shards: slots 1 and 3 serve pool 1.
+        for _ in 0..4 {
+            let c = pool.checkout_pool(Some(1)).unwrap();
+            assert_eq!(c.instance_id() % 2, 1, "hint not honoured");
+        }
+        // Retire pool 1 entirely: the hint falls back to any live worker
+        // (worker-level stealing) instead of failing.
+        pool.retire_instance(1).unwrap();
+        pool.retire_instance(3).unwrap();
+        let c = pool.checkout_pool(Some(1)).unwrap();
+        assert_eq!(c.instance_id() % 2, 0);
+        assert!(c.execute(Unit::int(7)).is_ok());
+        pool.shutdown();
     }
 
     #[test]

@@ -11,11 +11,13 @@
 //! ```text
 //! child                         coordinator
 //!   | -- Hello{ver,inst,host,uid} -->|   (child connects, introduces itself)
-//!   |<-- HelloAck{inst} ------------ |   (identity accepted)
+//!   |<-- HelloAck{inst,pool} ------- |   (identity accepted, pool assigned)
 //!   |<-- Job{seq,payload} ---------- |
 //!   | -- Heartbeat ----------------->|   (periodic while computing)
 //!   | -- Done{seq,payload} --------->|   (or Fail{seq,error})
 //!   |            ...                 |
+//!   |<-- Leave{inst,reason} -------- |   (optional: retire this worker...)
+//!   | -- Leave{inst,reason} -------->|   (...acknowledged, then Trace+exit)
 //!   |<-- Shutdown ------------------ |
 //!   | -- Trace{text} --------------->|   (per-process trace, then close)
 //! ```
@@ -29,8 +31,10 @@ use crate::WireError;
 /// which is incompatible with version-1 framing on the wire. Version 3
 /// added the job id to `Job`/`Done`/`Fail`, so one long-lived session can
 /// carry work for many engine jobs and replies are attributable to the job
-/// that issued them.
-pub const PROTOCOL_VERSION: i64 = 3;
+/// that issued them. Version 4 made membership elastic: `HelloAck` gained
+/// the worker's pool (shard) assignment and `Leave` lets either side
+/// retire a worker cleanly mid-run.
+pub const PROTOCOL_VERSION: i64 = 4;
 
 const T_HELLO: i64 = 0;
 const T_HELLO_ACK: i64 = 1;
@@ -40,6 +44,7 @@ const T_FAIL: i64 = 4;
 const T_HEARTBEAT: i64 = 5;
 const T_SHUTDOWN: i64 = 6;
 const T_TRACE: i64 = 7;
+const T_LEAVE: i64 = 8;
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +64,9 @@ pub enum Message {
     HelloAck {
         /// Echo of the instance slot.
         instance: u64,
+        /// The pool (shard) this worker is assigned to serve. Flat
+        /// (single-master) fleets always assign pool 0.
+        pool: u64,
     },
     /// Coordinator → child: execute this job.
     Job {
@@ -100,6 +108,17 @@ pub enum Message {
         /// Concatenated §6 trace records from the child's environment.
         text: String,
     },
+    /// Membership departure, either direction. Coordinator → child: retire
+    /// this worker (the child acknowledges with its own `Leave`, then its
+    /// `Trace`, and exits). Child → coordinator: the worker is departing
+    /// voluntarily; the coordinator removes it from the rotation without
+    /// respawning it.
+    Leave {
+        /// The departing instance slot.
+        instance: u64,
+        /// Why (e.g. `retired`, `drain`, `host shutdown`) — for traces.
+        reason: String,
+    },
 }
 
 impl Message {
@@ -118,9 +137,11 @@ impl Message {
                 Unit::text(host),
                 Unit::int(*task_uid as i64),
             ]),
-            Message::HelloAck { instance } => {
-                Unit::tuple(vec![Unit::int(T_HELLO_ACK), Unit::int(*instance as i64)])
-            }
+            Message::HelloAck { instance, pool } => Unit::tuple(vec![
+                Unit::int(T_HELLO_ACK),
+                Unit::int(*instance as i64),
+                Unit::int(*pool as i64),
+            ]),
             Message::Job { seq, job, payload } => Unit::tuple(vec![
                 Unit::int(T_JOB),
                 Unit::int(*seq as i64),
@@ -142,6 +163,11 @@ impl Message {
             Message::Heartbeat => Unit::tuple(vec![Unit::int(T_HEARTBEAT)]),
             Message::Shutdown => Unit::tuple(vec![Unit::int(T_SHUTDOWN)]),
             Message::Trace { text } => Unit::tuple(vec![Unit::int(T_TRACE), Unit::text(text)]),
+            Message::Leave { instance, reason } => Unit::tuple(vec![
+                Unit::int(T_LEAVE),
+                Unit::int(*instance as i64),
+                Unit::text(reason),
+            ]),
         }
     }
 
@@ -192,9 +218,10 @@ impl Message {
                 })
             }
             T_HELLO_ACK => {
-                arity(2)?;
+                arity(3)?;
                 Ok(Message::HelloAck {
                     instance: int(1)? as u64,
+                    pool: int(2)? as u64,
                 })
             }
             T_JOB => {
@@ -233,6 +260,13 @@ impl Message {
                 arity(2)?;
                 Ok(Message::Trace { text: text(1)? })
             }
+            T_LEAVE => {
+                arity(3)?;
+                Ok(Message::Leave {
+                    instance: int(1)? as u64,
+                    reason: text(2)?,
+                })
+            }
             other => Err(format!("unknown message tag {other}")),
         }
     }
@@ -262,7 +296,10 @@ mod tests {
                 host: "node7.cluster".into(),
                 task_uid: (4u64 + 1) << 18 | 2,
             },
-            Message::HelloAck { instance: 3 },
+            Message::HelloAck {
+                instance: 3,
+                pool: 1,
+            },
             Message::Job {
                 seq: 17,
                 job: 4,
@@ -282,6 +319,10 @@ mod tests {
             Message::Shutdown,
             Message::Trace {
                 text: "host task 1 2 3 4\n    t m f 1 -> Welcome\n".into(),
+            },
+            Message::Leave {
+                instance: 3,
+                reason: "retired".into(),
             },
         ];
         for m in msgs {

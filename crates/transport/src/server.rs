@@ -91,6 +91,11 @@ pub struct ServeSummary {
     pub jobs_failed: u64,
     /// Whether the coordinator sent an orderly `Shutdown` (vs. EOF).
     pub clean_shutdown: bool,
+    /// Pool (shard) assigned by the coordinator in the handshake.
+    pub pool: u64,
+    /// Whether the coordinator retired this worker with `Leave` (an
+    /// orderly mid-run departure rather than an end-of-run shutdown).
+    pub retired: bool,
 }
 
 /// Run the serve loop until shutdown or connection loss.
@@ -123,15 +128,15 @@ where
         task_uid: cfg.task_uid,
     })?;
     reader.set_read_timeout(Some(cfg.connect_timeout))?;
-    match reader.recv_msg()? {
-        Some(Message::HelloAck { instance }) if instance == cfg.instance => {}
+    let pool = match reader.recv_msg()? {
+        Some(Message::HelloAck { instance, pool }) if instance == cfg.instance => pool,
         other => {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 format!("handshake failed: expected HelloAck, got {other:?}"),
             ))
         }
-    }
+    };
     // Jobs may be minutes apart; liveness flows the other way (our
     // heartbeats), so block indefinitely waiting for work.
     reader.set_read_timeout(None)?;
@@ -154,7 +159,10 @@ where
         })
     };
 
-    let mut summary = ServeSummary::default();
+    let mut summary = ServeSummary {
+        pool,
+        ..ServeSummary::default()
+    };
     let mut jobs_seen = 0u64;
     let outcome = loop {
         match reader.recv_msg() {
@@ -222,6 +230,21 @@ where
                 }
                 break Ok(());
             }
+            Ok(Some(Message::Leave { instance, reason })) if instance == cfg.instance => {
+                // Coordinator-initiated retirement: acknowledge with our
+                // own Leave, ship the trace, and exit as cleanly as a
+                // Shutdown — but mid-run, with the fleet still serving.
+                summary.retired = true;
+                summary.clean_shutdown = true;
+                let _ = writer.lock().send_msg(&Message::Leave {
+                    instance: cfg.instance,
+                    reason,
+                });
+                if let Some(text) = trace_dump() {
+                    let _ = writer.lock().send_msg(&Message::Trace { text });
+                }
+                break Ok(());
+            }
             Ok(Some(Message::Heartbeat)) => {} // tolerated, not expected
             Ok(Some(other)) => {
                 break Err(std::io::Error::new(
@@ -256,7 +279,8 @@ mod tests {
                     version, instance, ..
                 } => {
                     assert_eq!(version, PROTOCOL_VERSION);
-                    conn.send_msg(&Message::HelloAck { instance }).unwrap();
+                    conn.send_msg(&Message::HelloAck { instance, pool: 0 })
+                        .unwrap();
                 }
                 other => panic!("expected Hello, got {other:?}"),
             }
@@ -361,9 +385,9 @@ mod tests {
             let (s, _) = listener.accept().unwrap();
             let mut conn = Conn::Tcp(s);
             match conn.recv_msg().unwrap().unwrap() {
-                Message::Hello { instance, .. } => {
-                    conn.send_msg(&Message::HelloAck { instance }).unwrap()
-                }
+                Message::Hello { instance, .. } => conn
+                    .send_msg(&Message::HelloAck { instance, pool: 0 })
+                    .unwrap(),
                 other => panic!("{other:?}"),
             }
             // Drop without Shutdown: abrupt coordinator death.
@@ -382,9 +406,9 @@ mod tests {
             let (s, _) = listener.accept().unwrap();
             let mut conn = Conn::Tcp(s);
             match conn.recv_msg().unwrap().unwrap() {
-                Message::Hello { instance, .. } => {
-                    conn.send_msg(&Message::HelloAck { instance }).unwrap()
-                }
+                Message::Hello { instance, .. } => conn
+                    .send_msg(&Message::HelloAck { instance, pool: 0 })
+                    .unwrap(),
                 other => panic!("{other:?}"),
             }
             conn.send_msg(&Message::Job {
@@ -421,9 +445,9 @@ mod tests {
             let (s, _) = listener.accept().unwrap();
             let mut conn = Conn::Tcp(s);
             match conn.recv_msg().unwrap().unwrap() {
-                Message::Hello { instance, .. } => {
-                    conn.send_msg(&Message::HelloAck { instance }).unwrap()
-                }
+                Message::Hello { instance, .. } => conn
+                    .send_msg(&Message::HelloAck { instance, pool: 0 })
+                    .unwrap(),
                 other => panic!("{other:?}"),
             }
             conn.send_msg(&Message::Job {
